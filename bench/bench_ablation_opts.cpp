@@ -1,0 +1,76 @@
+// Ablation: each §5 optimization toggled individually (Figure 15 shows
+// only all-on vs all-off; this decomposes the win). SSSP over the
+// out-of-memory graphs — it exercises both GAS passes and a live
+// frontier.
+//
+// Expected shape: frontier management contributes most on graphs whose
+// wavefront stays narrow (road-like/grid analogs); phase fusion
+// contributes a constant factor everywhere (whole-shard-per-phase
+// movement removed); async+spray shortens wall time without reducing
+// bytes.
+#include <iostream>
+
+#include "graph/datasets.hpp"
+#include "support/harness.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gr;
+  std::string csv;
+  double scale = 1.0;
+  util::Cli cli("bench_ablation_opts",
+                "per-optimization ablation (SSSP, simulated seconds)");
+  cli.flag("csv", &csv, "CSV output path")
+      .flag("scale", &scale, "extra edge-count scale factor");
+  if (!cli.parse(argc, argv)) return 0;
+
+  struct Variant {
+    const char* name;
+    bool async_spray;
+    bool frontier;
+    bool fusion;
+  };
+  const Variant variants[] = {
+      {"all on", true, true, true},
+      {"no async/spray", false, true, true},
+      {"no frontier mgmt", true, false, true},
+      {"no phase fusion", true, true, false},
+      {"all off", false, false, false},
+  };
+
+  util::Table table("Ablation — SSSP time (s) per optimization variant");
+  std::vector<std::string> header = {"Graph"};
+  for (const Variant& v : variants) header.push_back(v.name);
+  header.push_back("bytes all-on");
+  header.push_back("bytes all-off");
+  table.header(header);
+
+  for (const auto& name : graph::out_of_memory_names()) {
+    GR_LOG_INFO("running " << name);
+    const auto data = bench::prepare_dataset(name, scale);
+    std::vector<std::string> row = {name};
+    std::uint64_t bytes_on = 0;
+    std::uint64_t bytes_off = 0;
+    for (const Variant& v : variants) {
+      core::EngineOptions options = bench::bench_engine_options();
+      options.async_spray = v.async_spray;
+      options.frontier_management = v.frontier;
+      options.phase_fusion = v.fusion;
+      const auto report =
+          bench::run_graphreduce_report(bench::Algo::kSssp, data, options);
+      row.push_back(util::format_fixed(report.total_seconds, 4));
+      if (v.async_spray && v.frontier && v.fusion)
+        bytes_on = report.bytes_h2d + report.bytes_d2h;
+      if (!v.async_spray && !v.frontier && !v.fusion)
+        bytes_off = report.bytes_h2d + report.bytes_d2h;
+    }
+    row.push_back(util::format_bytes(bytes_on));
+    row.push_back(util::format_bytes(bytes_off));
+    table.add_row(row);
+  }
+  bench::emit_table(table, csv);
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Extension studies beyond the paper's evaluation, covering §2.2's Totem
+// discussion and the three §8 future-work directions implemented in this
+// reproduction:
+//
+//  (1) hybrid static partitioning (Totem) vs GraphReduce on
+//      out-of-memory graphs — quantifies the paper's claim that a fixed
+//      GPU subgraph leaves the device underutilized and the CPU as the
+//      bottleneck;
+//  (2) multi-GPU scaling (1/2/4 devices) — shard streaming splits across
+//      PCIe links, bounded by the replica exchange;
+//  (3) SSD-backed hosts — shard uploads fault spilled data in from disk
+//      at various host-memory budgets.
+#include <iostream>
+
+#include "baselines/totem/totem.hpp"
+#include "core/algorithms/algorithms.hpp"
+#include "core/multi_gpu.hpp"
+#include "graph/datasets.hpp"
+#include "support/harness.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace gr;
+
+void totem_study(double scale, const std::string& csv) {
+  util::Table table(
+      "Extension 1 — Totem (hybrid static) vs GraphReduce, PageRank");
+  table.header({"Graph", "GPU share of edges", "Totem (s)",
+                "Totem CPU-bound?", "GR (s)", "GR speedup"});
+  for (const auto& name : graph::out_of_memory_names()) {
+    const auto data = bench::prepare_dataset(name, scale);
+    const auto totem = baselines::totem::pagerank_placement(
+        data.edges, bench::kPageRankIterations);
+    const auto gr = bench::run_graphreduce(
+        bench::Algo::kPageRank, data, bench::bench_engine_options());
+    const double gpu_share =
+        static_cast<double>(totem.gpu_edges) /
+        static_cast<double>(data.edges.num_edges());
+    table.add_row(
+        {name, util::format_fixed(100.0 * gpu_share, 1) + "%",
+         util::format_fixed(totem.seconds, 4),
+         totem.cpu_busy_seconds > totem.gpu_busy_seconds ? "yes" : "no",
+         util::format_fixed(gr.seconds, 4),
+         util::format_fixed(totem.seconds / gr.seconds, 1) + "x"});
+  }
+  bench::emit_table(table, csv);
+}
+
+void multigpu_study(double scale) {
+  util::Table table(
+      "Extension 2 — multi-GPU scaling (PageRank, simulated seconds)");
+  table.header({"Graph", "1 GPU", "2 GPUs", "4 GPUs", "2-GPU speedup",
+                "4-GPU speedup", "4-GPU exchange share"});
+  for (const auto& name : graph::out_of_memory_names()) {
+    const auto data = bench::prepare_dataset(name, scale);
+    const auto out_deg = data.edges.out_degrees();
+    auto run = [&](std::uint32_t devices) {
+      core::ProgramInstance<algo::PageRank> instance;
+      instance.init_vertex = [&out_deg](graph::VertexId v) {
+        return algo::PageRank::Vertex{
+            1.0f,
+            out_deg[v] == 0 ? 0.0f : 1.0f / static_cast<float>(out_deg[v])};
+      };
+      instance.frontier = core::InitialFrontier::all();
+      instance.default_max_iterations = bench::kPageRankIterations;
+      core::MultiGpuOptions options;
+      options.num_devices = devices;
+      core::MultiGpuEngine<algo::PageRank> engine(data.edges,
+                                                  std::move(instance),
+                                                  options);
+      return engine.run();
+    };
+    const auto one = run(1);
+    const auto two = run(2);
+    const auto four = run(4);
+    table.add_row(
+        {name, util::format_fixed(one.total_seconds, 4),
+         util::format_fixed(two.total_seconds, 4),
+         util::format_fixed(four.total_seconds, 4),
+         util::format_fixed(one.total_seconds / two.total_seconds, 2) + "x",
+         util::format_fixed(one.total_seconds / four.total_seconds, 2) +
+             "x",
+         util::format_fixed(
+             100.0 * four.exchange_seconds / four.total_seconds, 1) +
+             "%"});
+  }
+  table.print(std::cout);
+}
+
+void ssd_study(double scale) {
+  util::Table table(
+      "Extension 3 — SSD-backed host (uk-2002, SSSP, simulated seconds)");
+  table.header({"Host memory", "spill fraction", "time", "slowdown"});
+  const auto data = bench::prepare_dataset("uk-2002", scale);
+  const std::uint64_t footprint = graph::footprint_bytes(
+      data.edges.num_vertices(), data.edges.num_edges());
+  double baseline = 0.0;
+  for (double fraction : {1.1, 0.75, 0.5, 0.25}) {
+    core::EngineOptions options = bench::bench_engine_options();
+    options.host_memory_bytes =
+        static_cast<std::uint64_t>(fraction * footprint);
+    const auto report =
+        bench::run_graphreduce_report(bench::Algo::kSssp, data, options);
+    if (baseline == 0.0) baseline = report.total_seconds;
+    table.add_row(
+        {util::format_bytes(options.host_memory_bytes),
+         util::format_fixed(100.0 * report.host_spill_fraction, 1) + "%",
+         util::format_fixed(report.total_seconds, 4),
+         util::format_fixed(report.total_seconds / baseline, 2) + "x"});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string csv;
+  double scale = 1.0;
+  util::Cli cli("bench_ext_future_work",
+                "extension studies: Totem, multi-GPU, SSD-backed host");
+  cli.flag("csv", &csv, "CSV output path")
+      .flag("scale", &scale, "extra edge-count scale factor");
+  if (!cli.parse(argc, argv)) return 0;
+
+  totem_study(scale, csv);
+  multigpu_study(scale);
+  ssd_study(scale);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 16 — frontier size vs iteration for three large out-of-memory
+// graphs (nlpkkt160, uk-2002, cage15) under BFS, PageRank and CC.
+// (The paper omits SSSP: its frontier pattern matches BFS.)
+//
+// Expected shape: the basic pattern is algorithm-dependent (BFS:
+// 1 -> peak -> fall; PR/CC: |V| -> decay) while the decay rate is
+// input-dependent (nlpkkt fast, cage15 slow).
+#include <iostream>
+
+#include "support/frontier_plot.hpp"
+#include "support/harness.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gr;
+  std::string csv;
+  double scale = 1.0;
+  util::Cli cli("bench_fig16_frontier_large",
+                "Figure 16: frontier traces, 3 graphs x {BFS, PR, CC}");
+  cli.flag("csv", &csv, "CSV output path")
+      .flag("scale", &scale, "extra edge-count scale factor");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const char* graphs[] = {"nlpkkt160", "uk-2002", "cage15"};
+  const bench::Algo algos[] = {bench::Algo::kBfs, bench::Algo::kPageRank,
+                               bench::Algo::kCc};
+
+  util::Table table("Figure 16 — frontier traces");
+  table.header({"graph", "algorithm", "iteration", "active_vertices"});
+  for (const char* name : graphs) {
+    const auto data = bench::prepare_dataset(name, scale);
+    for (bench::Algo algo : algos) {
+      const auto report = bench::run_graphreduce_report(
+          algo, data, bench::bench_engine_options());
+      const auto trace = bench::frontier_trace(report);
+      std::cout << "\n" << name << " — " << bench::algo_name(algo) << " ("
+                << trace.size() << " iterations)\n"
+                << bench::render_sparkline(trace);
+      for (std::size_t i = 0; i < trace.size(); ++i)
+        table.add_row({name, bench::algo_name(algo), std::to_string(i),
+                       std::to_string(trace[i])});
+    }
+  }
+  if (!csv.empty()) bench::emit_table(table, csv);
+  return 0;
+}

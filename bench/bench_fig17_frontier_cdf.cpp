@@ -1,0 +1,47 @@
+// Figure 17 — for the five out-of-memory graphs and {BFS, PageRank, CC},
+// the percentage of iterations whose frontier is below 50% of the
+// lifetime peak. Graphs scoring high here benefit most from dynamic
+// frontier management (cross-reference Figure 15's memcpy savings).
+//
+// Expected shape: BFS near 100% everywhere (the wave is brief);
+// nlpkkt160 and uk-2002 high for PR/CC, cage15 lowest for PR.
+#include <iostream>
+
+#include "graph/datasets.hpp"
+#include "support/frontier_plot.hpp"
+#include "support/harness.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gr;
+  std::string csv;
+  double scale = 1.0;
+  util::Cli cli("bench_fig17_frontier_cdf",
+                "Figure 17: % iterations below 50% of max frontier");
+  cli.flag("csv", &csv, "CSV output path")
+      .flag("scale", &scale, "extra edge-count scale factor");
+  if (!cli.parse(argc, argv)) return 0;
+
+  util::Table table(
+      "Figure 17 — %% of iterations below 50%% of peak frontier");
+  table.header({"Graph", "BFS", "Pagerank", "CC"});
+  for (const auto& name : graph::out_of_memory_names()) {
+    const auto data = bench::prepare_dataset(name, scale);
+    std::vector<std::string> row = {name};
+    for (bench::Algo algo :
+         {bench::Algo::kBfs, bench::Algo::kPageRank, bench::Algo::kCc}) {
+      const auto report = bench::run_graphreduce_report(
+          algo, data, bench::bench_engine_options());
+      row.push_back(util::format_fixed(
+                        bench::percent_below_half_peak(
+                            bench::frontier_trace(report)),
+                        1) +
+                    "%");
+    }
+    table.add_row(row);
+  }
+  bench::emit_table(table, csv);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Microbenchmarks (google-benchmark, real wall time): end-to-end
+// GraphReduce engine throughput — how fast the functional simulation
+// itself processes edges for each algorithm and mode.
+#include <benchmark/benchmark.h>
+
+#include "core/algorithms/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace gr;
+
+core::EngineOptions streaming_options() {
+  core::EngineOptions options;
+  options.device.global_memory_bytes = 512 * 1024;  // forces sharding
+  return options;
+}
+
+void BM_EngineBfsResident(benchmark::State& state) {
+  const auto edges = graph::rmat(12, 60'000, 5);
+  for (auto _ : state) {
+    auto result = algo::run_bfs(edges, 0);
+    benchmark::DoNotOptimize(result.report.iterations);
+  }
+  state.SetItemsProcessed(state.iterations() * edges.num_edges());
+}
+BENCHMARK(BM_EngineBfsResident);
+
+void BM_EngineBfsStreaming(benchmark::State& state) {
+  const auto edges = graph::rmat(12, 60'000, 5);
+  for (auto _ : state) {
+    auto result = algo::run_bfs(edges, 0, streaming_options());
+    benchmark::DoNotOptimize(result.report.iterations);
+  }
+  state.SetItemsProcessed(state.iterations() * edges.num_edges());
+}
+BENCHMARK(BM_EngineBfsStreaming);
+
+void BM_EnginePageRankStreaming(benchmark::State& state) {
+  const auto edges = graph::rmat(12, 60'000, 5);
+  for (auto _ : state) {
+    auto result = algo::run_pagerank(edges, 10, streaming_options());
+    benchmark::DoNotOptimize(result.report.iterations);
+  }
+  state.SetItemsProcessed(state.iterations() * edges.num_edges() * 10);
+}
+BENCHMARK(BM_EnginePageRankStreaming);
+
+void BM_EngineSsspStreaming(benchmark::State& state) {
+  auto edges = graph::rmat(12, 60'000, 5);
+  edges.randomize_weights(1.0f, 16.0f, 2);
+  for (auto _ : state) {
+    auto result = algo::run_sssp(edges, 0, streaming_options());
+    benchmark::DoNotOptimize(result.report.iterations);
+  }
+  state.SetItemsProcessed(state.iterations() * edges.num_edges());
+}
+BENCHMARK(BM_EngineSsspStreaming);
+
+void BM_EngineCcStreaming(benchmark::State& state) {
+  auto edges = graph::rmat(11, 30'000, 7);
+  edges.make_undirected();
+  for (auto _ : state) {
+    auto result = algo::run_cc(edges, streaming_options());
+    benchmark::DoNotOptimize(result.report.iterations);
+  }
+  state.SetItemsProcessed(state.iterations() * edges.num_edges());
+}
+BENCHMARK(BM_EngineCcStreaming);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Microbenchmarks (google-benchmark, real wall time): Partition Engine
+// throughput — balanced interval cuts, shard layout builds, and CSR/CSC
+// construction.
+#include <benchmark/benchmark.h>
+
+#include "core/partition.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gr;
+
+void BM_BalancedEdgeCut(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<graph::EdgeId> weights(n);
+  util::Rng rng(3);
+  for (auto& w : weights) w = rng.below(64);
+  for (auto _ : state) {
+    auto cut = core::balanced_edge_cut(weights, 32);
+    benchmark::DoNotOptimize(cut.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BalancedEdgeCut)->Arg(100'000)->Arg(1'000'000);
+
+void BM_PartitionBuild(benchmark::State& state) {
+  const auto scale = static_cast<unsigned>(state.range(0));
+  const auto edges = graph::rmat(scale, 16ull << scale, 7);
+  for (auto _ : state) {
+    auto pg = core::PartitionedGraph::build(edges, 16);
+    benchmark::DoNotOptimize(pg.num_shards());
+  }
+  state.SetItemsProcessed(state.iterations() * edges.num_edges());
+}
+BENCHMARK(BM_PartitionBuild)->Arg(12)->Arg(15);
+
+void BM_CompressedBuild(benchmark::State& state) {
+  const auto scale = static_cast<unsigned>(state.range(0));
+  const auto edges = graph::rmat(scale, 16ull << scale, 9);
+  for (auto _ : state) {
+    auto csr = graph::Compressed::by_source(edges);
+    benchmark::DoNotOptimize(csr.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * edges.num_edges());
+}
+BENCHMARK(BM_CompressedBuild)->Arg(12)->Arg(15);
+
+void BM_RmatGeneration(benchmark::State& state) {
+  const auto edges_count = static_cast<graph::EdgeId>(state.range(0));
+  for (auto _ : state) {
+    auto edges = graph::rmat(16, edges_count, 11);
+    benchmark::DoNotOptimize(edges.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * edges_count);
+}
+BENCHMARK(BM_RmatGeneration)->Arg(100'000)->Arg(500'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Microbenchmarks (google-benchmark, real wall time): overhead of the
+// virtual-GPU discrete-event machinery itself — simulation throughput,
+// not simulated time. Useful when tuning the DES hot paths.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "sim/engines.hpp"
+#include "vgpu/device.hpp"
+
+namespace {
+
+using namespace gr;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    long counter = 0;
+    for (int i = 0; i < events; ++i)
+      queue.schedule_at(static_cast<double>(i % 97), [&] { ++counter; });
+    queue.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_SharedEngineChurn(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    sim::SharedEngine engine(queue);
+    int done = 0;
+    for (int i = 0; i < tasks; ++i)
+      engine.add_task(1.0 + i * 0.01, 0.25, [&](auto) { ++done; });
+    queue.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_SharedEngineChurn)->Arg(64)->Arg(512);
+
+void BM_DeviceMemcpyPipeline(benchmark::State& state) {
+  const int copies = static_cast<int>(state.range(0));
+  std::vector<char> host(64 * 1024);
+  for (auto _ : state) {
+    vgpu::DeviceConfig config;
+    config.global_memory_bytes = 128ull * 1024 * 1024;
+    vgpu::Device dev(config);
+    auto buf = dev.alloc<char>(host.size());
+    for (int i = 0; i < copies; ++i)
+      dev.memcpy_h2d(i % 2 == 0 ? dev.default_stream() : dev.create_stream(),
+                     buf.data(), host.data(), host.size());
+    dev.synchronize();
+    benchmark::DoNotOptimize(dev.now());
+  }
+  state.SetItemsProcessed(state.iterations() * copies);
+}
+BENCHMARK(BM_DeviceMemcpyPipeline)->Arg(100)->Arg(1000);
+
+void BM_DeviceKernelLaunch(benchmark::State& state) {
+  const int kernels = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    vgpu::Device dev(vgpu::DeviceConfig::bench_default());
+    long counter = 0;
+    vgpu::KernelCost cost;
+    cost.threads = 1024;
+    cost.sequential_bytes = 4096;
+    for (int i = 0; i < kernels; ++i)
+      dev.launch(dev.default_stream(), cost, [&] { ++counter; });
+    dev.synchronize();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * kernels);
+}
+BENCHMARK(BM_DeviceKernelLaunch)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Table 1 — dataset inventory: the paper's datasets and the scaled
+// analogs this reproduction generates, with in-memory footprints and the
+// in/out-of-GPU-memory classification against the scaled device.
+#include <iostream>
+
+#include "graph/datasets.hpp"
+#include "graph/stats.hpp"
+#include "support/harness.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+#include "vgpu/config.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gr;
+  std::string csv;
+  double scale = 1.0;
+  util::Cli cli("bench_table1_datasets", "Table 1: dataset inventory");
+  cli.flag("csv", &csv, "CSV output path")
+      .flag("scale", &scale, "extra edge-count scale factor");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto device = vgpu::DeviceConfig::bench_default();
+  std::cout << "Device: " << device.name << " with "
+            << util::format_bytes(device.global_memory_bytes)
+            << " global memory (K20c 4.8GB scaled 1/96)\n\n";
+
+  util::Table table("Table 1 — datasets (paper vs scaled analog)");
+  table.header({"Graph", "Paper V", "Paper E", "Paper size", "Analog V",
+                "Analog E", "Analog size", "Classification"});
+  for (const auto& info : graph::all_datasets()) {
+    const graph::EdgeList g = graph::make_dataset(info.name, scale);
+    const std::uint64_t bytes =
+        graph::footprint_bytes(g.num_vertices(), g.num_edges());
+    const bool fits = bytes < device.global_memory_bytes;
+    table.add_row({info.name, util::format_count(info.paper_vertices),
+                   util::format_count(info.paper_edges), info.paper_size,
+                   util::format_count(g.num_vertices()),
+                   util::format_count(g.num_edges()),
+                   util::format_bytes(bytes),
+                   fits ? "GPU in-memory" : "GPU out-of-memory"});
+  }
+  bench::emit_table(table, csv);
+
+  util::Table shape("Dataset family shape checks");
+  shape.header({"Graph", "mean degree", "max degree", "eccentricity(src)"});
+  for (const auto& info : graph::all_datasets()) {
+    const graph::EdgeList g = graph::make_dataset(info.name, scale * 0.25);
+    const auto stats = graph::degree_stats(g);
+    shape.add_row({info.name, util::format_fixed(stats.mean, 2),
+                   util::format_count(stats.max),
+                   util::format_count(graph::eccentricity(g, 0))});
+  }
+  shape.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table 2 — the motivating comparison (paper §2.2): BFS on the small
+// in-memory graphs, X-Stream on the 16-core Xeon vs CuSha on the GPU.
+// Expected shape: CuSha wins by 1-3 orders of magnitude, with the
+// smallest margin on the high-diameter road network (belgium_osm).
+#include <iostream>
+
+#include "support/harness.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gr;
+  std::string csv;
+  double scale = 1.0;
+  util::Cli cli("bench_table2_cpu_vs_gpu",
+                "Table 2: X-Stream (CPU) vs CuSha (GPU) on BFS");
+  cli.flag("csv", &csv, "CSV output path")
+      .flag("scale", &scale, "extra edge-count scale factor");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const char* graphs[] = {"ak2010",        "belgium_osm", "coAuthorsDBLP",
+                          "delaunay_n13",  "kron_g500-logn20",
+                          "webbase-1M"};
+
+  util::Table table("Table 2 — BFS: X-Stream (ms) vs CuSha (ms)");
+  table.header({"Graphs", "X-Stream (ms)", "CuSha (ms)", "Speedup"});
+  for (const char* name : graphs) {
+    const auto data = bench::prepare_dataset(name, scale);
+    const auto xs = bench::run_xstream(bench::Algo::kBfs, data);
+    const auto cs = bench::run_cusha(bench::Algo::kBfs, data);
+    std::string speedup = cs.out_of_memory
+                              ? "n/a"
+                              : util::format_fixed(xs.seconds / cs.seconds,
+                                                   0) + "x";
+    table.add_row({name, bench::format_cell_millis(xs),
+                   bench::format_cell_millis(cs), speedup});
+  }
+  bench::emit_table(table, csv);
+  return 0;
+}

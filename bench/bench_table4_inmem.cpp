@@ -1,0 +1,49 @@
+// Table 4 — in-memory comparison (§6.2.2): the small graphs across
+// BFS/SSSP/PageRank/CC on MapGraph, CuSha and GraphReduce (which detects
+// that every shard fits and runs resident, its in-memory mode).
+//
+// Expected shape: GR comparable to the tuned in-memory frameworks;
+// frontier-driven systems (MapGraph, GR) win traversals with small
+// frontiers, CuSha's coalesced G-Shards win dense rounds; no framework
+// wins every cell (the paper's observation motivating pluggable
+// partition logic).
+#include <iostream>
+
+#include "graph/datasets.hpp"
+#include "support/harness.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gr;
+  std::string csv;
+  double scale = 1.0;
+  util::Cli cli("bench_table4_inmem",
+                "Table 4: in-memory GPU frameworks (times in ms)");
+  cli.flag("csv", &csv, "CSV output path")
+      .flag("scale", &scale, "extra edge-count scale factor");
+  if (!cli.parse(argc, argv)) return 0;
+
+  util::Table table("Table 4 — in-memory frameworks (simulated ms)");
+  table.header({"Graph", "Framework", "BFS", "SSSP", "Pagerank", "CC"});
+  for (const auto& name : graph::in_memory_names()) {
+    GR_LOG_INFO("running " << name);
+    const auto data = bench::prepare_dataset(name, scale);
+    std::vector<std::string> row_mg = {name, "MG"};
+    std::vector<std::string> row_cs = {name, "CuSha"};
+    std::vector<std::string> row_gr = {name, "GR"};
+    for (bench::Algo algo : bench::kAllAlgos) {
+      row_mg.push_back(
+          bench::format_cell_millis(bench::run_mapgraph(algo, data)));
+      row_cs.push_back(
+          bench::format_cell_millis(bench::run_cusha(algo, data)));
+      const auto gr =
+          bench::run_graphreduce(algo, data, bench::bench_engine_options());
+      row_gr.push_back(bench::format_cell_millis(gr));
+    }
+    table.add_row(row_mg).add_row(row_cs).add_row(row_gr);
+  }
+  bench::emit_table(table, csv);
+  return 0;
+}

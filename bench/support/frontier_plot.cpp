@@ -1,0 +1,46 @@
+#include "support/frontier_plot.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gr::bench {
+
+std::string render_sparkline(const std::vector<std::uint64_t>& trace,
+                             int width, int height) {
+  if (trace.empty()) return "(empty trace)\n";
+  const std::uint64_t peak = *std::max_element(trace.begin(), trace.end());
+  if (peak == 0) return "(all-zero trace)\n";
+  const int columns =
+      std::min<int>(width, static_cast<int>(trace.size()));
+  // Bucket iterations into columns, taking each bucket's maximum.
+  std::vector<double> level(columns, 0.0);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const int c = static_cast<int>(i * columns / trace.size());
+    level[c] = std::max(level[c],
+                        static_cast<double>(trace[i]) /
+                            static_cast<double>(peak));
+  }
+  std::ostringstream os;
+  for (int row = height; row >= 1; --row) {
+    const double threshold = (row - 0.5) / height;
+    os << (row == height ? "peak|" : "    |");
+    for (int c = 0; c < columns; ++c)
+      os << (level[c] >= threshold ? '#' : ' ');
+    os << '\n';
+  }
+  os << "   0+" << std::string(columns, '-') << "> iteration (0.."
+     << trace.size() - 1 << "), peak=" << peak << '\n';
+  return os.str();
+}
+
+double percent_below_half_peak(const std::vector<std::uint64_t>& trace) {
+  if (trace.empty()) return 0.0;
+  const std::uint64_t peak = *std::max_element(trace.begin(), trace.end());
+  std::size_t below = 0;
+  for (std::uint64_t x : trace)
+    if (2 * x < peak) ++below;
+  return 100.0 * static_cast<double>(below) /
+         static_cast<double>(trace.size());
+}
+
+}  // namespace gr::bench

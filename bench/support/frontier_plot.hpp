@@ -1,0 +1,32 @@
+// ASCII rendering of frontier-size-vs-iteration traces for the Figure
+// 3/16 benches, plus the below-50%-of-peak statistic of Figure 17.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+
+namespace gr::bench {
+
+/// Active-vertex counts per iteration from a run report.
+inline std::vector<std::uint64_t> frontier_trace(
+    const core::RunReport& report) {
+  std::vector<std::uint64_t> trace;
+  trace.reserve(report.history.size());
+  for (const core::IterationStats& it : report.history)
+    trace.push_back(it.active_vertices);
+  return trace;
+}
+
+/// Renders the trace as a fixed-height ASCII chart (iterations on x,
+/// active vertices on y, linear scale).
+std::string render_sparkline(const std::vector<std::uint64_t>& trace,
+                             int width = 72, int height = 8);
+
+/// Figure 17's metric: percentage of iterations whose frontier is below
+/// half of the lifetime peak.
+double percent_below_half_peak(const std::vector<std::uint64_t>& trace);
+
+}  // namespace gr::bench

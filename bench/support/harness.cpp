@@ -1,0 +1,217 @@
+#include "support/harness.hpp"
+
+#include <fstream>
+#include <iostream>
+
+#include "baselines/cusha/cusha.hpp"
+#include "baselines/graphchi/graphchi.hpp"
+#include "baselines/mapgraph/mapgraph.hpp"
+#include "baselines/xstream/xstream.hpp"
+#include "core/algorithms/algorithms.hpp"
+#include "graph/datasets.hpp"
+#include "support/paper_programs.hpp"
+#include "util/format.hpp"
+#include "util/log.hpp"
+
+namespace gr::bench {
+
+const char* algo_name(Algo algo) {
+  switch (algo) {
+    case Algo::kBfs: return "BFS";
+    case Algo::kSssp: return "SSSP";
+    case Algo::kPageRank: return "Pagerank";
+    case Algo::kCc: return "CC";
+  }
+  return "?";
+}
+
+PreparedDataset prepare_dataset(const std::string& name, double scale) {
+  PreparedDataset data;
+  data.name = name;
+  data.edges = graph::make_dataset(name, scale);
+  data.edges.randomize_weights(
+      1.0f, 64.0f, 0x3e16'75ULL ^ std::hash<std::string>{}(name));
+  const auto out_deg = data.edges.out_degrees();
+  graph::VertexId best = 0;
+  for (graph::VertexId v = 0; v < data.edges.num_vertices(); ++v)
+    if (out_deg[v] > out_deg[best]) best = v;
+  data.source = best;
+  return data;
+}
+
+core::EngineOptions bench_engine_options() {
+  core::EngineOptions options;
+  options.device = vgpu::DeviceConfig::bench_default();
+  return options;
+}
+
+Cell run_graphreduce(Algo algo, const PreparedDataset& data,
+                     core::EngineOptions options) {
+  const core::RunReport report = run_graphreduce_report(algo, data, options);
+  return {report.total_seconds, report.iterations, false};
+}
+
+core::RunReport run_graphreduce_report(Algo algo, const PreparedDataset& data,
+                                       core::EngineOptions options) {
+  // GraphReduce runs the paper-configured programs (float edge values on
+  // every algorithm, §6.1) so its shard traffic matches the paper's.
+  switch (algo) {
+    case Algo::kBfs: {
+      core::ProgramInstance<PaperBfs> instance;
+      const graph::VertexId source = data.source;
+      instance.init_vertex = [source](graph::VertexId v) {
+        return v == source ? 0u : PaperBfs::kUnreached;
+      };
+      instance.init_edge = [](float w) { return EdgeValue{w}; };
+      instance.frontier = core::InitialFrontier::single(source);
+      instance.default_max_iterations = data.edges.num_vertices() + 1;
+      core::Engine<PaperBfs> engine(data.edges, std::move(instance), options);
+      return engine.run();
+    }
+    case Algo::kSssp:
+      return algo::run_sssp(data.edges, data.source, options).report;
+    case Algo::kPageRank: {
+      const auto out_deg = data.edges.out_degrees();
+      core::ProgramInstance<PaperPageRank> instance;
+      instance.init_vertex = [&out_deg](graph::VertexId v) {
+        return algo::PageRank::Vertex{
+            1.0f,
+            out_deg[v] == 0 ? 0.0f : 1.0f / static_cast<float>(out_deg[v])};
+      };
+      instance.init_edge = [](float w) { return EdgeValue{w}; };
+      instance.frontier = core::InitialFrontier::all();
+      instance.default_max_iterations = kPageRankIterations;
+      core::Engine<PaperPageRank> engine(data.edges, std::move(instance),
+                                         options);
+      return engine.run();
+    }
+    case Algo::kCc: {
+      core::ProgramInstance<PaperCc> instance;
+      instance.init_vertex = [](graph::VertexId v) { return v; };
+      instance.init_edge = [](float w) { return EdgeValue{w}; };
+      instance.frontier = core::InitialFrontier::all();
+      instance.default_max_iterations = data.edges.num_vertices() + 1;
+      core::Engine<PaperCc> engine(data.edges, std::move(instance), options);
+      return engine.run();
+    }
+  }
+  GR_CHECK(false);
+  __builtin_unreachable();
+}
+
+Cell run_graphchi(Algo algo, const PreparedDataset& data) {
+  baselines::BaselineReport report;
+  switch (algo) {
+    case Algo::kBfs:
+      report = baselines::graphchi::run_bfs(data.edges, data.source).report;
+      break;
+    case Algo::kSssp:
+      report = baselines::graphchi::run_sssp(data.edges, data.source).report;
+      break;
+    case Algo::kPageRank:
+      report =
+          baselines::graphchi::run_pagerank(data.edges, kPageRankIterations)
+              .report;
+      break;
+    case Algo::kCc:
+      report = baselines::graphchi::run_cc(data.edges).report;
+      break;
+  }
+  return {report.seconds, report.iterations, false};
+}
+
+Cell run_xstream(Algo algo, const PreparedDataset& data) {
+  baselines::BaselineReport report;
+  switch (algo) {
+    case Algo::kBfs:
+      report = baselines::xstream::run_bfs(data.edges, data.source).report;
+      break;
+    case Algo::kSssp:
+      report = baselines::xstream::run_sssp(data.edges, data.source).report;
+      break;
+    case Algo::kPageRank:
+      report =
+          baselines::xstream::run_pagerank(data.edges, kPageRankIterations)
+              .report;
+      break;
+    case Algo::kCc:
+      report = baselines::xstream::run_cc(data.edges).report;
+      break;
+  }
+  return {report.seconds, report.iterations, false};
+}
+
+Cell run_cusha(Algo algo, const PreparedDataset& data) {
+  try {
+    baselines::BaselineReport report;
+    switch (algo) {
+      case Algo::kBfs:
+        report = baselines::cusha::run_bfs(data.edges, data.source).report;
+        break;
+      case Algo::kSssp:
+        report = baselines::cusha::run_sssp(data.edges, data.source).report;
+        break;
+      case Algo::kPageRank:
+        report =
+            baselines::cusha::run_pagerank(data.edges, kPageRankIterations)
+                .report;
+        break;
+      case Algo::kCc:
+        report = baselines::cusha::run_cc(data.edges).report;
+        break;
+    }
+    return {report.seconds, report.iterations, false};
+  } catch (const vgpu::DeviceOutOfMemory&) {
+    return {0.0, 0, true};
+  }
+}
+
+Cell run_mapgraph(Algo algo, const PreparedDataset& data) {
+  try {
+    baselines::BaselineReport report;
+    switch (algo) {
+      case Algo::kBfs:
+        report = baselines::mapgraph::run_bfs(data.edges, data.source).report;
+        break;
+      case Algo::kSssp:
+        report =
+            baselines::mapgraph::run_sssp(data.edges, data.source).report;
+        break;
+      case Algo::kPageRank:
+        report =
+            baselines::mapgraph::run_pagerank(data.edges, kPageRankIterations)
+                .report;
+        break;
+      case Algo::kCc:
+        report = baselines::mapgraph::run_cc(data.edges).report;
+        break;
+    }
+    return {report.seconds, report.iterations, false};
+  } catch (const vgpu::DeviceOutOfMemory&) {
+    return {0.0, 0, true};
+  }
+}
+
+std::string format_cell_seconds(const Cell& cell) {
+  if (cell.out_of_memory) return "OOM";
+  return util::format_fixed(cell.seconds, 4);
+}
+
+std::string format_cell_millis(const Cell& cell) {
+  if (cell.out_of_memory) return "OOM";
+  return util::format_fixed(cell.seconds * 1e3, 3);
+}
+
+void emit_table(const util::Table& table, const std::string& csv_path) {
+  table.print(std::cout);
+  if (csv_path.empty()) return;
+  std::ofstream os(csv_path);
+  if (!os.good()) {
+    GR_LOG_WARN("cannot write CSV to " << csv_path);
+    return;
+  }
+  table.write_csv(os);
+  GR_LOG_INFO("wrote " << csv_path);
+}
+
+}  // namespace gr::bench

@@ -1,0 +1,68 @@
+// Shared machinery for the experiment benches (DESIGN.md §5): dataset
+// preparation, framework dispatch, and result-table helpers. Every bench
+// binary regenerates one of the paper's tables or figures on the scaled
+// dataset analogs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "graph/edge_list.hpp"
+#include "util/table.hpp"
+
+namespace gr::bench {
+
+enum class Algo { kBfs, kSssp, kPageRank, kCc };
+
+inline constexpr Algo kAllAlgos[] = {Algo::kBfs, Algo::kSssp,
+                                     Algo::kPageRank, Algo::kCc};
+
+const char* algo_name(Algo algo);
+
+/// PageRank iteration budget shared by every framework (the paper runs
+/// the same algorithm configuration across systems).
+inline constexpr std::uint32_t kPageRankIterations = 50;
+
+/// One framework-algorithm-dataset measurement.
+struct Cell {
+  double seconds = 0.0;
+  std::uint32_t iterations = 0;
+  bool out_of_memory = false;  // in-memory framework refused the graph
+};
+
+/// Generates the named dataset analog with SSSP weights attached and a
+/// deterministic traversal source (the highest-out-degree vertex, so
+/// BFS/SSSP reach a large fraction of every family).
+struct PreparedDataset {
+  std::string name;
+  graph::EdgeList edges;
+  graph::VertexId source = 0;
+};
+PreparedDataset prepare_dataset(const std::string& name, double scale);
+
+// --- framework dispatch (each runs functionally; seconds are simulated)
+
+Cell run_graphreduce(Algo algo, const PreparedDataset& data,
+                     core::EngineOptions options);
+/// GraphReduce with the full run report (for frontier-trace figures).
+core::RunReport run_graphreduce_report(Algo algo, const PreparedDataset& data,
+                                       core::EngineOptions options);
+Cell run_graphchi(Algo algo, const PreparedDataset& data);
+Cell run_xstream(Algo algo, const PreparedDataset& data);
+Cell run_cusha(Algo algo, const PreparedDataset& data);
+Cell run_mapgraph(Algo algo, const PreparedDataset& data);
+
+/// Default GraphReduce options for benches (50 MB scaled K20c).
+core::EngineOptions bench_engine_options();
+
+/// "OOM" or a fixed-point seconds/milliseconds rendering.
+std::string format_cell_seconds(const Cell& cell);
+std::string format_cell_millis(const Cell& cell);
+
+/// Prints the table and, when csv_path is non-empty, writes it as CSV.
+void emit_table(const util::Table& table, const std::string& csv_path);
+
+}  // namespace gr::bench

@@ -1,0 +1,95 @@
+// Writing your own GAS algorithm — the programming-model walkthrough of
+// the paper's Figure 6, for a problem not shipped in gr::algo.
+//
+//   $ ./custom_algorithm
+//
+// Widest path (maximum bottleneck capacity): find, for every vertex, the
+// largest flow capacity deliverable from a source, where a path's
+// capacity is its narrowest edge. Max-min is a textbook GAS fit:
+//
+//   gatherMap     candidate = min(src.capacity, edge.capacity)
+//   gatherReduce  max
+//   apply         keep the best candidate; report change
+//   scatter       (none — edge capacities are immutable)
+//
+// The engine handles sharding, transfers and frontier management; the
+// program below is the complete user-supplied code.
+#include <iostream>
+#include <limits>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+using namespace gr;
+
+struct WidestPath {
+  using VertexData = float;  // best bottleneck capacity from the source
+  struct Capacity {
+    float c;
+  };
+  using EdgeData = Capacity;
+  using GatherResult = float;
+  static constexpr bool has_gather = true;
+  static constexpr bool has_scatter = false;
+
+  static GatherResult gather_identity() { return 0.0f; }
+  static GatherResult gather_map(const VertexData& src, const VertexData&,
+                                 const EdgeData& edge) {
+    return src < edge.c ? src : edge.c;  // min(src capacity, edge capacity)
+  }
+  static GatherResult gather_reduce(const GatherResult& a,
+                                    const GatherResult& b) {
+    return a > b ? a : b;  // widest alternative wins
+  }
+  static bool apply(VertexData& best, const GatherResult& candidate,
+                    const core::IterationContext&) {
+    if (candidate > best) {
+      best = candidate;
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+int main() {
+  // A pipeline network: lattice of pipes with random capacities.
+  graph::EdgeList pipes = graph::grid2d(48, 48);
+  pipes.randomize_weights(1.0f, 100.0f, /*seed=*/5);
+  const graph::VertexId source = 0;
+
+  core::ProgramInstance<WidestPath> instance;
+  instance.init_vertex = [](graph::VertexId v) {
+    return v == source ? std::numeric_limits<float>::infinity() : 0.0f;
+  };
+  instance.init_edge = [](float w) { return WidestPath::Capacity{w}; };
+  instance.frontier = core::InitialFrontier::single(source);
+  instance.default_max_iterations = pipes.num_vertices();
+
+  core::Engine<WidestPath> engine(pipes, std::move(instance));
+  const core::RunReport report = engine.run();
+
+  const auto capacity = engine.vertex_values();
+  float worst = std::numeric_limits<float>::infinity();
+  double sum = 0.0;
+  for (graph::VertexId v = 1; v < pipes.num_vertices(); ++v) {
+    worst = std::min(worst, capacity[v]);
+    sum += capacity[v];
+  }
+  std::cout << "Widest-path capacities from junction 0 over "
+            << gr::util::format_count(pipes.num_vertices())
+            << " junctions:\n"
+            << "  worst-served junction receives "
+            << gr::util::format_fixed(worst, 1) << " units\n"
+            << "  average deliverable capacity "
+            << gr::util::format_fixed(sum / (pipes.num_vertices() - 1), 1)
+            << " units\n"
+            << "  converged in " << report.iterations << " iterations, "
+            << gr::util::format_seconds(report.total_seconds)
+            << " simulated\n";
+  return 0;
+}

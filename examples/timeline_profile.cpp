@@ -1,0 +1,97 @@
+// Timeline profiling: visualize how GraphReduce overlaps transfers and
+// kernels on the virtual GPU — an ASCII Gantt chart of one PageRank
+// iteration window, comparing the optimized pipeline against the fully
+// synchronous baseline.
+//
+//   $ ./timeline_profile
+//
+// Rows are operation categories (H2D DMA, kernels, D2H DMA); columns are
+// simulated time. In the optimized chart the copy rows stay dense while
+// kernels run — the §5.1 asynchrony at work; in the unoptimized chart
+// activity alternates.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/algorithms/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/format.hpp"
+#include "vgpu/device.hpp"
+
+namespace {
+
+using namespace gr;
+
+void render_gantt(const std::vector<vgpu::TimelineEntry>& timeline,
+                  double t0, double t1, int width) {
+  struct RowSpec {
+    const char* label;
+    vgpu::TimelineEntry::Kind kind;
+  };
+  const RowSpec rows[] = {
+      {"H2D DMA ", vgpu::TimelineEntry::Kind::kH2D},
+      {"kernels ", vgpu::TimelineEntry::Kind::kKernel},
+      {"D2H DMA ", vgpu::TimelineEntry::Kind::kD2H},
+  };
+  for (const RowSpec& row : rows) {
+    std::string cells(width, '.');
+    for (const vgpu::TimelineEntry& entry : timeline) {
+      if (entry.kind != row.kind) continue;
+      if (entry.end <= t0 || entry.start >= t1) continue;
+      const int a = std::max(
+          0, static_cast<int>((entry.start - t0) / (t1 - t0) * width));
+      const int b = std::min(
+          width, 1 + static_cast<int>((entry.end - t0) / (t1 - t0) * width));
+      for (int c = a; c < b; ++c) cells[c] = '#';
+    }
+    std::cout << "  " << row.label << '|' << cells << "|\n";
+  }
+  std::cout << "           " << util::format_seconds(t0) << " .. "
+            << util::format_seconds(t1) << '\n';
+}
+
+void profile(bool optimized) {
+  const graph::EdgeList edges = graph::rmat(13, 120'000, 5);
+  core::EngineOptions options;
+  options.device.global_memory_bytes = 512 * 1024;  // streaming mode
+  options.device.record_timeline = true;
+  if (!optimized) {
+    options.async_spray = false;
+    options.phase_fusion = false;
+  }
+
+  const auto out_deg = edges.out_degrees();
+  core::ProgramInstance<algo::PageRank> instance;
+  instance.init_vertex = [&out_deg](graph::VertexId v) {
+    return algo::PageRank::Vertex{
+        1.0f,
+        out_deg[v] == 0 ? 0.0f : 1.0f / static_cast<float>(out_deg[v])};
+  };
+  instance.frontier = core::InitialFrontier::all();
+  instance.default_max_iterations = 6;
+  core::Engine<algo::PageRank> engine(edges, std::move(instance), options);
+  const core::RunReport report = engine.run();
+
+  const auto& timeline = engine.device().timeline();
+  std::cout << (optimized ? "\nOptimized pipeline"
+                          : "\nUnoptimized (synchronous, unfused)")
+            << " — " << report.partitions << " shards, total "
+            << util::format_seconds(report.total_seconds) << ", memcpy "
+            << util::format_fixed(100.0 * report.memcpy_fraction(), 1)
+            << "% of wall time, " << timeline.size() << " ops\n";
+  // Show a window from mid-run (steady state), one iteration wide.
+  const double mid = report.total_seconds * 0.5;
+  const double span = report.total_seconds / report.iterations;
+  render_gantt(timeline, mid, mid + span, 100);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "PageRank on a streamed RMAT graph: one iteration of the "
+               "device timeline.\n('#' = busy, '.' = idle)\n";
+  profile(/*optimized=*/true);
+  profile(/*optimized=*/false);
+  return 0;
+}

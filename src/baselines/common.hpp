@@ -1,0 +1,66 @@
+// Shared pieces for the four competing frameworks reimplemented for the
+// paper's evaluation: X-Stream and GraphChi (CPU, out-of-memory capable)
+// and CuSha and MapGraph (GPU, in-memory only).
+//
+// All four execute algorithms functionally (results are validated
+// against the serial references) while timing comes from either the CPU
+// cost model (cpusim) or the virtual GPU's simulated clock.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/gas.hpp"
+#include "graph/types.hpp"
+
+namespace gr::baselines {
+
+/// Timing/summary of one baseline run.
+struct BaselineReport {
+  double seconds = 0.0;
+  std::uint32_t iterations = 0;
+  bool converged = false;
+  std::uint64_t edges_streamed = 0;  // total edge visits across the run
+  std::uint64_t updates = 0;         // pushed updates / changed vertices
+};
+
+/// Values plus report.
+template <typename T>
+struct Run {
+  std::vector<T> values;
+  BaselineReport report;
+};
+
+/// Pull-style BFS as a gather program: frameworks that cannot eliminate
+/// the gather phase (CuSha/MapGraph process via in-edge pulls) run BFS
+/// as min(depth_src + 1).
+struct PullBfs {
+  using VertexData = std::uint32_t;
+  using EdgeData = core::Empty;
+  using GatherResult = std::uint32_t;
+  static constexpr bool has_gather = true;
+  static constexpr bool has_scatter = false;
+  static constexpr VertexData kUnreached =
+      std::numeric_limits<VertexData>::max();
+
+  static GatherResult gather_identity() { return kUnreached; }
+  static GatherResult gather_map(const VertexData& src, const VertexData&,
+                                 const EdgeData&) {
+    return src == kUnreached ? kUnreached : src + 1;
+  }
+  static GatherResult gather_reduce(const GatherResult& a,
+                                    const GatherResult& b) {
+    return a < b ? a : b;
+  }
+  static bool apply(VertexData& depth, const GatherResult& candidate,
+                    const core::IterationContext&) {
+    if (candidate < depth) {
+      depth = candidate;
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace gr::baselines

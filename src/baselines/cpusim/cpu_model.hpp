@@ -1,0 +1,85 @@
+// Analytic cost model for the paper's CPU baseline host: a 16-core
+// Xeon E5-2670 @ 2.6 GHz with 32 GB DDR3 (§6.1).
+//
+// CPU baselines (GraphChi / X-Stream reimplementations) execute
+// algorithms functionally and accumulate WorkCounters; this model
+// converts counters to simulated seconds. The per-framework per-edge
+// operation budgets are calibrated so the *absolute* throughputs match
+// what the paper's tables imply for the real systems (X-Stream streams
+// edges at a handful of M edges/s per the Table 2/3 wall times —
+// bookkeeping, update-file traffic and skew dominate, not DRAM
+// bandwidth); the *ratios* against GraphReduce are then emergent, not
+// fitted. Calibration constants are all in this header, in one place.
+#pragma once
+
+#include <cstdint>
+
+namespace gr::cpusim {
+
+struct CpuConfig {
+  const char* name = "xeon-e5-2670";
+  int cores = 16;
+  double frequency = 2.6e9;          // Hz
+  double ops_per_cycle = 2.0;        // simple-op superscalar throughput
+  double mem_bandwidth = 51.2e9;     // B/s, quad-channel DDR3-1600
+  /// Effective fraction of bandwidth for pointer-chasing random access
+  /// (cache-line transactions, limited MLP).
+  double random_access_efficiency = 0.20;
+  double cache_line = 64.0;
+  /// Per-parallel-region overhead (fork/join + barrier), per core sweep.
+  double sync_overhead = 8e-6;
+
+  static constexpr CpuConfig xeon_e5_2670() { return CpuConfig{}; }
+};
+
+/// Work accumulated by one functional execution.
+struct WorkCounters {
+  double simple_ops = 0;        // arithmetic/branch budget, total
+  double sequential_bytes = 0;  // streamed reads+writes
+  double random_accesses = 0;   // cache-line-granularity random touches
+  double parallel_regions = 0;  // barriers / phase switches
+
+  WorkCounters& operator+=(const WorkCounters& other) {
+    simple_ops += other.simple_ops;
+    sequential_bytes += other.sequential_bytes;
+    random_accesses += other.random_accesses;
+    parallel_regions += other.parallel_regions;
+    return *this;
+  }
+};
+
+/// Seconds this work takes on the configured host: compute and memory
+/// phases overlap (max), barriers add.
+inline double seconds_for(const CpuConfig& config,
+                          const WorkCounters& work) {
+  const double compute =
+      work.simple_ops /
+      (config.cores * config.frequency * config.ops_per_cycle);
+  const double memory =
+      work.sequential_bytes / config.mem_bandwidth +
+      work.random_accesses * config.cache_line /
+          (config.mem_bandwidth * config.random_access_efficiency);
+  const double busy = compute > memory ? compute : memory;
+  return busy + work.parallel_regions * config.sync_overhead;
+}
+
+// --- calibrated per-framework operation budgets ---
+// (simple ops charged per unit of work; see file comment)
+
+/// X-Stream: per edge streamed in the scatter phase (read, frontier
+/// test, partition append — the paper's tables imply tens of M edges/s,
+/// far below DRAM streaming rates) and per update processed in the
+/// gather phase, plus one scattered cache-line touch per update.
+inline constexpr double kXStreamOpsPerEdge = 2000.0;
+inline constexpr double kXStreamOpsPerUpdate = 500.0;
+inline constexpr double kXStreamRandomPerUpdate = 1.5;
+inline constexpr double kXStreamBytesPerEdge = 24.0;  // edge + update file
+
+/// GraphChi: per edge touched during a sub-interval's vertex-centric
+/// update (adjacency shard decoding, vertex pulls) plus per shard-load
+/// byte multiplier (it re-reads and rewrites in- and out-shard data).
+inline constexpr double kGraphChiOpsPerEdge = 6000.0;
+inline constexpr double kGraphChiShardBytesPerEdge = 32.0;
+inline constexpr double kGraphChiRandomPerEdge = 0.5;
+
+}  // namespace gr::cpusim

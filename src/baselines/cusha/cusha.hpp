@@ -1,0 +1,247 @@
+// CuSha reimplementation (Khorasani et al., HPDC'14) — the paper's
+// in-GPU-memory competitor built on G-Shards (§6.2.2, Tables 2/4).
+//
+// CuSha's design, reproduced on the virtual GPU:
+//  * the whole graph is laid out as G-Shards (edges grouped by
+//    destination window, sources and values stored as parallel arrays)
+//    and resides entirely in device memory — construction throws
+//    DeviceOutOfMemory for graphs over capacity, exactly the limitation
+//    that motivates GraphReduce;
+//  * every iteration processes EVERY shard/edge — G-Shards trade frontier
+//    selectivity for fully coalesced memory traffic (the paper's §7:
+//    CuSha addresses CSR's uncoalesced accesses). The kernel cost model
+//    therefore charges near-zero random traffic but the full edge count,
+//    which is why frontier-driven frameworks beat CuSha on traversal
+//    workloads while CuSha shines on dense ones;
+//  * a per-iteration convergence flag is reduced on device and copied
+//    back (one tiny D2H per iteration).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/common.hpp"
+#include "core/algorithms/algorithms.hpp"
+#include "core/gas.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "util/common.hpp"
+#include "vgpu/device.hpp"
+
+namespace gr::baselines::cusha {
+
+struct Options {
+  vgpu::DeviceConfig device = vgpu::DeviceConfig::bench_default();
+  std::uint32_t max_iterations = 0;  // 0 = n + 1
+  /// G-Shard window count (granularity of the shard-per-block mapping).
+  std::uint32_t windows = 26;
+};
+
+template <core::GatherProgram P>
+class Engine {
+ public:
+  using VertexData = typename P::VertexData;
+  using EdgeData = typename P::EdgeData;
+  using GatherResult = typename P::GatherResult;
+  static constexpr bool kHasEdgeState = !std::is_empty_v<EdgeData>;
+
+  /// Builds G-Shards on the device; throws DeviceOutOfMemory when the
+  /// graph exceeds device capacity (CuSha is in-memory only).
+  Engine(const graph::EdgeList& edges, core::ProgramInstance<P> instance,
+         Options options)
+      : instance_(std::move(instance)),
+        options_(options),
+        device_(std::make_unique<vgpu::Device>(options_.device)),
+        csc_(graph::Compressed::by_destination(edges)) {
+    const graph::VertexId n = edges.num_vertices();
+    const graph::EdgeId m = edges.num_edges();
+    d_offsets_ = device_->alloc<graph::EdgeId>(n + 1);
+    d_src_ = device_->alloc<graph::VertexId>(m);
+    // Double-buffered vertex state: synchronous (BSP) iterations read
+    // the previous round's values, as real CuSha's shard-parallel
+    // execution does.
+    d_state_[0] = device_->alloc<VertexData>(n);
+    d_state_[1] = device_->alloc<VertexData>(n);
+    if constexpr (kHasEdgeState) d_edge_ = device_->alloc<EdgeData>(m);
+    d_changed_ = device_->alloc<std::uint8_t>(1);
+
+    h_state_.resize(n);
+    for (graph::VertexId v = 0; v < n; ++v)
+      h_state_[v] = instance_.init_vertex(v);
+    if constexpr (kHasEdgeState) {
+      h_edge_.resize(m);
+      for (graph::EdgeId slot = 0; slot < m; ++slot)
+        h_edge_[slot] =
+            instance_.init_edge(edges.weight(csc_.original_index()[slot]));
+    }
+
+    // One-time graph upload (the in-memory premise).
+    vgpu::Stream& s = device_->default_stream();
+    device_->memcpy_h2d(s, d_offsets_.data(), csc_.offsets().data(),
+                        (n + 1) * sizeof(graph::EdgeId));
+    device_->memcpy_h2d(s, d_src_.data(), csc_.adjacency().data(),
+                        m * sizeof(graph::VertexId));
+    device_->memcpy_h2d(s, d_state_[0].data(), h_state_.data(),
+                        n * sizeof(VertexData));
+    if constexpr (kHasEdgeState)
+      device_->memcpy_h2d(s, d_edge_.data(), h_edge_.data(),
+                          m * sizeof(EdgeData));
+    device_->synchronize();
+  }
+
+  BaselineReport run() {
+    const graph::VertexId n = csc_.num_vertices();
+    const graph::EdgeId m = csc_.num_edges();
+    const std::uint32_t max_iters = options_.max_iterations != 0
+                                        ? options_.max_iterations
+                                        : instance_.default_max_iterations;
+    BaselineReport report;
+    vgpu::Stream& s = device_->default_stream();
+    std::uint8_t h_changed = 1;
+
+    std::uint32_t iter = 0;
+    while (iter < max_iters && h_changed != 0) {
+      const core::IterationContext ctx{iter};
+      // One fused shard kernel: gather + apply over ALL vertices/edges.
+      // G-Shards layout => coalesced source-value reads (shards carry a
+      // copy of the needed window), so random traffic is minimal.
+      vgpu::KernelCost cost;
+      cost.threads = m;
+      cost.flops_per_thread = 10.0;
+      // Per-edge traffic: shard entry (src value copy, indices, edge
+      // state), the window write, and the shard->global reduction pass;
+      // real CuSha lands at a few billion edges/s on Kepler, i.e. tens
+      // of effective bytes per edge, not raw-bandwidth minimum.
+      cost.sequential_bytes =
+          m * (2 * sizeof(graph::VertexId) + 2 * sizeof(VertexData) +
+               sizeof(GatherResult) * 3 +
+               (kHasEdgeState ? sizeof(EdgeData) : 0)) +
+          static_cast<std::uint64_t>(n) * sizeof(VertexData) * 4;
+      cost.random_accesses = m / 8;  // window-boundary spillover
+      const VertexData* prev = d_state_[flip_].data();
+      VertexData* cur = d_state_[1 - flip_].data();
+      device_->launch(s, cost, [this, n, ctx, prev, cur] {
+        std::uint8_t changed = 0;
+        const graph::EdgeId* off = d_offsets_.data();
+        const graph::VertexId* src = d_src_.data();
+        for (graph::VertexId v = 0; v < n; ++v) {
+          GatherResult acc = P::gather_identity();
+          for (graph::EdgeId e = off[v]; e < off[v + 1]; ++e) {
+            acc = P::gather_reduce(
+                acc, P::gather_map(prev[src[e]], prev[v],
+                                   kHasEdgeState ? d_edge_[e] : EdgeData{}));
+          }
+          cur[v] = prev[v];
+          if (P::apply(cur[v], acc, ctx)) changed = 1;
+        }
+        d_changed_[0] = changed;
+      });
+      device_->memcpy_d2h(s, &h_changed, d_changed_.data(), 1);
+      device_->synchronize();
+      flip_ = 1 - flip_;
+      report.edges_streamed += m;
+      ++iter;
+    }
+
+    device_->memcpy_d2h(s, h_state_.data(), d_state_[flip_].data(),
+                        n * sizeof(VertexData));
+    device_->synchronize();
+    report.iterations = iter;
+    report.converged = h_changed == 0;
+    report.seconds = device_->now();
+    return report;
+  }
+
+  std::span<const VertexData> vertex_values() const { return h_state_; }
+
+ private:
+  core::ProgramInstance<P> instance_;
+  Options options_;
+  std::unique_ptr<vgpu::Device> device_;
+  graph::Compressed csc_;
+  std::vector<VertexData> h_state_;
+  std::vector<EdgeData> h_edge_;
+  vgpu::DeviceBuffer<graph::EdgeId> d_offsets_;
+  vgpu::DeviceBuffer<graph::VertexId> d_src_;
+  vgpu::DeviceBuffer<VertexData> d_state_[2];
+  vgpu::DeviceBuffer<EdgeData> d_edge_;
+  vgpu::DeviceBuffer<std::uint8_t> d_changed_;
+  int flip_ = 0;
+};
+
+// --- the paper's four algorithms on CuSha ---
+
+inline Run<std::uint32_t> run_bfs(const graph::EdgeList& edges,
+                                  graph::VertexId source,
+                                  Options options = {}) {
+  core::ProgramInstance<PullBfs> instance;
+  instance.init_vertex = [source](graph::VertexId v) {
+    return v == source ? 0u : PullBfs::kUnreached;
+  };
+  instance.frontier = core::InitialFrontier::all();
+  instance.default_max_iterations = edges.num_vertices() + 1;
+  Engine<PullBfs> engine(edges, std::move(instance), options);
+  Run<std::uint32_t> out;
+  out.report = engine.run();
+  out.values.assign(engine.vertex_values().begin(),
+                    engine.vertex_values().end());
+  return out;
+}
+
+inline Run<float> run_sssp(const graph::EdgeList& edges,
+                           graph::VertexId source, Options options = {}) {
+  GR_CHECK_MSG(edges.has_weights(), "SSSP needs edge weights");
+  core::ProgramInstance<algo::Sssp> instance;
+  instance.init_vertex = [source](graph::VertexId v) {
+    return v == source ? 0.0f : std::numeric_limits<float>::infinity();
+  };
+  instance.init_edge = [](float w) { return algo::Sssp::Weight{w}; };
+  instance.frontier = core::InitialFrontier::all();
+  instance.default_max_iterations = edges.num_vertices() + 1;
+  Engine<algo::Sssp> engine(edges, std::move(instance), options);
+  Run<float> out;
+  out.report = engine.run();
+  out.values.assign(engine.vertex_values().begin(),
+                    engine.vertex_values().end());
+  return out;
+}
+
+inline Run<float> run_pagerank(const graph::EdgeList& edges,
+                               std::uint32_t max_iterations = 50,
+                               Options options = {}) {
+  const auto out_deg = edges.out_degrees();
+  core::ProgramInstance<algo::PageRank> instance;
+  instance.init_vertex = [&out_deg](graph::VertexId v) {
+    return algo::PageRank::Vertex{
+        1.0f,
+        out_deg[v] == 0 ? 0.0f : 1.0f / static_cast<float>(out_deg[v])};
+  };
+  instance.frontier = core::InitialFrontier::all();
+  instance.default_max_iterations = max_iterations;
+  Engine<algo::PageRank> engine(edges, std::move(instance), options);
+  Run<float> out;
+  out.report = engine.run();
+  out.values.reserve(edges.num_vertices());
+  for (const algo::PageRank::Vertex& v : engine.vertex_values())
+    out.values.push_back(v.rank);
+  return out;
+}
+
+inline Run<std::uint32_t> run_cc(const graph::EdgeList& edges,
+                                 Options options = {}) {
+  core::ProgramInstance<algo::ConnectedComponents> instance;
+  instance.init_vertex = [](graph::VertexId v) { return v; };
+  instance.frontier = core::InitialFrontier::all();
+  instance.default_max_iterations = edges.num_vertices() + 1;
+  Engine<algo::ConnectedComponents> engine(edges, std::move(instance),
+                                           options);
+  Run<std::uint32_t> out;
+  out.report = engine.run();
+  out.values.assign(engine.vertex_values().begin(),
+                    engine.vertex_values().end());
+  return out;
+}
+
+}  // namespace gr::baselines::cusha

@@ -1,0 +1,287 @@
+// MapGraph reimplementation (Fu et al., GRADES'14) — the paper's second
+// in-GPU-memory competitor (§6.2.2, Table 4).
+//
+// MapGraph is a GAS runtime over plain CSR/CSC with FRONTIER-driven
+// execution and dynamic scheduling: per iteration it picks a scheduling
+// strategy from the frontier size and the adjacency lists of frontier
+// vertices (scan+gather for big frontiers, per-warp/CTA dynamic
+// assignment for small ones). Reproduced here on the virtual GPU:
+//
+//  * whole graph resident in device memory (throws DeviceOutOfMemory
+//    beyond capacity);
+//  * per-iteration work proportional to the ACTIVE in-edges — unlike
+//    CuSha — but with CSR's uncoalesced source-value reads (random
+//    traffic per edge), which is the inefficiency CuSha's G-Shards fix;
+//  * a strategy-dependent overhead factor: small frontiers pay dynamic
+//    scheduling overhead, large frontiers amortize a scan pass.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "baselines/common.hpp"
+#include "core/algorithms/algorithms.hpp"
+#include "core/gas.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "util/common.hpp"
+#include "vgpu/device.hpp"
+
+namespace gr::baselines::mapgraph {
+
+struct Options {
+  vgpu::DeviceConfig device = vgpu::DeviceConfig::bench_default();
+  std::uint32_t max_iterations = 0;  // 0 = n + 1
+};
+
+template <core::GatherProgram P>
+class Engine {
+ public:
+  using VertexData = typename P::VertexData;
+  using EdgeData = typename P::EdgeData;
+  using GatherResult = typename P::GatherResult;
+  static constexpr bool kHasEdgeState = !std::is_empty_v<EdgeData>;
+
+  Engine(const graph::EdgeList& edges, core::ProgramInstance<P> instance,
+         Options options)
+      : instance_(std::move(instance)),
+        options_(options),
+        device_(std::make_unique<vgpu::Device>(options_.device)),
+        csc_(graph::Compressed::by_destination(edges)),
+        csr_(graph::Compressed::by_source(edges)) {
+    const graph::VertexId n = edges.num_vertices();
+    const graph::EdgeId m = edges.num_edges();
+    d_csc_offsets_ = device_->alloc<graph::EdgeId>(n + 1);
+    d_csc_src_ = device_->alloc<graph::VertexId>(m);
+    d_csr_offsets_ = device_->alloc<graph::EdgeId>(n + 1);
+    d_csr_dst_ = device_->alloc<graph::VertexId>(m);
+    // Double-buffered vertex state: each iteration reads the previous
+    // round's values (synchronous GAS, as MapGraph's BSP engine does).
+    d_state_[0] = device_->alloc<VertexData>(n);
+    d_state_[1] = device_->alloc<VertexData>(n);
+    if constexpr (kHasEdgeState) d_edge_ = device_->alloc<EdgeData>(m);
+    d_front_[0] = device_->alloc<std::uint8_t>(n);
+    d_front_[1] = device_->alloc<std::uint8_t>(n);
+
+    h_state_.resize(n);
+    for (graph::VertexId v = 0; v < n; ++v)
+      h_state_[v] = instance_.init_vertex(v);
+    if constexpr (kHasEdgeState) {
+      h_edge_.resize(m);
+      for (graph::EdgeId slot = 0; slot < m; ++slot)
+        h_edge_[slot] =
+            instance_.init_edge(edges.weight(csc_.original_index()[slot]));
+    }
+    h_front_.assign(n, instance_.frontier.all_vertices ? 1 : 0);
+    if (!instance_.frontier.all_vertices)
+      h_front_[instance_.frontier.source] = 1;
+
+    vgpu::Stream& s = device_->default_stream();
+    device_->memcpy_h2d(s, d_csc_offsets_.data(), csc_.offsets().data(),
+                        (n + 1) * sizeof(graph::EdgeId));
+    device_->memcpy_h2d(s, d_csc_src_.data(), csc_.adjacency().data(),
+                        m * sizeof(graph::VertexId));
+    device_->memcpy_h2d(s, d_csr_offsets_.data(), csr_.offsets().data(),
+                        (n + 1) * sizeof(graph::EdgeId));
+    device_->memcpy_h2d(s, d_csr_dst_.data(), csr_.adjacency().data(),
+                        m * sizeof(graph::VertexId));
+    device_->memcpy_h2d(s, d_state_[0].data(), h_state_.data(),
+                        n * sizeof(VertexData));
+    if constexpr (kHasEdgeState)
+      device_->memcpy_h2d(s, d_edge_.data(), h_edge_.data(),
+                          m * sizeof(EdgeData));
+    device_->memcpy_h2d(s, d_front_[0].data(), h_front_.data(), n);
+    device_->synchronize();
+  }
+
+  BaselineReport run() {
+    const graph::VertexId n = csc_.num_vertices();
+    const std::uint32_t max_iters = options_.max_iterations != 0
+                                        ? options_.max_iterations
+                                        : instance_.default_max_iterations;
+    BaselineReport report;
+    vgpu::Stream& s = device_->default_stream();
+    int flip = 0;
+
+    // Host mirror of the frontier for work estimation (MapGraph's
+    // strategy choice inspects frontier + adjacency sizes).
+    std::uint64_t frontier_size = 0;
+    std::uint64_t frontier_in_edges = 0;
+    std::uint64_t frontier_out_edges = 0;
+    auto measure = [&] {
+      frontier_size = frontier_in_edges = frontier_out_edges = 0;
+      for (graph::VertexId v = 0; v < n; ++v) {
+        if (!h_front_[v]) continue;
+        ++frontier_size;
+        frontier_in_edges += csc_.degree(v);
+        frontier_out_edges += csr_.degree(v);
+      }
+    };
+    measure();
+
+    std::uint32_t iter = 0;
+    while (iter < max_iters && frontier_size > 0) {
+      const core::IterationContext ctx{iter};
+      const std::uint8_t* cur = d_front_[flip].data();
+      std::uint8_t* next = d_front_[1 - flip].data();
+
+      // Strategy choice (the paper's §7 description): large frontiers
+      // use a scan pass (cheap per edge, one extra sweep); small ones
+      // use dynamic per-CTA assignment (higher per-edge overhead).
+      const bool big_frontier = frontier_size > n / 8;
+      const double overhead = big_frontier ? 1.2 : 2.0;
+
+      vgpu::KernelCost cost;
+      cost.threads = std::max<std::uint64_t>(frontier_in_edges, 32);
+      cost.flops_per_thread = 10.0 * overhead;
+      cost.sequential_bytes =
+          static_cast<std::uint64_t>(
+              overhead * static_cast<double>(frontier_in_edges) *
+              (sizeof(graph::VertexId) + sizeof(GatherResult))) +
+          static_cast<std::uint64_t>(n) * sizeof(VertexData) * 2;
+      // CSR gather: per-edge source-value loads are uncoalesced.
+      cost.random_accesses = frontier_in_edges;
+      const VertexData* prev_state = d_state_[state_flip_].data();
+      VertexData* cur_state = d_state_[1 - state_flip_].data();
+      device_->launch(s, cost, [this, n, ctx, cur, next, prev_state,
+                                cur_state] {
+        const graph::EdgeId* in_off = d_csc_offsets_.data();
+        const graph::VertexId* in_src = d_csc_src_.data();
+        const graph::EdgeId* out_off = d_csr_offsets_.data();
+        const graph::VertexId* out_dst = d_csr_dst_.data();
+        std::memset(next, 0, n);
+        std::memcpy(cur_state, prev_state, n * sizeof(VertexData));
+        for (graph::VertexId v = 0; v < n; ++v) {
+          if (!cur[v]) continue;
+          GatherResult acc = P::gather_identity();
+          for (graph::EdgeId e = in_off[v]; e < in_off[v + 1]; ++e) {
+            acc = P::gather_reduce(
+                acc,
+                P::gather_map(prev_state[in_src[e]], prev_state[v],
+                              kHasEdgeState ? d_edge_[e] : EdgeData{}));
+          }
+          bool ch = P::apply(cur_state[v], acc, ctx);
+          if (ctx.iteration == 0) ch = true;  // seed propagates
+          if (!ch) continue;
+          for (graph::EdgeId e = out_off[v]; e < out_off[v + 1]; ++e)
+            next[out_dst[e]] = 1;
+        }
+      });
+      state_flip_ = 1 - state_flip_;
+      // Activation sweep cost folds into the same kernel; pull the next
+      // frontier bitmap to the host for strategy selection.
+      device_->memcpy_d2h(s, h_front_.data(), next, n);
+      device_->synchronize();
+      report.edges_streamed += frontier_in_edges;
+      report.updates += frontier_size;
+      flip = 1 - flip;
+      measure();
+      ++iter;
+    }
+
+    device_->memcpy_d2h(s, h_state_.data(), d_state_[state_flip_].data(),
+                        n * sizeof(VertexData));
+    device_->synchronize();
+    report.iterations = iter;
+    report.converged = frontier_size == 0;
+    report.seconds = device_->now();
+    return report;
+  }
+
+  std::span<const VertexData> vertex_values() const { return h_state_; }
+
+ private:
+  core::ProgramInstance<P> instance_;
+  Options options_;
+  std::unique_ptr<vgpu::Device> device_;
+  graph::Compressed csc_;
+  graph::Compressed csr_;
+  std::vector<VertexData> h_state_;
+  std::vector<EdgeData> h_edge_;
+  std::vector<std::uint8_t> h_front_;
+  vgpu::DeviceBuffer<graph::EdgeId> d_csc_offsets_;
+  vgpu::DeviceBuffer<graph::VertexId> d_csc_src_;
+  vgpu::DeviceBuffer<graph::EdgeId> d_csr_offsets_;
+  vgpu::DeviceBuffer<graph::VertexId> d_csr_dst_;
+  vgpu::DeviceBuffer<VertexData> d_state_[2];
+  vgpu::DeviceBuffer<EdgeData> d_edge_;
+  vgpu::DeviceBuffer<std::uint8_t> d_front_[2];
+  int state_flip_ = 0;
+};
+
+// --- the paper's four algorithms on MapGraph ---
+
+inline Run<std::uint32_t> run_bfs(const graph::EdgeList& edges,
+                                  graph::VertexId source,
+                                  Options options = {}) {
+  core::ProgramInstance<PullBfs> instance;
+  instance.init_vertex = [source](graph::VertexId v) {
+    return v == source ? 0u : PullBfs::kUnreached;
+  };
+  instance.frontier = core::InitialFrontier::single(source);
+  instance.default_max_iterations = edges.num_vertices() + 1;
+  Engine<PullBfs> engine(edges, std::move(instance), options);
+  Run<std::uint32_t> out;
+  out.report = engine.run();
+  out.values.assign(engine.vertex_values().begin(),
+                    engine.vertex_values().end());
+  return out;
+}
+
+inline Run<float> run_sssp(const graph::EdgeList& edges,
+                           graph::VertexId source, Options options = {}) {
+  GR_CHECK_MSG(edges.has_weights(), "SSSP needs edge weights");
+  core::ProgramInstance<algo::Sssp> instance;
+  instance.init_vertex = [source](graph::VertexId v) {
+    return v == source ? 0.0f : std::numeric_limits<float>::infinity();
+  };
+  instance.init_edge = [](float w) { return algo::Sssp::Weight{w}; };
+  instance.frontier = core::InitialFrontier::single(source);
+  instance.default_max_iterations = edges.num_vertices() + 1;
+  Engine<algo::Sssp> engine(edges, std::move(instance), options);
+  Run<float> out;
+  out.report = engine.run();
+  out.values.assign(engine.vertex_values().begin(),
+                    engine.vertex_values().end());
+  return out;
+}
+
+inline Run<float> run_pagerank(const graph::EdgeList& edges,
+                               std::uint32_t max_iterations = 50,
+                               Options options = {}) {
+  const auto out_deg = edges.out_degrees();
+  core::ProgramInstance<algo::PageRank> instance;
+  instance.init_vertex = [&out_deg](graph::VertexId v) {
+    return algo::PageRank::Vertex{
+        1.0f,
+        out_deg[v] == 0 ? 0.0f : 1.0f / static_cast<float>(out_deg[v])};
+  };
+  instance.frontier = core::InitialFrontier::all();
+  instance.default_max_iterations = max_iterations;
+  Engine<algo::PageRank> engine(edges, std::move(instance), options);
+  Run<float> out;
+  out.report = engine.run();
+  out.values.reserve(edges.num_vertices());
+  for (const algo::PageRank::Vertex& v : engine.vertex_values())
+    out.values.push_back(v.rank);
+  return out;
+}
+
+inline Run<std::uint32_t> run_cc(const graph::EdgeList& edges,
+                                 Options options = {}) {
+  core::ProgramInstance<algo::ConnectedComponents> instance;
+  instance.init_vertex = [](graph::VertexId v) { return v; };
+  instance.frontier = core::InitialFrontier::all();
+  instance.default_max_iterations = edges.num_vertices() + 1;
+  Engine<algo::ConnectedComponents> engine(edges, std::move(instance),
+                                           options);
+  Run<std::uint32_t> out;
+  out.report = engine.run();
+  out.values.assign(engine.vertex_values().begin(),
+                    engine.vertex_values().end());
+  return out;
+}
+
+}  // namespace gr::baselines::mapgraph

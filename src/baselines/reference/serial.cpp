@@ -1,0 +1,182 @@
+#include "baselines/reference/serial.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "graph/csr.hpp"
+#include "util/common.hpp"
+
+namespace gr::baselines::reference {
+
+using graph::Compressed;
+using graph::EdgeId;
+using graph::EdgeList;
+using graph::VertexId;
+
+std::vector<std::uint32_t> bfs_depths(const EdgeList& edges,
+                                      VertexId source) {
+  const Compressed csr = Compressed::by_source(edges);
+  std::vector<std::uint32_t> depth(
+      edges.num_vertices(), std::numeric_limits<std::uint32_t>::max());
+  std::queue<VertexId> queue;
+  depth[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop();
+    for (VertexId v : csr.neighbors(u)) {
+      if (depth[v] != std::numeric_limits<std::uint32_t>::max()) continue;
+      depth[v] = depth[u] + 1;
+      queue.push(v);
+    }
+  }
+  return depth;
+}
+
+std::vector<float> sssp_distances(const EdgeList& edges, VertexId source) {
+  GR_CHECK_MSG(edges.has_weights(), "SSSP reference needs weights");
+  const Compressed csr = Compressed::by_source(edges);
+  std::vector<float> dist(edges.num_vertices(),
+                          std::numeric_limits<float>::infinity());
+  using Entry = std::pair<float, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[source] = 0.0f;
+  heap.push({0.0f, source});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    const auto offs = csr.offsets();
+    for (EdgeId slot = offs[u]; slot < offs[u + 1]; ++slot) {
+      const VertexId v = csr.adjacency()[slot];
+      const float w = edges.weight(csr.original_index()[slot]);
+      GR_CHECK_MSG(w >= 0.0f, "negative weight in SSSP reference");
+      if (dist[u] + w < dist[v]) {
+        dist[v] = dist[u] + w;
+        heap.push({dist[v], v});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<float> pagerank(const EdgeList& edges, std::uint32_t iterations,
+                            float damping) {
+  const VertexId n = edges.num_vertices();
+  const auto out_deg = edges.out_degrees();
+  std::vector<float> rank(n, 1.0f);
+  std::vector<float> next(n, 0.0f);
+  const Compressed csc = Compressed::by_destination(edges);
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    for (VertexId v = 0; v < n; ++v) {
+      float sum = 0.0f;
+      for (VertexId u : csc.neighbors(v))
+        sum += rank[u] / static_cast<float>(out_deg[u]);
+      next[v] = (1.0f - damping) + damping * sum;
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<std::uint32_t> weak_components(const EdgeList& edges) {
+  const VertexId n = edges.num_vertices();
+  std::vector<VertexId> parent(n);
+  for (VertexId v = 0; v < n; ++v) parent[v] = v;
+  auto find = [&](VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const graph::Edge& e : edges.edges()) {
+    VertexId a = find(e.src);
+    VertexId b = find(e.dst);
+    if (a == b) continue;
+    if (a < b) std::swap(a, b);  // root at the smaller id
+    parent[a] = b;
+  }
+  std::vector<std::uint32_t> label(n);
+  for (VertexId v = 0; v < n; ++v) label[v] = find(v);
+  return label;
+}
+
+std::vector<std::uint32_t> min_label_fixpoint(const EdgeList& edges) {
+  const VertexId n = edges.num_vertices();
+  std::vector<std::uint32_t> label(n);
+  for (VertexId v = 0; v < n; ++v) label[v] = v;
+  // Bellman-Ford-style relaxation until no label shrinks.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const graph::Edge& e : edges.edges()) {
+      if (label[e.src] < label[e.dst]) {
+        label[e.dst] = label[e.src];
+        changed = true;
+      }
+    }
+  }
+  return label;
+}
+
+std::vector<float> spmv(const EdgeList& edges, const std::vector<float>& x) {
+  GR_CHECK(x.size() == edges.num_vertices());
+  GR_CHECK_MSG(edges.has_weights(), "SpMV reference needs weights");
+  std::vector<float> y(edges.num_vertices(), 0.0f);
+  for (EdgeId i = 0; i < edges.num_edges(); ++i) {
+    const graph::Edge& e = edges.edge(i);
+    y[e.dst] += edges.weight(i) * x[e.src];
+  }
+  return y;
+}
+
+std::vector<float> heat(const EdgeList& edges,
+                        const std::vector<float>& initial,
+                        std::uint32_t rounds, float alpha) {
+  GR_CHECK(initial.size() == edges.num_vertices());
+  const VertexId n = edges.num_vertices();
+  const auto in_deg = edges.in_degrees();
+  const Compressed csc = Compressed::by_destination(edges);
+  std::vector<float> temp = initial;
+  std::vector<float> next(n, 0.0f);
+  for (std::uint32_t it = 0; it < rounds; ++it) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (in_deg[v] == 0) {
+        next[v] = temp[v];
+        continue;
+      }
+      float sum = 0.0f;
+      for (VertexId u : csc.neighbors(v)) sum += temp[u];
+      const float average = sum / static_cast<float>(in_deg[v]);
+      next[v] = temp[v] + alpha * (average - temp[v]);
+    }
+    temp.swap(next);
+  }
+  return temp;
+}
+
+std::vector<bool> kcore_membership(const EdgeList& edges, std::uint32_t k) {
+  const VertexId n = edges.num_vertices();
+  const Compressed csr = Compressed::by_source(edges);
+  std::vector<std::uint64_t> alive_deg(n);
+  std::vector<bool> alive(n, true);
+  for (VertexId v = 0; v < n; ++v) alive_deg[v] = csr.degree(v);
+  std::queue<VertexId> peel;
+  for (VertexId v = 0; v < n; ++v)
+    if (alive_deg[v] < k) peel.push(v);
+  while (!peel.empty()) {
+    const VertexId u = peel.front();
+    peel.pop();
+    if (!alive[u]) continue;
+    alive[u] = false;
+    for (VertexId v : csr.neighbors(u)) {
+      if (!alive[v]) continue;
+      if (--alive_deg[v] < k && alive_deg[v] + 1 >= k) peel.push(v);
+    }
+  }
+  return alive;
+}
+
+}  // namespace gr::baselines::reference

@@ -1,0 +1,52 @@
+// Serial reference implementations used as correctness oracles for
+// GraphReduce and every baseline framework. Straightforward textbook
+// algorithms — slow, obvious, and independent of the GAS machinery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace gr::baselines::reference {
+
+/// BFS hop distances from source (~0u for unreachable vertices).
+std::vector<std::uint32_t> bfs_depths(const graph::EdgeList& edges,
+                                      graph::VertexId source);
+
+/// Dijkstra distances from source (+inf for unreachable vertices).
+std::vector<float> sssp_distances(const graph::EdgeList& edges,
+                                  graph::VertexId source);
+
+/// Power-iteration PageRank with damping 0.85. Matches the GAS variant:
+/// each iteration is rank = (1-d) + d * sum(rank_in/out_deg_in), no sink
+/// redistribution, `iterations` full synchronous rounds.
+std::vector<float> pagerank(const graph::EdgeList& edges,
+                            std::uint32_t iterations,
+                            float damping = 0.85f);
+
+/// Label-propagation component labels: every vertex gets the minimum
+/// vertex id reachable over undirected interpretation of the edges.
+/// (For undirected inputs stored as directed pairs this equals the GAS
+/// CC fixpoint.)
+std::vector<std::uint32_t> weak_components(const graph::EdgeList& edges);
+
+/// Directed min-label fixpoint (the exact fixpoint of the paper's Fig. 6
+/// CC program on an arbitrary directed graph).
+std::vector<std::uint32_t> min_label_fixpoint(const graph::EdgeList& edges);
+
+/// Dense y = A x with a_{dst,src} = weight(edge).
+std::vector<float> spmv(const graph::EdgeList& edges,
+                        const std::vector<float>& x);
+
+/// Jacobi heat relaxation matching gr::algo::Heat.
+std::vector<float> heat(const graph::EdgeList& edges,
+                        const std::vector<float>& initial,
+                        std::uint32_t rounds, float alpha = 0.5f);
+
+/// k-core membership via iterative peeling (undirected interpretation:
+/// a vertex's neighbour count is its in-degree over directed pairs).
+std::vector<bool> kcore_membership(const graph::EdgeList& edges,
+                                   std::uint32_t k);
+
+}  // namespace gr::baselines::reference

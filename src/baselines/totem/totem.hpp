@@ -1,0 +1,320 @@
+// Totem reimplementation (Gharaibeh et al., PACT'12) — the hybrid
+// CPU+GPU approach the paper's §2.2 contrasts GraphReduce against.
+//
+// Totem statically partitions the graph once: high-degree vertices go to
+// the GPU until its memory is full, the low-degree remainder stays on
+// the CPU. Every BSP superstep both processors update their own
+// vertices in parallel and then exchange boundary messages over PCIe.
+// The paper's critique, which this model reproduces: only a FIXED
+// subgraph ever benefits from the GPU, so as the graph grows the CPU
+// side becomes the bottleneck and the GPU sits underutilized — exactly
+// the gap GraphReduce's shard streaming closes.
+//
+// Execution is functional (pull-gather BSP validated against the serial
+// references); per-superstep time is max(gpu_side, cpu_side) + boundary
+// exchange, with the GPU side costed by the vgpu kernel model and the
+// CPU side by the cpusim Xeon model.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "baselines/common.hpp"
+#include "baselines/cpusim/cpu_model.hpp"
+#include "core/algorithms/algorithms.hpp"
+#include "core/engine.hpp"  // kReservedBytesPerEdge/Vertex
+#include "core/gas.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "util/common.hpp"
+#include "vgpu/config.hpp"
+#include "vgpu/kernel.hpp"
+
+namespace gr::baselines::totem {
+
+struct Options {
+  vgpu::DeviceConfig device = vgpu::DeviceConfig::bench_default();
+  cpusim::CpuConfig cpu = cpusim::CpuConfig::xeon_e5_2670();
+  std::uint32_t max_iterations = 0;  // 0 = n + 1
+  /// Fraction of device memory available for the static partition
+  /// (vertex state, both adjacency directions, runtime buffers).
+  double device_budget_fraction = 0.9;
+};
+
+/// Per-run placement/summary statistics.
+struct PlacementReport : BaselineReport {
+  std::uint64_t gpu_vertices = 0;
+  std::uint64_t gpu_edges = 0;         // in-edges owned by the GPU side
+  std::uint64_t boundary_vertices = 0; // vertices with cross-side edges
+  double gpu_busy_seconds = 0.0;
+  double cpu_busy_seconds = 0.0;
+  double exchange_seconds = 0.0;
+};
+
+template <core::GatherProgram P>
+class Engine {
+ public:
+  using VertexData = typename P::VertexData;
+  using EdgeData = typename P::EdgeData;
+  using GatherResult = typename P::GatherResult;
+  static constexpr bool kHasEdgeState = !std::is_empty_v<EdgeData>;
+
+  Engine(const graph::EdgeList& edges, core::ProgramInstance<P> instance,
+         Options options)
+      : instance_(std::move(instance)),
+        options_(options),
+        csc_(graph::Compressed::by_destination(edges)),
+        csr_(graph::Compressed::by_source(edges)) {
+    const graph::VertexId n = edges.num_vertices();
+    state_.resize(n);
+    for (graph::VertexId v = 0; v < n; ++v)
+      state_[v] = instance_.init_vertex(v);
+    if constexpr (kHasEdgeState) {
+      edge_state_.resize(edges.num_edges());
+      for (graph::EdgeId slot = 0; slot < edges.num_edges(); ++slot)
+        edge_state_[slot] =
+            instance_.init_edge(edges.weight(csc_.original_index()[slot]));
+    }
+    place_vertices(edges);
+  }
+
+  /// Which vertices ended up on the GPU (1) vs CPU (0).
+  std::span<const std::uint8_t> placement() const { return on_gpu_; }
+
+  PlacementReport run() {
+    const graph::VertexId n = csc_.num_vertices();
+    const std::uint32_t max_iters = options_.max_iterations != 0
+                                        ? options_.max_iterations
+                                        : instance_.default_max_iterations;
+    std::vector<std::uint8_t> active(n, 0);
+    if (instance_.frontier.all_vertices)
+      std::fill(active.begin(), active.end(), std::uint8_t{1});
+    else
+      active[instance_.frontier.source] = 1;
+    std::vector<std::uint8_t> next(n, 0);
+    std::vector<VertexData> prev = state_;  // BSP snapshot
+
+    PlacementReport report;
+    report.gpu_vertices = gpu_vertices_;
+    report.gpu_edges = gpu_in_edges_;
+    report.boundary_vertices = boundary_vertices_;
+
+    std::uint32_t iter = 0;
+    bool any = true;
+    while (iter < max_iters && any) {
+      const core::IterationContext ctx{iter};
+      prev = state_;
+      std::uint64_t gpu_active_edges = 0;
+      std::uint64_t cpu_active_edges = 0;
+      std::uint64_t gpu_active = 0;
+      std::uint64_t cpu_active = 0;
+      std::uint64_t changed = 0;
+
+      for (graph::VertexId v = 0; v < n; ++v) {
+        if (!active[v]) continue;
+        const std::uint64_t deg = csc_.degree(v);
+        if (on_gpu_[v]) {
+          ++gpu_active;
+          gpu_active_edges += deg;
+        } else {
+          ++cpu_active;
+          cpu_active_edges += deg;
+        }
+        GatherResult acc = P::gather_identity();
+        const auto offs = csc_.offsets();
+        for (graph::EdgeId e = offs[v]; e < offs[v + 1]; ++e) {
+          acc = P::gather_reduce(
+              acc, P::gather_map(prev[csc_.adjacency()[e]], prev[v],
+                                 kHasEdgeState ? edge_state_[e]
+                                               : EdgeData{}));
+        }
+        bool ch = P::apply(state_[v], acc, ctx);
+        if (iter == 0) ch = true;
+        if (!ch) continue;
+        ++changed;
+        const auto out = csr_.offsets();
+        for (graph::EdgeId e = out[v]; e < out[v + 1]; ++e)
+          next[csr_.adjacency()[e]] = 1;
+      }
+
+      // --- timing: both sides compute in parallel, then exchange ---
+      vgpu::KernelCost gpu_cost;
+      gpu_cost.threads = gpu_active_edges;
+      gpu_cost.flops_per_thread = 8.0;
+      gpu_cost.sequential_bytes =
+          gpu_active_edges * (sizeof(graph::VertexId) +
+                              sizeof(GatherResult));
+      gpu_cost.random_accesses = gpu_active_edges;  // CSR source pulls
+      const double gpu_time =
+          gpu_active_edges == 0
+              ? 0.0
+              : options_.device.kernel_launch_latency +
+                    gpu_cost.work_seconds(options_.device) /
+                        gpu_cost.rate_cap(options_.device);
+
+      cpusim::WorkCounters cpu_work;
+      cpu_work.simple_ops = static_cast<double>(cpu_active_edges) *
+                            cpusim::kGraphChiOpsPerEdge;
+      cpu_work.random_accesses = static_cast<double>(cpu_active_edges) *
+                                 cpusim::kGraphChiRandomPerEdge;
+      cpu_work.sequential_bytes =
+          static_cast<double>(cpu_active_edges) * 12.0;
+      cpu_work.parallel_regions = cpu_active == 0 ? 0 : 1;
+      const double cpu_time = cpusim::seconds_for(options_.cpu, cpu_work);
+
+      // Boundary exchange: changed boundary vertices' values cross PCIe.
+      const double exchange =
+          options_.device.memcpy_setup_latency * 2 +
+          static_cast<double>(boundary_vertices_) * sizeof(VertexData) /
+              (options_.device.pcie_bandwidth * options_.device.dma_efficiency);
+
+      report.gpu_busy_seconds += gpu_time;
+      report.cpu_busy_seconds += cpu_time;
+      report.exchange_seconds += exchange;
+      report.seconds += std::max(gpu_time, cpu_time) + exchange;
+      report.edges_streamed += gpu_active_edges + cpu_active_edges;
+      report.updates += changed;
+
+      active.swap(next);
+      std::fill(next.begin(), next.end(), std::uint8_t{0});
+      any = changed > 0;
+      ++iter;
+    }
+
+    report.iterations = iter;
+    report.converged = !any;
+    return report;
+  }
+
+  std::span<const VertexData> vertex_values() const { return state_; }
+
+ private:
+  void place_vertices(const graph::EdgeList& edges) {
+    const graph::VertexId n = edges.num_vertices();
+    on_gpu_.assign(n, 0);
+    // High-degree vertices first (Totem places hubs on the GPU).
+    std::vector<graph::VertexId> order(n);
+    std::iota(order.begin(), order.end(), graph::VertexId{0});
+    std::sort(order.begin(), order.end(),
+              [&](graph::VertexId a, graph::VertexId b) {
+                return csc_.degree(a) + csr_.degree(a) >
+                       csc_.degree(b) + csr_.degree(b);
+              });
+    const double budget =
+        static_cast<double>(options_.device.global_memory_bytes) *
+        options_.device_budget_fraction;
+    // Per-vertex device bytes: state plus both adjacency directions,
+    // budgeted with the same conservative reservation GraphReduce uses
+    // (Table 1's footprint model) so the two systems see one device.
+    double used = 0.0;
+    for (graph::VertexId v : order) {
+      const double bytes =
+          sizeof(VertexData) + core::kReservedBytesPerVertex +
+          static_cast<double>(csc_.degree(v) + csr_.degree(v)) *
+              core::kReservedBytesPerEdge / 2.0;
+      if (used + bytes > budget) continue;  // stays on the CPU
+      used += bytes;
+      on_gpu_[v] = 1;
+      ++gpu_vertices_;
+      gpu_in_edges_ += csc_.degree(v);
+    }
+    // Boundary: vertices incident to a cross-placement edge.
+    std::vector<std::uint8_t> boundary(n, 0);
+    for (const graph::Edge& e : edges.edges()) {
+      if (on_gpu_[e.src] != on_gpu_[e.dst]) {
+        boundary[e.src] = 1;
+        boundary[e.dst] = 1;
+      }
+    }
+    boundary_vertices_ = std::accumulate(boundary.begin(), boundary.end(),
+                                         std::uint64_t{0});
+  }
+
+  core::ProgramInstance<P> instance_;
+  Options options_;
+  graph::Compressed csc_;
+  graph::Compressed csr_;
+  std::vector<VertexData> state_;
+  std::vector<EdgeData> edge_state_;  // CSC slot order
+  std::vector<std::uint8_t> on_gpu_;
+  std::uint64_t gpu_vertices_ = 0;
+  std::uint64_t gpu_in_edges_ = 0;
+  std::uint64_t boundary_vertices_ = 0;
+};
+
+// --- convenience wrappers (pull-BFS like the GPU in-memory baselines) --
+
+inline Run<std::uint32_t> run_bfs(const graph::EdgeList& edges,
+                                  graph::VertexId source,
+                                  Options options = {}) {
+  core::ProgramInstance<PullBfs> instance;
+  instance.init_vertex = [source](graph::VertexId v) {
+    return v == source ? 0u : PullBfs::kUnreached;
+  };
+  instance.frontier = core::InitialFrontier::single(source);
+  instance.default_max_iterations = edges.num_vertices() + 1;
+  Engine<PullBfs> engine(edges, std::move(instance), options);
+  Run<std::uint32_t> out;
+  out.report = engine.run();
+  out.values.assign(engine.vertex_values().begin(),
+                    engine.vertex_values().end());
+  return out;
+}
+
+inline Run<float> run_pagerank(const graph::EdgeList& edges,
+                               std::uint32_t max_iterations = 50,
+                               Options options = {}) {
+  const auto out_deg = edges.out_degrees();
+  core::ProgramInstance<algo::PageRank> instance;
+  instance.init_vertex = [&out_deg](graph::VertexId v) {
+    return algo::PageRank::Vertex{
+        1.0f,
+        out_deg[v] == 0 ? 0.0f : 1.0f / static_cast<float>(out_deg[v])};
+  };
+  instance.frontier = core::InitialFrontier::all();
+  instance.default_max_iterations = max_iterations;
+  Engine<algo::PageRank> engine(edges, std::move(instance), options);
+  Run<float> out;
+  out.report = engine.run();
+  out.values.reserve(edges.num_vertices());
+  for (const algo::PageRank::Vertex& v : engine.vertex_values())
+    out.values.push_back(v.rank);
+  return out;
+}
+
+inline Run<std::uint32_t> run_cc(const graph::EdgeList& edges,
+                                 Options options = {}) {
+  core::ProgramInstance<algo::ConnectedComponents> instance;
+  instance.init_vertex = [](graph::VertexId v) { return v; };
+  instance.frontier = core::InitialFrontier::all();
+  instance.default_max_iterations = edges.num_vertices() + 1;
+  Engine<algo::ConnectedComponents> engine(edges, std::move(instance),
+                                           options);
+  Run<std::uint32_t> out;
+  out.report = engine.run();
+  out.values.assign(engine.vertex_values().begin(),
+                    engine.vertex_values().end());
+  return out;
+}
+
+/// Full placement diagnostics for a PageRank run (used by the extension
+/// bench to show GPU underutilization as graphs outgrow the device).
+inline PlacementReport pagerank_placement(const graph::EdgeList& edges,
+                                          std::uint32_t max_iterations,
+                                          Options options = {}) {
+  const auto out_deg = edges.out_degrees();
+  core::ProgramInstance<algo::PageRank> instance;
+  instance.init_vertex = [&out_deg](graph::VertexId v) {
+    return algo::PageRank::Vertex{
+        1.0f,
+        out_deg[v] == 0 ? 0.0f : 1.0f / static_cast<float>(out_deg[v])};
+  };
+  instance.frontier = core::InitialFrontier::all();
+  instance.default_max_iterations = max_iterations;
+  Engine<algo::PageRank> engine(edges, std::move(instance), options);
+  return engine.run();
+}
+
+}  // namespace gr::baselines::totem

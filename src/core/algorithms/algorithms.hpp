@@ -1,0 +1,503 @@
+// The paper's four evaluated algorithms (BFS, SSSP, PageRank, Connected
+// Components) plus two of the GAS model's generality examples the paper
+// cites (§2.1): sparse matrix-vector product and heat simulation.
+//
+// Each algorithm is (a) a GAS program struct usable directly with
+// gr::core::Engine, and (b) a convenience run_*() wrapper that seeds the
+// instance and returns results plus the engine's RunReport.
+//
+// Phase usage mirrors the paper:
+//   * BFS defines only apply (depth = iteration number); gather and
+//     scatter are eliminated, so GraphReduce never moves in-edge arrays
+//     (dynamic phase elimination, §5.3) and fuses apply with
+//     frontierActivate (dynamic phase fusion);
+//   * SSSP/CC gather with a min-reduction (Fig. 6 shows CC verbatim);
+//   * PageRank gathers rank/out_degree sums; no scatter (§2.1).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/gas.hpp"
+#include "graph/edge_list.hpp"
+
+namespace gr::algo {
+
+using core::Empty;
+using core::IterationContext;
+
+// ---------------------------------------------------------------------
+// BFS — apply-only program (paper §5.3).
+// ---------------------------------------------------------------------
+
+struct Bfs {
+  using VertexData = std::uint32_t;  // depth; ~0u = unreached
+  using EdgeData = Empty;
+  using GatherResult = Empty;
+  static constexpr bool has_gather = false;
+  static constexpr bool has_scatter = false;
+  static constexpr VertexData kUnreached =
+      std::numeric_limits<VertexData>::max();
+
+  static bool apply(VertexData& depth, const GatherResult&,
+                    const IterationContext& ctx) {
+    if (depth != kUnreached) return false;
+    depth = ctx.iteration;
+    return true;
+  }
+};
+
+struct BfsResult {
+  std::vector<std::uint32_t> depth;
+  core::RunReport report;
+};
+
+inline BfsResult run_bfs(const graph::EdgeList& edges,
+                         graph::VertexId source,
+                         core::EngineOptions options = {}) {
+  core::ProgramInstance<Bfs> instance;
+  instance.init_vertex = [source](graph::VertexId v) {
+    return v == source ? 0u : Bfs::kUnreached;
+  };
+  instance.frontier = core::InitialFrontier::single(source);
+  instance.default_max_iterations = edges.num_vertices() + 1;
+  core::Engine<Bfs> engine(edges, std::move(instance), options);
+  BfsResult result;
+  result.report = engine.run();
+  result.depth.assign(engine.vertex_values().begin(),
+                      engine.vertex_values().end());
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// SSSP — gather(min) over weighted in-edges.
+// ---------------------------------------------------------------------
+
+struct Sssp {
+  using VertexData = float;  // distance; +inf = unreached
+  struct Weight {
+    float w;
+  };
+  using EdgeData = Weight;
+  using GatherResult = float;
+  static constexpr bool has_gather = true;
+  static constexpr bool has_scatter = false;
+
+  static GatherResult gather_identity() {
+    return std::numeric_limits<float>::infinity();
+  }
+  static GatherResult gather_map(const VertexData& src, const VertexData&,
+                                 const EdgeData& edge) {
+    return src + edge.w;
+  }
+  static GatherResult gather_reduce(const GatherResult& a,
+                                    const GatherResult& b) {
+    return a < b ? a : b;
+  }
+  static bool apply(VertexData& dist, const GatherResult& candidate,
+                    const IterationContext&) {
+    if (candidate < dist) {
+      dist = candidate;
+      return true;
+    }
+    return false;
+  }
+};
+
+struct SsspResult {
+  std::vector<float> distance;
+  core::RunReport report;
+};
+
+inline SsspResult run_sssp(const graph::EdgeList& edges,
+                           graph::VertexId source,
+                           core::EngineOptions options = {}) {
+  GR_CHECK_MSG(edges.has_weights(), "SSSP needs edge weights");
+  core::ProgramInstance<Sssp> instance;
+  instance.init_vertex = [source](graph::VertexId v) {
+    return v == source ? 0.0f : std::numeric_limits<float>::infinity();
+  };
+  instance.init_edge = [](float w) { return Sssp::Weight{w}; };
+  instance.frontier = core::InitialFrontier::single(source);
+  instance.default_max_iterations = edges.num_vertices() + 1;
+  core::Engine<Sssp> engine(edges, std::move(instance), options);
+  SsspResult result;
+  result.report = engine.run();
+  result.distance.assign(engine.vertex_values().begin(),
+                         engine.vertex_values().end());
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// PageRank — gather(sum of rank/out_degree); frontier decays with the
+// per-vertex convergence threshold (paper Fig. 3/16).
+// ---------------------------------------------------------------------
+
+struct PageRank {
+  struct Vertex {
+    float rank;
+    float inv_out_degree;  // 1/out_degree, 0 for sinks
+  };
+  using VertexData = Vertex;
+  using EdgeData = Empty;
+  using GatherResult = float;
+  static constexpr bool has_gather = true;
+  static constexpr bool has_scatter = false;
+  static constexpr float kDamping = 0.85f;
+  /// Per-vertex convergence threshold; a vertex leaves the frontier once
+  /// its rank delta falls below this (re-entering if a neighbour moves).
+  static constexpr float kEpsilon = 1e-4f;
+
+  static GatherResult gather_identity() { return 0.0f; }
+  static GatherResult gather_map(const VertexData& src, const VertexData&,
+                                 const EdgeData&) {
+    return src.rank * src.inv_out_degree;
+  }
+  static GatherResult gather_reduce(const GatherResult& a,
+                                    const GatherResult& b) {
+    return a + b;
+  }
+  static bool apply(VertexData& v, const GatherResult& sum,
+                    const IterationContext&) {
+    // Note: the paper prints "R = 0.85 + 0.15 * G"; we use the standard
+    // damping formula (DESIGN.md §6).
+    const float next = (1.0f - kDamping) + kDamping * sum;
+    const bool changed = std::abs(next - v.rank) > kEpsilon;
+    v.rank = next;
+    return changed;
+  }
+};
+
+struct PageRankResult {
+  std::vector<float> rank;
+  core::RunReport report;
+};
+
+inline PageRankResult run_pagerank(const graph::EdgeList& edges,
+                                   std::uint32_t max_iterations = 50,
+                                   core::EngineOptions options = {}) {
+  const auto out_deg = edges.out_degrees();
+  core::ProgramInstance<PageRank> instance;
+  instance.init_vertex = [&out_deg](graph::VertexId v) {
+    PageRank::Vertex data;
+    data.rank = 1.0f;
+    data.inv_out_degree =
+        out_deg[v] == 0 ? 0.0f : 1.0f / static_cast<float>(out_deg[v]);
+    return data;
+  };
+  instance.frontier = core::InitialFrontier::all();
+  instance.default_max_iterations = max_iterations;
+  core::Engine<PageRank> engine(edges, std::move(instance), options);
+  PageRankResult result;
+  result.report = engine.run();
+  result.rank.reserve(edges.num_vertices());
+  for (const PageRank::Vertex& v : engine.vertex_values())
+    result.rank.push_back(v.rank);
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Connected Components — the paper's Figure 6 program, verbatim logic.
+// Expects undirected inputs stored as directed edge pairs.
+// ---------------------------------------------------------------------
+
+struct ConnectedComponents {
+  using VertexData = std::uint32_t;  // component label
+  using EdgeData = Empty;
+  using GatherResult = std::uint32_t;
+  static constexpr bool has_gather = true;
+  static constexpr bool has_scatter = false;
+
+  static GatherResult gather_identity() {
+    return std::numeric_limits<std::uint32_t>::max();
+  }
+  static GatherResult gather_map(const VertexData& src_label,
+                                 const VertexData&, const EdgeData&) {
+    return src_label;
+  }
+  static GatherResult gather_reduce(const GatherResult& left,
+                                    const GatherResult& right) {
+    return left < right ? left : right;
+  }
+  static bool apply(VertexData& label, const GatherResult& candidate,
+                    const IterationContext&) {
+    const bool changed = candidate < label;
+    if (changed) label = candidate;
+    return changed;
+  }
+};
+
+struct CcResult {
+  std::vector<std::uint32_t> label;
+  core::RunReport report;
+};
+
+inline CcResult run_cc(const graph::EdgeList& edges,
+                       core::EngineOptions options = {}) {
+  core::ProgramInstance<ConnectedComponents> instance;
+  instance.init_vertex = [](graph::VertexId v) { return v; };
+  instance.frontier = core::InitialFrontier::all();
+  instance.default_max_iterations = edges.num_vertices() + 1;
+  core::Engine<ConnectedComponents> engine(edges, std::move(instance),
+                                           options);
+  CcResult result;
+  result.report = engine.run();
+  result.label.assign(engine.vertex_values().begin(),
+                      engine.vertex_values().end());
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// SpMV — one gather/apply round computes y = A x (sparse linear algebra,
+// one of the GAS generality examples of §2.1).
+// ---------------------------------------------------------------------
+
+struct SpMV {
+  struct Vertex {
+    float x;
+    float y;
+  };
+  using VertexData = Vertex;
+  struct Coeff {
+    float a;
+  };
+  using EdgeData = Coeff;
+  using GatherResult = float;
+  static constexpr bool has_gather = true;
+  static constexpr bool has_scatter = false;
+
+  static GatherResult gather_identity() { return 0.0f; }
+  static GatherResult gather_map(const VertexData& src, const VertexData&,
+                                 const EdgeData& edge) {
+    return edge.a * src.x;
+  }
+  static GatherResult gather_reduce(const GatherResult& a,
+                                    const GatherResult& b) {
+    return a + b;
+  }
+  static bool apply(VertexData& v, const GatherResult& sum,
+                    const IterationContext&) {
+    v.y = sum;
+    return false;  // single round
+  }
+};
+
+struct SpmvResult {
+  std::vector<float> y;
+  core::RunReport report;
+};
+
+/// Computes y = A x where A's nonzeros are the edge weights (a_{dst,src})
+/// and x is the input vector indexed by vertex.
+inline SpmvResult run_spmv(const graph::EdgeList& edges,
+                           const std::vector<float>& x,
+                           core::EngineOptions options = {}) {
+  GR_CHECK(x.size() == edges.num_vertices());
+  GR_CHECK_MSG(edges.has_weights(), "SpMV needs edge weights");
+  core::ProgramInstance<SpMV> instance;
+  instance.init_vertex = [&x](graph::VertexId v) {
+    return SpMV::Vertex{x[v], 0.0f};
+  };
+  instance.init_edge = [](float w) { return SpMV::Coeff{w}; };
+  instance.frontier = core::InitialFrontier::all();
+  instance.default_max_iterations = 1;
+  core::Engine<SpMV> engine(edges, std::move(instance), options);
+  SpmvResult result;
+  result.report = engine.run();
+  result.y.reserve(x.size());
+  for (const SpMV::Vertex& v : engine.vertex_values())
+    result.y.push_back(v.y);
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Heat simulation — Jacobi relaxation toward the neighbour average for a
+// fixed number of rounds (§2.1's other generality example).
+// ---------------------------------------------------------------------
+
+struct Heat {
+  struct Vertex {
+    float temperature;
+    float inv_in_degree;  // 1/in_degree, 0 for sources
+  };
+  using VertexData = Vertex;
+  using EdgeData = Empty;
+  using GatherResult = float;
+  static constexpr bool has_gather = true;
+  static constexpr bool has_scatter = false;
+  static constexpr float kAlpha = 0.5f;
+
+  static GatherResult gather_identity() { return 0.0f; }
+  static GatherResult gather_map(const VertexData& src, const VertexData&,
+                                 const EdgeData&) {
+    return src.temperature;
+  }
+  static GatherResult gather_reduce(const GatherResult& a,
+                                    const GatherResult& b) {
+    return a + b;
+  }
+  static bool apply(VertexData& v, const GatherResult& sum,
+                    const IterationContext&) {
+    const float average = sum * v.inv_in_degree;
+    if (v.inv_in_degree > 0.0f)
+      v.temperature += kAlpha * (average - v.temperature);
+    return true;  // fixed-round relaxation: everything stays hot
+  }
+};
+
+struct HeatResult {
+  std::vector<float> temperature;
+  core::RunReport report;
+};
+
+inline HeatResult run_heat(const graph::EdgeList& edges,
+                           const std::vector<float>& initial,
+                           std::uint32_t rounds,
+                           core::EngineOptions options = {}) {
+  GR_CHECK(initial.size() == edges.num_vertices());
+  const auto in_deg = edges.in_degrees();
+  core::ProgramInstance<Heat> instance;
+  instance.init_vertex = [&](graph::VertexId v) {
+    return Heat::Vertex{
+        initial[v],
+        in_deg[v] == 0 ? 0.0f : 1.0f / static_cast<float>(in_deg[v])};
+  };
+  instance.frontier = core::InitialFrontier::all();
+  instance.default_max_iterations = rounds;
+  core::Engine<Heat> engine(edges, std::move(instance), options);
+  HeatResult result;
+  result.report = engine.run();
+  result.temperature.reserve(initial.size());
+  for (const Heat::Vertex& v : engine.vertex_values())
+    result.temperature.push_back(v.temperature);
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// k-core decomposition membership — iterative peeling as GAS: a vertex
+// survives while at least k of its neighbours survive. Expects
+// undirected inputs stored as directed pairs (like CC). Demonstrates a
+// non-monotone-value / monotone-set computation: the alive set only
+// shrinks, with deaths re-activating neighbours through the frontier.
+// ---------------------------------------------------------------------
+
+struct KCore {
+  struct Vertex {
+    std::uint32_t k;     // threshold (same for every vertex)
+    std::uint32_t alive; // 1 while the vertex remains in the k-core
+  };
+  using VertexData = Vertex;
+  using EdgeData = Empty;
+  using GatherResult = std::uint32_t;  // surviving-neighbour count
+  static constexpr bool has_gather = true;
+  static constexpr bool has_scatter = false;
+
+  static GatherResult gather_identity() { return 0; }
+  static GatherResult gather_map(const VertexData& src, const VertexData&,
+                                 const EdgeData&) {
+    return src.alive;
+  }
+  static GatherResult gather_reduce(const GatherResult& a,
+                                    const GatherResult& b) {
+    return a + b;
+  }
+  static bool apply(VertexData& v, const GatherResult& alive_neighbours,
+                    const IterationContext&) {
+    if (v.alive == 0 || alive_neighbours >= v.k) return false;
+    v.alive = 0;
+    return true;  // death re-activates the out-neighbourhood
+  }
+};
+
+struct KCoreResult {
+  /// in_core[v] true iff v belongs to the k-core.
+  std::vector<bool> in_core;
+  core::RunReport report;
+};
+
+inline KCoreResult run_kcore(const graph::EdgeList& edges, std::uint32_t k,
+                             core::EngineOptions options = {}) {
+  GR_CHECK(k >= 1);
+  core::ProgramInstance<KCore> instance;
+  instance.init_vertex = [k](graph::VertexId) {
+    return KCore::Vertex{k, 1};
+  };
+  instance.frontier = core::InitialFrontier::all();
+  instance.default_max_iterations = edges.num_vertices() + 1;
+  core::Engine<KCore> engine(edges, std::move(instance), options);
+  KCoreResult result;
+  result.report = engine.run();
+  result.in_core.reserve(edges.num_vertices());
+  for (const KCore::Vertex& v : engine.vertex_values())
+    result.in_core.push_back(v.alive != 0);
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Multi-source reachability — 64 BFS sources at once via a bitset OR-
+// reduction (a further GAS pattern: commutative-monoid gather over a
+// non-numeric lattice). Vertex v's result bit k is set iff source k
+// reaches v.
+// ---------------------------------------------------------------------
+
+struct Reachability64 {
+  using VertexData = std::uint64_t;  // bitset of sources reaching v
+  using EdgeData = Empty;
+  using GatherResult = std::uint64_t;
+  static constexpr bool has_gather = true;
+  static constexpr bool has_scatter = false;
+
+  static GatherResult gather_identity() { return 0; }
+  static GatherResult gather_map(const VertexData& src, const VertexData&,
+                                 const EdgeData&) {
+    return src;
+  }
+  static GatherResult gather_reduce(const GatherResult& a,
+                                    const GatherResult& b) {
+    return a | b;
+  }
+  static bool apply(VertexData& mask, const GatherResult& incoming,
+                    const IterationContext&) {
+    const VertexData merged = mask | incoming;
+    const bool changed = merged != mask;
+    mask = merged;
+    return changed;
+  }
+};
+
+struct ReachabilityResult {
+  /// reachable[v] bit k set iff sources[k] reaches v.
+  std::vector<std::uint64_t> reachable;
+  core::RunReport report;
+};
+
+/// Runs up to 64 simultaneous reachability queries.
+inline ReachabilityResult run_reachability(
+    const graph::EdgeList& edges, std::span<const graph::VertexId> sources,
+    core::EngineOptions options = {}) {
+  GR_CHECK_MSG(!sources.empty() && sources.size() <= 64,
+               "1..64 sources supported");
+  std::vector<std::uint64_t> seed(edges.num_vertices(), 0);
+  std::vector<graph::VertexId> frontier_set;
+  for (std::size_t k = 0; k < sources.size(); ++k) {
+    GR_CHECK(sources[k] < edges.num_vertices());
+    seed[sources[k]] |= std::uint64_t{1} << k;
+    frontier_set.push_back(sources[k]);
+  }
+  core::ProgramInstance<Reachability64> instance;
+  instance.init_vertex = [&seed](graph::VertexId v) { return seed[v]; };
+  instance.frontier = core::InitialFrontier::from_set(frontier_set);
+  instance.default_max_iterations = edges.num_vertices() + 1;
+  core::Engine<Reachability64> engine(edges, std::move(instance), options);
+  ReachabilityResult result;
+  result.report = engine.run();
+  result.reachable.assign(engine.vertex_values().begin(),
+                          engine.vertex_values().end());
+  return result;
+}
+
+}  // namespace gr::algo

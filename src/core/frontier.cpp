@@ -1,0 +1,65 @@
+#include "core/frontier.hpp"
+
+#include <algorithm>
+
+#include "util/common.hpp"
+
+namespace gr::core {
+
+FrontierManager::FrontierManager(const PartitionedGraph& graph)
+    : graph_(graph),
+      current_(graph.num_vertices(), 0),
+      next_(graph.num_vertices(), 0),
+      shard_active_(graph.num_shards(), 0),
+      shard_in_edges_(graph.num_shards(), 0),
+      shard_out_edges_(graph.num_shards(), 0) {}
+
+void FrontierManager::activate_all() {
+  std::fill(current_.begin(), current_.end(), std::uint8_t{1});
+  refresh();
+}
+
+void FrontierManager::activate_single(graph::VertexId source) {
+  GR_CHECK(source < num_vertices());
+  std::fill(current_.begin(), current_.end(), std::uint8_t{0});
+  current_[source] = 1;
+  refresh();
+}
+
+void FrontierManager::activate_set(
+    std::span<const graph::VertexId> vertices) {
+  std::fill(current_.begin(), current_.end(), std::uint8_t{0});
+  for (graph::VertexId v : vertices) {
+    GR_CHECK(v < num_vertices());
+    current_[v] = 1;
+  }
+  refresh();
+}
+
+void FrontierManager::refresh() {
+  std::fill(shard_active_.begin(), shard_active_.end(), 0);
+  std::fill(shard_in_edges_.begin(), shard_in_edges_.end(), 0);
+  std::fill(shard_out_edges_.begin(), shard_out_edges_.end(), 0);
+  total_active_ = 0;
+  const auto in_deg = graph_.in_degrees();
+  const auto out_deg = graph_.out_degrees();
+  for (std::uint32_t p = 0; p < graph_.num_shards(); ++p) {
+    const Interval iv = graph_.shard(p).interval;
+    for (graph::VertexId v = iv.begin; v < iv.end; ++v) {
+      if (!current_[v]) continue;
+      ++shard_active_[p];
+      shard_in_edges_[p] += in_deg[v];
+      shard_out_edges_[p] += out_deg[v];
+    }
+    total_active_ += shard_active_[p];
+  }
+}
+
+std::uint64_t FrontierManager::advance() {
+  current_.swap(next_);
+  std::fill(next_.begin(), next_.end(), std::uint8_t{0});
+  refresh();
+  return total_active_;
+}
+
+}  // namespace gr::core

@@ -1,0 +1,75 @@
+// Dynamic frontier management (paper §5.2).
+//
+// The host-side mirror of the computation frontier: per-vertex active
+// bits for the current and next iteration plus the per-shard aggregates
+// the Data Movement Engine uses to skip shards with no active vertices —
+// the paper's key lever for cutting memcpy traffic (Fig. 15/16/17).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "graph/types.hpp"
+
+namespace gr::core {
+
+class FrontierManager {
+ public:
+  /// Degree spans must outlive the manager (owned by PartitionedGraph).
+  FrontierManager(const PartitionedGraph& graph);
+
+  graph::VertexId num_vertices() const {
+    return static_cast<graph::VertexId>(current_.size());
+  }
+
+  /// Seeds the first iteration's frontier.
+  void activate_all();
+  void activate_single(graph::VertexId source);
+  void activate_set(std::span<const graph::VertexId> vertices);
+
+  bool is_active(graph::VertexId v) const { return current_[v] != 0; }
+  void mark_next(graph::VertexId v) { next_[v] = 1; }
+
+  /// Word-level access for bulk device upload/download.
+  std::span<const std::uint8_t> current_bits() const { return current_; }
+  std::span<std::uint8_t> next_bits() { return next_; }
+
+  /// Promotes next -> current, clears next, and recomputes aggregates.
+  /// Returns the new active vertex count.
+  std::uint64_t advance();
+
+  /// Recomputes aggregates for the current frontier (after seeding).
+  void refresh();
+
+  std::uint64_t active_vertices() const { return total_active_; }
+  bool empty() const { return total_active_ == 0; }
+
+  /// Per-shard aggregates for scheduling and kernel cost estimation.
+  std::uint64_t shard_active_vertices(std::uint32_t p) const {
+    return shard_active_[p];
+  }
+  /// Sum of in-degrees over the shard's active vertices: the number of
+  /// in-edges gatherMap must process.
+  std::uint64_t shard_active_in_edges(std::uint32_t p) const {
+    return shard_in_edges_[p];
+  }
+  /// Sum of out-degrees over the shard's active vertices (scatter /
+  /// frontierActivate work).
+  std::uint64_t shard_active_out_edges(std::uint32_t p) const {
+    return shard_out_edges_[p];
+  }
+  bool shard_has_work(std::uint32_t p) const { return shard_active_[p] > 0; }
+
+ private:
+  const PartitionedGraph& graph_;
+  std::vector<std::uint8_t> current_;
+  std::vector<std::uint8_t> next_;
+  std::vector<std::uint64_t> shard_active_;
+  std::vector<std::uint64_t> shard_in_edges_;
+  std::vector<std::uint64_t> shard_out_edges_;
+  std::uint64_t total_active_ = 0;
+};
+
+}  // namespace gr::core

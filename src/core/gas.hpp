@@ -1,0 +1,109 @@
+// The GraphReduce user-facing GAS programming interface (paper §2.1, §4.1).
+//
+// A graph algorithm is a struct defining state data types plus up to four
+// device functions, exactly mirroring the paper's Figure 6:
+//
+//   struct ConnectedComponents {
+//     using VertexData = std::uint32_t;
+//     using EdgeData = gr::core::Empty;
+//     using GatherResult = std::uint32_t;
+//     static constexpr bool has_gather = true;
+//     static constexpr bool has_scatter = false;
+//     static GatherResult gather_identity();
+//     static GatherResult gather_map(const VertexData& src,
+//                                    const VertexData& dst,
+//                                    const EdgeData& edge);
+//     static GatherResult gather_reduce(const GatherResult&,
+//                                       const GatherResult&);
+//     static bool apply(VertexData& v, const GatherResult& r,
+//                       const IterationContext& ctx);   // returns changed
+//     static void scatter(const VertexData& src, EdgeData& edge);
+//   };
+//
+// The engine stores this bundle as the paper's UserInfoTuple:
+// <gather(), apply(), scatter(), VertexDataType, EdgeDataType>. Programs
+// omitting gather or scatter set the corresponding has_* flag false
+// (the named function may be absent), enabling the Phase Fusion Engine's
+// dynamic phase elimination (§5.3).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace gr::core {
+
+/// Zero-size edge (or vertex) state for algorithms without mutable edges.
+struct Empty {
+  friend bool operator==(const Empty&, const Empty&) = default;
+};
+
+/// Per-iteration information available to apply().
+struct IterationContext {
+  std::uint32_t iteration = 0;
+};
+
+/// Hints the engine uses to seed the first computation frontier.
+struct InitialFrontier {
+  bool all_vertices = true;
+  graph::VertexId source = 0;
+  /// Non-empty: seed exactly these vertices (used by incremental
+  /// recomputation over dynamic graphs); overrides source.
+  std::vector<graph::VertexId> set;
+
+  static InitialFrontier all() { return {true, 0, {}}; }
+  static InitialFrontier single(graph::VertexId v) { return {false, v, {}}; }
+  static InitialFrontier from_set(std::vector<graph::VertexId> vertices) {
+    return {false, 0, std::move(vertices)};
+  }
+};
+
+// --- program concept ---
+
+template <typename P>
+concept GasProgram = requires(typename P::VertexData& v,
+                              const typename P::GatherResult& r,
+                              const IterationContext& ctx) {
+  typename P::VertexData;
+  typename P::EdgeData;
+  typename P::GatherResult;
+  { P::has_gather } -> std::convertible_to<bool>;
+  { P::has_scatter } -> std::convertible_to<bool>;
+  { P::apply(v, r, ctx) } -> std::convertible_to<bool>;
+};
+
+/// Programs with a gather phase additionally satisfy this.
+template <typename P>
+concept GatherProgram =
+    GasProgram<P> &&
+    requires(const typename P::VertexData& src,
+             const typename P::VertexData& dst,
+             const typename P::EdgeData& e,
+             const typename P::GatherResult& a,
+             const typename P::GatherResult& b) {
+      { P::gather_identity() } -> std::same_as<typename P::GatherResult>;
+      { P::gather_map(src, dst, e) }
+          -> std::same_as<typename P::GatherResult>;
+      { P::gather_reduce(a, b) } -> std::same_as<typename P::GatherResult>;
+    };
+
+/// Programs with a scatter phase additionally satisfy this.
+template <typename P>
+concept ScatterProgram =
+    GasProgram<P> && requires(const typename P::VertexData& src,
+                              typename P::EdgeData& e) {
+      { P::scatter(src, e) };
+    };
+
+/// Bytes of streamed edge state per in-edge (0 for Empty).
+template <typename P>
+constexpr std::size_t edge_state_bytes() {
+  return std::is_empty_v<typename P::EdgeData>
+             ? 0
+             : sizeof(typename P::EdgeData);
+}
+
+}  // namespace gr::core

@@ -1,0 +1,448 @@
+// Multi-GPU GraphReduce — the paper's first future-work direction (§8):
+// "extending GraphReduce to support multiple on-node GPUs".
+//
+// Design: the vertex set is split into one contiguous super-interval per
+// device (balanced by edges, like shard intervals); each device owns the
+// shards whose intervals fall in its range, keeps a full replica of the
+// vertex-value and frontier arrays, and streams its own shards through
+// its own slots. Iterations are Bulk-Synchronous across devices:
+//
+//   1. every device runs the gather pass over its active shards;
+//   2. every device runs the apply+frontierActivate pass;
+//   3. replica exchange — each device downloads its owned interval's
+//      updated values and next-frontier contribution, the host merges,
+//      and foreign ranges are broadcast back to every replica.
+//
+// All devices advance on ONE shared simulation clock (vgpu::Device's
+// shared-queue constructor), so per-device transfers and kernels overlap
+// across devices exactly as concurrent hardware would; the replica
+// exchange is the serialization point, which is the real bottleneck of
+// vertex-replicated multi-GPU graph processing and is what the
+// bench_ext_multigpu scaling study quantifies.
+//
+// Scope: gather/apply programs (no scatter); always-fused phase plan.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/frontier.hpp"
+#include "core/gas.hpp"
+#include "core/options.hpp"
+#include "core/partition.hpp"
+#include "graph/edge_list.hpp"
+#include "util/common.hpp"
+#include "vgpu/device.hpp"
+
+namespace gr::core {
+
+struct MultiGpuOptions {
+  vgpu::DeviceConfig device = vgpu::DeviceConfig::bench_default();
+  std::uint32_t num_devices = 2;
+  std::uint32_t slots_per_device = 2;
+  std::uint32_t max_iterations = 0;  // 0 = program default
+  std::uint32_t partitions = 0;      // 0 = derive per device capacity
+};
+
+struct MultiGpuReport {
+  std::uint32_t iterations = 0;
+  bool converged = false;
+  double total_seconds = 0.0;
+  double memcpy_seconds = 0.0;    // summed over devices
+  double exchange_seconds = 0.0;  // replica-merge portion of the loop
+  std::uint64_t bytes_h2d = 0;
+  std::uint64_t bytes_d2h = 0;
+  std::uint32_t partitions = 0;
+  std::uint32_t num_devices = 0;
+  std::vector<IterationStats> history;
+};
+
+template <GasProgram P>
+class MultiGpuEngine : util::NonCopyable {
+ public:
+  using VertexData = typename P::VertexData;
+  using EdgeData = typename P::EdgeData;
+  using GatherResult = typename P::GatherResult;
+  static constexpr bool kHasEdgeState = !std::is_empty_v<EdgeData>;
+
+  MultiGpuEngine(const graph::EdgeList& edges, ProgramInstance<P> instance,
+                 MultiGpuOptions options)
+      : instance_(std::move(instance)), options_(options) {
+    static_assert(!P::has_scatter,
+                  "multi-GPU engine supports gather/apply programs");
+    GR_CHECK(options_.num_devices >= 1);
+    GR_CHECK_MSG(instance_.init_vertex, "init_vertex is required");
+
+    // Partition count: per-device capacity drives shard size (Eq. (1)).
+    PartitionPlanInput plan;
+    plan.num_vertices = edges.num_vertices();
+    plan.num_edges = util::ceil_div<graph::EdgeId>(edges.num_edges(),
+                                                   options_.num_devices);
+    plan.device_capacity = options_.device.global_memory_bytes;
+    plan.slots = options_.slots_per_device;
+    plan.static_bytes =
+        static_cast<std::uint64_t>(edges.num_vertices()) *
+        (sizeof(VertexData) + (P::has_gather ? sizeof(GatherResult) : 0) + 3);
+    plan.bytes_per_in_edge = kReservedBytesPerEdge / 2.0;
+    plan.bytes_per_out_edge = kReservedBytesPerEdge / 2.0;
+    plan.bytes_per_interval_vertex = kReservedBytesPerVertex;
+    const std::uint32_t per_device =
+        options_.partitions != 0
+            ? util::ceil_div(options_.partitions, options_.num_devices)
+            : choose_partition_count(plan);
+    partitions_ = std::max<std::uint32_t>(per_device * options_.num_devices,
+                                          options_.num_devices);
+    partitions_ =
+        std::min<std::uint32_t>(partitions_, edges.num_vertices());
+    graph_ = PartitionedGraph::build(edges, partitions_);
+    frontier_ = std::make_unique<FrontierManager>(graph_);
+
+    h_vertex_.resize(edges.num_vertices());
+    for (graph::VertexId v = 0; v < edges.num_vertices(); ++v)
+      h_vertex_[v] = instance_.init_vertex(v);
+    if constexpr (kHasEdgeState) {
+      GR_CHECK_MSG(instance_.init_edge, "init_edge required");
+      h_edge_state_.resize(edges.num_edges());
+      for (const ShardTopology& shard : graph_.shards())
+        for (graph::EdgeId slot = 0; slot < shard.in_edge_count(); ++slot)
+          h_edge_state_[shard.canonical_base + slot] =
+              instance_.init_edge(edges.weight(shard.in_orig_edge[slot]));
+    }
+
+    allocate_devices();
+  }
+
+  MultiGpuReport run();
+
+  std::span<const VertexData> vertex_values() const { return h_vertex_; }
+  const PartitionedGraph& partitioned() const { return graph_; }
+  std::uint32_t device_of_shard(std::uint32_t p) const {
+    return p * options_.num_devices / partitions_;
+  }
+
+ private:
+  struct Slot {
+    vgpu::DeviceBuffer<graph::EdgeId> in_offsets;
+    vgpu::DeviceBuffer<graph::VertexId> in_src;
+    vgpu::DeviceBuffer<EdgeData> in_state;
+    vgpu::DeviceBuffer<GatherResult> gather_temp;
+    vgpu::DeviceBuffer<graph::EdgeId> out_offsets;
+    vgpu::DeviceBuffer<graph::VertexId> out_dst;
+    vgpu::Stream* stream = nullptr;
+  };
+  struct DeviceState {
+    std::unique_ptr<vgpu::Device> device;
+    vgpu::DeviceBuffer<VertexData> vertex;   // full replica
+    vgpu::DeviceBuffer<GatherResult> gather;
+    vgpu::DeviceBuffer<std::uint8_t> front_cur;
+    vgpu::DeviceBuffer<std::uint8_t> front_next;
+    vgpu::DeviceBuffer<std::uint8_t> changed;
+    std::vector<Slot> slots;
+    std::vector<std::uint32_t> shards;  // owned shard ids
+    graph::VertexId range_begin = 0;
+    graph::VertexId range_end = 0;
+    // Host staging for its next-frontier contribution.
+    std::vector<std::uint8_t> next_bits;
+  };
+
+  void allocate_devices();
+  void run_pass(bool gather_pass, std::uint32_t iteration);
+  void upload_shard(DeviceState& dev_state, Slot& slot, std::uint32_t p,
+                    bool gather_pass);
+
+  ProgramInstance<P> instance_;
+  MultiGpuOptions options_;
+  PartitionedGraph graph_;
+  std::unique_ptr<FrontierManager> frontier_;
+  sim::EventQueue clock_;
+  std::vector<DeviceState> devices_;
+  std::vector<VertexData> h_vertex_;
+  std::vector<EdgeData> h_edge_state_;
+  std::uint32_t partitions_ = 0;
+  bool ran_ = false;
+};
+
+template <GasProgram P>
+void MultiGpuEngine<P>::allocate_devices() {
+  const graph::VertexId n = graph_.num_vertices();
+  devices_.resize(options_.num_devices);
+  for (std::uint32_t d = 0; d < options_.num_devices; ++d) {
+    DeviceState& ds = devices_[d];
+    ds.device = std::make_unique<vgpu::Device>(options_.device, clock_);
+    ds.vertex = ds.device->template alloc<VertexData>(n);
+    if constexpr (P::has_gather)
+      ds.gather = ds.device->template alloc<GatherResult>(n);
+    ds.front_cur = ds.device->template alloc<std::uint8_t>(n);
+    ds.front_next = ds.device->template alloc<std::uint8_t>(n);
+    ds.changed = ds.device->template alloc<std::uint8_t>(n);
+    ds.next_bits.assign(n, 0);
+    ds.range_begin = n;
+    ds.range_end = 0;
+  }
+  for (std::uint32_t p = 0; p < partitions_; ++p) {
+    DeviceState& ds = devices_[device_of_shard(p)];
+    ds.shards.push_back(p);
+    const Interval iv = graph_.shard(p).interval;
+    ds.range_begin = std::min(ds.range_begin, iv.begin);
+    ds.range_end = std::max(ds.range_end, iv.end);
+  }
+  for (DeviceState& ds : devices_) {
+    if (ds.range_begin > ds.range_end) ds.range_begin = ds.range_end = 0;
+    const std::uint32_t slot_count =
+        std::min<std::uint32_t>(options_.slots_per_device,
+                                std::max<std::size_t>(1, ds.shards.size()));
+    ds.slots.resize(slot_count);
+    for (std::uint32_t s = 0; s < slot_count; ++s) {
+      Slot& slot = ds.slots[s];
+      graph::VertexId max_iv = 0;
+      graph::EdgeId max_in = 0;
+      graph::EdgeId max_out = 0;
+      for (std::size_t i = s; i < ds.shards.size(); i += slot_count) {
+        const ShardTopology& shard = graph_.shard(ds.shards[i]);
+        max_iv = std::max(max_iv, shard.interval.size());
+        max_in = std::max(max_in, shard.in_edge_count());
+        max_out = std::max(max_out, shard.out_edge_count());
+      }
+      if constexpr (P::has_gather) {
+        slot.in_offsets = ds.device->template alloc<graph::EdgeId>(max_iv + 1);
+        slot.in_src = ds.device->template alloc<graph::VertexId>(max_in);
+        slot.gather_temp = ds.device->template alloc<GatherResult>(max_in);
+        if constexpr (kHasEdgeState)
+          slot.in_state = ds.device->template alloc<EdgeData>(max_in);
+      }
+      slot.out_offsets = ds.device->template alloc<graph::EdgeId>(max_iv + 1);
+      slot.out_dst = ds.device->template alloc<graph::VertexId>(max_out);
+      slot.stream = &ds.device->create_stream();
+    }
+  }
+}
+
+template <GasProgram P>
+void MultiGpuEngine<P>::upload_shard(DeviceState& ds, Slot& slot,
+                                     std::uint32_t p, bool gather_pass) {
+  const ShardTopology& shard = graph_.shard(p);
+  const graph::VertexId iv = shard.interval.size();
+  vgpu::Device& dev = *ds.device;
+  if (gather_pass) {
+    if constexpr (P::has_gather) {
+      dev.memcpy_h2d(*slot.stream, slot.in_offsets.data(),
+                     shard.in_offsets.data(),
+                     (iv + 1) * sizeof(graph::EdgeId));
+      dev.memcpy_h2d(*slot.stream, slot.in_src.data(), shard.in_src.data(),
+                     shard.in_edge_count() * sizeof(graph::VertexId));
+      if constexpr (kHasEdgeState) {
+        dev.memcpy_h2d(*slot.stream, slot.in_state.data(),
+                       h_edge_state_.data() + shard.canonical_base,
+                       shard.in_edge_count() * sizeof(EdgeData));
+      }
+    }
+  } else {
+    dev.memcpy_h2d(*slot.stream, slot.out_offsets.data(),
+                   shard.out_offsets.data(),
+                   (iv + 1) * sizeof(graph::EdgeId));
+    dev.memcpy_h2d(*slot.stream, slot.out_dst.data(), shard.out_dst.data(),
+                   shard.out_edge_count() * sizeof(graph::VertexId));
+  }
+}
+
+template <GasProgram P>
+void MultiGpuEngine<P>::run_pass(bool gather_pass, std::uint32_t iteration) {
+  for (DeviceState& ds : devices_) {
+    for (std::size_t i = 0; i < ds.shards.size(); ++i) {
+      const std::uint32_t p = ds.shards[i];
+      if (!frontier_->shard_has_work(p)) continue;
+      Slot& slot = ds.slots[i % ds.slots.size()];
+      const Interval iv = graph_.shard(p).interval;
+      const std::uint64_t active_v = frontier_->shard_active_vertices(p);
+      const std::uint64_t active_in = frontier_->shard_active_in_edges(p);
+      const std::uint64_t active_out = frontier_->shard_active_out_edges(p);
+      upload_shard(ds, slot, p, gather_pass);
+      vgpu::Device& dev = *ds.device;
+      const std::uint8_t* cur = ds.front_cur.data();
+
+      if (gather_pass) {
+        if constexpr (GatherProgram<P>) {
+          vgpu::KernelCost cost;
+          cost.threads = active_in;
+          cost.flops_per_thread = 8.0;
+          cost.sequential_bytes =
+              active_in * (sizeof(graph::VertexId) + sizeof(GatherResult));
+          cost.random_accesses = active_in;
+          dev.launch(*slot.stream, cost, [this, &ds, &slot, iv, cur] {
+            const graph::EdgeId* off = slot.in_offsets.data();
+            const graph::VertexId* src = slot.in_src.data();
+            const VertexData* vv = ds.vertex.data();
+            GatherResult* out = ds.gather.data();
+            for (graph::VertexId lv = 0; lv < iv.size(); ++lv) {
+              const graph::VertexId gv = iv.begin + lv;
+              if (!cur[gv]) continue;
+              GatherResult acc = P::gather_identity();
+              for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e) {
+                acc = P::gather_reduce(
+                    acc, P::gather_map(vv[src[e]], vv[gv],
+                                       kHasEdgeState ? slot.in_state[e]
+                                                     : EdgeData{}));
+              }
+              out[gv] = acc;
+            }
+          });
+        }
+      } else {
+        vgpu::KernelCost cost;
+        cost.threads = active_v + active_out;
+        cost.flops_per_thread = 8.0;
+        cost.sequential_bytes =
+            active_v * (2 * sizeof(VertexData)) +
+            active_out * (sizeof(graph::VertexId) + 1);
+        cost.random_accesses = active_out;
+        dev.launch(*slot.stream, cost, [this, &ds, &slot, iv, cur,
+                                        iteration] {
+          VertexData* vv = ds.vertex.data();
+          std::uint8_t* changed = ds.changed.data();
+          std::uint8_t* next = ds.front_next.data();
+          const graph::EdgeId* off = slot.out_offsets.data();
+          const graph::VertexId* dst = slot.out_dst.data();
+          const IterationContext ctx{iteration};
+          for (graph::VertexId lv = 0; lv < iv.size(); ++lv) {
+            const graph::VertexId gv = iv.begin + lv;
+            if (!cur[gv]) continue;
+            GatherResult r{};
+            if constexpr (P::has_gather) r = ds.gather[gv];
+            bool ch = P::apply(vv[gv], r, ctx);
+            if (iteration == 0) ch = true;
+            changed[gv] = ch ? 1 : 0;
+            if (!ch) continue;
+            for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e)
+              next[dst[e]] = 1;
+          }
+        });
+      }
+    }
+  }
+  clock_.run();  // BSP barrier across all devices
+}
+
+template <GasProgram P>
+MultiGpuReport MultiGpuEngine<P>::run() {
+  GR_CHECK_MSG(!ran_, "run() may only be called once");
+  ran_ = true;
+  const graph::VertexId n = graph_.num_vertices();
+  if (instance_.frontier.all_vertices)
+    frontier_->activate_all();
+  else
+    frontier_->activate_single(instance_.frontier.source);
+
+  // Initial replica upload on every device (concurrently).
+  for (DeviceState& ds : devices_) {
+    vgpu::Stream& s = ds.device->default_stream();
+    ds.device->memcpy_h2d(s, ds.vertex.data(), h_vertex_.data(),
+                          n * sizeof(VertexData));
+    ds.device->memcpy_h2d(s, ds.front_cur.data(),
+                          frontier_->current_bits().data(), n);
+  }
+  clock_.run();
+
+  MultiGpuReport report;
+  report.partitions = partitions_;
+  report.num_devices = options_.num_devices;
+  const std::uint32_t max_iters =
+      options_.max_iterations != 0 ? options_.max_iterations
+                                   : instance_.default_max_iterations;
+
+  std::uint32_t iteration = 0;
+  while (iteration < max_iters && !frontier_->empty()) {
+    // Clear per-device scratch (changed flags + next bitmap).
+    for (DeviceState& ds : devices_) {
+      vgpu::KernelCost cost;
+      cost.threads = n;
+      cost.sequential_bytes = 2ull * n;
+      std::uint8_t* next = ds.front_next.data();
+      std::uint8_t* changed = ds.changed.data();
+      ds.device->launch(ds.device->default_stream(), cost, [next, changed,
+                                                            n] {
+        std::memset(next, 0, n);
+        std::memset(changed, 0, n);
+      });
+    }
+    clock_.run();
+
+    if constexpr (P::has_gather) run_pass(/*gather_pass=*/true, iteration);
+    run_pass(/*gather_pass=*/false, iteration);
+
+    // --- replica exchange ---
+    const double exchange_start = clock_.now();
+    // (1) each device downloads its owned values + next-frontier bits.
+    std::vector<std::vector<VertexData>> owned(devices_.size());
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      DeviceState& ds = devices_[d];
+      const graph::VertexId len = ds.range_end - ds.range_begin;
+      owned[d].resize(len);
+      vgpu::Stream& s = ds.device->default_stream();
+      if (len > 0)
+        ds.device->memcpy_d2h(s, owned[d].data(),
+                              ds.vertex.data() + ds.range_begin,
+                              len * sizeof(VertexData));
+      ds.device->memcpy_d2h(s, ds.next_bits.data(), ds.front_next.data(),
+                            n);
+    }
+    clock_.run();
+    // Host merge: owned ranges into the master, OR of frontier bits.
+    auto next_bits = frontier_->next_bits();
+    std::fill(next_bits.begin(), next_bits.end(), std::uint8_t{0});
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      DeviceState& ds = devices_[d];
+      std::copy(owned[d].begin(), owned[d].end(),
+                h_vertex_.begin() + ds.range_begin);
+      for (graph::VertexId v = 0; v < n; ++v)
+        next_bits[v] |= ds.next_bits[v];
+    }
+    // (2) broadcast: every device refreshes foreign ranges + frontier.
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      DeviceState& ds = devices_[d];
+      vgpu::Stream& s = ds.device->default_stream();
+      for (std::size_t o = 0; o < devices_.size(); ++o) {
+        if (o == d) continue;
+        const DeviceState& other = devices_[o];
+        const graph::VertexId len = other.range_end - other.range_begin;
+        if (len == 0) continue;
+        ds.device->memcpy_h2d(s, ds.vertex.data() + other.range_begin,
+                              h_vertex_.data() + other.range_begin,
+                              len * sizeof(VertexData));
+      }
+      ds.device->memcpy_h2d(s, ds.front_cur.data(), next_bits.data(), n);
+    }
+    clock_.run();
+    report.exchange_seconds += clock_.now() - exchange_start;
+
+    IterationStats stats;
+    stats.iteration = iteration;
+    stats.active_vertices = frontier_->active_vertices();
+    for (std::uint32_t p = 0; p < partitions_; ++p) {
+      if (frontier_->shard_has_work(p))
+        ++stats.shards_processed;
+      else
+        ++stats.shards_skipped;
+    }
+    report.history.push_back(stats);
+    frontier_->advance();
+    ++iteration;
+  }
+
+  // Owned ranges are already host-fresh from the last exchange; for a
+  // zero-iteration run the init values stand.
+  report.iterations = iteration;
+  report.converged = frontier_->empty();
+  report.total_seconds = clock_.now();
+  for (DeviceState& ds : devices_) {
+    ds.device->synchronize();
+    report.memcpy_seconds += ds.device->stats().memcpy_busy_seconds();
+    report.bytes_h2d += ds.device->stats().bytes_h2d;
+    report.bytes_d2h += ds.device->stats().bytes_d2h;
+  }
+  return report;
+}
+
+}  // namespace gr::core

@@ -1,0 +1,105 @@
+// Engine configuration and run reporting.
+//
+// The three optimization switches map one-to-one onto the paper's §5
+// optimizations so each can be ablated independently (Figure 15 compares
+// all-on against all-off).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vgpu/config.hpp"
+
+namespace gr::core {
+
+struct EngineOptions {
+  vgpu::DeviceConfig device = vgpu::DeviceConfig::bench_default();
+
+  /// §5.1 — asynchronous multi-stream execution, double buffering across
+  /// shard slots, and spray streams for deep copies. Off = one stream,
+  /// fully synchronous (the unoptimized baseline).
+  bool async_spray = true;
+
+  /// §5.2 — dynamic frontier management: shards with no active vertices
+  /// are neither transferred nor launched, and kernel work is scaled to
+  /// active edges (CTA load balancing from frontier information).
+  bool frontier_management = true;
+
+  /// §5.3 — dynamic phase fusion/elimination. Off = every defined GAS
+  /// phase (plus frontierActivate) moves the *entire* shard in and its
+  /// mutable parts out, separately.
+  bool phase_fusion = true;
+
+  /// K, the number of shard slots concurrently resident (paper derives
+  /// K = 2 for the K20c from Eq. (1)/(2)); 0 = auto.
+  std::uint32_t slots = 0;
+
+  /// Partition-count override; 0 = derive from device capacity (Eq. (1)).
+  std::uint32_t partitions = 0;
+
+  /// Iteration cap; 0 = the algorithm's default.
+  std::uint32_t max_iterations = 0;
+
+  /// Host memory bandwidth used to charge scatter-update routing and
+  /// other host-side work (B/s).
+  double host_bandwidth = 8.0e9;
+
+  /// §8 future work (2): host memory available to hold the graph; 0 =
+  /// unlimited. When the graph's host-resident footprint exceeds this,
+  /// the overflow lives on an SSD and every shard upload first faults
+  /// the spilled fraction in at disk bandwidth.
+  std::uint64_t host_memory_bytes = 0;
+  /// Sequential SSD read bandwidth (B/s) for spilled shard data.
+  double disk_bandwidth = 500e6;
+
+  /// Convenience: the unoptimized configuration of Figure 15.
+  EngineOptions without_optimizations() const {
+    EngineOptions o = *this;
+    o.async_spray = false;
+    o.frontier_management = false;
+    o.phase_fusion = false;
+    return o;
+  }
+};
+
+/// Per-iteration trace entry (drives the Fig. 3/16/17 frontier plots).
+struct IterationStats {
+  std::uint32_t iteration = 0;
+  std::uint64_t active_vertices = 0;
+  std::uint32_t shards_processed = 0;
+  std::uint32_t shards_skipped = 0;
+};
+
+/// Result of one engine run.
+struct RunReport {
+  std::uint32_t iterations = 0;
+  bool converged = false;
+
+  // Simulated-time breakdown (seconds).
+  double total_seconds = 0.0;
+  double memcpy_seconds = 0.0;  // DMA engine busy time (both directions)
+  double kernel_seconds = 0.0;  // compute engine utilization integral
+
+  std::uint64_t bytes_h2d = 0;
+  std::uint64_t bytes_d2h = 0;
+  std::uint64_t kernels_launched = 0;
+  std::uint64_t memcpy_ops = 0;
+
+  std::uint32_t partitions = 0;
+  std::uint32_t slots = 0;
+  /// True when every shard fit on the device simultaneously (in-memory
+  /// mode: shards uploaded once, no per-iteration streaming).
+  bool resident_mode = false;
+  /// Fraction of the graph spilled to SSD on the host side (0 unless
+  /// EngineOptions::host_memory_bytes constrains the host).
+  double host_spill_fraction = 0.0;
+
+  std::vector<IterationStats> history;
+
+  double memcpy_fraction() const {
+    return total_seconds > 0 ? memcpy_seconds / total_seconds : 0.0;
+  }
+};
+
+}  // namespace gr::core

@@ -1,0 +1,154 @@
+// The Partition Engine and Graph Layout Engine (paper §4.2, Fig. 7/9).
+//
+// The vertex set is divided into P disjoint intervals chosen in a
+// load-balanced fashion (approximately equal in+out edges per shard).
+// Each shard stores:
+//   * its in-edges in CSC order (sorted by destination) — used by the
+//     edge-centric gatherMap kernel and as the *canonical* home of
+//     mutable edge state;
+//   * its out-edges in CSR order (sorted by source) — used by scatter
+//     and frontierActivate — where every out-edge carries the global
+//     canonical position of its edge state so scatter updates can be
+//     routed back to the owning shard;
+// so both orientations are materialized once at partition time and no
+// runtime CSC<->CSR transposition is ever needed (the paper's point (3)).
+//
+// The partitioning logic is pluggable (the paper's Partition Logic
+// Table): a PartitionLogic functor maps vertex weights to interval
+// boundaries; the default implements the paper's equal-edges heuristic.
+//
+// Everything here is independent of the user program's data types, so it
+// compiles once; the templated engine layers typed state on top.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace gr::core {
+
+/// Half-open vertex interval [begin, end).
+struct Interval {
+  graph::VertexId begin = 0;
+  graph::VertexId end = 0;
+  graph::VertexId size() const { return end - begin; }
+  bool contains(graph::VertexId v) const { return v >= begin && v < end; }
+};
+
+/// Topology of one shard (paper Fig. 7), program-type independent.
+struct ShardTopology {
+  Interval interval;
+
+  // In-edges, CSC order (grouped by destination within the interval).
+  // Offsets are local to the interval: in_offsets[v - interval.begin].
+  std::vector<graph::EdgeId> in_offsets;   // interval.size() + 1
+  std::vector<graph::VertexId> in_src;     // in_edge_count()
+  /// Original edge-list index of each canonical slot (weights/state init).
+  std::vector<graph::EdgeId> in_orig_edge;
+  /// Base of this shard's slice of the global canonical edge-state array.
+  graph::EdgeId canonical_base = 0;
+
+  // Out-edges, CSR order (grouped by source within the interval).
+  std::vector<graph::EdgeId> out_offsets;  // interval.size() + 1
+  std::vector<graph::VertexId> out_dst;    // out_edge_count()
+  /// Global canonical position of each out-edge's state (routing target).
+  std::vector<graph::EdgeId> out_canonical_pos;
+
+  graph::EdgeId in_edge_count() const { return in_src.size(); }
+  graph::EdgeId out_edge_count() const { return out_dst.size(); }
+
+  /// Bytes of the in-edge topology arrays (offsets + sources).
+  std::uint64_t in_topology_bytes() const;
+  /// Bytes of the out-edge topology arrays (offsets + dsts + positions).
+  std::uint64_t out_topology_bytes() const;
+};
+
+/// Pluggable interval-selection strategy: given per-vertex weights
+/// (in-degree + out-degree) and a target partition count, returns the P+1
+/// interval boundaries (first 0, last n).
+using PartitionLogic = std::function<std::vector<graph::VertexId>(
+    std::span<const graph::EdgeId> vertex_weights, std::uint32_t partitions)>;
+
+/// The paper's default: greedy equal-(in+out)-edges intervals.
+std::vector<graph::VertexId> balanced_edge_cut(
+    std::span<const graph::EdgeId> vertex_weights, std::uint32_t partitions);
+
+/// A full partitioned graph: all shards plus global degree arrays.
+class PartitionedGraph {
+ public:
+  /// Builds P shards from an edge list; P >= 1. Uses `logic` (or the
+  /// default balanced cut) for interval selection.
+  static PartitionedGraph build(const graph::EdgeList& edges,
+                                std::uint32_t partitions,
+                                const PartitionLogic& logic = {});
+
+  graph::VertexId num_vertices() const { return num_vertices_; }
+  graph::EdgeId num_edges() const { return num_edges_; }
+  std::uint32_t num_shards() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  const ShardTopology& shard(std::uint32_t p) const { return shards_[p]; }
+  std::span<const ShardTopology> shards() const { return shards_; }
+
+  /// Which shard owns vertex v's interval.
+  std::uint32_t shard_of(graph::VertexId v) const;
+
+  std::span<const graph::EdgeId> in_degrees() const { return in_deg_; }
+  std::span<const graph::EdgeId> out_degrees() const { return out_deg_; }
+
+  /// Largest in/out topology footprint over all shards.
+  std::uint64_t max_in_topology_bytes() const;
+  std::uint64_t max_out_topology_bytes() const;
+  /// Largest per-shard in/out edge count (for typed-buffer sizing).
+  graph::EdgeId max_in_edges() const;
+  graph::EdgeId max_out_edges() const;
+  graph::VertexId max_interval_size() const;
+
+  /// Structural invariants (every edge in exactly one CSC slot and one
+  /// CSR slot, offsets monotone, canonical positions valid); throws
+  /// CheckError on violation. Used by tests and debug paths.
+  void validate() const;
+
+ private:
+  graph::VertexId num_vertices_ = 0;
+  graph::EdgeId num_edges_ = 0;
+  std::vector<ShardTopology> shards_;
+  std::vector<graph::VertexId> boundaries_;  // P + 1
+  std::vector<graph::EdgeId> in_deg_;
+  std::vector<graph::EdgeId> out_deg_;
+};
+
+/// Device-memory planning inputs for choose_partition_count (Eq. (1)/(2)
+/// of §4.3): byte weights are supplied by the typed engine.
+struct PartitionPlanInput {
+  graph::VertexId num_vertices = 0;
+  graph::EdgeId num_edges = 0;
+  /// Static (resident) device bytes independent of sharding: vertex
+  /// values, gather results, frontier bitmaps, ...
+  std::uint64_t static_bytes = 0;
+  /// Streamed bytes per in-edge (topology + state + gather temp).
+  double bytes_per_in_edge = 0;
+  /// Streamed bytes per out-edge (topology + positions + staging).
+  double bytes_per_out_edge = 0;
+  /// Streamed bytes per interval vertex (offset arrays, update arrays).
+  double bytes_per_interval_vertex = 0;
+  std::uint64_t device_capacity = 0;
+  /// K: concurrent shard slots resident in device memory (Eq. (1)).
+  std::uint32_t slots = 2;
+  /// Safety headroom fraction of capacity left unallocated.
+  double headroom = 0.05;
+};
+
+/// Smallest P such that `slots` shards plus static state fit in device
+/// memory (the paper: "P is chosen such that at least one shard — maybe
+/// multiple — can be loaded completely into GPU memory"). Throws
+/// CheckError if even P = num_vertices cannot fit (static state alone
+/// exceeds capacity).
+std::uint32_t choose_partition_count(const PartitionPlanInput& input);
+
+}  // namespace gr::core

@@ -1,0 +1,100 @@
+// The Phase Fusion Engine (paper §5.3): computes, per algorithm, the
+// sequence of shard passes one iteration executes and the data each pass
+// must move.
+//
+// With fusion/elimination ON:
+//   * gatherMap+gatherReduce share one pass (the shard's in-edges are
+//     uploaded once and the per-edge gather temp never leaves the
+//     device);
+//   * apply, scatter (if defined) and frontierActivate fuse into one
+//     out-edge pass;
+//   * undefined phases are eliminated along with their transfers — a
+//     gather-less program (e.g. BFS) never moves in-edge arrays at all.
+//
+// With fusion/elimination OFF (the paper's unoptimized baseline), every
+// defined phase plus frontierActivate runs as its own pass and each pass
+// moves the ENTIRE shard (in-edges + out-edges + edge state) in and its
+// mutable parts out — the repeated movement Fig. 15 quantifies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gr::core {
+
+enum class PhaseKernel : std::uint8_t {
+  kGatherMap,
+  kGatherReduce,
+  kApply,
+  kScatter,
+  kFrontierActivate,
+};
+
+/// One upload -> kernels -> download round over every active shard.
+struct Pass {
+  std::vector<PhaseKernel> kernels;
+  bool needs_in_edges = false;    // CSC offsets + sources (+ edge state)
+  bool needs_out_edges = false;   // CSR offsets + dsts + canonical refs
+  bool moves_edge_state = false;  // canonical edge-state slice uploaded
+  bool scatter_round_trip = false;  // out-edge state staging up + down
+};
+
+struct PhasePlan {
+  std::vector<Pass> passes;
+
+  bool uses_in_edges() const {
+    for (const Pass& pass : passes)
+      if (pass.needs_in_edges) return true;
+    return false;
+  }
+};
+
+inline PhasePlan make_phase_plan(bool has_gather, bool has_scatter,
+                                 bool has_edge_state, bool fusion_enabled) {
+  PhasePlan plan;
+  if (fusion_enabled) {
+    if (has_gather) {
+      Pass gather;
+      gather.kernels = {PhaseKernel::kGatherMap, PhaseKernel::kGatherReduce};
+      gather.needs_in_edges = true;
+      gather.moves_edge_state = has_edge_state;
+      plan.passes.push_back(std::move(gather));
+    }
+    Pass update;
+    update.kernels.push_back(PhaseKernel::kApply);
+    if (has_scatter) {
+      update.kernels.push_back(PhaseKernel::kScatter);
+      update.scatter_round_trip = true;
+    }
+    update.kernels.push_back(PhaseKernel::kFrontierActivate);
+    // Out-edges are moved regardless: frontierActivate always runs
+    // (paper §5.3). Edge-valued programs carry the shard's edge values
+    // with it — Fig. 7 stores values inline with the edge records.
+    update.needs_out_edges = true;
+    update.moves_edge_state = has_edge_state;
+    plan.passes.push_back(std::move(update));
+    return plan;
+  }
+
+  // Unoptimized: one pass per phase, whole shard each time.
+  auto whole_shard_pass = [&](PhaseKernel kernel) {
+    Pass pass;
+    pass.kernels = {kernel};
+    pass.needs_in_edges = true;
+    pass.needs_out_edges = true;
+    pass.moves_edge_state = has_edge_state;
+    pass.scatter_round_trip = kernel == PhaseKernel::kScatter;
+    return pass;
+  };
+  if (has_gather) {
+    plan.passes.push_back(whole_shard_pass(PhaseKernel::kGatherMap));
+    plan.passes.push_back(whole_shard_pass(PhaseKernel::kGatherReduce));
+  }
+  plan.passes.push_back(whole_shard_pass(PhaseKernel::kApply));
+  if (has_scatter)
+    plan.passes.push_back(whole_shard_pass(PhaseKernel::kScatter));
+  plan.passes.push_back(whole_shard_pass(PhaseKernel::kFrontierActivate));
+  return plan;
+}
+
+}  // namespace gr::core

@@ -1,0 +1,35 @@
+#include "graph/csr.hpp"
+
+#include <numeric>
+
+#include "util/common.hpp"
+
+namespace gr::graph {
+
+Compressed Compressed::build(const EdgeList& edges, bool by_src) {
+  const VertexId n = edges.num_vertices();
+  const EdgeId m = edges.num_edges();
+  Compressed out;
+  out.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  out.adjacency_.resize(m);
+  out.original_index_.resize(m);
+
+  // Counting sort by key vertex: stable, O(n + m).
+  for (const Edge& e : edges.edges())
+    ++out.offsets_[(by_src ? e.src : e.dst) + 1];
+  std::partial_sum(out.offsets_.begin(), out.offsets_.end(),
+                   out.offsets_.begin());
+  std::vector<EdgeId> cursor(out.offsets_.begin(), out.offsets_.end() - 1);
+  for (EdgeId i = 0; i < m; ++i) {
+    const Edge& e = edges.edge(i);
+    const VertexId key = by_src ? e.src : e.dst;
+    const VertexId value = by_src ? e.dst : e.src;
+    const EdgeId slot = cursor[key]++;
+    out.adjacency_[slot] = value;
+    out.original_index_[slot] = i;
+  }
+  GR_CHECK(out.offsets_.back() == m);
+  return out;
+}
+
+}  // namespace gr::graph

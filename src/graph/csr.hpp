@@ -1,0 +1,59 @@
+// Compressed sparse row/column adjacency structures.
+//
+// The same container serves both orientations: built "by source" it is a
+// CSR over out-edges; built "by destination" it is a CSC over in-edges
+// (with adjacency holding the sources). The optional permutation maps
+// each compressed slot back to its original edge-list index — the
+// GraphReduce layout engine uses it to carry weights and to assign global
+// canonical edge-state positions.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace gr::graph {
+
+/// Immutable compressed adjacency; see file comment for orientation.
+class Compressed {
+ public:
+  Compressed() = default;
+
+  static Compressed by_source(const EdgeList& edges) {
+    return build(edges, /*by_src=*/true);
+  }
+  static Compressed by_destination(const EdgeList& edges) {
+    return build(edges, /*by_src=*/false);
+  }
+
+  VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  EdgeId num_edges() const { return adjacency_.size(); }
+
+  /// offsets()[v] .. offsets()[v+1] index the adjacency of key vertex v.
+  std::span<const EdgeId> offsets() const { return offsets_; }
+  std::span<const VertexId> adjacency() const { return adjacency_; }
+
+  /// neighbors(v): dsts when built by_source, srcs when by_destination.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return std::span<const VertexId>(adjacency_)
+        .subspan(offsets_[v], offsets_[v + 1] - offsets_[v]);
+  }
+
+  EdgeId degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// original_index()[slot] is the edge-list index of compressed slot.
+  std::span<const EdgeId> original_index() const { return original_index_; }
+
+ private:
+  static Compressed build(const EdgeList& edges, bool by_src);
+
+  std::vector<EdgeId> offsets_;        // size n+1
+  std::vector<VertexId> adjacency_;    // size m
+  std::vector<EdgeId> original_index_; // size m
+};
+
+}  // namespace gr::graph

@@ -1,0 +1,146 @@
+#include "graph/datasets.hpp"
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "util/common.hpp"
+
+namespace gr::graph {
+namespace {
+
+// Seeds are fixed per dataset so analogs are stable across runs.
+constexpr std::uint64_t kSeedBase = 0x5eed'6a70'95u;
+
+unsigned scaled_rmat_scale(double edge_scale, unsigned base) {
+  // Shrink the vertex set with the edge count so degree stays put.
+  if (edge_scale >= 1.0) return base;
+  const int drop = static_cast<int>(std::round(-std::log2(edge_scale)));
+  return base > static_cast<unsigned>(drop) + 6 ? base - drop : 6;
+}
+
+VertexId scaled_dim(double edge_scale, VertexId base, double dims) {
+  if (edge_scale >= 1.0) return base;
+  const double f = std::pow(edge_scale, 1.0 / dims);
+  const auto d = static_cast<VertexId>(std::lround(base * f));
+  return d < 4 ? 4 : d;
+}
+
+EdgeId scaled_edges(double edge_scale, EdgeId base) {
+  const auto e = static_cast<EdgeId>(base * edge_scale);
+  return e < 64 ? 64 : e;
+}
+
+}  // namespace
+
+std::uint64_t footprint_bytes(std::uint64_t vertices, std::uint64_t edges) {
+  return 54 * edges + 16 * vertices;
+}
+
+const std::vector<DatasetInfo>& all_datasets() {
+  static const std::vector<DatasetInfo> datasets = {
+      // --- GPU in-memory (Table 1 top block) ---
+      {"ak2010", "road", false, 45'292, 108'549, "7.9MB"},
+      {"coAuthorsDBLP", "small-world", false, 299'067, 977'676, "69.5MB"},
+      {"kron_g500-logn20", "kronecker", false, 1'048'576, 44'620'272,
+       "2.4GB"},
+      {"webbase-1M", "rmat-web", false, 1'000'005, 3'105'536, "211.6MB"},
+      {"belgium_osm", "road", false, 1'441'295, 1'549'970, "5.4MB"},
+      {"delaunay_n13", "mesh", false, 8'192, 49'094, "3.2MB"},
+      // --- GPU out-of-memory (Table 1 bottom block) ---
+      {"kron_g500-logn21", "kronecker", true, 2'097'152, 91'042'010,
+       "4.84GB"},
+      {"nlpkkt160", "grid3d", true, 8'345'600, 221'172'512, "11.9GB"},
+      {"uk-2002", "rmat-web", true, 18'520'486, 298'113'762, "16.4GB"},
+      {"orkut", "rmat-social", true, 3'072'441, 117'185'083, "6.2GB"},
+      {"cage15", "grid3d", true, 5'154'859, 99'199'551, "5.4GB"},
+  };
+  return datasets;
+}
+
+std::vector<std::string> in_memory_names() {
+  std::vector<std::string> names;
+  for (const auto& d : all_datasets())
+    if (!d.out_of_memory && d.name != "delaunay_n13") names.push_back(d.name);
+  return names;
+}
+
+std::vector<std::string> out_of_memory_names() {
+  std::vector<std::string> names;
+  for (const auto& d : all_datasets())
+    if (d.out_of_memory) names.push_back(d.name);
+  return names;
+}
+
+const DatasetInfo& dataset_info(const std::string& name) {
+  for (const auto& d : all_datasets())
+    if (d.name == name) return d;
+  GR_CHECK_MSG(false, "unknown dataset '" << name << "'");
+  __builtin_unreachable();
+}
+
+EdgeList make_dataset(const std::string& name, double edge_scale) {
+  GR_CHECK(edge_scale > 0.0 && edge_scale <= 1.0);
+  const std::uint64_t seed = kSeedBase ^ std::hash<std::string>{}(name);
+
+  if (name == "ak2010") {
+    // Small road network: 128x128 lattice, 15% deletions.
+    const VertexId d = scaled_dim(edge_scale, 128, 2.0);
+    return road_network(d, d, seed);
+  }
+  if (name == "belgium_osm") {
+    // Larger, sparser road network (paper degree ~1.1 per direction).
+    const VertexId d = scaled_dim(edge_scale, 160, 2.0);
+    return road_network(d, d, seed, RoadOptions{.delete_fraction = 0.40,
+                                                .shortcut_fraction = 0.002});
+  }
+  if (name == "coAuthorsDBLP") {
+    // Collaboration network: small-world, low degree, clustered.
+    const auto n = static_cast<VertexId>(32768 * std::sqrt(edge_scale));
+    return watts_strogatz(n < 64 ? 64 : n, 2, 0.15, seed);
+  }
+  if (name == "kron_g500-logn20") {
+    return rmat(scaled_rmat_scale(edge_scale, 14),
+                scaled_edges(edge_scale, 460'000), seed);
+  }
+  if (name == "kron_g500-logn21") {
+    return rmat(scaled_rmat_scale(edge_scale, 15),
+                scaled_edges(edge_scale, 948'000), seed);
+  }
+  if (name == "webbase-1M") {
+    // Web crawl: skewed in-degree, degree ~3.
+    return rmat(scaled_rmat_scale(edge_scale, 15),
+                scaled_edges(edge_scale, 96'000), seed,
+                RmatOptions{.a = 0.63, .b = 0.16, .c = 0.16});
+  }
+  if (name == "uk-2002") {
+    // Large web crawl; heavier skew, degree ~16.
+    return rmat(scaled_rmat_scale(edge_scale, 18),
+                scaled_edges(edge_scale, 3'100'000), seed,
+                RmatOptions{.a = 0.63, .b = 0.16, .c = 0.16});
+  }
+  if (name == "orkut") {
+    // Undirected social network stored as directed pairs.
+    return rmat(scaled_rmat_scale(edge_scale, 15),
+                scaled_edges(edge_scale, 610'000), seed,
+                RmatOptions{.a = 0.57, .b = 0.19, .c = 0.19,
+                            .symmetric = true});
+  }
+  if (name == "nlpkkt160") {
+    // 3-D PDE constraint matrix: 27-point stencil, huge diameter.
+    const VertexId d = scaled_dim(edge_scale, 44, 3.0);
+    return grid3d(d, d, d, /*full_stencil=*/true);
+  }
+  if (name == "cage15") {
+    // DNA electrophoresis matrix: 3-D-mesh-like with moderate degree.
+    const VertexId d = scaled_dim(edge_scale, 36, 3.0);
+    return grid3d(d, d, d, /*full_stencil=*/true);
+  }
+  if (name == "delaunay_n13") {
+    const VertexId d = scaled_dim(edge_scale, 90, 2.0);
+    return triangulated_grid(d, d + 1);
+  }
+  GR_CHECK_MSG(false, "unknown dataset '" << name << "'");
+  __builtin_unreachable();
+}
+
+}  // namespace gr::graph

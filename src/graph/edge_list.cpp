@@ -1,0 +1,107 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace gr::graph {
+
+void EdgeList::set_num_vertices(VertexId n) {
+  GR_CHECK(n >= num_vertices_);
+  num_vertices_ = n;
+}
+
+void EdgeList::add_edge(VertexId src, VertexId dst) {
+  GR_CHECK_MSG(weights_.empty(),
+               "mixing weighted and unweighted add_edge calls");
+  GR_CHECK(src < num_vertices_ && dst < num_vertices_);
+  edges_.push_back({src, dst});
+}
+
+void EdgeList::add_edge(VertexId src, VertexId dst, float weight) {
+  GR_CHECK_MSG(weights_.size() == edges_.size(),
+               "mixing weighted and unweighted add_edge calls");
+  GR_CHECK(src < num_vertices_ && dst < num_vertices_);
+  edges_.push_back({src, dst});
+  weights_.push_back(weight);
+}
+
+void EdgeList::set_weights(std::vector<float> weights) {
+  GR_CHECK(weights.empty() || weights.size() == edges_.size());
+  weights_ = std::move(weights);
+}
+
+void EdgeList::randomize_weights(float lo, float hi, std::uint64_t seed) {
+  util::Rng rng(seed);
+  weights_.resize(edges_.size());
+  for (auto& w : weights_)
+    w = static_cast<float>(rng.uniform(lo, hi));
+}
+
+void EdgeList::make_undirected() {
+  const EdgeId n = edges_.size();
+  edges_.reserve(2 * n);
+  if (!weights_.empty()) weights_.reserve(2 * n);
+  for (EdgeId i = 0; i < n; ++i) {
+    edges_.push_back({edges_[i].dst, edges_[i].src});
+    if (!weights_.empty()) weights_.push_back(weights_[i]);
+  }
+}
+
+void EdgeList::remove_self_loops() {
+  std::vector<Edge> kept;
+  std::vector<float> kept_w;
+  kept.reserve(edges_.size());
+  if (!weights_.empty()) kept_w.reserve(weights_.size());
+  for (EdgeId i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].src == edges_[i].dst) continue;
+    kept.push_back(edges_[i]);
+    if (!weights_.empty()) kept_w.push_back(weights_[i]);
+  }
+  edges_ = std::move(kept);
+  weights_ = std::move(kept_w);
+}
+
+void EdgeList::sort_and_dedup() {
+  std::vector<EdgeId> order(edges_.size());
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    if (edges_[a].src != edges_[b].src) return edges_[a].src < edges_[b].src;
+    if (edges_[a].dst != edges_[b].dst) return edges_[a].dst < edges_[b].dst;
+    return a < b;  // stable: keep first duplicate's weight
+  });
+  std::vector<Edge> sorted;
+  std::vector<float> sorted_w;
+  sorted.reserve(edges_.size());
+  if (!weights_.empty()) sorted_w.reserve(weights_.size());
+  for (EdgeId idx : order) {
+    if (!sorted.empty() && sorted.back() == edges_[idx]) continue;
+    sorted.push_back(edges_[idx]);
+    if (!weights_.empty()) sorted_w.push_back(weights_[idx]);
+  }
+  edges_ = std::move(sorted);
+  weights_ = std::move(sorted_w);
+}
+
+void EdgeList::validate() const {
+  GR_CHECK(weights_.empty() || weights_.size() == edges_.size());
+  for (const Edge& e : edges_)
+    GR_CHECK_MSG(e.src < num_vertices_ && e.dst < num_vertices_,
+                 "edge (" << e.src << "," << e.dst
+                          << ") out of range, n=" << num_vertices_);
+}
+
+std::vector<EdgeId> EdgeList::out_degrees() const {
+  std::vector<EdgeId> deg(num_vertices_, 0);
+  for (const Edge& e : edges_) ++deg[e.src];
+  return deg;
+}
+
+std::vector<EdgeId> EdgeList::in_degrees() const {
+  std::vector<EdgeId> deg(num_vertices_, 0);
+  for (const Edge& e : edges_) ++deg[e.dst];
+  return deg;
+}
+
+}  // namespace gr::graph

@@ -1,0 +1,73 @@
+// Mutable edge-list (COO) container — the interchange format between
+// generators, IO, the GraphReduce Partition Engine and the baselines.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/common.hpp"
+
+namespace gr::graph {
+
+/// Directed edge list with an explicit vertex-count bound and optional
+/// per-edge float weights (parallel array; empty means unweighted).
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(VertexId num_vertices) : num_vertices_(num_vertices) {}
+  EdgeList(VertexId num_vertices, std::vector<Edge> edges)
+      : num_vertices_(num_vertices), edges_(std::move(edges)) {
+    validate();
+  }
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeId num_edges() const { return edges_.size(); }
+  bool empty() const { return edges_.empty(); }
+
+  std::span<const Edge> edges() const { return edges_; }
+  std::span<Edge> edges() { return edges_; }
+  const Edge& edge(EdgeId i) const { return edges_[i]; }
+
+  bool has_weights() const { return !weights_.empty(); }
+  std::span<const float> weights() const { return weights_; }
+  float weight(EdgeId i) const { return weights_.empty() ? 1.0f : weights_[i]; }
+
+  /// Grows the vertex-count bound (never shrinks below used ids).
+  void set_num_vertices(VertexId n);
+
+  void reserve(EdgeId n) { edges_.reserve(n); }
+  void add_edge(VertexId src, VertexId dst);
+  void add_edge(VertexId src, VertexId dst, float weight);
+
+  /// Replaces weights; size must equal num_edges (or 0 to clear).
+  void set_weights(std::vector<float> weights);
+
+  /// Assigns deterministic uniform weights in [lo, hi) from seed.
+  void randomize_weights(float lo, float hi, std::uint64_t seed);
+
+  /// Adds the reverse of every edge (weights duplicated); used to store
+  /// undirected inputs as pairs of directed edges, as the paper does.
+  void make_undirected();
+
+  /// Removes edges with src == dst.
+  void remove_self_loops();
+
+  /// Sorts edges by (src, dst) and removes exact duplicates (keeping the
+  /// first weight). Invalidates prior edge indices.
+  void sort_and_dedup();
+
+  /// Checks all endpoints are < num_vertices; throws CheckError if not.
+  void validate() const;
+
+  /// Total out-degree per vertex.
+  std::vector<EdgeId> out_degrees() const;
+  std::vector<EdgeId> in_degrees() const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<float> weights_;
+};
+
+}  // namespace gr::graph

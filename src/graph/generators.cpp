@@ -1,0 +1,241 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace gr::graph {
+
+EdgeList rmat(unsigned scale, EdgeId num_edges, std::uint64_t seed,
+              const RmatOptions& options) {
+  GR_CHECK(scale >= 1 && scale <= 31);
+  GR_CHECK(options.a + options.b + options.c <= 1.0);
+  const VertexId n = VertexId{1} << scale;
+  EdgeList out(n);
+  out.reserve(options.symmetric ? 2 * num_edges : num_edges);
+  util::Rng rng(seed);
+  for (EdgeId i = 0; i < num_edges; ++i) {
+    VertexId src = 0;
+    VertexId dst = 0;
+    for (unsigned level = 0; level < scale; ++level) {
+      // Jitter quadrant probabilities per level (Graph500-style noise).
+      const double na = options.a * (1.0 + options.noise *
+                                               (rng.uniform() - 0.5));
+      const double nb = options.b * (1.0 + options.noise *
+                                               (rng.uniform() - 0.5));
+      const double nc = options.c * (1.0 + options.noise *
+                                               (rng.uniform() - 0.5));
+      const double r = rng.uniform() * (na + nb + nc +
+                                        (1.0 - options.a - options.b -
+                                         options.c));
+      src <<= 1;
+      dst <<= 1;
+      if (r < na) {
+        // top-left: no bits set
+      } else if (r < na + nb) {
+        dst |= 1;
+      } else if (r < na + nb + nc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    if (options.remove_self_loops && src == dst) {
+      dst = static_cast<VertexId>((dst + 1) % n);
+      if (src == dst) continue;
+    }
+    out.add_edge(src, dst);
+  }
+  if (options.symmetric) out.make_undirected();
+  return out;
+}
+
+EdgeList erdos_renyi(VertexId n, EdgeId m, std::uint64_t seed) {
+  GR_CHECK(n >= 2);
+  EdgeList out(n);
+  out.reserve(m);
+  util::Rng rng(seed);
+  for (EdgeId i = 0; i < m; ++i) {
+    const auto src = static_cast<VertexId>(rng.below(n));
+    auto dst = static_cast<VertexId>(rng.below(n));
+    if (dst == src) dst = (dst + 1) % n;
+    out.add_edge(src, dst);
+  }
+  return out;
+}
+
+EdgeList grid2d(VertexId nx, VertexId ny) {
+  GR_CHECK(nx >= 1 && ny >= 1);
+  const VertexId n = nx * ny;
+  EdgeList out(n);
+  out.reserve(EdgeId{4} * n);
+  auto id = [&](VertexId x, VertexId y) { return y * nx + x; };
+  for (VertexId y = 0; y < ny; ++y) {
+    for (VertexId x = 0; x < nx; ++x) {
+      if (x + 1 < nx) {
+        out.add_edge(id(x, y), id(x + 1, y));
+        out.add_edge(id(x + 1, y), id(x, y));
+      }
+      if (y + 1 < ny) {
+        out.add_edge(id(x, y), id(x, y + 1));
+        out.add_edge(id(x, y + 1), id(x, y));
+      }
+    }
+  }
+  return out;
+}
+
+EdgeList grid3d(VertexId nx, VertexId ny, VertexId nz, bool full_stencil) {
+  GR_CHECK(nx >= 1 && ny >= 1 && nz >= 1);
+  const VertexId n = nx * ny * nz;
+  EdgeList out(n);
+  auto id = [&](VertexId x, VertexId y, VertexId z) {
+    return (z * ny + y) * nx + x;
+  };
+  for (VertexId z = 0; z < nz; ++z) {
+    for (VertexId y = 0; y < ny; ++y) {
+      for (VertexId x = 0; x < nx; ++x) {
+        // Emit each undirected neighbour pair once from the lower vertex,
+        // as two directed edges.
+        const int lo = full_stencil ? -1 : 0;
+        for (int dz = lo; dz <= 1; ++dz) {
+          for (int dy = lo; dy <= 1; ++dy) {
+            for (int dx = lo; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              if (!full_stencil && dx + dy + dz != 1) continue;
+              if (full_stencil) {
+                // Only forward-lexicographic offsets to avoid duplicates.
+                if (dz < 0 || (dz == 0 && dy < 0) ||
+                    (dz == 0 && dy == 0 && dx < 0))
+                  continue;
+              }
+              const long long xx = static_cast<long long>(x) + dx;
+              const long long yy = static_cast<long long>(y) + dy;
+              const long long zz = static_cast<long long>(z) + dz;
+              if (xx < 0 || yy < 0 || zz < 0 || xx >= nx || yy >= ny ||
+                  zz >= nz)
+                continue;
+              const VertexId u = id(x, y, z);
+              const VertexId v = id(static_cast<VertexId>(xx),
+                                    static_cast<VertexId>(yy),
+                                    static_cast<VertexId>(zz));
+              out.add_edge(u, v);
+              out.add_edge(v, u);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+EdgeList road_network(VertexId nx, VertexId ny, std::uint64_t seed,
+                      const RoadOptions& options) {
+  util::Rng rng(seed);
+  const VertexId n = nx * ny;
+  EdgeList out(n);
+  auto id = [&](VertexId x, VertexId y) { return y * nx + x; };
+  auto keep = [&] { return !rng.chance(options.delete_fraction); };
+  for (VertexId y = 0; y < ny; ++y) {
+    for (VertexId x = 0; x < nx; ++x) {
+      if (x + 1 < nx && keep()) {
+        out.add_edge(id(x, y), id(x + 1, y));
+        out.add_edge(id(x + 1, y), id(x, y));
+      }
+      if (y + 1 < ny && keep()) {
+        out.add_edge(id(x, y), id(x, y + 1));
+        out.add_edge(id(x, y + 1), id(x, y));
+      }
+    }
+  }
+  const auto shortcuts =
+      static_cast<EdgeId>(options.shortcut_fraction *
+                          static_cast<double>(out.num_edges()));
+  for (EdgeId i = 0; i < shortcuts; ++i) {
+    const auto u = static_cast<VertexId>(rng.below(n));
+    auto v = static_cast<VertexId>(rng.below(n));
+    if (u == v) v = (v + 1) % n;
+    out.add_edge(u, v);
+    out.add_edge(v, u);
+  }
+  return out;
+}
+
+EdgeList watts_strogatz(VertexId n, unsigned k, double beta,
+                        std::uint64_t seed) {
+  GR_CHECK(n > 2 * k);
+  util::Rng rng(seed);
+  EdgeList out(n);
+  out.reserve(EdgeId{2} * k * n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (unsigned j = 1; j <= k; ++j) {
+      VertexId v = (u + j) % n;
+      if (rng.chance(beta)) {
+        v = static_cast<VertexId>(rng.below(n));
+        if (v == u) v = (v + 1) % n;
+      }
+      out.add_edge(u, v);
+      out.add_edge(v, u);
+    }
+  }
+  return out;
+}
+
+EdgeList triangulated_grid(VertexId nx, VertexId ny) {
+  EdgeList out = grid2d(nx, ny);
+  auto id = [&](VertexId x, VertexId y) { return y * nx + x; };
+  for (VertexId y = 0; y + 1 < ny; ++y) {
+    for (VertexId x = 0; x + 1 < nx; ++x) {
+      out.add_edge(id(x, y), id(x + 1, y + 1));
+      out.add_edge(id(x + 1, y + 1), id(x, y));
+    }
+  }
+  return out;
+}
+
+EdgeList path_graph(VertexId n) {
+  GR_CHECK(n >= 1);
+  EdgeList out(n);
+  for (VertexId v = 0; v + 1 < n; ++v) out.add_edge(v, v + 1);
+  return out;
+}
+
+EdgeList cycle_graph(VertexId n) {
+  EdgeList out = path_graph(n);
+  if (n > 1) out.add_edge(n - 1, 0);
+  return out;
+}
+
+EdgeList star_graph(VertexId n) {
+  GR_CHECK(n >= 1);
+  EdgeList out(n);
+  for (VertexId v = 1; v < n; ++v) {
+    out.add_edge(0, v);
+    out.add_edge(v, 0);
+  }
+  return out;
+}
+
+EdgeList complete_graph(VertexId n) {
+  EdgeList out(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = 0; v < n; ++v)
+      if (u != v) out.add_edge(u, v);
+  return out;
+}
+
+EdgeList two_cycles(VertexId n) {
+  GR_CHECK(n >= 2);
+  EdgeList out(2 * n);
+  for (VertexId v = 0; v < n; ++v) {
+    out.add_edge(v, (v + 1) % n);
+    out.add_edge(n + v, n + (v + 1) % n);
+  }
+  return out;
+}
+
+}  // namespace gr::graph

@@ -1,0 +1,79 @@
+// Deterministic synthetic graph generators.
+//
+// These produce the dataset analogs listed in DESIGN.md §4: R-MAT /
+// Kronecker for power-law web and social graphs, 3-D grid stencils for
+// PDE matrices (nlpkkt160, cage15), random-geometric lattices for road
+// networks, and Watts–Strogatz small-world graphs for collaboration
+// networks — plus tiny structured graphs used by the test suite.
+//
+// All generators are pure functions of their parameters (seeded RNG),
+// so every experiment is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace gr::graph {
+
+/// R-MAT / stochastic-Kronecker generator (Graph500 style).
+/// Emits `num_edges` directed edges over 2^scale vertices; (a, b, c) are
+/// the recursive quadrant probabilities (d = 1 - a - b - c). Graph500
+/// uses a=0.57, b=c=0.19.
+struct RmatOptions {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  /// Multiplicative noise on quadrant probabilities per level, which
+  /// avoids the perfectly self-similar degree staircase.
+  double noise = 0.1;
+  bool remove_self_loops = true;
+  /// Also emit the reverse of every edge (undirected storage).
+  bool symmetric = false;
+};
+EdgeList rmat(unsigned scale, EdgeId num_edges, std::uint64_t seed,
+              const RmatOptions& options = {});
+
+/// Uniform random directed graph with n vertices and m edges.
+EdgeList erdos_renyi(VertexId n, EdgeId m, std::uint64_t seed);
+
+/// 2-D lattice, 4-neighbour stencil, directed pairs both ways.
+EdgeList grid2d(VertexId nx, VertexId ny);
+
+/// 3-D lattice with a 6- or 26-neighbour stencil (directed pairs). The
+/// 26-point stencil approximates nlpkkt-style PDE sparsity.
+EdgeList grid3d(VertexId nx, VertexId ny, VertexId nz,
+                bool full_stencil = true);
+
+/// Road-network analog: 2-D lattice with a fraction of edges deleted and
+/// a few long-range shortcuts; low degree, very high diameter.
+struct RoadOptions {
+  double delete_fraction = 0.15;
+  double shortcut_fraction = 0.005;
+};
+EdgeList road_network(VertexId nx, VertexId ny, std::uint64_t seed,
+                      const RoadOptions& options = {});
+
+/// Watts–Strogatz small-world ring (k neighbours each side, rewiring
+/// probability beta); directed pairs both ways.
+EdgeList watts_strogatz(VertexId n, unsigned k, double beta,
+                        std::uint64_t seed);
+
+/// Grid-triangulation analog of a Delaunay mesh: 2-D lattice plus one
+/// diagonal per cell (directed pairs).
+EdgeList triangulated_grid(VertexId nx, VertexId ny);
+
+// --- tiny structured graphs for tests ---
+
+/// 0 -> 1 -> 2 -> ... -> n-1.
+EdgeList path_graph(VertexId n);
+/// Path plus the closing edge n-1 -> 0.
+EdgeList cycle_graph(VertexId n);
+/// Hub 0 with spokes to 1..n-1 (directed pairs both ways).
+EdgeList star_graph(VertexId n);
+/// All ordered pairs (u, v), u != v.
+EdgeList complete_graph(VertexId n);
+/// Two disjoint cycles of size n each (2 components).
+EdgeList two_cycles(VertexId n);
+
+}  // namespace gr::graph

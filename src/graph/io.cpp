@@ -1,0 +1,136 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace gr::graph {
+namespace {
+
+constexpr char kMagic[8] = {'G', 'R', 'E', 'D', 'G', 'E', '0', '1'};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof value);
+  GR_CHECK_MSG(is.good(), "truncated binary graph stream");
+  return value;
+}
+
+}  // namespace
+
+void write_text(std::ostream& os, const EdgeList& edges) {
+  os << "# vertices " << edges.num_vertices() << '\n';
+  for (EdgeId i = 0; i < edges.num_edges(); ++i) {
+    const Edge& e = edges.edge(i);
+    os << e.src << ' ' << e.dst;
+    if (edges.has_weights()) os << ' ' << edges.weight(i);
+    os << '\n';
+  }
+}
+
+void save_text(const std::string& path, const EdgeList& edges) {
+  std::ofstream os(path);
+  GR_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
+  write_text(os, edges);
+}
+
+EdgeList read_text(std::istream& is) {
+  VertexId declared = 0;
+  std::vector<Edge> edges;
+  std::vector<float> weights;
+  VertexId max_id = 0;
+  bool any_weight = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream hs(line.substr(1));
+      std::string token;
+      if (hs >> token && token == "vertices") hs >> declared;
+      continue;
+    }
+    std::istringstream ls(line);
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    GR_CHECK_MSG(static_cast<bool>(ls >> src >> dst),
+                 "malformed edge line: '" << line << "'");
+    float w = 1.0f;
+    if (ls >> w) {
+      any_weight = true;
+    }
+    edges.push_back(
+        {static_cast<VertexId>(src), static_cast<VertexId>(dst)});
+    weights.push_back(w);
+    max_id = std::max({max_id, static_cast<VertexId>(src),
+                       static_cast<VertexId>(dst)});
+  }
+  const VertexId n =
+      std::max<VertexId>(declared, edges.empty() ? 0 : max_id + 1);
+  EdgeList out(n, std::move(edges));
+  if (any_weight) out.set_weights(std::move(weights));
+  return out;
+}
+
+EdgeList load_text(const std::string& path) {
+  std::ifstream is(path);
+  GR_CHECK_MSG(is.good(), "cannot open '" << path << "' for reading");
+  return read_text(is);
+}
+
+void write_binary(std::ostream& os, const EdgeList& edges) {
+  os.write(kMagic, sizeof kMagic);
+  write_pod(os, static_cast<std::uint64_t>(edges.num_vertices()));
+  write_pod(os, static_cast<std::uint64_t>(edges.num_edges()));
+  write_pod(os, static_cast<std::uint8_t>(edges.has_weights() ? 1 : 0));
+  os.write(reinterpret_cast<const char*>(edges.edges().data()),
+           static_cast<std::streamsize>(edges.num_edges() * sizeof(Edge)));
+  if (edges.has_weights())
+    os.write(reinterpret_cast<const char*>(edges.weights().data()),
+             static_cast<std::streamsize>(edges.num_edges() * sizeof(float)));
+}
+
+void save_binary(const std::string& path, const EdgeList& edges) {
+  std::ofstream os(path, std::ios::binary);
+  GR_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
+  write_binary(os, edges);
+}
+
+EdgeList read_binary(std::istream& is) {
+  char magic[sizeof kMagic];
+  is.read(magic, sizeof magic);
+  GR_CHECK_MSG(is.good() && std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+               "not a GR binary edge file");
+  const auto n = static_cast<VertexId>(read_pod<std::uint64_t>(is));
+  const auto m = read_pod<std::uint64_t>(is);
+  const auto weighted = read_pod<std::uint8_t>(is);
+  std::vector<Edge> edges(m);
+  is.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(m * sizeof(Edge)));
+  GR_CHECK_MSG(is.good(), "truncated binary graph stream");
+  EdgeList out(n, std::move(edges));
+  if (weighted) {
+    std::vector<float> weights(m);
+    is.read(reinterpret_cast<char*>(weights.data()),
+            static_cast<std::streamsize>(m * sizeof(float)));
+    GR_CHECK_MSG(is.good(), "truncated binary graph stream");
+    out.set_weights(std::move(weights));
+  }
+  return out;
+}
+
+EdgeList load_binary(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  GR_CHECK_MSG(is.good(), "cannot open '" << path << "' for reading");
+  return read_binary(is);
+}
+
+}  // namespace gr::graph

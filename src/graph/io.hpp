@@ -1,0 +1,30 @@
+// Edge-list file IO.
+//
+// Text format: one "src dst [weight]" line per edge, '#' comments and a
+// leading optional "# vertices N" header. Binary format: a small header
+// followed by packed edges (and weights if present) — used by examples
+// to cache generated graphs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace gr::graph {
+
+/// Writes the text format described above.
+void write_text(std::ostream& os, const EdgeList& edges);
+void save_text(const std::string& path, const EdgeList& edges);
+
+/// Reads the text format; vertex count is max(header, 1 + max id).
+EdgeList read_text(std::istream& is);
+EdgeList load_text(const std::string& path);
+
+/// Packed binary round-trip (magic + counts + edges [+ weights]).
+void write_binary(std::ostream& os, const EdgeList& edges);
+void save_binary(const std::string& path, const EdgeList& edges);
+EdgeList read_binary(std::istream& is);
+EdgeList load_binary(const std::string& path);
+
+}  // namespace gr::graph

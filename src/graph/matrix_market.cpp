@@ -1,0 +1,120 @@
+#include "graph/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace gr::graph {
+namespace {
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+EdgeList read_matrix_market(std::istream& is) {
+  std::string line;
+  GR_CHECK_MSG(std::getline(is, line), "empty matrix market stream");
+  std::istringstream header(lower(line));
+  std::string banner;
+  std::string object;
+  std::string format;
+  std::string field;
+  std::string symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  GR_CHECK_MSG(banner == "%%matrixmarket", "missing MatrixMarket banner");
+  GR_CHECK_MSG(object == "matrix" && format == "coordinate",
+               "only 'matrix coordinate' is supported");
+  GR_CHECK_MSG(field == "real" || field == "pattern" || field == "integer",
+               "unsupported field type '" << field << "'");
+  GR_CHECK_MSG(symmetry == "general" || symmetry == "symmetric",
+               "unsupported symmetry '" << symmetry << "'");
+  const bool has_values = field != "pattern";
+  const bool symmetric = symmetry == "symmetric";
+
+  // Size line (after comments).
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::uint64_t entries = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ls(line);
+    GR_CHECK_MSG(static_cast<bool>(ls >> rows >> cols >> entries),
+                 "malformed size line: '" << line << "'");
+    break;
+  }
+  GR_CHECK_MSG(rows > 0 && cols > 0, "missing size line");
+
+  const auto n = static_cast<VertexId>(std::max(rows, cols));
+  EdgeList out(n);
+  out.reserve(symmetric ? 2 * entries : entries);
+  std::uint64_t read = 0;
+  while (read < entries && std::getline(is, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t r = 0;
+    std::uint64_t c = 0;
+    double value = 1.0;
+    GR_CHECK_MSG(static_cast<bool>(ls >> r >> c),
+                 "malformed entry: '" << line << "'");
+    if (has_values) {
+      GR_CHECK_MSG(static_cast<bool>(ls >> value),
+                   "missing value: '" << line << "'");
+    }
+    GR_CHECK_MSG(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                 "entry out of range: '" << line << "'");
+    // Convention: entry (r, c) is an edge c-1 -> r-1 (column = source),
+    // matching SpMV semantics y = A x with a_{dst,src}.
+    const auto src = static_cast<VertexId>(c - 1);
+    const auto dst = static_cast<VertexId>(r - 1);
+    if (has_values)
+      out.add_edge(src, dst, static_cast<float>(value));
+    else
+      out.add_edge(src, dst);
+    if (symmetric && src != dst) {
+      if (has_values)
+        out.add_edge(dst, src, static_cast<float>(value));
+      else
+        out.add_edge(dst, src);
+    }
+    ++read;
+  }
+  GR_CHECK_MSG(read == entries, "truncated matrix market stream: " << read
+                                    << "/" << entries << " entries");
+  return out;
+}
+
+EdgeList load_matrix_market(const std::string& path) {
+  std::ifstream is(path);
+  GR_CHECK_MSG(is.good(), "cannot open '" << path << "' for reading");
+  return read_matrix_market(is);
+}
+
+void write_matrix_market(std::ostream& os, const EdgeList& edges) {
+  const bool weighted = edges.has_weights();
+  os << "%%MatrixMarket matrix coordinate "
+     << (weighted ? "real" : "pattern") << " general\n";
+  os << "% written by GraphReduce\n";
+  os << edges.num_vertices() << ' ' << edges.num_vertices() << ' '
+     << edges.num_edges() << '\n';
+  for (EdgeId i = 0; i < edges.num_edges(); ++i) {
+    const Edge& e = edges.edge(i);
+    os << e.dst + 1 << ' ' << e.src + 1;
+    if (weighted) os << ' ' << edges.weight(i);
+    os << '\n';
+  }
+}
+
+void save_matrix_market(const std::string& path, const EdgeList& edges) {
+  std::ofstream os(path);
+  GR_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
+  write_matrix_market(os, edges);
+}
+
+}  // namespace gr::graph

@@ -1,0 +1,25 @@
+// Matrix Market (.mtx) reader/writer — the format the paper's datasets
+// ship in (SuiteSparse / DIMACS10 collections).
+//
+// Supported subset: `matrix coordinate (real|pattern|integer)
+// (general|symmetric)` headers, 1-based indices, optional comment lines.
+// Symmetric matrices expand to directed edge pairs (the paper stores
+// undirected inputs the same way); diagonal entries become self-loops.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace gr::graph {
+
+EdgeList read_matrix_market(std::istream& is);
+EdgeList load_matrix_market(const std::string& path);
+
+/// Writes coordinate/general with real weights (or pattern when the
+/// edge list is unweighted).
+void write_matrix_market(std::ostream& os, const EdgeList& edges);
+void save_matrix_market(const std::string& path, const EdgeList& edges);
+
+}  // namespace gr::graph

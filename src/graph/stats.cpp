@@ -1,0 +1,90 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/csr.hpp"
+
+namespace gr::graph {
+
+DegreeStats degree_stats(const EdgeList& edges) {
+  const auto out_deg = edges.out_degrees();
+  const auto in_deg = edges.in_degrees();
+  DegreeStats stats;
+  if (edges.num_vertices() == 0) return stats;
+  stats.min = out_deg.empty() ? 0 : out_deg[0];
+  for (VertexId v = 0; v < edges.num_vertices(); ++v) {
+    stats.min = std::min(stats.min, out_deg[v]);
+    stats.max = std::max(stats.max, out_deg[v]);
+    if (out_deg[v] == 0 && in_deg[v] == 0) ++stats.isolated;
+  }
+  stats.mean = static_cast<double>(edges.num_edges()) /
+               static_cast<double>(edges.num_vertices());
+  return stats;
+}
+
+std::uint64_t reachable_count(const EdgeList& edges, VertexId source) {
+  const Compressed csr = Compressed::by_source(edges);
+  std::vector<char> seen(edges.num_vertices(), 0);
+  std::queue<VertexId> queue;
+  seen[source] = 1;
+  queue.push(source);
+  std::uint64_t count = 0;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop();
+    ++count;
+    for (VertexId v : csr.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        queue.push(v);
+      }
+    }
+  }
+  return count;
+}
+
+std::uint64_t weak_component_count(const EdgeList& edges) {
+  // Union-find over undirected interpretation.
+  std::vector<VertexId> parent(edges.num_vertices());
+  for (VertexId v = 0; v < edges.num_vertices(); ++v) parent[v] = v;
+  auto find = [&](VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const Edge& e : edges.edges()) {
+    const VertexId a = find(e.src);
+    const VertexId b = find(e.dst);
+    if (a != b) parent[a] = b;
+  }
+  std::uint64_t roots = 0;
+  for (VertexId v = 0; v < edges.num_vertices(); ++v)
+    if (find(v) == v) ++roots;
+  return roots;
+}
+
+std::uint64_t eccentricity(const EdgeList& edges, VertexId source) {
+  const Compressed csr = Compressed::by_source(edges);
+  std::vector<std::uint32_t> dist(edges.num_vertices(), ~0u);
+  std::queue<VertexId> queue;
+  dist[source] = 0;
+  queue.push(source);
+  std::uint64_t depth = 0;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop();
+    depth = std::max<std::uint64_t>(depth, dist[u]);
+    for (VertexId v : csr.neighbors(u)) {
+      if (dist[v] == ~0u) {
+        dist[v] = dist[u] + 1;
+        queue.push(v);
+      }
+    }
+  }
+  return depth;
+}
+
+}  // namespace gr::graph

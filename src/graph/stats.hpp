@@ -1,0 +1,31 @@
+// Structural statistics over edge lists: degree summaries, reachability,
+// and approximate diameter — used by tests, the Table 1 bench and docs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace gr::graph {
+
+struct DegreeStats {
+  EdgeId min = 0;
+  EdgeId max = 0;
+  double mean = 0.0;
+  std::uint64_t isolated = 0;  // vertices with no in or out edges
+};
+
+DegreeStats degree_stats(const EdgeList& edges);
+
+/// Number of vertices reachable from `source` following directed edges.
+std::uint64_t reachable_count(const EdgeList& edges, VertexId source);
+
+/// Number of weakly connected components.
+std::uint64_t weak_component_count(const EdgeList& edges);
+
+/// Eccentricity of `source` (longest shortest hop-path from it) — a lower
+/// bound on diameter; cheap proxy used to sanity-check dataset families.
+std::uint64_t eccentricity(const EdgeList& edges, VertexId source);
+
+}  // namespace gr::graph

@@ -1,0 +1,142 @@
+#include "graph/transforms.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "graph/csr.hpp"
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace gr::graph {
+
+EdgeList permute_vertices(const EdgeList& edges,
+                          std::span<const VertexId> permutation) {
+  const VertexId n = edges.num_vertices();
+  GR_CHECK(permutation.size() == n);
+  // Verify bijection.
+  std::vector<std::uint8_t> seen(n, 0);
+  for (VertexId target : permutation) {
+    GR_CHECK_MSG(target < n && !seen[target], "not a permutation");
+    seen[target] = 1;
+  }
+  EdgeList out(n);
+  out.reserve(edges.num_edges());
+  if (edges.has_weights()) {
+    for (EdgeId i = 0; i < edges.num_edges(); ++i) {
+      const Edge& e = edges.edge(i);
+      out.add_edge(permutation[e.src], permutation[e.dst], edges.weight(i));
+    }
+  } else {
+    for (const Edge& e : edges.edges())
+      out.add_edge(permutation[e.src], permutation[e.dst]);
+  }
+  return out;
+}
+
+std::vector<VertexId> bfs_order(const EdgeList& edges, VertexId source) {
+  const VertexId n = edges.num_vertices();
+  GR_CHECK(source < n);
+  const Compressed csr = Compressed::by_source(edges);
+  std::vector<VertexId> order(n, kInvalidVertex);
+  std::queue<VertexId> queue;
+  VertexId next_id = 0;
+  order[source] = next_id++;
+  queue.push(source);
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop();
+    for (VertexId v : csr.neighbors(u)) {
+      if (order[v] != kInvalidVertex) continue;
+      order[v] = next_id++;
+      queue.push(v);
+    }
+  }
+  for (VertexId v = 0; v < n; ++v)
+    if (order[v] == kInvalidVertex) order[v] = next_id++;
+  GR_CHECK(next_id == n);
+  return order;
+}
+
+std::vector<VertexId> degree_order(const EdgeList& edges) {
+  const VertexId n = edges.num_vertices();
+  const auto in = edges.in_degrees();
+  const auto out = edges.out_degrees();
+  std::vector<VertexId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), VertexId{0});
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](VertexId a, VertexId b) {
+                     return in[a] + out[a] > in[b] + out[b];
+                   });
+  std::vector<VertexId> order(n);
+  for (VertexId rank = 0; rank < n; ++rank) order[by_degree[rank]] = rank;
+  return order;
+}
+
+std::vector<VertexId> random_order(VertexId n, std::uint64_t seed) {
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  util::Rng rng(seed);
+  for (VertexId i = n; i > 1; --i)
+    std::swap(order[i - 1], order[rng.below(i)]);
+  return order;
+}
+
+EdgeList largest_component(const EdgeList& edges,
+                           std::vector<VertexId>* original_id) {
+  const VertexId n = edges.num_vertices();
+  GR_CHECK(n > 0);
+  // Union-find over the undirected interpretation.
+  std::vector<VertexId> parent(n);
+  std::iota(parent.begin(), parent.end(), VertexId{0});
+  auto find = [&](VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const Edge& e : edges.edges()) {
+    const VertexId a = find(e.src);
+    const VertexId b = find(e.dst);
+    if (a != b) parent[a] = b;
+  }
+  std::vector<std::uint64_t> size(n, 0);
+  for (VertexId v = 0; v < n; ++v) ++size[find(v)];
+  const VertexId best_root = static_cast<VertexId>(
+      std::max_element(size.begin(), size.end()) - size.begin());
+
+  std::vector<VertexId> new_id(n, kInvalidVertex);
+  std::vector<VertexId> back;
+  for (VertexId v = 0; v < n; ++v) {
+    if (find(v) != best_root) continue;
+    new_id[v] = static_cast<VertexId>(back.size());
+    back.push_back(v);
+  }
+  EdgeList out(static_cast<VertexId>(back.size()));
+  for (EdgeId i = 0; i < edges.num_edges(); ++i) {
+    const Edge& e = edges.edge(i);
+    if (new_id[e.src] == kInvalidVertex) continue;
+    if (edges.has_weights())
+      out.add_edge(new_id[e.src], new_id[e.dst], edges.weight(i));
+    else
+      out.add_edge(new_id[e.src], new_id[e.dst]);
+  }
+  if (original_id != nullptr) *original_id = std::move(back);
+  return out;
+}
+
+EdgeList transpose(const EdgeList& edges) {
+  EdgeList out(edges.num_vertices());
+  out.reserve(edges.num_edges());
+  for (EdgeId i = 0; i < edges.num_edges(); ++i) {
+    const Edge& e = edges.edge(i);
+    if (edges.has_weights())
+      out.add_edge(e.dst, e.src, edges.weight(i));
+    else
+      out.add_edge(e.dst, e.src);
+  }
+  return out;
+}
+
+}  // namespace gr::graph

@@ -1,0 +1,43 @@
+// Graph transformations: vertex relabelings and subgraph extraction.
+//
+// Vertex order determines interval locality, which determines how well
+// shard-granularity frontier skipping works (a BFS wavefront that is
+// contiguous in id space touches few shards; a scattered one touches
+// all). The paper's pluggable Partition Logic Table motivates exactly
+// this kind of layout experimentation — bench_ablation_partition
+// measures these orders against each other.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace gr::graph {
+
+/// Renames vertex v to permutation[v] (a bijection over [0, n)).
+EdgeList permute_vertices(const EdgeList& edges,
+                          std::span<const VertexId> permutation);
+
+/// Permutation placing vertices in BFS-visit order from `source`
+/// (unreached vertices keep relative order after the reached ones).
+/// BFS order makes traversal wavefronts contiguous in id space.
+std::vector<VertexId> bfs_order(const EdgeList& edges, VertexId source);
+
+/// Permutation sorting vertices by descending (in+out) degree — hubs
+/// first, the layout CuSha-style frameworks and Totem placement prefer.
+std::vector<VertexId> degree_order(const EdgeList& edges);
+
+/// Deterministically scrambled order (worst-case locality baseline).
+std::vector<VertexId> random_order(VertexId n, std::uint64_t seed);
+
+/// Subgraph induced by the largest weakly connected component, with
+/// vertices renumbered densely; `original_id` (optional out) maps new
+/// ids back to the input's.
+EdgeList largest_component(const EdgeList& edges,
+                           std::vector<VertexId>* original_id = nullptr);
+
+/// Reverses every edge (transpose).
+EdgeList transpose(const EdgeList& edges);
+
+}  // namespace gr::graph

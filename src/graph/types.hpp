@@ -1,0 +1,27 @@
+// Fundamental graph types shared across the repository.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gr::graph {
+
+/// Vertex identifier; 32 bits covers every dataset in the paper's Table 1.
+using VertexId = std::uint32_t;
+
+/// Edge index / count type; 64 bits (edge counts exceed 2^32 at paper scale).
+using EdgeId = std::uint64_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// A directed edge from src to dst.
+struct Edge {
+  VertexId src;
+  VertexId dst;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace gr::graph

@@ -1,0 +1,80 @@
+#include "sim/engines.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace gr::sim {
+
+namespace {
+// Completion guard epsilon: treat remaining work below this (seconds at
+// full rate) as done, absorbing floating-point drift.
+constexpr double kWorkEpsilon = 1e-15;
+}  // namespace
+
+double SharedEngine::rate_of(const Task& task) const {
+  if (total_cap_ <= 1.0) return task.rate_cap;
+  return task.rate_cap / total_cap_;
+}
+
+void SharedEngine::settle() {
+  const SimTime now = queue_.now();
+  const double dt = now - last_update_;
+  if (dt > 0.0 && !tasks_.empty()) {
+    for (auto& [id, task] : tasks_)
+      task.remaining = std::max(0.0, task.remaining - dt * rate_of(task));
+    busy_time_ += dt * std::min(1.0, total_cap_);
+  }
+  last_update_ = now;
+}
+
+SharedEngine::TaskId SharedEngine::add_task(double work, double rate_cap,
+                                            CompletionFn on_complete) {
+  GR_CHECK(work >= 0.0);
+  GR_CHECK(rate_cap > 0.0 && rate_cap <= 1.0);
+  settle();
+  const TaskId id = next_id_++;
+  tasks_[id] = Task{work, rate_cap, std::move(on_complete)};
+  total_cap_ += rate_cap;
+  reschedule();
+  return id;
+}
+
+void SharedEngine::reschedule() {
+  // Find the earliest-finishing task under current rates and schedule a
+  // completion event for it. The global epoch guarantees at most one
+  // LIVE event: any task-set change bumps the epoch and older events
+  // return immediately without rescheduling.
+  if (tasks_.empty()) return;
+  TaskId best = 0;
+  double best_eta = 0.0;
+  for (auto& [id, task] : tasks_) {
+    const double rate = rate_of(task);
+    const double eta = task.remaining <= kWorkEpsilon
+                           ? 0.0
+                           : task.remaining / rate;
+    if (best == 0 || eta < best_eta) {
+      best = id;
+      best_eta = eta;
+    }
+  }
+  const std::uint64_t epoch = ++epoch_;
+  queue_.schedule_after(best_eta, [this, best, epoch] {
+    if (epoch != epoch_) return;  // superseded by a newer schedule
+    auto it = tasks_.find(best);
+    GR_CHECK(it != tasks_.end());
+    settle();
+    // The task set cannot have changed since this event was posted (the
+    // epoch matched), so only floating-point residue can remain.
+    GR_CHECK_MSG(it->second.remaining < 1e-9,
+                 "live completion event fired early");
+    CompletionFn on_complete = std::move(it->second.on_complete);
+    total_cap_ -= it->second.rate_cap;
+    if (total_cap_ < 0.0) total_cap_ = 0.0;
+    tasks_.erase(it);
+    reschedule();
+    if (on_complete) on_complete(best);
+  });
+}
+
+}  // namespace gr::sim

@@ -1,0 +1,95 @@
+// Resource models used by the virtual GPU.
+//
+// FifoEngine — a single server that processes requests back-to-back in
+// the order they become ready (DMA copy engines: one per direction on
+// Kepler-class devices).
+//
+// SharedEngine — a malleable processor-sharing resource for concurrent
+// kernels. Each task declares total work (seconds at full-device rate)
+// and a personal rate cap in (0, 1] expressing how much of the device it
+// can occupy (a kernel with a tiny grid cannot fill all SMXs). Active
+// tasks progress simultaneously; when the device is oversubscribed each
+// task's rate is scaled proportionally. This directly reproduces the
+// paper's compute-compute scheme: concurrent small kernels from
+// independent shards raise aggregate utilization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "sim/event_queue.hpp"
+#include "util/common.hpp"
+
+namespace gr::sim {
+
+/// Single FIFO server keyed off an EventQueue's clock.
+class FifoEngine : util::NonCopyable {
+ public:
+  /// Reserves the engine starting no earlier than `ready`; returns the
+  /// [start, end) window and marks the engine busy until `end`.
+  struct Window {
+    SimTime start;
+    SimTime end;
+  };
+  Window acquire(SimTime ready, double duration) {
+    GR_CHECK(duration >= 0.0);
+    const SimTime start = ready > busy_until_ ? ready : busy_until_;
+    busy_until_ = start + duration;
+    busy_time_ += duration;
+    return {start, busy_until_};
+  }
+
+  SimTime busy_until() const { return busy_until_; }
+  /// Total seconds the engine spent transferring (for utilization stats).
+  double busy_time() const { return busy_time_; }
+
+ private:
+  SimTime busy_until_ = 0.0;
+  double busy_time_ = 0.0;
+};
+
+/// Malleable processor-sharing engine driven by an EventQueue.
+class SharedEngine : util::NonCopyable {
+ public:
+  using TaskId = std::uint64_t;
+  using CompletionFn = std::function<void(TaskId)>;
+
+  explicit SharedEngine(EventQueue& queue) : queue_(queue) {}
+
+  /// Adds a task with `work` seconds of full-rate work and a personal
+  /// rate cap; on_complete fires when the task finishes. Returns its id.
+  TaskId add_task(double work, double rate_cap, CompletionFn on_complete);
+
+  /// Number of currently resident tasks.
+  std::size_t active_tasks() const { return tasks_.size(); }
+
+  /// Integral of min(1, sum of caps) over time — busy seconds at device
+  /// rate; used for utilization accounting.
+  double busy_time() const { return busy_time_; }
+
+ private:
+  struct Task {
+    double remaining;
+    double rate_cap;
+    CompletionFn on_complete;
+  };
+
+  void settle();       // apply progress since last_update_ at current rates
+  void reschedule();   // recompute rates and post next completion event
+  double rate_of(const Task& task) const;
+
+  EventQueue& queue_;
+  std::map<TaskId, Task> tasks_;
+  TaskId next_id_ = 1;
+  SimTime last_update_ = 0.0;
+  double total_cap_ = 0.0;
+  double busy_time_ = 0.0;
+  // Global epoch: exactly one completion event is live at a time; any
+  // change to the task set bumps the epoch, turning older events into
+  // cheap no-ops (they must NOT reschedule, or event churn goes
+  // quadratic on large task sets).
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace gr::sim

@@ -1,0 +1,35 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace gr::sim {
+
+void EventQueue::schedule_at(SimTime when, Callback fn) {
+  GR_CHECK_MSG(when >= now_, "event scheduled in the past: " << when
+                                                             << " < " << now_);
+  heap_.push(Entry{when, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::run() {
+  while (!heap_.empty()) {
+    // Copy out before pop: the callback may schedule new events.
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    now_ = entry.when;
+    entry.fn();
+  }
+  return now_;
+}
+
+SimTime EventQueue::run_until(SimTime until) {
+  while (!heap_.empty() && heap_.top().when <= until) {
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    now_ = entry.when;
+    entry.fn();
+  }
+  if (now_ < until) now_ = until;
+  return now_;
+}
+
+}  // namespace gr::sim

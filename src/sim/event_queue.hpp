@@ -1,0 +1,70 @@
+// Discrete-event simulation core.
+//
+// A virtual clock plus a time-ordered queue of callbacks. Ties are broken
+// by insertion sequence number so simulations are fully deterministic.
+// The virtual-GPU device and its engines are built on this queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gr::sim {
+
+/// Simulated time in seconds since device creation.
+using SimTime = double;
+
+/// Deterministic time-ordered callback queue with a monotonic clock.
+class EventQueue : util::NonCopyable {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time; advances only while running events.
+  SimTime now() const { return now_; }
+
+  /// Schedules fn at absolute time `when` (must be >= now()).
+  void schedule_at(SimTime when, Callback fn);
+
+  /// Schedules fn `delay` seconds from now.
+  void schedule_after(SimTime delay, Callback fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue is empty; returns final time.
+  SimTime run();
+
+  /// Runs events until `until` (inclusive) or queue exhaustion; the clock
+  /// is advanced to at least `until` if it was reached.
+  SimTime run_until(SimTime until);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Moves the clock forward without events (host-side elapsed time).
+  void advance_to(SimTime when) {
+    GR_CHECK(when >= now_);
+    now_ = when;
+  }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace gr::sim

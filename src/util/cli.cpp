@@ -1,0 +1,129 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/common.hpp"
+#include "util/format.hpp"
+
+namespace gr::util {
+
+void Cli::add(const std::string& name, Kind kind, void* target,
+              const std::string& help, std::string default_repr) {
+  GR_CHECK_MSG(!flags_.contains(name), "duplicate flag --" << name);
+  flags_[name] = Flag{kind, target, help, std::move(default_repr)};
+}
+
+Cli& Cli::flag(const std::string& name, std::string* out,
+               const std::string& help) {
+  add(name, Kind::kString, out, help, *out);
+  return *this;
+}
+
+Cli& Cli::flag(const std::string& name, std::int64_t* out,
+               const std::string& help) {
+  add(name, Kind::kInt, out, help, std::to_string(*out));
+  return *this;
+}
+
+Cli& Cli::flag(const std::string& name, double* out, const std::string& help) {
+  add(name, Kind::kDouble, out, help, format_fixed(*out, 4));
+  return *this;
+}
+
+Cli& Cli::flag(const std::string& name, bool* out, const std::string& help) {
+  add(name, Kind::kBool, out, help, *out ? "true" : "false");
+  return *this;
+}
+
+void Cli::assign(const std::string& name, Flag& flag,
+                 const std::string& value) {
+  switch (flag.kind) {
+    case Kind::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return;
+    case Kind::kInt: {
+      char* end = nullptr;
+      const long long v = std::strtoll(value.c_str(), &end, 10);
+      GR_CHECK_MSG(end && *end == '\0' && !value.empty(),
+                   "flag --" << name << " expects an integer, got '" << value
+                             << "'");
+      *static_cast<std::int64_t*>(flag.target) = v;
+      return;
+    }
+    case Kind::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      GR_CHECK_MSG(end && *end == '\0' && !value.empty(),
+                   "flag --" << name << " expects a number, got '" << value
+                             << "'");
+      *static_cast<double*>(flag.target) = v;
+      return;
+    }
+    case Kind::kBool: {
+      GR_CHECK_MSG(value == "true" || value == "false" || value == "1" ||
+                       value == "0",
+                   "flag --" << name << " expects true/false, got '" << value
+                             << "'");
+      *static_cast<bool*>(flag.target) = (value == "true" || value == "1");
+      return;
+    }
+  }
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+      has_value = true;
+    }
+    auto it = flags_.find(arg);
+    // --no-name for booleans.
+    if (it == flags_.end() && arg.rfind("no-", 0) == 0) {
+      it = flags_.find(arg.substr(3));
+      if (it != flags_.end() && it->second.kind == Kind::kBool && !has_value) {
+        *static_cast<bool*>(it->second.target) = false;
+        continue;
+      }
+      it = flags_.end();
+    }
+    GR_CHECK_MSG(it != flags_.end(), "unknown flag --" << arg);
+    Flag& flag = it->second;
+    if (!has_value) {
+      if (flag.kind == Kind::kBool) {
+        *static_cast<bool*>(flag.target) = true;
+        continue;
+      }
+      GR_CHECK_MSG(i + 1 < argc, "flag --" << arg << " needs a value");
+      value = argv[++i];
+    }
+    assign(arg, flag, value);
+  }
+  return true;
+}
+
+std::string Cli::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << "  " << flag.help << " (default: "
+       << (flag.default_repr.empty() ? "\"\"" : flag.default_repr) << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace gr::util

@@ -1,0 +1,53 @@
+// Tiny command-line flag parser for bench binaries and examples.
+//
+// Supports --name=value, --name value, and boolean --name / --no-name.
+// Unknown flags are an error (typos in sweep scripts should fail loudly).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gr::util {
+
+/// Declarative flag registry + parser.
+class Cli {
+ public:
+  Cli(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  Cli& flag(const std::string& name, std::string* out,
+            const std::string& help);
+  Cli& flag(const std::string& name, std::int64_t* out,
+            const std::string& help);
+  Cli& flag(const std::string& name, double* out, const std::string& help);
+  Cli& flag(const std::string& name, bool* out, const std::string& help);
+
+  /// Parses argv; on --help prints usage and returns false; throws
+  /// CheckError on malformed/unknown flags. Positional args collected.
+  bool parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  std::string usage() const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  void add(const std::string& name, Kind kind, void* target,
+           const std::string& help, std::string default_repr);
+  void assign(const std::string& name, Flag& flag, const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gr::util

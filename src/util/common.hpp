@@ -1,0 +1,75 @@
+// Common small helpers shared across all GraphReduce subsystems.
+//
+// Provides checked assertions that stay on in release builds (graph
+// invariants are cheap to verify relative to the work they guard), a
+// non-copyable mixin, and integer ceil-div / round-up helpers.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gr::util {
+
+/// Exception thrown by GR_CHECK failures; carries file/line context.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+// Always-on invariant checks. Unlike <cassert> these survive NDEBUG so
+// release benchmark runs still validate structural invariants.
+#define GR_CHECK(expr)                                                 \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::gr::util::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define GR_CHECK_MSG(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream os_;                                         \
+      os_ << msg;                                                     \
+      ::gr::util::detail::check_failed(#expr, __FILE__, __LINE__,     \
+                                       os_.str());                    \
+    }                                                                 \
+  } while (0)
+
+/// Mixin that deletes copy operations; moves stay defaulted in derived
+/// classes unless they declare otherwise.
+class NonCopyable {
+ protected:
+  NonCopyable() = default;
+  ~NonCopyable() = default;
+
+ public:
+  NonCopyable(const NonCopyable&) = delete;
+  NonCopyable& operator=(const NonCopyable&) = delete;
+  NonCopyable(NonCopyable&&) = default;
+  NonCopyable& operator=(NonCopyable&&) = default;
+};
+
+/// Integer division rounding up; b must be positive.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+/// Round a up to the next multiple of b; b must be positive.
+template <typename T>
+constexpr T round_up(T a, T b) {
+  return ceil_div(a, b) * b;
+}
+
+}  // namespace gr::util

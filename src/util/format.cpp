@@ -1,0 +1,60 @@
+#include "util/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace gr::util {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> units = {"B", "KB", "MB", "GB",
+                                                       "TB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1000.0 && unit + 1 < units.size()) {
+    value /= 1000.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0)
+    std::snprintf(buf, sizeof buf, "%.0fB", value);
+  else
+    std::snprintf(buf, sizeof buf, "%.2f%s", value, units[unit]);
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[48];
+  if (seconds < 0) seconds = 0;
+  if (seconds < 1e-3)
+    std::snprintf(buf, sizeof buf, "%.1fus", seconds * 1e6);
+  else if (seconds < 1.0)
+    std::snprintf(buf, sizeof buf, "%.2fms", seconds * 1e3);
+  else if (seconds < 120.0)
+    std::snprintf(buf, sizeof buf, "%.2fs", seconds);
+  else
+    std::snprintf(buf, sizeof buf, "%dm%02ds",
+                  static_cast<int>(seconds) / 60,
+                  static_cast<int>(seconds) % 60);
+  return buf;
+}
+
+std::string format_count(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first) % 3 == 0 && i >= first) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string format_fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace gr::util

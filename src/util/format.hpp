@@ -1,0 +1,22 @@
+// Human-readable formatting of byte counts, durations and large numbers,
+// used by bench harness table output and log messages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gr::util {
+
+/// "7.9MB", "4.84GB" — decimal units to match the paper's Table 1 style.
+std::string format_bytes(std::uint64_t bytes);
+
+/// "215.2ms", "4.3s", "1m23s" depending on magnitude.
+std::string format_seconds(double seconds);
+
+/// "1,441,295" — thousands separators.
+std::string format_count(std::uint64_t value);
+
+/// Fixed-precision double, e.g. format_fixed(3.14159, 2) == "3.14".
+std::string format_fixed(double value, int precision);
+
+}  // namespace gr::util

@@ -1,0 +1,38 @@
+// Minimal leveled logger. Single-process, thread-safe, writes to stderr.
+//
+// Usage:
+//   GR_LOG_INFO("loaded " << n << " edges");
+// Level is a process-global; benches default to Info, tests to Warn.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace gr::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit one formatted line (internal; prefer the GR_LOG_* macros).
+void log_line(LogLevel level, const std::string& message);
+
+}  // namespace gr::util
+
+#define GR_LOG_AT(level, stream_expr)                          \
+  do {                                                         \
+    if (static_cast<int>(level) >=                             \
+        static_cast<int>(::gr::util::log_level())) {           \
+      std::ostringstream os_;                                  \
+      os_ << stream_expr;                                      \
+      ::gr::util::log_line(level, os_.str());                  \
+    }                                                          \
+  } while (0)
+
+#define GR_LOG_DEBUG(s) GR_LOG_AT(::gr::util::LogLevel::kDebug, s)
+#define GR_LOG_INFO(s) GR_LOG_AT(::gr::util::LogLevel::kInfo, s)
+#define GR_LOG_WARN(s) GR_LOG_AT(::gr::util::LogLevel::kWarn, s)
+#define GR_LOG_ERROR(s) GR_LOG_AT(::gr::util::LogLevel::kError, s)

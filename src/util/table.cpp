@@ -1,0 +1,86 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/common.hpp"
+
+namespace gr::util {
+
+Table& Table::header(std::vector<std::string> cells) {
+  GR_CHECK(rows_.empty());
+  header_ = std::move(cells);
+  return *this;
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  GR_CHECK_MSG(header_.empty() || cells.size() == header_.size(),
+               "row arity " << cells.size() << " != header arity "
+                            << header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      os << cell << std::string(widths[i] - cell.size(), ' ')
+         << (i + 1 < widths.size() ? " | " : " |");
+    }
+    os << '\n';
+  };
+  auto print_rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "=== " << title_ << " ===\n";
+  print_rule();
+  if (!header_.empty()) {
+    print_row(header_);
+    print_rule();
+  }
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+namespace {
+void csv_cell(std::ostream& os, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (char c : cell) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+void csv_row(std::ostream& os, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) os << ',';
+    csv_cell(os, row[i]);
+  }
+  os << '\n';
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  if (!header_.empty()) csv_row(os, header_);
+  for (const auto& row : rows_) csv_row(os, row);
+}
+
+}  // namespace gr::util

@@ -1,0 +1,39 @@
+// Aligned-column table printer for bench harness output.
+//
+// Benches print the same rows the paper's tables report; this helper
+// keeps them readable on a terminal and can also emit CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gr::util {
+
+/// Column-aligned text table with an optional title and CSV export.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row; must be called before add_row.
+  Table& header(std::vector<std::string> cells);
+
+  /// Appends a data row; must have the same arity as the header.
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Renders the table with box-drawing separators.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void write_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gr::util

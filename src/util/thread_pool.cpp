@@ -1,0 +1,77 @@
+#include "util/thread_pool.hpp"
+
+namespace gr::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    workers = hc > 1 ? hc - 1 : 0;
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::run_blocks(std::size_t blocks,
+                            const std::function<void(std::size_t)>& fn) {
+  if (blocks == 0) return;
+  if (threads_.empty()) {
+    for (std::size_t b = 0; b < blocks; ++b) fn(b);
+    return;
+  }
+  std::unique_lock lock(mutex_);
+  job_ = &fn;
+  next_block_ = 0;
+  total_blocks_ = blocks;
+  blocks_done_ = 0;
+  ++generation_;
+  work_cv_.notify_all();
+  // The calling thread participates in block execution.
+  while (true) {
+    if (next_block_ >= total_blocks_) break;
+    const std::size_t block = next_block_++;
+    lock.unlock();
+    fn(block);
+    lock.lock();
+    ++blocks_done_;
+  }
+  done_cv_.wait(lock, [this] { return blocks_done_ == total_blocks_; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock lock(mutex_);
+  std::size_t seen_generation = 0;
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (job_ != nullptr && generation_ != seen_generation &&
+                       next_block_ < total_blocks_);
+    });
+    if (stop_) return;
+    const auto* fn = job_;
+    while (job_ == fn && fn != nullptr && next_block_ < total_blocks_) {
+      const std::size_t block = next_block_++;
+      lock.unlock();
+      (*fn)(block);
+      lock.lock();
+      if (++blocks_done_ == total_blocks_) done_cv_.notify_all();
+    }
+    seen_generation = generation_;
+  }
+}
+
+}  // namespace gr::util

@@ -1,0 +1,81 @@
+// Shared worker pool and parallel_for used by the functional execution of
+// virtual-GPU kernels and by CPU baselines.
+//
+// On a single-core host the pool degenerates to inline execution with no
+// thread overhead; on multi-core hosts work is split into contiguous
+// blocks handed to persistent workers. Parallelism here affects only
+// real wall-clock speed of the functional simulation — simulated time is
+// always charged by the analytic models.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gr::util {
+
+/// Fixed-size pool of persistent workers executing blocking task batches.
+class ThreadPool : NonCopyable {
+ public:
+  /// Creates `workers` threads; 0 means hardware_concurrency - 1
+  /// (i.e. no extra threads on a single-core machine).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Runs fn(block_index) for block_index in [0, blocks), distributing
+  /// blocks across callers + workers; returns when all blocks are done.
+  /// fn must be safe to invoke concurrently.
+  void run_blocks(std::size_t blocks,
+                  const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t next_block_ = 0;
+  std::size_t total_blocks_ = 0;
+  std::size_t blocks_done_ = 0;
+  std::size_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Parallel loop over [begin, end): splits into ~4x worker-count chunks of
+/// at least `grain` iterations and runs body(i) for each index. The body
+/// must not throw. Degrades to a serial loop when the range is small or
+/// the pool has no workers.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  Body&& body) {
+  GR_CHECK(begin <= end);
+  const std::size_t n = end - begin;
+  if (n == 0) return;
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t workers = pool.worker_count() + 1;
+  if (workers == 1 || n <= grain) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  std::size_t chunk = std::max(grain, n / (workers * 4));
+  const std::size_t blocks = ceil_div(n, chunk);
+  pool.run_blocks(blocks, [&](std::size_t block) {
+    const std::size_t lo = begin + block * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+}  // namespace gr::util

@@ -1,0 +1,91 @@
+// Virtual accelerator configuration.
+//
+// Parameters model the paper's NVIDIA Tesla K20c (Kepler GK110): 13 SMX,
+// 4.8 GB usable GDDR5 at ~208 GB/s, PCIe gen-2 x16 (~6 GB/s effective per
+// direction), 32 Hyper-Q hardware queues, and microsecond-scale driver
+// latencies for kernel launches and memcpy submissions. The scaled
+// preset shrinks only capacity (device memory), keeping all rates — the
+// benches shrink datasets by the same factor so the compute/transfer
+// balance is preserved (DESIGN.md §1).
+#pragma once
+
+#include <cstdint>
+
+namespace gr::vgpu {
+
+struct DeviceConfig {
+  const char* name = "vgpu";
+
+  // --- capacity ---
+  std::uint64_t global_memory_bytes = 4'800'000'000ULL;
+
+  // --- compute ---
+  int sm_count = 13;
+  /// Threads needed to fully occupy the device (13 SMX x 2048 resident).
+  std::uint64_t full_occupancy_threads = 26'624;
+  /// Peak single-precision throughput (FLOP/s).
+  double flops = 3.52e12;
+  /// Peak device memory bandwidth (B/s).
+  double mem_bandwidth = 208e9;
+  /// Effective fraction of peak bandwidth for uncoalesced (random)
+  /// accesses — scattered 32 B transactions out of 256 B rows.
+  double random_access_efficiency = 0.125;
+  /// Driver + hardware latency to launch one kernel.
+  double kernel_launch_latency = 8e-6;
+  /// Minimum fraction of the device a resident kernel can hold (even a
+  /// one-warp kernel makes some progress).
+  double min_kernel_rate = 0.02;
+  /// Hyper-Q: hardware queues == max concurrently resident kernels.
+  int max_concurrent_kernels = 32;
+  /// Record a per-operation timeline (Device::timeline()); off by
+  /// default — every op allocates an entry.
+  bool record_timeline = false;
+
+  // --- PCIe link ---
+  /// Raw link ceiling per direction (B/s), PCIe gen-2 x16 effective.
+  double pcie_bandwidth = 6.4e9;
+  /// Fraction of the link an explicit DMA memcpy achieves (driver
+  /// chunking, descriptor overheads).
+  double dma_efficiency = 0.92;
+  /// Driver submission latency per memcpy operation.
+  double memcpy_setup_latency = 10e-6;
+  /// Penalty factor for explicit transfers out of pageable (not pinned)
+  /// host memory (extra staging copy through the driver's bounce buffer).
+  double pageable_penalty = 0.55;
+
+  // --- zero-copy (pinned/UVA) access model, for Figure 4 ---
+  /// Fraction of the raw link achieved by sequential zero-copy
+  /// load/store (memory-level parallelism + prefetch hide latency; no
+  /// DMA descriptor overhead, hence better than dma_efficiency).
+  double pinned_seq_efficiency = 0.97;
+  /// Bytes moved per random zero-copy access (one PCIe transaction).
+  double pinned_random_txn_bytes = 32.0;
+  /// Latency of one non-prefetched PCIe round trip.
+  double pcie_round_trip = 1.1e-6;
+  /// Overlapped outstanding transactions for random zero-copy access.
+  double pinned_random_mlp = 8.0;
+
+  // --- managed (unified) memory model, for Figure 4 ---
+  double managed_page_bytes = 4096.0;
+  /// GPU page-fault service time (fault + driver + map).
+  double managed_fault_latency = 15e-6;
+
+  /// The paper's evaluation card at native capacity.
+  static constexpr DeviceConfig k20c() { return DeviceConfig{}; }
+
+  /// K20c with capacity scaled down by `factor` (rates untouched).
+  static constexpr DeviceConfig k20c_scaled(double factor) {
+    DeviceConfig config;
+    config.name = "vgpu-k20c-scaled";
+    config.global_memory_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(config.global_memory_bytes) * factor);
+    return config;
+  }
+
+  /// The bench preset: 4.8 GB / 96 = 50 MB device memory.
+  static constexpr DeviceConfig bench_default() {
+    return k20c_scaled(1.0 / 96.0);
+  }
+};
+
+}  // namespace gr::vgpu

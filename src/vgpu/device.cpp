@@ -1,0 +1,267 @@
+#include "vgpu/device.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace gr::vgpu {
+
+struct Stream::Op {
+  enum class Kind { kCopyH2D, kCopyD2H, kKernel, kEventRecord, kEventWait,
+                    kHostTask };
+  Kind kind;
+  std::function<void()> body;  // functional action (copy/kernel/host fn)
+  std::uint64_t bytes = 0;
+  bool pinned = true;
+  KernelCost cost;
+  Event* event = nullptr;
+  double host_duration = 0.0;
+};
+
+Stream::Stream(int id) : id_(id) {}
+Stream::~Stream() = default;
+
+Device::Device(const DeviceConfig& config)
+    : config_(config),
+      allocator_(config.global_memory_bytes),
+      compute_(queue_) {
+  streams_.push_back(std::unique_ptr<Stream>(new Stream(0)));
+}
+
+Device::Device(const DeviceConfig& config, sim::EventQueue& shared_queue)
+    : config_(config),
+      allocator_(config.global_memory_bytes),
+      shared_queue_(&shared_queue),
+      compute_(shared_queue) {
+  streams_.push_back(std::unique_ptr<Stream>(new Stream(0)));
+}
+
+Device::~Device() = default;
+
+Stream& Device::create_stream() {
+  streams_.push_back(
+      std::unique_ptr<Stream>(new Stream(static_cast<int>(streams_.size()))));
+  return *streams_.back();
+}
+
+Event& Device::create_event() {
+  events_.push_back(std::unique_ptr<Event>(new Event()));
+  return *events_.back();
+}
+
+void Device::enqueue(Stream& stream, std::unique_ptr<Stream::Op> op) {
+  stream.pending_.push_back(std::move(op));
+  if (!stream.busy_) {
+    stream.busy_ = true;
+    queue().schedule_after(0.0, [this, &stream] { start_head(stream); });
+  }
+}
+
+void Device::memcpy_h2d(Stream& stream, void* device_dst,
+                        const void* host_src, std::uint64_t bytes,
+                        bool pinned) {
+  auto op = std::make_unique<Stream::Op>();
+  op->kind = Stream::Op::Kind::kCopyH2D;
+  op->bytes = bytes;
+  op->pinned = pinned;
+  op->body = [device_dst, host_src, bytes] {
+    if (bytes > 0) std::memcpy(device_dst, host_src, bytes);
+  };
+  enqueue(stream, std::move(op));
+}
+
+void Device::memcpy_d2h(Stream& stream, void* host_dst,
+                        const void* device_src, std::uint64_t bytes,
+                        bool pinned) {
+  auto op = std::make_unique<Stream::Op>();
+  op->kind = Stream::Op::Kind::kCopyD2H;
+  op->bytes = bytes;
+  op->pinned = pinned;
+  op->body = [host_dst, device_src, bytes] {
+    if (bytes > 0) std::memcpy(host_dst, device_src, bytes);
+  };
+  enqueue(stream, std::move(op));
+}
+
+void Device::launch(Stream& stream, const KernelCost& cost,
+                    std::function<void()> body) {
+  auto op = std::make_unique<Stream::Op>();
+  op->kind = Stream::Op::Kind::kKernel;
+  op->cost = cost;
+  op->body = std::move(body);
+  enqueue(stream, std::move(op));
+}
+
+void Device::record_event(Stream& stream, Event& event) {
+  auto op = std::make_unique<Stream::Op>();
+  op->kind = Stream::Op::Kind::kEventRecord;
+  op->event = &event;
+  enqueue(stream, std::move(op));
+}
+
+void Device::wait_event(Stream& stream, Event& event) {
+  auto op = std::make_unique<Stream::Op>();
+  op->kind = Stream::Op::Kind::kEventWait;
+  op->event = &event;
+  enqueue(stream, std::move(op));
+}
+
+void Device::host_task(Stream& stream, double duration,
+                       std::function<void()> fn) {
+  GR_CHECK(duration >= 0.0);
+  auto op = std::make_unique<Stream::Op>();
+  op->kind = Stream::Op::Kind::kHostTask;
+  op->host_duration = duration;
+  op->body = std::move(fn);
+  enqueue(stream, std::move(op));
+}
+
+void Device::start_head(Stream& stream) {
+  GR_CHECK(!stream.pending_.empty());
+  Stream::Op& op = *stream.pending_.front();
+  using Kind = Stream::Op::Kind;
+  switch (op.kind) {
+    case Kind::kCopyH2D:
+    case Kind::kCopyD2H: {
+      const bool h2d = op.kind == Kind::kCopyH2D;
+      sim::FifoEngine& engine = h2d ? h2d_engine_ : d2h_engine_;
+      const double bandwidth =
+          config_.pcie_bandwidth * config_.dma_efficiency *
+          (op.pinned ? 1.0 : config_.pageable_penalty);
+      const double duration = static_cast<double>(op.bytes) / bandwidth;
+      const sim::SimTime ready = queue().now() + config_.memcpy_setup_latency;
+      const auto window = engine.acquire(ready, duration);
+      // Execute the actual copy when the DMA transfer begins.
+      queue().schedule_at(window.start, [body = std::move(op.body)] { body(); });
+      queue().schedule_at(window.end, [this, &stream, h2d, window,
+                                       bytes = op.bytes] {
+        if (h2d) {
+          stats_.bytes_h2d += bytes;
+          ++stats_.h2d_ops;
+        } else {
+          stats_.bytes_d2h += bytes;
+          ++stats_.d2h_ops;
+        }
+        if (config_.record_timeline) {
+          timeline_.push_back({h2d ? TimelineEntry::Kind::kH2D
+                                   : TimelineEntry::Kind::kD2H,
+                               stream.id(), window.start, window.end,
+                               bytes});
+        }
+        complete_head(stream);
+      });
+      return;
+    }
+    case Kind::kKernel: {
+      queue().schedule_after(config_.kernel_launch_latency, [this, &stream] {
+        if (resident_kernels_ < config_.max_concurrent_kernels) {
+          submit_kernel(stream);
+        } else {
+          kernel_backlog_.push_back(&stream);
+        }
+      });
+      return;
+    }
+    case Kind::kEventRecord: {
+      Event& event = *op.event;
+      event.recorded_ = true;
+      event.time_ = queue().now();
+      // Wake every stream blocked on this event.
+      std::vector<Stream*> waiters = std::move(event.waiters_);
+      event.waiters_.clear();
+      complete_head(stream);
+      for (Stream* waiter : waiters) {
+        queue().schedule_after(0.0,
+                              [this, waiter] { complete_head(*waiter); });
+      }
+      return;
+    }
+    case Kind::kEventWait: {
+      if (op.event->recorded()) {
+        complete_head(stream);
+      } else {
+        op.event->waiters_.push_back(&stream);
+        // complete_head is invoked by the matching record.
+      }
+      return;
+    }
+    case Kind::kHostTask: {
+      const double started = queue().now();
+      queue().schedule_after(op.host_duration,
+                            [this, &stream, started,
+                             body = std::move(op.body)] {
+                              if (body) body();
+                              if (config_.record_timeline) {
+                                timeline_.push_back(
+                                    {TimelineEntry::Kind::kHostTask,
+                                     stream.id(), started, queue().now(),
+                                     0});
+                              }
+                              complete_head(stream);
+                            });
+      return;
+    }
+  }
+}
+
+void Device::submit_kernel(Stream& stream) {
+  GR_CHECK(!stream.pending_.empty());
+  Stream::Op& op = *stream.pending_.front();
+  GR_CHECK(op.kind == Stream::Op::Kind::kKernel);
+  ++resident_kernels_;
+  ++stats_.kernels_launched;
+  // Functional execution happens at kernel start; results only become
+  // observable to other ops after this kernel's completion in the DAG
+  // (streams serialize, cross-stream readers must wait on an event).
+  if (op.body) op.body();
+  const double work = op.cost.work_seconds(config_);
+  const double cap = op.cost.rate_cap(config_);
+  const double started = queue().now();
+  compute_.add_task(work, cap,
+                    [this, &stream, started](sim::SharedEngine::TaskId) {
+                      if (config_.record_timeline) {
+                        timeline_.push_back({TimelineEntry::Kind::kKernel,
+                                             stream.id(), started,
+                                             queue().now(), 0});
+                      }
+                      --resident_kernels_;
+                      complete_head(stream);
+                      drain_kernel_backlog();
+                    });
+}
+
+void Device::drain_kernel_backlog() {
+  while (!kernel_backlog_.empty() &&
+         resident_kernels_ < config_.max_concurrent_kernels) {
+    Stream* stream = kernel_backlog_.front();
+    kernel_backlog_.pop_front();
+    submit_kernel(*stream);
+  }
+}
+
+void Device::complete_head(Stream& stream) {
+  GR_CHECK(!stream.pending_.empty());
+  stream.pending_.pop_front();
+  if (stream.pending_.empty()) {
+    stream.busy_ = false;
+  } else {
+    start_head(stream);
+  }
+}
+
+void Device::synchronize() {
+  queue().run();
+  // Engine utilization integrals are monotone; snapshot them relative to
+  // the last reset_stats() baseline.
+  stats_.h2d_busy_seconds = h2d_engine_.busy_time() - h2d_busy_base_;
+  stats_.d2h_busy_seconds = d2h_engine_.busy_time() - d2h_busy_base_;
+  stats_.kernel_busy_seconds = compute_.busy_time() - kernel_busy_base_;
+}
+
+void Device::reset_stats() {
+  stats_ = DeviceStats{};
+  h2d_busy_base_ = h2d_engine_.busy_time();
+  d2h_busy_base_ = d2h_engine_.busy_time();
+  kernel_busy_base_ = compute_.busy_time();
+}
+
+}  // namespace gr::vgpu

@@ -1,0 +1,217 @@
+// The virtual accelerator: a CUDA-runtime-shaped API whose operations
+// are scheduled by a discrete-event simulation.
+//
+// Host code enqueues asynchronous operations (memcpys, kernel launches,
+// event records/waits, host tasks) onto Streams, then calls
+// synchronize() — which runs the event simulation to completion,
+// advancing the virtual clock while executing every kernel and copy
+// *functionally* so results are real. Scheduling semantics follow CUDA:
+//
+//  * ops on one stream execute in issue order, each starting only after
+//    its predecessor completes;
+//  * ops on different streams overlap, constrained by hardware engines:
+//    one H2D and one D2H DMA engine (FIFO), and a compute engine shared
+//    by up to 32 concurrently resident kernels (Hyper-Q), modeled as a
+//    processor-sharing resource (sim::SharedEngine);
+//  * every memcpy pays a driver setup latency before reaching its DMA
+//    engine and every kernel pays a launch latency — these serialize on
+//    a single stream but overlap across streams, which is precisely why
+//    the paper's spray operation (deep copies fanned out over dynamically
+//    created streams) improves throughput;
+//  * Events provide cross-stream ordering (record on one stream, wait on
+//    another).
+//
+// Simulated time and real results are both observable after
+// synchronize(); DeviceStats aggregates busy times and byte counts for
+// the memcpy-dominance analysis of the paper's Figure 15.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engines.hpp"
+#include "sim/event_queue.hpp"
+#include "util/common.hpp"
+#include "vgpu/config.hpp"
+#include "vgpu/kernel.hpp"
+#include "vgpu/memory.hpp"
+
+namespace gr::vgpu {
+
+class Device;
+
+/// In-order queue of device operations (the CUDA stream analog).
+/// Created and owned by a Device; copy/launch APIs live on Device.
+class Stream : util::NonCopyable {
+ public:
+  ~Stream();  // out of line: Op is an incomplete type here
+  int id() const { return id_; }
+
+ private:
+  friend class Device;
+  explicit Stream(int id);  // out of line: see ~Stream
+
+  struct Op;
+  int id_;
+  std::deque<std::unique_ptr<Op>> pending_;
+  bool busy_ = false;
+};
+
+/// Cross-stream synchronization point (the CUDA event analog).
+class Event : util::NonCopyable {
+ public:
+  bool recorded() const { return recorded_; }
+  /// Simulated time of the completed record; only valid if recorded().
+  sim::SimTime time() const { return time_; }
+
+ private:
+  friend class Device;
+  Event() = default;
+  bool recorded_ = false;
+  sim::SimTime time_ = 0.0;
+  std::vector<Stream*> waiters_;
+};
+
+/// One completed operation, for timeline inspection (enable via
+/// DeviceConfig::record_timeline). Start/end are simulated seconds.
+struct TimelineEntry {
+  enum class Kind : std::uint8_t { kH2D, kD2H, kKernel, kHostTask };
+  Kind kind;
+  int stream;
+  double start;
+  double end;
+  std::uint64_t bytes;  // 0 for kernels/host tasks
+};
+
+/// Aggregate device activity since construction (or reset_stats()).
+struct DeviceStats {
+  double h2d_busy_seconds = 0.0;     // DMA engine time, host -> device
+  double d2h_busy_seconds = 0.0;     // DMA engine time, device -> host
+  double kernel_busy_seconds = 0.0;  // compute engine utilization integral
+  std::uint64_t bytes_h2d = 0;
+  std::uint64_t bytes_d2h = 0;
+  std::uint64_t h2d_ops = 0;
+  std::uint64_t d2h_ops = 0;
+  std::uint64_t kernels_launched = 0;
+
+  double memcpy_busy_seconds() const {
+    return h2d_busy_seconds + d2h_busy_seconds;
+  }
+};
+
+class Device : util::NonCopyable {
+ public:
+  explicit Device(const DeviceConfig& config = DeviceConfig::k20c());
+  /// Multi-GPU form: several devices advance on one shared simulation
+  /// clock (each still has its own DMA and compute engines). The queue
+  /// must outlive the device.
+  Device(const DeviceConfig& config, sim::EventQueue& shared_queue);
+  ~Device();
+
+  const DeviceConfig& config() const { return config_; }
+  DeviceAllocator& allocator() { return allocator_; }
+  const DeviceAllocator& allocator() const { return allocator_; }
+
+  /// Current simulated time (seconds since device creation).
+  sim::SimTime now() const { return queue().now(); }
+
+  sim::EventQueue& queue() { return shared_queue_ ? *shared_queue_ : queue_; }
+  const sim::EventQueue& queue() const {
+    return shared_queue_ ? *shared_queue_ : queue_;
+  }
+
+  /// Streams/events are owned by the device and live until destruction.
+  Stream& default_stream() { return *streams_.front(); }
+  Stream& create_stream();
+  Event& create_event();
+
+  /// Typed device allocation helper.
+  template <typename T>
+  DeviceBuffer<T> alloc(std::size_t count) {
+    return DeviceBuffer<T>(allocator_, count);
+  }
+
+  // --- asynchronous operations (complete at synchronize()) ---
+
+  /// Copies host -> device. `pinned=false` models pageable host memory
+  /// (staged through a bounce buffer at reduced bandwidth).
+  void memcpy_h2d(Stream& stream, void* device_dst, const void* host_src,
+                  std::uint64_t bytes, bool pinned = true);
+  void memcpy_d2h(Stream& stream, void* host_dst, const void* device_src,
+                  std::uint64_t bytes, bool pinned = true);
+
+  /// Launches a kernel: `body()` runs once (functionally, on the host
+  /// thread pool if it chooses) and `cost` determines simulated duration.
+  void launch(Stream& stream, const KernelCost& cost,
+              std::function<void()> body);
+
+  /// Grid-style helper: body(i) for i in [0, n), cost.threads forced to n.
+  template <typename F>
+  void launch_n(Stream& stream, KernelCost cost, std::size_t n, F body);
+
+  void record_event(Stream& stream, Event& event);
+  void wait_event(Stream& stream, Event& event);
+
+  /// Host callback serialized into the stream, occupying `duration`
+  /// seconds of simulated time (models host-side routing work).
+  void host_task(Stream& stream, double duration, std::function<void()> fn);
+
+  /// Runs the simulation until all enqueued work completes.
+  void synchronize();
+
+  /// Charges host-side elapsed time between device operations.
+  void advance_host_time(double seconds) {
+    queue().advance_to(queue().now() + seconds);
+  }
+
+  const DeviceStats& stats() const { return stats_; }
+
+  /// Zeroes the counters; subsequent stats cover activity from here on.
+  void reset_stats();
+
+  /// Completed-operation timeline (empty unless config.record_timeline).
+  const std::vector<TimelineEntry>& timeline() const { return timeline_; }
+
+ private:
+  struct PendingKernel;
+
+  void enqueue(Stream& stream, std::unique_ptr<Stream::Op> op);
+  void start_head(Stream& stream);
+  void complete_head(Stream& stream);
+  void submit_kernel(Stream& stream);
+  void drain_kernel_backlog();
+
+  DeviceConfig config_;
+  DeviceAllocator allocator_;
+  sim::EventQueue queue_;                      // own clock (default)
+  sim::EventQueue* shared_queue_ = nullptr;    // multi-GPU shared clock
+  sim::FifoEngine h2d_engine_;
+  sim::FifoEngine d2h_engine_;
+  sim::SharedEngine compute_;
+  int resident_kernels_ = 0;
+  std::deque<Stream*> kernel_backlog_;  // streams with a launch waiting
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::vector<std::unique_ptr<Event>> events_;
+  DeviceStats stats_;
+  std::vector<TimelineEntry> timeline_;
+  // Engine-integral baselines captured at the last reset_stats().
+  double h2d_busy_base_ = 0.0;
+  double d2h_busy_base_ = 0.0;
+  double kernel_busy_base_ = 0.0;
+};
+
+// --- implementation of the templated helper ---
+
+template <typename F>
+void Device::launch_n(Stream& stream, KernelCost cost, std::size_t n,
+                      F body) {
+  cost.threads = n;
+  launch(stream, cost, [n, body = std::move(body)] {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  });
+}
+
+}  // namespace gr::vgpu

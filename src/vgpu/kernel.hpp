@@ -1,0 +1,58 @@
+// Kernel descriptors: declared work for the analytic cost model.
+//
+// A kernel executes functionally (a host functor producing real results)
+// while its *duration* is derived from the work it declares here: thread
+// count, arithmetic, and memory traffic split into coalesced and random
+// components. The model charges
+//
+//   work = max(flops / peak_flops,
+//              seq_bytes / bw + random_bytes / (bw * random_efficiency))
+//
+// seconds of full-device time; a kernel too small to occupy the device
+// is capped at rate threads / full_occupancy and therefore takes
+// proportionally longer — which is what makes the paper's
+// compute-compute scheme (concurrent kernels from independent shards)
+// pay off.
+#pragma once
+
+#include <cstdint>
+
+#include "vgpu/config.hpp"
+
+namespace gr::vgpu {
+
+struct KernelCost {
+  /// Logical GPU threads the kernel launches (grid x block).
+  std::uint64_t threads = 0;
+  /// Arithmetic per thread (FLOP or simple-op equivalents).
+  double flops_per_thread = 4.0;
+  /// Coalesced device-memory traffic (bytes, total).
+  std::uint64_t sequential_bytes = 0;
+  /// Uncoalesced accesses and bytes per access (32 B transactions).
+  std::uint64_t random_accesses = 0;
+  double bytes_per_random_access = 32.0;
+
+  /// Full-device-rate execution time in seconds.
+  double work_seconds(const DeviceConfig& config) const {
+    const double compute =
+        static_cast<double>(threads) * flops_per_thread / config.flops;
+    const double seq =
+        static_cast<double>(sequential_bytes) / config.mem_bandwidth;
+    const double random =
+        static_cast<double>(random_accesses) * bytes_per_random_access /
+        (config.mem_bandwidth * config.random_access_efficiency);
+    const double memory = seq + random;
+    return compute > memory ? compute : memory;
+  }
+
+  /// Fraction of the device this kernel can occupy.
+  double rate_cap(const DeviceConfig& config) const {
+    if (threads == 0) return config.min_kernel_rate;
+    const double cap = static_cast<double>(threads) /
+                       static_cast<double>(config.full_occupancy_threads);
+    if (cap < config.min_kernel_rate) return config.min_kernel_rate;
+    return cap > 1.0 ? 1.0 : cap;
+  }
+};
+
+}  // namespace gr::vgpu

@@ -1,0 +1,101 @@
+#include "vgpu/mem_model.hpp"
+
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace gr::vgpu {
+namespace {
+
+double device_access_time(const DeviceConfig& config,
+                          const AccessWorkload& w) {
+  const double bytes = static_cast<double>(w.accesses) * w.element_bytes;
+  if (w.pattern == AccessPattern::kSequential)
+    return bytes / config.mem_bandwidth;
+  // Each random access touches one 32 B transaction regardless of the
+  // element size.
+  const double txns = static_cast<double>(w.accesses);
+  return txns * 32.0 /
+         (config.mem_bandwidth * config.random_access_efficiency);
+}
+
+double explicit_time(const DeviceConfig& config, const AccessWorkload& w) {
+  const double dma =
+      config.memcpy_setup_latency +
+      static_cast<double>(w.buffer_bytes) /
+          (config.pcie_bandwidth * config.dma_efficiency);
+  return dma + device_access_time(config, w);
+}
+
+double pinned_time(const DeviceConfig& config, const AccessWorkload& w) {
+  if (w.pattern == AccessPattern::kSequential) {
+    // Streamed loads over the link; MLP and prefetch hide latency so the
+    // transfer runs at near link rate, with no up-front DMA.
+    const double bytes = static_cast<double>(w.accesses) * w.element_bytes;
+    return bytes / (config.pcie_bandwidth * config.pinned_seq_efficiency);
+  }
+  // Random: every access is an independent PCIe transaction; only
+  // `pinned_random_mlp` of them overlap.
+  const double txns = static_cast<double>(w.accesses);
+  const double latency_bound =
+      txns * config.pcie_round_trip / config.pinned_random_mlp;
+  const double bandwidth_bound =
+      txns * config.pinned_random_txn_bytes / config.pcie_bandwidth;
+  return latency_bound + bandwidth_bound;
+}
+
+double managed_time(const DeviceConfig& config, const AccessWorkload& w) {
+  const double pages = std::ceil(static_cast<double>(w.buffer_bytes) /
+                                 config.managed_page_bytes);
+  if (w.pattern == AccessPattern::kSequential) {
+    // Fault once per page in order; migration overlaps poorly with the
+    // faulting warp, so fault service time adds to the transfer.
+    return pages * config.managed_fault_latency +
+           static_cast<double>(w.buffer_bytes) / config.pcie_bandwidth +
+           device_access_time(config, w);
+  }
+  // Random: expected number of distinct pages touched by `accesses`
+  // uniform draws over `pages` pages (coupon-collector style), each
+  // paying a fault + page migration; the remaining accesses hit already-
+  // migrated pages at device random-access speed.
+  const double a = static_cast<double>(w.accesses);
+  const double distinct =
+      pages * (1.0 - std::pow(1.0 - 1.0 / pages, a));
+  const double migration =
+      distinct * (config.managed_fault_latency +
+                  config.managed_page_bytes / config.pcie_bandwidth);
+  const double resident_accesses = a > distinct ? a - distinct : 0.0;
+  const double resident = resident_accesses * 32.0 /
+                          (config.mem_bandwidth *
+                           config.random_access_efficiency);
+  return migration + resident;
+}
+
+}  // namespace
+
+double access_time_seconds(const DeviceConfig& config, TransferMethod method,
+                           const AccessWorkload& workload) {
+  GR_CHECK(workload.buffer_bytes > 0);
+  switch (method) {
+    case TransferMethod::kExplicit: return explicit_time(config, workload);
+    case TransferMethod::kPinned: return pinned_time(config, workload);
+    case TransferMethod::kManaged: return managed_time(config, workload);
+  }
+  GR_CHECK(false);
+  return 0.0;
+}
+
+const char* method_name(TransferMethod method) {
+  switch (method) {
+    case TransferMethod::kExplicit: return "Explicit H2D";
+    case TransferMethod::kPinned: return "Pinned (UVA)";
+    case TransferMethod::kManaged: return "Managed";
+  }
+  return "?";
+}
+
+const char* pattern_name(AccessPattern pattern) {
+  return pattern == AccessPattern::kSequential ? "sequential" : "random";
+}
+
+}  // namespace gr::vgpu

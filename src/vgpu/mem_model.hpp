@@ -1,0 +1,46 @@
+// Analytic cost models for the three host<->device data-exchange
+// techniques compared in the paper's Figure 4:
+//
+//  (a) Explicit H2D — cudaMemcpy the whole buffer up front, then access
+//      it at device-memory speed;
+//  (b) Pinned / UVA zero-copy — every device access is a load/store over
+//      PCIe; sequential patterns enjoy MLP + prefetch, random ones pay a
+//      round trip per (partially overlapped) transaction;
+//  (c) Managed (unified) memory — pages migrate on first touch; after
+//      migration, accesses proceed at device speed.
+//
+// The paper's conclusion — pinned wins for sequential access, explicit
+// wins for random access, managed is in between — falls out of these
+// formulas (validated in tests and in bench_fig4_transfer). The same
+// reasoning drives GraphReduce's design choice (§3.2) to map random
+// accesses to device memory via explicit transfers.
+#pragma once
+
+#include <cstdint>
+
+#include "vgpu/config.hpp"
+
+namespace gr::vgpu {
+
+enum class AccessPattern { kSequential, kRandom };
+
+enum class TransferMethod { kExplicit, kPinned, kManaged };
+
+/// Workload: a device kernel making `accesses` reads of `element_bytes`
+/// each over a host-origin buffer of `buffer_bytes`.
+struct AccessWorkload {
+  std::uint64_t buffer_bytes = 0;
+  std::uint64_t accesses = 0;
+  double element_bytes = 8.0;
+  AccessPattern pattern = AccessPattern::kSequential;
+};
+
+/// Predicted end-to-end seconds for one method on one workload.
+double access_time_seconds(const DeviceConfig& config,
+                           TransferMethod method,
+                           const AccessWorkload& workload);
+
+const char* method_name(TransferMethod method);
+const char* pattern_name(AccessPattern pattern);
+
+}  // namespace gr::vgpu

@@ -1,0 +1,24 @@
+#include "vgpu/memory.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace gr::vgpu {
+
+void* DeviceAllocator::allocate(std::uint64_t bytes) {
+  if (bytes == 0) return nullptr;
+  if (used_ + bytes > capacity_)
+    throw DeviceOutOfMemory(bytes, used_, capacity_);
+  void* ptr = ::operator new(bytes, std::align_val_t{64});
+  used_ += bytes;
+  if (used_ > peak_used_) peak_used_ = used_;
+  return ptr;
+}
+
+void DeviceAllocator::deallocate(void* ptr, std::uint64_t bytes) noexcept {
+  if (ptr == nullptr) return;
+  ::operator delete(ptr, std::align_val_t{64});
+  used_ -= bytes;
+}
+
+}  // namespace gr::vgpu

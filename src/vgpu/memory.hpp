@@ -1,0 +1,107 @@
+// Device memory management for the virtual GPU.
+//
+// Device allocations are host heap memory, but every byte is accounted
+// against the configured device capacity — exceeding it throws
+// DeviceOutOfMemory, which is exactly the failure mode that forces the
+// out-of-memory frameworks in the paper (CuSha/MapGraph refuse graphs
+// larger than the card; GraphReduce shards instead).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace gr::vgpu {
+
+/// Thrown when a device allocation would exceed global memory capacity.
+class DeviceOutOfMemory : public std::runtime_error {
+ public:
+  DeviceOutOfMemory(std::uint64_t requested, std::uint64_t used,
+                    std::uint64_t capacity)
+      : std::runtime_error("device out of memory: requested " +
+                           std::to_string(requested) + "B with " +
+                           std::to_string(used) + "/" +
+                           std::to_string(capacity) + "B in use"),
+        requested_(requested) {}
+  std::uint64_t requested() const { return requested_; }
+
+ private:
+  std::uint64_t requested_;
+};
+
+/// Capacity-enforcing allocator; owned by the Device.
+class DeviceAllocator : util::NonCopyable {
+ public:
+  explicit DeviceAllocator(std::uint64_t capacity) : capacity_(capacity) {}
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t available() const { return capacity_ - used_; }
+  std::uint64_t peak_used() const { return peak_used_; }
+
+  /// Raw allocation; throws DeviceOutOfMemory over capacity.
+  void* allocate(std::uint64_t bytes);
+  void deallocate(void* ptr, std::uint64_t bytes) noexcept;
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::uint64_t peak_used_ = 0;
+};
+
+/// RAII typed device buffer (the cudaMalloc/cudaFree analog).
+template <typename T>
+class DeviceBuffer : util::NonCopyable {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(DeviceAllocator& allocator, std::size_t count)
+      : allocator_(&allocator), count_(count) {
+    if (count_ > 0)
+      data_ = static_cast<T*>(allocator_->allocate(size_bytes()));
+  }
+  DeviceBuffer(DeviceBuffer&& other) noexcept { *this = std::move(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      allocator_ = other.allocator_;
+      data_ = other.data_;
+      count_ = other.count_;
+      other.allocator_ = nullptr;
+      other.data_ = nullptr;
+      other.count_ = 0;
+    }
+    return *this;
+  }
+  ~DeviceBuffer() { release(); }
+
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+  std::uint64_t size_bytes() const { return count_ * sizeof(T); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::span<T> span() { return {data_, count_}; }
+  std::span<const T> span() const { return {data_, count_}; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  void release() noexcept {
+    if (data_ != nullptr && allocator_ != nullptr)
+      allocator_->deallocate(data_, size_bytes());
+    data_ = nullptr;
+    count_ = 0;
+  }
+
+  DeviceAllocator* allocator_ = nullptr;
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+}  // namespace gr::vgpu

@@ -1,0 +1,106 @@
+#include "baselines/reference/serial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+
+namespace gr::baselines::reference {
+namespace {
+
+using graph::EdgeList;
+
+TEST(Reference, BfsOnPath) {
+  const auto depth = bfs_depths(graph::path_graph(5), 0);
+  EXPECT_EQ(depth, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Reference, BfsUnreachableIsMax) {
+  const auto depth = bfs_depths(graph::two_cycles(3), 0);
+  EXPECT_EQ(depth[3], ~0u);
+}
+
+TEST(Reference, SsspOnWeightedDiamond) {
+  // 0->1 (1), 0->2 (5), 1->2 (1), 2->3 (1)
+  EdgeList g(4);
+  g.add_edge(0, 1, 1.0f);
+  g.add_edge(0, 2, 5.0f);
+  g.add_edge(1, 2, 1.0f);
+  g.add_edge(2, 3, 1.0f);
+  const auto dist = sssp_distances(g, 0);
+  EXPECT_FLOAT_EQ(dist[0], 0.0f);
+  EXPECT_FLOAT_EQ(dist[1], 1.0f);
+  EXPECT_FLOAT_EQ(dist[2], 2.0f);  // via vertex 1
+  EXPECT_FLOAT_EQ(dist[3], 3.0f);
+}
+
+TEST(Reference, SsspRejectsNegativeWeights) {
+  EdgeList g(2);
+  g.add_edge(0, 1, -1.0f);
+  EXPECT_THROW(sssp_distances(g, 0), util::CheckError);
+}
+
+TEST(Reference, PagerankSumsStayNearN) {
+  const EdgeList g = graph::cycle_graph(10);
+  const auto rank = pagerank(g, 30);
+  double sum = 0;
+  for (float r : rank) sum += r;
+  // On a cycle every vertex keeps rank exactly 1.
+  EXPECT_NEAR(sum, 10.0, 1e-3);
+}
+
+TEST(Reference, WeakComponentsOnTwoCycles) {
+  const auto label = weak_components(graph::two_cycles(4));
+  for (int v = 0; v < 4; ++v) EXPECT_EQ(label[v], label[0]);
+  for (int v = 4; v < 8; ++v) EXPECT_EQ(label[v], label[4]);
+  EXPECT_NE(label[0], label[4]);
+}
+
+TEST(Reference, WeakComponentsLabelIsMinimumId) {
+  const auto label = weak_components(graph::two_cycles(4));
+  EXPECT_EQ(label[0], 0u);
+  EXPECT_EQ(label[4], 4u);
+}
+
+TEST(Reference, MinLabelFixpointOnDirectedPath) {
+  const auto label = min_label_fixpoint(graph::path_graph(4));
+  EXPECT_EQ(label, (std::vector<std::uint32_t>{0, 0, 0, 0}));
+}
+
+TEST(Reference, MinLabelFixpointRespectsDirection) {
+  // 1 -> 0: vertex 0 takes label 0 (already minimal); vertex 1 keeps 1
+  // because nothing smaller can reach it.
+  EdgeList g(2);
+  g.add_edge(1, 0);
+  const auto label = min_label_fixpoint(g);
+  EXPECT_EQ(label[0], 0u);
+  EXPECT_EQ(label[1], 1u);
+}
+
+TEST(Reference, SpmvIdentityMatrix) {
+  EdgeList g(3);
+  for (graph::VertexId v = 0; v < 3; ++v) g.add_edge(v, v, 1.0f);
+  const std::vector<float> x = {1.0f, 2.0f, 3.0f};
+  EXPECT_EQ(spmv(g, x), x);
+}
+
+TEST(Reference, HeatConservesUniformField) {
+  const EdgeList g = graph::cycle_graph(8);
+  std::vector<float> initial(8, 42.0f);
+  const auto out = heat(g, initial, 5);
+  for (float t : out) EXPECT_FLOAT_EQ(t, 42.0f);
+}
+
+TEST(Reference, HeatDiffusesFromHotSpot) {
+  const EdgeList g = graph::grid2d(5, 5);
+  std::vector<float> initial(25, 0.0f);
+  initial[12] = 100.0f;  // center
+  const auto out = heat(g, initial, 3);
+  EXPECT_LT(out[12], 100.0f);
+  EXPECT_GT(out[7], 0.0f);  // neighbour warmed up
+  EXPECT_FLOAT_EQ(out[0] + 1.0f, out[0] + 1.0f);  // no NaNs
+}
+
+}  // namespace
+}  // namespace gr::baselines::reference

@@ -1,0 +1,95 @@
+#include "baselines/totem/totem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/reference/serial.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+
+namespace gr::baselines::totem {
+namespace {
+
+namespace ref = reference;
+using graph::EdgeList;
+using graph::VertexId;
+
+TEST(Totem, BfsMatchesReference) {
+  const EdgeList edges = graph::rmat(9, 3000, 13);
+  const auto result = run_bfs(edges, 2);
+  const auto expected = ref::bfs_depths(edges, 2);
+  for (VertexId v = 0; v < expected.size(); ++v)
+    ASSERT_EQ(result.values[v], expected[v]) << v;
+  EXPECT_TRUE(result.report.converged);
+}
+
+TEST(Totem, CcMatchesReference) {
+  EdgeList edges = graph::two_cycles(30);
+  edges.make_undirected();
+  const auto result = run_cc(edges);
+  const auto expected = ref::weak_components(edges);
+  for (VertexId v = 0; v < expected.size(); ++v)
+    ASSERT_EQ(result.values[v], expected[v]) << v;
+}
+
+TEST(Totem, PageRankCloseToPowerIteration) {
+  const EdgeList edges = graph::rmat(9, 3000, 17);
+  const auto result = run_pagerank(edges, 40);
+  const auto expected = ref::pagerank(edges, 40);
+  double worst = 0.0;
+  for (VertexId v = 0; v < expected.size(); ++v)
+    worst = std::max(worst,
+                     std::abs(double(result.values[v]) - expected[v]));
+  EXPECT_LT(worst, 0.02);
+}
+
+TEST(Totem, HighestDegreeVerticesLandOnGpu) {
+  const EdgeList edges = graph::star_graph(2000);
+  Options options;
+  // Room for the hub (whose adjacency alone is ~108 KB under the
+  // conservative reservation) plus a fraction of the spokes.
+  options.device.global_memory_bytes = 256 * 1024;
+  core::ProgramInstance<PullBfs> instance;
+  instance.init_vertex = [](VertexId v) {
+    return v == 0 ? 0u : PullBfs::kUnreached;
+  };
+  instance.frontier = core::InitialFrontier::single(0);
+  instance.default_max_iterations = 10;
+  Engine<PullBfs> engine(edges, std::move(instance), options);
+  EXPECT_EQ(engine.placement()[0], 1);  // the hub
+  std::uint64_t gpu_count = 0;
+  for (std::uint8_t g : engine.placement()) gpu_count += g;
+  EXPECT_LT(gpu_count, 2000u);  // spokes spill to the CPU
+}
+
+TEST(Totem, SmallGraphRunsEntirelyOnGpu) {
+  const EdgeList edges = graph::rmat(8, 1200, 3);
+  const auto report = pagerank_placement(edges, 10);  // 50 MB device
+  EXPECT_EQ(report.gpu_vertices, edges.num_vertices());
+  EXPECT_EQ(report.boundary_vertices, 0u);
+  EXPECT_NEAR(report.cpu_busy_seconds, 0.0, 1e-12);
+}
+
+TEST(Totem, CpuBecomesBottleneckBeyondDeviceMemory) {
+  // The paper's §2.2 critique: for graphs much larger than the device,
+  // most edges stay on the CPU side, which dominates the superstep.
+  const EdgeList edges = graph::make_dataset("uk-2002", 0.5);
+  const auto report = pagerank_placement(edges, 5);
+  EXPECT_LT(report.gpu_vertices, edges.num_vertices());
+  EXPECT_GT(report.boundary_vertices, 0u);
+  EXPECT_GT(report.cpu_busy_seconds, report.gpu_busy_seconds);
+}
+
+TEST(Totem, ExchangeCostsScaleWithBoundary) {
+  const EdgeList big = graph::make_dataset("orkut", 0.3);
+  const auto split = pagerank_placement(big, 5);
+  EXPECT_GT(split.exchange_seconds, 0.0);
+  const EdgeList small = graph::rmat(8, 1000, 5);
+  const auto resident = pagerank_placement(small, 5);
+  EXPECT_NEAR(resident.exchange_seconds / resident.iterations,
+              2e-5, 2e-5);  // just the per-superstep setup latency
+}
+
+}  // namespace
+}  // namespace gr::baselines::totem

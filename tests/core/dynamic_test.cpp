@@ -1,0 +1,141 @@
+#include "core/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/common.hpp"
+#include "baselines/reference/serial.hpp"
+#include "core/algorithms/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace gr::core {
+namespace {
+
+namespace ref = baselines::reference;
+using baselines::PullBfs;
+using graph::EdgeList;
+using graph::VertexId;
+
+ProgramInstance<algo::Sssp> sssp_instance(VertexId source) {
+  ProgramInstance<algo::Sssp> instance;
+  instance.init_vertex = [source](VertexId v) {
+    return v == source ? 0.0f : std::numeric_limits<float>::infinity();
+  };
+  instance.init_edge = [](float w) { return algo::Sssp::Weight{w}; };
+  instance.frontier = InitialFrontier::single(source);
+  instance.default_max_iterations = 100000;
+  return instance;
+}
+
+ProgramInstance<PullBfs> bfs_instance(VertexId source) {
+  ProgramInstance<PullBfs> instance;
+  instance.init_vertex = [source](VertexId v) {
+    return v == source ? 0u : PullBfs::kUnreached;
+  };
+  instance.frontier = InitialFrontier::single(source);
+  instance.default_max_iterations = 100000;
+  return instance;
+}
+
+TEST(DynamicSession, AddEdgesBeforeComputeThrows) {
+  EdgeList edges = graph::path_graph(5);
+  DynamicSession<PullBfs> session(std::move(edges), bfs_instance(0));
+  const EdgeInsertion batch[] = {{0, 4}};
+  EXPECT_THROW(session.add_edges(batch), util::CheckError);
+}
+
+TEST(DynamicSession, BfsShortcutImprovesAffectedDepths) {
+  EdgeList edges = graph::path_graph(40);
+  DynamicSession<PullBfs> session(std::move(edges), bfs_instance(0));
+  session.recompute_full();
+  EXPECT_EQ(session.values()[39], 39u);
+
+  const EdgeInsertion batch[] = {{0, 30}};  // shortcut to vertex 30
+  const RunReport incr = session.add_edges(batch);
+  EXPECT_EQ(session.values()[30], 1u);
+  EXPECT_EQ(session.values()[39], 10u);  // 1 + 9 more hops
+  EXPECT_EQ(session.values()[29], 29u);  // untouched prefix keeps depths
+  // The incremental run converges in ~10 iterations, not ~40.
+  EXPECT_LT(incr.iterations, 15u);
+}
+
+TEST(DynamicSession, SsspIncrementalEqualsFullRecompute) {
+  EdgeList edges = graph::erdos_renyi(300, 1800, 5);
+  edges.randomize_weights(1.0f, 9.0f, 6);
+  const VertexId source = 0;
+  DynamicSession<algo::Sssp> session(edges, sssp_instance(source));
+  session.recompute_full();
+
+  util::Rng rng(99);
+  EdgeList full = edges;  // mirror for the oracle
+  for (int round = 0; round < 4; ++round) {
+    std::vector<EdgeInsertion> batch;
+    for (int i = 0; i < 12; ++i) {
+      const auto u = static_cast<VertexId>(rng.below(300));
+      auto v = static_cast<VertexId>(rng.below(300));
+      if (u == v) v = (v + 1) % 300;
+      const float w = static_cast<float>(rng.uniform(1.0, 9.0));
+      batch.push_back({u, v, w});
+      full.add_edge(u, v, w);
+    }
+    session.add_edges(batch);
+    const auto expected = ref::sssp_distances(full, source);
+    for (VertexId v = 0; v < 300; ++v) {
+      if (std::isinf(expected[v])) {
+        ASSERT_TRUE(std::isinf(session.values()[v])) << "round " << round;
+      } else {
+        ASSERT_NEAR(session.values()[v], expected[v],
+                    1e-3f * (1.0f + expected[v]))
+            << "round " << round << " v" << v;
+      }
+    }
+  }
+}
+
+TEST(DynamicSession, CcBridgeMergesComponents) {
+  EdgeList edges = graph::two_cycles(10);
+  edges.make_undirected();
+  ProgramInstance<algo::ConnectedComponents> instance;
+  instance.init_vertex = [](VertexId v) { return v; };
+  instance.frontier = InitialFrontier::all();
+  instance.default_max_iterations = 100000;
+  DynamicSession<algo::ConnectedComponents> session(std::move(edges),
+                                                    std::move(instance));
+  session.recompute_full();
+  EXPECT_EQ(session.values()[15], 10u);  // second cycle labeled 10
+
+  const EdgeInsertion batch[] = {{3, 13}, {13, 3}};  // bridge both ways
+  session.add_edges(batch);
+  for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(session.values()[v], 0u);
+}
+
+TEST(DynamicSession, IncrementalMovesFewerBytesThanFull) {
+  EdgeList edges = graph::grid2d(40, 40);
+  edges.randomize_weights(1.0f, 4.0f, 2);
+  EngineOptions options;
+  options.device.global_memory_bytes = 64 * 1024;  // force streaming
+  DynamicSession<algo::Sssp> session(edges, sssp_instance(0), options);
+  const RunReport full = session.recompute_full();
+
+  const EdgeInsertion batch[] = {{5, 900, 1.0f}};
+  const RunReport incr = session.add_edges(batch);
+  EXPECT_LT(incr.bytes_h2d, full.bytes_h2d);
+}
+
+TEST(DynamicSession, EmptyBatchIsNoop) {
+  EdgeList edges = graph::path_graph(10);
+  DynamicSession<PullBfs> session(std::move(edges), bfs_instance(0));
+  session.recompute_full();
+  const auto before =
+      std::vector<std::uint32_t>(session.values().begin(),
+                                 session.values().end());
+  const RunReport report = session.add_edges({});
+  EXPECT_EQ(report.iterations, 0u);
+  EXPECT_TRUE(std::equal(before.begin(), before.end(),
+                         session.values().begin()));
+}
+
+}  // namespace
+}  // namespace gr::core

@@ -1,0 +1,84 @@
+#include "core/frontier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace gr::core {
+namespace {
+
+TEST(FrontierManager, ActivateAllCountsEverything) {
+  const auto edges = graph::path_graph(10);
+  const auto pg = PartitionedGraph::build(edges, 3);
+  FrontierManager fm(pg);
+  fm.activate_all();
+  EXPECT_EQ(fm.active_vertices(), 10u);
+  EXPECT_FALSE(fm.empty());
+  std::uint64_t total = 0;
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    total += fm.shard_active_vertices(p);
+    EXPECT_TRUE(fm.shard_has_work(p));
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(FrontierManager, ActivateSingleIsolatesOneShard) {
+  const auto edges = graph::path_graph(12);
+  const auto pg = PartitionedGraph::build(edges, 4);
+  FrontierManager fm(pg);
+  const graph::VertexId source = 7;
+  fm.activate_single(source);
+  EXPECT_EQ(fm.active_vertices(), 1u);
+  const std::uint32_t home = pg.shard_of(source);
+  for (std::uint32_t p = 0; p < 4; ++p)
+    EXPECT_EQ(fm.shard_has_work(p), p == home);
+  EXPECT_TRUE(fm.is_active(source));
+  EXPECT_FALSE(fm.is_active(0));
+}
+
+TEST(FrontierManager, ActiveEdgeSumsMatchDegrees) {
+  const auto edges = graph::star_graph(20);  // hub 0 has degree 19+19
+  const auto pg = PartitionedGraph::build(edges, 2);
+  FrontierManager fm(pg);
+  fm.activate_single(0);
+  const std::uint32_t home = pg.shard_of(0);
+  EXPECT_EQ(fm.shard_active_in_edges(home), 19u);
+  EXPECT_EQ(fm.shard_active_out_edges(home), 19u);
+}
+
+TEST(FrontierManager, AdvancePromotesNextAndClearsIt) {
+  const auto edges = graph::path_graph(6);
+  const auto pg = PartitionedGraph::build(edges, 2);
+  FrontierManager fm(pg);
+  fm.activate_single(0);
+  fm.mark_next(3);
+  fm.mark_next(4);
+  EXPECT_EQ(fm.advance(), 2u);
+  EXPECT_TRUE(fm.is_active(3));
+  EXPECT_TRUE(fm.is_active(4));
+  EXPECT_FALSE(fm.is_active(0));
+  // next is cleared by advance.
+  EXPECT_EQ(fm.advance(), 0u);
+  EXPECT_TRUE(fm.empty());
+}
+
+TEST(FrontierManager, NextBitsSpanIsWritable) {
+  const auto edges = graph::path_graph(5);
+  const auto pg = PartitionedGraph::build(edges, 1);
+  FrontierManager fm(pg);
+  auto bits = fm.next_bits();
+  bits[2] = 1;
+  fm.advance();
+  EXPECT_TRUE(fm.is_active(2));
+  EXPECT_EQ(fm.active_vertices(), 1u);
+}
+
+TEST(FrontierManager, OutOfRangeSourceThrows) {
+  const auto edges = graph::path_graph(5);
+  const auto pg = PartitionedGraph::build(edges, 1);
+  FrontierManager fm(pg);
+  EXPECT_THROW(fm.activate_single(99), util::CheckError);
+}
+
+}  // namespace
+}  // namespace gr::core

@@ -1,0 +1,68 @@
+// SSD-backed host extension (§8 future work (2)): when the graph exceeds
+// host memory, shard uploads fault their spilled fraction in from disk.
+#include <gtest/gtest.h>
+
+#include "core/algorithms/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace gr::core {
+namespace {
+
+using graph::EdgeList;
+
+EngineOptions streaming_options() {
+  EngineOptions options;
+  options.device.global_memory_bytes = 256 * 1024;
+  return options;
+}
+
+TEST(HostSpill, NoSpillWhenHostFits) {
+  const EdgeList edges = graph::rmat(10, 8000, 3);
+  EngineOptions options = streaming_options();
+  options.host_memory_bytes = 1ull << 30;
+  const auto result = algo::run_bfs(edges, 0, options);
+  EXPECT_DOUBLE_EQ(result.report.host_spill_fraction, 0.0);
+}
+
+TEST(HostSpill, ConstrainedHostReportsSpillFraction) {
+  const EdgeList edges = graph::rmat(10, 8000, 3);
+  EngineOptions options = streaming_options();
+  options.host_memory_bytes = 128 * 1024;  // far below the graph
+  const auto result = algo::run_bfs(edges, 0, options);
+  EXPECT_GT(result.report.host_spill_fraction, 0.5);
+  EXPECT_LT(result.report.host_spill_fraction, 1.0);
+}
+
+TEST(HostSpill, SpillSlowsStreamingButNotResults) {
+  EdgeList edges = graph::rmat(10, 8000, 3);
+  edges.randomize_weights(1.0f, 8.0f, 7);
+  EngineOptions fast = streaming_options();
+  EngineOptions spilled = fast;
+  spilled.host_memory_bytes = 96 * 1024;
+  const auto a = algo::run_sssp(edges, 0, fast);
+  const auto b = algo::run_sssp(edges, 0, spilled);
+  EXPECT_GT(b.report.total_seconds, a.report.total_seconds * 1.4);
+  ASSERT_EQ(a.distance.size(), b.distance.size());
+  for (std::size_t v = 0; v < a.distance.size(); ++v)
+    ASSERT_EQ(a.distance[v], b.distance[v]) << v;
+}
+
+TEST(HostSpill, SlowerDiskMeansSlowerRun) {
+  const EdgeList edges = graph::rmat(10, 8000, 3);
+  EngineOptions ssd = streaming_options();
+  ssd.host_memory_bytes = 96 * 1024;
+  EngineOptions hdd = ssd;
+  hdd.disk_bandwidth = 80e6;
+  const auto a = algo::run_bfs(edges, 0, ssd);
+  const auto b = algo::run_bfs(edges, 0, hdd);
+  EXPECT_GT(b.report.total_seconds, a.report.total_seconds);
+}
+
+TEST(HostSpill, UnlimitedHostIsDefault) {
+  const EdgeList edges = graph::path_graph(100);
+  const auto result = algo::run_bfs(edges, 0);
+  EXPECT_DOUBLE_EQ(result.report.host_spill_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace gr::core

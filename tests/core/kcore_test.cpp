@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "baselines/reference/serial.hpp"
+#include "core/algorithms/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace gr::algo {
+namespace {
+
+namespace ref = baselines::reference;
+using graph::EdgeList;
+using graph::VertexId;
+
+TEST(KCore, CompleteGraphIsItsOwnCore) {
+  const EdgeList g = graph::complete_graph(6);  // every degree = 5
+  const auto core5 = run_kcore(g, 5);
+  for (bool alive : core5.in_core) EXPECT_TRUE(alive);
+  const auto core6 = run_kcore(g, 6);
+  for (bool alive : core6.in_core) EXPECT_FALSE(alive);
+}
+
+TEST(KCore, StarCollapsesAtKTwo) {
+  EdgeList g = graph::star_graph(20);  // spokes have degree 1
+  const auto core2 = run_kcore(g, 2);
+  for (bool alive : core2.in_core) EXPECT_FALSE(alive);  // hub dies too
+  const auto core1 = run_kcore(g, 1);
+  for (bool alive : core1.in_core) EXPECT_TRUE(alive);
+}
+
+TEST(KCore, GridHasTwoCoreButNotThreeCore) {
+  const EdgeList g = graph::grid2d(6, 6);  // interior degree 4, corner 2
+  const auto core2 = run_kcore(g, 2);
+  for (bool alive : core2.in_core) EXPECT_TRUE(alive);
+  const auto core3 = run_kcore(g, 3);
+  // Peeling corners cascades: a grid has no 3-core.
+  for (bool alive : core3.in_core) EXPECT_FALSE(alive);
+}
+
+TEST(KCore, PeelingCascades) {
+  // A triangle with a tail: the tail peels away at k=2, triangle stays.
+  EdgeList g(6);
+  auto undirected = [&](VertexId a, VertexId b) {
+    g.add_edge(a, b);
+    g.add_edge(b, a);
+  };
+  undirected(0, 1);
+  undirected(1, 2);
+  undirected(2, 0);
+  undirected(2, 3);
+  undirected(3, 4);
+  undirected(4, 5);
+  const auto core2 = run_kcore(g, 2);
+  EXPECT_TRUE(core2.in_core[0]);
+  EXPECT_TRUE(core2.in_core[1]);
+  EXPECT_TRUE(core2.in_core[2]);
+  EXPECT_FALSE(core2.in_core[3]);
+  EXPECT_FALSE(core2.in_core[4]);
+  EXPECT_FALSE(core2.in_core[5]);
+}
+
+class KCoreSweep
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, int>> {};
+
+TEST_P(KCoreSweep, MatchesReferencePeeling) {
+  EdgeList g = graph::rmat(9, 2200, GetParam().first);
+  g.make_undirected();
+  const auto k = static_cast<std::uint32_t>(GetParam().second);
+  const auto result = run_kcore(g, k);
+  const auto expected = ref::kcore_membership(g, k);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_EQ(result.in_core[v], expected[v]) << "k=" << k << " v" << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndK, KCoreSweep,
+    ::testing::Values(std::pair{1ull, 2}, std::pair{1ull, 4},
+                      std::pair{2ull, 3}, std::pair{3ull, 5},
+                      std::pair{4ull, 8}),
+    [](const auto& info) {
+      return "s" + std::to_string(info.param.first) + "_k" +
+             std::to_string(info.param.second);
+    });
+
+TEST(KCore, StreamingMatchesResident) {
+  EdgeList g = graph::rmat(10, 7000, 7);
+  g.make_undirected();
+  core::EngineOptions streaming;
+  streaming.device.global_memory_bytes = 128 * 1024;
+  const auto a = run_kcore(g, 4, streaming);
+  const auto b = run_kcore(g, 4);
+  EXPECT_FALSE(a.report.resident_mode);
+  EXPECT_EQ(a.in_core, b.in_core);
+}
+
+TEST(KCore, RejectsZeroK) {
+  const EdgeList g = graph::path_graph(4);
+  EXPECT_THROW(run_kcore(g, 0), util::CheckError);
+}
+
+}  // namespace
+}  // namespace gr::algo

@@ -1,0 +1,249 @@
+#include "core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+
+namespace gr::core {
+namespace {
+
+using graph::EdgeId;
+using graph::EdgeList;
+using graph::VertexId;
+
+TEST(BalancedEdgeCut, SinglePartitionCoversEverything) {
+  std::vector<EdgeId> weights = {3, 1, 4, 1, 5};
+  const auto cut = balanced_edge_cut(weights, 1);
+  EXPECT_EQ(cut, (std::vector<VertexId>{0, 5}));
+}
+
+TEST(BalancedEdgeCut, ProducesRequestedIntervalCount) {
+  std::vector<EdgeId> weights(100, 2);
+  const auto cut = balanced_edge_cut(weights, 7);
+  ASSERT_EQ(cut.size(), 8u);
+  EXPECT_EQ(cut.front(), 0u);
+  EXPECT_EQ(cut.back(), 100u);
+  EXPECT_TRUE(std::is_sorted(cut.begin(), cut.end()));
+}
+
+TEST(BalancedEdgeCut, UniformWeightsSplitEvenly) {
+  std::vector<EdgeId> weights(100, 1);
+  const auto cut = balanced_edge_cut(weights, 4);
+  for (std::size_t i = 0; i + 1 < cut.size(); ++i)
+    EXPECT_NEAR(cut[i + 1] - cut[i], 25.0, 1.0);
+}
+
+TEST(BalancedEdgeCut, SkewedWeightIsolatedInOwnInterval) {
+  // One vertex owning almost all edges should end up nearly alone.
+  std::vector<EdgeId> weights(10, 1);
+  weights[0] = 1000;
+  const auto cut = balanced_edge_cut(weights, 3);
+  EXPECT_EQ(cut[1], 1u);  // first interval is just the heavy vertex
+}
+
+TEST(BalancedEdgeCut, EveryIntervalNonEmptyEvenWithZeroWeights) {
+  std::vector<EdgeId> weights(6, 0);
+  const auto cut = balanced_edge_cut(weights, 6);
+  for (std::size_t i = 0; i + 1 < cut.size(); ++i)
+    EXPECT_EQ(cut[i + 1] - cut[i], 1u);
+}
+
+class PartitionBuildParam
+    : public ::testing::TestWithParam<std::pair<const char*, std::uint32_t>> {
+ protected:
+  EdgeList make_graph() const {
+    const std::string name = GetParam().first;
+    if (name == "rmat") return graph::rmat(10, 8000, 11);
+    if (name == "grid") return graph::grid2d(40, 40);
+    if (name == "star") return graph::star_graph(500);
+    if (name == "path") return graph::path_graph(300);
+    return graph::erdos_renyi(700, 9000, 5);
+  }
+};
+
+TEST_P(PartitionBuildParam, InvariantsHold) {
+  const EdgeList edges = make_graph();
+  const auto pg = PartitionedGraph::build(edges, GetParam().second);
+  EXPECT_EQ(pg.num_shards(), GetParam().second);
+  pg.validate();
+}
+
+TEST_P(PartitionBuildParam, EveryEdgeInExactlyOneCscAndCsrSlot) {
+  const EdgeList edges = make_graph();
+  const auto pg = PartitionedGraph::build(edges, GetParam().second);
+  std::vector<int> csc_seen(edges.num_edges(), 0);
+  std::vector<int> csr_seen(edges.num_edges(), 0);
+  for (const ShardTopology& shard : pg.shards()) {
+    for (EdgeId orig : shard.in_orig_edge) csc_seen[orig]++;
+    // CSR slots are checked through their canonical positions: each
+    // canonical position appears exactly once across all CSR arrays.
+    for (EdgeId pos : shard.out_canonical_pos) csr_seen[pos]++;
+  }
+  for (EdgeId i = 0; i < edges.num_edges(); ++i) {
+    EXPECT_EQ(csc_seen[i], 1) << "edge " << i;
+    EXPECT_EQ(csr_seen[i], 1) << "canonical slot " << i;
+  }
+}
+
+TEST_P(PartitionBuildParam, CscSlotsGroupByDestination) {
+  const EdgeList edges = make_graph();
+  const auto pg = PartitionedGraph::build(edges, GetParam().second);
+  for (const ShardTopology& shard : pg.shards()) {
+    for (VertexId lv = 0; lv < shard.interval.size(); ++lv) {
+      for (EdgeId e = shard.in_offsets[lv]; e < shard.in_offsets[lv + 1];
+           ++e) {
+        const graph::Edge& orig = edges.edge(shard.in_orig_edge[e]);
+        EXPECT_EQ(orig.dst, shard.interval.begin + lv);
+        EXPECT_EQ(orig.src, shard.in_src[e]);
+      }
+    }
+  }
+}
+
+TEST_P(PartitionBuildParam, CsrCanonicalPositionsRouteToSameEdge) {
+  const EdgeList edges = make_graph();
+  const auto pg = PartitionedGraph::build(edges, GetParam().second);
+  // Reconstruct: canonical position -> original edge via CSC; then each
+  // CSR slot's canonical position must identify an edge with matching
+  // src/dst.
+  std::vector<EdgeId> orig_of_canonical(edges.num_edges());
+  for (const ShardTopology& shard : pg.shards())
+    for (EdgeId slot = 0; slot < shard.in_edge_count(); ++slot)
+      orig_of_canonical[shard.canonical_base + slot] =
+          shard.in_orig_edge[slot];
+  for (const ShardTopology& shard : pg.shards()) {
+    for (VertexId lv = 0; lv < shard.interval.size(); ++lv) {
+      for (EdgeId e = shard.out_offsets[lv]; e < shard.out_offsets[lv + 1];
+           ++e) {
+        const graph::Edge& orig =
+            edges.edge(orig_of_canonical[shard.out_canonical_pos[e]]);
+        EXPECT_EQ(orig.src, shard.interval.begin + lv);
+        EXPECT_EQ(orig.dst, shard.out_dst[e]);
+      }
+    }
+  }
+}
+
+TEST_P(PartitionBuildParam, ShardsAreReasonablyBalanced) {
+  const EdgeList edges = make_graph();
+  const std::uint32_t p = GetParam().second;
+  if (p < 2) return;
+  const auto pg = PartitionedGraph::build(edges, p);
+  const double mean =
+      2.0 * static_cast<double>(edges.num_edges()) / p;
+  for (const ShardTopology& shard : pg.shards()) {
+    const double load = static_cast<double>(shard.in_edge_count() +
+                                            shard.out_edge_count());
+    // Greedy cut bound: one vertex's full degree of overshoot.
+    EXPECT_LE(load, mean + 2.0 * static_cast<double>(edges.num_edges()))
+        << "degenerate shard";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionBuildParam,
+    ::testing::Values(std::pair{"rmat", 1u}, std::pair{"rmat", 4u},
+                      std::pair{"rmat", 13u}, std::pair{"grid", 5u},
+                      std::pair{"star", 3u}, std::pair{"path", 8u},
+                      std::pair{"er", 6u}),
+    [](const auto& info) {
+      return std::string(info.param.first) + "_p" +
+             std::to_string(info.param.second);
+    });
+
+TEST(PartitionedGraph, ShardOfMapsEveryVertex) {
+  const EdgeList edges = graph::erdos_renyi(500, 4000, 2);
+  const auto pg = PartitionedGraph::build(edges, 7);
+  for (VertexId v = 0; v < edges.num_vertices(); ++v) {
+    const std::uint32_t p = pg.shard_of(v);
+    EXPECT_TRUE(pg.shard(p).interval.contains(v));
+  }
+}
+
+TEST(PartitionedGraph, DegreesMatchEdgeList) {
+  const EdgeList edges = graph::rmat(9, 4000, 3);
+  const auto pg = PartitionedGraph::build(edges, 4);
+  const auto in = edges.in_degrees();
+  const auto out = edges.out_degrees();
+  for (VertexId v = 0; v < edges.num_vertices(); ++v) {
+    EXPECT_EQ(pg.in_degrees()[v], in[v]);
+    EXPECT_EQ(pg.out_degrees()[v], out[v]);
+  }
+}
+
+TEST(PartitionedGraph, RejectsMorePartitionsThanVertices) {
+  const EdgeList edges = graph::path_graph(4);
+  EXPECT_THROW(PartitionedGraph::build(edges, 10), util::CheckError);
+}
+
+TEST(PartitionedGraph, CustomPartitionLogicIsHonored) {
+  const EdgeList edges = graph::path_graph(10);
+  // Plug-in logic: fixed split at vertex 2 regardless of weights.
+  PartitionLogic logic = [](std::span<const EdgeId> w, std::uint32_t p) {
+    GR_CHECK(p == 2);
+    return std::vector<VertexId>{0, 2, static_cast<VertexId>(w.size())};
+  };
+  const auto pg = PartitionedGraph::build(edges, 2, logic);
+  EXPECT_EQ(pg.shard(0).interval.end, 2u);
+  pg.validate();
+}
+
+TEST(ChoosePartitionCount, SmallGraphGetsOnePartition) {
+  PartitionPlanInput input;
+  input.num_vertices = 1000;
+  input.num_edges = 5000;
+  input.static_bytes = 10'000;
+  input.bytes_per_in_edge = 12;
+  input.bytes_per_out_edge = 12;
+  input.bytes_per_interval_vertex = 16;
+  input.device_capacity = 100'000'000;
+  EXPECT_EQ(choose_partition_count(input), 1u);
+}
+
+TEST(ChoosePartitionCount, LargeGraphSplitsUntilSlotsFit) {
+  PartitionPlanInput input;
+  input.num_vertices = 100'000;
+  input.num_edges = 10'000'000;
+  input.static_bytes = 1'000'000;
+  input.bytes_per_in_edge = 16;
+  input.bytes_per_out_edge = 16;
+  input.bytes_per_interval_vertex = 16;
+  input.device_capacity = 50'000'000;
+  input.slots = 2;
+  const std::uint32_t p = choose_partition_count(input);
+  EXPECT_GT(p, 1u);
+  // Feasibility: slots * average shard fits in the available budget.
+  const double available = 0.95 * 50e6 - 1e6;
+  const double shard =
+      (10e6 * 32.0 + 100e3 * 16.0) / p * 1.3;
+  EXPECT_LE(input.slots * shard, available * 1.02);
+}
+
+TEST(ChoosePartitionCount, StaticOverflowThrows) {
+  PartitionPlanInput input;
+  input.num_vertices = 1000;
+  input.num_edges = 1000;
+  input.static_bytes = 200;
+  input.device_capacity = 100;
+  EXPECT_THROW(choose_partition_count(input), util::CheckError);
+}
+
+TEST(ChoosePartitionCount, MoreSlotsMeansMorePartitions) {
+  PartitionPlanInput input;
+  input.num_vertices = 100'000;
+  input.num_edges = 10'000'000;
+  input.bytes_per_in_edge = 16;
+  input.bytes_per_out_edge = 16;
+  input.bytes_per_interval_vertex = 16;
+  input.device_capacity = 50'000'000;
+  input.slots = 2;
+  const auto p2 = choose_partition_count(input);
+  input.slots = 4;
+  const auto p4 = choose_partition_count(input);
+  EXPECT_GT(p4, p2);
+}
+
+}  // namespace
+}  // namespace gr::core

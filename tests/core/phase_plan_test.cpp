@@ -1,0 +1,93 @@
+#include "core/phase_plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gr::core {
+namespace {
+
+bool has_kernel(const Pass& pass, PhaseKernel k) {
+  for (PhaseKernel kernel : pass.kernels)
+    if (kernel == k) return true;
+  return false;
+}
+
+TEST(PhasePlan, FusedGatherProgramHasTwoPasses) {
+  // SSSP/CC/PR shape: gather defined, scatter absent.
+  const auto plan = make_phase_plan(true, false, false, true);
+  ASSERT_EQ(plan.passes.size(), 2u);
+  const Pass& gather = plan.passes[0];
+  EXPECT_TRUE(gather.needs_in_edges);
+  EXPECT_FALSE(gather.needs_out_edges);
+  EXPECT_TRUE(has_kernel(gather, PhaseKernel::kGatherMap));
+  EXPECT_TRUE(has_kernel(gather, PhaseKernel::kGatherReduce));
+  const Pass& update = plan.passes[1];
+  EXPECT_FALSE(update.needs_in_edges);
+  EXPECT_TRUE(update.needs_out_edges);
+  EXPECT_TRUE(has_kernel(update, PhaseKernel::kApply));
+  EXPECT_TRUE(has_kernel(update, PhaseKernel::kFrontierActivate));
+  EXPECT_FALSE(has_kernel(update, PhaseKernel::kScatter));
+}
+
+TEST(PhasePlan, FusedApplyOnlyProgramIsSinglePass) {
+  // BFS shape (paper §5.3): apply fused with frontierActivate; in-edges
+  // eliminated entirely.
+  const auto plan = make_phase_plan(false, false, false, true);
+  ASSERT_EQ(plan.passes.size(), 1u);
+  EXPECT_FALSE(plan.uses_in_edges());
+  const Pass& pass = plan.passes[0];
+  EXPECT_TRUE(has_kernel(pass, PhaseKernel::kApply));
+  EXPECT_TRUE(has_kernel(pass, PhaseKernel::kFrontierActivate));
+  EXPECT_TRUE(pass.needs_out_edges);  // out-edges move regardless
+}
+
+TEST(PhasePlan, FusedScatterProgramRoundTrips) {
+  const auto plan = make_phase_plan(true, true, true, true);
+  ASSERT_EQ(plan.passes.size(), 2u);
+  EXPECT_TRUE(plan.passes[0].moves_edge_state);
+  const Pass& update = plan.passes[1];
+  EXPECT_TRUE(has_kernel(update, PhaseKernel::kScatter));
+  EXPECT_TRUE(update.scatter_round_trip);
+}
+
+TEST(PhasePlan, UnfusedMovesWholeShardPerPhase) {
+  const auto plan = make_phase_plan(true, true, true, false);
+  // gatherMap, gatherReduce, apply, scatter, frontierActivate.
+  ASSERT_EQ(plan.passes.size(), 5u);
+  for (const Pass& pass : plan.passes) {
+    EXPECT_EQ(pass.kernels.size(), 1u);
+    EXPECT_TRUE(pass.needs_in_edges);
+    EXPECT_TRUE(pass.needs_out_edges);
+    EXPECT_TRUE(pass.moves_edge_state);
+  }
+  EXPECT_TRUE(plan.passes[3].scatter_round_trip);
+}
+
+TEST(PhasePlan, UnfusedGatherlessStillMovesWholeShard) {
+  const auto plan = make_phase_plan(false, false, false, false);
+  ASSERT_EQ(plan.passes.size(), 2u);  // apply, frontierActivate
+  EXPECT_TRUE(plan.uses_in_edges());  // no elimination when disabled
+}
+
+TEST(PhasePlan, FrontierActivateAlwaysPresent) {
+  for (bool gather : {false, true})
+    for (bool scatter : {false, true})
+      for (bool fusion : {false, true}) {
+        const auto plan = make_phase_plan(gather, scatter, scatter, fusion);
+        bool found = false;
+        for (const Pass& pass : plan.passes)
+          found = found || has_kernel(pass, PhaseKernel::kFrontierActivate);
+        EXPECT_TRUE(found);
+      }
+}
+
+TEST(PhasePlan, FusionNeverIncreasesPassCount) {
+  for (bool gather : {false, true})
+    for (bool scatter : {false, true}) {
+      const auto fused = make_phase_plan(gather, scatter, scatter, true);
+      const auto unfused = make_phase_plan(gather, scatter, scatter, false);
+      EXPECT_LE(fused.passes.size(), unfused.passes.size());
+    }
+}
+
+}  // namespace
+}  // namespace gr::core

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "baselines/reference/serial.hpp"
+#include "core/algorithms/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace gr::algo {
+namespace {
+
+namespace ref = baselines::reference;
+using graph::EdgeList;
+using graph::VertexId;
+
+TEST(Reachability, SingleSourceMatchesBfsReachability) {
+  const EdgeList g = graph::rmat(9, 2500, 3);
+  const VertexId sources[] = {4};
+  const auto result = run_reachability(g, sources);
+  const auto depth = ref::bfs_depths(g, 4);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const bool reached = depth[v] != ~0u;
+    EXPECT_EQ((result.reachable[v] & 1ull) != 0, reached) << v;
+  }
+}
+
+TEST(Reachability, EachBitTracksItsOwnSource) {
+  // Two disjoint cycles: bit 0 seeds the first, bit 1 the second.
+  const EdgeList g = graph::two_cycles(8);
+  const VertexId sources[] = {0, 8};
+  const auto result = run_reachability(g, sources);
+  for (VertexId v = 0; v < 8; ++v) EXPECT_EQ(result.reachable[v], 0b01u);
+  for (VertexId v = 8; v < 16; ++v) EXPECT_EQ(result.reachable[v], 0b10u);
+}
+
+TEST(Reachability, SixtyFourSourcesOnOneGraph) {
+  const EdgeList g = graph::erdos_renyi(400, 2400, 7);
+  std::vector<VertexId> sources;
+  for (VertexId k = 0; k < 64; ++k)
+    sources.push_back(static_cast<VertexId>(k * 6 + 1));
+  const auto result = run_reachability(g, sources);
+  // Spot-check eight bits against independent BFS runs.
+  for (std::size_t k = 0; k < 64; k += 8) {
+    const auto depth = ref::bfs_depths(g, sources[k]);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const bool reached = depth[v] != ~0u;
+      ASSERT_EQ((result.reachable[v] >> k) & 1ull, reached ? 1u : 0u)
+          << "source " << k << " vertex " << v;
+    }
+  }
+}
+
+TEST(Reachability, SourceReachesItself) {
+  const EdgeList g = graph::path_graph(5);
+  const VertexId sources[] = {3};
+  const auto result = run_reachability(g, sources);
+  EXPECT_EQ(result.reachable[3], 1u);
+  EXPECT_EQ(result.reachable[0], 0u);  // path is directed forward
+  EXPECT_EQ(result.reachable[4], 1u);
+}
+
+TEST(Reachability, RejectsBadSourceCounts) {
+  const EdgeList g = graph::path_graph(5);
+  EXPECT_THROW(run_reachability(g, {}), util::CheckError);
+  std::vector<VertexId> too_many(65, 0);
+  EXPECT_THROW(run_reachability(g, too_many), util::CheckError);
+  const VertexId out_of_range[] = {99};
+  EXPECT_THROW(run_reachability(g, out_of_range), util::CheckError);
+}
+
+TEST(Reachability, WorksStreamingToo) {
+  const EdgeList g = graph::rmat(10, 9000, 5);
+  core::EngineOptions options;
+  options.device.global_memory_bytes = 128 * 1024;
+  const VertexId sources[] = {1, 2, 3};
+  const auto streamed = run_reachability(g, sources, options);
+  const auto resident = run_reachability(g, sources);
+  EXPECT_FALSE(streamed.report.resident_mode);
+  EXPECT_EQ(streamed.reachable, resident.reachable);
+}
+
+}  // namespace
+}  // namespace gr::algo

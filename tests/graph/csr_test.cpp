@@ -1,0 +1,100 @@
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+
+namespace gr::graph {
+namespace {
+
+EdgeList diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+  EdgeList g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(Compressed, BySourceGroupsOutEdges) {
+  const auto csr = Compressed::by_source(diamond());
+  EXPECT_EQ(csr.num_vertices(), 4u);
+  EXPECT_EQ(csr.num_edges(), 4u);
+  EXPECT_EQ(csr.degree(0), 2u);
+  EXPECT_EQ(csr.degree(3), 0u);
+  const auto n0 = csr.neighbors(0);
+  EXPECT_EQ((std::vector<VertexId>{n0.begin(), n0.end()}),
+            (std::vector<VertexId>{1, 2}));
+}
+
+TEST(Compressed, ByDestinationGroupsInEdges) {
+  const auto csc = Compressed::by_destination(diamond());
+  EXPECT_EQ(csc.degree(3), 2u);
+  const auto n3 = csc.neighbors(3);
+  EXPECT_EQ((std::vector<VertexId>{n3.begin(), n3.end()}),
+            (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(csc.degree(0), 0u);
+}
+
+TEST(Compressed, OriginalIndexMapsBackToEdgeList) {
+  const EdgeList g = diamond();
+  const auto csc = Compressed::by_destination(g);
+  for (VertexId v = 0; v < csc.num_vertices(); ++v) {
+    const auto offs = csc.offsets();
+    for (EdgeId slot = offs[v]; slot < offs[v + 1]; ++slot) {
+      const Edge& original = g.edge(csc.original_index()[slot]);
+      EXPECT_EQ(original.dst, v);
+      EXPECT_EQ(original.src, csc.adjacency()[slot]);
+    }
+  }
+}
+
+TEST(Compressed, BuildIsStableWithinVertex) {
+  // Counting sort must preserve edge-list order within one key vertex.
+  EdgeList g(3);
+  g.add_edge(0, 2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  const auto csr = Compressed::by_source(g);
+  const auto n0 = csr.neighbors(0);
+  EXPECT_EQ((std::vector<VertexId>{n0.begin(), n0.end()}),
+            (std::vector<VertexId>{2, 1, 2}));
+  EXPECT_EQ(csr.original_index()[0], 0u);
+  EXPECT_EQ(csr.original_index()[1], 1u);
+  EXPECT_EQ(csr.original_index()[2], 2u);
+}
+
+TEST(Compressed, EmptyGraph) {
+  EdgeList g(5);
+  const auto csr = Compressed::by_source(g);
+  EXPECT_EQ(csr.num_vertices(), 5u);
+  EXPECT_EQ(csr.num_edges(), 0u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(csr.degree(v), 0u);
+}
+
+TEST(Compressed, OffsetsAreMonotoneOnRandomGraph) {
+  const EdgeList g = erdos_renyi(500, 5000, 42);
+  const auto csr = Compressed::by_source(g);
+  const auto offs = csr.offsets();
+  EXPECT_TRUE(std::is_sorted(offs.begin(), offs.end()));
+  EXPECT_EQ(offs.front(), 0u);
+  EXPECT_EQ(offs.back(), g.num_edges());
+}
+
+TEST(Compressed, DegreesMatchEdgeListCounts) {
+  const EdgeList g = erdos_renyi(200, 3000, 7);
+  const auto csr = Compressed::by_source(g);
+  const auto csc = Compressed::by_destination(g);
+  const auto out = g.out_degrees();
+  const auto in = g.in_degrees();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(csr.degree(v), out[v]);
+    EXPECT_EQ(csc.degree(v), in[v]);
+  }
+}
+
+}  // namespace
+}  // namespace gr::graph

@@ -1,0 +1,122 @@
+#include "graph/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.hpp"
+#include "util/common.hpp"
+
+namespace gr::graph {
+namespace {
+
+// The bench device memory (DESIGN.md: 4.8 GB scaled to 50 MB).
+constexpr std::uint64_t kDeviceBytes = 50ull * 1000 * 1000;
+
+TEST(Datasets, RegistryHasElevenEntries) {
+  EXPECT_EQ(all_datasets().size(), 11u);
+  EXPECT_EQ(in_memory_names().size(), 5u);
+  EXPECT_EQ(out_of_memory_names().size(), 5u);
+}
+
+TEST(Datasets, UnknownNameThrows) {
+  EXPECT_THROW(make_dataset("no-such-graph"), util::CheckError);
+  EXPECT_THROW(dataset_info("no-such-graph"), util::CheckError);
+}
+
+TEST(Datasets, InfoMatchesPaperTable1) {
+  const auto& kron21 = dataset_info("kron_g500-logn21");
+  EXPECT_TRUE(kron21.out_of_memory);
+  EXPECT_EQ(kron21.paper_vertices, 2'097'152u);
+  EXPECT_EQ(kron21.paper_edges, 91'042'010u);
+  const auto& ak = dataset_info("ak2010");
+  EXPECT_FALSE(ak.out_of_memory);
+}
+
+TEST(Datasets, FootprintModelMatchesPaperSizes) {
+  // Paper sizes are ~54 B/edge; check we land within 15% for the large
+  // datasets where the model matters.
+  struct Row {
+    const char* name;
+    double paper_gb;
+  };
+  for (const Row& row : {Row{"kron_g500-logn21", 4.84},
+                         Row{"nlpkkt160", 11.9},
+                         Row{"uk-2002", 16.4},
+                         Row{"orkut", 6.2},
+                         Row{"cage15", 5.4}}) {
+    const auto& info = dataset_info(row.name);
+    const double model_gb =
+        static_cast<double>(
+            footprint_bytes(info.paper_vertices, info.paper_edges)) /
+        1e9;
+    EXPECT_NEAR(model_gb, row.paper_gb, row.paper_gb * 0.15) << row.name;
+  }
+}
+
+class DatasetParam : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetParam, GeneratesValidNonTrivialGraph) {
+  const EdgeList g = make_dataset(GetParam(), 0.05);
+  g.validate();
+  EXPECT_GT(g.num_vertices(), 0u);
+  EXPECT_GT(g.num_edges(), 0u);
+}
+
+TEST_P(DatasetParam, ScaledClassificationMatchesPaper) {
+  const EdgeList g = make_dataset(GetParam());
+  const auto& info = dataset_info(GetParam());
+  const std::uint64_t bytes =
+      footprint_bytes(g.num_vertices(), g.num_edges());
+  if (info.out_of_memory)
+    EXPECT_GT(bytes, kDeviceBytes) << GetParam();
+  else
+    EXPECT_LT(bytes, kDeviceBytes) << GetParam();
+}
+
+TEST_P(DatasetParam, GenerationIsDeterministic) {
+  const EdgeList a = make_dataset(GetParam(), 0.02);
+  const EdgeList b = make_dataset(GetParam(), 0.02);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId i = 0; i < a.num_edges(); i += 17)
+    EXPECT_EQ(a.edge(i), b.edge(i));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetParam,
+    ::testing::Values("ak2010", "coAuthorsDBLP", "kron_g500-logn20",
+                      "webbase-1M", "belgium_osm", "delaunay_n13",
+                      "kron_g500-logn21", "nlpkkt160", "uk-2002", "orkut",
+                      "cage15"),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(Datasets, FamiliesHaveExpectedShape) {
+  // Road analog: near-constant low degree, high diameter.
+  const EdgeList road = make_dataset("ak2010");
+  EXPECT_LT(degree_stats(road).mean, 5.0);
+  EXPECT_GT(eccentricity(road, 0), 30u);
+  // Kronecker analog: heavy skew.
+  const EdgeList kron = make_dataset("kron_g500-logn20", 0.25);
+  const auto ks = degree_stats(kron);
+  EXPECT_GT(static_cast<double>(ks.max), 20.0 * ks.mean);
+  // Grid analog: tight degree bound (<= 26), single component.
+  const EdgeList grid = make_dataset("nlpkkt160", 0.05);
+  EXPECT_LE(degree_stats(grid).max, 26u);
+  EXPECT_EQ(weak_component_count(grid), 1u);
+}
+
+TEST(Datasets, OrkutIsSymmetric) {
+  const EdgeList g = make_dataset("orkut", 0.02);
+  const EdgeId half = g.num_edges() / 2;
+  ASSERT_EQ(g.num_edges(), 2 * half);
+  for (EdgeId i = 0; i < half; i += 11) {
+    EXPECT_EQ(g.edge(half + i).src, g.edge(i).dst);
+    EXPECT_EQ(g.edge(half + i).dst, g.edge(i).src);
+  }
+}
+
+}  // namespace
+}  // namespace gr::graph

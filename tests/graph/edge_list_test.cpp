@@ -1,0 +1,111 @@
+#include "graph/edge_list.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gr::graph {
+namespace {
+
+TEST(EdgeList, AddAndQueryEdges) {
+  EdgeList g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edge(1), (Edge{1, 2}));
+  EXPECT_FALSE(g.has_weights());
+  EXPECT_FLOAT_EQ(g.weight(0), 1.0f);  // unweighted default
+}
+
+TEST(EdgeList, OutOfRangeEndpointThrows) {
+  EdgeList g(2);
+  EXPECT_THROW(g.add_edge(0, 2), util::CheckError);
+  EXPECT_THROW(g.add_edge(5, 0), util::CheckError);
+}
+
+TEST(EdgeList, WeightedEdges) {
+  EdgeList g(3);
+  g.add_edge(0, 1, 2.5f);
+  g.add_edge(1, 2, 0.5f);
+  EXPECT_TRUE(g.has_weights());
+  EXPECT_FLOAT_EQ(g.weight(0), 2.5f);
+  EXPECT_FLOAT_EQ(g.weight(1), 0.5f);
+}
+
+TEST(EdgeList, MixingWeightedAndUnweightedAddsThrows) {
+  EdgeList g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 2, 1.0f), util::CheckError);
+}
+
+TEST(EdgeList, RandomizeWeightsIsDeterministic) {
+  EdgeList a(3);
+  a.add_edge(0, 1);
+  a.add_edge(1, 2);
+  EdgeList b = a;
+  a.randomize_weights(1.0f, 64.0f, 99);
+  b.randomize_weights(1.0f, 64.0f, 99);
+  ASSERT_TRUE(a.has_weights());
+  for (EdgeId i = 0; i < a.num_edges(); ++i) {
+    EXPECT_FLOAT_EQ(a.weight(i), b.weight(i));
+    EXPECT_GE(a.weight(i), 1.0f);
+    EXPECT_LT(a.weight(i), 64.0f);
+  }
+}
+
+TEST(EdgeList, MakeUndirectedAddsReverses) {
+  EdgeList g(3);
+  g.add_edge(0, 1, 3.0f);
+  g.make_undirected();
+  ASSERT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edge(1), (Edge{1, 0}));
+  EXPECT_FLOAT_EQ(g.weight(1), 3.0f);
+}
+
+TEST(EdgeList, RemoveSelfLoops) {
+  EdgeList g(3);
+  g.add_edge(0, 0, 1.0f);
+  g.add_edge(0, 1, 2.0f);
+  g.add_edge(2, 2, 3.0f);
+  g.remove_self_loops();
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge(0), (Edge{0, 1}));
+  EXPECT_FLOAT_EQ(g.weight(0), 2.0f);
+}
+
+TEST(EdgeList, SortAndDedupKeepsFirstWeight) {
+  EdgeList g(3);
+  g.add_edge(1, 2, 9.0f);
+  g.add_edge(0, 1, 1.0f);
+  g.add_edge(1, 2, 4.0f);  // duplicate of first edge
+  g.sort_and_dedup();
+  ASSERT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edge(0), (Edge{0, 1}));
+  EXPECT_EQ(g.edge(1), (Edge{1, 2}));
+  EXPECT_FLOAT_EQ(g.weight(1), 9.0f);
+}
+
+TEST(EdgeList, Degrees) {
+  EdgeList g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 1);
+  const auto out = g.out_degrees();
+  const auto in = g.in_degrees();
+  EXPECT_EQ(out, (std::vector<EdgeId>{2, 0, 1, 0}));
+  EXPECT_EQ(in, (std::vector<EdgeId>{0, 2, 1, 0}));
+}
+
+TEST(EdgeList, SetNumVerticesOnlyGrows) {
+  EdgeList g(4);
+  g.set_num_vertices(10);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_THROW(g.set_num_vertices(5), util::CheckError);
+}
+
+TEST(EdgeList, ConstructionValidatesEdges) {
+  std::vector<Edge> bad = {{0, 7}};
+  EXPECT_THROW(EdgeList(3, std::move(bad)), util::CheckError);
+}
+
+}  // namespace
+}  // namespace gr::graph

@@ -1,0 +1,122 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/stats.hpp"
+
+namespace gr::graph {
+namespace {
+
+TEST(Generators, RmatEdgeCountAndRange) {
+  const EdgeList g = rmat(10, 5000, 1);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_LE(g.num_edges(), 5000u);
+  EXPECT_GE(g.num_edges(), 4900u);  // only rare self-loop discards
+  g.validate();
+}
+
+TEST(Generators, RmatIsDeterministic) {
+  const EdgeList a = rmat(8, 1000, 7);
+  const EdgeList b = rmat(8, 1000, 7);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId i = 0; i < a.num_edges(); ++i) EXPECT_EQ(a.edge(i), b.edge(i));
+}
+
+TEST(Generators, RmatSkewProducesHighMaxDegree) {
+  const EdgeList g = rmat(12, 40000, 3);
+  const auto stats = degree_stats(g);
+  // Power-law-ish: max degree far above mean.
+  EXPECT_GT(static_cast<double>(stats.max), 10.0 * stats.mean);
+}
+
+TEST(Generators, RmatSymmetricHasReversePairs) {
+  const EdgeList g = rmat(6, 200, 5, RmatOptions{.symmetric = true});
+  EXPECT_EQ(g.num_edges() % 2, 0u);
+  const EdgeId half = g.num_edges() / 2;
+  for (EdgeId i = 0; i < half; ++i) {
+    EXPECT_EQ(g.edge(half + i).src, g.edge(i).dst);
+    EXPECT_EQ(g.edge(half + i).dst, g.edge(i).src);
+  }
+}
+
+TEST(Generators, RmatNoSelfLoopsByDefault) {
+  const EdgeList g = rmat(8, 3000, 11);
+  for (const Edge& e : g.edges()) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(Generators, ErdosRenyiBasicShape) {
+  const EdgeList g = erdos_renyi(100, 1000, 2);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 1000u);
+  for (const Edge& e : g.edges()) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(Generators, Grid2dStructure) {
+  const EdgeList g = grid2d(3, 2);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  // Undirected lattice edges: horizontal 2*2=4, vertical 3 -> 7 pairs,
+  // 14 directed edges.
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_EQ(weak_component_count(g), 1u);
+}
+
+TEST(Generators, Grid3dSixStencilDegree) {
+  const EdgeList g = grid3d(3, 3, 3, /*full_stencil=*/false);
+  EXPECT_EQ(g.num_vertices(), 27u);
+  // 6-stencil: undirected pairs = 3 * 3*3*2 = 54 -> 108 directed.
+  EXPECT_EQ(g.num_edges(), 108u);
+  const auto stats = degree_stats(g);
+  EXPECT_EQ(stats.max, 6u);  // interior vertex
+}
+
+TEST(Generators, Grid3dFullStencilInteriorDegree) {
+  const EdgeList g = grid3d(5, 5, 5, /*full_stencil=*/true);
+  const auto out = g.out_degrees();
+  // Central vertex (2,2,2) has all 26 neighbours.
+  const VertexId center = (2 * 5 + 2) * 5 + 2;
+  EXPECT_EQ(out[center], 26u);
+  EXPECT_EQ(weak_component_count(g), 1u);
+}
+
+TEST(Generators, Grid3dFullStencilHasNoDuplicateEdges) {
+  EdgeList g = grid3d(4, 4, 4, true);
+  const EdgeId before = g.num_edges();
+  g.sort_and_dedup();
+  EXPECT_EQ(g.num_edges(), before);
+}
+
+TEST(Generators, RoadNetworkIsSparseHighDiameter) {
+  const EdgeList g = road_network(40, 40, 9);
+  const auto stats = degree_stats(g);
+  EXPECT_LT(stats.mean, 4.5);
+  // A lattice-like graph has eccentricity comparable to its side length.
+  EXPECT_GT(eccentricity(g, 0), 20u);
+}
+
+TEST(Generators, WattsStrogatzDegreeAndDeterminism) {
+  const EdgeList a = watts_strogatz(100, 2, 0.1, 4);
+  EXPECT_EQ(a.num_edges(), 400u);  // n*k ring pairs, both directions
+  const EdgeList b = watts_strogatz(100, 2, 0.1, 4);
+  for (EdgeId i = 0; i < a.num_edges(); ++i) EXPECT_EQ(a.edge(i), b.edge(i));
+}
+
+TEST(Generators, TriangulatedGridAddsDiagonals) {
+  const EdgeList plain = grid2d(4, 4);
+  const EdgeList tri = triangulated_grid(4, 4);
+  EXPECT_EQ(tri.num_edges(), plain.num_edges() + 2u * 9u);
+}
+
+TEST(Generators, TinyGraphs) {
+  EXPECT_EQ(path_graph(5).num_edges(), 4u);
+  EXPECT_EQ(cycle_graph(5).num_edges(), 5u);
+  EXPECT_EQ(star_graph(5).num_edges(), 8u);
+  EXPECT_EQ(complete_graph(4).num_edges(), 12u);
+  const EdgeList cycles = two_cycles(4);
+  EXPECT_EQ(cycles.num_vertices(), 8u);
+  EXPECT_EQ(weak_component_count(cycles), 2u);
+}
+
+}  // namespace
+}  // namespace gr::graph

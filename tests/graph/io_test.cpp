@@ -1,0 +1,111 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "util/common.hpp"
+
+namespace gr::graph {
+namespace {
+
+EdgeList weighted_sample() {
+  EdgeList g(5);
+  g.add_edge(0, 1, 2.5f);
+  g.add_edge(3, 4, 0.25f);
+  g.add_edge(1, 0, 7.0f);
+  return g;
+}
+
+TEST(Io, TextRoundTripWeighted) {
+  std::stringstream ss;
+  write_text(ss, weighted_sample());
+  const EdgeList back = read_text(ss);
+  EXPECT_EQ(back.num_vertices(), 5u);
+  ASSERT_EQ(back.num_edges(), 3u);
+  EXPECT_EQ(back.edge(1), (Edge{3, 4}));
+  ASSERT_TRUE(back.has_weights());
+  EXPECT_FLOAT_EQ(back.weight(1), 0.25f);
+}
+
+TEST(Io, TextRoundTripUnweighted) {
+  std::stringstream ss;
+  write_text(ss, path_graph(4));
+  const EdgeList back = read_text(ss);
+  EXPECT_EQ(back.num_edges(), 3u);
+  EXPECT_FALSE(back.has_weights());
+}
+
+TEST(Io, TextReaderInfersVertexCountWithoutHeader) {
+  std::istringstream is("0 9\n2 3\n");
+  const EdgeList g = read_text(is);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Io, TextReaderSkipsComments) {
+  std::istringstream is("# a comment\n0 1\n# another\n1 2\n");
+  EXPECT_EQ(read_text(is).num_edges(), 2u);
+}
+
+TEST(Io, TextReaderRejectsGarbage) {
+  std::istringstream is("zero one\n");
+  EXPECT_THROW(read_text(is), util::CheckError);
+}
+
+TEST(Io, BinaryRoundTripWeighted) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  const EdgeList original = weighted_sample();
+  write_binary(ss, original);
+  const EdgeList back = read_binary(ss);
+  ASSERT_EQ(back.num_edges(), original.num_edges());
+  EXPECT_EQ(back.num_vertices(), original.num_vertices());
+  for (EdgeId i = 0; i < back.num_edges(); ++i) {
+    EXPECT_EQ(back.edge(i), original.edge(i));
+    EXPECT_FLOAT_EQ(back.weight(i), original.weight(i));
+  }
+}
+
+TEST(Io, BinaryRoundTripLargeUnweighted) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  const EdgeList original = erdos_renyi(1000, 20000, 3);
+  write_binary(ss, original);
+  const EdgeList back = read_binary(ss);
+  ASSERT_EQ(back.num_edges(), original.num_edges());
+  EXPECT_FALSE(back.has_weights());
+  for (EdgeId i = 0; i < back.num_edges(); i += 97)
+    EXPECT_EQ(back.edge(i), original.edge(i));
+}
+
+TEST(Io, BinaryRejectsBadMagic) {
+  std::istringstream is("THIS IS NOT A GRAPH FILE AT ALL");
+  EXPECT_THROW(read_binary(is), util::CheckError);
+}
+
+TEST(Io, BinaryRejectsTruncatedStream) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(ss, weighted_sample());
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() / 2);
+  std::istringstream is(bytes, std::ios::binary);
+  EXPECT_THROW(read_binary(is), util::CheckError);
+}
+
+TEST(Io, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/gr_io_test.bin";
+  save_binary(path, weighted_sample());
+  const EdgeList back = load_binary(path);
+  EXPECT_EQ(back.num_edges(), 3u);
+  const std::string text_path = ::testing::TempDir() + "/gr_io_test.txt";
+  save_text(text_path, back);
+  EXPECT_EQ(load_text(text_path).num_edges(), 3u);
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(load_text("/nonexistent/nope.txt"), util::CheckError);
+  EXPECT_THROW(load_binary("/nonexistent/nope.bin"), util::CheckError);
+}
+
+}  // namespace
+}  // namespace gr::graph

@@ -1,0 +1,119 @@
+#include "graph/matrix_market.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "util/common.hpp"
+
+namespace gr::graph {
+namespace {
+
+TEST(MatrixMarket, ReadsGeneralRealCoordinate) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 2\n"
+      "1 2 5.5\n"
+      "3 1 -2.0\n");
+  const EdgeList g = read_matrix_market(is);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  ASSERT_EQ(g.num_edges(), 2u);
+  // (r=1, c=2) => edge 1 -> 0 with weight 5.5 (column is the source).
+  EXPECT_EQ(g.edge(0), (Edge{1, 0}));
+  EXPECT_FLOAT_EQ(g.weight(0), 5.5f);
+  EXPECT_EQ(g.edge(1), (Edge{0, 2}));
+  EXPECT_FLOAT_EQ(g.weight(1), -2.0f);
+}
+
+TEST(MatrixMarket, PatternHasNoWeights) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "2 1\n");
+  const EdgeList g = read_matrix_market(is);
+  EXPECT_FALSE(g.has_weights());
+  EXPECT_EQ(g.edge(0), (Edge{0, 1}));
+}
+
+TEST(MatrixMarket, SymmetricExpandsToDirectedPairs) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 1.0\n"
+      "3 3 4.0\n");
+  const EdgeList g = read_matrix_market(is);
+  // Off-diagonal entry doubles; diagonal stays a single self-loop.
+  ASSERT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.edge(0), (Edge{0, 1}));
+  EXPECT_EQ(g.edge(1), (Edge{1, 0}));
+  EXPECT_EQ(g.edge(2), (Edge{2, 2}));
+}
+
+TEST(MatrixMarket, CaseInsensitiveHeader) {
+  std::istringstream is(
+      "%%MatrixMarket MATRIX Coordinate Real General\n"
+      "1 1 1\n"
+      "1 1 2.0\n");
+  EXPECT_EQ(read_matrix_market(is).num_edges(), 1u);
+}
+
+TEST(MatrixMarket, RejectsBadBannerAndFormats) {
+  std::istringstream no_banner("3 3 1\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(no_banner), util::CheckError);
+  std::istringstream array_fmt(
+      "%%MatrixMarket matrix array real general\n2 2\n1.0\n");
+  EXPECT_THROW(read_matrix_market(array_fmt), util::CheckError);
+  std::istringstream complex_field(
+      "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n");
+  EXPECT_THROW(read_matrix_market(complex_field), util::CheckError);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeAndTruncation) {
+  std::istringstream out_of_range(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(out_of_range), util::CheckError);
+  std::istringstream truncated(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(truncated), util::CheckError);
+}
+
+TEST(MatrixMarket, RoundTripWeighted) {
+  EdgeList g = erdos_renyi(40, 300, 4);
+  g.randomize_weights(0.5f, 2.0f, 9);
+  std::stringstream ss;
+  write_matrix_market(ss, g);
+  const EdgeList back = read_matrix_market(ss);
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  for (EdgeId i = 0; i < g.num_edges(); ++i) {
+    EXPECT_EQ(back.edge(i), g.edge(i));
+    EXPECT_NEAR(back.weight(i), g.weight(i), 1e-5f);
+  }
+}
+
+TEST(MatrixMarket, RoundTripPattern) {
+  const EdgeList g = path_graph(10);
+  std::stringstream ss;
+  write_matrix_market(ss, g);
+  const EdgeList back = read_matrix_market(ss);
+  EXPECT_FALSE(back.has_weights());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (EdgeId i = 0; i < g.num_edges(); ++i)
+    EXPECT_EQ(back.edge(i), g.edge(i));
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/gr_mm_test.mtx";
+  save_matrix_market(path, cycle_graph(6));
+  EXPECT_EQ(load_matrix_market(path).num_edges(), 6u);
+  EXPECT_THROW(load_matrix_market("/nonexistent/x.mtx"), util::CheckError);
+}
+
+}  // namespace
+}  // namespace gr::graph

@@ -1,0 +1,47 @@
+#include "graph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace gr::graph {
+namespace {
+
+TEST(Stats, DegreeStatsOnStar) {
+  const EdgeList g = star_graph(10);
+  const auto s = degree_stats(g);
+  EXPECT_EQ(s.max, 9u);   // hub out-degree
+  EXPECT_EQ(s.min, 1u);   // spokes
+  EXPECT_EQ(s.isolated, 0u);
+  EXPECT_NEAR(s.mean, 18.0 / 10.0, 1e-12);
+}
+
+TEST(Stats, IsolatedVerticesCounted) {
+  EdgeList g(5);
+  g.add_edge(0, 1);
+  EXPECT_EQ(degree_stats(g).isolated, 3u);
+}
+
+TEST(Stats, ReachableCountOnPath) {
+  const EdgeList g = path_graph(6);
+  EXPECT_EQ(reachable_count(g, 0), 6u);
+  EXPECT_EQ(reachable_count(g, 3), 3u);  // 3, 4, 5
+  EXPECT_EQ(reachable_count(g, 5), 1u);
+}
+
+TEST(Stats, WeakComponents) {
+  EXPECT_EQ(weak_component_count(path_graph(5)), 1u);
+  EXPECT_EQ(weak_component_count(two_cycles(6)), 2u);
+  EdgeList isolated(4);
+  EXPECT_EQ(weak_component_count(isolated), 4u);
+}
+
+TEST(Stats, EccentricityOnPathAndCycle) {
+  EXPECT_EQ(eccentricity(path_graph(10), 0), 9u);
+  EXPECT_EQ(eccentricity(cycle_graph(10), 0), 9u);  // directed cycle
+  const EdgeList g = grid2d(5, 5);
+  EXPECT_EQ(eccentricity(g, 0), 8u);  // manhattan distance to far corner
+}
+
+}  // namespace
+}  // namespace gr::graph

@@ -1,0 +1,123 @@
+#include "graph/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace gr::graph {
+namespace {
+
+TEST(Transforms, PermuteRelabelsEndpointsAndKeepsWeights) {
+  EdgeList g(3);
+  g.add_edge(0, 1, 2.0f);
+  g.add_edge(1, 2, 3.0f);
+  const std::vector<VertexId> perm = {2, 0, 1};
+  const EdgeList p = permute_vertices(g, perm);
+  EXPECT_EQ(p.edge(0), (Edge{2, 0}));
+  EXPECT_EQ(p.edge(1), (Edge{0, 1}));
+  EXPECT_FLOAT_EQ(p.weight(1), 3.0f);
+}
+
+TEST(Transforms, PermuteRejectsNonBijection) {
+  EdgeList g(3);
+  g.add_edge(0, 1);
+  const std::vector<VertexId> dup = {0, 0, 1};
+  EXPECT_THROW(permute_vertices(g, dup), util::CheckError);
+  const std::vector<VertexId> out_of_range = {0, 1, 5};
+  EXPECT_THROW(permute_vertices(g, out_of_range), util::CheckError);
+}
+
+TEST(Transforms, PermutePreservesDegreeMultiset) {
+  const EdgeList g = rmat(8, 1500, 3);
+  const auto perm = random_order(g.num_vertices(), 7);
+  const EdgeList p = permute_vertices(g, perm);
+  auto in_a = g.in_degrees();
+  auto in_b = p.in_degrees();
+  std::sort(in_a.begin(), in_a.end());
+  std::sort(in_b.begin(), in_b.end());
+  EXPECT_EQ(in_a, in_b);
+}
+
+TEST(Transforms, BfsOrderVisitsSourceFirstAndIsBijective) {
+  const EdgeList g = grid2d(8, 8);
+  const auto order = bfs_order(g, 10);
+  EXPECT_EQ(order[10], 0u);
+  std::vector<VertexId> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(sorted[v], v);
+}
+
+TEST(Transforms, BfsOrderMakesWavefrontContiguous) {
+  // On a path relabeled by BFS order, edge endpoints are adjacent ids.
+  EdgeList g(5);
+  g.add_edge(2, 0);
+  g.add_edge(0, 4);
+  g.add_edge(4, 1);
+  g.add_edge(1, 3);
+  const EdgeList p = permute_vertices(g, bfs_order(g, 2));
+  for (const Edge& e : p.edges()) EXPECT_EQ(e.dst, e.src + 1);
+}
+
+TEST(Transforms, DegreeOrderPutsHubFirst) {
+  const EdgeList g = star_graph(50);
+  const auto order = degree_order(g);
+  EXPECT_EQ(order[0], 0u);  // the hub receives rank 0
+}
+
+TEST(Transforms, RandomOrderIsDeterministicBijection) {
+  const auto a = random_order(100, 5);
+  const auto b = random_order(100, 5);
+  EXPECT_EQ(a, b);
+  std::vector<VertexId> sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  for (VertexId v = 0; v < 100; ++v) EXPECT_EQ(sorted[v], v);
+  EXPECT_NE(a, random_order(100, 6));
+}
+
+TEST(Transforms, LargestComponentExtractsAndRemaps) {
+  EdgeList g(10);
+  // Component A: 0-1-2-3 (cycle); component B: 7-8.
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  g.add_edge(7, 8);
+  std::vector<VertexId> back;
+  const EdgeList lcc = largest_component(g, &back);
+  EXPECT_EQ(lcc.num_vertices(), 4u);
+  EXPECT_EQ(lcc.num_edges(), 4u);
+  EXPECT_EQ(weak_component_count(lcc), 1u);
+  EXPECT_EQ(back, (std::vector<VertexId>{0, 1, 2, 3}));
+}
+
+TEST(Transforms, LargestComponentOnConnectedGraphIsIdentitySized) {
+  const EdgeList g = grid2d(6, 6);
+  const EdgeList lcc = largest_component(g);
+  EXPECT_EQ(lcc.num_vertices(), g.num_vertices());
+  EXPECT_EQ(lcc.num_edges(), g.num_edges());
+}
+
+TEST(Transforms, TransposeSwapsDegreesAndKeepsWeights) {
+  EdgeList g(4);
+  g.add_edge(0, 1, 5.0f);
+  g.add_edge(0, 2, 6.0f);
+  const EdgeList t = transpose(g);
+  EXPECT_EQ(t.out_degrees(), g.in_degrees());
+  EXPECT_EQ(t.in_degrees(), g.out_degrees());
+  EXPECT_EQ(t.edge(0), (Edge{1, 0}));
+  EXPECT_FLOAT_EQ(t.weight(0), 5.0f);
+}
+
+TEST(Transforms, DoubleTransposeIsIdentity) {
+  const EdgeList g = erdos_renyi(50, 400, 9);
+  const EdgeList tt = transpose(transpose(g));
+  ASSERT_EQ(tt.num_edges(), g.num_edges());
+  for (EdgeId i = 0; i < g.num_edges(); ++i)
+    EXPECT_EQ(tt.edge(i), g.edge(i));
+}
+
+}  // namespace
+}  // namespace gr::graph

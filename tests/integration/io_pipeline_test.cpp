@@ -1,0 +1,83 @@
+// File-to-result pipelines: graphs written to disk in each supported
+// format, reloaded, and pushed through the engine — the workflow a
+// downstream user actually runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/reference/serial.hpp"
+#include "core/algorithms/algorithms.hpp"
+#include "graph/io.hpp"
+#include "graph/matrix_market.hpp"
+#include "graph/generators.hpp"
+#include "graph/transforms.hpp"
+
+namespace gr {
+namespace {
+
+namespace ref = baselines::reference;
+using graph::EdgeList;
+using graph::VertexId;
+
+TEST(IoPipeline, MatrixMarketToSpmv) {
+  // Write a weighted matrix, reload it, and verify y = A x end to end.
+  EdgeList original = graph::erdos_renyi(120, 900, 3);
+  original.randomize_weights(0.1f, 1.5f, 4);
+  const std::string path = ::testing::TempDir() + "/pipeline.mtx";
+  graph::save_matrix_market(path, original);
+  const EdgeList loaded = graph::load_matrix_market(path);
+
+  std::vector<float> x(loaded.num_vertices());
+  for (VertexId v = 0; v < loaded.num_vertices(); ++v)
+    x[v] = 0.5f + 0.01f * static_cast<float>(v);
+  const auto gas = algo::run_spmv(loaded, x);
+  const auto expected = ref::spmv(original, x);
+  for (VertexId v = 0; v < loaded.num_vertices(); ++v)
+    ASSERT_NEAR(gas.y[v], expected[v], 1e-3f + 1e-4f * std::abs(expected[v]))
+        << v;
+}
+
+TEST(IoPipeline, BinaryRoundTripToSssp) {
+  EdgeList original = graph::rmat(9, 2600, 8);
+  original.randomize_weights(1.0f, 8.0f, 2);
+  const std::string path = ::testing::TempDir() + "/pipeline.bin";
+  graph::save_binary(path, original);
+  const EdgeList loaded = graph::load_binary(path);
+  const auto result = algo::run_sssp(loaded, 0);
+  const auto expected = ref::sssp_distances(original, 0);
+  for (VertexId v = 0; v < loaded.num_vertices(); ++v) {
+    if (std::isinf(expected[v]))
+      ASSERT_TRUE(std::isinf(result.distance[v])) << v;
+    else
+      ASSERT_NEAR(result.distance[v], expected[v],
+                  1e-3f * (1.0f + expected[v]))
+          << v;
+  }
+}
+
+TEST(IoPipeline, TextRoundTripToBfsAfterRelabel) {
+  // Text save -> load -> BFS-relabel -> BFS depths are permuted copies.
+  const EdgeList original = graph::grid2d(12, 12);
+  const std::string path = ::testing::TempDir() + "/pipeline.txt";
+  graph::save_text(path, original);
+  const EdgeList loaded = graph::load_text(path);
+  const auto perm = graph::bfs_order(loaded, 0);
+  const EdgeList relabeled = graph::permute_vertices(loaded, perm);
+  const auto base = algo::run_bfs(loaded, 0);
+  const auto permuted = algo::run_bfs(relabeled, perm[0]);
+  for (VertexId v = 0; v < loaded.num_vertices(); ++v)
+    ASSERT_EQ(permuted.depth[perm[v]], base.depth[v]) << v;
+}
+
+TEST(IoPipeline, LargestComponentThenCc) {
+  // Extracting the largest component leaves a graph whose CC labels are
+  // all one component.
+  EdgeList g = graph::two_cycles(50);
+  g.make_undirected();
+  const EdgeList lcc = graph::largest_component(g);
+  const auto result = algo::run_cc(lcc);
+  for (std::uint32_t label : result.label) ASSERT_EQ(label, 0u);
+}
+
+}  // namespace
+}  // namespace gr

@@ -1,0 +1,164 @@
+// Property-based sweeps: structural invariants of each algorithm's
+// output that must hold on ANY graph, checked over a grid of generator
+// families x seeds (parameterized), independent of the serial oracles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/algorithms/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace gr {
+namespace {
+
+struct SweepCase {
+  const char* family;
+  std::uint64_t seed;
+};
+
+graph::EdgeList make_graph(const SweepCase& c) {
+  if (std::string(c.family) == "rmat") return graph::rmat(9, 3000, c.seed);
+  if (std::string(c.family) == "er")
+    return graph::erdos_renyi(400, 2800, c.seed);
+  if (std::string(c.family) == "road")
+    return graph::road_network(24, 24, c.seed);
+  return graph::watts_strogatz(300, 2, 0.2, c.seed);
+}
+
+class AlgorithmProperties : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  graph::EdgeList graph_ = make_graph(GetParam());
+};
+
+TEST_P(AlgorithmProperties, BfsDepthsSatisfyEdgeRelaxation) {
+  const auto result = algo::run_bfs(graph_, 0);
+  const auto& depth = result.depth;
+  EXPECT_EQ(depth[0], 0u);
+  for (const graph::Edge& e : graph_.edges()) {
+    if (depth[e.src] == algo::Bfs::kUnreached) continue;
+    // Every edge out of a reached vertex is relaxed: depth[dst] is at
+    // most depth[src] + 1, and dst is reached.
+    ASSERT_LE(depth[e.dst], depth[e.src] + 1)
+        << e.src << "->" << e.dst;
+  }
+  // Depth levels are contiguous: if depth d > 0 occurs, so does d - 1.
+  std::vector<char> seen(graph_.num_vertices() + 2, 0);
+  std::uint32_t max_depth = 0;
+  for (std::uint32_t d : depth) {
+    if (d == algo::Bfs::kUnreached) continue;
+    seen[d] = 1;
+    max_depth = std::max(max_depth, d);
+  }
+  for (std::uint32_t d = 0; d <= max_depth; ++d)
+    ASSERT_TRUE(seen[d]) << "depth gap at " << d;
+}
+
+TEST_P(AlgorithmProperties, SsspDistancesAreAFixpoint) {
+  graph_.randomize_weights(1.0f, 8.0f, GetParam().seed ^ 0xABCD);
+  const auto result = algo::run_sssp(graph_, 0);
+  const auto& dist = result.distance;
+  EXPECT_FLOAT_EQ(dist[0], 0.0f);
+  for (graph::EdgeId i = 0; i < graph_.num_edges(); ++i) {
+    const graph::Edge& e = graph_.edge(i);
+    if (std::isinf(dist[e.src])) continue;
+    // No edge can still relax (within float tolerance).
+    ASSERT_LE(dist[e.dst], dist[e.src] + graph_.weight(i) + 1e-3f)
+        << e.src << "->" << e.dst;
+  }
+}
+
+TEST_P(AlgorithmProperties, CcLabelsAreConsistentAndMinimal) {
+  graph_.make_undirected();
+  const auto result = algo::run_cc(graph_);
+  const auto& label = result.label;
+  // Same label across every edge (undirected graph).
+  for (const graph::Edge& e : graph_.edges())
+    ASSERT_EQ(label[e.src], label[e.dst]);
+  // The label is a member of its own component and is the minimum.
+  for (graph::VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    ASSERT_LE(label[v], v);
+    ASSERT_EQ(label[label[v]], label[v]);
+  }
+}
+
+TEST_P(AlgorithmProperties, PageRankIsPositiveAndBounded) {
+  const auto result = algo::run_pagerank(graph_, 40);
+  const auto in_deg = graph_.in_degrees();
+  double sum = 0.0;
+  for (graph::VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    ASSERT_GE(result.rank[v], 0.15f - 1e-4f) << v;
+    ASSERT_TRUE(std::isfinite(result.rank[v]));
+    // A vertex with no in-edges settles at exactly 1 - d.
+    if (in_deg[v] == 0) ASSERT_NEAR(result.rank[v], 0.15f, 1e-3f);
+    sum += result.rank[v];
+  }
+  // Total rank mass stays within [0.15 n, n] for this PR variant.
+  EXPECT_GE(sum, 0.15 * graph_.num_vertices() - 1.0);
+  EXPECT_LE(sum, 1.0 * graph_.num_vertices() + 1.0);
+}
+
+TEST_P(AlgorithmProperties, SpmvIsLinear) {
+  graph_.randomize_weights(0.0f, 2.0f, GetParam().seed);
+  const graph::VertexId n = graph_.num_vertices();
+  std::vector<float> x(n);
+  std::vector<float> y(n);
+  util::Rng rng(GetParam().seed);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& v : y) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<float> xy(n);
+  for (graph::VertexId v = 0; v < n; ++v) xy[v] = 2.0f * x[v] + y[v];
+  const auto ax = algo::run_spmv(graph_, x).y;
+  const auto ay = algo::run_spmv(graph_, y).y;
+  const auto axy = algo::run_spmv(graph_, xy).y;
+  for (graph::VertexId v = 0; v < n; ++v)
+    ASSERT_NEAR(axy[v], 2.0f * ax[v] + ay[v],
+                1e-2f + 1e-3f * std::abs(axy[v]))
+        << v;
+}
+
+TEST_P(AlgorithmProperties, HeatApproachesEquilibriumOnUndirected) {
+  graph_.make_undirected();
+  const graph::VertexId n = graph_.num_vertices();
+  std::vector<float> initial(n, 0.0f);
+  initial[0] = float(n);
+  const auto few = algo::run_heat(graph_, initial, 2).temperature;
+  const auto many = algo::run_heat(graph_, initial, 30).temperature;
+  // Relaxation reduces the spread between hottest and coldest vertex.
+  auto spread = [](const std::vector<float>& t) {
+    const auto [lo, hi] = std::minmax_element(t.begin(), t.end());
+    return *hi - *lo;
+  };
+  EXPECT_LE(spread(many), spread(few) + 1e-3f);
+}
+
+TEST_P(AlgorithmProperties, ReportsAreInternallyConsistent) {
+  const auto result = algo::run_bfs(graph_, 0);
+  const core::RunReport& r = result.report;
+  EXPECT_EQ(r.history.size(), r.iterations);
+  EXPECT_GE(r.total_seconds, r.kernel_seconds);
+  EXPECT_GT(r.bytes_h2d, 0u);  // at least the static upload
+  for (const core::IterationStats& it : r.history) {
+    EXPECT_EQ(it.shards_processed + it.shards_skipped, r.partitions);
+    EXPECT_GT(it.active_vertices, 0u);  // loop exits on empty frontier
+  }
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (const char* family : {"rmat", "er", "road", "ws"})
+    for (std::uint64_t seed : {1ull, 2ull, 3ull})
+      cases.push_back({family, seed});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AlgorithmProperties,
+                         ::testing::ValuesIn(sweep_cases()),
+                         [](const auto& info) {
+                           return std::string(info.param.family) + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace gr

@@ -1,0 +1,127 @@
+#include "sim/engines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gr::sim {
+namespace {
+
+TEST(FifoEngine, BackToBackRequestsSerialize) {
+  FifoEngine engine;
+  const auto w1 = engine.acquire(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(w1.start, 0.0);
+  EXPECT_DOUBLE_EQ(w1.end, 2.0);
+  const auto w2 = engine.acquire(0.5, 1.0);  // ready before engine is free
+  EXPECT_DOUBLE_EQ(w2.start, 2.0);
+  EXPECT_DOUBLE_EQ(w2.end, 3.0);
+}
+
+TEST(FifoEngine, IdleGapWhenRequestArrivesLate) {
+  FifoEngine engine;
+  engine.acquire(0.0, 1.0);
+  const auto w = engine.acquire(5.0, 1.0);
+  EXPECT_DOUBLE_EQ(w.start, 5.0);
+  EXPECT_DOUBLE_EQ(w.end, 6.0);
+  EXPECT_DOUBLE_EQ(engine.busy_time(), 2.0);
+}
+
+TEST(SharedEngine, SingleTaskRunsAtItsCap) {
+  EventQueue q;
+  SharedEngine engine(q);
+  double done_at = -1.0;
+  engine.add_task(1.0, 0.5, [&](auto) { done_at = q.now(); });
+  q.run();
+  // work 1.0 at rate 0.5 -> finishes at t=2.
+  EXPECT_NEAR(done_at, 2.0, 1e-9);
+}
+
+TEST(SharedEngine, IndependentSmallTasksRunConcurrently) {
+  // Two tasks each capped at 0.5 fit side by side: both complete at t=2,
+  // not t=4 — the paper's compute-compute scheme.
+  EventQueue q;
+  SharedEngine engine(q);
+  std::vector<double> done;
+  for (int i = 0; i < 2; ++i)
+    engine.add_task(1.0, 0.5, [&](auto) { done.push_back(q.now()); });
+  q.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 2.0, 1e-9);
+  EXPECT_NEAR(done[1], 2.0, 1e-9);
+}
+
+TEST(SharedEngine, OversubscriptionScalesRatesProportionally) {
+  // Four full-rate tasks of 1s each share the device: all end at t=4.
+  EventQueue q;
+  SharedEngine engine(q);
+  std::vector<double> done;
+  for (int i = 0; i < 4; ++i)
+    engine.add_task(1.0, 1.0, [&](auto) { done.push_back(q.now()); });
+  q.run();
+  ASSERT_EQ(done.size(), 4u);
+  for (double d : done) EXPECT_NEAR(d, 4.0, 1e-9);
+}
+
+TEST(SharedEngine, LateArrivalSlowsExistingTask) {
+  // Task A (2s of work, full rate) runs alone for 1s, then task B
+  // (1s work, full rate) joins. They share: A finishes its remaining 1s
+  // of work at rate 1/2 -> t = 1 + 2 = 3. B also needs 1s at 1/2, but
+  // once A finishes at t=3... A remaining at t=1 is 1.0; B remaining 1.0;
+  // equal shares -> both hit zero at t=3.
+  EventQueue q;
+  SharedEngine engine(q);
+  double a_done = -1.0;
+  double b_done = -1.0;
+  engine.add_task(2.0, 1.0, [&](auto) { a_done = q.now(); });
+  q.schedule_at(1.0, [&] {
+    engine.add_task(1.0, 1.0, [&](auto) { b_done = q.now(); });
+  });
+  q.run();
+  EXPECT_NEAR(a_done, 3.0, 1e-9);
+  EXPECT_NEAR(b_done, 3.0, 1e-9);
+}
+
+TEST(SharedEngine, DepartureSpeedsUpSurvivors) {
+  // A: 1s work; B: 3s work, both full-rate. Shared until A ends at t=2;
+  // B then has 2s left at full rate -> ends at t=4.
+  EventQueue q;
+  SharedEngine engine(q);
+  double a_done = -1.0;
+  double b_done = -1.0;
+  engine.add_task(1.0, 1.0, [&](auto) { a_done = q.now(); });
+  engine.add_task(3.0, 1.0, [&](auto) { b_done = q.now(); });
+  q.run();
+  EXPECT_NEAR(a_done, 2.0, 1e-9);
+  EXPECT_NEAR(b_done, 4.0, 1e-9);
+}
+
+TEST(SharedEngine, ZeroWorkCompletesImmediately) {
+  EventQueue q;
+  SharedEngine engine(q);
+  double done_at = -1.0;
+  engine.add_task(0.0, 1.0, [&](auto) { done_at = q.now(); });
+  q.run();
+  EXPECT_NEAR(done_at, 0.0, 1e-12);
+}
+
+TEST(SharedEngine, BusyTimeIntegratesUtilization) {
+  EventQueue q;
+  SharedEngine engine(q);
+  engine.add_task(1.0, 0.5, [](auto) {});  // 2s at utilization 0.5
+  q.run();
+  EXPECT_NEAR(engine.busy_time(), 1.0, 1e-9);
+}
+
+TEST(SharedEngine, CompletionMayAddNewTask) {
+  EventQueue q;
+  SharedEngine engine(q);
+  double second_done = -1.0;
+  engine.add_task(1.0, 1.0, [&](auto) {
+    engine.add_task(1.0, 1.0, [&](auto) { second_done = q.now(); });
+  });
+  q.run();
+  EXPECT_NEAR(second_done, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gr::sim

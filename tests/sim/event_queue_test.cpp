@@ -1,0 +1,87 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gr::sim {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_DOUBLE_EQ(q.run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.schedule_at(1.0, [&, i] { order.push_back(i); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksMayScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] {
+    ++fired;
+    q.schedule_after(1.0, [&] { ++fired; });
+  });
+  EXPECT_DOUBLE_EQ(q.run(), 2.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, NowAdvancesWithEvents) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule_at(2.5, [&] { seen = q.now(); });
+  q.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(q.now(), 2.5);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.schedule_at(5.0, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(1.0, [] {}), util::CheckError);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.schedule_at(5.0, [&] { order.push_back(5); });
+  q.run_until(3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(order.back(), 5);
+}
+
+TEST(EventQueue, AdvanceToMovesClockWithoutEvents) {
+  EventQueue q;
+  q.advance_to(4.0);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+  EXPECT_THROW(q.advance_to(3.0), util::CheckError);
+}
+
+TEST(EventQueue, EmptyAndPendingReflectState) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.schedule_at(1.0, [] {});
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace gr::sim

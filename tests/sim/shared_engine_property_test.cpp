@@ -1,0 +1,106 @@
+// Property sweeps over the processor-sharing compute engine: work
+// conservation and fairness must hold for arbitrary task mixes, not just
+// the hand-picked scenarios in engines_test.cpp.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engines.hpp"
+#include "util/rng.hpp"
+
+namespace gr::sim {
+namespace {
+
+struct Mix {
+  std::uint64_t seed;
+  int tasks;
+};
+
+class SharedEngineSweep : public ::testing::TestWithParam<Mix> {};
+
+TEST_P(SharedEngineSweep, ConservesWorkAndFinishesEverything) {
+  util::Rng rng(GetParam().seed);
+  EventQueue queue;
+  SharedEngine engine(queue);
+  double total_work = 0.0;
+  int completed = 0;
+  std::vector<double> finish_times;
+  for (int i = 0; i < GetParam().tasks; ++i) {
+    const double work = rng.uniform(0.01, 2.0);
+    const double cap = rng.uniform(0.05, 1.0);
+    total_work += work;
+    // Stagger arrivals.
+    queue.schedule_at(rng.uniform(0.0, 1.0), [&, work, cap] {
+      engine.add_task(work, cap, [&](auto) {
+        ++completed;
+        finish_times.push_back(queue.now());
+      });
+    });
+  }
+  const double end = queue.run();
+  EXPECT_EQ(completed, GetParam().tasks);
+  EXPECT_EQ(engine.active_tasks(), 0u);
+  // Work conservation: the device-rate busy integral equals the total
+  // work served (no work is lost or duplicated).
+  EXPECT_NEAR(engine.busy_time(), total_work, 1e-6 * total_work + 1e-9);
+  // Nothing finishes after the simulation end.
+  for (double t : finish_times) EXPECT_LE(t, end + 1e-12);
+}
+
+TEST_P(SharedEngineSweep, MakespanBounds) {
+  // The makespan is at least total_work (device rate 1) and at most
+  // sum(work_i / cap_i) + last arrival (full serialization bound).
+  util::Rng rng(GetParam().seed ^ 0x5a5a);
+  EventQueue queue;
+  SharedEngine engine(queue);
+  double total_work = 0.0;
+  double serial_bound = 0.0;
+  for (int i = 0; i < GetParam().tasks; ++i) {
+    const double work = rng.uniform(0.05, 1.0);
+    const double cap = rng.uniform(0.1, 1.0);
+    total_work += work;
+    serial_bound += work / cap;
+    engine.add_task(work, cap, [](auto) {});
+  }
+  const double end = queue.run();
+  EXPECT_GE(end, total_work - 1e-9);
+  EXPECT_LE(end, serial_bound + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, SharedEngineSweep,
+    ::testing::Values(Mix{1, 1}, Mix{2, 3}, Mix{3, 8}, Mix{4, 20},
+                      Mix{5, 50}, Mix{6, 100}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.tasks);
+    });
+
+TEST(SharedEngineProperty, EqualTasksFinishTogetherRegardlessOfCount) {
+  for (int count : {2, 5, 16, 33}) {
+    EventQueue queue;
+    SharedEngine engine(queue);
+    std::vector<double> done;
+    for (int i = 0; i < count; ++i)
+      engine.add_task(1.0, 1.0, [&](auto) { done.push_back(queue.now()); });
+    queue.run();
+    ASSERT_EQ(done.size(), static_cast<std::size_t>(count));
+    for (double t : done)
+      EXPECT_NEAR(t, static_cast<double>(count), 1e-6) << count;
+  }
+}
+
+TEST(SharedEngineProperty, CapsBelowOneLeaveDeviceUnderutilized) {
+  // Two tasks capped at 0.25: aggregate utilization 0.5, so busy_time
+  // integrates to total work while wall time is twice that.
+  EventQueue queue;
+  SharedEngine engine(queue);
+  engine.add_task(1.0, 0.25, [](auto) {});
+  engine.add_task(1.0, 0.25, [](auto) {});
+  const double end = queue.run();
+  EXPECT_NEAR(end, 4.0, 1e-9);
+  EXPECT_NEAR(engine.busy_time(), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gr::sim

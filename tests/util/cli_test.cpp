@@ -1,0 +1,93 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/common.hpp"
+
+namespace gr::util {
+namespace {
+
+TEST(Cli, ParsesAllKindsWithEquals) {
+  std::string s = "a";
+  std::int64_t i = 1;
+  double d = 0.5;
+  bool b = false;
+  Cli cli("prog", "test");
+  cli.flag("str", &s, "").flag("int", &i, "").flag("dbl", &d, "").flag(
+      "flag", &b, "");
+  const char* argv[] = {"prog", "--str=hello", "--int=42", "--dbl=2.25",
+                        "--flag=true"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(i, 42);
+  EXPECT_DOUBLE_EQ(d, 2.25);
+  EXPECT_TRUE(b);
+}
+
+TEST(Cli, ParsesSpaceSeparatedValues) {
+  std::int64_t i = 0;
+  Cli cli("prog", "test");
+  cli.flag("n", &i, "");
+  const char* argv[] = {"prog", "--n", "7"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(i, 7);
+}
+
+TEST(Cli, BareBoolSetsTrueAndNoPrefixSetsFalse) {
+  bool b = false;
+  bool c = true;
+  Cli cli("prog", "test");
+  cli.flag("x", &b, "").flag("y", &c, "");
+  const char* argv[] = {"prog", "--x", "--no-y"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_TRUE(b);
+  EXPECT_FALSE(c);
+}
+
+TEST(Cli, CollectsPositionals) {
+  Cli cli("prog", "test");
+  const char* argv[] = {"prog", "one", "two"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.positional(), (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  Cli cli("prog", "test");
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(cli.parse(2, argv), CheckError);
+}
+
+TEST(Cli, MalformedIntThrows) {
+  std::int64_t i = 0;
+  Cli cli("prog", "test");
+  cli.flag("n", &i, "");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_THROW(cli.parse(2, argv), CheckError);
+}
+
+TEST(Cli, MissingValueThrows) {
+  std::int64_t i = 0;
+  Cli cli("prog", "test");
+  cli.flag("n", &i, "");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(cli.parse(2, argv), CheckError);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli("prog", "test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, UsageListsFlagsAndDefaults) {
+  std::int64_t i = 9;
+  Cli cli("prog", "does things");
+  cli.flag("iterations", &i, "how many");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--iterations"), std::string::npos);
+  EXPECT_NE(usage.find("how many"), std::string::npos);
+  EXPECT_NE(usage.find("9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gr::util

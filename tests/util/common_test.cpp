@@ -1,0 +1,41 @@
+#include "util/common.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gr::util {
+namespace {
+
+TEST(Common, CheckPassesOnTrue) { EXPECT_NO_THROW(GR_CHECK(1 + 1 == 2)); }
+
+TEST(Common, CheckThrowsOnFalse) {
+  EXPECT_THROW(GR_CHECK(false), CheckError);
+}
+
+TEST(Common, CheckMsgIncludesMessageAndLocation) {
+  try {
+    GR_CHECK_MSG(false, "value was " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("value was 42"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Common, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div(8, 4), 2);
+}
+
+TEST(Common, RoundUp) {
+  EXPECT_EQ(round_up(0, 8), 0);
+  EXPECT_EQ(round_up(1, 8), 8);
+  EXPECT_EQ(round_up(8, 8), 8);
+  EXPECT_EQ(round_up(9, 8), 16);
+}
+
+}  // namespace
+}  // namespace gr::util

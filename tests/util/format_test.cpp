@@ -1,0 +1,36 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gr::util {
+namespace {
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(0), "0B");
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(7'900'000), "7.90MB");
+  EXPECT_EQ(format_bytes(4'840'000'000ULL), "4.84GB");
+}
+
+TEST(Format, Seconds) {
+  EXPECT_EQ(format_seconds(0.0000005), "0.5us");
+  EXPECT_EQ(format_seconds(0.215155), "215.16ms");
+  EXPECT_EQ(format_seconds(4.0), "4.00s");
+  EXPECT_EQ(format_seconds(83.0), "83.00s");
+  EXPECT_EQ(format_seconds(125.0), "2m05s");
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1'441'295), "1,441,295");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace gr::util

@@ -1,0 +1,52 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gr::util {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean(std::span<const double>{}), 0.0);
+}
+
+TEST(Stats, GeoMean) {
+  const double xs[] = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geo_mean(xs), 4.0, 1e-12);
+}
+
+TEST(Stats, GeoMeanRejectsNonPositive) {
+  const double xs[] = {1.0, 0.0};
+  EXPECT_THROW(geo_mean(xs), CheckError);
+}
+
+TEST(Stats, StddevOfConstantIsZero) {
+  const double xs[] = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, PercentileEndpointsAndMedian) {
+  std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
+}
+
+TEST(Stats, AccumulatorTracksMinMaxMean) {
+  Accumulator acc;
+  acc.add(3.0);
+  acc.add(1.0);
+  acc.add(8.0);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 8.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 12.0);
+}
+
+}  // namespace
+}  // namespace gr::util

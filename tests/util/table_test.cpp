@@ -1,0 +1,51 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace gr::util {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t("demo");
+  t.header({"graph", "ms"});
+  t.add_row({"ak2010", "7.75"});
+  t.add_row({"kron_g500-logn20", "119.8"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("| graph"), std::string::npos);
+  EXPECT_NE(out.find("kron_g500-logn20"), std::string::npos);
+  // Header separator rule present.
+  EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t;
+  t.header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table t;
+  t.header({"name", "note"});
+  t.add_row({"x", "hello, \"world\""});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "name,note\nx,\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(Table, RowCountTracksRows) {
+  Table t;
+  t.header({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"}).add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace gr::util

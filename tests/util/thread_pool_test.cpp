@@ -1,0 +1,70 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace gr::util {
+namespace {
+
+TEST(ThreadPool, RunBlocksExecutesEveryBlockOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> counts(100);
+  pool.run_blocks(100, [&](std::size_t b) { counts[b]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, RunBlocksWithZeroBlocksIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.run_blocks(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  std::vector<int> order;
+  pool.run_blocks(5, [&](std::size_t b) { order.push_back(int(b)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> total{0};
+    pool.run_blocks(17, [&](std::size_t) { total++; });
+    EXPECT_EQ(total.load(), 17);
+  }
+}
+
+TEST(ParallelFor, CoversFullRange) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, 16, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, RespectsBeginOffset) {
+  std::atomic<long> sum{0};
+  parallel_for(100, 200, 8, [&](std::size_t i) { sum += long(i); });
+  long expected = 0;
+  for (std::size_t i = 100; i < 200; ++i) expected += long(i);
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool ran = false;
+  parallel_for(5, 5, 1, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, SmallRangeRunsSerially) {
+  std::vector<std::size_t> order;
+  parallel_for(0, 4, 100, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace gr::util

@@ -1,0 +1,338 @@
+#include "vgpu/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace gr::vgpu {
+namespace {
+
+DeviceConfig test_config() {
+  DeviceConfig config = DeviceConfig::k20c();
+  config.global_memory_bytes = 64 * 1024 * 1024;
+  return config;
+}
+
+double dma_seconds(const DeviceConfig& c, std::uint64_t bytes) {
+  return static_cast<double>(bytes) / (c.pcie_bandwidth * c.dma_efficiency);
+}
+
+TEST(Device, MemcpyRoundTripMovesRealBytes) {
+  Device dev(test_config());
+  std::vector<int> host_src(1000);
+  std::iota(host_src.begin(), host_src.end(), 0);
+  std::vector<int> host_dst(1000, -1);
+  auto buf = dev.alloc<int>(1000);
+  dev.memcpy_h2d(dev.default_stream(), buf.data(), host_src.data(),
+                 1000 * sizeof(int));
+  dev.memcpy_d2h(dev.default_stream(), host_dst.data(), buf.data(),
+                 1000 * sizeof(int));
+  dev.synchronize();
+  EXPECT_EQ(host_dst, host_src);
+  EXPECT_EQ(dev.stats().bytes_h2d, 4000u);
+  EXPECT_EQ(dev.stats().bytes_d2h, 4000u);
+  EXPECT_EQ(dev.stats().h2d_ops, 1u);
+  EXPECT_EQ(dev.stats().d2h_ops, 1u);
+}
+
+TEST(Device, SingleMemcpyTimeMatchesModel) {
+  const DeviceConfig config = test_config();
+  Device dev(config);
+  std::vector<char> host(1'000'000);
+  auto buf = dev.alloc<char>(host.size());
+  dev.memcpy_h2d(dev.default_stream(), buf.data(), host.data(), host.size());
+  dev.synchronize();
+  EXPECT_NEAR(dev.now(),
+              config.memcpy_setup_latency + dma_seconds(config, host.size()),
+              1e-12);
+}
+
+TEST(Device, SameStreamCopiesSerializeSetupLatency) {
+  const DeviceConfig config = test_config();
+  Device dev(config);
+  std::vector<char> host(1'000'000);
+  auto buf = dev.alloc<char>(2 * host.size());
+  for (int i = 0; i < 2; ++i)
+    dev.memcpy_h2d(dev.default_stream(), buf.data() + i * host.size(),
+                   host.data(), host.size());
+  dev.synchronize();
+  EXPECT_NEAR(dev.now(),
+              2 * (config.memcpy_setup_latency +
+                   dma_seconds(config, host.size())),
+              1e-12);
+}
+
+TEST(Device, SprayAcrossStreamsOverlapsSetupLatency) {
+  // The spray operation's benefit: K copies on K streams pipeline their
+  // setup latencies, so total < K * (setup + transfer).
+  const DeviceConfig config = test_config();
+  constexpr int kCopies = 8;
+  constexpr std::uint64_t kBytes = 250'000;
+
+  Device serial(config);
+  {
+    std::vector<char> host(kBytes);
+    auto buf = serial.alloc<char>(kCopies * kBytes);
+    for (int i = 0; i < kCopies; ++i)
+      serial.memcpy_h2d(serial.default_stream(), buf.data() + i * kBytes,
+                        host.data(), kBytes);
+    serial.synchronize();
+  }
+
+  Device sprayed(config);
+  {
+    std::vector<char> host(kBytes);
+    auto buf = sprayed.alloc<char>(kCopies * kBytes);
+    for (int i = 0; i < kCopies; ++i)
+      sprayed.memcpy_h2d(sprayed.create_stream(), buf.data() + i * kBytes,
+                         host.data(), kBytes);
+    sprayed.synchronize();
+  }
+
+  const double transfer = dma_seconds(config, kBytes);
+  EXPECT_NEAR(serial.now(),
+              kCopies * (config.memcpy_setup_latency + transfer), 1e-12);
+  EXPECT_NEAR(sprayed.now(),
+              config.memcpy_setup_latency + kCopies * transfer, 1e-12);
+  EXPECT_LT(sprayed.now(), serial.now());
+}
+
+TEST(Device, H2DAndD2HEnginesAreIndependent) {
+  const DeviceConfig config = test_config();
+  Device dev(config);
+  std::vector<char> up(1'000'000);
+  std::vector<char> down(1'000'000);
+  auto a = dev.alloc<char>(up.size());
+  auto b = dev.alloc<char>(down.size());
+  dev.memcpy_h2d(dev.create_stream(), a.data(), up.data(), up.size());
+  dev.memcpy_d2h(dev.create_stream(), down.data(), b.data(), down.size());
+  dev.synchronize();
+  // Full overlap: duration of one copy, not two.
+  EXPECT_NEAR(dev.now(),
+              config.memcpy_setup_latency + dma_seconds(config, up.size()),
+              1e-12);
+}
+
+TEST(Device, PageableCopyIsSlowerThanPinned) {
+  const DeviceConfig config = test_config();
+  Device dev(config);
+  std::vector<char> host(1'000'000);
+  auto buf = dev.alloc<char>(host.size());
+  dev.memcpy_h2d(dev.default_stream(), buf.data(), host.data(), host.size(),
+                 /*pinned=*/false);
+  dev.synchronize();
+  const double pinned_time =
+      config.memcpy_setup_latency + dma_seconds(config, host.size());
+  EXPECT_GT(dev.now(), pinned_time * 1.5);
+}
+
+TEST(Device, KernelExecutesBodyAndChargesWork) {
+  const DeviceConfig config = test_config();
+  Device dev(config);
+  bool ran = false;
+  KernelCost cost;
+  cost.threads = config.full_occupancy_threads;  // full rate
+  cost.flops_per_thread = 0.0;
+  cost.sequential_bytes = static_cast<std::uint64_t>(config.mem_bandwidth);
+  dev.launch(dev.default_stream(), cost, [&] { ran = true; });
+  dev.synchronize();
+  EXPECT_TRUE(ran);
+  EXPECT_NEAR(dev.now(), config.kernel_launch_latency + 1.0, 1e-9);
+  EXPECT_EQ(dev.stats().kernels_launched, 1u);
+}
+
+TEST(Device, StreamOrderKernelSeesCopiedData) {
+  Device dev(test_config());
+  std::vector<int> host = {1, 2, 3, 4};
+  auto buf = dev.alloc<int>(4);
+  int sum = 0;
+  dev.memcpy_h2d(dev.default_stream(), buf.data(), host.data(),
+                 4 * sizeof(int));
+  dev.launch(dev.default_stream(), KernelCost{.threads = 4}, [&] {
+    for (int i = 0; i < 4; ++i) sum += buf[static_cast<std::size_t>(i)];
+  });
+  dev.synchronize();
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(Device, ConcurrentSmallKernelsShareTheDevice) {
+  // Two half-occupancy kernels on separate streams finish together in
+  // the time one would take alone (compute-compute scheme).
+  const DeviceConfig config = test_config();
+  KernelCost cost;
+  cost.threads = config.full_occupancy_threads / 2;
+  cost.flops_per_thread = 0.0;
+  cost.sequential_bytes =
+      static_cast<std::uint64_t>(config.mem_bandwidth / 10.0);  // 0.1 s work
+
+  Device solo(config);
+  solo.launch(solo.create_stream(), cost, [] {});
+  solo.synchronize();
+  const double solo_time = solo.now();
+  EXPECT_NEAR(solo_time, config.kernel_launch_latency + 0.2, 1e-9);
+
+  Device pair(config);
+  pair.launch(pair.create_stream(), cost, [] {});
+  pair.launch(pair.create_stream(), cost, [] {});
+  pair.synchronize();
+  EXPECT_NEAR(pair.now(), solo_time, 1e-6);
+}
+
+TEST(Device, KernelBacklogBeyondHyperQStillCompletes) {
+  DeviceConfig config = test_config();
+  config.max_concurrent_kernels = 4;
+  Device dev(config);
+  int ran = 0;
+  KernelCost cost;
+  cost.threads = 64;
+  for (int i = 0; i < 20; ++i)
+    dev.launch(dev.create_stream(), cost, [&] { ++ran; });
+  dev.synchronize();
+  EXPECT_EQ(ran, 20);
+  EXPECT_EQ(dev.stats().kernels_launched, 20u);
+}
+
+TEST(Device, EventOrdersAcrossStreams) {
+  Device dev(test_config());
+  Stream& a = dev.create_stream();
+  Stream& b = dev.create_stream();
+  Event& ev = dev.create_event();
+  std::vector<int> order;
+  KernelCost slow;
+  slow.threads = 1u << 20;
+  slow.sequential_bytes = 1u << 30;  // long kernel on stream a
+  dev.launch(a, slow, [&] { order.push_back(1); });
+  dev.record_event(a, ev);
+  dev.wait_event(b, ev);
+  dev.launch(b, KernelCost{.threads = 1}, [&] { order.push_back(2); });
+  dev.synchronize();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(ev.recorded());
+  EXPECT_GT(ev.time(), 0.0);
+}
+
+TEST(Device, WaitOnAlreadyRecordedEventDoesNotBlock) {
+  Device dev(test_config());
+  Stream& a = dev.create_stream();
+  Event& ev = dev.create_event();
+  dev.record_event(a, ev);
+  dev.synchronize();
+  Stream& b = dev.create_stream();
+  bool ran = false;
+  dev.wait_event(b, ev);
+  dev.launch(b, KernelCost{.threads = 1}, [&] { ran = true; });
+  dev.synchronize();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Device, HostTaskRunsAndChargesDuration) {
+  Device dev(test_config());
+  bool ran = false;
+  dev.host_task(dev.default_stream(), 0.5, [&] { ran = true; });
+  dev.synchronize();
+  EXPECT_TRUE(ran);
+  EXPECT_NEAR(dev.now(), 0.5, 1e-12);
+}
+
+TEST(Device, AllocOverDeviceCapacityThrows) {
+  DeviceConfig config = test_config();
+  config.global_memory_bytes = 1024;
+  Device dev(config);
+  EXPECT_THROW(dev.alloc<double>(1024), DeviceOutOfMemory);
+}
+
+TEST(Device, ResetStatsZeroesCounters) {
+  const DeviceConfig config = test_config();
+  Device dev(config);
+  std::vector<char> host(100'000);
+  auto buf = dev.alloc<char>(host.size());
+  dev.memcpy_h2d(dev.default_stream(), buf.data(), host.data(), host.size());
+  dev.synchronize();
+  EXPECT_GT(dev.stats().memcpy_busy_seconds(), 0.0);
+  dev.reset_stats();
+  EXPECT_EQ(dev.stats().bytes_h2d, 0u);
+  dev.synchronize();
+  EXPECT_NEAR(dev.stats().memcpy_busy_seconds(), 0.0, 1e-15);
+  dev.memcpy_h2d(dev.default_stream(), buf.data(), host.data(), host.size());
+  dev.synchronize();
+  EXPECT_NEAR(dev.stats().memcpy_busy_seconds(),
+              dma_seconds(config, host.size()), 1e-12);
+}
+
+TEST(Device, LaunchNVisitsEveryIndex) {
+  Device dev(test_config());
+  std::vector<int> hits(100, 0);
+  dev.launch_n(dev.default_stream(), KernelCost{}, hits.size(),
+               [&](std::size_t i) { hits[i]++; });
+  dev.synchronize();
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Device, AdvanceHostTimeMovesClock) {
+  Device dev(test_config());
+  dev.advance_host_time(2.5);
+  EXPECT_DOUBLE_EQ(dev.now(), 2.5);
+  std::vector<char> host(1000);
+  auto buf = dev.alloc<char>(1000);
+  dev.memcpy_h2d(dev.default_stream(), buf.data(), host.data(), 1000);
+  dev.synchronize();
+  EXPECT_GT(dev.now(), 2.5);
+}
+
+TEST(Device, ComputeTransferOverlapWithDoubleBuffering) {
+  // Classic pipeline: copies on one stream, kernels on another, ordered
+  // by events. Total time should be well below the serialized sum.
+  DeviceConfig config = test_config();
+  config.global_memory_bytes = 256 * 1024 * 1024;
+  constexpr int kChunks = 8;
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(config.pcie_bandwidth / 200.0);  // ~5 ms
+
+  auto run = [&](bool overlap) {
+    Device dev(config);
+    std::vector<char> host(bytes);
+    auto buf = dev.alloc<char>(2 * bytes);  // double buffer
+    KernelCost cost;
+    cost.threads = config.full_occupancy_threads;
+    // Kernel work roughly equals transfer time.
+    cost.sequential_bytes = static_cast<std::uint64_t>(
+        config.mem_bandwidth *
+        (static_cast<double>(bytes) /
+         (config.pcie_bandwidth * config.dma_efficiency)));
+    if (!overlap) {
+      Stream& s = dev.default_stream();
+      for (int i = 0; i < kChunks; ++i) {
+        dev.memcpy_h2d(s, buf.data() + (i % 2) * bytes, host.data(), bytes);
+        dev.launch(s, cost, [] {});
+        dev.synchronize();
+      }
+      return dev.now();
+    }
+    Stream& copy = dev.create_stream();
+    Stream& compute = dev.create_stream();
+    std::vector<Event*> kernel_done;
+    for (int i = 0; i < kChunks; ++i) {
+      // Don't overwrite a buffer until the kernel two chunks back (which
+      // used this half of the double buffer) has finished.
+      if (i >= 2) dev.wait_event(copy, *kernel_done[i - 2]);
+      dev.memcpy_h2d(copy, buf.data() + (i % 2) * bytes, host.data(), bytes);
+      Event& copied = dev.create_event();
+      dev.record_event(copy, copied);
+      dev.wait_event(compute, copied);
+      dev.launch(compute, cost, [] {});
+      Event& done = dev.create_event();
+      dev.record_event(compute, done);
+      kernel_done.push_back(&done);
+    }
+    dev.synchronize();
+    return dev.now();
+  };
+
+  const double serial = run(false);
+  const double overlapped = run(true);
+  EXPECT_LT(overlapped, serial * 0.65);
+}
+
+}  // namespace
+}  // namespace gr::vgpu

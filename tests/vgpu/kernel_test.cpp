@@ -1,0 +1,71 @@
+#include "vgpu/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gr::vgpu {
+namespace {
+
+const DeviceConfig kConfig = DeviceConfig::k20c();
+
+TEST(KernelCost, ComputeBoundWork) {
+  KernelCost cost;
+  cost.threads = 1'000'000;
+  cost.flops_per_thread = 3520.0;  // 3.52e9 FLOP total at 3.52e12 FLOP/s
+  cost.sequential_bytes = 0;
+  EXPECT_NEAR(cost.work_seconds(kConfig), 1e-3, 1e-9);
+}
+
+TEST(KernelCost, SequentialMemoryBoundWork) {
+  KernelCost cost;
+  cost.threads = 1000;
+  cost.flops_per_thread = 0.0;
+  cost.sequential_bytes = 208'000'000;  // 1 ms at 208 GB/s
+  EXPECT_NEAR(cost.work_seconds(kConfig), 1e-3, 1e-9);
+}
+
+TEST(KernelCost, RandomAccessesChargedAtReducedBandwidth) {
+  KernelCost seq;
+  seq.sequential_bytes = 32'000'000;
+  KernelCost random;
+  random.random_accesses = 1'000'000;  // same 32 MB of transactions
+  EXPECT_NEAR(random.work_seconds(kConfig) / seq.work_seconds(kConfig),
+              1.0 / kConfig.random_access_efficiency, 1e-6);
+}
+
+TEST(KernelCost, MemoryAndComputeOverlap) {
+  // Duration is max(compute, memory), not the sum.
+  KernelCost cost;
+  cost.threads = 1'000'000;
+  cost.flops_per_thread = 3520.0;       // 1 ms compute
+  cost.sequential_bytes = 104'000'000;  // 0.5 ms memory
+  EXPECT_NEAR(cost.work_seconds(kConfig), 1e-3, 1e-9);
+}
+
+TEST(KernelCost, RateCapScalesWithThreads) {
+  KernelCost cost;
+  cost.threads = kConfig.full_occupancy_threads / 4;
+  EXPECT_NEAR(cost.rate_cap(kConfig), 0.25, 1e-12);
+  cost.threads = kConfig.full_occupancy_threads * 10;
+  EXPECT_DOUBLE_EQ(cost.rate_cap(kConfig), 1.0);
+}
+
+TEST(KernelCost, RateCapHasFloor) {
+  KernelCost cost;
+  cost.threads = 1;
+  EXPECT_DOUBLE_EQ(cost.rate_cap(kConfig), kConfig.min_kernel_rate);
+  cost.threads = 0;
+  EXPECT_DOUBLE_EQ(cost.rate_cap(kConfig), kConfig.min_kernel_rate);
+}
+
+TEST(DeviceConfigPresets, ScaledKeepsRatesShrinksCapacity) {
+  const DeviceConfig full = DeviceConfig::k20c();
+  const DeviceConfig scaled = DeviceConfig::k20c_scaled(0.25);
+  EXPECT_EQ(scaled.global_memory_bytes, full.global_memory_bytes / 4);
+  EXPECT_DOUBLE_EQ(scaled.pcie_bandwidth, full.pcie_bandwidth);
+  EXPECT_DOUBLE_EQ(scaled.mem_bandwidth, full.mem_bandwidth);
+  const DeviceConfig bench = DeviceConfig::bench_default();
+  EXPECT_EQ(bench.global_memory_bytes, full.global_memory_bytes / 96);
+}
+
+}  // namespace
+}  // namespace gr::vgpu

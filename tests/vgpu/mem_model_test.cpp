@@ -1,0 +1,93 @@
+#include "vgpu/mem_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/common.hpp"
+
+namespace gr::vgpu {
+namespace {
+
+const DeviceConfig kConfig = DeviceConfig::k20c();
+
+// The paper's Figure 4 workload: 100,000,000 doubles.
+AccessWorkload figure4(AccessPattern pattern) {
+  AccessWorkload w;
+  w.buffer_bytes = 100'000'000ull * 8;
+  w.accesses = 100'000'000;
+  w.element_bytes = 8.0;
+  w.pattern = pattern;
+  return w;
+}
+
+double t(TransferMethod m, AccessPattern p) {
+  return access_time_seconds(kConfig, m, figure4(p));
+}
+
+TEST(MemModel, Figure4SequentialOrderingPinnedWins) {
+  const double pinned = t(TransferMethod::kPinned, AccessPattern::kSequential);
+  const double expl = t(TransferMethod::kExplicit, AccessPattern::kSequential);
+  const double managed =
+      t(TransferMethod::kManaged, AccessPattern::kSequential);
+  EXPECT_LT(pinned, expl);
+  EXPECT_LT(expl, managed);
+}
+
+TEST(MemModel, Figure4RandomOrderingExplicitWinsPinnedWorst) {
+  const double pinned = t(TransferMethod::kPinned, AccessPattern::kRandom);
+  const double expl = t(TransferMethod::kExplicit, AccessPattern::kRandom);
+  const double managed = t(TransferMethod::kManaged, AccessPattern::kRandom);
+  EXPECT_LT(expl, managed);
+  EXPECT_LT(managed, pinned);
+  // The paper's random-access pinned penalty is dramatic (load/store over
+  // PCIe with no prefetch benefit): order-of-magnitude worse.
+  EXPECT_GT(pinned / expl, 10.0);
+}
+
+TEST(MemModel, RandomCostsMoreThanSequentialForEveryMethod) {
+  for (TransferMethod m : {TransferMethod::kExplicit, TransferMethod::kPinned,
+                           TransferMethod::kManaged}) {
+    EXPECT_GT(t(m, AccessPattern::kRandom), t(m, AccessPattern::kSequential))
+        << method_name(m);
+  }
+}
+
+TEST(MemModel, TimesScaleWithBufferSize) {
+  for (TransferMethod m : {TransferMethod::kExplicit, TransferMethod::kPinned,
+                           TransferMethod::kManaged}) {
+    AccessWorkload small = figure4(AccessPattern::kSequential);
+    small.buffer_bytes /= 10;
+    small.accesses /= 10;
+    const double small_t = access_time_seconds(kConfig, m, small);
+    const double big_t = t(m, AccessPattern::kSequential);
+    EXPECT_NEAR(big_t / small_t, 10.0, 1.5) << method_name(m);
+  }
+}
+
+TEST(MemModel, ExplicitSequentialIsDmaPlusDeviceRead) {
+  const AccessWorkload w = figure4(AccessPattern::kSequential);
+  const double expected =
+      kConfig.memcpy_setup_latency +
+      static_cast<double>(w.buffer_bytes) /
+          (kConfig.pcie_bandwidth * kConfig.dma_efficiency) +
+      static_cast<double>(w.buffer_bytes) / kConfig.mem_bandwidth;
+  EXPECT_NEAR(t(TransferMethod::kExplicit, AccessPattern::kSequential),
+              expected, 1e-9);
+}
+
+TEST(MemModel, ZeroBufferRejected) {
+  AccessWorkload w;
+  w.buffer_bytes = 0;
+  EXPECT_THROW(access_time_seconds(kConfig, TransferMethod::kExplicit, w),
+               util::CheckError);
+}
+
+TEST(MemModel, Names) {
+  EXPECT_STREQ(method_name(TransferMethod::kExplicit), "Explicit H2D");
+  EXPECT_STREQ(method_name(TransferMethod::kPinned), "Pinned (UVA)");
+  EXPECT_STREQ(method_name(TransferMethod::kManaged), "Managed");
+  EXPECT_STREQ(pattern_name(AccessPattern::kSequential), "sequential");
+  EXPECT_STREQ(pattern_name(AccessPattern::kRandom), "random");
+}
+
+}  // namespace
+}  // namespace gr::vgpu

@@ -1,0 +1,96 @@
+#include "vgpu/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gr::vgpu {
+namespace {
+
+TEST(DeviceAllocator, TracksUsage) {
+  DeviceAllocator alloc(1000);
+  void* p = alloc.allocate(400);
+  EXPECT_EQ(alloc.used(), 400u);
+  EXPECT_EQ(alloc.available(), 600u);
+  alloc.deallocate(p, 400);
+  EXPECT_EQ(alloc.used(), 0u);
+}
+
+TEST(DeviceAllocator, ThrowsOverCapacity) {
+  DeviceAllocator alloc(1000);
+  void* p = alloc.allocate(800);
+  EXPECT_THROW(alloc.allocate(300), DeviceOutOfMemory);
+  alloc.deallocate(p, 800);
+  // After freeing, the same request succeeds.
+  void* q = alloc.allocate(300);
+  alloc.deallocate(q, 300);
+}
+
+TEST(DeviceAllocator, OomCarriesRequestSize) {
+  DeviceAllocator alloc(100);
+  try {
+    alloc.allocate(200);
+    FAIL() << "expected DeviceOutOfMemory";
+  } catch (const DeviceOutOfMemory& e) {
+    EXPECT_EQ(e.requested(), 200u);
+  }
+}
+
+TEST(DeviceAllocator, PeakUsageIsSticky) {
+  DeviceAllocator alloc(1000);
+  void* a = alloc.allocate(600);
+  alloc.deallocate(a, 600);
+  void* b = alloc.allocate(100);
+  alloc.deallocate(b, 100);
+  EXPECT_EQ(alloc.peak_used(), 600u);
+}
+
+TEST(DeviceAllocator, ZeroByteAllocationIsFree) {
+  DeviceAllocator alloc(10);
+  EXPECT_EQ(alloc.allocate(0), nullptr);
+  EXPECT_EQ(alloc.used(), 0u);
+}
+
+TEST(DeviceBuffer, RaiiReturnsCapacity) {
+  DeviceAllocator alloc(4096);
+  {
+    DeviceBuffer<double> buf(alloc, 64);
+    EXPECT_EQ(buf.size(), 64u);
+    EXPECT_EQ(buf.size_bytes(), 512u);
+    EXPECT_EQ(alloc.used(), 512u);
+    buf[0] = 1.5;
+    buf[63] = 2.5;
+    EXPECT_DOUBLE_EQ(buf[0], 1.5);
+    EXPECT_DOUBLE_EQ(buf[63], 2.5);
+  }
+  EXPECT_EQ(alloc.used(), 0u);
+}
+
+TEST(DeviceBuffer, MoveTransfersOwnership) {
+  DeviceAllocator alloc(4096);
+  DeviceBuffer<int> a(alloc, 10);
+  a[3] = 42;
+  DeviceBuffer<int> b = std::move(a);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_EQ(b[3], 42);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(alloc.used(), 10 * sizeof(int));
+  b = DeviceBuffer<int>();
+  EXPECT_EQ(alloc.used(), 0u);
+}
+
+TEST(DeviceBuffer, AllocationFailurePropagates) {
+  DeviceAllocator alloc(16);
+  EXPECT_THROW(DeviceBuffer<double>(alloc, 100), DeviceOutOfMemory);
+  EXPECT_EQ(alloc.used(), 0u);
+}
+
+TEST(DeviceBuffer, SpanViewsData) {
+  DeviceAllocator alloc(4096);
+  DeviceBuffer<int> buf(alloc, 4);
+  for (int i = 0; i < 4; ++i) buf[static_cast<std::size_t>(i)] = i * i;
+  auto view = buf.span();
+  EXPECT_EQ(view.size(), 4u);
+  EXPECT_EQ(view[2], 4);
+}
+
+}  // namespace
+}  // namespace gr::vgpu

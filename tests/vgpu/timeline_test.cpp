@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vgpu/device.hpp"
+
+namespace gr::vgpu {
+namespace {
+
+DeviceConfig recording_config() {
+  DeviceConfig config = DeviceConfig::k20c();
+  config.global_memory_bytes = 16 * 1024 * 1024;
+  config.record_timeline = true;
+  return config;
+}
+
+TEST(Timeline, DisabledByDefault) {
+  Device dev(DeviceConfig::k20c());
+  std::vector<char> host(1024);
+  auto buf = dev.alloc<char>(1024);
+  dev.memcpy_h2d(dev.default_stream(), buf.data(), host.data(), 1024);
+  dev.synchronize();
+  EXPECT_TRUE(dev.timeline().empty());
+}
+
+TEST(Timeline, RecordsCopiesKernelsAndHostTasks) {
+  Device dev(recording_config());
+  std::vector<char> host(4096);
+  auto buf = dev.alloc<char>(4096);
+  dev.memcpy_h2d(dev.default_stream(), buf.data(), host.data(), 4096);
+  dev.launch(dev.default_stream(), KernelCost{.threads = 128}, [] {});
+  dev.memcpy_d2h(dev.default_stream(), host.data(), buf.data(), 4096);
+  dev.host_task(dev.default_stream(), 1e-3, [] {});
+  dev.synchronize();
+  ASSERT_EQ(dev.timeline().size(), 4u);
+  EXPECT_EQ(dev.timeline()[0].kind, TimelineEntry::Kind::kH2D);
+  EXPECT_EQ(dev.timeline()[1].kind, TimelineEntry::Kind::kKernel);
+  EXPECT_EQ(dev.timeline()[2].kind, TimelineEntry::Kind::kD2H);
+  EXPECT_EQ(dev.timeline()[3].kind, TimelineEntry::Kind::kHostTask);
+  EXPECT_EQ(dev.timeline()[0].bytes, 4096u);
+}
+
+TEST(Timeline, EntriesAreWellFormedAndStreamOrdered) {
+  Device dev(recording_config());
+  std::vector<char> host(64 * 1024);
+  auto buf = dev.alloc<char>(host.size());
+  for (int i = 0; i < 10; ++i) {
+    dev.memcpy_h2d(dev.default_stream(), buf.data(), host.data(),
+                   host.size());
+    dev.launch(dev.default_stream(), KernelCost{.threads = 1024}, [] {});
+  }
+  dev.synchronize();
+  ASSERT_EQ(dev.timeline().size(), 20u);
+  double prev_end = 0.0;
+  for (const TimelineEntry& entry : dev.timeline()) {
+    EXPECT_LE(entry.start, entry.end);
+    EXPECT_EQ(entry.stream, 0);
+    // Single stream: completion order is serial.
+    EXPECT_GE(entry.end, prev_end);
+    prev_end = entry.end;
+  }
+}
+
+TEST(Timeline, ShowsCopyComputeOverlapAcrossStreams) {
+  Device dev(recording_config());
+  std::vector<char> host(2 * 1024 * 1024);
+  auto buf = dev.alloc<char>(host.size());
+  Stream& copy = dev.create_stream();
+  Stream& compute = dev.create_stream();
+  dev.memcpy_h2d(copy, buf.data(), host.data(), host.size());
+  KernelCost cost;
+  cost.threads = 1u << 20;
+  cost.sequential_bytes = 64ull << 20;
+  dev.launch(compute, cost, [] {});
+  dev.synchronize();
+  ASSERT_EQ(dev.timeline().size(), 2u);
+  const TimelineEntry& a = dev.timeline()[0];
+  const TimelineEntry& b = dev.timeline()[1];
+  // The two operations overlap in simulated time.
+  EXPECT_LT(std::max(a.start, b.start), std::min(a.end, b.end));
+}
+
+TEST(Timeline, BusyTimeMatchesSummedCopyEntries) {
+  Device dev(recording_config());
+  std::vector<char> host(256 * 1024);
+  auto buf = dev.alloc<char>(host.size());
+  for (int i = 0; i < 5; ++i)
+    dev.memcpy_h2d(dev.default_stream(), buf.data(), host.data(),
+                   host.size());
+  dev.synchronize();
+  double copied = 0.0;
+  for (const TimelineEntry& entry : dev.timeline())
+    if (entry.kind == TimelineEntry::Kind::kH2D)
+      copied += entry.end - entry.start;
+  EXPECT_NEAR(copied, dev.stats().h2d_busy_seconds, 1e-12);
+}
+
+}  // namespace
+}  // namespace gr::vgpu
