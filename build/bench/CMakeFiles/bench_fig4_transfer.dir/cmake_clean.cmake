@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_transfer.dir/bench_fig4_transfer.cpp.o"
+  "CMakeFiles/bench_fig4_transfer.dir/bench_fig4_transfer.cpp.o.d"
+  "bench_fig4_transfer"
+  "bench_fig4_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_gas.dir/bench_micro_gas.cpp.o"
+  "CMakeFiles/bench_micro_gas.dir/bench_micro_gas.cpp.o.d"
+  "bench_micro_gas"
+  "bench_micro_gas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_gas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

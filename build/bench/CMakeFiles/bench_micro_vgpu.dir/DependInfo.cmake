@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_vgpu.cpp" "bench/CMakeFiles/bench_micro_vgpu.dir/bench_micro_vgpu.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_vgpu.dir/bench_micro_vgpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/gr_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gr_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

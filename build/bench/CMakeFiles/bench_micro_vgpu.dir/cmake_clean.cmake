@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_vgpu.dir/bench_micro_vgpu.cpp.o"
+  "CMakeFiles/bench_micro_vgpu.dir/bench_micro_vgpu.cpp.o.d"
+  "bench_micro_vgpu"
+  "bench_micro_vgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_outofmem.dir/bench_table3_outofmem.cpp.o"
+  "CMakeFiles/bench_table3_outofmem.dir/bench_table3_outofmem.cpp.o.d"
+  "bench_table3_outofmem"
+  "bench_table3_outofmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_outofmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

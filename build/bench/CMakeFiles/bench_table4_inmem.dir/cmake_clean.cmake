@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_inmem.dir/bench_table4_inmem.cpp.o"
+  "CMakeFiles/bench_table4_inmem.dir/bench_table4_inmem.cpp.o.d"
+  "bench_table4_inmem"
+  "bench_table4_inmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_inmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

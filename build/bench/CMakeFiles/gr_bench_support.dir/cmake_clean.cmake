@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gr_bench_support.dir/support/frontier_plot.cpp.o"
+  "CMakeFiles/gr_bench_support.dir/support/frontier_plot.cpp.o.d"
+  "CMakeFiles/gr_bench_support.dir/support/harness.cpp.o"
+  "CMakeFiles/gr_bench_support.dir/support/harness.cpp.o.d"
+  "libgr_bench_support.a"
+  "libgr_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gr_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

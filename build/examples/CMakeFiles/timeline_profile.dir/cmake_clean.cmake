@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline_profile.dir/timeline_profile.cpp.o"
+  "CMakeFiles/timeline_profile.dir/timeline_profile.cpp.o.d"
+  "timeline_profile"
+  "timeline_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

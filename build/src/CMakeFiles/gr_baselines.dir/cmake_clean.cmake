@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gr_baselines.dir/baselines/reference/serial.cpp.o"
+  "CMakeFiles/gr_baselines.dir/baselines/reference/serial.cpp.o.d"
+  "libgr_baselines.a"
+  "libgr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

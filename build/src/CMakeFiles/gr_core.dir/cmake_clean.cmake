@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gr_core.dir/core/frontier.cpp.o"
+  "CMakeFiles/gr_core.dir/core/frontier.cpp.o.d"
+  "CMakeFiles/gr_core.dir/core/partition.cpp.o"
+  "CMakeFiles/gr_core.dir/core/partition.cpp.o.d"
+  "libgr_core.a"
+  "libgr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

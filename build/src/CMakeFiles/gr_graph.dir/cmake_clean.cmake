@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gr_graph.dir/graph/csr.cpp.o"
+  "CMakeFiles/gr_graph.dir/graph/csr.cpp.o.d"
+  "CMakeFiles/gr_graph.dir/graph/datasets.cpp.o"
+  "CMakeFiles/gr_graph.dir/graph/datasets.cpp.o.d"
+  "CMakeFiles/gr_graph.dir/graph/edge_list.cpp.o"
+  "CMakeFiles/gr_graph.dir/graph/edge_list.cpp.o.d"
+  "CMakeFiles/gr_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/gr_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/gr_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/gr_graph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/gr_graph.dir/graph/matrix_market.cpp.o"
+  "CMakeFiles/gr_graph.dir/graph/matrix_market.cpp.o.d"
+  "CMakeFiles/gr_graph.dir/graph/stats.cpp.o"
+  "CMakeFiles/gr_graph.dir/graph/stats.cpp.o.d"
+  "CMakeFiles/gr_graph.dir/graph/transforms.cpp.o"
+  "CMakeFiles/gr_graph.dir/graph/transforms.cpp.o.d"
+  "libgr_graph.a"
+  "libgr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

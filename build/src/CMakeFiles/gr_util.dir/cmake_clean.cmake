@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gr_util.dir/util/cli.cpp.o"
+  "CMakeFiles/gr_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/gr_util.dir/util/format.cpp.o"
+  "CMakeFiles/gr_util.dir/util/format.cpp.o.d"
+  "CMakeFiles/gr_util.dir/util/log.cpp.o"
+  "CMakeFiles/gr_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/gr_util.dir/util/table.cpp.o"
+  "CMakeFiles/gr_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/gr_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/gr_util.dir/util/thread_pool.cpp.o.d"
+  "libgr_util.a"
+  "libgr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

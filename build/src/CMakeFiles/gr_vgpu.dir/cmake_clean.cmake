@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gr_vgpu.dir/vgpu/device.cpp.o"
+  "CMakeFiles/gr_vgpu.dir/vgpu/device.cpp.o.d"
+  "CMakeFiles/gr_vgpu.dir/vgpu/mem_model.cpp.o"
+  "CMakeFiles/gr_vgpu.dir/vgpu/mem_model.cpp.o.d"
+  "CMakeFiles/gr_vgpu.dir/vgpu/memory.cpp.o"
+  "CMakeFiles/gr_vgpu.dir/vgpu/memory.cpp.o.d"
+  "libgr_vgpu.a"
+  "libgr_vgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gr_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines.dir/baselines/frameworks_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/frameworks_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/reference_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/reference_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/totem_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/totem_test.cpp.o.d"
+  "test_baselines"
+  "test_baselines.pdb"
+  "test_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/dynamic_test.cpp" "tests/CMakeFiles/test_core.dir/core/dynamic_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/dynamic_test.cpp.o.d"
+  "/root/repo/tests/core/engine_test.cpp" "tests/CMakeFiles/test_core.dir/core/engine_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/engine_test.cpp.o.d"
+  "/root/repo/tests/core/frontier_test.cpp" "tests/CMakeFiles/test_core.dir/core/frontier_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/frontier_test.cpp.o.d"
+  "/root/repo/tests/core/host_spill_test.cpp" "tests/CMakeFiles/test_core.dir/core/host_spill_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/host_spill_test.cpp.o.d"
+  "/root/repo/tests/core/kcore_test.cpp" "tests/CMakeFiles/test_core.dir/core/kcore_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/kcore_test.cpp.o.d"
+  "/root/repo/tests/core/multi_gpu_test.cpp" "tests/CMakeFiles/test_core.dir/core/multi_gpu_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/multi_gpu_test.cpp.o.d"
+  "/root/repo/tests/core/partition_test.cpp" "tests/CMakeFiles/test_core.dir/core/partition_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/partition_test.cpp.o.d"
+  "/root/repo/tests/core/phase_plan_test.cpp" "tests/CMakeFiles/test_core.dir/core/phase_plan_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/phase_plan_test.cpp.o.d"
+  "/root/repo/tests/core/reachability_test.cpp" "tests/CMakeFiles/test_core.dir/core/reachability_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/reachability_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gr_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gr_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

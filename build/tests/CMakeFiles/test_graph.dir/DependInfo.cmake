@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/csr_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/csr_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/csr_test.cpp.o.d"
+  "/root/repo/tests/graph/datasets_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/datasets_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/datasets_test.cpp.o.d"
+  "/root/repo/tests/graph/edge_list_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/edge_list_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/edge_list_test.cpp.o.d"
+  "/root/repo/tests/graph/generators_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/generators_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/generators_test.cpp.o.d"
+  "/root/repo/tests/graph/io_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/io_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/io_test.cpp.o.d"
+  "/root/repo/tests/graph/matrix_market_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/matrix_market_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/matrix_market_test.cpp.o.d"
+  "/root/repo/tests/graph/stats_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/stats_test.cpp.o.d"
+  "/root/repo/tests/graph/transforms_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/transforms_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/transforms_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gr_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gr_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

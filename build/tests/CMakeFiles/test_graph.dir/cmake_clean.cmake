@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph.dir/graph/csr_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/csr_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/datasets_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/datasets_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/edge_list_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/edge_list_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/generators_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/generators_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/io_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/io_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/matrix_market_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/matrix_market_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/stats_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/stats_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/transforms_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/transforms_test.cpp.o.d"
+  "test_graph"
+  "test_graph.pdb"
+  "test_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

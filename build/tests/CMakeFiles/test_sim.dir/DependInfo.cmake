@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/engines_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/engines_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/engines_test.cpp.o.d"
+  "/root/repo/tests/sim/event_queue_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim/shared_engine_property_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/shared_engine_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/shared_engine_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gr_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gr_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

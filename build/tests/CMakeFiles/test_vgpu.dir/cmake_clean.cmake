@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vgpu.dir/vgpu/device_stress_test.cpp.o"
+  "CMakeFiles/test_vgpu.dir/vgpu/device_stress_test.cpp.o.d"
+  "CMakeFiles/test_vgpu.dir/vgpu/device_test.cpp.o"
+  "CMakeFiles/test_vgpu.dir/vgpu/device_test.cpp.o.d"
+  "CMakeFiles/test_vgpu.dir/vgpu/kernel_test.cpp.o"
+  "CMakeFiles/test_vgpu.dir/vgpu/kernel_test.cpp.o.d"
+  "CMakeFiles/test_vgpu.dir/vgpu/mem_model_test.cpp.o"
+  "CMakeFiles/test_vgpu.dir/vgpu/mem_model_test.cpp.o.d"
+  "CMakeFiles/test_vgpu.dir/vgpu/memory_test.cpp.o"
+  "CMakeFiles/test_vgpu.dir/vgpu/memory_test.cpp.o.d"
+  "CMakeFiles/test_vgpu.dir/vgpu/timeline_test.cpp.o"
+  "CMakeFiles/test_vgpu.dir/vgpu/timeline_test.cpp.o.d"
+  "test_vgpu"
+  "test_vgpu.pdb"
+  "test_vgpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
