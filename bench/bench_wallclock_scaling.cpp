@@ -1,0 +1,100 @@
+// Host wall-clock scaling of the parallel functional backend.
+//
+// Not a paper figure: the simulated K20c timings are invariant under
+// host parallelism by construction, so this bench measures the other
+// axis — how fast the functional execution itself runs as
+// EngineOptions::threads grows. It sweeps worker counts (1, 2, 4, ...
+// up to --max-threads), runs the selected algorithms on one dataset,
+// and reports wall seconds, speedup over the serial run, and a bitwise
+// FNV-1a hash of the final vertex values. Every row must show the same
+// hash and the same simulated seconds — the backend's determinism
+// contract — and the bench exits nonzero if any row disagrees.
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "support/harness.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gr;
+  std::string csv;
+  std::string dataset = "webbase-1M";
+  double scale = 1.0;
+  std::uint32_t max_threads = 8;
+  std::uint32_t repeats = 1;
+  util::Cli cli("bench_wallclock_scaling",
+                "host wall-clock scaling of the parallel functional backend");
+  cli.flag("csv", &csv, "CSV output path")
+      .flag("dataset", &dataset, "dataset analog to run")
+      .flag("scale", &scale, "extra edge-count scale factor")
+      .flag("max-threads", &max_threads,
+            "largest thread count in the sweep (doubling from 1)")
+      .flag("repeats", &repeats, "runs per cell (best wall time kept)");
+  if (!cli.parse(argc, argv)) return 0;
+  if (max_threads == 0) max_threads = 1;
+  if (repeats == 0) repeats = 1;
+
+  GR_LOG_INFO("preparing " << dataset);
+  const auto data = bench::prepare_dataset(dataset, scale);
+
+  std::vector<std::uint32_t> sweep;
+  for (std::uint32_t t = 1; t < max_threads; t *= 2) sweep.push_back(t);
+  sweep.push_back(max_threads);
+  if (sweep.size() >= 2 && sweep[sweep.size() - 2] == max_threads)
+    sweep.pop_back();
+
+  const bench::Algo algos[] = {bench::Algo::kPageRank, bench::Algo::kBfs};
+
+  util::Table table("Wall-clock scaling — " + dataset +
+                    " (simulated seconds must not move)");
+  table.header({"Algo", "Threads", "Wall s", "Speedup", "Sim s", "Hash"});
+
+  bool deterministic = true;
+  for (bench::Algo algo : algos) {
+    double serial_wall = 0.0;
+    std::uint64_t serial_hash = 0;
+    double serial_sim = 0.0;
+    for (std::uint32_t threads : sweep) {
+      auto options = bench::bench_engine_options();
+      options.threads = threads;
+      bench::GrRun best;
+      for (std::uint32_t r = 0; r < repeats; ++r) {
+        const auto run = bench::run_graphreduce_timed(algo, data, options);
+        if (r == 0 || run.wall_seconds < best.wall_seconds) best = run;
+      }
+      if (threads == sweep.front()) {
+        serial_wall = best.wall_seconds;
+        serial_hash = best.value_hash;
+        serial_sim = best.report.total_seconds;
+      } else if (best.value_hash != serial_hash ||
+                 best.report.total_seconds != serial_sim) {
+        deterministic = false;
+      }
+      char hash_repr[32];
+      std::snprintf(hash_repr, sizeof(hash_repr), "%016llx",
+                    static_cast<unsigned long long>(best.value_hash));
+      table.add_row({bench::algo_name(algo), std::to_string(threads),
+                     util::format_fixed(best.wall_seconds, 3),
+                     util::format_fixed(serial_wall / best.wall_seconds, 2) +
+                         "x",
+                     util::format_fixed(best.report.total_seconds, 4),
+                     hash_repr});
+    }
+  }
+
+  bench::emit_table(table, csv);
+  if (!deterministic) {
+    std::cout << "\nFAIL: results or simulated times varied with the "
+                 "thread count\n";
+    return 1;
+  }
+  std::cout << "\nAll thread counts produced bitwise-identical values and "
+               "simulated times.\n";
+  return 0;
+}

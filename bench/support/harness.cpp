@@ -1,7 +1,9 @@
 #include "support/harness.hpp"
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
+#include <span>
 
 #include "baselines/cusha/cusha.hpp"
 #include "baselines/graphchi/graphchi.hpp"
@@ -47,8 +49,11 @@ core::EngineOptions bench_engine_options() {
 
 Cell run_graphreduce(Algo algo, const PreparedDataset& data,
                      core::EngineOptions options) {
+  const auto t0 = std::chrono::steady_clock::now();
   const core::RunReport report = run_graphreduce_report(algo, data, options);
-  return {report.total_seconds, report.iterations, false};
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - t0;
+  return {report.total_seconds, report.iterations, false, wall.count()};
 }
 
 core::RunReport run_graphreduce_report(Algo algo, const PreparedDataset& data,
@@ -97,6 +102,89 @@ core::RunReport run_graphreduce_report(Algo algo, const PreparedDataset& data,
   }
   GR_CHECK(false);
   __builtin_unreachable();
+}
+
+namespace {
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t h = 14695981039346656037ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t hash_values(std::span<const T> values) {
+  return fnv1a(values.data(), values.size() * sizeof(T));
+}
+
+}  // namespace
+
+GrRun run_graphreduce_timed(Algo algo, const PreparedDataset& data,
+                            core::EngineOptions options) {
+  // Mirrors run_graphreduce_report but keeps the engine alive to hash
+  // the final vertex values bitwise (determinism witness for the
+  // wall-clock scaling bench).
+  GrRun out;
+  const auto t0 = std::chrono::steady_clock::now();
+  switch (algo) {
+    case Algo::kBfs: {
+      core::ProgramInstance<PaperBfs> instance;
+      const graph::VertexId source = data.source;
+      instance.init_vertex = [source](graph::VertexId v) {
+        return v == source ? 0u : PaperBfs::kUnreached;
+      };
+      instance.init_edge = [](float w) { return EdgeValue{w}; };
+      instance.frontier = core::InitialFrontier::single(source);
+      instance.default_max_iterations = data.edges.num_vertices() + 1;
+      core::Engine<PaperBfs> engine(data.edges, std::move(instance), options);
+      out.report = engine.run();
+      out.value_hash = hash_values(engine.vertex_values());
+      break;
+    }
+    case Algo::kSssp: {
+      const auto run = algo::run_sssp(data.edges, data.source, options);
+      out.report = run.report;
+      out.value_hash =
+          hash_values(std::span<const float>(run.distance));
+      break;
+    }
+    case Algo::kPageRank: {
+      const auto out_deg = data.edges.out_degrees();
+      core::ProgramInstance<PaperPageRank> instance;
+      instance.init_vertex = [&out_deg](graph::VertexId v) {
+        return algo::PageRank::Vertex{
+            1.0f,
+            out_deg[v] == 0 ? 0.0f : 1.0f / static_cast<float>(out_deg[v])};
+      };
+      instance.init_edge = [](float w) { return EdgeValue{w}; };
+      instance.frontier = core::InitialFrontier::all();
+      instance.default_max_iterations = kPageRankIterations;
+      core::Engine<PaperPageRank> engine(data.edges, std::move(instance),
+                                         options);
+      out.report = engine.run();
+      out.value_hash = hash_values(engine.vertex_values());
+      break;
+    }
+    case Algo::kCc: {
+      core::ProgramInstance<PaperCc> instance;
+      instance.init_vertex = [](graph::VertexId v) { return v; };
+      instance.init_edge = [](float w) { return EdgeValue{w}; };
+      instance.frontier = core::InitialFrontier::all();
+      instance.default_max_iterations = data.edges.num_vertices() + 1;
+      core::Engine<PaperCc> engine(data.edges, std::move(instance), options);
+      out.report = engine.run();
+      out.value_hash = hash_values(engine.vertex_values());
+      break;
+    }
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - t0;
+  out.wall_seconds = wall.count();
+  return out;
 }
 
 Cell run_graphchi(Algo algo, const PreparedDataset& data) {

@@ -28,9 +28,12 @@ inline constexpr std::uint32_t kPageRankIterations = 50;
 
 /// One framework-algorithm-dataset measurement.
 struct Cell {
-  double seconds = 0.0;
+  double seconds = 0.0;  // simulated time (the paper's metric)
   std::uint32_t iterations = 0;
   bool out_of_memory = false;  // in-memory framework refused the graph
+  /// Host wall-clock of the functional execution — the quantity the
+  /// parallel backend improves; simulated `seconds` is unaffected by it.
+  double wall_seconds = 0.0;
 };
 
 /// Generates the named dataset analog with SSSP weights attached and a
@@ -50,6 +53,18 @@ Cell run_graphreduce(Algo algo, const PreparedDataset& data,
 /// GraphReduce with the full run report (for frontier-trace figures).
 core::RunReport run_graphreduce_report(Algo algo, const PreparedDataset& data,
                                        core::EngineOptions options);
+
+/// GraphReduce run instrumented for the wall-clock scaling bench: the
+/// simulated report, host wall-clock seconds, and an FNV-1a hash of the
+/// final vertex values (bitwise — used to verify that every worker count
+/// produces identical results).
+struct GrRun {
+  core::RunReport report;
+  double wall_seconds = 0.0;
+  std::uint64_t value_hash = 0;
+};
+GrRun run_graphreduce_timed(Algo algo, const PreparedDataset& data,
+                            core::EngineOptions options);
 Cell run_graphchi(Algo algo, const PreparedDataset& data);
 Cell run_xstream(Algo algo, const PreparedDataset& data);
 Cell run_cusha(Algo algo, const PreparedDataset& data);

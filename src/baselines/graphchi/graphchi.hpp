@@ -92,6 +92,10 @@ class Engine {
 
       // Pass 1 over intervals: pull-gather + apply for active vertices
       // (selective scheduling: whole interval skipped when idle).
+      // NOT parallelized: state_[v] is updated in place while later
+      // vertices in the same pass pull it (GraphChi's intra-iteration
+      // propagation), so the result depends on traversal order and any
+      // blocking would change fixpoint trajectories.
       for (const core::ShardTopology& shard : graph_.shards()) {
         const core::Interval iv = shard.interval;
         std::uint64_t active_here = 0;

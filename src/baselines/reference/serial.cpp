@@ -4,8 +4,10 @@
 #include <limits>
 #include <queue>
 
+#include "core/parallel.hpp"
 #include "graph/csr.hpp"
 #include "util/common.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gr::baselines::reference {
 
@@ -69,12 +71,20 @@ std::vector<float> pagerank(const EdgeList& edges, std::uint32_t iterations,
   std::vector<float> next(n, 0.0f);
   const Compressed csc = Compressed::by_destination(edges);
   for (std::uint32_t it = 0; it < iterations; ++it) {
-    for (VertexId v = 0; v < n; ++v) {
-      float sum = 0.0f;
-      for (VertexId u : csc.neighbors(v))
-        sum += rank[u] / static_cast<float>(out_deg[u]);
-      next[v] = (1.0f - damping) + damping * sum;
-    }
+    // Pull iteration: each destination owns next[v] exclusively and its
+    // in-neighbour sum runs serially per vertex, so blocking by edge
+    // weight changes nothing about the float accumulation order.
+    core::parallel_for_weighted(
+        csc.offsets().data(), n, core::kEdgeGrain,
+        [&](std::size_t lo, std::size_t hi) {
+          for (VertexId v = static_cast<VertexId>(lo);
+               v < static_cast<VertexId>(hi); ++v) {
+            float sum = 0.0f;
+            for (VertexId u : csc.neighbors(v))
+              sum += rank[u] / static_cast<float>(out_deg[u]);
+            next[v] = (1.0f - damping) + damping * sum;
+          }
+        });
     rank.swap(next);
   }
   return rank;
@@ -125,10 +135,26 @@ std::vector<float> spmv(const EdgeList& edges, const std::vector<float>& x) {
   GR_CHECK(x.size() == edges.num_vertices());
   GR_CHECK_MSG(edges.has_weights(), "SpMV reference needs weights");
   std::vector<float> y(edges.num_vertices(), 0.0f);
-  for (EdgeId i = 0; i < edges.num_edges(); ++i) {
-    const graph::Edge& e = edges.edge(i);
-    y[e.dst] += edges.weight(i) * x[e.src];
-  }
+  // CSC pull form. Compressed::by_destination is a stable counting sort,
+  // so each row's slots appear in original edge order and the per-row
+  // accumulation is bitwise identical to the edge-order loop
+  // `y[e.dst] += w * x[e.src]` — now with disjoint y[v] writes per block.
+  const Compressed csc = Compressed::by_destination(edges);
+  const VertexId n = edges.num_vertices();
+  core::parallel_for_weighted(
+      csc.offsets().data(), n, core::kEdgeGrain,
+      [&](std::size_t lo, std::size_t hi) {
+        const auto offs = csc.offsets();
+        for (VertexId v = static_cast<VertexId>(lo);
+             v < static_cast<VertexId>(hi); ++v) {
+          float sum = 0.0f;
+          for (EdgeId slot = offs[v]; slot < offs[v + 1]; ++slot) {
+            const EdgeId orig = csc.original_index()[slot];
+            sum += edges.weight(orig) * x[csc.adjacency()[slot]];
+          }
+          y[v] = sum;
+        }
+      });
   return y;
 }
 
@@ -142,16 +168,21 @@ std::vector<float> heat(const EdgeList& edges,
   std::vector<float> temp = initial;
   std::vector<float> next(n, 0.0f);
   for (std::uint32_t it = 0; it < rounds; ++it) {
-    for (VertexId v = 0; v < n; ++v) {
-      if (in_deg[v] == 0) {
-        next[v] = temp[v];
-        continue;
-      }
-      float sum = 0.0f;
-      for (VertexId u : csc.neighbors(v)) sum += temp[u];
-      const float average = sum / static_cast<float>(in_deg[v]);
-      next[v] = temp[v] + alpha * (average - temp[v]);
-    }
+    core::parallel_for_weighted(
+        csc.offsets().data(), n, core::kEdgeGrain,
+        [&](std::size_t lo, std::size_t hi) {
+          for (VertexId v = static_cast<VertexId>(lo);
+               v < static_cast<VertexId>(hi); ++v) {
+            if (in_deg[v] == 0) {
+              next[v] = temp[v];
+              continue;
+            }
+            float sum = 0.0f;
+            for (VertexId u : csc.neighbors(v)) sum += temp[u];
+            const float average = sum / static_cast<float>(in_deg[v]);
+            next[v] = temp[v] + alpha * (average - temp[v]);
+          }
+        });
     temp.swap(next);
   }
   return temp;

@@ -1,6 +1,10 @@
-// Serial reference implementations used as correctness oracles for
-// GraphReduce and every baseline framework. Straightforward textbook
-// algorithms — slow, obvious, and independent of the GAS machinery.
+// Reference implementations used as correctness oracles for GraphReduce
+// and every baseline framework. Straightforward textbook algorithms,
+// independent of the GAS machinery. The embarrassingly parallel ones
+// (PageRank, SpMV, heat — disjoint per-destination writes with a serial
+// per-vertex reduction) run over the shared thread pool with
+// bitwise-identical results at any worker count; the order-dependent
+// ones (BFS queue, Dijkstra heap, union-find, peeling) stay serial.
 #pragma once
 
 #include <cstdint>

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -30,8 +31,10 @@
 #include "baselines/cpusim/cpu_model.hpp"
 #include "core/algorithms/algorithms.hpp"
 #include "core/gas.hpp"
+#include "core/parallel.hpp"
 #include "graph/edge_list.hpp"
 #include "util/common.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gr::baselines::xstream {
 
@@ -125,24 +128,39 @@ class Engine {
         }
       }
       // --- gather/apply: stream updates, apply per destination ---
+      // Each vertex owns state_[v]/next[v]/has_update[v] exclusively, so
+      // the apply loop runs over pool blocks; the changed count is a
+      // relaxed integer add (commutative — exact at any worker count).
+      // The scatter loop above must stay serial: its float reduction into
+      // acc[dst] is edge-order dependent.
       const core::IterationContext ctx{iter + 1};
-      std::uint64_t changed = 0;
-      for (graph::VertexId v = 0; v < n; ++v) {
-        // Dense algorithms (PageRank) apply every vertex each round; a
-        // vertex with no incoming updates gets the identity aggregate.
-        if (!has_update[v] && !options_.dense) continue;
-        GatherResult r{};
-        if constexpr (P::has_gather) {
-          r = has_update[v] ? acc[v] : P::gather_identity();
-        } else {
-          if (!has_update[v]) continue;  // ping-driven only
-        }
-        if (P::apply(state_[v], r, ctx)) {
-          next[v] = 1;
-          ++changed;
-        }
-        has_update[v] = 0;
-      }
+      std::atomic<std::uint64_t> changed_total{0};
+      util::parallel_for_blocks(
+          0, n, core::kVertexGrain, [&](std::size_t lo, std::size_t hi) {
+            std::uint64_t changed_block = 0;
+            for (graph::VertexId v = static_cast<graph::VertexId>(lo);
+                 v < static_cast<graph::VertexId>(hi); ++v) {
+              // Dense algorithms (PageRank) apply every vertex each
+              // round; a vertex with no incoming updates gets the
+              // identity aggregate.
+              if (!has_update[v] && !options_.dense) continue;
+              GatherResult r{};
+              if constexpr (P::has_gather) {
+                r = has_update[v] ? acc[v] : P::gather_identity();
+              } else {
+                if (!has_update[v]) continue;  // ping-driven only
+              }
+              if (P::apply(state_[v], r, ctx)) {
+                next[v] = 1;
+                ++changed_block;
+              }
+              has_update[v] = 0;
+            }
+            changed_total.fetch_add(changed_block,
+                                    std::memory_order_relaxed);
+          });
+      const std::uint64_t changed =
+          changed_total.load(std::memory_order_relaxed);
 
       // Cost accounting (see file comment): full edge stream + updates.
       // The gather phase runs at the pace of its most loaded partition.

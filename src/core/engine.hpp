@@ -26,6 +26,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <functional>
 #include <memory>
@@ -35,11 +36,13 @@
 #include "core/frontier.hpp"
 #include "core/gas.hpp"
 #include "core/options.hpp"
+#include "core/parallel.hpp"
 #include "core/partition.hpp"
 #include "core/phase_plan.hpp"
 #include "graph/edge_list.hpp"
 #include "util/common.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 #include "vgpu/device.hpp"
 
 namespace gr::core {
@@ -192,6 +195,11 @@ Engine<P>::Engine(const graph::EdgeList& edges, ProgramInstance<P> instance,
   plan_ = make_phase_plan(P::has_gather, P::has_scatter, kHasEdgeState,
                           options_.phase_fusion);
   uses_in_edges_ = plan_.uses_in_edges();
+  // Size the shared functional-execution pool before any parallel work
+  // (partitioning below already uses it). Wall-clock only: results and
+  // simulated timings are identical for any thread count.
+  if (options_.threads != 0)
+    util::ThreadPool::set_shared_workers(options_.threads - 1);
   device_ = std::make_unique<vgpu::Device>(options_.device);
 
   plan_partitions(edges);
@@ -222,20 +230,27 @@ Engine<P>::Engine(const graph::EdgeList& edges, ProgramInstance<P> instance,
   }
   frontier_ = std::make_unique<FrontierManager>(graph_);
 
-  // Host masters.
+  // Host masters (disjoint per-slot writes: safe to initialize in
+  // parallel).
   const graph::VertexId n = edges.num_vertices();
   h_vertex_.resize(n);
-  for (graph::VertexId v = 0; v < n; ++v)
-    h_vertex_[v] = instance_.init_vertex(v);
+  util::parallel_for(0, n, kVertexGrain,
+                     [&](std::size_t v) {
+                       h_vertex_[v] = instance_.init_vertex(
+                           static_cast<graph::VertexId>(v));
+                     });
   if constexpr (kHasEdgeState) {
     h_edge_state_.resize(edges.num_edges());
-    for (const ShardTopology& shard : graph_.shards()) {
-      for (graph::EdgeId slot = 0; slot < shard.in_edge_count(); ++slot) {
-        const graph::EdgeId orig = shard.in_orig_edge[slot];
-        h_edge_state_[shard.canonical_base + slot] =
-            instance_.init_edge(edges.weight(orig));
-      }
-    }
+    util::parallel_for(
+        0, graph_.num_shards(), 1, [&](std::size_t p) {
+          const ShardTopology& shard = graph_.shard(
+              static_cast<std::uint32_t>(p));
+          for (graph::EdgeId slot = 0; slot < shard.in_edge_count(); ++slot) {
+            const graph::EdgeId orig = shard.in_orig_edge[slot];
+            h_edge_state_[shard.canonical_base + slot] =
+                instance_.init_edge(edges.weight(orig));
+          }
+        });
   }
   if constexpr (P::has_gather) {
     if (!options_.phase_fusion) h_gather_temp_.resize(edges.num_edges());
@@ -475,10 +490,17 @@ void Engine<P>::scatter_round_trip_pre(std::uint32_t p, Slot& slot) {
     const double gather_cost =
         static_cast<double>(out_m) * (sizeof(EdgeData) + sizeof(graph::EdgeId)) /
         options_.host_bandwidth;
+    // Each out-edge owns one staging slot, so the host-side gather runs
+    // over disjoint parallel blocks.
     dev.host_task(*slot.stream, gather_cost, [this, &slot, &shard, out_m] {
-      for (graph::EdgeId e = 0; e < out_m; ++e)
-        slot.staging_state[e] = h_edge_state_[shard.out_canonical_pos[e]];
-      std::fill_n(slot.staging_touched.begin(), out_m, std::uint8_t{0});
+      util::parallel_for_blocks(
+          0, out_m, kVertexGrain, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t e = lo; e < hi; ++e)
+              slot.staging_state[e] =
+                  h_edge_state_[shard.out_canonical_pos[e]];
+            std::fill(slot.staging_touched.begin() + lo,
+                      slot.staging_touched.begin() + hi, std::uint8_t{0});
+          });
     });
     dev.memcpy_h2d(*slot.stream, slot.scatter_state.data(),
                    slot.staging_state.data(), out_m * sizeof(EdgeData));
@@ -504,11 +526,18 @@ void Engine<P>::scatter_round_trip_post(std::uint32_t p, Slot& slot) {
         static_cast<double>(out_m) *
         (sizeof(EdgeData) + sizeof(graph::EdgeId) + 1) /
         options_.host_bandwidth;
+    // Canonical positions are unique per out-edge (each edge has exactly
+    // one CSR slot routing to its one CSC home), so routing writes are
+    // disjoint across parallel blocks.
     dev.host_task(*slot.stream, route_cost, [this, &slot, &shard, out_m] {
-      for (graph::EdgeId e = 0; e < out_m; ++e) {
-        if (slot.staging_touched[e])
-          h_edge_state_[shard.out_canonical_pos[e]] = slot.staging_state[e];
-      }
+      util::parallel_for_blocks(
+          0, out_m, kVertexGrain, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t e = lo; e < hi; ++e) {
+              if (slot.staging_touched[e])
+                h_edge_state_[shard.out_canonical_pos[e]] =
+                    slot.staging_state[e];
+            }
+          });
     });
   } else {
     (void)p;
@@ -545,15 +574,22 @@ void Engine<P>::enqueue_kernels(const Pass& pass, std::uint32_t p, Slot& slot,
             GatherResult* temp = slot.gather_temp.data();
             const VertexData* vv = d_vertex_.data();
             static constexpr EdgeData kNoState{};
-            for (graph::VertexId lv = 0; lv < iv.size(); ++lv) {
-              const graph::VertexId gv = iv.begin + lv;
-              if (!d_cur[gv]) continue;
-              for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e) {
-                temp[e] = P::gather_map(
-                    vv[src[e]], vv[gv],
-                    kHasEdgeState ? estate[e] : kNoState);
-              }
-            }
+            // Edge-centric: each vertex owns its temp[e] slots, so blocks
+            // split by edge weight write disjoint ranges.
+            parallel_for_weighted(
+                off, iv.size(), kEdgeGrain,
+                [&](std::size_t lo, std::size_t hi) {
+                  for (std::size_t lv = lo; lv < hi; ++lv) {
+                    const graph::VertexId gv =
+                        iv.begin + static_cast<graph::VertexId>(lv);
+                    if (!d_cur[gv]) continue;
+                    for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e) {
+                      temp[e] = P::gather_map(
+                          vv[src[e]], vv[gv],
+                          kHasEdgeState ? estate[e] : kNoState);
+                    }
+                  }
+                });
           });
         }
         break;
@@ -570,14 +606,22 @@ void Engine<P>::enqueue_kernels(const Pass& pass, std::uint32_t p, Slot& slot,
             const graph::EdgeId* off = slot.in_offsets.data();
             const GatherResult* temp = slot.gather_temp.data();
             GatherResult* out = d_gather_.data();
-            for (graph::VertexId lv = 0; lv < iv.size(); ++lv) {
-              const graph::VertexId gv = iv.begin + lv;
-              if (!d_cur[gv]) continue;
-              GatherResult acc = P::gather_identity();
-              for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e)
-                acc = P::gather_reduce(acc, temp[e]);
-              out[gv] = acc;
-            }
+            // Each vertex reduces its own temp slots in ascending edge
+            // order regardless of blocking, so floating-point reductions
+            // are bitwise identical at any worker count.
+            parallel_for_weighted(
+                off, iv.size(), kEdgeGrain,
+                [&](std::size_t lo, std::size_t hi) {
+                  for (std::size_t lv = lo; lv < hi; ++lv) {
+                    const graph::VertexId gv =
+                        iv.begin + static_cast<graph::VertexId>(lv);
+                    if (!d_cur[gv]) continue;
+                    GatherResult acc = P::gather_identity();
+                    for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e)
+                      acc = P::gather_reduce(acc, temp[e]);
+                    out[gv] = acc;
+                  }
+                });
           });
         }
         break;
@@ -593,16 +637,22 @@ void Engine<P>::enqueue_kernels(const Pass& pass, std::uint32_t p, Slot& slot,
           VertexData* vv = d_vertex_.data();
           std::uint8_t* changed = d_changed_.data();
           const IterationContext ctx{iteration};
-          for (graph::VertexId lv = 0; lv < iv.size(); ++lv) {
-            const graph::VertexId gv = iv.begin + lv;
-            if (!d_cur[gv]) continue;
-            GatherResult r{};
-            if constexpr (P::has_gather) r = d_gather_[gv];
-            bool ch = P::apply(vv[gv], r, ctx);
-            // The seed frontier always propagates (iteration 0).
-            if (iteration == 0) ch = true;
-            changed[gv] = ch ? 1 : 0;
-          }
+          // Vertex-centric with only per-vertex writes: uniform blocks.
+          util::parallel_for_blocks(
+              0, iv.size(), kVertexGrain,
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t lv = lo; lv < hi; ++lv) {
+                  const graph::VertexId gv =
+                      iv.begin + static_cast<graph::VertexId>(lv);
+                  if (!d_cur[gv]) continue;
+                  GatherResult r{};
+                  if constexpr (P::has_gather) r = d_gather_[gv];
+                  bool ch = P::apply(vv[gv], r, ctx);
+                  // The seed frontier always propagates (iteration 0).
+                  if (iteration == 0) ch = true;
+                  changed[gv] = ch ? 1 : 0;
+                }
+              });
         });
         break;
       }
@@ -619,14 +669,21 @@ void Engine<P>::enqueue_kernels(const Pass& pass, std::uint32_t p, Slot& slot,
             std::uint8_t* touched = slot.scatter_touched.data();
             const VertexData* vv = d_vertex_.data();
             const std::uint8_t* changed = d_changed_.data();
-            for (graph::VertexId lv = 0; lv < iv.size(); ++lv) {
-              const graph::VertexId gv = iv.begin + lv;
-              if (!changed[gv]) continue;
-              for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e) {
-                P::scatter(vv[gv], state[e]);
-                touched[e] = 1;
-              }
-            }
+            // Each vertex owns its out-edge state/touched slots: blocks
+            // split by out-edge weight write disjoint ranges.
+            parallel_for_weighted(
+                off, iv.size(), kEdgeGrain,
+                [&](std::size_t lo, std::size_t hi) {
+                  for (std::size_t lv = lo; lv < hi; ++lv) {
+                    const graph::VertexId gv =
+                        iv.begin + static_cast<graph::VertexId>(lv);
+                    if (!changed[gv]) continue;
+                    for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e) {
+                      P::scatter(vv[gv], state[e]);
+                      touched[e] = 1;
+                    }
+                  }
+                });
           });
         }
         break;
@@ -642,12 +699,22 @@ void Engine<P>::enqueue_kernels(const Pass& pass, std::uint32_t p, Slot& slot,
           const graph::EdgeId* off = slot.out_offsets.data();
           const graph::VertexId* dst = slot.out_dst.data();
           const std::uint8_t* changed = d_changed_.data();
-          for (graph::VertexId lv = 0; lv < iv.size(); ++lv) {
-            const graph::VertexId gv = iv.begin + lv;
-            if (!changed[gv]) continue;
-            for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e)
-              d_next[dst[e]] = 1;
-          }
+          // Destination bits are shared across blocks; the store is
+          // idempotent (always 1) but must be a relaxed atomic so
+          // concurrent activations of one vertex are race-free. The
+          // final bitmap is identical at any worker count.
+          parallel_for_weighted(
+              off, iv.size(), kEdgeGrain,
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t lv = lo; lv < hi; ++lv) {
+                  const graph::VertexId gv =
+                      iv.begin + static_cast<graph::VertexId>(lv);
+                  if (!changed[gv]) continue;
+                  for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e)
+                    std::atomic_ref<std::uint8_t>(d_next[dst[e]])
+                        .store(1, std::memory_order_relaxed);
+                }
+              });
         });
       } break;
     }
@@ -725,8 +792,11 @@ void Engine<P>::run_iteration(std::uint32_t iteration, RunReport& report) {
     std::uint8_t* next = frontier_next_device();
     std::uint8_t* changed = d_changed_.data();
     dev.launch(dev.default_stream(), cost, [next, changed, n] {
-      std::memset(next, 0, n);
-      std::memset(changed, 0, n);
+      util::parallel_for_blocks(
+          0, n, std::size_t{1} << 20, [&](std::size_t lo, std::size_t hi) {
+            std::memset(next + lo, 0, hi - lo);
+            std::memset(changed + lo, 0, hi - lo);
+          });
     });
     dev.synchronize();
   }

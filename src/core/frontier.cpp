@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/common.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gr::core {
 
@@ -37,22 +38,29 @@ void FrontierManager::activate_set(
 }
 
 void FrontierManager::refresh() {
-  std::fill(shard_active_.begin(), shard_active_.end(), 0);
-  std::fill(shard_in_edges_.begin(), shard_in_edges_.end(), 0);
-  std::fill(shard_out_edges_.begin(), shard_out_edges_.end(), 0);
-  total_active_ = 0;
   const auto in_deg = graph_.in_degrees();
   const auto out_deg = graph_.out_degrees();
-  for (std::uint32_t p = 0; p < graph_.num_shards(); ++p) {
-    const Interval iv = graph_.shard(p).interval;
+  // Per-shard scans write only their own aggregate slots, so shards scan
+  // in parallel; the cross-shard total is reduced serially afterwards
+  // (integer sums: identical at any worker count).
+  util::parallel_for(0, graph_.num_shards(), 1, [&](std::size_t p) {
+    const Interval iv = graph_.shard(static_cast<std::uint32_t>(p)).interval;
+    std::uint64_t active = 0;
+    std::uint64_t in_edges = 0;
+    std::uint64_t out_edges = 0;
     for (graph::VertexId v = iv.begin; v < iv.end; ++v) {
       if (!current_[v]) continue;
-      ++shard_active_[p];
-      shard_in_edges_[p] += in_deg[v];
-      shard_out_edges_[p] += out_deg[v];
+      ++active;
+      in_edges += in_deg[v];
+      out_edges += out_deg[v];
     }
+    shard_active_[p] = active;
+    shard_in_edges_[p] = in_edges;
+    shard_out_edges_[p] = out_edges;
+  });
+  total_active_ = 0;
+  for (std::uint32_t p = 0; p < graph_.num_shards(); ++p)
     total_active_ += shard_active_[p];
-  }
 }
 
 std::uint64_t FrontierManager::advance() {

@@ -41,6 +41,12 @@ struct EngineOptions {
   /// Iteration cap; 0 = the algorithm's default.
   std::uint32_t max_iterations = 0;
 
+  /// Host threads for the parallel functional backend (wall-clock only —
+  /// results and simulated timings are bitwise identical for any value).
+  /// 0 = leave the shared pool at its default (hardware concurrency);
+  /// N = exactly N threads (the caller plus N-1 pool workers; 1 = serial).
+  std::uint32_t threads = 0;
+
   /// Host memory bandwidth used to charge scatter-update routing and
   /// other host-side work (B/s).
   double host_bandwidth = 8.0e9;

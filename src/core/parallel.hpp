@@ -1,0 +1,75 @@
+// Deterministic work decomposition for the parallel functional backend.
+//
+// Vertex-centric kernel loops must not be split by raw vertex count: a
+// power-law shard can hold one hub vertex whose edge list is as large as
+// the rest of the shard combined, which would serialize an entire block
+// behind it. parallel_for_weighted splits a local vertex range by the
+// shard's edge-offset prefix sums instead, so every block carries about
+// the same number of edges (+1 per vertex to bound the vertex-side work).
+//
+// Block boundaries are a pure function of the offsets and the grain —
+// never of the worker count — preserving the backend's bitwise
+// determinism contract (util/thread_pool.hpp).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "graph/types.hpp"
+#include "util/common.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gr::core {
+
+/// Default grain for edge-weighted kernel loops (edges + vertices per
+/// block): small enough to balance skewed shards, large enough that the
+/// per-block dispatch cost is noise.
+inline constexpr graph::EdgeId kEdgeGrain = 8192;
+
+/// Default grain for uniform per-vertex loops (apply, staging copies).
+inline constexpr std::size_t kVertexGrain = 4096;
+
+/// Runs body(lo, hi) over contiguous blocks of the local vertex range
+/// [0, n) where `off` is the shard's (n+1)-entry edge-offset prefix sum.
+/// Each block holds ~grain combined weight, with vertex v weighing
+/// (off[v+1] - off[v]) + 1. Deterministic: boundaries depend only on the
+/// offsets and grain; body writes must be disjoint across blocks.
+template <typename Body>
+void parallel_for_weighted(const graph::EdgeId* off, std::size_t n,
+                           graph::EdgeId grain, Body&& body) {
+  if (n == 0) return;
+  GR_CHECK(grain > 0);
+  // Combined prefix weight W(v) = (off[v] - off[0]) + v is strictly
+  // increasing, so block boundaries are binary-searchable.
+  const graph::EdgeId base = off[0];
+  const graph::EdgeId total = (off[n] - base) + n;
+  util::ThreadPool& pool = util::ThreadPool::shared();
+  if (pool.worker_count() == 0 || total <= grain) {
+    body(std::size_t{0}, n);
+    return;
+  }
+  const std::size_t blocks =
+      static_cast<std::size_t>(util::ceil_div(total, grain));
+  auto boundary = [off, base, n, grain](std::size_t b) -> std::size_t {
+    const graph::EdgeId target = static_cast<graph::EdgeId>(b) * grain;
+    // Smallest v in [0, n] with W(v) >= target.
+    std::size_t lo = 0;
+    std::size_t hi = n;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      const graph::EdgeId w = (off[mid] - base) + mid;
+      if (w < target)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
+  };
+  pool.run_blocks(blocks, [&](std::size_t b) {
+    const std::size_t lo = boundary(b);
+    const std::size_t hi = b + 1 == blocks ? n : boundary(b + 1);
+    if (lo < hi) body(lo, hi);
+  });
+}
+
+}  // namespace gr::core

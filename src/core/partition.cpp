@@ -1,15 +1,68 @@
 #include "core/partition.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 
 #include "util/common.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gr::core {
 
 using graph::EdgeId;
 using graph::VertexId;
+
+namespace {
+
+/// Edge-block width for the deterministic parallel grouping below; fixed
+/// (independent of worker count) so block-local histograms and write
+/// bases — and therefore the output layout — never depend on the pool.
+constexpr EdgeId kGroupBlock = EdgeId{1} << 16;
+
+/// Stable parallel grouping of edge indices by shard: returns the m edge
+/// indices ordered shard-major with the original edge order preserved
+/// within each shard, and fills `starts` with the P+1 group boundaries.
+/// Equivalent to a serial stable counting sort on shard_of_edge.
+std::vector<EdgeId> group_edges_by_shard(
+    const std::vector<std::uint32_t>& shard_of_edge, std::uint32_t partitions,
+    std::vector<EdgeId>& starts) {
+  const EdgeId m = shard_of_edge.size();
+  const std::size_t blocks =
+      m == 0 ? 0 : static_cast<std::size_t>(util::ceil_div(m, kGroupBlock));
+  // Per-block per-shard histograms (rows are block-owned: disjoint).
+  std::vector<EdgeId> hist(blocks * partitions, 0);
+  util::parallel_for(0, blocks, 1, [&](std::size_t b) {
+    EdgeId* h = hist.data() + b * partitions;
+    const EdgeId lo = static_cast<EdgeId>(b) * kGroupBlock;
+    const EdgeId hi = std::min(m, lo + kGroupBlock);
+    for (EdgeId i = lo; i < hi; ++i) ++h[shard_of_edge[i]];
+  });
+  // Exclusive scan, shard-major over blocks: hist[b][s] becomes block
+  // b's write base inside shard s's group.
+  starts.assign(partitions + 1, 0);
+  EdgeId run = 0;
+  for (std::uint32_t s = 0; s < partitions; ++s) {
+    starts[s] = run;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      EdgeId& cell = hist[b * partitions + s];
+      const EdgeId count = cell;
+      cell = run;
+      run += count;
+    }
+  }
+  starts[partitions] = run;
+  std::vector<EdgeId> grouped(m);
+  util::parallel_for(0, blocks, 1, [&](std::size_t b) {
+    EdgeId* cursor = hist.data() + b * partitions;  // block-owned row
+    const EdgeId lo = static_cast<EdgeId>(b) * kGroupBlock;
+    const EdgeId hi = std::min(m, lo + kGroupBlock);
+    for (EdgeId i = lo; i < hi; ++i) grouped[cursor[shard_of_edge[i]]++] = i;
+  });
+  return grouped;
+}
+
+}  // namespace
 
 std::uint64_t ShardTopology::in_topology_bytes() const {
   return in_offsets.size() * sizeof(EdgeId) +
@@ -66,15 +119,26 @@ PartitionedGraph PartitionedGraph::build(const graph::EdgeList& edges,
   out.num_edges_ = m;
   out.in_deg_.assign(n, 0);
   out.out_deg_.assign(n, 0);
-  for (const graph::Edge& e : edges.edges()) {
-    ++out.out_deg_[e.src];
-    ++out.in_deg_[e.dst];
-  }
+  // Degree histogram: relaxed atomic increments — integer addition is
+  // commutative, so the totals are exact at any worker count.
+  util::parallel_for_blocks(
+      0, m, std::size_t{1} << 14, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const graph::Edge& e = edges.edge(i);
+          std::atomic_ref<EdgeId>(out.out_deg_[e.src])
+              .fetch_add(1, std::memory_order_relaxed);
+          std::atomic_ref<EdgeId>(out.in_deg_[e.dst])
+              .fetch_add(1, std::memory_order_relaxed);
+        }
+      });
 
   // Interval selection on combined degree (paper: in- plus out-edges).
   std::vector<EdgeId> weights(n);
-  for (VertexId v = 0; v < n; ++v)
-    weights[v] = out.in_deg_[v] + out.out_deg_[v];
+  util::parallel_for_blocks(
+      0, n, std::size_t{1} << 14, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t v = lo; v < hi; ++v)
+          weights[v] = out.in_deg_[v] + out.out_deg_[v];
+      });
   out.boundaries_ = logic ? logic(weights, partitions)
                           : balanced_edge_cut(weights, partitions);
   GR_CHECK_MSG(out.boundaries_.size() == partitions + 1 &&
@@ -87,9 +151,14 @@ PartitionedGraph PartitionedGraph::build(const graph::EdgeList& edges,
     out.shards_[p].interval = {out.boundaries_[p], out.boundaries_[p + 1]};
   }
 
-  // --- layout: counting sort edges into per-shard CSC and CSR ---
-  // Pass 1: per-shard local offsets from degrees.
-  for (std::uint32_t p = 0; p < partitions; ++p) {
+  // --- layout: parallel counting sort of edges into per-shard CSC/CSR.
+  // Every stage decomposes work by shard or by fixed edge block, so the
+  // resulting layout is bitwise identical to the serial counting sort
+  // (stable: original edge order preserved within each vertex's group)
+  // at any worker count.
+
+  // Pass 1: per-shard local offsets from degrees (shards are disjoint).
+  util::parallel_for(0, partitions, 1, [&](std::size_t p) {
     ShardTopology& shard = out.shards_[p];
     const Interval iv = shard.interval;
     shard.in_offsets.assign(iv.size() + 1, 0);
@@ -106,7 +175,7 @@ PartitionedGraph PartitionedGraph::build(const graph::EdgeList& edges,
     shard.in_orig_edge.resize(shard.in_offsets.back());
     shard.out_dst.resize(shard.out_offsets.back());
     shard.out_canonical_pos.resize(shard.out_offsets.back());
-  }
+  });
 
   // Canonical bases: the global edge-state array is the concatenation of
   // shard CSC slices in shard order.
@@ -117,31 +186,60 @@ PartitionedGraph PartitionedGraph::build(const graph::EdgeList& edges,
   }
   GR_CHECK(base == m);
 
+  // Owning shard of each edge's endpoints (binary search on boundaries;
+  // disjoint per-edge writes).
+  std::vector<std::uint32_t> dst_shard(m);
+  std::vector<std::uint32_t> src_shard(m);
+  util::parallel_for_blocks(
+      0, m, std::size_t{1} << 14, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const graph::Edge& e = edges.edge(i);
+          dst_shard[i] = out.shard_of(e.dst);
+          src_shard[i] = out.shard_of(e.src);
+        }
+      });
+
   // Pass 2: scatter edges into CSC slots (fills canonical positions).
-  std::vector<EdgeId> in_cursor(n, 0);
+  // Stable grouping hands each shard its edges in original order; shards
+  // then fill their own arrays (and each edge's canonical_of_edge slot)
+  // independently.
+  std::vector<EdgeId> canonical_of_edge(m);
   {
-    std::vector<EdgeId> canonical_of_edge(m);
-    for (EdgeId i = 0; i < m; ++i) {
-      const graph::Edge& e = edges.edge(i);
-      const std::uint32_t p = out.shard_of(e.dst);
+    std::vector<EdgeId> in_starts;
+    const std::vector<EdgeId> grouped_in =
+        group_edges_by_shard(dst_shard, partitions, in_starts);
+    util::parallel_for(0, partitions, 1, [&](std::size_t p) {
       ShardTopology& shard = out.shards_[p];
-      const VertexId local = e.dst - shard.interval.begin;
-      const EdgeId slot = shard.in_offsets[local] + in_cursor[e.dst]++;
-      shard.in_src[slot] = e.src;
-      shard.in_orig_edge[slot] = i;
-      canonical_of_edge[i] = shard.canonical_base + slot;
-    }
-    // Pass 3: scatter edges into CSR slots with routed canonical refs.
-    std::vector<EdgeId> out_cursor(n, 0);
-    for (EdgeId i = 0; i < m; ++i) {
-      const graph::Edge& e = edges.edge(i);
-      const std::uint32_t p = out.shard_of(e.src);
+      std::vector<EdgeId> cursor(shard.interval.size(), 0);
+      for (EdgeId k = in_starts[p]; k < in_starts[p + 1]; ++k) {
+        const EdgeId i = grouped_in[k];
+        const graph::Edge& e = edges.edge(i);
+        const VertexId local = e.dst - shard.interval.begin;
+        const EdgeId slot = shard.in_offsets[local] + cursor[local]++;
+        shard.in_src[slot] = e.src;
+        shard.in_orig_edge[slot] = i;
+        canonical_of_edge[i] = shard.canonical_base + slot;
+      }
+    });
+  }
+  // Pass 3: scatter edges into CSR slots with routed canonical refs
+  // (needs every canonical position, hence the barrier between passes).
+  {
+    std::vector<EdgeId> out_starts;
+    const std::vector<EdgeId> grouped_out =
+        group_edges_by_shard(src_shard, partitions, out_starts);
+    util::parallel_for(0, partitions, 1, [&](std::size_t p) {
       ShardTopology& shard = out.shards_[p];
-      const VertexId local = e.src - shard.interval.begin;
-      const EdgeId slot = shard.out_offsets[local] + out_cursor[e.src]++;
-      shard.out_dst[slot] = e.dst;
-      shard.out_canonical_pos[slot] = canonical_of_edge[i];
-    }
+      std::vector<EdgeId> cursor(shard.interval.size(), 0);
+      for (EdgeId k = out_starts[p]; k < out_starts[p + 1]; ++k) {
+        const EdgeId i = grouped_out[k];
+        const graph::Edge& e = edges.edge(i);
+        const VertexId local = e.src - shard.interval.begin;
+        const EdgeId slot = shard.out_offsets[local] + cursor[local]++;
+        shard.out_dst[slot] = e.dst;
+        shard.out_canonical_pos[slot] = canonical_of_edge[i];
+      }
+    });
   }
   return out;
 }

@@ -27,6 +27,12 @@ Cli& Cli::flag(const std::string& name, std::int64_t* out,
   return *this;
 }
 
+Cli& Cli::flag(const std::string& name, std::uint32_t* out,
+               const std::string& help) {
+  add(name, Kind::kUint32, out, help, std::to_string(*out));
+  return *this;
+}
+
 Cli& Cli::flag(const std::string& name, double* out, const std::string& help) {
   add(name, Kind::kDouble, out, help, format_fixed(*out, 4));
   return *this;
@@ -50,6 +56,19 @@ void Cli::assign(const std::string& name, Flag& flag,
                    "flag --" << name << " expects an integer, got '" << value
                              << "'");
       *static_cast<std::int64_t*>(flag.target) = v;
+      return;
+    }
+    case Kind::kUint32: {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+      GR_CHECK_MSG(end && *end == '\0' && !value.empty() &&
+                       value[0] != '-' && v <= 0xffffffffull,
+                   "flag --" << name
+                             << " expects a non-negative 32-bit integer, "
+                                "got '"
+                             << value << "'");
+      *static_cast<std::uint32_t*>(flag.target) =
+          static_cast<std::uint32_t>(v);
       return;
     }
     case Kind::kDouble: {

@@ -21,6 +21,8 @@ class Cli {
             const std::string& help);
   Cli& flag(const std::string& name, std::int64_t* out,
             const std::string& help);
+  Cli& flag(const std::string& name, std::uint32_t* out,
+            const std::string& help);
   Cli& flag(const std::string& name, double* out, const std::string& help);
   Cli& flag(const std::string& name, bool* out, const std::string& help);
 
@@ -32,7 +34,7 @@ class Cli {
   std::string usage() const;
 
  private:
-  enum class Kind { kString, kInt, kDouble, kBool };
+  enum class Kind { kString, kInt, kUint32, kDouble, kBool };
   struct Flag {
     Kind kind;
     void* target;

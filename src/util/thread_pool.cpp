@@ -1,16 +1,42 @@
 #include "util/thread_pool.hpp"
 
+#include <memory>
+
 namespace gr::util {
 
+namespace {
+
+/// Depth of run_blocks block execution on this thread. Non-zero means we
+/// are inside a block body (worker thread or participating caller); a
+/// nested run_blocks must then execute inline — dispatching to the pool
+/// from inside a batch would clobber the in-flight batch state and
+/// deadlock the outer caller.
+thread_local int tl_block_depth = 0;
+
+std::mutex& shared_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unique_ptr<ThreadPool>& shared_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+std::size_t auto_worker_count() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 1 ? hc - 1 : 0;
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t workers) {
-  if (workers == 0) {
-    const unsigned hc = std::thread::hardware_concurrency();
-    workers = hc > 1 ? hc - 1 : 0;
-  }
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i)
     threads_.emplace_back([this] { worker_loop(); });
 }
+
+ThreadPool::ThreadPool() : ThreadPool(auto_worker_count()) {}
 
 ThreadPool::~ThreadPool() {
   {
@@ -22,15 +48,29 @@ ThreadPool::~ThreadPool() {
 }
 
 ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool;
-  return pool;
+  std::lock_guard lock(shared_mutex());
+  if (!shared_slot()) shared_slot() = std::make_unique<ThreadPool>();
+  return *shared_slot();
+}
+
+void ThreadPool::set_shared_workers(std::size_t workers) {
+  std::lock_guard lock(shared_mutex());
+  auto& slot = shared_slot();
+  if (slot && slot->worker_count() == workers) return;
+  slot.reset();  // joins the old workers before the new pool exists
+  slot = std::make_unique<ThreadPool>(workers);
 }
 
 void ThreadPool::run_blocks(std::size_t blocks,
                             const std::function<void(std::size_t)>& fn) {
   if (blocks == 0) return;
-  if (threads_.empty()) {
+  // Inline paths: no workers, or nested invocation from inside a block
+  // (see tl_block_depth). Depth is still tracked so doubly-nested calls
+  // stay inline too.
+  if (threads_.empty() || tl_block_depth > 0) {
+    ++tl_block_depth;
     for (std::size_t b = 0; b < blocks; ++b) fn(b);
+    --tl_block_depth;
     return;
   }
   std::unique_lock lock(mutex_);
@@ -45,7 +85,9 @@ void ThreadPool::run_blocks(std::size_t blocks,
     if (next_block_ >= total_blocks_) break;
     const std::size_t block = next_block_++;
     lock.unlock();
+    ++tl_block_depth;
     fn(block);
+    --tl_block_depth;
     lock.lock();
     ++blocks_done_;
   }
@@ -66,7 +108,9 @@ void ThreadPool::worker_loop() {
     while (job_ == fn && fn != nullptr && next_block_ < total_blocks_) {
       const std::size_t block = next_block_++;
       lock.unlock();
+      ++tl_block_depth;
       (*fn)(block);
+      --tl_block_depth;
       lock.lock();
       if (++blocks_done_ == total_blocks_) done_cv_.notify_all();
     }

@@ -1,11 +1,26 @@
-// Shared worker pool and parallel_for used by the functional execution of
-// virtual-GPU kernels and by CPU baselines.
+// Shared worker pool and parallel_for: the parallel functional execution
+// backend. Call sites include the virtual-GPU kernel bodies and scatter
+// round trips (core/engine.hpp), the counting-sort shard layout
+// (core/partition.cpp), the frontier per-shard scans (core/frontier.cpp)
+// and the CPU baseline vertex loops (baselines/).
 //
-// On a single-core host the pool degenerates to inline execution with no
-// thread overhead; on multi-core hosts work is split into contiguous
-// blocks handed to persistent workers. Parallelism here affects only
-// real wall-clock speed of the functional simulation — simulated time is
-// always charged by the analytic models.
+// Parallelism here affects only real wall-clock speed of the functional
+// simulation — simulated time is always charged by the analytic models,
+// so RunReport timings are identical for any worker count.
+//
+// Contracts shared by run_blocks and parallel_for:
+//
+//  * Determinism: the mapping of loop indices to blocks depends only on
+//    the range and grain, never on the worker count or scheduling order.
+//    Callers guarantee block bodies write disjoint locations (or use
+//    relaxed atomics for idempotent/commutative updates), so results are
+//    bitwise identical whether the pool has 0 or N workers.
+//  * No-throw: bodies must not throw. A worker thread has no handler, so
+//    an escaping exception terminates the process (std::terminate).
+//  * Re-entrancy: calling run_blocks/parallel_for from inside a running
+//    block (nested parallelism) is safe — the nested call detects it is
+//    executing on a pool thread and falls back to inline serial
+//    execution instead of deadlocking on the batch state.
 #pragma once
 
 #include <condition_variable>
@@ -22,21 +37,33 @@ namespace gr::util {
 /// Fixed-size pool of persistent workers executing blocking task batches.
 class ThreadPool : NonCopyable {
  public:
-  /// Creates `workers` threads; 0 means hardware_concurrency - 1
-  /// (i.e. no extra threads on a single-core machine).
-  explicit ThreadPool(std::size_t workers = 0);
+  /// Creates exactly `workers` worker threads; 0 workers degrades every
+  /// batch to inline execution on the calling thread.
+  explicit ThreadPool(std::size_t workers);
+  /// Auto-sized pool: hardware_concurrency - 1 workers (no extra threads
+  /// on a single-core machine — the caller participates in every batch).
+  ThreadPool();
   ~ThreadPool();
 
   std::size_t worker_count() const { return threads_.size(); }
 
   /// Runs fn(block_index) for block_index in [0, blocks), distributing
-  /// blocks across callers + workers; returns when all blocks are done.
-  /// fn must be safe to invoke concurrently.
+  /// blocks across the caller + workers; returns when all blocks are
+  /// done. fn must be safe to invoke concurrently, must not throw, and
+  /// every block is executed exactly once (see the file-comment
+  /// contracts). When invoked from inside a block already running on a
+  /// pool (nested parallelism), blocks run inline on the calling thread.
   void run_blocks(std::size_t blocks,
                   const std::function<void(std::size_t)>& fn);
 
-  /// Process-wide shared pool (lazily constructed).
+  /// Process-wide shared pool (lazily constructed, auto-sized).
   static ThreadPool& shared();
+
+  /// Rebuilds the shared pool with exactly `workers` worker threads (the
+  /// engine's `threads` knob: total threads - 1). No-op if the pool
+  /// already has that size. Must not be called while shared-pool work is
+  /// in flight; intended for startup / bench sweeps / tests.
+  static void set_shared_workers(std::size_t workers);
 
  private:
   void worker_loop();
@@ -54,9 +81,9 @@ class ThreadPool : NonCopyable {
 };
 
 /// Parallel loop over [begin, end): splits into ~4x worker-count chunks of
-/// at least `grain` iterations and runs body(i) for each index. The body
-/// must not throw. Degrades to a serial loop when the range is small or
-/// the pool has no workers.
+/// at least `grain` iterations and runs body(i) for each index, following
+/// the determinism / no-throw / re-entrancy contracts above. Degrades to
+/// a serial loop when the range is small or the pool has no workers.
 template <typename Body>
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                   Body&& body) {
@@ -75,6 +102,32 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
     const std::size_t lo = begin + block * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+/// Block-wise variant: runs body(lo, hi) over contiguous sub-ranges of
+/// exactly `grain` iterations (last block may be short). Block boundaries
+/// depend only on the range and grain — never the worker count — so a
+/// body with disjoint per-index writes produces bitwise-identical results
+/// at any pool size. Prefer this over parallel_for when the per-index
+/// lambda call would dominate (tight copy/scan loops).
+template <typename Body>
+void parallel_for_blocks(std::size_t begin, std::size_t end,
+                         std::size_t grain, Body&& body) {
+  GR_CHECK(begin <= end);
+  GR_CHECK(grain > 0);
+  const std::size_t n = end - begin;
+  if (n == 0) return;
+  ThreadPool& pool = ThreadPool::shared();
+  if (pool.worker_count() == 0 || n <= grain) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t blocks = ceil_div(n, grain);
+  pool.run_blocks(blocks, [&](std::size_t block) {
+    const std::size_t lo = begin + block * grain;
+    const std::size_t hi = std::min(end, lo + grain);
+    body(lo, hi);
   });
 }
 

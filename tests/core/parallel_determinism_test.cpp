@@ -1,0 +1,151 @@
+// Bitwise determinism of the parallel functional backend: any worker
+// count must produce byte-identical results AND byte-identical
+// simulated-time reports. This is the contract documented in
+// util/thread_pool.hpp — disjoint block writes, deterministic block
+// boundaries, relaxed atomics only for idempotent/commutative updates.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "baselines/reference/serial.hpp"
+#include "core/algorithms/algorithms.hpp"
+#include "core/engine.hpp"
+#include "core/partition.hpp"
+#include "graph/generators.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gr::core {
+namespace {
+
+namespace ref = baselines::reference;
+using graph::EdgeList;
+using graph::VertexId;
+
+template <typename T>
+void expect_bitwise_equal(const std::vector<T>& a, const std::vector<T>& b,
+                          const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(T)))
+      << what << " differs between worker counts";
+}
+
+void expect_same_report(const RunReport& a, const RunReport& b) {
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+  // Simulated times must be bitwise equal, not merely close: the analytic
+  // models never see the host thread count.
+  EXPECT_EQ(0, std::memcmp(&a.total_seconds, &b.total_seconds,
+                           sizeof(double)));
+  EXPECT_EQ(0, std::memcmp(&a.memcpy_seconds, &b.memcpy_seconds,
+                           sizeof(double)));
+  EXPECT_EQ(0, std::memcmp(&a.kernel_seconds, &b.kernel_seconds,
+                           sizeof(double)));
+  EXPECT_EQ(a.bytes_h2d, b.bytes_h2d);
+  EXPECT_EQ(a.bytes_d2h, b.bytes_d2h);
+  EXPECT_EQ(a.kernels_launched, b.kernels_launched);
+  EXPECT_EQ(a.memcpy_ops, b.memcpy_ops);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].active_vertices, b.history[i].active_vertices);
+    EXPECT_EQ(a.history[i].shards_processed, b.history[i].shards_processed);
+    EXPECT_EQ(a.history[i].shards_skipped, b.history[i].shards_skipped);
+  }
+}
+
+EdgeList skewed_graph() {
+  // R-MAT: skewed degrees so edge-weighted grain splitting actually
+  // produces uneven vertex blocks.
+  EdgeList edges = graph::rmat(10, 12'000, 99);
+  edges.randomize_weights(1.0f, 32.0f, 1234);
+  return edges;
+}
+
+EngineOptions streaming_options(std::uint32_t threads) {
+  EngineOptions options;
+  options.device.global_memory_bytes = 256 * 1024;  // force sharding
+  options.threads = threads;
+  return options;
+}
+
+constexpr std::uint32_t kWorkerSweep[] = {1, 2, 4, 7};
+
+TEST(ParallelDeterminism, PageRankBitwiseIdenticalAcrossWorkerCounts) {
+  const EdgeList edges = skewed_graph();
+  const auto base = algo::run_pagerank(edges, 20, streaming_options(1));
+  for (std::uint32_t threads : kWorkerSweep) {
+    const auto run = algo::run_pagerank(edges, 20,
+                                        streaming_options(threads));
+    expect_bitwise_equal(base.rank, run.rank, "pagerank values");
+    expect_same_report(base.report, run.report);
+  }
+}
+
+TEST(ParallelDeterminism, BfsBitwiseIdenticalAcrossWorkerCounts) {
+  const EdgeList edges = skewed_graph();
+  const VertexId source = 1;
+  const auto base = algo::run_bfs(edges, source, streaming_options(1));
+  for (std::uint32_t threads : kWorkerSweep) {
+    const auto run = algo::run_bfs(edges, source, streaming_options(threads));
+    expect_bitwise_equal(base.depth, run.depth, "bfs depths");
+    expect_same_report(base.report, run.report);
+  }
+}
+
+TEST(ParallelDeterminism, SsspValuesAndEdgeStateIdentical) {
+  const EdgeList edges = skewed_graph();
+  const auto base = algo::run_sssp(edges, 1, streaming_options(1));
+  const auto wide = algo::run_sssp(edges, 1, streaming_options(6));
+  expect_bitwise_equal(base.distance, wide.distance, "sssp distances");
+  expect_same_report(base.report, wide.report);
+}
+
+TEST(ParallelDeterminism, PartitionLayoutIdenticalAcrossWorkerCounts) {
+  const EdgeList edges = skewed_graph();
+  util::ThreadPool::set_shared_workers(0);
+  const PartitionedGraph base = PartitionedGraph::build(edges, 7);
+  for (std::size_t workers : {1u, 3u, 6u}) {
+    util::ThreadPool::set_shared_workers(workers);
+    const PartitionedGraph par = PartitionedGraph::build(edges, 7);
+    ASSERT_EQ(base.num_shards(), par.num_shards());
+    for (std::uint32_t p = 0; p < base.num_shards(); ++p) {
+      const ShardTopology& a = base.shard(p);
+      const ShardTopology& b = par.shard(p);
+      EXPECT_EQ(a.interval.begin, b.interval.begin);
+      EXPECT_EQ(a.interval.end, b.interval.end);
+      EXPECT_EQ(a.canonical_base, b.canonical_base);
+      expect_bitwise_equal(a.in_offsets, b.in_offsets, "in_offsets");
+      expect_bitwise_equal(a.in_src, b.in_src, "in_src");
+      expect_bitwise_equal(a.in_orig_edge, b.in_orig_edge, "in_orig_edge");
+      expect_bitwise_equal(a.out_offsets, b.out_offsets, "out_offsets");
+      expect_bitwise_equal(a.out_dst, b.out_dst, "out_dst");
+      expect_bitwise_equal(a.out_canonical_pos, b.out_canonical_pos,
+                           "out_canonical_pos");
+    }
+    par.validate();
+  }
+  util::ThreadPool::set_shared_workers(2);
+}
+
+TEST(ParallelDeterminism, ReferenceBaselinesIdenticalAcrossWorkerCounts) {
+  const EdgeList edges = skewed_graph();
+  std::vector<float> x(edges.num_vertices());
+  for (VertexId v = 0; v < edges.num_vertices(); ++v)
+    x[v] = 0.25f + static_cast<float>(v % 17);
+
+  util::ThreadPool::set_shared_workers(0);
+  const auto pr_base = ref::pagerank(edges, 15);
+  const auto spmv_base = ref::spmv(edges, x);
+  const auto heat_base = ref::heat(edges, x, 10);
+
+  for (std::size_t workers : {2u, 5u}) {
+    util::ThreadPool::set_shared_workers(workers);
+    expect_bitwise_equal(pr_base, ref::pagerank(edges, 15), "ref pagerank");
+    expect_bitwise_equal(spmv_base, ref::spmv(edges, x), "ref spmv");
+    expect_bitwise_equal(heat_base, ref::heat(edges, x, 10), "ref heat");
+  }
+  util::ThreadPool::set_shared_workers(2);
+}
+
+}  // namespace
+}  // namespace gr::core

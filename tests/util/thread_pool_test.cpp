@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 namespace gr::util {
@@ -29,6 +32,45 @@ TEST(ThreadPool, ZeroWorkerPoolRunsInline) {
   std::vector<int> order;
   pool.run_blocks(5, [&](std::size_t b) { order.push_back(int(b)); });
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, NestedRunBlocksFallsBackInline) {
+  // A block body calling run_blocks on the same pool must not deadlock:
+  // the nested call detects it is inside a batch and runs inline.
+  ThreadPool pool(3);
+  std::atomic<int> inner_total{0};
+  std::vector<std::atomic<int>> outer_counts(8);
+  pool.run_blocks(8, [&](std::size_t b) {
+    outer_counts[b]++;
+    pool.run_blocks(5, [&](std::size_t) { inner_total++; });
+  });
+  for (const auto& c : outer_counts) EXPECT_EQ(c.load(), 1);
+  EXPECT_EQ(inner_total.load(), 8 * 5);
+}
+
+TEST(ThreadPool, DoublyNestedStaysInline) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.run_blocks(2, [&](std::size_t) {
+    pool.run_blocks(2, [&](std::size_t) {
+      pool.run_blocks(2, [&](std::size_t) { total++; });
+    });
+  });
+  EXPECT_EQ(total.load(), 8);
+}
+
+TEST(ThreadPool, SetSharedWorkersRebuildsThePool) {
+  ThreadPool::set_shared_workers(3);
+  EXPECT_EQ(ThreadPool::shared().worker_count(), 3u);
+  const ThreadPool* before = &ThreadPool::shared();
+  ThreadPool::set_shared_workers(3);  // same size: no rebuild
+  EXPECT_EQ(&ThreadPool::shared(), before);
+  ThreadPool::set_shared_workers(1);
+  EXPECT_EQ(ThreadPool::shared().worker_count(), 1u);
+  std::atomic<int> total{0};
+  ThreadPool::shared().run_blocks(10, [&](std::size_t) { total++; });
+  EXPECT_EQ(total.load(), 10);
+  ThreadPool::set_shared_workers(2);  // leave a parallel pool for later tests
 }
 
 TEST(ThreadPool, ReusableAcrossBatches) {
@@ -64,6 +106,39 @@ TEST(ParallelFor, SmallRangeRunsSerially) {
   std::vector<std::size_t> order;
   parallel_for(0, 4, 100, [&](std::size_t i) { order.push_back(i); });
   EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(ParallelFor, NestedInsideSharedPoolBatchDoesNotDeadlock) {
+  ThreadPool::set_shared_workers(3);
+  std::vector<std::atomic<int>> hits(64 * 16);
+  parallel_for(0, 64, 1, [&](std::size_t outer) {
+    parallel_for(0, 16, 1,
+                 [&](std::size_t inner) { hits[outer * 16 + inner]++; });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForBlocks, BlocksAreExactlyGrainSizedAndCoverTheRange) {
+  ThreadPool::set_shared_workers(3);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  parallel_for_blocks(10, 107, 25, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard lock(mu);
+    blocks.emplace_back(lo, hi);
+  });
+  std::sort(blocks.begin(), blocks.end());
+  const std::vector<std::pair<std::size_t, std::size_t>> expected = {
+      {10, 35}, {35, 60}, {60, 85}, {85, 107}};
+  EXPECT_EQ(blocks, expected);
+}
+
+TEST(ParallelForBlocks, SerialWhenRangeFitsOneGrain) {
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  parallel_for_blocks(3, 9, 100, [&](std::size_t lo, std::size_t hi) {
+    blocks.emplace_back(lo, hi);
+  });
+  EXPECT_EQ(blocks,
+            (std::vector<std::pair<std::size_t, std::size_t>>{{3, 9}}));
 }
 
 }  // namespace
