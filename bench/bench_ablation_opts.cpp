@@ -71,6 +71,8 @@ int main(int argc, char** argv) {
     row.push_back(util::format_bytes(bytes_off));
     table.add_row(row);
   }
-  bench::emit_table(table, csv);
+  bench::emit_table(table, csv,
+                    bench::BenchMeta{"ablation_opts",
+                                     bench::bench_engine_options()});
   return 0;
 }

@@ -88,6 +88,8 @@ int main(int argc, char** argv) {
                          "%"});
     }
   }
-  bench::emit_table(table, csv);
+  bench::emit_table(table, csv,
+                    bench::BenchMeta{"ablation_partition",
+                                     bench::bench_engine_options()});
   return 0;
 }

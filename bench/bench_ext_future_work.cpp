@@ -47,7 +47,9 @@ void totem_study(double scale, const std::string& csv) {
          util::format_fixed(gr.seconds, 4),
          util::format_fixed(totem.seconds / gr.seconds, 1) + "x"});
   }
-  bench::emit_table(table, csv);
+  bench::emit_table(table, csv,
+                    bench::BenchMeta{"ext_future_work",
+                                     bench::bench_engine_options()});
 }
 
 void multigpu_study(double scale) {

@@ -67,7 +67,8 @@ int main(int argc, char** argv) {
     panel_b.add_row(row);
   }
   panel_a.print(std::cout);
-  bench::emit_table(panel_b, csv);
+  bench::emit_table(panel_b, csv,
+                    bench::BenchMeta{"fig15_memcpy_opt", optimized});
   std::cout << "\nSummary (paper: average 51.5%, up to 78.8%): average "
             << util::format_fixed(improvements.mean(), 1) << "%, max "
             << util::format_fixed(improvements.max(), 1) << "%\n";

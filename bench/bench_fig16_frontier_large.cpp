@@ -42,6 +42,9 @@ int main(int argc, char** argv) {
                        std::to_string(trace[i])});
     }
   }
-  if (!csv.empty()) bench::emit_table(table, csv);
+  if (!csv.empty())
+    bench::emit_table(table, csv,
+                      bench::BenchMeta{"fig16_frontier_large",
+                                       bench::bench_engine_options()});
   return 0;
 }

@@ -42,6 +42,8 @@ int main(int argc, char** argv) {
     }
     table.add_row(row);
   }
-  bench::emit_table(table, csv);
+  bench::emit_table(table, csv,
+                    bench::BenchMeta{"fig17_frontier_cdf",
+                                     bench::bench_engine_options()});
   return 0;
 }

@@ -52,6 +52,9 @@ int main(int argc, char** argv) {
       table.add_row({c.label, std::to_string(i),
                      std::to_string(trace[i])});
   }
-  if (!csv.empty()) bench::emit_table(table, csv);
+  if (!csv.empty())
+    bench::emit_table(table, csv,
+                      bench::BenchMeta{"fig3_frontier",
+                                       bench::bench_engine_options()});
   return 0;
 }

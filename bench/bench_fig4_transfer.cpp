@@ -52,7 +52,8 @@ int main(int argc, char** argv) {
     }
     table.add_row(row);
   }
-  bench::emit_table(table, csv);
+  bench::emit_table(table, csv,
+                    bench::BenchMeta{"fig4_transfer", std::nullopt});
 
   // Functional cross-check of the explicit path on the virtual GPU:
   // a real (scaled-down) buffer goes through a simulated DMA transfer

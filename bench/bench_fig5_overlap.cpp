@@ -157,6 +157,7 @@ int main(int argc, char** argv) {
                    util::format_seconds(cc.seconds),
                    util::format_fixed(unopt.seconds / cc.seconds, 2) + "x"});
   }
-  gr::bench::emit_table(table, csv);
+  gr::bench::emit_table(table, csv,
+                        gr::bench::BenchMeta{"fig5_overlap", std::nullopt});
   return 0;
 }

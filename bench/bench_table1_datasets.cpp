@@ -40,7 +40,8 @@ int main(int argc, char** argv) {
                    util::format_bytes(bytes),
                    fits ? "GPU in-memory" : "GPU out-of-memory"});
   }
-  bench::emit_table(table, csv);
+  bench::emit_table(table, csv,
+                    bench::BenchMeta{"table1_datasets", std::nullopt});
 
   util::Table shape("Dataset family shape checks");
   shape.header({"Graph", "mean degree", "max degree", "eccentricity(src)"});

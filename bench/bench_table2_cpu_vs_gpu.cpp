@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
     table.add_row({name, bench::format_cell_millis(xs),
                    bench::format_cell_millis(cs), speedup});
   }
-  bench::emit_table(table, csv);
+  bench::emit_table(table, csv,
+                    bench::BenchMeta{"table2_cpu_vs_gpu", std::nullopt});
   return 0;
 }

@@ -77,7 +77,9 @@ int main(int argc, char** argv) {
     fig14.add_row(row_f14);
   }
 
-  bench::emit_table(table, csv);
+  bench::emit_table(table, csv,
+                    bench::BenchMeta{"table3_outofmem",
+                                     bench::bench_engine_options()});
   fig13.print(std::cout);
   fig14.print(std::cout);
 

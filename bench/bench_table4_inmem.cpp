@@ -44,6 +44,8 @@ int main(int argc, char** argv) {
     }
     table.add_row(row_mg).add_row(row_cs).add_row(row_gr);
   }
-  bench::emit_table(table, csv);
+  bench::emit_table(table, csv,
+                    bench::BenchMeta{"table4_inmem",
+                                     bench::bench_engine_options()});
   return 0;
 }

@@ -88,7 +88,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  bench::emit_table(table, csv);
+  bench::emit_table(table, csv,
+                    bench::BenchMeta{"wallclock_scaling",
+                                     bench::bench_engine_options()});
   if (!deterministic) {
     std::cout << "\nFAIL: results or simulated times varied with the "
                  "thread count\n";

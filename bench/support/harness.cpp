@@ -1,15 +1,16 @@
 #include "support/harness.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
-#include <span>
 
 #include "baselines/cusha/cusha.hpp"
 #include "baselines/graphchi/graphchi.hpp"
 #include "baselines/mapgraph/mapgraph.hpp"
 #include "baselines/xstream/xstream.hpp"
 #include "core/algorithms/algorithms.hpp"
+#include "core/engine/program_registry.hpp"
 #include "graph/datasets.hpp"
 #include "support/paper_programs.hpp"
 #include "util/format.hpp"
@@ -58,131 +59,29 @@ Cell run_graphreduce(Algo algo, const PreparedDataset& data,
 
 core::RunReport run_graphreduce_report(Algo algo, const PreparedDataset& data,
                                        core::EngineOptions options) {
-  // GraphReduce runs the paper-configured programs (float edge values on
-  // every algorithm, §6.1) so its shard traffic matches the paper's.
-  switch (algo) {
-    case Algo::kBfs: {
-      core::ProgramInstance<PaperBfs> instance;
-      const graph::VertexId source = data.source;
-      instance.init_vertex = [source](graph::VertexId v) {
-        return v == source ? 0u : PaperBfs::kUnreached;
-      };
-      instance.init_edge = [](float w) { return EdgeValue{w}; };
-      instance.frontier = core::InitialFrontier::single(source);
-      instance.default_max_iterations = data.edges.num_vertices() + 1;
-      core::Engine<PaperBfs> engine(data.edges, std::move(instance), options);
-      return engine.run();
-    }
-    case Algo::kSssp:
-      return algo::run_sssp(data.edges, data.source, options).report;
-    case Algo::kPageRank: {
-      const auto out_deg = data.edges.out_degrees();
-      core::ProgramInstance<PaperPageRank> instance;
-      instance.init_vertex = [&out_deg](graph::VertexId v) {
-        return algo::PageRank::Vertex{
-            1.0f,
-            out_deg[v] == 0 ? 0.0f : 1.0f / static_cast<float>(out_deg[v])};
-      };
-      instance.init_edge = [](float w) { return EdgeValue{w}; };
-      instance.frontier = core::InitialFrontier::all();
-      instance.default_max_iterations = kPageRankIterations;
-      core::Engine<PaperPageRank> engine(data.edges, std::move(instance),
-                                         options);
-      return engine.run();
-    }
-    case Algo::kCc: {
-      core::ProgramInstance<PaperCc> instance;
-      instance.init_vertex = [](graph::VertexId v) { return v; };
-      instance.init_edge = [](float w) { return EdgeValue{w}; };
-      instance.frontier = core::InitialFrontier::all();
-      instance.default_max_iterations = data.edges.num_vertices() + 1;
-      core::Engine<PaperCc> engine(data.edges, std::move(instance), options);
-      return engine.run();
-    }
-  }
-  GR_CHECK(false);
-  __builtin_unreachable();
+  return run_graphreduce_timed(algo, data, options).report;
 }
-
-namespace {
-
-std::uint64_t fnv1a(const void* data, std::size_t bytes,
-                    std::uint64_t h = 14695981039346656037ull) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-template <typename T>
-std::uint64_t hash_values(std::span<const T> values) {
-  return fnv1a(values.data(), values.size() * sizeof(T));
-}
-
-}  // namespace
 
 GrRun run_graphreduce_timed(Algo algo, const PreparedDataset& data,
                             core::EngineOptions options) {
-  // Mirrors run_graphreduce_report but keeps the engine alive to hash
+  // GraphReduce runs the paper-configured programs (float edge values on
+  // every algorithm, §6.1) so its shard traffic matches the paper's.
+  // Dispatch goes through the type-erased registry; the handle hashes
   // the final vertex values bitwise (determinism witness for the
   // wall-clock scaling bench).
+  register_paper_programs();
+  const core::ProgramHandle& program =
+      core::ProgramRegistry::global().at(paper_program_name(algo));
+  core::ProgramSpec spec;
+  spec.source = data.source;
   GrRun out;
   const auto t0 = std::chrono::steady_clock::now();
-  switch (algo) {
-    case Algo::kBfs: {
-      core::ProgramInstance<PaperBfs> instance;
-      const graph::VertexId source = data.source;
-      instance.init_vertex = [source](graph::VertexId v) {
-        return v == source ? 0u : PaperBfs::kUnreached;
-      };
-      instance.init_edge = [](float w) { return EdgeValue{w}; };
-      instance.frontier = core::InitialFrontier::single(source);
-      instance.default_max_iterations = data.edges.num_vertices() + 1;
-      core::Engine<PaperBfs> engine(data.edges, std::move(instance), options);
-      out.report = engine.run();
-      out.value_hash = hash_values(engine.vertex_values());
-      break;
-    }
-    case Algo::kSssp: {
-      const auto run = algo::run_sssp(data.edges, data.source, options);
-      out.report = run.report;
-      out.value_hash =
-          hash_values(std::span<const float>(run.distance));
-      break;
-    }
-    case Algo::kPageRank: {
-      const auto out_deg = data.edges.out_degrees();
-      core::ProgramInstance<PaperPageRank> instance;
-      instance.init_vertex = [&out_deg](graph::VertexId v) {
-        return algo::PageRank::Vertex{
-            1.0f,
-            out_deg[v] == 0 ? 0.0f : 1.0f / static_cast<float>(out_deg[v])};
-      };
-      instance.init_edge = [](float w) { return EdgeValue{w}; };
-      instance.frontier = core::InitialFrontier::all();
-      instance.default_max_iterations = kPageRankIterations;
-      core::Engine<PaperPageRank> engine(data.edges, std::move(instance),
-                                         options);
-      out.report = engine.run();
-      out.value_hash = hash_values(engine.vertex_values());
-      break;
-    }
-    case Algo::kCc: {
-      core::ProgramInstance<PaperCc> instance;
-      instance.init_vertex = [](graph::VertexId v) { return v; };
-      instance.init_edge = [](float w) { return EdgeValue{w}; };
-      instance.frontier = core::InitialFrontier::all();
-      instance.default_max_iterations = data.edges.num_vertices() + 1;
-      core::Engine<PaperCc> engine(data.edges, std::move(instance), options);
-      out.report = engine.run();
-      out.value_hash = hash_values(engine.vertex_values());
-      break;
-    }
-  }
+  const core::ProgramRunResult result =
+      program.run(data.edges, spec, options);
   const std::chrono::duration<double> wall =
       std::chrono::steady_clock::now() - t0;
+  out.report = result.report;
+  out.value_hash = result.value_hash;
   out.wall_seconds = wall.count();
   return out;
 }
@@ -300,6 +199,143 @@ void emit_table(const util::Table& table, const std::string& csv_path) {
   }
   table.write_csv(os);
   GR_LOG_INFO("wrote " << csv_path);
+}
+
+const char* build_git_sha() {
+#ifdef GR_GIT_SHA
+  return GR_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+const char* build_type() {
+#ifdef GR_BUILD_TYPE
+  return GR_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"' << json_escape(s) << '"';
+}
+
+void write_device_config(std::ostream& os, const vgpu::DeviceConfig& d) {
+  os << "{\n"
+     << "      \"name\": \"" << json_escape(d.name) << "\",\n"
+     << "      \"global_memory_bytes\": " << d.global_memory_bytes << ",\n"
+     << "      \"sm_count\": " << d.sm_count << ",\n"
+     << "      \"full_occupancy_threads\": " << d.full_occupancy_threads
+     << ",\n"
+     << "      \"flops\": " << d.flops << ",\n"
+     << "      \"mem_bandwidth\": " << d.mem_bandwidth << ",\n"
+     << "      \"random_access_efficiency\": " << d.random_access_efficiency
+     << ",\n"
+     << "      \"kernel_launch_latency\": " << d.kernel_launch_latency
+     << ",\n"
+     << "      \"min_kernel_rate\": " << d.min_kernel_rate << ",\n"
+     << "      \"max_concurrent_kernels\": " << d.max_concurrent_kernels
+     << ",\n"
+     << "      \"pcie_bandwidth\": " << d.pcie_bandwidth << ",\n"
+     << "      \"dma_efficiency\": " << d.dma_efficiency << ",\n"
+     << "      \"memcpy_setup_latency\": " << d.memcpy_setup_latency << ",\n"
+     << "      \"pageable_penalty\": " << d.pageable_penalty << "\n"
+     << "    }";
+}
+
+void write_engine_options(std::ostream& os, const core::EngineOptions& o) {
+  os << "{\n"
+     << "    \"async_spray\": " << (o.async_spray ? "true" : "false")
+     << ",\n"
+     << "    \"frontier_management\": "
+     << (o.frontier_management ? "true" : "false") << ",\n"
+     << "    \"phase_fusion\": " << (o.phase_fusion ? "true" : "false")
+     << ",\n"
+     << "    \"slots\": " << o.slots << ",\n"
+     << "    \"partitions\": " << o.partitions << ",\n"
+     << "    \"max_iterations\": " << o.max_iterations << ",\n"
+     << "    \"threads\": " << o.threads << ",\n"
+     << "    \"host_bandwidth\": " << o.host_bandwidth << ",\n"
+     << "    \"host_memory_bytes\": " << o.host_memory_bytes << ",\n"
+     << "    \"disk_bandwidth\": " << o.disk_bandwidth << ",\n"
+     << "    \"device\": ";
+  write_device_config(os, o.device);
+  os << "\n  }";
+}
+
+void write_row(std::ostream& os, const std::vector<std::string>& cells) {
+  os << '[';
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os << ", ";
+    write_json_string(os, cells[i]);
+  }
+  os << ']';
+}
+
+}  // namespace
+
+void emit_table(const util::Table& table, const std::string& csv_path,
+                const BenchMeta& meta) {
+  emit_table(table, csv_path);
+  if (meta.bench_name.empty()) {
+    GR_LOG_WARN("BenchMeta.bench_name empty; skipping JSON stamp");
+    return;
+  }
+  const std::string json_path = "BENCH_" + meta.bench_name + ".json";
+  std::ofstream os(json_path);
+  if (!os.good()) {
+    GR_LOG_WARN("cannot write " << json_path);
+    return;
+  }
+  os << "{\n"
+     << "  \"bench\": \"" << json_escape(meta.bench_name) << "\",\n"
+     << "  \"git_sha\": \"" << json_escape(build_git_sha()) << "\",\n"
+     << "  \"build_type\": \"" << json_escape(build_type()) << "\",\n";
+  os << "  \"engine_options\": ";
+  if (meta.options) {
+    write_engine_options(os, *meta.options);
+  } else {
+    os << "null";
+  }
+  os << ",\n";
+  os << "  \"table\": {\n"
+     << "    \"title\": \"" << json_escape(table.title()) << "\",\n"
+     << "    \"header\": ";
+  write_row(os, table.header_row());
+  os << ",\n    \"rows\": [\n";
+  const auto& rows = table.rows();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    os << "      ";
+    write_row(os, rows[i]);
+    os << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  os << "    ]\n  }\n}\n";
+  GR_LOG_INFO("wrote " << json_path);
 }
 
 }  // namespace gr::bench

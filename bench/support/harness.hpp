@@ -22,6 +22,10 @@ inline constexpr Algo kAllAlgos[] = {Algo::kBfs, Algo::kSssp,
 
 const char* algo_name(Algo algo);
 
+/// Name of the paper-configured program in the type-erased registry
+/// ("paper/bfs", ...); registered by register_paper_programs().
+const char* paper_program_name(Algo algo);
+
 /// PageRank iteration budget shared by every framework (the paper runs
 /// the same algorithm configuration across systems).
 inline constexpr std::uint32_t kPageRankIterations = 50;
@@ -79,5 +83,25 @@ std::string format_cell_millis(const Cell& cell);
 
 /// Prints the table and, when csv_path is non-empty, writes it as CSV.
 void emit_table(const util::Table& table, const std::string& csv_path);
+
+/// Provenance stamped into every BENCH_*.json result file so result
+/// trajectories stay attributable across commits: which bench, which
+/// commit and build type produced it, and the fully resolved engine
+/// configuration it ran with.
+struct BenchMeta {
+  std::string bench_name;  // file becomes BENCH_<bench_name>.json
+  /// Resolved engine options (including the DeviceConfig) the bench's
+  /// GraphReduce runs used; omit for benches that don't run the engine.
+  std::optional<core::EngineOptions> options;
+};
+
+/// Build-stamp accessors (configure-time values; "unknown" if absent).
+const char* build_git_sha();
+const char* build_type();
+
+/// emit_table plus a stamped JSON result file named
+/// BENCH_<meta.bench_name>.json in the working directory.
+void emit_table(const util::Table& table, const std::string& csv_path,
+                const BenchMeta& meta);
 
 }  // namespace gr::bench

@@ -1,0 +1,127 @@
+#include "support/paper_programs.hpp"
+
+#include <limits>
+
+#include "core/engine/register_gas.hpp"
+#include "support/harness.hpp"
+
+namespace gr::bench {
+
+namespace {
+
+core::GasRegistration<PaperBfs> paper_bfs_registration() {
+  core::GasRegistration<PaperBfs> reg;
+  reg.name = "paper/bfs";
+  reg.description = "BFS with float edge values (§6.1 configuration)";
+  reg.make_instance = [](const graph::EdgeList& edges,
+                         const core::ProgramSpec& spec) {
+    core::ProgramInstance<PaperBfs> instance;
+    const graph::VertexId source = spec.source;
+    instance.init_vertex = [source](graph::VertexId v) {
+      return v == source ? 0u : PaperBfs::kUnreached;
+    };
+    instance.init_edge = [](float w) { return EdgeValue{w}; };
+    instance.frontier = core::InitialFrontier::single(source);
+    instance.default_max_iterations = edges.num_vertices() + 1;
+    return instance;
+  };
+  reg.project = [](const PaperBfs::VertexData& depth) {
+    return static_cast<double>(depth);
+  };
+  return reg;
+}
+
+// The paper's SSSP already carries float weights as live edge state, so
+// the library program is the §6.1 configuration verbatim.
+core::GasRegistration<algo::Sssp> paper_sssp_registration() {
+  core::GasRegistration<algo::Sssp> reg;
+  reg.name = "paper/sssp";
+  reg.description = "SSSP over float weights (§6.1 configuration)";
+  reg.make_instance = [](const graph::EdgeList& edges,
+                         const core::ProgramSpec& spec) {
+    GR_CHECK_MSG(edges.has_weights(), "SSSP needs edge weights");
+    core::ProgramInstance<algo::Sssp> instance;
+    const graph::VertexId source = spec.source;
+    instance.init_vertex = [source](graph::VertexId v) {
+      return v == source ? 0.0f : std::numeric_limits<float>::infinity();
+    };
+    instance.init_edge = [](float w) { return algo::Sssp::Weight{w}; };
+    instance.frontier = core::InitialFrontier::single(source);
+    instance.default_max_iterations = edges.num_vertices() + 1;
+    return instance;
+  };
+  reg.project = [](const algo::Sssp::VertexData& dist) {
+    return static_cast<double>(dist);
+  };
+  return reg;
+}
+
+core::GasRegistration<PaperPageRank> paper_pagerank_registration() {
+  core::GasRegistration<PaperPageRank> reg;
+  reg.name = "paper/pagerank";
+  reg.description =
+      "PageRank with float edge values (§6.1 configuration, 50 iterations)";
+  reg.make_instance = [](const graph::EdgeList& edges,
+                         const core::ProgramSpec&) {
+    const auto out_deg = edges.out_degrees();
+    core::ProgramInstance<PaperPageRank> instance;
+    instance.init_vertex = [out_deg](graph::VertexId v) {
+      return algo::PageRank::Vertex{
+          1.0f,
+          out_deg[v] == 0 ? 0.0f : 1.0f / static_cast<float>(out_deg[v])};
+    };
+    instance.init_edge = [](float w) { return EdgeValue{w}; };
+    instance.frontier = core::InitialFrontier::all();
+    instance.default_max_iterations = kPageRankIterations;
+    return instance;
+  };
+  reg.project = [](const PaperPageRank::VertexData& v) {
+    return static_cast<double>(v.rank);
+  };
+  return reg;
+}
+
+core::GasRegistration<PaperCc> paper_cc_registration() {
+  core::GasRegistration<PaperCc> reg;
+  reg.name = "paper/cc";
+  reg.description =
+      "connected components with float edge values (§6.1 configuration)";
+  reg.make_instance = [](const graph::EdgeList& edges,
+                         const core::ProgramSpec&) {
+    core::ProgramInstance<PaperCc> instance;
+    instance.init_vertex = [](graph::VertexId v) { return v; };
+    instance.init_edge = [](float w) { return EdgeValue{w}; };
+    instance.frontier = core::InitialFrontier::all();
+    instance.default_max_iterations = edges.num_vertices() + 1;
+    return instance;
+  };
+  reg.project = [](const PaperCc::VertexData& label) {
+    return static_cast<double>(label);
+  };
+  return reg;
+}
+
+}  // namespace
+
+void register_paper_programs() {
+  static const bool once = [] {
+    core::register_gas_program(paper_bfs_registration());
+    core::register_gas_program(paper_sssp_registration());
+    core::register_gas_program(paper_pagerank_registration());
+    core::register_gas_program(paper_cc_registration());
+    return true;
+  }();
+  (void)once;
+}
+
+const char* paper_program_name(Algo algo) {
+  switch (algo) {
+    case Algo::kBfs: return "paper/bfs";
+    case Algo::kSssp: return "paper/sssp";
+    case Algo::kPageRank: return "paper/pagerank";
+    case Algo::kCc: return "paper/cc";
+  }
+  return "?";
+}
+
+}  // namespace gr::bench

@@ -16,6 +16,11 @@
 
 namespace gr::bench {
 
+/// Registers the four paper-configured programs with the type-erased
+/// registry under "paper/bfs", "paper/sssp", "paper/pagerank",
+/// "paper/cc" (paper_programs.cpp). Idempotent.
+void register_paper_programs();
+
 struct EdgeValue {
   float value;
 };

@@ -13,11 +13,13 @@
 //   scatter       (none — edge capacities are immutable)
 //
 // The engine handles sharding, transfers and frontier management; the
-// program below is the complete user-supplied code.
+// program below is the complete user-supplied code. Registering it with
+// the type-erased registry makes it runnable by name, exactly like the
+// built-in algorithms.
 #include <iostream>
 #include <limits>
 
-#include "core/engine.hpp"
+#include "core/engine/register_gas.hpp"
 #include "graph/generators.hpp"
 #include "util/format.hpp"
 
@@ -54,27 +56,46 @@ struct WidestPath {
   }
 };
 
+// One registration site makes the program selectable by name from any
+// dispatch that consults the registry (benches, tools, this example).
+void register_widest_path() {
+  core::GasRegistration<WidestPath> reg;
+  reg.name = "examples/widest_path";
+  reg.description = "maximum bottleneck capacity from spec.source";
+  reg.make_instance = [](const graph::EdgeList& edges,
+                         const core::ProgramSpec& spec) {
+    core::ProgramInstance<WidestPath> instance;
+    const graph::VertexId source = spec.source;
+    instance.init_vertex = [source](graph::VertexId v) {
+      return v == source ? std::numeric_limits<float>::infinity() : 0.0f;
+    };
+    instance.init_edge = [](float w) { return WidestPath::Capacity{w}; };
+    instance.frontier = core::InitialFrontier::single(source);
+    instance.default_max_iterations = edges.num_vertices();
+    return instance;
+  };
+  reg.project = [](const WidestPath::VertexData& capacity) {
+    return static_cast<double>(capacity);
+  };
+  core::register_gas_program(std::move(reg));
+}
+
 }  // namespace
 
 int main() {
   // A pipeline network: lattice of pipes with random capacities.
   graph::EdgeList pipes = graph::grid2d(48, 48);
   pipes.randomize_weights(1.0f, 100.0f, /*seed=*/5);
-  const graph::VertexId source = 0;
 
-  core::ProgramInstance<WidestPath> instance;
-  instance.init_vertex = [](graph::VertexId v) {
-    return v == source ? std::numeric_limits<float>::infinity() : 0.0f;
-  };
-  instance.init_edge = [](float w) { return WidestPath::Capacity{w}; };
-  instance.frontier = core::InitialFrontier::single(source);
-  instance.default_max_iterations = pipes.num_vertices();
+  register_widest_path();
+  core::ProgramSpec spec;
+  spec.source = 0;
+  const core::ProgramRunResult result =
+      core::ProgramRegistry::global().at("examples/widest_path")
+          .run(pipes, spec, core::EngineOptions{});
 
-  core::Engine<WidestPath> engine(pipes, std::move(instance));
-  const core::RunReport report = engine.run();
-
-  const auto capacity = engine.vertex_values();
-  float worst = std::numeric_limits<float>::infinity();
+  const auto& capacity = result.values;
+  double worst = std::numeric_limits<double>::infinity();
   double sum = 0.0;
   for (graph::VertexId v = 1; v < pipes.num_vertices(); ++v) {
     worst = std::min(worst, capacity[v]);
@@ -88,8 +109,9 @@ int main() {
             << "  average deliverable capacity "
             << gr::util::format_fixed(sum / (pipes.num_vertices() - 1), 1)
             << " units\n"
-            << "  converged in " << report.iterations << " iterations, "
-            << gr::util::format_seconds(report.total_seconds)
+            << "  converged in " << result.report.iterations
+            << " iterations, "
+            << gr::util::format_seconds(result.report.total_seconds)
             << " simulated\n";
   return 0;
 }

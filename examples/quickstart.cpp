@@ -3,13 +3,14 @@
 //
 //   $ ./quickstart
 //
-// This is the five-minute tour: an EdgeList in, a one-call algorithm
-// run, results and simulated-device statistics out.
+// This is the five-minute tour: an EdgeList in, a run of a registered
+// program selected by name, results and simulated-device statistics out.
 #include <algorithm>
 #include <iostream>
 #include <vector>
 
-#include "core/algorithms/algorithms.hpp"
+#include "core/algorithms/registry.hpp"
+#include "core/engine/program_registry.hpp"
 #include "graph/generators.hpp"
 #include "util/format.hpp"
 
@@ -22,22 +23,29 @@ int main() {
             << " vertices, " << util::format_count(web.num_edges())
             << " edges\n";
 
-  // Run 30 PageRank iterations on the (virtual) GPU. The engine decides
-  // by itself whether the graph fits device memory (resident mode) or
-  // must be sharded and streamed.
-  const algo::PageRankResult result = algo::run_pagerank(web, 30);
+  // Run 30 PageRank iterations on the (virtual) GPU through the
+  // type-erased program registry — select by name, no engine types at
+  // the call site. The engine decides by itself whether the graph fits
+  // device memory (resident mode) or must be sharded and streamed.
+  algo::register_builtin_programs();
+  const core::ProgramHandle& pagerank =
+      core::ProgramRegistry::global().at("pagerank");
+  core::ProgramSpec spec;
+  spec.max_iterations = 30;
+  const core::ProgramRunResult result =
+      pagerank.run(web, spec, core::EngineOptions{});
 
   // Top five pages by rank.
   std::vector<graph::VertexId> order(web.num_vertices());
   for (graph::VertexId v = 0; v < web.num_vertices(); ++v) order[v] = v;
   std::partial_sort(order.begin(), order.begin() + 5, order.end(),
                     [&](graph::VertexId a, graph::VertexId b) {
-                      return result.rank[a] > result.rank[b];
+                      return result.values[a] > result.values[b];
                     });
   std::cout << "\nTop pages by rank:\n";
   for (int i = 0; i < 5; ++i)
     std::cout << "  #" << i + 1 << "  vertex " << order[i] << "  rank "
-              << util::format_fixed(result.rank[order[i]], 3) << '\n';
+              << util::format_fixed(result.values[order[i]], 3) << '\n';
 
   const core::RunReport& report = result.report;
   std::cout << "\nEngine report:\n"

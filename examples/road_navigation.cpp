@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "core/algorithms/algorithms.hpp"
+#include "core/algorithms/registry.hpp"
+#include "core/engine/program_registry.hpp"
 #include "graph/generators.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
@@ -35,21 +37,29 @@ int main(int argc, char** argv) {
             << " junctions, " << util::format_count(roads.num_edges())
             << " road segments; depot = junction " << depot << "\n\n";
 
-  const algo::SsspResult sssp = algo::run_sssp(roads, depot);
-  const algo::BfsResult bfs = algo::run_bfs(roads, depot);
+  // Both traversals run through the type-erased program registry, seeded
+  // from ProgramSpec::source.
+  algo::register_builtin_programs();
+  const auto& registry = core::ProgramRegistry::global();
+  core::ProgramSpec spec;
+  spec.source = depot;
+  const core::ProgramRunResult sssp =
+      registry.at("sssp").run(roads, spec, core::EngineOptions{});
+  const core::ProgramRunResult bfs =
+      registry.at("bfs").run(roads, spec, core::EngineOptions{});
 
   // Reachability histogram by travel time.
   std::vector<std::uint64_t> buckets(7, 0);
   std::uint64_t unreachable = 0;
-  float max_time = 0.0f;
-  for (float t : sssp.distance) {
+  double max_time = 0.0;
+  for (double t : sssp.values) {
     if (std::isinf(t)) {
       ++unreachable;
       continue;
     }
     max_time = std::max(max_time, t);
   }
-  for (float t : sssp.distance) {
+  for (double t : sssp.values) {
     if (std::isinf(t)) continue;
     const auto b = static_cast<std::size_t>(
         std::min<double>(buckets.size() - 1,
@@ -71,8 +81,10 @@ int main(int argc, char** argv) {
 
   // Farthest reachable junction by hops.
   std::uint32_t max_hops = 0;
-  for (std::uint32_t d : bfs.depth)
+  for (double depth : bfs.values) {
+    const auto d = static_cast<std::uint32_t>(depth);
     if (d != algo::Bfs::kUnreached) max_hops = std::max(max_hops, d);
+  }
   std::cout << "\nNetwork span: " << max_hops << " hops ("
             << bfs.report.iterations << " BFS iterations)\n";
 

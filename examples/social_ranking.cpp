@@ -8,11 +8,13 @@
 // PageRank to find its influencers, then contrasts the streamed traffic
 // with the graph's size to show the frontier optimizations at work.
 #include <algorithm>
+#include <cstdint>
 #include <iostream>
 #include <map>
 #include <vector>
 
-#include "core/algorithms/algorithms.hpp"
+#include "core/algorithms/registry.hpp"
+#include "core/engine/program_registry.hpp"
 #include "graph/datasets.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
@@ -37,10 +39,17 @@ int main(int argc, char** argv) {
             << util::format_bytes(options.device.global_memory_bytes)
             << " device memory)\n\n";
 
+  // Both analyses run through the type-erased program registry — the
+  // same dispatch the benches use; no engine types at the call site.
+  algo::register_builtin_programs();
+  const auto& registry = core::ProgramRegistry::global();
+
   // --- communities ---
-  const algo::CcResult cc = algo::run_cc(network, options);
+  const core::ProgramRunResult cc =
+      registry.at("cc").run(network, core::ProgramSpec{}, options);
   std::map<std::uint32_t, std::uint64_t> community_sizes;
-  for (std::uint32_t label : cc.label) ++community_sizes[label];
+  for (double label : cc.values)
+    ++community_sizes[static_cast<std::uint32_t>(label)];
   std::vector<std::pair<std::uint64_t, std::uint32_t>> biggest;
   for (const auto& [label, size] : community_sizes)
     biggest.emplace_back(size, label);
@@ -55,18 +64,21 @@ int main(int argc, char** argv) {
             << util::format_seconds(cc.report.total_seconds) << " simulated\n";
 
   // --- influencers ---
-  const algo::PageRankResult pr = algo::run_pagerank(network, 30, options);
+  core::ProgramSpec pr_spec;
+  pr_spec.max_iterations = 30;
+  const core::ProgramRunResult pr =
+      registry.at("pagerank").run(network, pr_spec, options);
   std::vector<graph::VertexId> order(network.num_vertices());
   for (graph::VertexId v = 0; v < network.num_vertices(); ++v) order[v] = v;
   std::partial_sort(order.begin(), order.begin() + 3, order.end(),
                     [&](graph::VertexId a, graph::VertexId b) {
-                      return pr.rank[a] > pr.rank[b];
+                      return pr.values[a] > pr.values[b];
                     });
   std::cout << "\nTop influencers by PageRank:\n";
   const auto degrees = network.out_degrees();
   for (int i = 0; i < 3; ++i)
     std::cout << "  user " << order[i] << "  rank "
-              << util::format_fixed(pr.rank[order[i]], 2) << "  ("
+              << util::format_fixed(pr.values[order[i]], 2) << "  ("
               << degrees[order[i]] << " friends)\n";
 
   // --- what the out-of-memory machinery did ---

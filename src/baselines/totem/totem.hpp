@@ -24,7 +24,7 @@
 #include "baselines/common.hpp"
 #include "baselines/cpusim/cpu_model.hpp"
 #include "core/algorithms/algorithms.hpp"
-#include "core/engine.hpp"  // kReservedBytesPerEdge/Vertex
+#include "core/engine/footprint.hpp"  // kReservedBytesPerEdge/Vertex
 #include "core/gas.hpp"
 #include "graph/csr.hpp"
 #include "graph/edge_list.hpp"

@@ -1,0 +1,110 @@
+#include "core/algorithms/registry.hpp"
+
+#include <limits>
+
+#include "core/algorithms/algorithms.hpp"
+#include "core/engine/register_gas.hpp"
+
+namespace gr::algo {
+
+namespace {
+
+core::GasRegistration<Bfs> bfs_registration() {
+  core::GasRegistration<Bfs> reg;
+  reg.name = "bfs";
+  reg.description = "breadth-first search depths from spec.source";
+  reg.make_instance = [](const graph::EdgeList& edges,
+                         const core::ProgramSpec& spec) {
+    core::ProgramInstance<Bfs> instance;
+    const graph::VertexId source = spec.source;
+    instance.init_vertex = [source](graph::VertexId v) {
+      return v == source ? 0u : Bfs::kUnreached;
+    };
+    instance.frontier = core::InitialFrontier::single(source);
+    instance.default_max_iterations = edges.num_vertices() + 1;
+    return instance;
+  };
+  reg.project = [](const Bfs::VertexData& depth) {
+    return static_cast<double>(depth);
+  };
+  return reg;
+}
+
+core::GasRegistration<Sssp> sssp_registration() {
+  core::GasRegistration<Sssp> reg;
+  reg.name = "sssp";
+  reg.description =
+      "single-source shortest paths (weighted) from spec.source";
+  reg.make_instance = [](const graph::EdgeList& edges,
+                         const core::ProgramSpec& spec) {
+    GR_CHECK_MSG(edges.has_weights(), "SSSP needs edge weights");
+    core::ProgramInstance<Sssp> instance;
+    const graph::VertexId source = spec.source;
+    instance.init_vertex = [source](graph::VertexId v) {
+      return v == source ? 0.0f : std::numeric_limits<float>::infinity();
+    };
+    instance.init_edge = [](float w) { return Sssp::Weight{w}; };
+    instance.frontier = core::InitialFrontier::single(source);
+    instance.default_max_iterations = edges.num_vertices() + 1;
+    return instance;
+  };
+  reg.project = [](const Sssp::VertexData& dist) {
+    return static_cast<double>(dist);
+  };
+  return reg;
+}
+
+core::GasRegistration<PageRank> pagerank_registration() {
+  core::GasRegistration<PageRank> reg;
+  reg.name = "pagerank";
+  reg.description = "PageRank with per-vertex convergence (50 iterations "
+                    "by default)";
+  reg.make_instance = [](const graph::EdgeList& edges,
+                         const core::ProgramSpec&) {
+    const auto out_deg = edges.out_degrees();
+    core::ProgramInstance<PageRank> instance;
+    instance.init_vertex = [out_deg](graph::VertexId v) {
+      PageRank::Vertex data;
+      data.rank = 1.0f;
+      data.inv_out_degree =
+          out_deg[v] == 0 ? 0.0f : 1.0f / static_cast<float>(out_deg[v]);
+      return data;
+    };
+    instance.frontier = core::InitialFrontier::all();
+    instance.default_max_iterations = 50;
+    return instance;
+  };
+  reg.project = [](const PageRank::VertexData& v) {
+    return static_cast<double>(v.rank);
+  };
+  return reg;
+}
+
+core::GasRegistration<ConnectedComponents> cc_registration() {
+  core::GasRegistration<ConnectedComponents> reg;
+  reg.name = "cc";
+  reg.description = "connected components by min-label propagation";
+  reg.make_instance = [](const graph::EdgeList& edges,
+                         const core::ProgramSpec&) {
+    core::ProgramInstance<ConnectedComponents> instance;
+    instance.init_vertex = [](graph::VertexId v) { return v; };
+    instance.frontier = core::InitialFrontier::all();
+    instance.default_max_iterations = edges.num_vertices() + 1;
+    return instance;
+  };
+  reg.project = [](const ConnectedComponents::VertexData& label) {
+    return static_cast<double>(label);
+  };
+  return reg;
+}
+
+}  // namespace
+
+void register_builtin_programs() {
+  core::register_gas_program(bfs_registration());
+  core::register_gas_program(sssp_registration());
+  core::register_gas_program(pagerank_registration());
+  core::register_gas_program(cc_registration());
+}
+
+}  // namespace gr::algo

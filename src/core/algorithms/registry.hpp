@@ -1,0 +1,12 @@
+// Registration of the built-in algorithm library with the type-erased
+// program registry (core/engine/program_registry.hpp).
+#pragma once
+
+namespace gr::algo {
+
+/// Registers the paper's four evaluated algorithms under "bfs", "sssp",
+/// "pagerank", and "cc". Idempotent; call before looking any of them up
+/// in ProgramRegistry::global().
+void register_builtin_programs();
+
+}  // namespace gr::algo

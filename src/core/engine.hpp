@@ -1,63 +1,40 @@
 // The GraphReduce engine (paper §4): Partition Engine + Data Movement
 // Engine + Compute Engine wired together over the virtual GPU.
 //
-// Given a GAS program (core/gas.hpp) and an edge list, the engine
-//   1. plans P, the partition count, from device capacity via the
-//      paper's Eq. (1)/(2), builds load-balanced shards (partition.hpp),
-//      and decides between *resident* mode (every shard fits on the
-//      device simultaneously — the in-memory case of Table 4) and
-//      *streaming* mode (shards cycle through K device-resident slots);
-//   2. runs Bulk-Synchronous iterations, each a sequence of passes from
-//      the Phase Fusion Engine (phase_plan.hpp); every pass uploads each
-//      active shard's needed buffers, launches its kernels, and copies
-//      mutable outputs back;
-//   3. overlaps transfers and compute with per-slot CUDA-style streams,
-//      double buffering, and spray streams for deep copies (§5.1), skips
-//      inactive shards entirely via the Frontier Manager (§5.2), and
-//      scales kernel work to the active frontier (CTA load balancing).
+// Engine<P> is a thin typed shim over the layered runtime in
+// core/engine/:
 //
-// The hybrid programming model (§3.1) is visible in the kernel shapes:
-// gatherMap / scatter / frontierActivate are edge-centric (one logical
-// thread per edge), gatherReduce / apply are vertex-centric.
+//   * EngineCore (engine/engine_core.hpp) — the non-template driver:
+//     partition planning via Eq. (1)/(2), the resident-/streaming-mode
+//     decision, the slot ring + spray streams (§5.1), frontier-driven
+//     transfer culling (§5.2), BSP iteration scheduling, host-spill
+//     accounting (§8(2)), run reporting, and the ExecutionObserver seam.
+//   * TypedProgramState<P> (engine/typed_state.hpp) — host masters,
+//     typed device/slot buffers, and the shard upload/round-trip staging,
+//     plugged into EngineCore through the ProgramHooks interface.
+//   * The GAS kernel bodies (engine/kernels.hpp) — gatherMap / scatter /
+//     frontierActivate edge-centric, gatherReduce / apply vertex-centric
+//     (the hybrid model of §3.1).
 //
-// Kernels execute functionally against device-resident buffers — the
-// data a kernel reads really did travel through the simulated PCIe
-// transfers, so a forgotten upload is a test failure, not a timing bug.
+// Hooks fire in a fixed order per shard, so the op-issue sequence — and
+// with it every simulated timestamp — is independent of this layering.
+//
+// Programs can also be registered by name and run without naming their
+// types at the call site: see core/engine/program_registry.hpp.
 #pragma once
 
-#include <algorithm>
-#include <atomic>
-#include <cstring>
-#include <functional>
 #include <memory>
 #include <span>
-#include <vector>
 
-#include "core/frontier.hpp"
+#include "core/engine/engine_core.hpp"
+#include "core/engine/kernels.hpp"
+#include "core/engine/typed_state.hpp"
 #include "core/gas.hpp"
 #include "core/options.hpp"
-#include "core/parallel.hpp"
-#include "core/partition.hpp"
-#include "core/phase_plan.hpp"
 #include "graph/edge_list.hpp"
 #include "util/common.hpp"
-#include "util/log.hpp"
-#include "util/thread_pool.hpp"
-#include "vgpu/device.hpp"
 
 namespace gr::core {
-
-/// Runtime half of a program: initial state and frontier seed. The
-/// static half (types + device functions) lives in the program struct P.
-template <GasProgram P>
-struct ProgramInstance {
-  std::function<typename P::VertexData(graph::VertexId)> init_vertex;
-  /// Builds initial edge state from the input weight; required only when
-  /// EdgeData is non-empty.
-  std::function<typename P::EdgeData(float)> init_edge;
-  InitialFrontier frontier = InitialFrontier::all();
-  std::uint32_t default_max_iterations = 1000;
-};
 
 template <GasProgram P>
 class Engine : util::NonCopyable {
@@ -69,827 +46,54 @@ class Engine : util::NonCopyable {
   static constexpr bool kHasEdgeState = !std::is_empty_v<EdgeData>;
 
   Engine(const graph::EdgeList& edges, ProgramInstance<P> instance,
-         EngineOptions options = {});
+         EngineOptions options = {})
+      : core_(edges, TypedProgramState<P>::footprint(), options),
+        state_(core_, std::move(instance)) {
+    core_.initialize(edges, state_);
+    state_.init_host_masters(edges);
+  }
 
   /// Executes iterations to convergence (empty frontier) or the
   /// iteration cap; callable once per Engine.
-  RunReport run();
+  RunReport run() {
+    return core_.run(state_, state_.instance().frontier,
+                     state_.instance().default_max_iterations);
+  }
 
   /// Final vertex values (valid after run()).
-  std::span<const VertexData> vertex_values() const { return h_vertex_; }
+  std::span<const VertexData> vertex_values() const {
+    return state_.vertex_values();
+  }
   /// Final edge states in canonical (per-shard CSC) order.
-  std::span<const EdgeData> edge_values() const { return h_edge_state_; }
+  std::span<const EdgeData> edge_values() const {
+    return state_.edge_values();
+  }
   /// Edge state of original edge-list index i.
-  const EdgeData& edge_value(graph::EdgeId original_index) const;
+  const EdgeData& edge_value(graph::EdgeId original_index) const {
+    return state_.edge_value(original_index);
+  }
 
-  const PartitionedGraph& partitioned() const { return graph_; }
-  bool resident_mode() const { return resident_; }
-  std::uint32_t slots() const { return slots_; }
+  const PartitionedGraph& partitioned() const { return core_.graph(); }
+  bool resident_mode() const { return core_.resident_mode(); }
+  std::uint32_t slots() const { return core_.slots(); }
   /// The engine's virtual device (e.g. for timeline inspection when
   /// options.device.record_timeline is set).
-  const vgpu::Device& device() const { return *device_; }
+  const vgpu::Device& device() const { return core_.device(); }
+
+  /// The non-template runtime under this engine (partition plan,
+  /// frontier, slot ring) — also where observers attach.
+  EngineCore& core() { return core_; }
+  const EngineCore& core() const { return core_; }
+
+  /// Attaches an ExecutionObserver (see core/engine/observer.hpp); the
+  /// observer must outlive the run. Pass nullptr to detach.
+  void set_observer(ExecutionObserver* observer) {
+    core_.set_observer(observer);
+  }
 
  private:
-  // Streamed per-slot device buffers (one shard resident per slot).
-  struct Slot {
-    vgpu::DeviceBuffer<graph::EdgeId> in_offsets;
-    vgpu::DeviceBuffer<graph::VertexId> in_src;
-    vgpu::DeviceBuffer<EdgeData> in_state;
-    vgpu::DeviceBuffer<GatherResult> gather_temp;
-    vgpu::DeviceBuffer<graph::EdgeId> out_offsets;
-    vgpu::DeviceBuffer<graph::VertexId> out_dst;
-    vgpu::DeviceBuffer<graph::EdgeId> out_pos;
-    vgpu::DeviceBuffer<EdgeData> scatter_state;
-    vgpu::DeviceBuffer<std::uint8_t> scatter_touched;
-    // Host staging for the scatter round trip.
-    std::vector<EdgeData> staging_state;
-    std::vector<std::uint8_t> staging_touched;
-    vgpu::Stream* stream = nullptr;
-    vgpu::Event* free_event = nullptr;  // buffers reusable after this
-    // Resident mode: which buffer groups were already uploaded.
-    bool in_loaded = false;
-    bool out_loaded = false;
-    bool state_loaded = false;
-  };
-
-  struct ShardWork {
-    std::uint64_t active_vertices = 0;
-    std::uint64_t active_in_edges = 0;
-    std::uint64_t active_out_edges = 0;
-  };
-
-  void plan_partitions(const graph::EdgeList& edges);
-  void allocate_device_state();
-  void upload_static_state();
-  void run_iteration(std::uint32_t iteration, RunReport& report);
-  void process_pass(const Pass& pass, std::uint32_t iteration,
-                    std::span<const std::uint32_t> active_shards);
-  void upload_shard(const Pass& pass, std::uint32_t p, Slot& slot);
-  void enqueue_kernels(const Pass& pass, std::uint32_t p, Slot& slot,
-                       std::uint32_t iteration, const ShardWork& work);
-  void scatter_round_trip_pre(std::uint32_t p, Slot& slot);
-  void scatter_round_trip_post(std::uint32_t p, Slot& slot);
-  ShardWork shard_work(std::uint32_t p) const;
-  void copy_to_slot_buffer(Slot& slot, void* device_dst,
-                           const void* host_src, std::uint64_t bytes);
-
-  std::uint8_t* frontier_cur_device() {
-    return d_frontier_[frontier_flip_].data();
-  }
-  std::uint8_t* frontier_next_device() {
-    return d_frontier_[1 - frontier_flip_].data();
-  }
-
-  ProgramInstance<P> instance_;
-  EngineOptions options_;
-  PartitionedGraph graph_;
-  PhasePlan plan_;
-  bool uses_in_edges_ = false;
-
-  std::unique_ptr<vgpu::Device> device_;
-  std::unique_ptr<FrontierManager> frontier_;
-
-  // Host masters.
-  std::vector<VertexData> h_vertex_;
-  std::vector<EdgeData> h_edge_state_;       // canonical CSC order
-  std::vector<GatherResult> h_gather_temp_;  // unfused per-phase spill
-
-  // Static device state.
-  vgpu::DeviceBuffer<VertexData> d_vertex_;
-  vgpu::DeviceBuffer<GatherResult> d_gather_;
-  vgpu::DeviceBuffer<std::uint8_t> d_frontier_[2];
-  vgpu::DeviceBuffer<std::uint8_t> d_changed_;
-  int frontier_flip_ = 0;
-
-  std::vector<Slot> slots_state_;
-  std::vector<vgpu::Stream*> spray_streams_;
-  std::size_t spray_cursor_ = 0;
-
-  std::uint32_t partitions_ = 0;
-  std::uint32_t slots_ = 0;
-  bool resident_ = false;
-  double host_spill_fraction_ = 0.0;
-  std::uint32_t max_iterations_ = 0;
-  bool ran_ = false;
+  EngineCore core_;
+  TypedProgramState<P> state_;
 };
-
-// ---------------------------------------------------------------------
-// implementation
-// ---------------------------------------------------------------------
-
-namespace detail {
-/// Per-thread arithmetic charged for user functions (simple-op budget).
-inline constexpr double kUserFlops = 8.0;
-}  // namespace detail
-
-template <GasProgram P>
-Engine<P>::Engine(const graph::EdgeList& edges, ProgramInstance<P> instance,
-                  EngineOptions options)
-    : instance_(std::move(instance)), options_(options) {
-  GR_CHECK_MSG(edges.num_vertices() > 0, "empty graph");
-  GR_CHECK_MSG(instance_.init_vertex, "init_vertex is required");
-  if constexpr (kHasEdgeState) {
-    GR_CHECK_MSG(instance_.init_edge,
-                 "init_edge is required for programs with edge state");
-  }
-  plan_ = make_phase_plan(P::has_gather, P::has_scatter, kHasEdgeState,
-                          options_.phase_fusion);
-  uses_in_edges_ = plan_.uses_in_edges();
-  // Size the shared functional-execution pool before any parallel work
-  // (partitioning below already uses it). Wall-clock only: results and
-  // simulated timings are identical for any thread count.
-  if (options_.threads != 0)
-    util::ThreadPool::set_shared_workers(options_.threads - 1);
-  device_ = std::make_unique<vgpu::Device>(options_.device);
-
-  plan_partitions(edges);
-  // The planner assumes bounded shard imbalance; on very skewed graphs a
-  // max shard can exceed its slot budget, so grow P until buffers fit.
-  for (int attempt = 0;; ++attempt) {
-    graph_ = PartitionedGraph::build(edges, partitions_);
-    try {
-      allocate_device_state();
-      break;
-    } catch (const vgpu::DeviceOutOfMemory&) {
-      GR_CHECK_MSG(attempt < 16 && partitions_ < edges.num_vertices(),
-                   "cannot fit even single-vertex shards on the device");
-      slots_state_.clear();
-      spray_streams_.clear();
-      d_vertex_ = {};
-      d_gather_ = {};
-      d_frontier_[0] = {};
-      d_frontier_[1] = {};
-      d_changed_ = {};
-      partitions_ = std::min<std::uint32_t>(
-          edges.num_vertices(), partitions_ + partitions_ / 2 + 1);
-      slots_ = std::min<std::uint32_t>(slots_, partitions_);
-      if (resident_) slots_ = partitions_;
-      GR_LOG_DEBUG("slot allocation overflowed; retrying with P="
-                   << partitions_);
-    }
-  }
-  frontier_ = std::make_unique<FrontierManager>(graph_);
-
-  // Host masters (disjoint per-slot writes: safe to initialize in
-  // parallel).
-  const graph::VertexId n = edges.num_vertices();
-  h_vertex_.resize(n);
-  util::parallel_for(0, n, kVertexGrain,
-                     [&](std::size_t v) {
-                       h_vertex_[v] = instance_.init_vertex(
-                           static_cast<graph::VertexId>(v));
-                     });
-  if constexpr (kHasEdgeState) {
-    h_edge_state_.resize(edges.num_edges());
-    util::parallel_for(
-        0, graph_.num_shards(), 1, [&](std::size_t p) {
-          const ShardTopology& shard = graph_.shard(
-              static_cast<std::uint32_t>(p));
-          for (graph::EdgeId slot = 0; slot < shard.in_edge_count(); ++slot) {
-            const graph::EdgeId orig = shard.in_orig_edge[slot];
-            h_edge_state_[shard.canonical_base + slot] =
-                instance_.init_edge(edges.weight(orig));
-          }
-        });
-  }
-  if constexpr (P::has_gather) {
-    if (!options_.phase_fusion) h_gather_temp_.resize(edges.num_edges());
-  }
-
-  max_iterations_ = options_.max_iterations != 0
-                        ? options_.max_iterations
-                        : instance_.default_max_iterations;
-}
-
-// Conservative per-edge/vertex reservation used for partition sizing and
-// the in-/out-of-memory decision. This matches the paper's Table 1
-// footprint (~54 B/edge: CSC+CSR records with inline values, gather
-// temporaries and update arrays) rather than the lean post-elimination
-// buffer set a particular program actually streams — the runtime must
-// budget for every GAS phase up front (Eq. (1)/(2)).
-inline constexpr double kReservedBytesPerEdge = 54.0;
-inline constexpr double kReservedBytesPerVertex = 16.0;
-
-template <GasProgram P>
-void Engine<P>::plan_partitions(const graph::EdgeList& edges) {
-  const graph::VertexId n = edges.num_vertices();
-  const graph::EdgeId m = edges.num_edges();
-
-  PartitionPlanInput plan;
-  plan.num_vertices = n;
-  plan.num_edges = m;
-  plan.device_capacity = options_.device.global_memory_bytes;
-  plan.slots = options_.slots != 0 ? options_.slots : 2;
-  plan.static_bytes =
-      static_cast<std::uint64_t>(n) *
-      (sizeof(VertexData) + (P::has_gather ? sizeof(GatherResult) : 0) + 3);
-  plan.bytes_per_in_edge = kReservedBytesPerEdge / 2.0;
-  plan.bytes_per_out_edge = kReservedBytesPerEdge / 2.0;
-  plan.bytes_per_interval_vertex = kReservedBytesPerVertex;
-
-  partitions_ = options_.partitions != 0 ? options_.partitions
-                                         : choose_partition_count(plan);
-  slots_ = std::min<std::uint32_t>(plan.slots, partitions_);
-
-  // Resident (in-memory) check against the same reservation: does the
-  // whole graph fit on the device at once (Table 1's classification)?
-  const double total_reserved =
-      static_cast<double>(m) * kReservedBytesPerEdge +
-      static_cast<double>(n) * kReservedBytesPerVertex;
-  const double budget =
-      static_cast<double>(plan.device_capacity) * (1.0 - plan.headroom) -
-      static_cast<double>(plan.static_bytes);
-  resident_ = total_reserved <= budget;
-  if (resident_) slots_ = partitions_;
-
-  // SSD-backed host (§8(2)): the host master copy of the graph may not
-  // fit host memory; the overflow fraction faults in from disk.
-  if (options_.host_memory_bytes != 0 &&
-      total_reserved > static_cast<double>(options_.host_memory_bytes)) {
-    host_spill_fraction_ =
-        1.0 - static_cast<double>(options_.host_memory_bytes) /
-                  total_reserved;
-  }
-}
-
-template <GasProgram P>
-void Engine<P>::allocate_device_state() {
-  vgpu::Device& dev = *device_;
-  const graph::VertexId n = graph_.num_vertices();
-  d_vertex_ = dev.alloc<VertexData>(n);
-  if constexpr (P::has_gather) d_gather_ = dev.alloc<GatherResult>(n);
-  d_frontier_[0] = dev.alloc<std::uint8_t>(n);
-  d_frontier_[1] = dev.alloc<std::uint8_t>(n);
-  d_changed_ = dev.alloc<std::uint8_t>(n);
-
-  // Slot buffers sized for the largest shard each slot may host.
-  slots_state_.resize(slots_);
-  for (std::uint32_t s = 0; s < slots_; ++s) {
-    Slot& slot = slots_state_[s];
-    graph::VertexId max_iv = 0;
-    graph::EdgeId max_in = 0;
-    graph::EdgeId max_out = 0;
-    for (std::uint32_t p = s; p < partitions_; p += slots_) {
-      const ShardTopology& shard = graph_.shard(p);
-      max_iv = std::max(max_iv, shard.interval.size());
-      max_in = std::max(max_in, shard.in_edge_count());
-      max_out = std::max(max_out, shard.out_edge_count());
-    }
-    if (uses_in_edges_) {
-      slot.in_offsets = dev.alloc<graph::EdgeId>(max_iv + 1);
-      slot.in_src = dev.alloc<graph::VertexId>(max_in);
-      if constexpr (P::has_gather)
-        slot.gather_temp = dev.alloc<GatherResult>(max_in);
-    }
-    // Edge values travel with the shard in every pass that moves it,
-    // independent of whether the in-edge topology is needed.
-    if constexpr (kHasEdgeState) slot.in_state = dev.alloc<EdgeData>(max_in);
-    slot.out_offsets = dev.alloc<graph::EdgeId>(max_iv + 1);
-    slot.out_dst = dev.alloc<graph::VertexId>(max_out);
-    if constexpr (P::has_scatter) {
-      // Canonical edge-state positions are only needed to route scatter
-      // updates; programs without scatter never allocate or move them
-      // (dynamic phase elimination, §5.3).
-      slot.out_pos = dev.alloc<graph::EdgeId>(max_out);
-      slot.scatter_state = dev.alloc<EdgeData>(max_out);
-      slot.scatter_touched = dev.alloc<std::uint8_t>(max_out);
-      slot.staging_state.resize(max_out);
-      slot.staging_touched.resize(max_out);
-    }
-    slot.stream = options_.async_spray ? &dev.create_stream()
-                                       : &dev.default_stream();
-    slot.free_event = nullptr;
-  }
-
-  if (options_.async_spray) {
-    // A small pool of dynamically created streams for deep-copy spray;
-    // bounded by the Hyper-Q width.
-    const int spray_count =
-        std::min(8, options_.device.max_concurrent_kernels / 2);
-    for (int i = 0; i < spray_count; ++i)
-      spray_streams_.push_back(&dev.create_stream());
-  }
-}
-
-template <GasProgram P>
-void Engine<P>::upload_static_state() {
-  vgpu::Device& dev = *device_;
-  vgpu::Stream& s = dev.default_stream();
-  const graph::VertexId n = graph_.num_vertices();
-  dev.memcpy_h2d(s, d_vertex_.data(), h_vertex_.data(),
-                 n * sizeof(VertexData));
-  dev.memcpy_h2d(s, d_frontier_[0].data(), frontier_->current_bits().data(),
-                 n);
-  // next/changed cleared by the per-iteration clear kernel.
-  dev.synchronize();
-}
-
-template <GasProgram P>
-typename Engine<P>::ShardWork Engine<P>::shard_work(std::uint32_t p) const {
-  ShardWork work;
-  if (options_.frontier_management) {
-    work.active_vertices = frontier_->shard_active_vertices(p);
-    work.active_in_edges = frontier_->shard_active_in_edges(p);
-    work.active_out_edges = frontier_->shard_active_out_edges(p);
-  } else {
-    const ShardTopology& shard = graph_.shard(p);
-    work.active_vertices = shard.interval.size();
-    work.active_in_edges = shard.in_edge_count();
-    work.active_out_edges = shard.out_edge_count();
-  }
-  return work;
-}
-
-template <GasProgram P>
-void Engine<P>::copy_to_slot_buffer(Slot& slot, void* device_dst,
-                                    const void* host_src,
-                                    std::uint64_t bytes) {
-  vgpu::Device& dev = *device_;
-  // SSD-backed host (§8(2)): the spilled fraction of this upload is
-  // first faulted in from disk. The fault is serialized on the slot
-  // stream (the SSD is one device, not one per spray stream) and gates
-  // the sprayed copies through the slot's free_event chain.
-  if (host_spill_fraction_ > 0.0 && bytes > 0) {
-    dev.host_task(*slot.stream,
-                  static_cast<double>(bytes) * host_spill_fraction_ /
-                      options_.disk_bandwidth,
-                  {});
-    if (options_.async_spray && !spray_streams_.empty()) {
-      vgpu::Event& faulted = dev.create_event();
-      dev.record_event(*slot.stream, faulted);
-      slot.free_event = &faulted;
-    }
-  }
-  if (!options_.async_spray || spray_streams_.empty()) {
-    dev.memcpy_h2d(*slot.stream, device_dst, host_src, bytes);
-    return;
-  }
-  // Spray: issue the deep copy on a dynamically selected stream, gated
-  // on the slot being free, and make the slot stream wait for it.
-  vgpu::Stream& spray =
-      *spray_streams_[spray_cursor_++ % spray_streams_.size()];
-  if (slot.free_event != nullptr) dev.wait_event(spray, *slot.free_event);
-  dev.memcpy_h2d(spray, device_dst, host_src, bytes);
-  vgpu::Event& done = dev.create_event();
-  dev.record_event(spray, done);
-  dev.wait_event(*slot.stream, done);
-}
-
-template <GasProgram P>
-void Engine<P>::upload_shard(const Pass& pass, std::uint32_t p, Slot& slot) {
-  const ShardTopology& shard = graph_.shard(p);
-  const graph::VertexId iv = shard.interval.size();
-  // Resident mode: topology uploads happen once; mutable edge state is
-  // refreshed whenever scatter may have rewritten the canonical array.
-  const bool want_in =
-      pass.needs_in_edges && uses_in_edges_ && (!resident_ || !slot.in_loaded);
-  const bool want_state =
-      kHasEdgeState && pass.moves_edge_state &&
-      (!resident_ || !slot.state_loaded || P::has_scatter);
-  const bool want_out =
-      pass.needs_out_edges && (!resident_ || !slot.out_loaded);
-  if (want_in) {
-    copy_to_slot_buffer(slot, slot.in_offsets.data(),
-                        shard.in_offsets.data(),
-                        (iv + 1) * sizeof(graph::EdgeId));
-    copy_to_slot_buffer(slot, slot.in_src.data(), shard.in_src.data(),
-                        shard.in_edge_count() * sizeof(graph::VertexId));
-    if (resident_) slot.in_loaded = true;
-  }
-  if constexpr (kHasEdgeState) {
-    if (want_state) {
-      copy_to_slot_buffer(slot, slot.in_state.data(),
-                          h_edge_state_.data() + shard.canonical_base,
-                          shard.in_edge_count() * sizeof(EdgeData));
-      if (resident_) slot.state_loaded = true;
-    }
-  }
-  if (want_out) {
-    if (resident_) slot.out_loaded = true;
-    copy_to_slot_buffer(slot, slot.out_offsets.data(),
-                        shard.out_offsets.data(),
-                        (iv + 1) * sizeof(graph::EdgeId));
-    copy_to_slot_buffer(slot, slot.out_dst.data(), shard.out_dst.data(),
-                        shard.out_edge_count() * sizeof(graph::VertexId));
-    if constexpr (P::has_scatter) {
-      copy_to_slot_buffer(slot, slot.out_pos.data(),
-                          shard.out_canonical_pos.data(),
-                          shard.out_edge_count() * sizeof(graph::EdgeId));
-    }
-  }
-}
-
-template <GasProgram P>
-void Engine<P>::scatter_round_trip_pre(std::uint32_t p, Slot& slot) {
-  if constexpr (P::has_scatter) {
-    vgpu::Device& dev = *device_;
-    const ShardTopology& shard = graph_.shard(p);
-    const graph::EdgeId out_m = shard.out_edge_count();
-    // Host-side gather of current out-edge states from the canonical
-    // array (they live CSC-ordered in other shards' slices).
-    const double gather_cost =
-        static_cast<double>(out_m) * (sizeof(EdgeData) + sizeof(graph::EdgeId)) /
-        options_.host_bandwidth;
-    // Each out-edge owns one staging slot, so the host-side gather runs
-    // over disjoint parallel blocks.
-    dev.host_task(*slot.stream, gather_cost, [this, &slot, &shard, out_m] {
-      util::parallel_for_blocks(
-          0, out_m, kVertexGrain, [&](std::size_t lo, std::size_t hi) {
-            for (std::size_t e = lo; e < hi; ++e)
-              slot.staging_state[e] =
-                  h_edge_state_[shard.out_canonical_pos[e]];
-            std::fill(slot.staging_touched.begin() + lo,
-                      slot.staging_touched.begin() + hi, std::uint8_t{0});
-          });
-    });
-    dev.memcpy_h2d(*slot.stream, slot.scatter_state.data(),
-                   slot.staging_state.data(), out_m * sizeof(EdgeData));
-    dev.memcpy_h2d(*slot.stream, slot.scatter_touched.data(),
-                   slot.staging_touched.data(), out_m);
-  } else {
-    (void)p;
-    (void)slot;
-  }
-}
-
-template <GasProgram P>
-void Engine<P>::scatter_round_trip_post(std::uint32_t p, Slot& slot) {
-  if constexpr (P::has_scatter) {
-    vgpu::Device& dev = *device_;
-    const ShardTopology& shard = graph_.shard(p);
-    const graph::EdgeId out_m = shard.out_edge_count();
-    dev.memcpy_d2h(*slot.stream, slot.staging_state.data(),
-                   slot.scatter_state.data(), out_m * sizeof(EdgeData));
-    dev.memcpy_d2h(*slot.stream, slot.staging_touched.data(),
-                   slot.scatter_touched.data(), out_m);
-    const double route_cost =
-        static_cast<double>(out_m) *
-        (sizeof(EdgeData) + sizeof(graph::EdgeId) + 1) /
-        options_.host_bandwidth;
-    // Canonical positions are unique per out-edge (each edge has exactly
-    // one CSR slot routing to its one CSC home), so routing writes are
-    // disjoint across parallel blocks.
-    dev.host_task(*slot.stream, route_cost, [this, &slot, &shard, out_m] {
-      util::parallel_for_blocks(
-          0, out_m, kVertexGrain, [&](std::size_t lo, std::size_t hi) {
-            for (std::size_t e = lo; e < hi; ++e) {
-              if (slot.staging_touched[e])
-                h_edge_state_[shard.out_canonical_pos[e]] =
-                    slot.staging_state[e];
-            }
-          });
-    });
-  } else {
-    (void)p;
-    (void)slot;
-  }
-}
-
-template <GasProgram P>
-void Engine<P>::enqueue_kernels(const Pass& pass, std::uint32_t p, Slot& slot,
-                                std::uint32_t iteration,
-                                const ShardWork& work) {
-  vgpu::Device& dev = *device_;
-  const ShardTopology& shard = graph_.shard(p);
-  const Interval iv = shard.interval;
-  const std::uint8_t* d_cur = frontier_cur_device();
-  std::uint8_t* d_next = frontier_next_device();
-
-  for (PhaseKernel kernel : pass.kernels) {
-    switch (kernel) {
-      case PhaseKernel::kGatherMap: {
-        if constexpr (GatherProgram<P>) {
-          vgpu::KernelCost cost;
-          cost.threads = work.active_in_edges;
-          cost.flops_per_thread = detail::kUserFlops;
-          cost.sequential_bytes =
-              work.active_in_edges *
-              (sizeof(graph::VertexId) + sizeof(GatherResult) +
-               (kHasEdgeState ? sizeof(EdgeData) : 0));
-          cost.random_accesses = work.active_in_edges;  // src vertex reads
-          dev.launch(*slot.stream, cost, [this, &slot, iv, d_cur] {
-            const graph::EdgeId* off = slot.in_offsets.data();
-            const graph::VertexId* src = slot.in_src.data();
-            const EdgeData* estate = slot.in_state.data();
-            GatherResult* temp = slot.gather_temp.data();
-            const VertexData* vv = d_vertex_.data();
-            static constexpr EdgeData kNoState{};
-            // Edge-centric: each vertex owns its temp[e] slots, so blocks
-            // split by edge weight write disjoint ranges.
-            parallel_for_weighted(
-                off, iv.size(), kEdgeGrain,
-                [&](std::size_t lo, std::size_t hi) {
-                  for (std::size_t lv = lo; lv < hi; ++lv) {
-                    const graph::VertexId gv =
-                        iv.begin + static_cast<graph::VertexId>(lv);
-                    if (!d_cur[gv]) continue;
-                    for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e) {
-                      temp[e] = P::gather_map(
-                          vv[src[e]], vv[gv],
-                          kHasEdgeState ? estate[e] : kNoState);
-                    }
-                  }
-                });
-          });
-        }
-        break;
-      }
-      case PhaseKernel::kGatherReduce: {
-        if constexpr (GatherProgram<P>) {
-          vgpu::KernelCost cost;
-          cost.threads = work.active_vertices;
-          cost.flops_per_thread = detail::kUserFlops;
-          cost.sequential_bytes =
-              work.active_in_edges * sizeof(GatherResult) +
-              work.active_vertices * sizeof(GatherResult);
-          dev.launch(*slot.stream, cost, [this, &slot, iv, d_cur] {
-            const graph::EdgeId* off = slot.in_offsets.data();
-            const GatherResult* temp = slot.gather_temp.data();
-            GatherResult* out = d_gather_.data();
-            // Each vertex reduces its own temp slots in ascending edge
-            // order regardless of blocking, so floating-point reductions
-            // are bitwise identical at any worker count.
-            parallel_for_weighted(
-                off, iv.size(), kEdgeGrain,
-                [&](std::size_t lo, std::size_t hi) {
-                  for (std::size_t lv = lo; lv < hi; ++lv) {
-                    const graph::VertexId gv =
-                        iv.begin + static_cast<graph::VertexId>(lv);
-                    if (!d_cur[gv]) continue;
-                    GatherResult acc = P::gather_identity();
-                    for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e)
-                      acc = P::gather_reduce(acc, temp[e]);
-                    out[gv] = acc;
-                  }
-                });
-          });
-        }
-        break;
-      }
-      case PhaseKernel::kApply: {
-        vgpu::KernelCost cost;
-        cost.threads = work.active_vertices;
-        cost.flops_per_thread = detail::kUserFlops;
-        cost.sequential_bytes =
-            work.active_vertices *
-            (sizeof(VertexData) * 2 + sizeof(GatherResult) + 2);
-        dev.launch(*slot.stream, cost, [this, iv, d_cur, iteration] {
-          VertexData* vv = d_vertex_.data();
-          std::uint8_t* changed = d_changed_.data();
-          const IterationContext ctx{iteration};
-          // Vertex-centric with only per-vertex writes: uniform blocks.
-          util::parallel_for_blocks(
-              0, iv.size(), kVertexGrain,
-              [&](std::size_t lo, std::size_t hi) {
-                for (std::size_t lv = lo; lv < hi; ++lv) {
-                  const graph::VertexId gv =
-                      iv.begin + static_cast<graph::VertexId>(lv);
-                  if (!d_cur[gv]) continue;
-                  GatherResult r{};
-                  if constexpr (P::has_gather) r = d_gather_[gv];
-                  bool ch = P::apply(vv[gv], r, ctx);
-                  // The seed frontier always propagates (iteration 0).
-                  if (iteration == 0) ch = true;
-                  changed[gv] = ch ? 1 : 0;
-                }
-              });
-        });
-        break;
-      }
-      case PhaseKernel::kScatter: {
-        if constexpr (ScatterProgram<P>) {
-          vgpu::KernelCost cost;
-          cost.threads = work.active_out_edges;
-          cost.flops_per_thread = detail::kUserFlops;
-          cost.sequential_bytes =
-              work.active_out_edges * (2 * sizeof(EdgeData) + 1);
-          dev.launch(*slot.stream, cost, [this, &slot, iv] {
-            const graph::EdgeId* off = slot.out_offsets.data();
-            EdgeData* state = slot.scatter_state.data();
-            std::uint8_t* touched = slot.scatter_touched.data();
-            const VertexData* vv = d_vertex_.data();
-            const std::uint8_t* changed = d_changed_.data();
-            // Each vertex owns its out-edge state/touched slots: blocks
-            // split by out-edge weight write disjoint ranges.
-            parallel_for_weighted(
-                off, iv.size(), kEdgeGrain,
-                [&](std::size_t lo, std::size_t hi) {
-                  for (std::size_t lv = lo; lv < hi; ++lv) {
-                    const graph::VertexId gv =
-                        iv.begin + static_cast<graph::VertexId>(lv);
-                    if (!changed[gv]) continue;
-                    for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e) {
-                      P::scatter(vv[gv], state[e]);
-                      touched[e] = 1;
-                    }
-                  }
-                });
-          });
-        }
-        break;
-      }
-      case PhaseKernel::kFrontierActivate: {
-        vgpu::KernelCost cost;
-        cost.threads = work.active_out_edges;
-        cost.flops_per_thread = 2.0;
-        cost.sequential_bytes =
-            work.active_out_edges * (sizeof(graph::VertexId) + 1);
-        cost.random_accesses = work.active_out_edges;  // frontier bit sets
-        dev.launch(*slot.stream, cost, [this, &slot, iv, d_next] {
-          const graph::EdgeId* off = slot.out_offsets.data();
-          const graph::VertexId* dst = slot.out_dst.data();
-          const std::uint8_t* changed = d_changed_.data();
-          // Destination bits are shared across blocks; the store is
-          // idempotent (always 1) but must be a relaxed atomic so
-          // concurrent activations of one vertex are race-free. The
-          // final bitmap is identical at any worker count.
-          parallel_for_weighted(
-              off, iv.size(), kEdgeGrain,
-              [&](std::size_t lo, std::size_t hi) {
-                for (std::size_t lv = lo; lv < hi; ++lv) {
-                  const graph::VertexId gv =
-                      iv.begin + static_cast<graph::VertexId>(lv);
-                  if (!changed[gv]) continue;
-                  for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e)
-                    std::atomic_ref<std::uint8_t>(d_next[dst[e]])
-                        .store(1, std::memory_order_relaxed);
-                }
-              });
-        });
-      } break;
-    }
-  }
-  (void)shard;
-}
-
-template <GasProgram P>
-void Engine<P>::process_pass(const Pass& pass, std::uint32_t iteration,
-                             std::span<const std::uint32_t> active_shards) {
-  vgpu::Device& dev = *device_;
-  for (std::uint32_t p : active_shards) {
-    Slot& slot = slots_state_[p % slots_];
-    const ShardWork work = shard_work(p);
-
-    upload_shard(pass, p, slot);  // self-guards in resident mode
-
-    // Unoptimized plans spill the gather temp between phases (the paper's
-    // per-phase memcpy-in/out of the whole shard).
-    if constexpr (P::has_gather) {
-      if (!options_.phase_fusion && !pass.kernels.empty()) {
-        const ShardTopology& shard = graph_.shard(p);
-        const std::uint64_t temp_bytes =
-            shard.in_edge_count() * sizeof(GatherResult);
-        if (pass.kernels.front() == PhaseKernel::kGatherReduce) {
-          dev.memcpy_h2d(*slot.stream, slot.gather_temp.data(),
-                         h_gather_temp_.data() + shard.canonical_base,
-                         temp_bytes);
-        }
-        if (pass.kernels.front() == PhaseKernel::kGatherMap) {
-          // download happens after the kernel below
-        }
-      }
-    }
-
-    if (pass.scatter_round_trip) scatter_round_trip_pre(p, slot);
-    enqueue_kernels(pass, p, slot, iteration, work);
-    if (pass.scatter_round_trip) scatter_round_trip_post(p, slot);
-
-    if constexpr (P::has_gather) {
-      if (!options_.phase_fusion && !pass.kernels.empty() &&
-          pass.kernels.front() == PhaseKernel::kGatherMap) {
-        const ShardTopology& shard = graph_.shard(p);
-        dev.memcpy_d2h(*slot.stream,
-                       h_gather_temp_.data() + shard.canonical_base,
-                       slot.gather_temp.data(),
-                       shard.in_edge_count() * sizeof(GatherResult));
-      }
-    }
-
-    // Mark the slot's buffers free for the next shard using this slot.
-    if (options_.async_spray) {
-      vgpu::Event& free_event = dev.create_event();
-      dev.record_event(*slot.stream, free_event);
-      slot.free_event = &free_event;
-    } else {
-      // Fully synchronous baseline: drain after every shard.
-      dev.synchronize();
-    }
-  }
-  dev.synchronize();  // BSP barrier between passes
-}
-
-template <GasProgram P>
-void Engine<P>::run_iteration(std::uint32_t iteration, RunReport& report) {
-  vgpu::Device& dev = *device_;
-  const graph::VertexId n = graph_.num_vertices();
-
-  // Clear the changed flags and next-frontier bitmap on device.
-  {
-    vgpu::KernelCost cost;
-    cost.threads = n;
-    cost.flops_per_thread = 1.0;
-    cost.sequential_bytes = 2ull * n;
-    std::uint8_t* next = frontier_next_device();
-    std::uint8_t* changed = d_changed_.data();
-    dev.launch(dev.default_stream(), cost, [next, changed, n] {
-      util::parallel_for_blocks(
-          0, n, std::size_t{1} << 20, [&](std::size_t lo, std::size_t hi) {
-            std::memset(next + lo, 0, hi - lo);
-            std::memset(changed + lo, 0, hi - lo);
-          });
-    });
-    dev.synchronize();
-  }
-
-  // Shard schedule for this iteration.
-  std::vector<std::uint32_t> active_shards;
-  std::uint32_t skipped = 0;
-  for (std::uint32_t p = 0; p < partitions_; ++p) {
-    if (!options_.frontier_management || frontier_->shard_has_work(p))
-      active_shards.push_back(p);
-    else
-      ++skipped;
-  }
-
-  for (const Pass& pass : plan_.passes)
-    process_pass(pass, iteration, active_shards);
-
-  // Feedback to the Data Movement Engine: pull the next frontier bitmap.
-  dev.memcpy_d2h(dev.default_stream(), frontier_->next_bits().data(),
-                 frontier_next_device(), n);
-  dev.synchronize();
-  frontier_flip_ = 1 - frontier_flip_;
-
-  IterationStats stats;
-  stats.iteration = iteration;
-  stats.active_vertices = frontier_->active_vertices();
-  stats.shards_processed = static_cast<std::uint32_t>(active_shards.size());
-  stats.shards_skipped = skipped;
-  report.history.push_back(stats);
-}
-
-template <GasProgram P>
-RunReport Engine<P>::run() {
-  GR_CHECK_MSG(!ran_, "Engine::run() may only be called once");
-  ran_ = true;
-  vgpu::Device& dev = *device_;
-
-  if (instance_.frontier.all_vertices)
-    frontier_->activate_all();
-  else if (!instance_.frontier.set.empty())
-    frontier_->activate_set(instance_.frontier.set);
-  else
-    frontier_->activate_single(instance_.frontier.source);
-  upload_static_state();
-
-  RunReport report;
-  report.partitions = partitions_;
-  report.slots = slots_;
-  report.resident_mode = resident_;
-  report.host_spill_fraction = host_spill_fraction_;
-
-  std::uint32_t iteration = 0;
-  while (iteration < max_iterations_ && !frontier_->empty()) {
-    run_iteration(iteration, report);
-    // Per-iteration host scheduling overhead (frontier scan + shard
-    // schedule construction on the driver thread).
-    dev.advance_host_time(5e-6 +
-                          static_cast<double>(graph_.num_vertices()) * 1e-10);
-    frontier_->advance();
-    ++iteration;
-  }
-  report.iterations = iteration;
-  report.converged = frontier_->empty();
-
-  // Pull final vertex values (and edge state is already host-canonical).
-  dev.memcpy_d2h(dev.default_stream(), h_vertex_.data(), d_vertex_.data(),
-                 h_vertex_.size() * sizeof(VertexData));
-  dev.synchronize();
-
-  const vgpu::DeviceStats& stats = dev.stats();
-  report.total_seconds = dev.now();
-  report.memcpy_seconds = stats.memcpy_busy_seconds();
-  report.kernel_seconds = stats.kernel_busy_seconds;
-  report.bytes_h2d = stats.bytes_h2d;
-  report.bytes_d2h = stats.bytes_d2h;
-  report.kernels_launched = stats.kernels_launched;
-  report.memcpy_ops = stats.h2d_ops + stats.d2h_ops;
-  return report;
-}
-
-template <GasProgram P>
-const typename P::EdgeData& Engine<P>::edge_value(
-    graph::EdgeId original_index) const {
-  static_assert(kHasEdgeState, "program has no edge state");
-  // Canonical slot lookup: scan the owning shard (dst-determined).
-  for (const ShardTopology& shard : graph_.shards()) {
-    for (graph::EdgeId slot = 0; slot < shard.in_edge_count(); ++slot) {
-      if (shard.in_orig_edge[slot] == original_index)
-        return h_edge_state_[shard.canonical_base + slot];
-    }
-  }
-  GR_CHECK_MSG(false, "edge index out of range");
-  __builtin_unreachable();
-}
 
 }  // namespace gr::core

@@ -1,0 +1,258 @@
+#include "core/engine/engine_core.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gr::core {
+
+EngineCore::EngineCore(const graph::EdgeList& edges,
+                       const ProgramFootprint& footprint,
+                       EngineOptions options)
+    : options_(options), footprint_(footprint) {
+  GR_CHECK_MSG(edges.num_vertices() > 0, "empty graph");
+  options_.validate();
+  plan_ = make_phase_plan(footprint_.has_gather, footprint_.has_scatter,
+                          footprint_.has_edge_state, options_.phase_fusion);
+  uses_in_edges_ = plan_.uses_in_edges();
+  // Size the shared functional-execution pool before any parallel work
+  // (partitioning below already uses it). Wall-clock only: results and
+  // simulated timings are identical for any thread count.
+  if (options_.threads != 0)
+    util::ThreadPool::set_shared_workers(options_.threads - 1);
+  device_ = std::make_unique<vgpu::Device>(options_.device);
+
+  plan_partitions(edges);
+}
+
+void EngineCore::plan_partitions(const graph::EdgeList& edges) {
+  const graph::VertexId n = edges.num_vertices();
+  const graph::EdgeId m = edges.num_edges();
+
+  PartitionPlanInput plan;
+  plan.num_vertices = n;
+  plan.num_edges = m;
+  plan.device_capacity = options_.device.global_memory_bytes;
+  plan.slots = options_.slots != 0 ? options_.slots : 2;
+  plan.static_bytes =
+      static_cast<std::uint64_t>(n) *
+      (footprint_.vertex_bytes +
+       (footprint_.has_gather ? footprint_.gather_bytes : 0) + 3);
+  plan.bytes_per_in_edge = kReservedBytesPerEdge / 2.0;
+  plan.bytes_per_out_edge = kReservedBytesPerEdge / 2.0;
+  plan.bytes_per_interval_vertex = kReservedBytesPerVertex;
+
+  partitions_ = options_.partitions != 0 ? options_.partitions
+                                         : choose_partition_count(plan);
+  slots_ = std::min<std::uint32_t>(plan.slots, partitions_);
+
+  // Resident (in-memory) check against the same reservation: does the
+  // whole graph fit on the device at once (Table 1's classification)?
+  const double total_reserved =
+      static_cast<double>(m) * kReservedBytesPerEdge +
+      static_cast<double>(n) * kReservedBytesPerVertex;
+  const double budget =
+      static_cast<double>(plan.device_capacity) * (1.0 - plan.headroom) -
+      static_cast<double>(plan.static_bytes);
+  resident_ = total_reserved <= budget;
+  if (resident_) slots_ = partitions_;
+
+  // SSD-backed host (§8(2)): the host master copy of the graph may not
+  // fit host memory; the overflow fraction faults in from disk.
+  if (options_.host_memory_bytes != 0 &&
+      total_reserved > static_cast<double>(options_.host_memory_bytes)) {
+    host_spill_fraction_ =
+        1.0 - static_cast<double>(options_.host_memory_bytes) /
+                  total_reserved;
+  }
+}
+
+void EngineCore::initialize(const graph::EdgeList& edges,
+                            ProgramHooks& hooks) {
+  GR_CHECK_MSG(!initialized_, "EngineCore::initialize called twice");
+  // The planner assumes bounded shard imbalance; on very skewed graphs a
+  // max shard can exceed its slot budget, so grow P until buffers fit.
+  for (int attempt = 0;; ++attempt) {
+    graph_ = PartitionedGraph::build(edges, partitions_);
+    try {
+      hooks.allocate_device_state();
+      break;
+    } catch (const vgpu::DeviceOutOfMemory&) {
+      GR_CHECK_MSG(attempt < 16 && partitions_ < edges.num_vertices(),
+                   "cannot fit even single-vertex shards on the device");
+      hooks.release_device_state();
+      ring_.reset();
+      d_frontier_[0] = {};
+      d_frontier_[1] = {};
+      d_changed_ = {};
+      partitions_ = std::min<std::uint32_t>(
+          edges.num_vertices(), partitions_ + partitions_ / 2 + 1);
+      slots_ = std::min<std::uint32_t>(slots_, partitions_);
+      if (resident_) slots_ = partitions_;
+      GR_LOG_DEBUG("slot allocation overflowed; retrying with P="
+                   << partitions_);
+    }
+  }
+  frontier_ = std::make_unique<FrontierManager>(graph_);
+  initialized_ = true;
+}
+
+void EngineCore::allocate_frontier_state() {
+  const graph::VertexId n = graph_.num_vertices();
+  d_frontier_[0] = device_->alloc<std::uint8_t>(n);
+  d_frontier_[1] = device_->alloc<std::uint8_t>(n);
+  d_changed_ = device_->alloc<std::uint8_t>(n);
+}
+
+void EngineCore::copy_to_slot(SlotLane& lane, void* device_dst,
+                              const void* host_src, std::uint64_t bytes) {
+  // SSD-backed host (§8(2)): the spilled fraction of this upload is
+  // first faulted in from disk before the copy can start.
+  const double spill_seconds =
+      host_spill_fraction_ > 0.0
+          ? static_cast<double>(bytes) * host_spill_fraction_ /
+                options_.disk_bandwidth
+          : 0.0;
+  ring_.copy_to_lane(*device_, lane, device_dst, host_src, bytes,
+                     options_.async_spray, spill_seconds);
+}
+
+void EngineCore::process_pass(ProgramHooks& hooks, const Pass& pass,
+                              std::uint32_t iteration,
+                              std::span<const std::uint32_t> active_shards) {
+  vgpu::Device& dev = *device_;
+  for (std::uint32_t p : active_shards) {
+    SlotLane& lane = ring_.lane_for_shard(p);
+    const ShardWork work = plan_shard_work(graph_, *frontier_,
+                                           options_.frontier_management, p);
+
+    hooks.upload_shard(pass, p, lane);  // self-guards in resident mode
+    hooks.before_kernels(pass, p, lane);
+    hooks.enqueue_kernels(pass, p, lane, iteration, work);
+    hooks.after_kernels(pass, p, lane);
+
+    // Mark the lane's buffers free for the next shard using this slot.
+    ring_.finish_shard(dev, lane, options_.async_spray);
+    if (observer_ != nullptr) observer_->on_shard_enqueued(pass, p, work);
+  }
+  dev.synchronize();  // BSP barrier between passes
+}
+
+void EngineCore::run_iteration(ProgramHooks& hooks, std::uint32_t iteration,
+                               RunReport& report) {
+  vgpu::Device& dev = *device_;
+  const graph::VertexId n = graph_.num_vertices();
+
+  // Clear the changed flags and next-frontier bitmap on device.
+  {
+    vgpu::KernelCost cost;
+    cost.threads = n;
+    cost.flops_per_thread = 1.0;
+    cost.sequential_bytes = 2ull * n;
+    std::uint8_t* next = frontier_next_device();
+    std::uint8_t* changed = d_changed_.data();
+    dev.launch(dev.default_stream(), cost, [next, changed, n] {
+      util::parallel_for_blocks(
+          0, n, std::size_t{1} << 20, [&](std::size_t lo, std::size_t hi) {
+            std::memset(next + lo, 0, hi - lo);
+            std::memset(changed + lo, 0, hi - lo);
+          });
+    });
+    dev.synchronize();
+  }
+
+  // Shard schedule for this iteration (§5.2).
+  const TransferPlan transfer = build_transfer_plan(
+      partitions_, *frontier_, options_.frontier_management);
+  if (observer_ != nullptr) observer_->on_transfer_plan(iteration, transfer);
+
+  for (const Pass& pass : plan_.passes) {
+    if (observer_ != nullptr) observer_->on_pass_begin(pass, iteration);
+    process_pass(hooks, pass, iteration, transfer.active_shards);
+    if (observer_ != nullptr) observer_->on_pass_end(pass, iteration);
+  }
+
+  // Feedback to the Data Movement Engine: pull the next frontier bitmap.
+  dev.memcpy_d2h(dev.default_stream(), frontier_->next_bits().data(),
+                 frontier_next_device(), n);
+  dev.synchronize();
+  frontier_flip_ = 1 - frontier_flip_;
+
+  IterationStats stats;
+  stats.iteration = iteration;
+  stats.active_vertices = frontier_->active_vertices();
+  stats.shards_processed = transfer.processed();
+  stats.shards_skipped = transfer.skipped;
+  report.history.push_back(stats);
+  if (observer_ != nullptr) observer_->on_iteration_end(stats);
+}
+
+RunReport EngineCore::run(ProgramHooks& hooks, const InitialFrontier& seed,
+                          std::uint32_t default_max_iterations) {
+  GR_CHECK_MSG(initialized_, "EngineCore::run before initialize");
+  GR_CHECK_MSG(!ran_, "Engine::run() may only be called once");
+  ran_ = true;
+  vgpu::Device& dev = *device_;
+  const std::uint32_t max_iterations = options_.max_iterations != 0
+                                           ? options_.max_iterations
+                                           : default_max_iterations;
+
+  if (seed.all_vertices)
+    frontier_->activate_all();
+  else if (!seed.set.empty())
+    frontier_->activate_set(seed.set);
+  else
+    frontier_->activate_single(seed.source);
+
+  // Static upload: typed masters first, then the frontier bitmap.
+  {
+    vgpu::Stream& s = dev.default_stream();
+    hooks.upload_static_state(s);
+    dev.memcpy_h2d(s, d_frontier_[0].data(),
+                   frontier_->current_bits().data(), graph_.num_vertices());
+    // next/changed cleared by the per-iteration clear kernel.
+    dev.synchronize();
+  }
+
+  RunReport report;
+  report.partitions = partitions_;
+  report.slots = slots_;
+  report.resident_mode = resident_;
+  report.host_spill_fraction = host_spill_fraction_;
+  if (observer_ != nullptr)
+    observer_->on_run_begin(partitions_, slots_, resident_);
+
+  std::uint32_t iteration = 0;
+  while (iteration < max_iterations && !frontier_->empty()) {
+    if (observer_ != nullptr)
+      observer_->on_iteration_begin(iteration, frontier_->active_vertices());
+    run_iteration(hooks, iteration, report);
+    // Per-iteration host scheduling overhead (frontier scan + shard
+    // schedule construction on the driver thread).
+    dev.advance_host_time(5e-6 +
+                          static_cast<double>(graph_.num_vertices()) * 1e-10);
+    frontier_->advance();
+    ++iteration;
+  }
+  report.iterations = iteration;
+  report.converged = frontier_->empty();
+
+  // Pull final vertex values (edge state is already host-canonical).
+  hooks.download_results(dev.default_stream());
+  dev.synchronize();
+
+  const vgpu::DeviceStats& stats = dev.stats();
+  report.total_seconds = dev.now();
+  report.memcpy_seconds = stats.memcpy_busy_seconds();
+  report.kernel_seconds = stats.kernel_busy_seconds;
+  report.bytes_h2d = stats.bytes_h2d;
+  report.bytes_d2h = stats.bytes_d2h;
+  report.kernels_launched = stats.kernels_launched;
+  report.memcpy_ops = stats.h2d_ops + stats.d2h_ops;
+  if (observer_ != nullptr) observer_->on_run_end(report);
+  return report;
+}
+
+}  // namespace gr::core

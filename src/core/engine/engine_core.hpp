@@ -1,0 +1,169 @@
+// EngineCore — the non-template heart of the GraphReduce runtime.
+//
+// Everything the paper's host-side contribution consists of lives here,
+// compiled once, independent of the user program's data types:
+//
+//   * partition planning from device capacity (Eq. (1)/(2)) and the
+//     resident/streaming-mode decision (Table 4 vs Table 3);
+//   * the OOM-retry loop that grows P until the largest shard fits;
+//   * the slot ring + spray-stream pool (§5.1, core/engine/slot_ring.hpp);
+//   * frontier state on host and device, and the frontier-driven
+//     TransferPlan that culls inactive shards (§5.2);
+//   * the Bulk-Synchronous iteration driver: per-pass shard streaming,
+//     BSP barriers, frontier feedback, host scheduling overhead;
+//   * host-spill (SSD) accounting (§8(2)) and run reporting;
+//   * the ExecutionObserver seam (core/engine/observer.hpp).
+//
+// The typed half of a program — slot buffers, host masters, and the
+// five GAS kernels — plugs in through the ProgramHooks interface, which
+// the templated Engine<P> shim (core/engine.hpp) implements. Hooks are
+// called in a fixed order per shard so the op-issue sequence (and with
+// it every simulated timestamp) is identical to the pre-split engine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "core/engine/footprint.hpp"
+#include "core/engine/observer.hpp"
+#include "core/engine/slot_ring.hpp"
+#include "core/engine/transfer_plan.hpp"
+#include "core/frontier.hpp"
+#include "core/gas.hpp"
+#include "core/options.hpp"
+#include "core/partition.hpp"
+#include "core/phase_plan.hpp"
+#include "graph/edge_list.hpp"
+#include "util/common.hpp"
+#include "vgpu/device.hpp"
+
+namespace gr::core {
+
+/// The typed layer's side of the contract. EngineCore drives the run;
+/// these hooks supply every operation that touches program types.
+class ProgramHooks {
+ public:
+  virtual ~ProgramHooks() = default;
+
+  /// Allocates all typed device state (static buffers + slot buffers)
+  /// and registers one ring lane per slot. May throw
+  /// vgpu::DeviceOutOfMemory; EngineCore then releases and retries with
+  /// more partitions.
+  virtual void allocate_device_state() = 0;
+  /// Drops every typed device buffer (retry path).
+  virtual void release_device_state() = 0;
+
+  /// Uploads host-master static state (vertex values); EngineCore
+  /// follows with the frontier bitmap and the synchronize.
+  virtual void upload_static_state(vgpu::Stream& stream) = 0;
+
+  /// Uploads the shard's streamed buffers the pass needs (self-guarding
+  /// in resident mode).
+  virtual void upload_shard(const Pass& pass, std::uint32_t shard,
+                            SlotLane& lane) = 0;
+  /// Pre-kernel typed staging: unfused gather-temp upload and the
+  /// scatter round-trip's host-side gather + upload.
+  virtual void before_kernels(const Pass& pass, std::uint32_t shard,
+                              SlotLane& lane) = 0;
+  /// Enqueues the pass's kernels for one shard.
+  virtual void enqueue_kernels(const Pass& pass, std::uint32_t shard,
+                               SlotLane& lane, std::uint32_t iteration,
+                               const ShardWork& work) = 0;
+  /// Post-kernel typed staging: scatter round-trip download + routing,
+  /// unfused gather-temp download.
+  virtual void after_kernels(const Pass& pass, std::uint32_t shard,
+                             SlotLane& lane) = 0;
+
+  /// Enqueues the final vertex-value download (EngineCore synchronizes).
+  virtual void download_results(vgpu::Stream& stream) = 0;
+};
+
+class EngineCore : util::NonCopyable {
+ public:
+  /// Validates options, sizes the worker pool, builds the device, and
+  /// plans the partition count. No typed state is touched yet.
+  EngineCore(const graph::EdgeList& edges, const ProgramFootprint& footprint,
+             EngineOptions options);
+
+  /// Builds the partitioned graph and allocates device state through
+  /// `hooks`, growing P until the largest shard's buffers fit (skewed
+  /// graphs can exceed the planner's bounded-imbalance assumption).
+  void initialize(const graph::EdgeList& edges, ProgramHooks& hooks);
+
+  /// Executes iterations to convergence (empty frontier) or the cap;
+  /// callable once.
+  RunReport run(ProgramHooks& hooks, const InitialFrontier& seed,
+                std::uint32_t default_max_iterations);
+
+  /// Observability seam: callbacks fire on the driver thread at every
+  /// run/iteration/pass/shard boundary. Pass nullptr to detach. The
+  /// observer must outlive the run.
+  void set_observer(ExecutionObserver* observer) { observer_ = observer; }
+
+  // --- state shared with the typed layer ---
+
+  vgpu::Device& device() { return *device_; }
+  const vgpu::Device& device() const { return *device_; }
+  const PartitionedGraph& graph() const { return graph_; }
+  FrontierManager& frontier() { return *frontier_; }
+  const PhasePlan& phase_plan() const { return plan_; }
+  const EngineOptions& options() const { return options_; }
+  SlotRing& ring() { return ring_; }
+
+  std::uint32_t partitions() const { return partitions_; }
+  std::uint32_t slots() const { return slots_; }
+  bool resident_mode() const { return resident_; }
+  double host_spill_fraction() const { return host_spill_fraction_; }
+  bool uses_in_edges() const { return uses_in_edges_; }
+
+  std::uint8_t* frontier_cur_device() {
+    return d_frontier_[frontier_flip_].data();
+  }
+  std::uint8_t* frontier_next_device() {
+    return d_frontier_[1 - frontier_flip_].data();
+  }
+  std::uint8_t* changed_device() { return d_changed_.data(); }
+
+  /// Allocates the frontier bitmaps + changed flags (called from the
+  /// typed layer's allocate_device_state, preserving allocation order).
+  void allocate_frontier_state();
+
+  /// Issues one H2D copy into a lane buffer, paying the SSD fault-in
+  /// for the spilled host fraction and spraying across the pool (§5.1).
+  void copy_to_slot(SlotLane& lane, void* device_dst, const void* host_src,
+                    std::uint64_t bytes);
+
+ private:
+  void plan_partitions(const graph::EdgeList& edges);
+  void run_iteration(ProgramHooks& hooks, std::uint32_t iteration,
+                     RunReport& report);
+  void process_pass(ProgramHooks& hooks, const Pass& pass,
+                    std::uint32_t iteration,
+                    std::span<const std::uint32_t> active_shards);
+
+  EngineOptions options_;
+  ProgramFootprint footprint_;
+  PhasePlan plan_;
+  bool uses_in_edges_ = false;
+
+  std::unique_ptr<vgpu::Device> device_;
+  PartitionedGraph graph_;
+  std::unique_ptr<FrontierManager> frontier_;
+
+  vgpu::DeviceBuffer<std::uint8_t> d_frontier_[2];
+  vgpu::DeviceBuffer<std::uint8_t> d_changed_;
+  int frontier_flip_ = 0;
+
+  SlotRing ring_;
+  ExecutionObserver* observer_ = nullptr;
+
+  std::uint32_t partitions_ = 0;
+  std::uint32_t slots_ = 0;
+  bool resident_ = false;
+  double host_spill_fraction_ = 0.0;
+  bool initialized_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace gr::core

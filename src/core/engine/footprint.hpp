@@ -1,0 +1,30 @@
+// Type-erased description of a GAS program's memory footprint — the
+// only facts about the user's types the non-template runtime layers
+// (EngineCore, partition planning, the multi-GPU engine) need. The
+// typed shim fills one in from sizeof()s and the program's has_* flags.
+#pragma once
+
+#include <cstddef>
+
+namespace gr::core {
+
+// Conservative per-edge/vertex reservation used for partition sizing and
+// the in-/out-of-memory decision. This matches the paper's Table 1
+// footprint (~54 B/edge: CSC+CSR records with inline values, gather
+// temporaries and update arrays) rather than the lean post-elimination
+// buffer set a particular program actually streams — the runtime must
+// budget for every GAS phase up front (Eq. (1)/(2)).
+inline constexpr double kReservedBytesPerEdge = 54.0;
+inline constexpr double kReservedBytesPerVertex = 16.0;
+
+/// What the planner must know about a program, with the types erased.
+struct ProgramFootprint {
+  std::size_t vertex_bytes = 0;
+  std::size_t gather_bytes = 0;      // sizeof(GatherResult), 0 if unused
+  std::size_t edge_state_bytes = 0;  // 0 for Empty edge state
+  bool has_gather = false;
+  bool has_scatter = false;
+  bool has_edge_state = false;
+};
+
+}  // namespace gr::core

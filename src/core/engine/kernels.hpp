@@ -1,0 +1,201 @@
+// The Compute Engine's kernel bodies — the only place user device
+// functions (gather_map / gather_reduce / apply / scatter) are invoked.
+//
+// The hybrid programming model (§3.1) is visible in the kernel shapes:
+// gatherMap / scatter / frontierActivate are edge-centric (one logical
+// thread per edge), gatherReduce / apply are vertex-centric.
+//
+// Kernels execute functionally against device-resident buffers — the
+// data a kernel reads really did travel through the simulated PCIe
+// transfers, so a forgotten upload is a test failure, not a timing bug.
+#pragma once
+
+#include <atomic>
+
+#include "core/engine/typed_state.hpp"
+
+namespace gr::core {
+
+namespace detail {
+/// Per-thread arithmetic charged for user functions (simple-op budget).
+inline constexpr double kUserFlops = 8.0;
+}  // namespace detail
+
+template <GasProgram P>
+void TypedProgramState<P>::enqueue_kernels(const Pass& pass, std::uint32_t p,
+                                           SlotLane& lane,
+                                           std::uint32_t iteration,
+                                           const ShardWork& work) {
+  vgpu::Device& dev = core_.device();
+  SlotBuffers& slot = slot_for_shard(p);
+  const Interval iv = core_.graph().shard(p).interval;
+  const std::uint8_t* d_cur = core_.frontier_cur_device();
+  std::uint8_t* d_next = core_.frontier_next_device();
+
+  for (PhaseKernel kernel : pass.kernels) {
+    switch (kernel) {
+      case PhaseKernel::kGatherMap: {
+        if constexpr (GatherProgram<P>) {
+          vgpu::KernelCost cost;
+          cost.threads = work.active_in_edges;
+          cost.flops_per_thread = detail::kUserFlops;
+          cost.sequential_bytes =
+              work.active_in_edges *
+              (sizeof(graph::VertexId) + sizeof(GatherResult) +
+               (kHasEdgeState ? sizeof(EdgeData) : 0));
+          cost.random_accesses = work.active_in_edges;  // src vertex reads
+          dev.launch(*lane.stream, cost, [this, &slot, iv, d_cur] {
+            const graph::EdgeId* off = slot.in_offsets.data();
+            const graph::VertexId* src = slot.in_src.data();
+            const EdgeData* estate = slot.in_state.data();
+            GatherResult* temp = slot.gather_temp.data();
+            const VertexData* vv = d_vertex_.data();
+            static constexpr EdgeData kNoState{};
+            // Edge-centric: each vertex owns its temp[e] slots, so blocks
+            // split by edge weight write disjoint ranges.
+            parallel_for_weighted(
+                off, iv.size(), kEdgeGrain,
+                [&](std::size_t lo, std::size_t hi) {
+                  for (std::size_t lv = lo; lv < hi; ++lv) {
+                    const graph::VertexId gv =
+                        iv.begin + static_cast<graph::VertexId>(lv);
+                    if (!d_cur[gv]) continue;
+                    for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e) {
+                      temp[e] = P::gather_map(
+                          vv[src[e]], vv[gv],
+                          kHasEdgeState ? estate[e] : kNoState);
+                    }
+                  }
+                });
+          });
+        }
+        break;
+      }
+      case PhaseKernel::kGatherReduce: {
+        if constexpr (GatherProgram<P>) {
+          vgpu::KernelCost cost;
+          cost.threads = work.active_vertices;
+          cost.flops_per_thread = detail::kUserFlops;
+          cost.sequential_bytes =
+              work.active_in_edges * sizeof(GatherResult) +
+              work.active_vertices * sizeof(GatherResult);
+          dev.launch(*lane.stream, cost, [this, &slot, iv, d_cur] {
+            const graph::EdgeId* off = slot.in_offsets.data();
+            const GatherResult* temp = slot.gather_temp.data();
+            GatherResult* out = d_gather_.data();
+            // Each vertex reduces its own temp slots in ascending edge
+            // order regardless of blocking, so floating-point reductions
+            // are bitwise identical at any worker count.
+            parallel_for_weighted(
+                off, iv.size(), kEdgeGrain,
+                [&](std::size_t lo, std::size_t hi) {
+                  for (std::size_t lv = lo; lv < hi; ++lv) {
+                    const graph::VertexId gv =
+                        iv.begin + static_cast<graph::VertexId>(lv);
+                    if (!d_cur[gv]) continue;
+                    GatherResult acc = P::gather_identity();
+                    for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e)
+                      acc = P::gather_reduce(acc, temp[e]);
+                    out[gv] = acc;
+                  }
+                });
+          });
+        }
+        break;
+      }
+      case PhaseKernel::kApply: {
+        vgpu::KernelCost cost;
+        cost.threads = work.active_vertices;
+        cost.flops_per_thread = detail::kUserFlops;
+        cost.sequential_bytes =
+            work.active_vertices *
+            (sizeof(VertexData) * 2 + sizeof(GatherResult) + 2);
+        std::uint8_t* changed = core_.changed_device();
+        dev.launch(*lane.stream, cost, [this, iv, d_cur, changed, iteration] {
+          VertexData* vv = d_vertex_.data();
+          const IterationContext ctx{iteration};
+          // Vertex-centric with only per-vertex writes: uniform blocks.
+          util::parallel_for_blocks(
+              0, iv.size(), kVertexGrain,
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t lv = lo; lv < hi; ++lv) {
+                  const graph::VertexId gv =
+                      iv.begin + static_cast<graph::VertexId>(lv);
+                  if (!d_cur[gv]) continue;
+                  GatherResult r{};
+                  if constexpr (P::has_gather) r = d_gather_[gv];
+                  bool ch = P::apply(vv[gv], r, ctx);
+                  // The seed frontier always propagates (iteration 0).
+                  if (iteration == 0) ch = true;
+                  changed[gv] = ch ? 1 : 0;
+                }
+              });
+        });
+        break;
+      }
+      case PhaseKernel::kScatter: {
+        if constexpr (ScatterProgram<P>) {
+          vgpu::KernelCost cost;
+          cost.threads = work.active_out_edges;
+          cost.flops_per_thread = detail::kUserFlops;
+          cost.sequential_bytes =
+              work.active_out_edges * (2 * sizeof(EdgeData) + 1);
+          const std::uint8_t* changed = core_.changed_device();
+          dev.launch(*lane.stream, cost, [this, &slot, iv, changed] {
+            const graph::EdgeId* off = slot.out_offsets.data();
+            EdgeData* state = slot.scatter_state.data();
+            std::uint8_t* touched = slot.scatter_touched.data();
+            const VertexData* vv = d_vertex_.data();
+            // Each vertex owns its out-edge state/touched slots: blocks
+            // split by out-edge weight write disjoint ranges.
+            parallel_for_weighted(
+                off, iv.size(), kEdgeGrain,
+                [&](std::size_t lo, std::size_t hi) {
+                  for (std::size_t lv = lo; lv < hi; ++lv) {
+                    const graph::VertexId gv =
+                        iv.begin + static_cast<graph::VertexId>(lv);
+                    if (!changed[gv]) continue;
+                    for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e) {
+                      P::scatter(vv[gv], state[e]);
+                      touched[e] = 1;
+                    }
+                  }
+                });
+          });
+        }
+        break;
+      }
+      case PhaseKernel::kFrontierActivate: {
+        vgpu::KernelCost cost;
+        cost.threads = work.active_out_edges;
+        cost.flops_per_thread = 2.0;
+        cost.sequential_bytes =
+            work.active_out_edges * (sizeof(graph::VertexId) + 1);
+        cost.random_accesses = work.active_out_edges;  // frontier bit sets
+        const std::uint8_t* changed = core_.changed_device();
+        dev.launch(*lane.stream, cost, [&slot, iv, d_next, changed] {
+          const graph::EdgeId* off = slot.out_offsets.data();
+          const graph::VertexId* dst = slot.out_dst.data();
+          // Destination bits are shared across blocks; the store is
+          // idempotent (always 1) but must be a relaxed atomic so
+          // concurrent activations of one vertex are race-free. The
+          // final bitmap is identical at any worker count.
+          parallel_for_weighted(
+              off, iv.size(), kEdgeGrain,
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t lv = lo; lv < hi; ++lv) {
+                  const graph::VertexId gv =
+                      iv.begin + static_cast<graph::VertexId>(lv);
+                  if (!changed[gv]) continue;
+                  for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e)
+                    std::atomic_ref<std::uint8_t>(d_next[dst[e]])
+                        .store(1, std::memory_order_relaxed);
+                }
+              });
+        });
+      } break;
+    }
+  }
+}
+
+}  // namespace gr::core

@@ -1,0 +1,48 @@
+// Execution observer seam (ROADMAP: observability).
+//
+// EngineCore invokes these callbacks at every structural boundary of a
+// run — iterations, passes, and individual shard visits — so tracing,
+// metrics, or progress reporting can attach to the engine without
+// touching engine code. Callbacks run on the driver thread, strictly
+// interleaved with op *issue* (not simulated completion): a shard
+// callback fires when the shard's transfers and kernels have been
+// enqueued on its slot stream.
+//
+// The default implementation of every hook is a no-op, so observers
+// override only what they need. Observers must not mutate engine state.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/engine/transfer_plan.hpp"
+#include "core/options.hpp"
+#include "core/phase_plan.hpp"
+
+namespace gr::core {
+
+class ExecutionObserver {
+ public:
+  virtual ~ExecutionObserver() = default;
+
+  virtual void on_run_begin(std::uint32_t /*partitions*/,
+                            std::uint32_t /*slots*/,
+                            bool /*resident_mode*/) {}
+  virtual void on_iteration_begin(std::uint32_t /*iteration*/,
+                                  std::uint64_t /*active_vertices*/) {}
+  /// After the transfer plan for the iteration is fixed.
+  virtual void on_transfer_plan(std::uint32_t /*iteration*/,
+                                const TransferPlan& /*plan*/) {}
+  virtual void on_pass_begin(const Pass& /*pass*/,
+                             std::uint32_t /*iteration*/) {}
+  /// One active shard's work has been enqueued on its slot stream.
+  virtual void on_shard_enqueued(const Pass& /*pass*/,
+                                 std::uint32_t /*shard*/,
+                                 const ShardWork& /*work*/) {}
+  virtual void on_pass_end(const Pass& /*pass*/,
+                           std::uint32_t /*iteration*/) {}
+  virtual void on_iteration_end(const IterationStats& /*stats*/) {}
+  virtual void on_run_end(const RunReport& /*report*/) {}
+};
+
+}  // namespace gr::core

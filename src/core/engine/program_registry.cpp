@@ -1,0 +1,66 @@
+#include "core/engine/program_registry.hpp"
+
+#include <algorithm>
+
+#include "util/common.hpp"
+
+namespace gr::core {
+
+ProgramRegistry& ProgramRegistry::global() {
+  static ProgramRegistry registry;
+  return registry;
+}
+
+void ProgramRegistry::add(ProgramHandle handle) {
+  GR_CHECK_MSG(!handle.name.empty(), "program name must be non-empty");
+  GR_CHECK_MSG(static_cast<bool>(handle.run),
+               "program '" << handle.name << "' has no run function");
+  for (ProgramHandle& existing : handles_) {
+    if (existing.name == handle.name) {
+      existing = std::move(handle);  // idempotent re-registration
+      return;
+    }
+  }
+  handles_.push_back(std::move(handle));
+}
+
+const ProgramHandle* ProgramRegistry::find(const std::string& name) const {
+  for (const ProgramHandle& handle : handles_)
+    if (handle.name == name) return &handle;
+  return nullptr;
+}
+
+const ProgramHandle& ProgramRegistry::at(const std::string& name) const {
+  const ProgramHandle* handle = find(name);
+  if (handle == nullptr) {
+    std::string known;
+    for (const std::string& n : names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    GR_CHECK_MSG(false, "unknown program '" << name << "' (registered: "
+                                            << known << ")");
+  }
+  return *handle;
+}
+
+std::vector<std::string> ProgramRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(handles_.size());
+  for (const ProgramHandle& handle : handles_) out.push_back(handle.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t fnv1a_bytes(const void* data, std::size_t bytes,
+                          std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace gr::core

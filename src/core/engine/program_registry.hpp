@@ -1,0 +1,86 @@
+// Type-erased program registry: run a GAS program by name without
+// naming its types at the call site.
+//
+// A ProgramHandle wraps everything needed to execute one registered
+// program end-to-end — construct the typed Engine<P>, seed it, run it,
+// and reduce the typed results to a type-erased ProgramRunResult (the
+// RunReport, a bitwise FNV-1a hash of the final vertex values, and a
+// per-vertex scalar projection). Benches, examples, and tools select
+// programs by string, so adding a program touches one registration
+// site instead of every dispatch switch.
+//
+// Registration is explicit: call the register_*_programs() function of
+// the library that defines the programs (e.g. algo::register_builtin_
+// programs()). Static-initializer registration is deliberately avoided
+// — these libraries are linked statically, and unreferenced TU-level
+// initializers are dropped by the linker.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "graph/edge_list.hpp"
+
+namespace gr::core {
+
+/// Type-erased run parameters: the traversal seed for source-based
+/// programs (BFS/SSSP ignore nothing, PageRank/CC ignore it) and an
+/// optional iteration cap overriding the program's default.
+struct ProgramSpec {
+  graph::VertexId source = 0;
+  std::uint32_t max_iterations = 0;  // 0 = program default
+};
+
+/// Type-erased result of a registered-program run.
+struct ProgramRunResult {
+  RunReport report;
+  /// FNV-1a over the raw bytes of the final vertex values — the bitwise
+  /// determinism witness (identical for any thread count).
+  std::uint64_t value_hash = 0;
+  /// Primary per-vertex scalar (depth, distance, rank, label, ...).
+  std::vector<double> values;
+};
+
+/// One registered program, runnable with the types erased.
+struct ProgramHandle {
+  std::string name;
+  std::string description;
+  std::function<ProgramRunResult(const graph::EdgeList& edges,
+                                 const ProgramSpec& spec,
+                                 const EngineOptions& options)>
+      run;
+};
+
+class ProgramRegistry {
+ public:
+  /// The process-wide registry.
+  static ProgramRegistry& global();
+
+  /// Adds (or, for a repeated name, replaces) a handle.
+  void add(ProgramHandle handle);
+
+  /// Handle lookup; nullptr when the name is unknown.
+  const ProgramHandle* find(const std::string& name) const;
+  /// Handle lookup; throws util::CheckError listing known names.
+  const ProgramHandle& at(const std::string& name) const;
+
+  bool contains(const std::string& name) const {
+    return find(name) != nullptr;
+  }
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+  std::size_t size() const { return handles_.size(); }
+
+ private:
+  std::vector<ProgramHandle> handles_;
+};
+
+/// FNV-1a over raw bytes (the registry's value-hash function, exposed
+/// for callers that hash typed results the same way).
+std::uint64_t fnv1a_bytes(const void* data, std::size_t bytes,
+                          std::uint64_t seed = 14695981039346656037ull);
+
+}  // namespace gr::core

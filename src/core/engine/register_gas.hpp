@@ -1,0 +1,62 @@
+// Bridge from a typed GAS program to a type-erased ProgramHandle.
+//
+// register_gas_program<P> packages the two program-specific callbacks —
+// how to seed a ProgramInstance<P> from a type-erased ProgramSpec, and
+// how to project one VertexData to the primary scalar — into a handle
+// whose run() constructs Engine<P>, executes it, and hashes the raw
+// final vertex values (the same bitwise determinism witness the
+// wall-clock scaling bench checks).
+#pragma once
+
+#include <utility>
+
+#include "core/engine.hpp"
+#include "core/engine/program_registry.hpp"
+
+namespace gr::core {
+
+template <GasProgram P>
+struct GasRegistration {
+  std::string name;
+  std::string description;
+  /// Builds the seeded instance (init functions, frontier, default
+  /// iteration cap) for one run. Called once per ProgramHandle::run.
+  std::function<ProgramInstance<P>(const graph::EdgeList& edges,
+                                   const ProgramSpec& spec)>
+      make_instance;
+  /// Projects a final vertex value to the result scalar. Optional; when
+  /// absent, ProgramRunResult::values stays empty (the hash is always
+  /// computed).
+  std::function<double(const typename P::VertexData&)> project;
+};
+
+template <GasProgram P>
+void register_gas_program(GasRegistration<P> registration) {
+  GR_CHECK_MSG(static_cast<bool>(registration.make_instance),
+               "program '" << registration.name << "' needs make_instance");
+  ProgramHandle handle;
+  handle.name = registration.name;
+  handle.description = registration.description;
+  handle.run = [registration = std::move(registration)](
+                   const graph::EdgeList& edges, const ProgramSpec& spec,
+                   const EngineOptions& options) {
+    ProgramInstance<P> instance = registration.make_instance(edges, spec);
+    if (spec.max_iterations != 0)
+      instance.default_max_iterations = spec.max_iterations;
+    Engine<P> engine(edges, std::move(instance), options);
+    ProgramRunResult result;
+    result.report = engine.run();
+    const std::span<const typename P::VertexData> values =
+        engine.vertex_values();
+    result.value_hash = fnv1a_bytes(values.data(), values.size_bytes());
+    if (registration.project) {
+      result.values.reserve(values.size());
+      for (const typename P::VertexData& v : values)
+        result.values.push_back(registration.project(v));
+    }
+    return result;
+  };
+  ProgramRegistry::global().add(std::move(handle));
+}
+
+}  // namespace gr::core

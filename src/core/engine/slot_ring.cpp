@@ -1,0 +1,103 @@
+#include "core/engine/slot_ring.hpp"
+
+#include <algorithm>
+
+namespace gr::core {
+
+SlotExtents compute_slot_extents(const PartitionedGraph& graph,
+                                 std::uint32_t slot,
+                                 std::uint32_t slot_count,
+                                 std::uint32_t partitions) {
+  SlotExtents extents;
+  for (std::uint32_t p = slot; p < partitions; p += slot_count) {
+    const ShardTopology& shard = graph.shard(p);
+    extents.max_interval =
+        std::max(extents.max_interval, shard.interval.size());
+    extents.max_in_edges =
+        std::max(extents.max_in_edges, shard.in_edge_count());
+    extents.max_out_edges =
+        std::max(extents.max_out_edges, shard.out_edge_count());
+  }
+  return extents;
+}
+
+SlotExtents compute_slot_extents(const PartitionedGraph& graph,
+                                 std::span<const std::uint32_t> shard_ids,
+                                 std::uint32_t slot,
+                                 std::uint32_t slot_count) {
+  SlotExtents extents;
+  for (std::size_t i = slot; i < shard_ids.size(); i += slot_count) {
+    const ShardTopology& shard = graph.shard(shard_ids[i]);
+    extents.max_interval =
+        std::max(extents.max_interval, shard.interval.size());
+    extents.max_in_edges =
+        std::max(extents.max_in_edges, shard.in_edge_count());
+    extents.max_out_edges =
+        std::max(extents.max_out_edges, shard.out_edge_count());
+  }
+  return extents;
+}
+
+void SlotRing::reset() {
+  lanes_.clear();
+  spray_streams_.clear();
+  spray_cursor_ = 0;
+}
+
+SlotLane& SlotRing::add_lane(vgpu::Device& device, bool async) {
+  SlotLane lane;
+  lane.stream = async ? &device.create_stream() : &device.default_stream();
+  lanes_.push_back(lane);
+  return lanes_.back();
+}
+
+void SlotRing::create_spray_streams(vgpu::Device& device, bool async,
+                                    int max_concurrent_kernels) {
+  if (!async) return;
+  const int spray_count = std::min(8, max_concurrent_kernels / 2);
+  for (int i = 0; i < spray_count; ++i)
+    spray_streams_.push_back(&device.create_stream());
+}
+
+void SlotRing::copy_to_lane(vgpu::Device& device, SlotLane& lane,
+                            void* device_dst, const void* host_src,
+                            std::uint64_t bytes, bool spray,
+                            double spill_seconds) {
+  const bool can_spray = spray && !spray_streams_.empty();
+  if (spill_seconds > 0.0 && bytes > 0) {
+    device.host_task(*lane.stream, spill_seconds, {});
+    if (can_spray) {
+      vgpu::Event& faulted = device.create_event();
+      device.record_event(*lane.stream, faulted);
+      lane.free_event = &faulted;
+    }
+  }
+  if (!can_spray) {
+    device.memcpy_h2d(*lane.stream, device_dst, host_src, bytes);
+    return;
+  }
+  // Spray: issue the deep copy on a dynamically selected stream, gated
+  // on the lane being free, and make the lane stream wait for it.
+  vgpu::Stream& spray_stream =
+      *spray_streams_[spray_cursor_++ % spray_streams_.size()];
+  if (lane.free_event != nullptr)
+    device.wait_event(spray_stream, *lane.free_event);
+  device.memcpy_h2d(spray_stream, device_dst, host_src, bytes);
+  vgpu::Event& done = device.create_event();
+  device.record_event(spray_stream, done);
+  device.wait_event(*lane.stream, done);
+}
+
+void SlotRing::finish_shard(vgpu::Device& device, SlotLane& lane,
+                            bool async) {
+  if (async) {
+    vgpu::Event& free_event = device.create_event();
+    device.record_event(*lane.stream, free_event);
+    lane.free_event = &free_event;
+  } else {
+    // Fully synchronous baseline: drain after every shard.
+    device.synchronize();
+  }
+}
+
+}  // namespace gr::core

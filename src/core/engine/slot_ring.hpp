@@ -1,0 +1,107 @@
+// The shard-slot ring and spray-stream pool (paper §5.1), extracted
+// from the engine template. A SlotLane is the type-independent half of
+// one device-resident shard slot: its CUDA-style stream, the event
+// chain that marks its buffers reusable (double buffering), and the
+// resident-mode upload flags. The ring owns lane rotation (shard p runs
+// on lane p % K), the dynamically created spray streams deep copies fan
+// out over, and the copy-issue protocol — including the SSD fault-in
+// serialization for spilled host data (§8(2)).
+//
+// Typed slot buffers stay in the templated shim; everything the paper's
+// Data Movement Engine does with streams and events lives here and is
+// unit-testable without a GAS program.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "util/common.hpp"
+#include "vgpu/device.hpp"
+
+namespace gr::core {
+
+/// Type-independent state of one shard slot.
+struct SlotLane {
+  vgpu::Stream* stream = nullptr;
+  /// Buffers are reusable by the next shard after this event.
+  vgpu::Event* free_event = nullptr;
+  // Resident mode: which buffer groups were already uploaded.
+  bool in_loaded = false;
+  bool out_loaded = false;
+  bool state_loaded = false;
+};
+
+/// Largest shard extents a slot must accommodate (typed-buffer sizing).
+struct SlotExtents {
+  graph::VertexId max_interval = 0;
+  graph::EdgeId max_in_edges = 0;
+  graph::EdgeId max_out_edges = 0;
+};
+
+/// Extents over the shards lane `slot` hosts when `partitions` shards
+/// rotate through `slot_count` lanes (shards slot, slot+K, slot+2K, …).
+SlotExtents compute_slot_extents(const PartitionedGraph& graph,
+                                 std::uint32_t slot,
+                                 std::uint32_t slot_count,
+                                 std::uint32_t partitions);
+
+/// Extents over an explicit shard-id list striped across lanes (the
+/// multi-GPU engine's per-device form: ids[slot], ids[slot+K], …).
+SlotExtents compute_slot_extents(const PartitionedGraph& graph,
+                                 std::span<const std::uint32_t> shard_ids,
+                                 std::uint32_t slot,
+                                 std::uint32_t slot_count);
+
+class SlotRing : util::NonCopyable {
+ public:
+  /// Drops all lanes and spray streams (streams themselves are owned by
+  /// the device and survive until device destruction — matching CUDA,
+  /// where destroying a stream mid-flight is not part of the hot path).
+  void reset();
+
+  /// Appends a lane. `async` gives the lane its own stream (double
+  /// buffering); otherwise it shares the device's default stream (the
+  /// fully synchronous baseline). The returned reference is invalidated
+  /// by the next add_lane/reset; use lane(i) for stable access.
+  SlotLane& add_lane(vgpu::Device& device, bool async);
+
+  /// Creates the deep-copy spray pool: a small number of dynamically
+  /// created streams bounded by the Hyper-Q width. No-op unless async.
+  void create_spray_streams(vgpu::Device& device, bool async,
+                            int max_concurrent_kernels);
+
+  std::size_t size() const { return lanes_.size(); }
+  SlotLane& lane(std::size_t i) { return lanes_[i]; }
+  /// Double-buffer rotation: shard p streams through lane p % K.
+  SlotLane& lane_for_shard(std::uint32_t p) {
+    return lanes_[p % lanes_.size()];
+  }
+
+  std::size_t spray_stream_count() const { return spray_streams_.size(); }
+  /// Round-robin position of the next sprayed copy (testing/telemetry).
+  std::size_t spray_cursor() const { return spray_cursor_; }
+
+  /// Issues one host-to-device copy into a lane's buffer.
+  /// `spill_seconds` > 0 first serializes an SSD fault-in of that
+  /// duration on the lane stream (the disk is one device, not one per
+  /// spray stream) and gates the sprayed copy through the lane's
+  /// free-event chain. With spraying the copy itself lands on the next
+  /// spray stream, waits for the lane to be free, and the lane stream
+  /// waits for its completion.
+  void copy_to_lane(vgpu::Device& device, SlotLane& lane, void* device_dst,
+                    const void* host_src, std::uint64_t bytes, bool spray,
+                    double spill_seconds);
+
+  /// Marks the lane's buffers free for the next shard in async mode
+  /// (records the free event); drains the device otherwise.
+  void finish_shard(vgpu::Device& device, SlotLane& lane, bool async);
+
+ private:
+  std::vector<SlotLane> lanes_;
+  std::vector<vgpu::Stream*> spray_streams_;
+  std::size_t spray_cursor_ = 0;
+};
+
+}  // namespace gr::core

@@ -1,0 +1,36 @@
+#include "core/engine/transfer_plan.hpp"
+
+namespace gr::core {
+
+TransferPlan build_transfer_plan(std::uint32_t partitions,
+                                 const FrontierManager& frontier,
+                                 bool frontier_management) {
+  TransferPlan plan;
+  plan.active_shards.reserve(partitions);
+  for (std::uint32_t p = 0; p < partitions; ++p) {
+    if (!frontier_management || frontier.shard_has_work(p))
+      plan.active_shards.push_back(p);
+    else
+      ++plan.skipped;
+  }
+  return plan;
+}
+
+ShardWork plan_shard_work(const PartitionedGraph& graph,
+                          const FrontierManager& frontier,
+                          bool frontier_management, std::uint32_t shard) {
+  ShardWork work;
+  if (frontier_management) {
+    work.active_vertices = frontier.shard_active_vertices(shard);
+    work.active_in_edges = frontier.shard_active_in_edges(shard);
+    work.active_out_edges = frontier.shard_active_out_edges(shard);
+  } else {
+    const ShardTopology& topo = graph.shard(shard);
+    work.active_vertices = topo.interval.size();
+    work.active_in_edges = topo.in_edge_count();
+    work.active_out_edges = topo.out_edge_count();
+  }
+  return work;
+}
+
+}  // namespace gr::core

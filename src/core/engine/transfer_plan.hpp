@@ -1,0 +1,49 @@
+// Frontier-driven transfer culling (paper §5.2), extracted from the
+// engine so the shard-skip decision is a plain data transformation:
+// frontier aggregates in, the iteration's shard schedule out. Both the
+// single-GPU engine and the multi-GPU engine build their schedules here,
+// and the logic is unit-testable without a GAS program.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/frontier.hpp"
+#include "core/partition.hpp"
+
+namespace gr::core {
+
+/// Active work a shard contributes this iteration, used to scale kernel
+/// costs to the frontier (CTA load balancing from frontier information).
+struct ShardWork {
+  std::uint64_t active_vertices = 0;
+  std::uint64_t active_in_edges = 0;
+  std::uint64_t active_out_edges = 0;
+};
+
+/// One iteration's shard schedule: which shards the Data Movement
+/// Engine will stream, and how many it culled entirely.
+struct TransferPlan {
+  std::vector<std::uint32_t> active_shards;
+  std::uint32_t skipped = 0;
+
+  std::uint32_t processed() const {
+    return static_cast<std::uint32_t>(active_shards.size());
+  }
+};
+
+/// Computes the schedule for one iteration. With frontier management
+/// off every shard is streamed (the paper's unoptimized baseline); with
+/// it on, a shard with no active vertices is neither transferred nor
+/// launched.
+TransferPlan build_transfer_plan(std::uint32_t partitions,
+                                 const FrontierManager& frontier,
+                                 bool frontier_management);
+
+/// Per-shard kernel sizing: active counts from the frontier when
+/// management is on, the shard's full topology extent otherwise.
+ShardWork plan_shard_work(const PartitionedGraph& graph,
+                          const FrontierManager& frontier,
+                          bool frontier_management, std::uint32_t shard);
+
+}  // namespace gr::core

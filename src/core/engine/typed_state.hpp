@@ -1,0 +1,356 @@
+// The typed half of the engine: everything that depends on the user
+// program's data types, packaged as a ProgramHooks implementation that
+// plugs into the non-template EngineCore. Owns the host master arrays,
+// the static device buffers, and the per-slot typed buffers; issues
+// every copy through EngineCore so spray/spill policy stays in one
+// place. The kernel bodies live in core/engine/kernels.hpp.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "core/engine/engine_core.hpp"
+#include "core/gas.hpp"
+#include "core/parallel.hpp"
+#include "graph/edge_list.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gr::core {
+
+/// Runtime half of a program: initial state and frontier seed. The
+/// static half (types + device functions) lives in the program struct P.
+template <GasProgram P>
+struct ProgramInstance {
+  std::function<typename P::VertexData(graph::VertexId)> init_vertex;
+  /// Builds initial edge state from the input weight; required only when
+  /// EdgeData is non-empty.
+  std::function<typename P::EdgeData(float)> init_edge;
+  InitialFrontier frontier = InitialFrontier::all();
+  std::uint32_t default_max_iterations = 1000;
+};
+
+template <GasProgram P>
+class TypedProgramState final : public ProgramHooks {
+ public:
+  using VertexData = typename P::VertexData;
+  using EdgeData = typename P::EdgeData;
+  using GatherResult = typename P::GatherResult;
+
+  static constexpr bool kHasEdgeState = !std::is_empty_v<EdgeData>;
+
+  static ProgramFootprint footprint() {
+    ProgramFootprint f;
+    f.vertex_bytes = sizeof(VertexData);
+    f.gather_bytes = sizeof(GatherResult);
+    f.edge_state_bytes = kHasEdgeState ? sizeof(EdgeData) : 0;
+    f.has_gather = P::has_gather;
+    f.has_scatter = P::has_scatter;
+    f.has_edge_state = kHasEdgeState;
+    return f;
+  }
+
+  TypedProgramState(EngineCore& core, ProgramInstance<P> instance)
+      : core_(core), instance_(std::move(instance)) {
+    GR_CHECK_MSG(instance_.init_vertex, "init_vertex is required");
+    if constexpr (kHasEdgeState) {
+      GR_CHECK_MSG(instance_.init_edge,
+                   "init_edge is required for programs with edge state");
+    }
+  }
+
+  const ProgramInstance<P>& instance() const { return instance_; }
+
+  /// Host masters (disjoint per-slot writes: safe to initialize in
+  /// parallel). Called once the partitioned graph is final.
+  void init_host_masters(const graph::EdgeList& edges) {
+    const PartitionedGraph& graph = core_.graph();
+    const graph::VertexId n = edges.num_vertices();
+    h_vertex_.resize(n);
+    util::parallel_for(0, n, kVertexGrain, [&](std::size_t v) {
+      h_vertex_[v] = instance_.init_vertex(static_cast<graph::VertexId>(v));
+    });
+    if constexpr (kHasEdgeState) {
+      h_edge_state_.resize(edges.num_edges());
+      util::parallel_for(0, graph.num_shards(), 1, [&](std::size_t p) {
+        const ShardTopology& shard =
+            graph.shard(static_cast<std::uint32_t>(p));
+        for (graph::EdgeId slot = 0; slot < shard.in_edge_count(); ++slot) {
+          const graph::EdgeId orig = shard.in_orig_edge[slot];
+          h_edge_state_[shard.canonical_base + slot] =
+              instance_.init_edge(edges.weight(orig));
+        }
+      });
+    }
+    if constexpr (P::has_gather) {
+      if (!core_.options().phase_fusion)
+        h_gather_temp_.resize(edges.num_edges());
+    }
+  }
+
+  std::span<const VertexData> vertex_values() const { return h_vertex_; }
+  std::span<const EdgeData> edge_values() const { return h_edge_state_; }
+
+  const EdgeData& edge_value(graph::EdgeId original_index) const {
+    static_assert(kHasEdgeState, "program has no edge state");
+    // Canonical slot lookup: scan the owning shard (dst-determined).
+    for (const ShardTopology& shard : core_.graph().shards()) {
+      for (graph::EdgeId slot = 0; slot < shard.in_edge_count(); ++slot) {
+        if (shard.in_orig_edge[slot] == original_index)
+          return h_edge_state_[shard.canonical_base + slot];
+      }
+    }
+    GR_CHECK_MSG(false, "edge index out of range");
+    __builtin_unreachable();
+  }
+
+  // --- ProgramHooks ---
+
+  void allocate_device_state() override {
+    vgpu::Device& dev = core_.device();
+    const EngineOptions& options = core_.options();
+    const graph::VertexId n = core_.graph().num_vertices();
+    d_vertex_ = dev.alloc<VertexData>(n);
+    if constexpr (P::has_gather) d_gather_ = dev.alloc<GatherResult>(n);
+    core_.allocate_frontier_state();
+
+    // Slot buffers sized for the largest shard each slot may host.
+    const std::uint32_t slots = core_.slots();
+    slots_.resize(slots);
+    for (std::uint32_t s = 0; s < slots; ++s) {
+      SlotBuffers& slot = slots_[s];
+      const SlotExtents ext = compute_slot_extents(core_.graph(), s, slots,
+                                                   core_.partitions());
+      if (core_.uses_in_edges()) {
+        slot.in_offsets = dev.alloc<graph::EdgeId>(ext.max_interval + 1);
+        slot.in_src = dev.alloc<graph::VertexId>(ext.max_in_edges);
+        if constexpr (P::has_gather)
+          slot.gather_temp = dev.alloc<GatherResult>(ext.max_in_edges);
+      }
+      // Edge values travel with the shard in every pass that moves it,
+      // independent of whether the in-edge topology is needed.
+      if constexpr (kHasEdgeState)
+        slot.in_state = dev.alloc<EdgeData>(ext.max_in_edges);
+      slot.out_offsets = dev.alloc<graph::EdgeId>(ext.max_interval + 1);
+      slot.out_dst = dev.alloc<graph::VertexId>(ext.max_out_edges);
+      if constexpr (P::has_scatter) {
+        // Canonical edge-state positions are only needed to route scatter
+        // updates; programs without scatter never allocate or move them
+        // (dynamic phase elimination, §5.3).
+        slot.out_pos = dev.alloc<graph::EdgeId>(ext.max_out_edges);
+        slot.scatter_state = dev.alloc<EdgeData>(ext.max_out_edges);
+        slot.scatter_touched = dev.alloc<std::uint8_t>(ext.max_out_edges);
+        slot.staging_state.resize(ext.max_out_edges);
+        slot.staging_touched.resize(ext.max_out_edges);
+      }
+      core_.ring().add_lane(dev, options.async_spray);
+    }
+    core_.ring().create_spray_streams(dev, options.async_spray,
+                                      options.device.max_concurrent_kernels);
+  }
+
+  void release_device_state() override {
+    slots_.clear();
+    d_vertex_ = {};
+    d_gather_ = {};
+  }
+
+  void upload_static_state(vgpu::Stream& stream) override {
+    core_.device().memcpy_h2d(stream, d_vertex_.data(), h_vertex_.data(),
+                              h_vertex_.size() * sizeof(VertexData));
+  }
+
+  void upload_shard(const Pass& pass, std::uint32_t p,
+                    SlotLane& lane) override {
+    SlotBuffers& slot = slot_for_shard(p);
+    const ShardTopology& shard = core_.graph().shard(p);
+    const graph::VertexId iv = shard.interval.size();
+    const bool resident = core_.resident_mode();
+    // Resident mode: topology uploads happen once; mutable edge state is
+    // refreshed whenever scatter may have rewritten the canonical array.
+    const bool want_in = pass.needs_in_edges && core_.uses_in_edges() &&
+                         (!resident || !lane.in_loaded);
+    const bool want_state = kHasEdgeState && pass.moves_edge_state &&
+                            (!resident || !lane.state_loaded || P::has_scatter);
+    const bool want_out =
+        pass.needs_out_edges && (!resident || !lane.out_loaded);
+    if (want_in) {
+      core_.copy_to_slot(lane, slot.in_offsets.data(),
+                         shard.in_offsets.data(),
+                         (iv + 1) * sizeof(graph::EdgeId));
+      core_.copy_to_slot(lane, slot.in_src.data(), shard.in_src.data(),
+                         shard.in_edge_count() * sizeof(graph::VertexId));
+      if (resident) lane.in_loaded = true;
+    }
+    if constexpr (kHasEdgeState) {
+      if (want_state) {
+        core_.copy_to_slot(lane, slot.in_state.data(),
+                           h_edge_state_.data() + shard.canonical_base,
+                           shard.in_edge_count() * sizeof(EdgeData));
+        if (resident) lane.state_loaded = true;
+      }
+    }
+    if (want_out) {
+      if (resident) lane.out_loaded = true;
+      core_.copy_to_slot(lane, slot.out_offsets.data(),
+                         shard.out_offsets.data(),
+                         (iv + 1) * sizeof(graph::EdgeId));
+      core_.copy_to_slot(lane, slot.out_dst.data(), shard.out_dst.data(),
+                         shard.out_edge_count() * sizeof(graph::VertexId));
+      if constexpr (P::has_scatter) {
+        core_.copy_to_slot(lane, slot.out_pos.data(),
+                           shard.out_canonical_pos.data(),
+                           shard.out_edge_count() * sizeof(graph::EdgeId));
+      }
+    }
+  }
+
+  void before_kernels(const Pass& pass, std::uint32_t p,
+                      SlotLane& lane) override {
+    // Unoptimized plans spill the gather temp between phases (the paper's
+    // per-phase memcpy-in/out of the whole shard).
+    if constexpr (P::has_gather) {
+      if (!core_.options().phase_fusion && !pass.kernels.empty() &&
+          pass.kernels.front() == PhaseKernel::kGatherReduce) {
+        const ShardTopology& shard = core_.graph().shard(p);
+        core_.device().memcpy_h2d(
+            *lane.stream, slot_for_shard(p).gather_temp.data(),
+            h_gather_temp_.data() + shard.canonical_base,
+            shard.in_edge_count() * sizeof(GatherResult));
+      }
+    }
+    if (pass.scatter_round_trip) scatter_round_trip_pre(p, lane);
+  }
+
+  void enqueue_kernels(const Pass& pass, std::uint32_t shard, SlotLane& lane,
+                       std::uint32_t iteration,
+                       const ShardWork& work) override;  // kernels.hpp
+
+  void after_kernels(const Pass& pass, std::uint32_t p,
+                     SlotLane& lane) override {
+    if (pass.scatter_round_trip) scatter_round_trip_post(p, lane);
+    if constexpr (P::has_gather) {
+      if (!core_.options().phase_fusion && !pass.kernels.empty() &&
+          pass.kernels.front() == PhaseKernel::kGatherMap) {
+        const ShardTopology& shard = core_.graph().shard(p);
+        core_.device().memcpy_d2h(
+            *lane.stream, h_gather_temp_.data() + shard.canonical_base,
+            slot_for_shard(p).gather_temp.data(),
+            shard.in_edge_count() * sizeof(GatherResult));
+      }
+    }
+  }
+
+  void download_results(vgpu::Stream& stream) override {
+    core_.device().memcpy_d2h(stream, h_vertex_.data(), d_vertex_.data(),
+                              h_vertex_.size() * sizeof(VertexData));
+  }
+
+ private:
+  // Streamed per-slot typed device buffers (one shard resident per
+  // slot); the type-independent lane (stream/events/flags) lives in the
+  // EngineCore's SlotRing at the same index.
+  struct SlotBuffers {
+    vgpu::DeviceBuffer<graph::EdgeId> in_offsets;
+    vgpu::DeviceBuffer<graph::VertexId> in_src;
+    vgpu::DeviceBuffer<EdgeData> in_state;
+    vgpu::DeviceBuffer<GatherResult> gather_temp;
+    vgpu::DeviceBuffer<graph::EdgeId> out_offsets;
+    vgpu::DeviceBuffer<graph::VertexId> out_dst;
+    vgpu::DeviceBuffer<graph::EdgeId> out_pos;
+    vgpu::DeviceBuffer<EdgeData> scatter_state;
+    vgpu::DeviceBuffer<std::uint8_t> scatter_touched;
+    // Host staging for the scatter round trip.
+    std::vector<EdgeData> staging_state;
+    std::vector<std::uint8_t> staging_touched;
+  };
+
+  SlotBuffers& slot_for_shard(std::uint32_t p) {
+    return slots_[p % slots_.size()];
+  }
+
+  void scatter_round_trip_pre(std::uint32_t p, SlotLane& lane) {
+    if constexpr (P::has_scatter) {
+      vgpu::Device& dev = core_.device();
+      SlotBuffers& slot = slot_for_shard(p);
+      const ShardTopology& shard = core_.graph().shard(p);
+      const graph::EdgeId out_m = shard.out_edge_count();
+      // Host-side gather of current out-edge states from the canonical
+      // array (they live CSC-ordered in other shards' slices).
+      const double gather_cost =
+          static_cast<double>(out_m) *
+          (sizeof(EdgeData) + sizeof(graph::EdgeId)) /
+          core_.options().host_bandwidth;
+      // Each out-edge owns one staging slot, so the host-side gather runs
+      // over disjoint parallel blocks.
+      dev.host_task(*lane.stream, gather_cost, [this, &slot, &shard, out_m] {
+        util::parallel_for_blocks(
+            0, out_m, kVertexGrain, [&](std::size_t lo, std::size_t hi) {
+              for (std::size_t e = lo; e < hi; ++e)
+                slot.staging_state[e] =
+                    h_edge_state_[shard.out_canonical_pos[e]];
+              std::fill(slot.staging_touched.begin() + lo,
+                        slot.staging_touched.begin() + hi, std::uint8_t{0});
+            });
+      });
+      dev.memcpy_h2d(*lane.stream, slot.scatter_state.data(),
+                     slot.staging_state.data(), out_m * sizeof(EdgeData));
+      dev.memcpy_h2d(*lane.stream, slot.scatter_touched.data(),
+                     slot.staging_touched.data(), out_m);
+    } else {
+      (void)p;
+      (void)lane;
+    }
+  }
+
+  void scatter_round_trip_post(std::uint32_t p, SlotLane& lane) {
+    if constexpr (P::has_scatter) {
+      vgpu::Device& dev = core_.device();
+      SlotBuffers& slot = slot_for_shard(p);
+      const ShardTopology& shard = core_.graph().shard(p);
+      const graph::EdgeId out_m = shard.out_edge_count();
+      dev.memcpy_d2h(*lane.stream, slot.staging_state.data(),
+                     slot.scatter_state.data(), out_m * sizeof(EdgeData));
+      dev.memcpy_d2h(*lane.stream, slot.staging_touched.data(),
+                     slot.scatter_touched.data(), out_m);
+      const double route_cost =
+          static_cast<double>(out_m) *
+          (sizeof(EdgeData) + sizeof(graph::EdgeId) + 1) /
+          core_.options().host_bandwidth;
+      // Canonical positions are unique per out-edge (each edge has exactly
+      // one CSR slot routing to its one CSC home), so routing writes are
+      // disjoint across parallel blocks.
+      dev.host_task(*lane.stream, route_cost, [this, &slot, &shard, out_m] {
+        util::parallel_for_blocks(
+            0, out_m, kVertexGrain, [&](std::size_t lo, std::size_t hi) {
+              for (std::size_t e = lo; e < hi; ++e) {
+                if (slot.staging_touched[e])
+                  h_edge_state_[shard.out_canonical_pos[e]] =
+                      slot.staging_state[e];
+              }
+            });
+      });
+    } else {
+      (void)p;
+      (void)lane;
+    }
+  }
+
+  EngineCore& core_;
+  ProgramInstance<P> instance_;
+
+  // Host masters.
+  std::vector<VertexData> h_vertex_;
+  std::vector<EdgeData> h_edge_state_;       // canonical CSC order
+  std::vector<GatherResult> h_gather_temp_;  // unfused per-phase spill
+
+  // Static device state.
+  vgpu::DeviceBuffer<VertexData> d_vertex_;
+  vgpu::DeviceBuffer<GatherResult> d_gather_;
+
+  std::vector<SlotBuffers> slots_;
+};
+
+}  // namespace gr::core

@@ -29,6 +29,9 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "core/engine/footprint.hpp"
+#include "core/engine/slot_ring.hpp"
+#include "core/engine/transfer_plan.hpp"
 #include "core/frontier.hpp"
 #include "core/gas.hpp"
 #include "core/options.hpp"
@@ -124,6 +127,8 @@ class MultiGpuEngine : util::NonCopyable {
   }
 
  private:
+  // Typed slot buffers; the stream lives in the per-device SlotRing lane
+  // with the same index (shared with the single-GPU engine).
   struct Slot {
     vgpu::DeviceBuffer<graph::EdgeId> in_offsets;
     vgpu::DeviceBuffer<graph::VertexId> in_src;
@@ -131,7 +136,6 @@ class MultiGpuEngine : util::NonCopyable {
     vgpu::DeviceBuffer<GatherResult> gather_temp;
     vgpu::DeviceBuffer<graph::EdgeId> out_offsets;
     vgpu::DeviceBuffer<graph::VertexId> out_dst;
-    vgpu::Stream* stream = nullptr;
   };
   struct DeviceState {
     std::unique_ptr<vgpu::Device> device;
@@ -141,6 +145,7 @@ class MultiGpuEngine : util::NonCopyable {
     vgpu::DeviceBuffer<std::uint8_t> front_next;
     vgpu::DeviceBuffer<std::uint8_t> changed;
     std::vector<Slot> slots;
+    SlotRing ring;                      // one lane per slot
     std::vector<std::uint32_t> shards;  // owned shard ids
     graph::VertexId range_begin = 0;
     graph::VertexId range_end = 0;
@@ -150,8 +155,8 @@ class MultiGpuEngine : util::NonCopyable {
 
   void allocate_devices();
   void run_pass(bool gather_pass, std::uint32_t iteration);
-  void upload_shard(DeviceState& dev_state, Slot& slot, std::uint32_t p,
-                    bool gather_pass);
+  void upload_shard(DeviceState& dev_state, Slot& slot, SlotLane& lane,
+                    std::uint32_t p, bool gather_pass);
 
   ProgramInstance<P> instance_;
   MultiGpuOptions options_;
@@ -197,53 +202,55 @@ void MultiGpuEngine<P>::allocate_devices() {
     ds.slots.resize(slot_count);
     for (std::uint32_t s = 0; s < slot_count; ++s) {
       Slot& slot = ds.slots[s];
-      graph::VertexId max_iv = 0;
-      graph::EdgeId max_in = 0;
-      graph::EdgeId max_out = 0;
-      for (std::size_t i = s; i < ds.shards.size(); i += slot_count) {
-        const ShardTopology& shard = graph_.shard(ds.shards[i]);
-        max_iv = std::max(max_iv, shard.interval.size());
-        max_in = std::max(max_in, shard.in_edge_count());
-        max_out = std::max(max_out, shard.out_edge_count());
-      }
+      // Shared slot-sizing: largest shard among those rotating through
+      // this lane (same machinery as the single-GPU slot ring).
+      const SlotExtents ext =
+          compute_slot_extents(graph_, ds.shards, s, slot_count);
       if constexpr (P::has_gather) {
-        slot.in_offsets = ds.device->template alloc<graph::EdgeId>(max_iv + 1);
-        slot.in_src = ds.device->template alloc<graph::VertexId>(max_in);
-        slot.gather_temp = ds.device->template alloc<GatherResult>(max_in);
+        slot.in_offsets =
+            ds.device->template alloc<graph::EdgeId>(ext.max_interval + 1);
+        slot.in_src =
+            ds.device->template alloc<graph::VertexId>(ext.max_in_edges);
+        slot.gather_temp =
+            ds.device->template alloc<GatherResult>(ext.max_in_edges);
         if constexpr (kHasEdgeState)
-          slot.in_state = ds.device->template alloc<EdgeData>(max_in);
+          slot.in_state =
+              ds.device->template alloc<EdgeData>(ext.max_in_edges);
       }
-      slot.out_offsets = ds.device->template alloc<graph::EdgeId>(max_iv + 1);
-      slot.out_dst = ds.device->template alloc<graph::VertexId>(max_out);
-      slot.stream = &ds.device->create_stream();
+      slot.out_offsets =
+          ds.device->template alloc<graph::EdgeId>(ext.max_interval + 1);
+      slot.out_dst =
+          ds.device->template alloc<graph::VertexId>(ext.max_out_edges);
+      ds.ring.add_lane(*ds.device, /*async=*/true);
     }
   }
 }
 
 template <GasProgram P>
 void MultiGpuEngine<P>::upload_shard(DeviceState& ds, Slot& slot,
-                                     std::uint32_t p, bool gather_pass) {
+                                     SlotLane& lane, std::uint32_t p,
+                                     bool gather_pass) {
   const ShardTopology& shard = graph_.shard(p);
   const graph::VertexId iv = shard.interval.size();
   vgpu::Device& dev = *ds.device;
   if (gather_pass) {
     if constexpr (P::has_gather) {
-      dev.memcpy_h2d(*slot.stream, slot.in_offsets.data(),
+      dev.memcpy_h2d(*lane.stream, slot.in_offsets.data(),
                      shard.in_offsets.data(),
                      (iv + 1) * sizeof(graph::EdgeId));
-      dev.memcpy_h2d(*slot.stream, slot.in_src.data(), shard.in_src.data(),
+      dev.memcpy_h2d(*lane.stream, slot.in_src.data(), shard.in_src.data(),
                      shard.in_edge_count() * sizeof(graph::VertexId));
       if constexpr (kHasEdgeState) {
-        dev.memcpy_h2d(*slot.stream, slot.in_state.data(),
+        dev.memcpy_h2d(*lane.stream, slot.in_state.data(),
                        h_edge_state_.data() + shard.canonical_base,
                        shard.in_edge_count() * sizeof(EdgeData));
       }
     }
   } else {
-    dev.memcpy_h2d(*slot.stream, slot.out_offsets.data(),
+    dev.memcpy_h2d(*lane.stream, slot.out_offsets.data(),
                    shard.out_offsets.data(),
                    (iv + 1) * sizeof(graph::EdgeId));
-    dev.memcpy_h2d(*slot.stream, slot.out_dst.data(), shard.out_dst.data(),
+    dev.memcpy_h2d(*lane.stream, slot.out_dst.data(), shard.out_dst.data(),
                    shard.out_edge_count() * sizeof(graph::VertexId));
   }
 }
@@ -255,11 +262,15 @@ void MultiGpuEngine<P>::run_pass(bool gather_pass, std::uint32_t iteration) {
       const std::uint32_t p = ds.shards[i];
       if (!frontier_->shard_has_work(p)) continue;
       Slot& slot = ds.slots[i % ds.slots.size()];
+      SlotLane& lane = ds.ring.lane(i % ds.ring.size());
       const Interval iv = graph_.shard(p).interval;
-      const std::uint64_t active_v = frontier_->shard_active_vertices(p);
-      const std::uint64_t active_in = frontier_->shard_active_in_edges(p);
-      const std::uint64_t active_out = frontier_->shard_active_out_edges(p);
-      upload_shard(ds, slot, p, gather_pass);
+      // Shared frontier-scaled kernel sizing (§5.2 machinery).
+      const ShardWork work = plan_shard_work(graph_, *frontier_,
+                                             /*frontier_management=*/true, p);
+      const std::uint64_t active_v = work.active_vertices;
+      const std::uint64_t active_in = work.active_in_edges;
+      const std::uint64_t active_out = work.active_out_edges;
+      upload_shard(ds, slot, lane, p, gather_pass);
       vgpu::Device& dev = *ds.device;
       const std::uint8_t* cur = ds.front_cur.data();
 
@@ -271,7 +282,7 @@ void MultiGpuEngine<P>::run_pass(bool gather_pass, std::uint32_t iteration) {
           cost.sequential_bytes =
               active_in * (sizeof(graph::VertexId) + sizeof(GatherResult));
           cost.random_accesses = active_in;
-          dev.launch(*slot.stream, cost, [this, &ds, &slot, iv, cur] {
+          dev.launch(*lane.stream, cost, [this, &ds, &slot, iv, cur] {
             const graph::EdgeId* off = slot.in_offsets.data();
             const graph::VertexId* src = slot.in_src.data();
             const VertexData* vv = ds.vertex.data();
@@ -298,7 +309,7 @@ void MultiGpuEngine<P>::run_pass(bool gather_pass, std::uint32_t iteration) {
             active_v * (2 * sizeof(VertexData)) +
             active_out * (sizeof(graph::VertexId) + 1);
         cost.random_accesses = active_out;
-        dev.launch(*slot.stream, cost, [this, &ds, &slot, iv, cur,
+        dev.launch(*lane.stream, cost, [this, &ds, &slot, iv, cur,
                                         iteration] {
           VertexData* vv = ds.vertex.data();
           std::uint8_t* changed = ds.changed.data();
@@ -420,12 +431,11 @@ MultiGpuReport MultiGpuEngine<P>::run() {
     IterationStats stats;
     stats.iteration = iteration;
     stats.active_vertices = frontier_->active_vertices();
-    for (std::uint32_t p = 0; p < partitions_; ++p) {
-      if (frontier_->shard_has_work(p))
-        ++stats.shards_processed;
-      else
-        ++stats.shards_skipped;
-    }
+    // Shared §5.2 culling machinery: the same schedule run_pass honored.
+    const TransferPlan transfer = build_transfer_plan(
+        partitions_, *frontier_, /*frontier_management=*/true);
+    stats.shards_processed = transfer.processed();
+    stats.shards_skipped = transfer.skipped;
     report.history.push_back(stats);
     frontier_->advance();
     ++iteration;

@@ -1,0 +1,28 @@
+#include "core/options.hpp"
+
+#include "util/common.hpp"
+
+namespace gr::core {
+
+void EngineOptions::validate() const {
+  GR_CHECK_MSG(device.global_memory_bytes > 0,
+               "EngineOptions: device.global_memory_bytes must be > 0 "
+               "(a device with no memory cannot hold any shard)");
+  // With partitions == 0 the planner derives P and clamps K to it, so
+  // only an explicit P can make an explicit K unsatisfiable.
+  GR_CHECK_MSG(partitions == 0 || slots <= partitions,
+               "EngineOptions: slots (K=" << slots
+               << ") must not exceed partitions (P=" << partitions
+               << "); each slot hosts at least one shard");
+  GR_CHECK_MSG(host_memory_bytes == 0 || disk_bandwidth > 0,
+               "EngineOptions: host_memory_bytes limits host RAM, so the "
+               "SSD spill path needs disk_bandwidth > 0 (got "
+               << disk_bandwidth << ")");
+  GR_CHECK_MSG(host_bandwidth > 0,
+               "EngineOptions: host_bandwidth must be > 0 (got "
+               << host_bandwidth << ")");
+  GR_CHECK_MSG(device.max_concurrent_kernels >= 1,
+               "EngineOptions: device.max_concurrent_kernels must be >= 1");
+}
+
+}  // namespace gr::core

@@ -67,6 +67,12 @@ struct EngineOptions {
     o.phase_fusion = false;
     return o;
   }
+
+  /// Rejects configurations the runtime cannot honor (util::CheckError
+  /// with a message naming the offending field). Engine construction
+  /// calls this before any planning; callers building options by hand
+  /// can call it early for fail-fast behavior.
+  void validate() const;
 };
 
 /// Per-iteration trace entry (drives the Fig. 3/16/17 frontier plots).

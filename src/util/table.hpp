@@ -29,6 +29,8 @@ class Table {
 
   std::size_t row_count() const { return rows_.size(); }
   const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  const std::vector<std::string>& header_row() const { return header_; }
+  const std::string& title() const { return title_; }
 
  private:
   std::string title_;

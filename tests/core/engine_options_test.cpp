@@ -1,0 +1,71 @@
+#include "core/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/common.hpp"
+
+namespace gr::core {
+namespace {
+
+TEST(EngineOptionsValidate, DefaultsAreValid) {
+  EngineOptions options;
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(EngineOptionsValidate, RejectsMoreSlotsThanPartitions) {
+  EngineOptions options;
+  options.partitions = 2;
+  options.slots = 3;
+  EXPECT_THROW(options.validate(), util::CheckError);
+}
+
+TEST(EngineOptionsValidate, AcceptsSlotsWithAutoPartitionCount) {
+  // partitions == 0 derives P from device capacity, which clamps the
+  // slot count; any explicit K is fine then.
+  EngineOptions options;
+  options.partitions = 0;
+  options.slots = 7;
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(EngineOptionsValidate, RejectsZeroDeviceMemory) {
+  EngineOptions options;
+  options.device.global_memory_bytes = 0;
+  EXPECT_THROW(options.validate(), util::CheckError);
+}
+
+TEST(EngineOptionsValidate, RejectsSpillWithoutDiskBandwidth) {
+  EngineOptions options;
+  options.host_memory_bytes = 1 << 20;  // spill enabled...
+  options.disk_bandwidth = 0.0;         // ...but no disk to spill to
+  EXPECT_THROW(options.validate(), util::CheckError);
+  options.disk_bandwidth = -1.0;
+  EXPECT_THROW(options.validate(), util::CheckError);
+  options.disk_bandwidth = 500e6;
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(EngineOptionsValidate, RejectsNonPositiveHostBandwidth) {
+  EngineOptions options;
+  options.host_bandwidth = 0.0;
+  EXPECT_THROW(options.validate(), util::CheckError);
+}
+
+TEST(EngineOptionsValidate, RejectsNonPositiveConcurrentKernels) {
+  EngineOptions options;
+  options.device.max_concurrent_kernels = 0;
+  EXPECT_THROW(options.validate(), util::CheckError);
+}
+
+TEST(EngineOptionsValidate, EngineConstructionValidates) {
+  const auto edges = graph::path_graph(16);
+  EngineOptions options;
+  options.partitions = 2;
+  options.slots = 4;  // invalid: more resident slots than shards
+  EXPECT_THROW(algo::run_bfs(edges, 0, options), util::CheckError);
+}
+
+}  // namespace
+}  // namespace gr::core

@@ -354,5 +354,60 @@ TEST(EngineBehaviour, PartitionOverrideIsHonored) {
   EXPECT_EQ(result.report.partitions, 5u);
 }
 
+// Counts every observer callback and cross-checks the engine's own
+// report, proving the seam fires at each structural boundary.
+struct CountingObserver final : ExecutionObserver {
+  int runs = 0;
+  std::uint32_t iterations = 0;
+  std::uint64_t passes = 0;
+  std::uint64_t shards_enqueued = 0;
+  std::uint64_t shards_planned = 0;
+  RunReport last_report;
+
+  void on_run_begin(std::uint32_t, std::uint32_t, bool) override {
+    ++runs;
+  }
+  void on_iteration_begin(std::uint32_t, std::uint64_t) override {
+    ++iterations;
+  }
+  void on_transfer_plan(std::uint32_t, const TransferPlan& plan) override {
+    shards_planned += plan.processed();
+  }
+  void on_pass_begin(const Pass&, std::uint32_t) override { ++passes; }
+  void on_shard_enqueued(const Pass&, std::uint32_t,
+                         const ShardWork& work) override {
+    ++shards_enqueued;
+    EXPECT_GT(work.active_vertices, 0u);
+  }
+  void on_run_end(const RunReport& report) override { last_report = report; }
+};
+
+TEST(EngineBehaviour, ObserverSeesEveryStructuralBoundary) {
+  const EdgeList edges = graph::erdos_renyi(400, 4000, 9);
+  core::ProgramInstance<algo::Bfs> instance;
+  instance.init_vertex = [](VertexId v) {
+    return v == 0 ? 0u : algo::Bfs::kUnreached;
+  };
+  instance.frontier = InitialFrontier::single(0);
+  instance.default_max_iterations = edges.num_vertices() + 1;
+  Engine<algo::Bfs> engine(edges, std::move(instance),
+                           tiny_device(1 << 20));
+  CountingObserver observer;
+  engine.set_observer(&observer);
+  const RunReport report = engine.run();
+
+  EXPECT_EQ(observer.runs, 1);
+  EXPECT_EQ(observer.iterations, report.iterations);
+  EXPECT_EQ(observer.last_report.total_seconds, report.total_seconds);
+  // Every pass in every iteration processes each planned shard once.
+  std::uint64_t processed = 0;
+  for (const IterationStats& it : report.history)
+    processed += it.shards_processed;
+  EXPECT_EQ(observer.shards_planned, processed);
+  EXPECT_GT(observer.passes, 0u);
+  EXPECT_EQ(observer.shards_enqueued,
+            processed * (observer.passes / report.iterations));
+}
+
 }  // namespace
 }  // namespace gr::core

@@ -1,0 +1,122 @@
+#include "core/engine/program_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/algorithms/algorithms.hpp"
+#include "core/algorithms/registry.hpp"
+#include "graph/generators.hpp"
+#include "util/common.hpp"
+
+namespace gr::core {
+namespace {
+
+EngineOptions small_options() {
+  EngineOptions options;  // bench-default 50 MB device
+  return options;
+}
+
+TEST(ProgramRegistry, BuiltinProgramsAreRegistered) {
+  algo::register_builtin_programs();
+  const auto& registry = ProgramRegistry::global();
+  for (const char* name : {"bfs", "sssp", "pagerank", "cc"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    EXPECT_FALSE(registry.at(name).description.empty());
+  }
+}
+
+TEST(ProgramRegistry, UnknownNameThrowsWithKnownNames) {
+  algo::register_builtin_programs();
+  EXPECT_EQ(ProgramRegistry::global().find("no-such-program"), nullptr);
+  try {
+    ProgramRegistry::global().at("no-such-program");
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    // The error lists the registered names so typos are debuggable.
+    EXPECT_NE(std::string(e.what()).find("bfs"), std::string::npos);
+  }
+}
+
+TEST(ProgramRegistry, NamesAreSortedAndAddReplaces) {
+  algo::register_builtin_programs();
+  auto& registry = ProgramRegistry::global();
+  const auto names = registry.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+
+  const std::size_t size_before = registry.size();
+  ProgramHandle handle;
+  handle.name = "bfs";  // same name: replaces, does not grow
+  handle.description = "replacement";
+  handle.run = [](const graph::EdgeList&, const ProgramSpec&,
+                  const EngineOptions&) { return ProgramRunResult{}; };
+  registry.add(handle);
+  EXPECT_EQ(registry.size(), size_before);
+  EXPECT_EQ(registry.at("bfs").description, "replacement");
+
+  // Restore the real program for the rest of the suite.
+  algo::register_builtin_programs();
+  EXPECT_NE(registry.at("bfs").description, "replacement");
+}
+
+TEST(ProgramRegistry, BfsHandleMatchesDirectEngineRun) {
+  algo::register_builtin_programs();
+  const auto edges = graph::rmat(9, 4000, /*seed=*/3);
+
+  ProgramSpec spec;
+  spec.source = 5;
+  const ProgramRunResult via_registry =
+      ProgramRegistry::global().at("bfs").run(edges, spec, small_options());
+  const algo::BfsResult direct = algo::run_bfs(edges, 5, small_options());
+
+  ASSERT_EQ(via_registry.values.size(), direct.depth.size());
+  for (std::size_t v = 0; v < direct.depth.size(); ++v)
+    EXPECT_EQ(via_registry.values[v], static_cast<double>(direct.depth[v]));
+  EXPECT_EQ(via_registry.report.iterations, direct.report.iterations);
+  EXPECT_EQ(via_registry.report.total_seconds, direct.report.total_seconds);
+  // The hash is over the raw typed bytes — recomputable by callers.
+  EXPECT_EQ(via_registry.value_hash,
+            fnv1a_bytes(direct.depth.data(),
+                        direct.depth.size() * sizeof(direct.depth[0])));
+}
+
+TEST(ProgramRegistry, SpecMaxIterationsOverridesProgramDefault) {
+  algo::register_builtin_programs();
+  const auto edges = graph::rmat(8, 2000, /*seed=*/9);
+  ProgramSpec spec;
+  spec.max_iterations = 3;
+  const ProgramRunResult result =
+      ProgramRegistry::global().at("pagerank").run(edges, spec,
+                                                   small_options());
+  EXPECT_EQ(result.report.iterations, 3u);
+  EXPECT_FALSE(result.report.converged);
+}
+
+TEST(ProgramRegistry, ValueHashIsDeterministicAcrossThreadCounts) {
+  algo::register_builtin_programs();
+  auto edges = graph::rmat(9, 4000, /*seed=*/21);
+  edges.randomize_weights(1.0f, 10.0f, /*seed=*/5);
+  ProgramSpec spec;
+  spec.source = 0;
+  EngineOptions serial = small_options();
+  serial.threads = 1;
+  EngineOptions parallel = small_options();
+  parallel.threads = 4;
+
+  const auto a =
+      ProgramRegistry::global().at("sssp").run(edges, spec, serial);
+  const auto b =
+      ProgramRegistry::global().at("sssp").run(edges, spec, parallel);
+  EXPECT_EQ(a.value_hash, b.value_hash);
+  EXPECT_EQ(a.report.total_seconds, b.report.total_seconds);
+}
+
+TEST(Fnv1aBytes, MatchesReferenceConstants) {
+  // FNV-1a 64-bit test vectors: empty input is the offset basis, "a" is
+  // the published single-byte result.
+  EXPECT_EQ(fnv1a_bytes(nullptr, 0), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a_bytes("a", 1), 0xaf63dc4c8601ec8cull);
+}
+
+}  // namespace
+}  // namespace gr::core

@@ -1,0 +1,165 @@
+#include "core/engine/slot_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "vgpu/device.hpp"
+
+namespace gr::core {
+namespace {
+
+vgpu::DeviceConfig tiny_config() {
+  vgpu::DeviceConfig config = vgpu::DeviceConfig::bench_default();
+  return config;
+}
+
+TEST(SlotRing, LaneRotationIsModuloK) {
+  vgpu::Device dev(tiny_config());
+  SlotRing ring;
+  ring.add_lane(dev, /*async=*/true);
+  ring.add_lane(dev, /*async=*/true);
+  ASSERT_EQ(ring.size(), 2u);
+  // Double buffering: shard p streams through lane p % K.
+  EXPECT_EQ(&ring.lane_for_shard(0), &ring.lane(0));
+  EXPECT_EQ(&ring.lane_for_shard(1), &ring.lane(1));
+  EXPECT_EQ(&ring.lane_for_shard(2), &ring.lane(0));
+  EXPECT_EQ(&ring.lane_for_shard(5), &ring.lane(1));
+}
+
+TEST(SlotRing, AsyncLanesGetPrivateStreams) {
+  vgpu::Device dev(tiny_config());
+  SlotRing ring;
+  ring.add_lane(dev, /*async=*/true);
+  ring.add_lane(dev, /*async=*/true);
+  EXPECT_NE(ring.lane(0).stream, ring.lane(1).stream);
+  EXPECT_NE(ring.lane(0).stream, &dev.default_stream());
+}
+
+TEST(SlotRing, SyncLanesShareTheDefaultStream) {
+  vgpu::Device dev(tiny_config());
+  SlotRing ring;
+  ring.add_lane(dev, /*async=*/false);
+  ring.add_lane(dev, /*async=*/false);
+  EXPECT_EQ(ring.lane(0).stream, &dev.default_stream());
+  EXPECT_EQ(ring.lane(1).stream, &dev.default_stream());
+}
+
+TEST(SlotRing, SprayPoolBoundedByHyperQWidth) {
+  vgpu::Device dev(tiny_config());
+  SlotRing ring;
+  ring.add_lane(dev, true);
+  ring.create_spray_streams(dev, /*async=*/true,
+                            /*max_concurrent_kernels=*/32);
+  EXPECT_EQ(ring.spray_stream_count(), 8u);  // min(8, 32/2)
+
+  SlotRing narrow;
+  narrow.add_lane(dev, true);
+  narrow.create_spray_streams(dev, true, /*max_concurrent_kernels=*/6);
+  EXPECT_EQ(narrow.spray_stream_count(), 3u);  // min(8, 6/2)
+}
+
+TEST(SlotRing, NoSprayStreamsWhenSynchronous) {
+  vgpu::Device dev(tiny_config());
+  SlotRing ring;
+  ring.add_lane(dev, false);
+  ring.create_spray_streams(dev, /*async=*/false, 32);
+  EXPECT_EQ(ring.spray_stream_count(), 0u);
+}
+
+TEST(SlotRing, SprayedCopiesRoundRobinTheStreamPool) {
+  vgpu::Device dev(tiny_config());
+  SlotRing ring;
+  SlotLane& lane = ring.add_lane(dev, true);
+  ring.create_spray_streams(dev, true, 32);
+  ASSERT_EQ(ring.spray_stream_count(), 8u);
+
+  auto src = std::vector<char>(256);
+  auto dst = dev.alloc<char>(256);
+  EXPECT_EQ(ring.spray_cursor(), 0u);
+  for (int i = 1; i <= 10; ++i) {
+    ring.copy_to_lane(dev, lane, dst.data(), src.data(), src.size(),
+                      /*spray=*/true, /*spill_seconds=*/0.0);
+    EXPECT_EQ(ring.spray_cursor(), static_cast<std::size_t>(i));
+  }
+  dev.synchronize();
+}
+
+TEST(SlotRing, UnsprayedCopiesStayOnTheLaneStream) {
+  vgpu::Device dev(tiny_config());
+  SlotRing ring;
+  SlotLane& lane = ring.add_lane(dev, true);
+  ring.create_spray_streams(dev, true, 32);
+
+  auto src = std::vector<char>(64);
+  auto dst = dev.alloc<char>(64);
+  ring.copy_to_lane(dev, lane, dst.data(), src.data(), src.size(),
+                    /*spray=*/false, 0.0);
+  EXPECT_EQ(ring.spray_cursor(), 0u);  // pool untouched
+  dev.synchronize();
+}
+
+TEST(SlotRing, FinishShardRecordsFreeEventInAsyncMode) {
+  vgpu::Device dev(tiny_config());
+  SlotRing ring;
+  SlotLane& lane = ring.add_lane(dev, true);
+  EXPECT_EQ(lane.free_event, nullptr);
+  ring.finish_shard(dev, lane, /*async=*/true);
+  EXPECT_NE(lane.free_event, nullptr);
+  dev.synchronize();
+}
+
+TEST(SlotRing, ResetDropsLanesAndSprayState) {
+  vgpu::Device dev(tiny_config());
+  SlotRing ring;
+  ring.add_lane(dev, true);
+  ring.create_spray_streams(dev, true, 32);
+  SlotLane& lane = ring.lane(0);
+  auto src = std::vector<char>(16);
+  auto dst = dev.alloc<char>(16);
+  ring.copy_to_lane(dev, lane, dst.data(), src.data(), src.size(), true, 0.0);
+  dev.synchronize();
+
+  ring.reset();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.spray_stream_count(), 0u);
+  EXPECT_EQ(ring.spray_cursor(), 0u);
+}
+
+TEST(SlotExtents, StridedExtentsCoverEachLanesShards) {
+  const auto edges = graph::rmat(8, 2000, /*seed=*/11);
+  const auto pg = PartitionedGraph::build(edges, 5);
+  const std::uint32_t slot_count = 2;
+  for (std::uint32_t slot = 0; slot < slot_count; ++slot) {
+    const SlotExtents extents =
+        compute_slot_extents(pg, slot, slot_count, pg.num_shards());
+    graph::VertexId max_interval = 0;
+    graph::EdgeId max_in = 0, max_out = 0;
+    for (std::uint32_t p = slot; p < pg.num_shards(); p += slot_count) {
+      max_interval = std::max(max_interval, pg.shard(p).interval.size());
+      max_in = std::max(max_in, pg.shard(p).in_edge_count());
+      max_out = std::max(max_out, pg.shard(p).out_edge_count());
+    }
+    EXPECT_EQ(extents.max_interval, max_interval);
+    EXPECT_EQ(extents.max_in_edges, max_in);
+    EXPECT_EQ(extents.max_out_edges, max_out);
+  }
+}
+
+TEST(SlotExtents, ExplicitShardListForm) {
+  const auto edges = graph::rmat(8, 2000, /*seed=*/11);
+  const auto pg = PartitionedGraph::build(edges, 6);
+  // A device owning shards {1, 3, 5} with two lanes: lane 0 hosts
+  // {1, 5}, lane 1 hosts {3}.
+  const std::vector<std::uint32_t> ids = {1, 3, 5};
+  const SlotExtents lane0 = compute_slot_extents(pg, ids, 0, 2);
+  const SlotExtents lane1 = compute_slot_extents(pg, ids, 1, 2);
+  EXPECT_EQ(lane0.max_in_edges, std::max(pg.shard(1).in_edge_count(),
+                                         pg.shard(5).in_edge_count()));
+  EXPECT_EQ(lane1.max_in_edges, pg.shard(3).in_edge_count());
+  EXPECT_EQ(lane1.max_interval, pg.shard(3).interval.size());
+}
+
+}  // namespace
+}  // namespace gr::core

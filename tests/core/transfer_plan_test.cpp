@@ -1,0 +1,85 @@
+#include "core/engine/transfer_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace gr::core {
+namespace {
+
+TEST(TransferPlan, FrontierManagementSkipsIdleShards) {
+  const auto edges = graph::path_graph(12);
+  const auto pg = PartitionedGraph::build(edges, 4);
+  FrontierManager fm(pg);
+  fm.activate_single(0);
+  const std::uint32_t home = pg.shard_of(0);
+
+  const TransferPlan plan = build_transfer_plan(4, fm, true);
+  ASSERT_EQ(plan.active_shards.size(), 1u);
+  EXPECT_EQ(plan.active_shards[0], home);
+  EXPECT_EQ(plan.skipped, 3u);
+  EXPECT_EQ(plan.processed(), 1u);
+}
+
+TEST(TransferPlan, ManagementOffStreamsEveryShard) {
+  const auto edges = graph::path_graph(12);
+  const auto pg = PartitionedGraph::build(edges, 4);
+  FrontierManager fm(pg);
+  fm.activate_single(0);  // only one shard has work...
+
+  // ...but the unoptimized baseline streams all of them, in order.
+  const TransferPlan plan = build_transfer_plan(4, fm, false);
+  ASSERT_EQ(plan.active_shards.size(), 4u);
+  for (std::uint32_t p = 0; p < 4; ++p) EXPECT_EQ(plan.active_shards[p], p);
+  EXPECT_EQ(plan.skipped, 0u);
+}
+
+TEST(TransferPlan, EmptyFrontierSkipsEverything) {
+  const auto edges = graph::path_graph(8);
+  const auto pg = PartitionedGraph::build(edges, 2);
+  FrontierManager fm(pg);  // nothing activated
+  const TransferPlan plan = build_transfer_plan(2, fm, true);
+  EXPECT_TRUE(plan.active_shards.empty());
+  EXPECT_EQ(plan.skipped, 2u);
+}
+
+TEST(TransferPlan, ActiveShardsStayOrdered) {
+  const auto edges = graph::path_graph(20);
+  const auto pg = PartitionedGraph::build(edges, 5);
+  FrontierManager fm(pg);
+  fm.activate_all();
+  const TransferPlan plan = build_transfer_plan(5, fm, true);
+  ASSERT_EQ(plan.active_shards.size(), 5u);
+  for (std::uint32_t p = 0; p < 5; ++p) EXPECT_EQ(plan.active_shards[p], p);
+}
+
+TEST(ShardWork, ManagementOnUsesFrontierAggregates) {
+  const auto edges = graph::star_graph(16);  // hub 0: in 15, out 15
+  const auto pg = PartitionedGraph::build(edges, 2);
+  FrontierManager fm(pg);
+  fm.activate_single(0);
+  const std::uint32_t home = pg.shard_of(0);
+
+  const ShardWork work = plan_shard_work(pg, fm, true, home);
+  EXPECT_EQ(work.active_vertices, 1u);
+  EXPECT_EQ(work.active_in_edges, 15u);
+  EXPECT_EQ(work.active_out_edges, 15u);
+}
+
+TEST(ShardWork, ManagementOffUsesFullShardExtent) {
+  const auto edges = graph::star_graph(16);
+  const auto pg = PartitionedGraph::build(edges, 2);
+  FrontierManager fm(pg);
+  fm.activate_single(0);  // frontier is ignored with management off
+
+  for (std::uint32_t p = 0; p < pg.num_shards(); ++p) {
+    const ShardWork work = plan_shard_work(pg, fm, false, p);
+    const ShardTopology& shard = pg.shard(p);
+    EXPECT_EQ(work.active_vertices, shard.interval.size());
+    EXPECT_EQ(work.active_in_edges, shard.in_edge_count());
+    EXPECT_EQ(work.active_out_edges, shard.out_edge_count());
+  }
+}
+
+}  // namespace
+}  // namespace gr::core
