@@ -26,10 +26,12 @@ int main(int argc, char** argv) {
   using namespace gr;
   std::string csv;
   double scale = 1.0;
+  bench::ObsFlags obs;
   util::Cli cli("bench_fig15_memcpy_opt",
                 "Figure 15: memcpy time, optimized vs unoptimized GR");
   cli.flag("csv", &csv, "CSV output path")
       .flag("scale", &scale, "extra edge-count scale factor");
+  obs.register_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   const core::EngineOptions optimized = bench::bench_engine_options();
@@ -48,9 +50,14 @@ int main(int argc, char** argv) {
     const auto data = bench::prepare_dataset(name, scale);
     std::vector<std::string> row = {name};
     for (bench::Algo algo : bench::kAllAlgos) {
-      const auto opt = bench::run_graphreduce_report(algo, data, optimized);
+      const std::string tag = name + "-" + bench::algo_name(algo);
+      core::EngineOptions opt_options = optimized;
+      obs.apply(opt_options, tag + "-opt");
+      core::EngineOptions unopt_options = unoptimized;
+      obs.apply(unopt_options, tag + "-unopt");
+      const auto opt = bench::run_graphreduce_report(algo, data, opt_options);
       const auto unopt =
-          bench::run_graphreduce_report(algo, data, unoptimized);
+          bench::run_graphreduce_report(algo, data, unopt_options);
       const double improvement =
           100.0 * (1.0 - opt.memcpy_seconds / unopt.memcpy_seconds);
       improvements.add(improvement);

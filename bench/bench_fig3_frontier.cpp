@@ -18,10 +18,12 @@ int main(int argc, char** argv) {
   using namespace gr;
   std::string csv;
   double scale = 1.0;
+  bench::ObsFlags obs;
   util::Cli cli("bench_fig3_frontier",
                 "Figure 3: frontier size across iterations (4 cases)");
   cli.flag("csv", &csv, "CSV output path")
       .flag("scale", &scale, "extra edge-count scale factor");
+  obs.register_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   struct Case {
@@ -40,8 +42,10 @@ int main(int argc, char** argv) {
   table.header({"case", "iteration", "active_vertices"});
   for (const Case& c : cases) {
     const auto data = bench::prepare_dataset(c.dataset, scale);
-    const auto report = bench::run_graphreduce_report(
-        c.algo, data, bench::bench_engine_options());
+    auto options = bench::bench_engine_options();
+    obs.apply(options,
+              std::string(c.dataset) + "-" + bench::algo_name(c.algo));
+    const auto report = bench::run_graphreduce_report(c.algo, data, options);
     const auto trace = bench::frontier_trace(report);
     std::cout << "\n" << c.label << " (" << trace.size()
               << " iterations, |V|=" << util::format_count(

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   std::string csv;
   double scale = 1.0;
   std::uint32_t threads = 0;
+  bench::ObsFlags obs;
   util::Cli cli("bench_table3_outofmem",
                 "Table 3 / Fig 13 / Fig 14: out-of-memory frameworks");
   cli.flag("csv", &csv, "CSV output path")
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
       .flag("threads", &threads,
             "host threads for the GR functional backend (0 = auto); "
             "affects wall-clock only, never the simulated seconds");
+  obs.register_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   const auto graphs = graph::out_of_memory_names();
@@ -42,6 +44,8 @@ int main(int argc, char** argv) {
   fig13.header({"Graph", "BFS", "SSSP", "Pagerank", "CC"});
   util::Table fig14("Figure 14 — GR speedup over X-Stream");
   fig14.header({"Graph", "BFS", "SSSP", "Pagerank", "CC"});
+  util::Table util_table = bench::make_utilization_table(
+      "GraphReduce device utilisation (DeviceStats per run)");
 
   std::vector<double> speedups_gc;
   std::vector<double> speedups_xs;
@@ -60,8 +64,10 @@ int main(int argc, char** argv) {
       const auto xs = bench::run_xstream(algo, data);
       auto gr_options = bench::bench_engine_options();
       gr_options.threads = threads;
+      obs.apply(gr_options, name + "-" + bench::algo_name(algo));
       const auto gr = bench::run_graphreduce(algo, data, gr_options);
       gr_wall_total += gr.wall_seconds;
+      bench::add_utilization_row(util_table, name, algo, gr);
       row_gc.push_back(bench::format_cell_seconds(gc));
       row_xs.push_back(bench::format_cell_seconds(xs));
       row_gr.push_back(bench::format_cell_seconds(gr));
@@ -82,6 +88,7 @@ int main(int argc, char** argv) {
                                      bench::bench_engine_options()});
   fig13.print(std::cout);
   fig14.print(std::cout);
+  util_table.print(std::cout);
 
   std::cout << "\nSummary (paper: avg 13.4x over GraphChi, up to 79x; "
                "avg 5x over X-Stream, up to 21x)\n";

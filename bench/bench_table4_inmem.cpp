@@ -19,14 +19,18 @@ int main(int argc, char** argv) {
   using namespace gr;
   std::string csv;
   double scale = 1.0;
+  bench::ObsFlags obs;
   util::Cli cli("bench_table4_inmem",
                 "Table 4: in-memory GPU frameworks (times in ms)");
   cli.flag("csv", &csv, "CSV output path")
       .flag("scale", &scale, "extra edge-count scale factor");
+  obs.register_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   util::Table table("Table 4 — in-memory frameworks (simulated ms)");
   table.header({"Graph", "Framework", "BFS", "SSSP", "Pagerank", "CC"});
+  util::Table util_table = bench::make_utilization_table(
+      "GraphReduce device utilisation (DeviceStats per run)");
   for (const auto& name : graph::in_memory_names()) {
     GR_LOG_INFO("running " << name);
     const auto data = bench::prepare_dataset(name, scale);
@@ -38,14 +42,17 @@ int main(int argc, char** argv) {
           bench::format_cell_millis(bench::run_mapgraph(algo, data)));
       row_cs.push_back(
           bench::format_cell_millis(bench::run_cusha(algo, data)));
-      const auto gr =
-          bench::run_graphreduce(algo, data, bench::bench_engine_options());
+      auto gr_options = bench::bench_engine_options();
+      obs.apply(gr_options, name + "-" + bench::algo_name(algo));
+      const auto gr = bench::run_graphreduce(algo, data, gr_options);
       row_gr.push_back(bench::format_cell_millis(gr));
+      bench::add_utilization_row(util_table, name, algo, gr);
     }
     table.add_row(row_mg).add_row(row_cs).add_row(row_gr);
   }
   bench::emit_table(table, csv,
                     bench::BenchMeta{"table4_inmem",
                                      bench::bench_engine_options()});
+  util_table.print(std::cout);
   return 0;
 }

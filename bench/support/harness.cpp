@@ -48,13 +48,70 @@ core::EngineOptions bench_engine_options() {
   return options;
 }
 
+namespace {
+
+// "dir/t.json" + "orkut-bfs" -> "dir/t.orkut-bfs.json"
+std::string tag_path(const std::string& path, const std::string& tag) {
+  if (path.empty() || tag.empty()) return path;
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return path + "." + tag;
+  return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
+}  // namespace
+
+void ObsFlags::register_flags(util::Cli& cli) {
+  cli.flag("trace-out", &trace_out,
+           "Chrome trace-event JSON pattern; each engine run writes "
+           "<stem>.<dataset>-<algo>.json (open in ui.perfetto.dev)");
+  cli.flag("metrics-out", &metrics_out,
+           "metrics-registry JSON snapshot pattern, tagged per run");
+  cli.flag("profile", &profile,
+           "print per-phase profiling tables after each engine run");
+}
+
+void ObsFlags::apply(core::EngineOptions& options,
+                     const std::string& run_tag) const {
+  options.trace_out = tag_path(trace_out, run_tag);
+  options.metrics_out = tag_path(metrics_out, run_tag);
+  options.profile_summary = profile;
+}
+
 Cell run_graphreduce(Algo algo, const PreparedDataset& data,
                      core::EngineOptions options) {
   const auto t0 = std::chrono::steady_clock::now();
   const core::RunReport report = run_graphreduce_report(algo, data, options);
   const std::chrono::duration<double> wall =
       std::chrono::steady_clock::now() - t0;
-  return {report.total_seconds, report.iterations, false, wall.count()};
+  Cell cell{report.total_seconds, report.iterations, false, wall.count()};
+  cell.h2d_busy_seconds = report.h2d_busy_seconds;
+  cell.d2h_busy_seconds = report.d2h_busy_seconds;
+  cell.kernel_busy_seconds = report.kernel_seconds;
+  cell.kernels_launched = report.kernels_launched;
+  return cell;
+}
+
+util::Table make_utilization_table(const std::string& title) {
+  util::Table table(title);
+  table.header({"Graph", "Algo", "H2D busy", "D2H busy", "Kernel busy",
+                "Kernels", "Copy %"});
+  return table;
+}
+
+void add_utilization_row(util::Table& table, const std::string& graph,
+                         Algo algo, const Cell& cell) {
+  const double copy = cell.h2d_busy_seconds + cell.d2h_busy_seconds;
+  table.add_row({graph, algo_name(algo),
+                 util::format_seconds(cell.h2d_busy_seconds),
+                 util::format_seconds(cell.d2h_busy_seconds),
+                 util::format_seconds(cell.kernel_busy_seconds),
+                 util::format_count(cell.kernels_launched),
+                 util::format_fixed(
+                     cell.seconds > 0 ? 100.0 * copy / cell.seconds : 0.0,
+                     1)});
 }
 
 core::RunReport run_graphreduce_report(Algo algo, const PreparedDataset& data,

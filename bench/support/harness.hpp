@@ -11,6 +11,7 @@
 
 #include "core/options.hpp"
 #include "graph/edge_list.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace gr::bench {
@@ -38,6 +39,11 @@ struct Cell {
   /// Host wall-clock of the functional execution — the quantity the
   /// parallel backend improves; simulated `seconds` is unaffected by it.
   double wall_seconds = 0.0;
+  /// Device utilisation (GraphReduce runs only; baselines leave these 0).
+  double h2d_busy_seconds = 0.0;
+  double d2h_busy_seconds = 0.0;
+  double kernel_busy_seconds = 0.0;
+  std::uint64_t kernels_launched = 0;
 };
 
 /// Generates the named dataset analog with SSSP weights attached and a
@@ -76,6 +82,30 @@ Cell run_mapgraph(Algo algo, const PreparedDataset& data);
 
 /// Default GraphReduce options for benches (50 MB scaled K20c).
 core::EngineOptions bench_engine_options();
+
+/// Standard observability flags for bench binaries. Benches run the
+/// engine many times (dataset x algorithm x configuration), so the
+/// --trace-out / --metrics-out values act as filename patterns:
+/// apply() inserts the per-run tag before the extension
+/// ("t.json" + tag "orkut-bfs" -> "t.orkut-bfs.json").
+struct ObsFlags {
+  std::string trace_out;
+  std::string metrics_out;
+  bool profile = false;
+
+  /// Registers --trace-out/--metrics-out/--profile on `cli`.
+  void register_flags(util::Cli& cli);
+  /// Copies the flags into `options`, tagging output names with
+  /// `run_tag` (empty tag = paths used verbatim).
+  void apply(core::EngineOptions& options, const std::string& run_tag) const;
+};
+
+/// Device-utilisation companion table (copy-engine busy split, kernel
+/// busy time, launch count) fed from GraphReduce cells — the DeviceStats
+/// numbers visible without a trace file.
+util::Table make_utilization_table(const std::string& title);
+void add_utilization_row(util::Table& table, const std::string& graph,
+                         Algo algo, const Cell& cell);
 
 /// "OOM" or a fixed-point seconds/milliseconds rendering.
 std::string format_cell_seconds(const Cell& cell);

@@ -12,6 +12,7 @@
 
 #include "core/dynamic.hpp"
 #include "core/algorithms/algorithms.hpp"
+#include "core/observability_flags.hpp"
 #include "graph/generators.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
@@ -20,9 +21,11 @@
 int main(int argc, char** argv) {
   using namespace gr;
   std::int64_t batches = 5;
+  core::EngineOptions options;
   util::Cli cli("evolving_network",
                 "incremental SSSP over a growing road network");
   cli.flag("batches", &batches, "number of weekly road-opening batches");
+  core::add_observability_flags(cli, options);
   if (!cli.parse(argc, argv)) return 0;
 
   graph::EdgeList roads = graph::road_network(120, 120, /*seed=*/8);
@@ -40,7 +43,9 @@ int main(int argc, char** argv) {
   base.frontier = core::InitialFrontier::single(depot);
   base.default_max_iterations = roads.num_vertices();
 
-  core::DynamicSession<algo::Sssp> session(roads, std::move(base));
+  // Each (re)convergence is its own engine run; with --trace-out the
+  // file holds the most recent run's timeline.
+  core::DynamicSession<algo::Sssp> session(roads, std::move(base), options);
   const core::RunReport initial = session.recompute_full();
   auto mean_time = [&] {
     double sum = 0.0;

@@ -2,6 +2,7 @@
 // and print the top-ranked vertices plus the engine's execution report.
 //
 //   $ ./quickstart
+//   $ ./quickstart --trace-out=pagerank.trace.json --profile
 //
 // This is the five-minute tour: an EdgeList in, a run of a registered
 // program selected by name, results and simulated-device statistics out.
@@ -11,11 +12,17 @@
 
 #include "core/algorithms/registry.hpp"
 #include "core/engine/program_registry.hpp"
+#include "core/observability_flags.hpp"
 #include "graph/generators.hpp"
 #include "util/format.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gr;
+
+  core::EngineOptions options;
+  util::Cli cli("quickstart", "PageRank on a small RMAT web graph");
+  core::add_observability_flags(cli, options);
+  if (!cli.parse(argc, argv)) return 0;
 
   // A small scale-free web: 2^12 pages, 40k links.
   const graph::EdgeList web = graph::rmat(12, 40'000, /*seed=*/7);
@@ -32,8 +39,7 @@ int main() {
       core::ProgramRegistry::global().at("pagerank");
   core::ProgramSpec spec;
   spec.max_iterations = 30;
-  const core::ProgramRunResult result =
-      pagerank.run(web, spec, core::EngineOptions{});
+  const core::ProgramRunResult result = pagerank.run(web, spec, options);
 
   // Top five pages by rank.
   std::vector<graph::VertexId> order(web.num_vertices());
@@ -61,7 +67,9 @@ int main() {
             << "\n  memcpy time: "
             << util::format_seconds(report.memcpy_seconds) << " ("
             << util::format_fixed(100.0 * report.memcpy_fraction(), 1)
-            << "% of total)\n"
+            << "% of total; " << util::format_seconds(report.h2d_busy_seconds)
+            << " H2D, " << util::format_seconds(report.d2h_busy_seconds)
+            << " D2H)\n"
             << "  transferred: " << util::format_bytes(report.bytes_h2d)
             << " H2D, " << util::format_bytes(report.bytes_d2h) << " D2H\n"
             << "  kernels:     " << report.kernels_launched << '\n';

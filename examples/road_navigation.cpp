@@ -15,6 +15,7 @@
 #include "core/algorithms/algorithms.hpp"
 #include "core/algorithms/registry.hpp"
 #include "core/engine/program_registry.hpp"
+#include "core/observability_flags.hpp"
 #include "graph/generators.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
@@ -23,9 +24,11 @@ int main(int argc, char** argv) {
   using namespace gr;
   std::int64_t side = 160;
   std::int64_t source = 0;
+  core::EngineOptions options;
   util::Cli cli("road_navigation", "SSSP/BFS over a road network");
   cli.flag("side", &side, "road lattice side length")
       .flag("source", &source, "depot vertex id");
+  core::add_observability_flags(cli, options);
   if (!cli.parse(argc, argv)) return 0;
 
   graph::EdgeList roads = graph::road_network(
@@ -43,8 +46,10 @@ int main(int argc, char** argv) {
   const auto& registry = core::ProgramRegistry::global();
   core::ProgramSpec spec;
   spec.source = depot;
+  // Observability flags apply to the SSSP run (the second run would
+  // overwrite the trace/metrics files).
   const core::ProgramRunResult sssp =
-      registry.at("sssp").run(roads, spec, core::EngineOptions{});
+      registry.at("sssp").run(roads, spec, options);
   const core::ProgramRunResult bfs =
       registry.at("bfs").run(roads, spec, core::EngineOptions{});
 

@@ -15,6 +15,7 @@
 
 #include "core/algorithms/registry.hpp"
 #include "core/engine/program_registry.hpp"
+#include "core/observability_flags.hpp"
 #include "graph/datasets.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
@@ -22,15 +23,16 @@
 int main(int argc, char** argv) {
   using namespace gr;
   double scale = 1.0;
+  core::EngineOptions options;  // bench-default 50 MB device
   util::Cli cli("social_ranking",
                 "community + influencer analysis on an orkut-like network");
   cli.flag("scale", &scale, "edge-count scale factor");
+  core::add_observability_flags(cli, options);
   if (!cli.parse(argc, argv)) return 0;
 
   const graph::EdgeList network = graph::make_dataset("orkut", scale);
   const std::uint64_t footprint = graph::footprint_bytes(
       network.num_vertices(), network.num_edges());
-  core::EngineOptions options;  // bench-default 50 MB device
   std::cout << "Social network: "
             << util::format_count(network.num_vertices()) << " users, "
             << util::format_count(network.num_edges())

@@ -115,6 +115,9 @@ void EngineCore::copy_to_slot(SlotLane& lane, void* device_dst,
           ? static_cast<double>(bytes) * host_spill_fraction_ /
                 options_.disk_bandwidth
           : 0.0;
+  if (run_obs_ && host_spill_fraction_ > 0.0)
+    run_obs_->add_host_spill_bytes(static_cast<std::uint64_t>(
+        static_cast<double>(bytes) * host_spill_fraction_));
   ring_.copy_to_lane(*device_, lane, device_dst, host_src, bytes,
                      options_.async_spray, spill_seconds);
 }
@@ -128,6 +131,7 @@ void EngineCore::process_pass(ProgramHooks& hooks, const Pass& pass,
     const ShardWork work = plan_shard_work(graph_, *frontier_,
                                            options_.frontier_management, p);
 
+    for_observers([&](ExecutionObserver& o) { o.on_shard_begin(pass, p); });
     hooks.upload_shard(pass, p, lane);  // self-guards in resident mode
     hooks.before_kernels(pass, p, lane);
     hooks.enqueue_kernels(pass, p, lane, iteration, work);
@@ -135,7 +139,8 @@ void EngineCore::process_pass(ProgramHooks& hooks, const Pass& pass,
 
     // Mark the lane's buffers free for the next shard using this slot.
     ring_.finish_shard(dev, lane, options_.async_spray);
-    if (observer_ != nullptr) observer_->on_shard_enqueued(pass, p, work);
+    for_observers(
+        [&](ExecutionObserver& o) { o.on_shard_enqueued(pass, p, work); });
   }
   dev.synchronize();  // BSP barrier between passes
 }
@@ -166,12 +171,15 @@ void EngineCore::run_iteration(ProgramHooks& hooks, std::uint32_t iteration,
   // Shard schedule for this iteration (§5.2).
   const TransferPlan transfer = build_transfer_plan(
       partitions_, *frontier_, options_.frontier_management);
-  if (observer_ != nullptr) observer_->on_transfer_plan(iteration, transfer);
+  for_observers(
+      [&](ExecutionObserver& o) { o.on_transfer_plan(iteration, transfer); });
 
   for (const Pass& pass : plan_.passes) {
-    if (observer_ != nullptr) observer_->on_pass_begin(pass, iteration);
+    for_observers(
+        [&](ExecutionObserver& o) { o.on_pass_begin(pass, iteration); });
     process_pass(hooks, pass, iteration, transfer.active_shards);
-    if (observer_ != nullptr) observer_->on_pass_end(pass, iteration);
+    for_observers(
+        [&](ExecutionObserver& o) { o.on_pass_end(pass, iteration); });
   }
 
   // Feedback to the Data Movement Engine: pull the next frontier bitmap.
@@ -186,7 +194,7 @@ void EngineCore::run_iteration(ProgramHooks& hooks, std::uint32_t iteration,
   stats.shards_processed = transfer.processed();
   stats.shards_skipped = transfer.skipped;
   report.history.push_back(stats);
-  if (observer_ != nullptr) observer_->on_iteration_end(stats);
+  for_observers([&](ExecutionObserver& o) { o.on_iteration_end(stats); });
 }
 
 RunReport EngineCore::run(ProgramHooks& hooks, const InitialFrontier& seed,
@@ -194,10 +202,30 @@ RunReport EngineCore::run(ProgramHooks& hooks, const InitialFrontier& seed,
   GR_CHECK_MSG(initialized_, "EngineCore::run before initialize");
   GR_CHECK_MSG(!ran_, "Engine::run() may only be called once");
   ran_ = true;
+  GR_LOG_SCOPE("engine run");
   vgpu::Device& dev = *device_;
   const std::uint32_t max_iterations = options_.max_iterations != 0
                                            ? options_.max_iterations
                                            : default_max_iterations;
+
+  // Run-scoped observability (src/obs): attach before the first device
+  // op so the static upload lands in the trace. Attaching never changes
+  // op-issue order, so results and simulated timings are bitwise
+  // identical with or without it.
+  {
+    obs::ObservabilityConfig obs_config;
+    obs_config.trace_out = options_.trace_out;
+    obs_config.metrics_out = options_.metrics_out;
+    obs_config.summary = options_.profile_summary;
+    if (obs_config.enabled()) {
+      run_obs_ = std::make_unique<obs::RunObservability>(dev, obs_config);
+      std::vector<int> slot_streams;
+      slot_streams.reserve(ring_.size());
+      for (std::size_t i = 0; i < ring_.size(); ++i)
+        slot_streams.push_back(ring_.lane(i).stream->id());
+      run_obs_->label_streams(slot_streams, ring_.spray_stream_ids());
+    }
+  }
 
   if (seed.all_vertices)
     frontier_->activate_all();
@@ -221,13 +249,16 @@ RunReport EngineCore::run(ProgramHooks& hooks, const InitialFrontier& seed,
   report.slots = slots_;
   report.resident_mode = resident_;
   report.host_spill_fraction = host_spill_fraction_;
-  if (observer_ != nullptr)
-    observer_->on_run_begin(partitions_, slots_, resident_);
+  for_observers([&](ExecutionObserver& o) {
+    o.on_run_begin(partitions_, slots_, resident_);
+  });
 
   std::uint32_t iteration = 0;
   while (iteration < max_iterations && !frontier_->empty()) {
-    if (observer_ != nullptr)
-      observer_->on_iteration_begin(iteration, frontier_->active_vertices());
+    GR_LOG_SCOPE("iteration " + std::to_string(iteration));
+    for_observers([&](ExecutionObserver& o) {
+      o.on_iteration_begin(iteration, frontier_->active_vertices());
+    });
     run_iteration(hooks, iteration, report);
     // Per-iteration host scheduling overhead (frontier scan + shard
     // schedule construction on the driver thread).
@@ -247,11 +278,14 @@ RunReport EngineCore::run(ProgramHooks& hooks, const InitialFrontier& seed,
   report.total_seconds = dev.now();
   report.memcpy_seconds = stats.memcpy_busy_seconds();
   report.kernel_seconds = stats.kernel_busy_seconds;
+  report.h2d_busy_seconds = stats.h2d_busy_seconds;
+  report.d2h_busy_seconds = stats.d2h_busy_seconds;
   report.bytes_h2d = stats.bytes_h2d;
   report.bytes_d2h = stats.bytes_d2h;
   report.kernels_launched = stats.kernels_launched;
   report.memcpy_ops = stats.h2d_ops + stats.d2h_ops;
-  if (observer_ != nullptr) observer_->on_run_end(report);
+  for_observers([&](ExecutionObserver& o) { o.on_run_end(report); });
+  if (run_obs_) run_obs_->finalize(report);
   return report;
 }
 

@@ -35,6 +35,7 @@
 #include "core/partition.hpp"
 #include "core/phase_plan.hpp"
 #include "graph/edge_list.hpp"
+#include "obs/observability.hpp"
 #include "util/common.hpp"
 #include "vgpu/device.hpp"
 
@@ -101,6 +102,14 @@ class EngineCore : util::NonCopyable {
   /// observer must outlive the run.
   void set_observer(ExecutionObserver* observer) { observer_ = observer; }
 
+  /// The run's observability bundle (trace/metrics/profiler), built by
+  /// run() when EngineOptions::trace_out / metrics_out /
+  /// profile_summary ask for it; nullptr otherwise. Valid after run()
+  /// returns — tests cross-check its metrics against the RunReport.
+  const obs::RunObservability* observability() const {
+    return run_obs_.get();
+  }
+
   // --- state shared with the typed layer ---
 
   vgpu::Device& device() { return *device_; }
@@ -142,6 +151,14 @@ class EngineCore : util::NonCopyable {
                     std::uint32_t iteration,
                     std::span<const std::uint32_t> active_shards);
 
+  /// Applies `fn` to every attached engine observer (the run's
+  /// observability bundle first, then the external observer).
+  template <typename F>
+  void for_observers(F&& fn) {
+    if (run_obs_) fn(static_cast<ExecutionObserver&>(*run_obs_));
+    if (observer_ != nullptr) fn(*observer_);
+  }
+
   EngineOptions options_;
   ProgramFootprint footprint_;
   PhasePlan plan_;
@@ -157,6 +174,7 @@ class EngineCore : util::NonCopyable {
 
   SlotRing ring_;
   ExecutionObserver* observer_ = nullptr;
+  std::unique_ptr<obs::RunObservability> run_obs_;
 
   std::uint32_t partitions_ = 0;
   std::uint32_t slots_ = 0;

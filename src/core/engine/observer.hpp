@@ -35,6 +35,11 @@ class ExecutionObserver {
                                 const TransferPlan& /*plan*/) {}
   virtual void on_pass_begin(const Pass& /*pass*/,
                              std::uint32_t /*iteration*/) {}
+  /// The driver is about to enqueue one active shard's work; every
+  /// device op issued until the matching on_shard_enqueued belongs to
+  /// this shard (op attribution for tracing/profiling).
+  virtual void on_shard_begin(const Pass& /*pass*/,
+                              std::uint32_t /*shard*/) {}
   /// One active shard's work has been enqueued on its slot stream.
   virtual void on_shard_enqueued(const Pass& /*pass*/,
                                  std::uint32_t /*shard*/,

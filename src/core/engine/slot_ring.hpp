@@ -80,6 +80,14 @@ class SlotRing : util::NonCopyable {
   }
 
   std::size_t spray_stream_count() const { return spray_streams_.size(); }
+  /// Device stream ids of the spray pool, in creation order
+  /// (observability: trace-track labeling, utilization accounting).
+  std::vector<int> spray_stream_ids() const {
+    std::vector<int> ids;
+    ids.reserve(spray_streams_.size());
+    for (const vgpu::Stream* s : spray_streams_) ids.push_back(s->id());
+    return ids;
+  }
   /// Round-robin position of the next sprayed copy (testing/telemetry).
   std::size_t spray_cursor() const { return spray_cursor_; }
 

@@ -1,0 +1,24 @@
+// Standard observability command-line flags (ROADMAP: observability).
+//
+// Every engine-running binary (examples, benches) exposes the same
+// three flags by calling add_observability_flags() on its util::Cli;
+// the values land directly in EngineOptions, and EngineCore::run()
+// builds the obs::RunObservability bundle from them.
+#pragma once
+
+#include "core/options.hpp"
+#include "util/cli.hpp"
+
+namespace gr::core {
+
+inline void add_observability_flags(util::Cli& cli, EngineOptions& options) {
+  cli.flag("trace-out", &options.trace_out,
+           "write a Chrome trace-event JSON of the simulated timeline "
+           "(open in ui.perfetto.dev)");
+  cli.flag("metrics-out", &options.metrics_out,
+           "write a metrics-registry JSON snapshot after the run");
+  cli.flag("profile", &options.profile_summary,
+           "print per-phase/per-iteration profiling tables after the run");
+}
+
+}  // namespace gr::core

@@ -59,6 +59,16 @@ struct EngineOptions {
   /// Sequential SSD read bandwidth (B/s) for spilled shard data.
   double disk_bandwidth = 500e6;
 
+  // --- observability (src/obs) ---
+  /// Chrome trace-event JSON written after the run (load in
+  /// ui.perfetto.dev or chrome://tracing); empty = no trace.
+  std::string trace_out;
+  /// Metrics-registry snapshot JSON written after the run; empty = none.
+  std::string metrics_out;
+  /// Print the profiler's per-phase/per-iteration tables to stderr
+  /// after the run.
+  bool profile_summary = false;
+
   /// Convenience: the unoptimized configuration of Figure 15.
   EngineOptions without_optimizations() const {
     EngineOptions o = *this;
@@ -92,6 +102,8 @@ struct RunReport {
   double total_seconds = 0.0;
   double memcpy_seconds = 0.0;  // DMA engine busy time (both directions)
   double kernel_seconds = 0.0;  // compute engine utilization integral
+  double h2d_busy_seconds = 0.0;  // per-direction DMA split of memcpy
+  double d2h_busy_seconds = 0.0;
 
   std::uint64_t bytes_h2d = 0;
   std::uint64_t bytes_d2h = 0;

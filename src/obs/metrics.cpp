@@ -1,0 +1,156 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "util/log.hpp"
+
+namespace gr::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  GR_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "Histogram bounds must be ascending");
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double v) {
+  const std::size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+Counter& Metrics::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot.reset(new Counter());
+  return *slot;
+}
+
+Gauge& Metrics::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot.reset(new Gauge());
+  return *slot;
+}
+
+Histogram& Metrics::histogram(const std::string& name,
+                              std::vector<double> bounds) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot.reset(new Histogram(std::move(bounds)));
+  return *slot;
+}
+
+std::uint64_t Metrics::counter_value(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+double Metrics::gauge_value(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second->value();
+}
+
+const Histogram* Metrics::find_histogram(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Metrics::names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [name, _] : counters_) out.push_back(name);
+  for (const auto& [name, _] : gauges_) out.push_back(name);
+  for (const auto& [name, _] : histograms_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+namespace {
+
+// Fixed, locale-independent number rendering so snapshots are
+// byte-identical across runs. %.12g round-trips every value we record
+// while keeping integers integer-looking.
+void write_double(std::ostream& os, double v) {
+  if (!(v == v) || v > 1.7e308 || v < -1.7e308) {  // NaN / +-inf
+    os << "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void Metrics::write_json(std::ostream& os) const {
+  std::lock_guard lock(mutex_);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n" : ",\n") << "    \"" << name
+       << "\": " << c->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": ";
+    write_double(os, g->value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << "    \"" << name
+       << "\": {\"count\": " << h->count() << ", \"sum\": ";
+    write_double(os, h->sum());
+    os << ", \"buckets\": [";
+    const auto counts = h->counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i) os << ", ";
+      os << "{\"le\": ";
+      if (i < h->bounds().size())
+        write_double(os, h->bounds()[i]);
+      else
+        os << "\"+Inf\"";
+      os << ", \"count\": " << counts[i] << '}';
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+bool Metrics::write_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os.good()) {
+    GR_LOG_WARN("cannot write metrics to " << path);
+    return false;
+  }
+  write_json(os);
+  GR_LOG_INFO("wrote metrics " << path);
+  return true;
+}
+
+}  // namespace gr::obs

@@ -1,0 +1,122 @@
+// Metrics registry (ROADMAP: observability).
+//
+// A process-local registry of named counters, gauges, and histograms.
+// Instrument lookup/creation takes a mutex; updates on an instrument
+// handle are lock-free atomics, so hot paths (device-op callbacks,
+// parallel kernel bodies) can record without serializing. Snapshots are
+// deterministic: write_json() emits instruments sorted by name with
+// fixed number formatting, so two identical runs produce byte-identical
+// metrics files.
+//
+// Instrument handles returned by counter()/gauge()/histogram() are
+// stable for the lifetime of the Metrics object.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gr::obs {
+
+/// Monotonically increasing integer instrument.
+class Counter : util::NonCopyable {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Metrics;
+  Counter() = default;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins floating-point instrument.
+class Gauge : util::NonCopyable {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Metrics;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: counts of observations <= each upper bound,
+/// plus an overflow bucket, an observation count, and a running sum.
+class Histogram : util::NonCopyable {
+ public:
+  void observe(double v);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Upper bounds; counts() has one extra trailing overflow entry.
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<std::uint64_t> counts() const;
+
+ private:
+  friend class Metrics;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;                      // ascending
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Thread-safe named-instrument registry with deterministic JSON
+/// snapshots.
+class Metrics : util::NonCopyable {
+ public:
+  Metrics() = default;
+
+  /// Finds or creates the instrument. Handles stay valid for the
+  /// registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` (ascending upper bounds) are fixed at first creation;
+  /// later calls with the same name ignore the argument.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Read-side helpers (0 / nullptr when the name was never created).
+  std::uint64_t counter_value(const std::string& name) const;
+  double gauge_value(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// All instrument names, sorted, across the three kinds.
+  std::vector<std::string> names() const;
+
+  /// Deterministic snapshot: {"counters":{...},"gauges":{...},
+  /// "histograms":{...}} with names sorted and fixed number formatting.
+  void write_json(std::ostream& os) const;
+  /// write_json to `path`; returns false (with a warning log) on I/O
+  /// failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace gr::obs

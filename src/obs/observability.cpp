@@ -1,0 +1,209 @@
+#include "obs/observability.hpp"
+
+#include <algorithm>
+#include <iostream>
+
+namespace gr::obs {
+
+RunObservability::RunObservability(vgpu::Device& device,
+                                   ObservabilityConfig config)
+    : device_(&device), config_(std::move(config)) {
+  if (!config_.trace_out.empty())
+    trace_ = std::make_unique<TraceRecorder>(device);
+  bytes_h2d_ = &metrics_.counter("device.bytes_h2d");
+  bytes_d2h_ = &metrics_.counter("device.bytes_d2h");
+  h2d_ops_ = &metrics_.counter("device.h2d_ops");
+  d2h_ops_ = &metrics_.counter("device.d2h_ops");
+  kernels_launched_ = &metrics_.counter("device.kernels_launched");
+  transfers_streamed_ = &metrics_.counter("engine.transfers_streamed");
+  transfers_culled_ = &metrics_.counter("engine.transfers_culled");
+  iterations_ = &metrics_.counter("engine.iterations");
+  shard_visits_ = &metrics_.counter("engine.shard_visits");
+  host_spill_bytes_ = &metrics_.counter("engine.host_spill_bytes");
+  kernel_concurrency_ = &metrics_.histogram(
+      "device.kernel_concurrency", {1, 2, 4, 8, 16, 32});
+  copy_bytes_ = &metrics_.histogram(
+      "device.copy_bytes",
+      {4096, 65536, 1048576, 16777216, 67108864});
+  device_->add_op_listener(this);
+}
+
+RunObservability::~RunObservability() {
+  device_->remove_op_listener(this);
+}
+
+void RunObservability::label_streams(
+    const std::vector<int>& slot_streams,
+    const std::vector<int>& spray_streams) {
+  if (trace_) {
+    for (std::size_t i = 0; i < slot_streams.size(); ++i)
+      trace_->label_stream(slot_streams[i],
+                           "slot " + std::to_string(i));
+    for (std::size_t i = 0; i < spray_streams.size(); ++i)
+      trace_->label_stream(spray_streams[i],
+                           "spray " + std::to_string(i));
+  }
+  profiler_.set_spray_streams(spray_streams);
+}
+
+void RunObservability::add_host_spill_bytes(std::uint64_t bytes) {
+  host_spill_bytes_->add(bytes);
+}
+
+void RunObservability::on_op_enqueued(const vgpu::DeviceOpRecord& record) {
+  if (open_visit_ >= 0 &&
+      record.kind != vgpu::DeviceOpRecord::Kind::kHostTask)
+    op_visit_.emplace(record.op_id,
+                      static_cast<std::size_t>(open_visit_));
+  profiler_.on_op_enqueued(record);
+  if (trace_) trace_->on_op_enqueued(record);
+}
+
+void RunObservability::on_op_completed(const vgpu::DeviceOpRecord& record) {
+  using Kind = vgpu::DeviceOpRecord::Kind;
+  switch (record.kind) {
+    case Kind::kH2D:
+      bytes_h2d_->add(record.bytes);
+      h2d_ops_->add();
+      copy_bytes_->observe(static_cast<double>(record.bytes));
+      break;
+    case Kind::kD2H:
+      bytes_d2h_->add(record.bytes);
+      d2h_ops_->add();
+      copy_bytes_->observe(static_cast<double>(record.bytes));
+      break;
+    case Kind::kKernel:
+      kernels_launched_->add();
+      kernel_concurrency_->observe(
+          static_cast<double>(record.resident_kernels));
+      break;
+    case Kind::kHostTask:
+      break;
+  }
+  if (const auto it = op_visit_.find(record.op_id);
+      it != op_visit_.end()) {
+    Window& w = visit_windows_[it->second];
+    if (w.end <= w.start) {
+      w = {record.start, record.end};
+    } else {
+      w.start = std::min(w.start, record.start);
+      w.end = std::max(w.end, record.end);
+    }
+    op_visit_.erase(it);
+  }
+  profiler_.on_op_completed(record);
+  if (trace_) trace_->on_op_completed(record);
+}
+
+void RunObservability::on_run_begin(std::uint32_t partitions,
+                                    std::uint32_t slots,
+                                    bool resident_mode) {
+  metrics_.gauge("engine.partitions").set(partitions);
+  metrics_.gauge("engine.slots").set(slots);
+  profiler_.on_run_begin(partitions, slots, resident_mode);
+  if (trace_) trace_->on_run_begin(partitions, slots, resident_mode);
+}
+
+void RunObservability::on_iteration_begin(std::uint32_t iteration,
+                                          std::uint64_t active_vertices) {
+  profiler_.on_iteration_begin(iteration, active_vertices);
+  if (trace_) trace_->on_iteration_begin(iteration, active_vertices);
+}
+
+void RunObservability::on_transfer_plan(std::uint32_t iteration,
+                                        const core::TransferPlan& plan) {
+  transfers_streamed_->add(plan.processed());
+  transfers_culled_->add(plan.skipped);
+  profiler_.on_transfer_plan(iteration, plan);
+  if (trace_) trace_->on_transfer_plan(iteration, plan);
+}
+
+void RunObservability::on_pass_begin(const core::Pass& pass,
+                                     std::uint32_t iteration) {
+  profiler_.on_pass_begin(pass, iteration);
+  if (trace_) trace_->on_pass_begin(pass, iteration);
+}
+
+void RunObservability::on_shard_begin(const core::Pass& pass,
+                                      std::uint32_t shard) {
+  shard_visits_->add();
+  open_visit_ = static_cast<std::int64_t>(visit_windows_.size());
+  visit_windows_.push_back({});
+  profiler_.on_shard_begin(pass, shard);
+  if (trace_) trace_->on_shard_begin(pass, shard);
+}
+
+void RunObservability::on_shard_enqueued(const core::Pass& pass,
+                                         std::uint32_t shard,
+                                         const core::ShardWork& work) {
+  open_visit_ = -1;
+  profiler_.on_shard_enqueued(pass, shard, work);
+  if (trace_) trace_->on_shard_enqueued(pass, shard, work);
+}
+
+void RunObservability::on_pass_end(const core::Pass& pass,
+                                   std::uint32_t iteration) {
+  open_visit_ = -1;
+  profiler_.on_pass_end(pass, iteration);
+  if (trace_) trace_->on_pass_end(pass, iteration);
+}
+
+void RunObservability::on_iteration_end(const core::IterationStats& stats) {
+  iterations_->add();
+  profiler_.on_iteration_end(stats);
+  if (trace_) trace_->on_iteration_end(stats);
+}
+
+void RunObservability::on_run_end(const core::RunReport& report) {
+  profiler_.on_run_end(report);
+  if (trace_) trace_->on_run_end(report);
+}
+
+void RunObservability::finalize(const core::RunReport& report) {
+  // Derived gauges: overlap, slot-ring occupancy, spray utilization,
+  // device busy seconds.
+  metrics_.gauge("engine.overlap_ratio").set(profiler_.overlap_ratio());
+  metrics_.gauge("engine.total_seconds").set(report.total_seconds);
+  metrics_.gauge("engine.spray_utilization")
+      .set(profiler_.spray_utilization());
+  metrics_.gauge("device.kernel_busy_seconds")
+      .set(profiler_.kernel_busy_seconds());
+
+  const vgpu::DeviceStats& stats = device_->stats();
+  metrics_.gauge("device.h2d_busy_seconds").set(stats.h2d_busy_seconds);
+  metrics_.gauge("device.d2h_busy_seconds").set(stats.d2h_busy_seconds);
+
+  // Slot-ring occupancy: sweep the shard-visit windows.
+  double max_occ = 0.0, mean_occ = 0.0;
+  std::vector<std::pair<double, int>> deltas;
+  double lo = 0.0, hi = 0.0, area = 0.0;
+  bool any = false;
+  for (const Window& w : visit_windows_) {
+    if (w.end <= w.start) continue;  // visit issued no device ops
+    deltas.emplace_back(w.start, +1);
+    deltas.emplace_back(w.end, -1);
+    lo = any ? std::min(lo, w.start) : w.start;
+    hi = std::max(hi, w.end);
+    area += w.end - w.start;
+    any = true;
+  }
+  if (any) {
+    std::sort(deltas.begin(), deltas.end());
+    int level = 0;
+    for (const auto& [_, delta] : deltas) {
+      level += delta;
+      max_occ = std::max(max_occ, static_cast<double>(level));
+    }
+    if (hi > lo) mean_occ = area / (hi - lo);
+  }
+  metrics_.gauge("engine.slot_occupancy_max").set(max_occ);
+  metrics_.gauge("engine.slot_occupancy_mean").set(mean_occ);
+
+  if (!config_.trace_out.empty() && trace_)
+    trace_->write_file(config_.trace_out);
+  if (!config_.metrics_out.empty())
+    metrics_.write_file(config_.metrics_out);
+  if (config_.summary) profiler_.print_summary(std::cerr);
+}
+
+}  // namespace gr::obs

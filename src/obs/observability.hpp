@@ -1,0 +1,137 @@
+// Run-scoped observability bundle (ROADMAP: observability).
+//
+// RunObservability is the single object EngineCore instantiates when a
+// run asks for tracing, metrics, or a profiling summary. It registers
+// itself as the device-op listener, fans both seams (DeviceOpListener +
+// ExecutionObserver) out to an optional TraceRecorder and an always-on
+// ProfilingObserver, and maintains the canonical metric names:
+//
+//   counters   device.bytes_h2d / device.bytes_d2h, device.h2d_ops /
+//              device.d2h_ops, device.kernels_launched,
+//              engine.transfers_streamed / engine.transfers_culled,
+//              engine.iterations, engine.shard_visits,
+//              engine.host_spill_bytes
+//   gauges     engine.overlap_ratio, engine.slot_occupancy_max /
+//              engine.slot_occupancy_mean, engine.spray_utilization /
+//              engine.spray_streams, engine.partitions, engine.slots,
+//              engine.total_seconds, device.h2d_busy_seconds /
+//              device.d2h_busy_seconds, device.kernel_busy_seconds
+//   histograms device.kernel_concurrency (resident kernels at launch),
+//              device.copy_bytes (per-DMA transfer size)
+//
+// finalize(report) closes the books after EngineCore::run: it computes
+// the derived gauges, writes the trace/metrics files named in the
+// config, and (optionally) prints the profiler's summary tables.
+// Everything is driven by the simulated clock, so attaching this object
+// never changes engine results, and two identical runs write
+// byte-identical files.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine/observer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+#include "util/common.hpp"
+#include "vgpu/device.hpp"
+
+namespace gr::obs {
+
+struct ObservabilityConfig {
+  std::string trace_out;    // Chrome trace JSON path; empty = no trace
+  std::string metrics_out;  // metrics snapshot path; empty = no file
+  bool summary = false;     // print profiler tables to stderr at the end
+
+  bool enabled() const {
+    return !trace_out.empty() || !metrics_out.empty() || summary;
+  }
+};
+
+class RunObservability : public core::ExecutionObserver,
+                         public vgpu::DeviceOpListener,
+                         util::NonCopyable {
+ public:
+  /// Registers itself as an op listener on `device` (removed again in
+  /// the destructor). The engine seam is wired by the caller passing
+  /// this object wherever an ExecutionObserver goes.
+  RunObservability(vgpu::Device& device, ObservabilityConfig config);
+  ~RunObservability() override;
+
+  /// Names the per-stream trace tracks and tells the profiler which
+  /// streams are spray streams. Call once streams exist (run begin).
+  void label_streams(const std::vector<int>& slot_streams,
+                     const std::vector<int>& spray_streams);
+
+  /// Host-side SSD spill charged to a shard upload (§8 future work 2).
+  void add_host_spill_bytes(std::uint64_t bytes);
+
+  // --- DeviceOpListener ---
+  void on_op_enqueued(const vgpu::DeviceOpRecord& record) override;
+  void on_op_completed(const vgpu::DeviceOpRecord& record) override;
+
+  // --- ExecutionObserver ---
+  void on_run_begin(std::uint32_t partitions, std::uint32_t slots,
+                    bool resident_mode) override;
+  void on_iteration_begin(std::uint32_t iteration,
+                          std::uint64_t active_vertices) override;
+  void on_transfer_plan(std::uint32_t iteration,
+                        const core::TransferPlan& plan) override;
+  void on_pass_begin(const core::Pass& pass, std::uint32_t iteration) override;
+  void on_shard_begin(const core::Pass& pass, std::uint32_t shard) override;
+  void on_shard_enqueued(const core::Pass& pass, std::uint32_t shard,
+                         const core::ShardWork& work) override;
+  void on_pass_end(const core::Pass& pass, std::uint32_t iteration) override;
+  void on_iteration_end(const core::IterationStats& stats) override;
+  void on_run_end(const core::RunReport& report) override;
+
+  /// Computes derived gauges from `report`, writes the configured
+  /// trace/metrics files, and prints the summary if requested. Call
+  /// after EngineCore::run has returned (device drained).
+  void finalize(const core::RunReport& report);
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  const ProfilingObserver& profiler() const { return profiler_; }
+  /// Null when no trace_out was configured.
+  const TraceRecorder* trace() const { return trace_.get(); }
+  const ObservabilityConfig& config() const { return config_; }
+
+ private:
+  vgpu::Device* device_;
+  ObservabilityConfig config_;
+  Metrics metrics_;
+  ProfilingObserver profiler_;
+  std::unique_ptr<TraceRecorder> trace_;
+
+  // Slot-ring occupancy: simulated window of each shard visit. Ops are
+  // tagged with their visit at enqueue time (completions only fire
+  // later, inside the pass-end synchronize).
+  struct Window {
+    double start = 0.0;
+    double end = 0.0;
+  };
+  std::vector<Window> visit_windows_;
+  std::int64_t open_visit_ = -1;
+  std::unordered_map<std::uint64_t, std::size_t> op_visit_;
+
+  // Instrument handles resolved once in the constructor.
+  Counter* bytes_h2d_;
+  Counter* bytes_d2h_;
+  Counter* h2d_ops_;
+  Counter* d2h_ops_;
+  Counter* kernels_launched_;
+  Counter* transfers_streamed_;
+  Counter* transfers_culled_;
+  Counter* iterations_;
+  Counter* shard_visits_;
+  Counter* host_spill_bytes_;
+  Histogram* kernel_concurrency_;
+  Histogram* copy_bytes_;
+};
+
+}  // namespace gr::obs

@@ -1,0 +1,280 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/trace.hpp"
+#include "util/format.hpp"
+
+namespace gr::obs {
+
+double IterationProfile::overlap_ratio() const {
+  const double denom = std::min(copy_busy, kernel_busy);
+  return denom > 0.0 ? overlap_seconds / denom : 0.0;
+}
+
+void ProfilingObserver::set_spray_streams(const std::vector<int>& ids) {
+  spray_configured_ = ids.size();
+  for (int id : ids) spray_ops_.emplace(id, 0);
+}
+
+double ProfilingObserver::measure(std::vector<Interval>& intervals) {
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.end < b.end;
+            });
+  double total = 0.0, cursor = 0.0;
+  bool open = false;
+  for (const Interval& iv : intervals) {
+    if (!open || iv.start > cursor) {
+      cursor = iv.start;
+      open = true;
+    }
+    if (iv.end > cursor) {
+      total += iv.end - cursor;
+      cursor = iv.end;
+    }
+  }
+  return total;
+}
+
+double ProfilingObserver::intersection(const std::vector<Interval>& a,
+                                       const std::vector<Interval>& b) {
+  // Both inputs must be sorted+merged; measure() leaves them sorted, so
+  // re-merge here into disjoint spans before sweeping.
+  const auto merged = [](const std::vector<Interval>& in) {
+    std::vector<Interval> out;
+    for (const Interval& iv : in) {
+      if (!out.empty() && iv.start <= out.back().end)
+        out.back().end = std::max(out.back().end, iv.end);
+      else
+        out.push_back(iv);
+    }
+    return out;
+  };
+  const std::vector<Interval> sa = merged(a), sb = merged(b);
+  double total = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    const double lo = std::max(sa[i].start, sb[j].start);
+    const double hi = std::min(sa[i].end, sb[j].end);
+    if (hi > lo) total += hi - lo;
+    if (sa[i].end < sb[j].end)
+      ++i;
+    else
+      ++j;
+  }
+  return total;
+}
+
+void ProfilingObserver::on_op_enqueued(const vgpu::DeviceOpRecord& record) {
+  OpTag tag;
+  tag.shard = current_shard_;
+  tag.phase = &phases_.try_emplace(current_phase_).first->first;
+  op_tags_.emplace(record.op_id, tag);
+}
+
+void ProfilingObserver::on_op_completed(const vgpu::DeviceOpRecord& record) {
+  using Kind = vgpu::DeviceOpRecord::Kind;
+  OpTag tag;
+  if (const auto it = op_tags_.find(record.op_id); it != op_tags_.end()) {
+    tag = it->second;
+    op_tags_.erase(it);
+  }
+  PhaseProfile& phase =
+      phases_[tag.phase != nullptr ? *tag.phase : current_phase_];
+  const double dur = record.end - record.start;
+  last_op_end_ = std::max(last_op_end_, record.end);
+  switch (record.kind) {
+    case Kind::kH2D:
+      phase.copy_seconds += dur;
+      phase.bytes_h2d += record.bytes;
+      ++phase.copies;
+      if (in_iteration_)
+        copy_intervals_.push_back({record.start, record.end});
+      break;
+    case Kind::kD2H:
+      phase.copy_seconds += dur;
+      phase.bytes_d2h += record.bytes;
+      ++phase.copies;
+      if (in_iteration_)
+        copy_intervals_.push_back({record.start, record.end});
+      break;
+    case Kind::kKernel:
+      phase.kernel_seconds += dur;
+      ++phase.kernels;
+      if (in_iteration_)
+        kernel_intervals_.push_back({record.start, record.end});
+      break;
+    case Kind::kHostTask:
+      break;
+  }
+  if (auto it = spray_ops_.find(record.stream); it != spray_ops_.end())
+    ++it->second;
+  if (tag.shard >= 0) {
+    ShardProfile& shard = shards_[static_cast<std::uint32_t>(tag.shard)];
+    ++shard.ops;
+    shard.bytes += record.bytes;
+    shard.busy_seconds += dur;
+  }
+}
+
+void ProfilingObserver::on_run_begin(std::uint32_t /*partitions*/,
+                                     std::uint32_t /*slots*/,
+                                     bool /*resident_mode*/) {
+  current_phase_ = "[setup]";
+}
+
+void ProfilingObserver::on_iteration_begin(std::uint32_t iteration,
+                                           std::uint64_t /*active*/) {
+  current_iteration_ = iteration;
+  iteration_start_ = last_op_end_;
+  copy_intervals_.clear();
+  kernel_intervals_.clear();
+  in_iteration_ = true;
+}
+
+void ProfilingObserver::on_transfer_plan(std::uint32_t /*iteration*/,
+                                         const core::TransferPlan& plan) {
+  transfers_streamed_ += plan.processed();
+  transfers_culled_ += plan.skipped;
+}
+
+void ProfilingObserver::on_pass_begin(const core::Pass& pass,
+                                      std::uint32_t /*iteration*/) {
+  current_phase_ = TraceRecorder::pass_label(pass);
+}
+
+void ProfilingObserver::on_shard_begin(const core::Pass& /*pass*/,
+                                       std::uint32_t shard) {
+  current_shard_ = shard;
+  ++shards_[shard].visits;
+  ++phases_[current_phase_].shard_visits;
+}
+
+void ProfilingObserver::on_shard_enqueued(const core::Pass& /*pass*/,
+                                          std::uint32_t /*shard*/,
+                                          const core::ShardWork& /*work*/) {
+  current_shard_ = -1;
+}
+
+void ProfilingObserver::on_pass_end(const core::Pass& /*pass*/,
+                                    std::uint32_t /*iteration*/) {
+  current_shard_ = -1;
+  current_phase_ = "[setup]";
+}
+
+void ProfilingObserver::finish_iteration() {
+  if (!in_iteration_) return;
+  in_iteration_ = false;
+  IterationProfile profile;
+  profile.iteration = current_iteration_;
+  profile.copy_busy = measure(copy_intervals_);
+  profile.kernel_busy = measure(kernel_intervals_);
+  profile.overlap_seconds = intersection(copy_intervals_, kernel_intervals_);
+  profile.span_seconds = std::max(0.0, last_op_end_ - iteration_start_);
+  run_copy_busy_ += profile.copy_busy;
+  run_kernel_busy_ += profile.kernel_busy;
+  run_overlap_ += profile.overlap_seconds;
+  iteration_profiles_.push_back(profile);
+}
+
+void ProfilingObserver::on_iteration_end(const core::IterationStats& stats) {
+  (void)stats;
+  finish_iteration();
+  ++iterations_run_;
+}
+
+void ProfilingObserver::on_run_end(const core::RunReport& report) {
+  finish_iteration();  // no-op if the last iteration already closed
+  converged_ = report.converged;
+  iterations_run_ = report.iterations;
+}
+
+double ProfilingObserver::overlap_ratio() const {
+  const double denom = std::min(run_copy_busy_, run_kernel_busy_);
+  return denom > 0.0 ? run_overlap_ / denom : 0.0;
+}
+
+double ProfilingObserver::spray_utilization() const {
+  if (spray_configured_ == 0) return 0.0;
+  std::size_t used = 0;
+  for (const auto& [_, ops] : spray_ops_)
+    if (ops > 0) ++used;
+  return static_cast<double>(used) /
+         static_cast<double>(spray_configured_);
+}
+
+util::Table ProfilingObserver::phase_table() const {
+  util::Table table("Per-phase breakdown (simulated)");
+  table.header({"phase", "copy", "kernel", "H2D", "D2H", "copies",
+                "kernels", "shard visits"});
+  for (const auto& [label, p] : phases_) {
+    if (p.copies == 0 && p.kernels == 0 && p.shard_visits == 0) continue;
+    table.add_row({label, util::format_seconds(p.copy_seconds),
+                   util::format_seconds(p.kernel_seconds),
+                   util::format_bytes(p.bytes_h2d),
+                   util::format_bytes(p.bytes_d2h),
+                   util::format_count(p.copies),
+                   util::format_count(p.kernels),
+                   util::format_count(p.shard_visits)});
+  }
+  return table;
+}
+
+util::Table ProfilingObserver::iteration_table() const {
+  util::Table table("Copy/compute overlap per iteration");
+  table.header({"iter", "span", "copy busy", "kernel busy", "overlap",
+                "ratio"});
+  for (const IterationProfile& it : iteration_profiles_) {
+    table.add_row({std::to_string(it.iteration),
+                   util::format_seconds(it.span_seconds),
+                   util::format_seconds(it.copy_busy),
+                   util::format_seconds(it.kernel_busy),
+                   util::format_seconds(it.overlap_seconds),
+                   util::format_fixed(it.overlap_ratio(), 3)});
+  }
+  return table;
+}
+
+util::Table ProfilingObserver::shard_table(std::size_t max_rows) const {
+  std::vector<std::pair<std::uint32_t, ShardProfile>> sorted(
+      shards_.begin(), shards_.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second.busy_seconds != b.second.busy_seconds)
+                return a.second.busy_seconds > b.second.busy_seconds;
+              return a.first < b.first;
+            });
+  util::Table table("Costliest shards");
+  table.header({"shard", "visits", "ops", "bytes", "busy"});
+  for (std::size_t i = 0; i < sorted.size() && i < max_rows; ++i) {
+    const auto& [shard, p] = sorted[i];
+    table.add_row({std::to_string(shard), util::format_count(p.visits),
+                   util::format_count(p.ops), util::format_bytes(p.bytes),
+                   util::format_seconds(p.busy_seconds)});
+  }
+  return table;
+}
+
+void ProfilingObserver::print_summary(std::ostream& os) const {
+  phase_table().print(os);
+  iteration_table().print(os);
+  shard_table().print(os);
+  os << "run: " << iterations_run_ << " iterations"
+     << (converged_ ? " (converged)" : "") << ", copy busy "
+     << util::format_seconds(run_copy_busy_) << ", kernel busy "
+     << util::format_seconds(run_kernel_busy_) << ", overlap "
+     << util::format_seconds(run_overlap_) << " (ratio "
+     << util::format_fixed(overlap_ratio(), 3) << ")";
+  if (transfers_streamed_ + transfers_culled_ > 0)
+    os << "; shard transfers: " << transfers_streamed_ << " streamed, "
+       << transfers_culled_ << " culled";
+  if (spray_configured_ > 0)
+    os << "; spray utilization "
+       << util::format_fixed(spray_utilization(), 2);
+  os << "\n";
+}
+
+}  // namespace gr::obs

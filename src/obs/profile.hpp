@@ -1,0 +1,170 @@
+// Per-phase / per-shard profiling observer (ROADMAP: observability).
+//
+// ProfilingObserver listens on the same two seams as TraceRecorder —
+// engine structure (ExecutionObserver) and device-op lifecycle
+// (DeviceOpListener) — but instead of a timeline it accumulates the
+// aggregate numbers the paper's evaluation discusses:
+//
+//   * per-phase breakdown (gather / apply / scatter / ...): simulated
+//     copy seconds, kernel seconds, bytes moved, shard visits;
+//   * per-iteration copy/compute overlap: union-of-intervals busy time
+//     for copies and kernels, their intersection, and the overlap
+//     ratio overlap / min(copy_busy, kernel_busy) — the Fig. 5
+//     "why async spray wins" analysis;
+//   * per-shard visit costs (ops, bytes, simulated window) so skewed
+//     partitions stand out;
+//   * spray-stream utilization: how many of the configured spray
+//     streams actually carried ops.
+//
+// All numbers come from the simulated clock, so the summary is
+// deterministic; print_summary() renders util::Table blocks.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine/observer.hpp"
+#include "util/common.hpp"
+#include "util/table.hpp"
+#include "vgpu/device.hpp"
+
+namespace gr::obs {
+
+/// Busy-time aggregate for one phase (pass label).
+struct PhaseProfile {
+  double copy_seconds = 0.0;    // summed DMA window durations
+  double kernel_seconds = 0.0;  // summed kernel residency durations
+  std::uint64_t bytes_h2d = 0;
+  std::uint64_t bytes_d2h = 0;
+  std::uint64_t kernels = 0;
+  std::uint64_t copies = 0;
+  std::uint64_t shard_visits = 0;
+};
+
+/// Copy/compute concurrency for one iteration (union-of-intervals).
+struct IterationProfile {
+  std::uint32_t iteration = 0;
+  double copy_busy = 0.0;     // seconds >=1 copy engine active
+  double kernel_busy = 0.0;   // seconds >=1 kernel resident
+  double overlap_seconds = 0.0;  // seconds both of the above
+  double span_seconds = 0.0;  // simulated iteration wall time
+  /// overlap / min(copy_busy, kernel_busy); 0 when either is idle.
+  double overlap_ratio() const;
+};
+
+/// Aggregate over one shard across all its visits.
+struct ShardProfile {
+  std::uint64_t visits = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t bytes = 0;
+  double busy_seconds = 0.0;  // summed op durations (may overlap)
+};
+
+class ProfilingObserver : public core::ExecutionObserver,
+                          public vgpu::DeviceOpListener,
+                          util::NonCopyable {
+ public:
+  ProfilingObserver() = default;
+
+  /// Tells the profiler which stream ids are spray streams so it can
+  /// report utilization (streamed ops / configured streams).
+  void set_spray_streams(const std::vector<int>& ids);
+
+  // --- DeviceOpListener ---
+  /// Tags the op with the currently-open shard visit and phase; ops
+  /// complete later, inside the pass-end synchronize, when the visit
+  /// has already closed on the driver side.
+  void on_op_enqueued(const vgpu::DeviceOpRecord& record) override;
+  void on_op_completed(const vgpu::DeviceOpRecord& record) override;
+
+  // --- ExecutionObserver ---
+  void on_run_begin(std::uint32_t partitions, std::uint32_t slots,
+                    bool resident_mode) override;
+  void on_iteration_begin(std::uint32_t iteration,
+                          std::uint64_t active_vertices) override;
+  void on_transfer_plan(std::uint32_t iteration,
+                        const core::TransferPlan& plan) override;
+  void on_pass_begin(const core::Pass& pass, std::uint32_t iteration) override;
+  void on_shard_begin(const core::Pass& pass, std::uint32_t shard) override;
+  void on_shard_enqueued(const core::Pass& pass, std::uint32_t shard,
+                         const core::ShardWork& work) override;
+  void on_pass_end(const core::Pass& pass, std::uint32_t iteration) override;
+  void on_iteration_end(const core::IterationStats& stats) override;
+  void on_run_end(const core::RunReport& report) override;
+
+  // --- results ---
+  /// Phase label -> aggregate; labels are TraceRecorder::pass_label()
+  /// values plus "[setup]" for ops outside any pass.
+  const std::map<std::string, PhaseProfile>& phases() const {
+    return phases_;
+  }
+  const std::vector<IterationProfile>& iterations() const {
+    return iteration_profiles_;
+  }
+  const std::map<std::uint32_t, ShardProfile>& shards() const {
+    return shards_;
+  }
+  /// Whole-run overlap ratio (union over all iterations' intervals).
+  double overlap_ratio() const;
+  double copy_busy_seconds() const { return run_copy_busy_; }
+  double kernel_busy_seconds() const { return run_kernel_busy_; }
+  /// Spray streams that carried at least one op / streams configured.
+  double spray_utilization() const;
+  std::uint64_t transfers_streamed() const { return transfers_streamed_; }
+  std::uint64_t transfers_culled() const { return transfers_culled_; }
+
+  util::Table phase_table() const;
+  util::Table iteration_table() const;
+  util::Table shard_table(std::size_t max_rows = 8) const;
+  /// Renders the phase, iteration, and top-shard tables plus a one-line
+  /// overlap verdict.
+  void print_summary(std::ostream& os) const;
+
+ private:
+  struct Interval {
+    double start = 0.0;
+    double end = 0.0;
+  };
+  // Merged measure of a set of [start,end) intervals.
+  static double measure(std::vector<Interval>& intervals);
+  static double intersection(const std::vector<Interval>& a,
+                             const std::vector<Interval>& b);
+  void finish_iteration();
+
+  std::map<std::string, PhaseProfile> phases_;
+  std::string current_phase_ = "[setup]";
+  std::vector<IterationProfile> iteration_profiles_;
+  std::map<std::uint32_t, ShardProfile> shards_;
+  std::int64_t current_shard_ = -1;
+  // Enqueue-time attribution, consumed at completion.
+  struct OpTag {
+    std::int64_t shard = -1;
+    const std::string* phase = nullptr;  // key into phases_
+  };
+  std::unordered_map<std::uint64_t, OpTag> op_tags_;
+
+  // Per-iteration interval sets, reset at iteration boundaries.
+  std::vector<Interval> copy_intervals_;
+  std::vector<Interval> kernel_intervals_;
+  std::uint32_t current_iteration_ = 0;
+  double iteration_start_ = 0.0;
+  double last_op_end_ = 0.0;
+  bool in_iteration_ = false;
+
+  double run_copy_busy_ = 0.0;
+  double run_kernel_busy_ = 0.0;
+  double run_overlap_ = 0.0;
+
+  std::unordered_map<int, std::uint64_t> spray_ops_;  // stream -> ops
+  std::size_t spray_configured_ = 0;
+  std::uint64_t transfers_streamed_ = 0;
+  std::uint64_t transfers_culled_ = 0;
+  bool converged_ = false;
+  std::uint32_t iterations_run_ = 0;
+};
+
+}  // namespace gr::obs

@@ -1,0 +1,372 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "util/log.hpp"
+
+namespace gr::obs {
+
+namespace {
+
+constexpr int kPid = 1;
+constexpr int kTidDriver = 1;
+constexpr int kTidH2d = 2;
+constexpr int kTidD2h = 3;
+constexpr int kTidSmx = 4;
+constexpr int kTidStreamBase = 10;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Fixed-precision microsecond timestamp: 0.1 ns resolution, enough for
+/// every simulated latency in the device model, and byte-stable.
+std::string format_ts(double us) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.4f", us);
+  return buf;
+}
+
+const char* kind_name(vgpu::DeviceOpRecord::Kind kind) {
+  using Kind = vgpu::DeviceOpRecord::Kind;
+  switch (kind) {
+    case Kind::kH2D: return "memcpy H2D";
+    case Kind::kD2H: return "memcpy D2H";
+    case Kind::kKernel: return "kernel";
+    case Kind::kHostTask: return "host task";
+  }
+  return "?";
+}
+
+const char* phase_kernel_name(core::PhaseKernel kernel) {
+  using K = core::PhaseKernel;
+  switch (kernel) {
+    case K::kGatherMap: return "gatherMap";
+    case K::kGatherReduce: return "gatherReduce";
+    case K::kApply: return "apply";
+    case K::kScatter: return "scatter";
+    case K::kFrontierActivate: return "activate";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string TraceRecorder::pass_label(const core::Pass& pass) {
+  // The fused gather pass reads better under its paper name.
+  if (pass.kernels.size() == 2 &&
+      pass.kernels[0] == core::PhaseKernel::kGatherMap &&
+      pass.kernels[1] == core::PhaseKernel::kGatherReduce)
+    return "gather";
+  std::string label;
+  for (const core::PhaseKernel kernel : pass.kernels) {
+    if (!label.empty()) label += '+';
+    label += phase_kernel_name(kernel);
+  }
+  return label;
+}
+
+double TraceRecorder::now_us() const { return device_->now() * 1e6; }
+
+void TraceRecorder::label_stream(int id, std::string label) {
+  stream_labels_[id] = std::move(label);
+}
+
+const std::string& TraceRecorder::stream_name(int id) const {
+  auto& slot = stream_labels_[id];
+  if (slot.empty()) slot = "stream " + std::to_string(id);
+  return slot;
+}
+
+void TraceRecorder::on_op_enqueued(const vgpu::DeviceOpRecord& record) {
+  if (open_visit_ >= 0) op_visit_[record.op_id] = open_visit_;
+}
+
+void TraceRecorder::on_op_completed(const vgpu::DeviceOpRecord& record) {
+  using Kind = vgpu::DeviceOpRecord::Kind;
+  stream_name(record.stream);  // ensure a track label exists
+
+  std::string args = "{\"op\": " + std::to_string(record.op_id) +
+                     ", \"queued_us\": " + format_ts(record.enqueued * 1e6);
+  if (record.kind == Kind::kH2D || record.kind == Kind::kD2H)
+    args += ", \"bytes\": " + std::to_string(record.bytes);
+  const auto visit_it = op_visit_.find(record.op_id);
+  if (visit_it != op_visit_.end()) {
+    ShardVisit& visit = visits_[visit_it->second];
+    if (visit.ops == 0 || record.start < visit.first_start)
+      visit.first_start = record.start;
+    if (visit.ops == 0 || record.end > visit.last_end)
+      visit.last_end = record.end;
+    ++visit.ops;
+    args += ", \"shard\": " + std::to_string(visit.shard) +
+            ", \"iteration\": " + std::to_string(visit.iteration);
+    op_visit_.erase(visit_it);
+  }
+  args += '}';
+
+  const double ts = record.start * 1e6;
+  const double dur = (record.end - record.start) * 1e6;
+
+  // Per-stream serialized view.
+  push({'X', kTidStreamBase + record.stream, ts, dur, 0,
+        kind_name(record.kind), nullptr, args});
+
+  switch (record.kind) {
+    case Kind::kH2D:
+      push({'X', kTidH2d, ts, dur, 0, kind_name(record.kind), nullptr,
+            args});
+      break;
+    case Kind::kD2H:
+      push({'X', kTidD2h, ts, dur, 0, kind_name(record.kind), nullptr,
+            args});
+      break;
+    case Kind::kKernel: {
+      // Kernels overlap on the processor-sharing SMX engine, so they go
+      // on async sub-tracks instead of one synchronous track.
+      std::string kargs = args;
+      kargs.insert(kargs.size() - 1, ", \"resident\": " +
+                                         std::to_string(
+                                             record.resident_kernels));
+      push({'b', kTidSmx, ts, 0.0, record.op_id, "kernel", "kernel",
+            kargs});
+      push({'e', kTidSmx, record.end * 1e6, 0.0, record.op_id, "kernel",
+            "kernel", {}});
+      kernel_windows_.emplace_back(record.start, record.end);
+      break;
+    }
+    case Kind::kHostTask:
+      break;
+  }
+}
+
+void TraceRecorder::on_run_begin(std::uint32_t partitions,
+                                 std::uint32_t slots, bool resident_mode) {
+  push({'B', kTidDriver, now_us(), 0.0, 0, "run", nullptr,
+        "{\"partitions\": " + std::to_string(partitions) +
+            ", \"slots\": " + std::to_string(slots) + ", \"resident\": " +
+            (resident_mode ? "true" : "false") + "}"});
+  run_open_ = true;
+}
+
+void TraceRecorder::on_iteration_begin(std::uint32_t iteration,
+                                       std::uint64_t active_vertices) {
+  iteration_ = iteration;
+  push({'B', kTidDriver, now_us(), 0.0, 0,
+        "iteration " + std::to_string(iteration), nullptr,
+        "{\"active_vertices\": " + std::to_string(active_vertices) + "}"});
+}
+
+void TraceRecorder::on_transfer_plan(std::uint32_t iteration,
+                                     const core::TransferPlan& plan) {
+  push({'i', kTidDriver, now_us(), 0.0, 0, "transfer plan", "frontier",
+        "{\"iteration\": " + std::to_string(iteration) +
+            ", \"shards_streamed\": " + std::to_string(plan.processed()) +
+            ", \"shards_culled\": " + std::to_string(plan.skipped) + "}"});
+}
+
+void TraceRecorder::on_pass_begin(const core::Pass& pass,
+                                  std::uint32_t /*iteration*/) {
+  push({'B', kTidDriver, now_us(), 0.0, 0, "pass " + pass_label(pass),
+        nullptr, {}});
+}
+
+void TraceRecorder::on_shard_begin(const core::Pass& pass,
+                                   std::uint32_t shard) {
+  ShardVisit visit;
+  visit.iteration = iteration_;
+  visit.shard = shard;
+  visit.pass = pass_label(pass);
+  open_visit_ = static_cast<std::int64_t>(visits_.size());
+  visits_.push_back(std::move(visit));
+}
+
+void TraceRecorder::on_shard_enqueued(const core::Pass& /*pass*/,
+                                      std::uint32_t shard,
+                                      const core::ShardWork& work) {
+  open_visit_ = -1;
+  push({'i', kTidDriver, now_us(), 0.0, 0, "shard enqueued", "shard",
+        "{\"shard\": " + std::to_string(shard) + ", \"active_vertices\": " +
+            std::to_string(work.active_vertices) +
+            ", \"active_in_edges\": " +
+            std::to_string(work.active_in_edges) +
+            ", \"active_out_edges\": " +
+            std::to_string(work.active_out_edges) + "}"});
+}
+
+void TraceRecorder::on_pass_end(const core::Pass& pass,
+                                std::uint32_t /*iteration*/) {
+  push({'E', kTidDriver, now_us(), 0.0, 0, "pass " + pass_label(pass),
+        nullptr, {}});
+}
+
+void TraceRecorder::on_iteration_end(const core::IterationStats& stats) {
+  push({'E', kTidDriver, now_us(), 0.0, 0,
+        "iteration " + std::to_string(stats.iteration), nullptr,
+        "{\"shards_processed\": " + std::to_string(stats.shards_processed) +
+            ", \"shards_skipped\": " +
+            std::to_string(stats.shards_skipped) + "}"});
+}
+
+void TraceRecorder::on_run_end(const core::RunReport& /*report*/) {
+  if (!run_open_) return;
+  push({'E', kTidDriver, now_us(), 0.0, 0, "run", nullptr, {}});
+  run_open_ = false;
+}
+
+namespace {
+
+std::string event_prefix(char ph, const std::string& name, int tid,
+                         const std::string& ts) {
+  return "{\"name\": \"" + name + "\", \"ph\": \"" + ph +
+         std::string("\", \"pid\": ") + std::to_string(kPid) +
+         ", \"tid\": " + std::to_string(tid) + ", \"ts\": " + ts;
+}
+
+/// Appends one counter series ("C" events) from [start,end) windows:
+/// value = number of windows covering each instant. Ends apply before
+/// starts at equal timestamps so back-to-back windows don't produce
+/// spurious peaks.
+void append_counter_series(
+    std::vector<std::string>& lines, const char* name, int tid,
+    const std::vector<std::pair<double, double>>& windows) {
+  std::vector<std::pair<double, int>> deltas;
+  deltas.reserve(windows.size() * 2);
+  for (const auto& [start, end] : windows) {
+    deltas.emplace_back(start, +1);
+    deltas.emplace_back(end, -1);
+  }
+  std::sort(deltas.begin(), deltas.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  int level = 0;
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    level += deltas[i].second;
+    // Collapse simultaneous changes into the final level.
+    if (i + 1 < deltas.size() && deltas[i + 1].first == deltas[i].first)
+      continue;
+    lines.push_back(event_prefix('C', name, tid,
+                                 format_ts(deltas[i].first * 1e6)) +
+                    ", \"args\": {\"count\": " + std::to_string(level) +
+                    "}}");
+  }
+}
+
+}  // namespace
+
+void TraceRecorder::write_json(std::ostream& os) const {
+  std::vector<std::string> lines;
+  lines.reserve(events_.size() + visits_.size() * 2 +
+                kernel_windows_.size() * 2 + 16);
+
+  // Track metadata: names and a stable top-to-bottom ordering.
+  const auto meta = [&lines](int tid, const std::string& name,
+                             int sort_index) {
+    lines.push_back("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " +
+                    std::to_string(kPid) + ", \"tid\": " +
+                    std::to_string(tid) + ", \"args\": {\"name\": \"" +
+                    json_escape(name) + "\"}}");
+    lines.push_back(
+        "{\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": " +
+        std::to_string(kPid) + ", \"tid\": " + std::to_string(tid) +
+        ", \"args\": {\"sort_index\": " + std::to_string(sort_index) +
+        "}}");
+  };
+  lines.push_back("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
+                  std::to_string(kPid) +
+                  ", \"args\": {\"name\": \"GraphReduce virtual GPU\"}}");
+  meta(kTidDriver, "engine driver", 0);
+  meta(kTidH2d, "copy engine H2D", 1);
+  meta(kTidD2h, "copy engine D2H", 2);
+  meta(kTidSmx, "SMX compute", 3);
+  for (const auto& [id, label] : stream_labels_)
+    meta(kTidStreamBase + id, label, kTidStreamBase + id);
+
+  // Counter series (kernel concurrency on the SMX engine, slot-ring
+  // occupancy from shard-visit windows).
+  append_counter_series(lines, "resident kernels", kTidSmx,
+                        kernel_windows_);
+  std::vector<std::pair<double, double>> shard_windows;
+  for (const ShardVisit& visit : visits_)
+    if (visit.ops > 0)
+      shard_windows.emplace_back(visit.first_start, visit.last_end);
+  append_counter_series(lines, "shards in flight", kTidDriver,
+                        shard_windows);
+
+  // Shard-visit spans: async so overlapping visits on different slot
+  // lanes each get their own sub-track.
+  for (std::size_t i = 0; i < visits_.size(); ++i) {
+    const ShardVisit& visit = visits_[i];
+    if (visit.ops == 0) continue;
+    const std::string name = "shard " + std::to_string(visit.shard);
+    const std::string id = std::to_string(i);
+    lines.push_back(
+        "{\"name\": \"" + name + "\", \"ph\": \"b\", \"cat\": \"shard\"" +
+        ", \"id\": " + id + ", \"pid\": " + std::to_string(kPid) +
+        ", \"tid\": " + std::to_string(kTidDriver) +
+        ", \"ts\": " + format_ts(visit.first_start * 1e6) +
+        ", \"args\": {\"iteration\": " + std::to_string(visit.iteration) +
+        ", \"pass\": \"" + json_escape(visit.pass) +
+        "\", \"ops\": " + std::to_string(visit.ops) + "}}");
+    lines.push_back(
+        "{\"name\": \"" + name + "\", \"ph\": \"e\", \"cat\": \"shard\"" +
+        ", \"id\": " + id + ", \"pid\": " + std::to_string(kPid) +
+        ", \"tid\": " + std::to_string(kTidDriver) +
+        ", \"ts\": " + format_ts(visit.last_end * 1e6) + "}");
+  }
+
+  // The recorded events, in deterministic record order. Chrome's JSON
+  // array order breaks timestamp ties, which keeps equal-ts B/E pairs
+  // (a pass ending and the next beginning at the same simulated time)
+  // correctly nested.
+  for (const Event& event : events_) {
+    std::string line = event_prefix(event.ph, json_escape(event.name),
+                                    event.tid, format_ts(event.ts));
+    if (event.ph == 'X') line += ", \"dur\": " + format_ts(event.dur);
+    if (event.ph == 'i') line += ", \"s\": \"t\"";
+    if (event.ph == 'b' || event.ph == 'e')
+      line += ", \"id\": " + std::to_string(event.id);
+    if (event.cat != nullptr)
+      line += std::string(", \"cat\": \"") + event.cat + '"';
+    if (!event.args.empty()) line += ", \"args\": " + event.args;
+    line += '}';
+    lines.push_back(std::move(line));
+  }
+
+  os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    os << lines[i] << (i + 1 < lines.size() ? ",\n" : "\n");
+  os << "]}\n";
+}
+
+bool TraceRecorder::write_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os.good()) {
+    GR_LOG_WARN("cannot write trace to " << path);
+    return false;
+  }
+  write_json(os);
+  GR_LOG_INFO("wrote trace " << path << " (" << events_.size()
+                             << " events; open in ui.perfetto.dev)");
+  return true;
+}
+
+}  // namespace gr::obs

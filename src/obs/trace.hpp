@@ -1,0 +1,126 @@
+// Perfetto / chrome://tracing export of the simulated timeline
+// (ROADMAP: observability).
+//
+// TraceRecorder subscribes to both observability seams — the vgpu
+// device-op lifecycle (DeviceOpListener) and the engine's structural
+// callbacks (ExecutionObserver) — and renders one Chrome trace-event
+// JSON file per run. Track layout (all under pid 1, timestamps are
+// simulated microseconds):
+//
+//   tid 1  "engine driver"   — nested B/E duration spans for the run,
+//                              each iteration, and each pass, plus
+//                              instant events for transfer-plan culling
+//                              decisions and shard enqueues;
+//   tid 2  "copy engine H2D" — X (complete) events, one per DMA window;
+//   tid 3  "copy engine D2H" — ditto, device-to-host;
+//   tid 4  "SMX compute"     — async b/e pairs, one per kernel (kernels
+//                              overlap on the processor-sharing engine,
+//                              so they cannot share one synchronous
+//                              track), plus a "resident kernels"
+//                              counter series;
+//   tid 10+k "stream k"      — X events for every op issued on stream k
+//                              (slot-lane and spray streams get labels
+//                              via label_stream()).
+//
+// Shard visits additionally appear as async "shard N" spans (category
+// "shard") covering the simulated window from the shard's first device
+// op starting to its last completing, and a "shards in flight" counter
+// tracks slot-ring occupancy over time.
+//
+// Everything is recorded on the driver thread in deterministic order
+// and serialized with fixed number formatting: two identical runs emit
+// byte-identical traces regardless of the functional backend's worker
+// count.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine/observer.hpp"
+#include "util/common.hpp"
+#include "vgpu/device.hpp"
+
+namespace gr::obs {
+
+class TraceRecorder : public vgpu::DeviceOpListener,
+                      public core::ExecutionObserver,
+                      util::NonCopyable {
+ public:
+  /// Records against `device`'s simulated clock. Does NOT register
+  /// itself; callers attach via device.add_op_listener() (and
+  /// EngineCore::set_observer or RunObservability for the engine seam).
+  explicit TraceRecorder(const vgpu::Device& device) : device_(&device) {}
+
+  /// Names the track of stream `id` (e.g. "slot 0", "spray 2").
+  void label_stream(int id, std::string label);
+
+  // --- DeviceOpListener ---
+  void on_op_enqueued(const vgpu::DeviceOpRecord& record) override;
+  void on_op_completed(const vgpu::DeviceOpRecord& record) override;
+
+  // --- ExecutionObserver ---
+  void on_run_begin(std::uint32_t partitions, std::uint32_t slots,
+                    bool resident_mode) override;
+  void on_iteration_begin(std::uint32_t iteration,
+                          std::uint64_t active_vertices) override;
+  void on_transfer_plan(std::uint32_t iteration,
+                        const core::TransferPlan& plan) override;
+  void on_pass_begin(const core::Pass& pass, std::uint32_t iteration) override;
+  void on_shard_begin(const core::Pass& pass, std::uint32_t shard) override;
+  void on_shard_enqueued(const core::Pass& pass, std::uint32_t shard,
+                         const core::ShardWork& work) override;
+  void on_pass_end(const core::Pass& pass, std::uint32_t iteration) override;
+  void on_iteration_end(const core::IterationStats& stats) override;
+  void on_run_end(const core::RunReport& report) override;
+
+  /// Serializes the trace; callable once the run has drained (after
+  /// Device::synchronize / EngineCore::run returns).
+  void write_json(std::ostream& os) const;
+  /// write_json to `path`; false (with a warning log) on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  std::size_t event_count() const { return events_.size(); }
+
+  /// Human-readable label for a pass ("gather", "apply+activate", ...).
+  static std::string pass_label(const core::Pass& pass);
+
+ private:
+  struct Event {
+    char ph;            // B E X i b e
+    int tid = 0;
+    double ts = 0.0;    // microseconds
+    double dur = 0.0;   // X only
+    std::uint64_t id = 0;  // async b/e pairing
+    std::string name;
+    const char* cat = nullptr;  // async/instant category
+    std::string args;           // pre-rendered JSON object, may be empty
+  };
+  struct ShardVisit {
+    std::uint32_t iteration = 0;
+    std::uint32_t shard = 0;
+    std::string pass;
+    double first_start = 0.0;
+    double last_end = 0.0;
+    std::uint64_t ops = 0;
+  };
+
+  double now_us() const;
+  void push(Event event) { events_.push_back(std::move(event)); }
+  const std::string& stream_name(int id) const;
+
+  const vgpu::Device* device_;
+  std::vector<Event> events_;
+  mutable std::map<int, std::string> stream_labels_;  // id -> track name
+  std::vector<ShardVisit> visits_;
+  std::unordered_map<std::uint64_t, std::uint32_t> op_visit_;  // op -> visit
+  std::vector<std::pair<double, double>> kernel_windows_;  // start, end
+  std::int64_t open_visit_ = -1;
+  std::uint32_t iteration_ = 0;
+  bool run_open_ = false;
+};
+
+}  // namespace gr::obs

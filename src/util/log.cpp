@@ -1,9 +1,9 @@
 #include "util/log.hpp"
 
 #include <atomic>
-#include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "util/format.hpp"
 
 namespace gr::util {
 namespace {
@@ -30,14 +30,35 @@ void set_log_level(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
 }
 
+int log_thread_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 void log_line(LogLevel level, const std::string& message) {
   using Clock = std::chrono::steady_clock;
   static const Clock::time_point start = Clock::now();
   const double secs =
       std::chrono::duration<double>(Clock::now() - start).count();
+  const int tid = log_thread_id();
   std::lock_guard lock(g_mutex);
-  std::fprintf(stderr, "[%9.3f] %s %s\n", secs, level_tag(level),
+  std::fprintf(stderr, "[%9.3f T%d] %s %s\n", secs, tid, level_tag(level),
                message.c_str());
+}
+
+LogScope::LogScope(LogLevel level, std::string name)
+    : level_(level),
+      name_(std::move(name)),
+      start_(std::chrono::steady_clock::now()) {
+  GR_LOG_AT(level_, "begin " << name_);
+}
+
+LogScope::~LogScope() {
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+  GR_LOG_AT(level_, "end " << name_ << " (" << format_seconds(secs) << ")");
 }
 
 }  // namespace gr::util

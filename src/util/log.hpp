@@ -1,10 +1,20 @@
 // Minimal leveled logger. Single-process, thread-safe, writes to stderr.
 //
+// Every line carries the monotonic elapsed time since process start and
+// a compact per-thread id (T0 = the first thread that logged, usually
+// main), so interleaved output from the functional backend's worker
+// pool stays attributable:
+//
+//   [    0.012 T0] INFO  loaded 1,441,295 edges
+//
 // Usage:
 //   GR_LOG_INFO("loaded " << n << " edges");
+//   GR_LOG_SCOPE("engine run");   // logs begin/end (+wall time) at
+//                                 // Debug level, RAII
 // Level is a process-global; benches default to Info, tests to Warn.
 #pragma once
 
+#include <chrono>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -17,8 +27,28 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
+/// Small sequential id of the calling thread (0 = first logger).
+int log_thread_id();
+
 /// Emit one formatted line (internal; prefer the GR_LOG_* macros).
 void log_line(LogLevel level, const std::string& message);
+
+/// RAII scope marker: logs "begin <name>" on construction and
+/// "end <name> (<wall time>)" on destruction, both at `level`. Used at
+/// engine run/iteration boundaries; enable with
+/// set_log_level(LogLevel::kDebug) to see them.
+class LogScope {
+ public:
+  LogScope(LogLevel level, std::string name);
+  ~LogScope();
+  LogScope(const LogScope&) = delete;
+  LogScope& operator=(const LogScope&) = delete;
+
+ private:
+  LogLevel level_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace gr::util
 
@@ -36,3 +66,11 @@ void log_line(LogLevel level, const std::string& message);
 #define GR_LOG_INFO(s) GR_LOG_AT(::gr::util::LogLevel::kInfo, s)
 #define GR_LOG_WARN(s) GR_LOG_AT(::gr::util::LogLevel::kWarn, s)
 #define GR_LOG_ERROR(s) GR_LOG_AT(::gr::util::LogLevel::kError, s)
+
+#define GR_LOG_SCOPE_CAT2(a, b) a##b
+#define GR_LOG_SCOPE_CAT(a, b) GR_LOG_SCOPE_CAT2(a, b)
+/// Debug-level begin/end span around the enclosing scope. `name_expr`
+/// may be any expression convertible to std::string.
+#define GR_LOG_SCOPE(name_expr)                       \
+  ::gr::util::LogScope GR_LOG_SCOPE_CAT(             \
+      gr_log_scope_, __LINE__)(::gr::util::LogLevel::kDebug, (name_expr))

@@ -15,7 +15,34 @@ struct Stream::Op {
   KernelCost cost;
   Event* event = nullptr;
   double host_duration = 0.0;
+  std::uint64_t id = 0;    // issue-order id (op-listener correlation)
+  double enqueued = 0.0;   // host issue time (simulated seconds)
 };
+
+namespace {
+
+bool op_kind_reported(Stream::Op::Kind kind, DeviceOpRecord::Kind* out) {
+  switch (kind) {
+    case Stream::Op::Kind::kCopyH2D:
+      *out = DeviceOpRecord::Kind::kH2D;
+      return true;
+    case Stream::Op::Kind::kCopyD2H:
+      *out = DeviceOpRecord::Kind::kD2H;
+      return true;
+    case Stream::Op::Kind::kKernel:
+      *out = DeviceOpRecord::Kind::kKernel;
+      return true;
+    case Stream::Op::Kind::kHostTask:
+      *out = DeviceOpRecord::Kind::kHostTask;
+      return true;
+    case Stream::Op::Kind::kEventRecord:
+    case Stream::Op::Kind::kEventWait:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
 
 Stream::Stream(int id) : id_(id) {}
 Stream::~Stream() = default;
@@ -48,7 +75,34 @@ Event& Device::create_event() {
   return *events_.back();
 }
 
+void Device::add_op_listener(DeviceOpListener* listener) {
+  GR_CHECK(listener != nullptr);
+  op_listeners_.push_back(listener);
+}
+
+void Device::remove_op_listener(DeviceOpListener* listener) {
+  std::erase(op_listeners_, listener);
+}
+
+void Device::notify_completed(const DeviceOpRecord& record) {
+  for (DeviceOpListener* listener : op_listeners_)
+    listener->on_op_completed(record);
+}
+
 void Device::enqueue(Stream& stream, std::unique_ptr<Stream::Op> op) {
+  op->id = next_op_id_++;
+  op->enqueued = queue().now();
+  DeviceOpRecord::Kind kind;
+  if (!op_listeners_.empty() && op_kind_reported(op->kind, &kind)) {
+    DeviceOpRecord record;
+    record.kind = kind;
+    record.op_id = op->id;
+    record.stream = stream.id();
+    record.enqueued = op->enqueued;
+    record.bytes = op->bytes;
+    for (DeviceOpListener* listener : op_listeners_)
+      listener->on_op_enqueued(record);
+  }
   stream.pending_.push_back(std::move(op));
   if (!stream.busy_) {
     stream.busy_ = true;
@@ -133,7 +187,8 @@ void Device::start_head(Stream& stream) {
       // Execute the actual copy when the DMA transfer begins.
       queue().schedule_at(window.start, [body = std::move(op.body)] { body(); });
       queue().schedule_at(window.end, [this, &stream, h2d, window,
-                                       bytes = op.bytes] {
+                                       bytes = op.bytes, id = op.id,
+                                       enqueued = op.enqueued] {
         if (h2d) {
           stats_.bytes_h2d += bytes;
           ++stats_.h2d_ops;
@@ -146,6 +201,18 @@ void Device::start_head(Stream& stream) {
                                    : TimelineEntry::Kind::kD2H,
                                stream.id(), window.start, window.end,
                                bytes});
+        }
+        if (!op_listeners_.empty()) {
+          DeviceOpRecord record;
+          record.kind = h2d ? DeviceOpRecord::Kind::kH2D
+                            : DeviceOpRecord::Kind::kD2H;
+          record.op_id = id;
+          record.stream = stream.id();
+          record.enqueued = enqueued;
+          record.start = window.start;
+          record.end = window.end;
+          record.bytes = bytes;
+          notify_completed(record);
         }
         complete_head(stream);
       });
@@ -187,7 +254,8 @@ void Device::start_head(Stream& stream) {
     case Kind::kHostTask: {
       const double started = queue().now();
       queue().schedule_after(op.host_duration,
-                            [this, &stream, started,
+                            [this, &stream, started, id = op.id,
+                             enqueued = op.enqueued,
                              body = std::move(op.body)] {
                               if (body) body();
                               if (config_.record_timeline) {
@@ -195,6 +263,16 @@ void Device::start_head(Stream& stream) {
                                     {TimelineEntry::Kind::kHostTask,
                                      stream.id(), started, queue().now(),
                                      0});
+                              }
+                              if (!op_listeners_.empty()) {
+                                DeviceOpRecord record;
+                                record.kind = DeviceOpRecord::Kind::kHostTask;
+                                record.op_id = id;
+                                record.stream = stream.id();
+                                record.enqueued = enqueued;
+                                record.start = started;
+                                record.end = queue().now();
+                                notify_completed(record);
                               }
                               complete_head(stream);
                             });
@@ -217,11 +295,24 @@ void Device::submit_kernel(Stream& stream) {
   const double cap = op.cost.rate_cap(config_);
   const double started = queue().now();
   compute_.add_task(work, cap,
-                    [this, &stream, started](sim::SharedEngine::TaskId) {
+                    [this, &stream, started, id = op.id,
+                     enqueued = op.enqueued,
+                     resident = resident_kernels_](sim::SharedEngine::TaskId) {
                       if (config_.record_timeline) {
                         timeline_.push_back({TimelineEntry::Kind::kKernel,
                                              stream.id(), started,
                                              queue().now(), 0});
+                      }
+                      if (!op_listeners_.empty()) {
+                        DeviceOpRecord record;
+                        record.kind = DeviceOpRecord::Kind::kKernel;
+                        record.op_id = id;
+                        record.stream = stream.id();
+                        record.enqueued = enqueued;
+                        record.start = started;
+                        record.end = queue().now();
+                        record.resident_kernels = resident;
+                        notify_completed(record);
                       }
                       --resident_kernels_;
                       complete_head(stream);

@@ -47,6 +47,7 @@ class Device;
 /// Created and owned by a Device; copy/launch APIs live on Device.
 class Stream : util::NonCopyable {
  public:
+  struct Op;  // defined in device.cpp; name public for file-local helpers
   ~Stream();  // out of line: Op is an incomplete type here
   int id() const { return id_; }
 
@@ -54,7 +55,6 @@ class Stream : util::NonCopyable {
   friend class Device;
   explicit Stream(int id);  // out of line: see ~Stream
 
-  struct Op;
   int id_;
   std::deque<std::unique_ptr<Op>> pending_;
   bool busy_ = false;
@@ -84,6 +84,35 @@ struct TimelineEntry {
   double start;
   double end;
   std::uint64_t bytes;  // 0 for kernels/host tasks
+};
+
+/// One device operation's lifecycle record, as delivered to
+/// DeviceOpListener. All times are simulated seconds on the device's
+/// EventQueue clock; `op_id` increases in issue order and is shared
+/// between the enqueue and completion notifications of one operation.
+struct DeviceOpRecord {
+  enum class Kind : std::uint8_t { kH2D, kD2H, kKernel, kHostTask };
+  Kind kind;
+  std::uint64_t op_id = 0;
+  int stream = 0;
+  double enqueued = 0.0;  // host issue time
+  double start = 0.0;     // engine start (DMA window / post-launch-latency)
+  double end = 0.0;       // completion
+  std::uint64_t bytes = 0;        // copies only
+  int resident_kernels = 0;       // kernels: concurrency incl. this one
+};
+
+/// Observer of device-op lifecycle (the seam src/obs builds on). Both
+/// callbacks run on the driver thread — on_op_enqueued synchronously
+/// inside the issuing API call (start/end not yet known), and
+/// on_op_completed while the simulation executes inside synchronize().
+/// Listeners must not enqueue further device work. Event record/wait
+/// ops are internal ordering primitives and are not reported.
+class DeviceOpListener {
+ public:
+  virtual ~DeviceOpListener() = default;
+  virtual void on_op_enqueued(const DeviceOpRecord& /*record*/) {}
+  virtual void on_op_completed(const DeviceOpRecord& /*record*/) {}
 };
 
 /// Aggregate device activity since construction (or reset_stats()).
@@ -175,10 +204,18 @@ class Device : util::NonCopyable {
   /// Completed-operation timeline (empty unless config.record_timeline).
   const std::vector<TimelineEntry>& timeline() const { return timeline_; }
 
+  /// Registers an op-lifecycle listener (see DeviceOpListener). The
+  /// listener must outlive all device work; listeners are notified in
+  /// registration order. Purely host-side: attaching observers never
+  /// changes scheduling or simulated timestamps.
+  void add_op_listener(DeviceOpListener* listener);
+  void remove_op_listener(DeviceOpListener* listener);
+
  private:
   struct PendingKernel;
 
   void enqueue(Stream& stream, std::unique_ptr<Stream::Op> op);
+  void notify_completed(const DeviceOpRecord& record);
   void start_head(Stream& stream);
   void complete_head(Stream& stream);
   void submit_kernel(Stream& stream);
@@ -197,6 +234,8 @@ class Device : util::NonCopyable {
   std::vector<std::unique_ptr<Event>> events_;
   DeviceStats stats_;
   std::vector<TimelineEntry> timeline_;
+  std::vector<DeviceOpListener*> op_listeners_;
+  std::uint64_t next_op_id_ = 0;
   // Engine-integral baselines captured at the last reset_stats().
   double h2d_busy_base_ = 0.0;
   double d2h_busy_base_ = 0.0;

@@ -1,0 +1,97 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace gr::obs {
+namespace {
+
+TEST(Metrics, CounterFindOrCreate) {
+  Metrics metrics;
+  metrics.counter("a").add(3);
+  metrics.counter("a").add(4);
+  EXPECT_EQ(metrics.counter_value("a"), 7u);
+  EXPECT_EQ(metrics.counter_value("missing"), 0u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  Metrics metrics;
+  metrics.gauge("g").set(2.5);
+  metrics.gauge("g").add(1.0);
+  EXPECT_DOUBLE_EQ(metrics.gauge_value("g"), 3.5);
+}
+
+TEST(Metrics, HistogramBucketsCountBelowBounds) {
+  Metrics metrics;
+  Histogram& h = metrics.histogram("h", {1.0, 10.0, 100.0});
+  for (double v : {0.5, 1.0, 5.0, 50.0, 500.0}) h.observe(v);
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 2u);      // 0.5, 1.0 (bounds are inclusive)
+  EXPECT_EQ(counts[1], 1u);      // 5.0
+  EXPECT_EQ(counts[2], 1u);      // 50.0
+  EXPECT_EQ(counts[3], 1u);      // 500.0 overflows
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 556.5);
+}
+
+TEST(Metrics, JsonSnapshotIsSortedAndDeterministic) {
+  Metrics metrics;
+  // Insert out of lexicographic order; the snapshot must sort.
+  metrics.counter("z.last").add(1);
+  metrics.counter("a.first").add(2);
+  metrics.gauge("m.middle").set(0.25);
+  metrics.histogram("h", {1.0}).observe(2.0);
+
+  std::ostringstream first;
+  metrics.write_json(first);
+  std::ostringstream second;
+  metrics.write_json(second);
+  EXPECT_EQ(first.str(), second.str());
+
+  const std::string json = first.str();
+  EXPECT_LT(json.find("a.first"), json.find("z.last"));
+  EXPECT_NE(json.find("\"a.first\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"m.middle\": 0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"le\": \"+Inf\""), std::string::npos);
+}
+
+// Named so the CI TSan job's -R filter picks it up: many threads hammer
+// one registry; totals must be exact and the race detector quiet.
+TEST(MetricsThreadSafety, ConcurrentInstrumentsCountExactly) {
+  Metrics metrics;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 5000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&metrics, t] {
+      for (int i = 0; i < kOps; ++i) {
+        // Mix find-or-create races with updates on shared instruments.
+        metrics.counter("shared.counter").add(1);
+        metrics.counter("per-thread." + std::to_string(t)).add(1);
+        metrics.gauge("shared.gauge").add(1.0);
+        metrics.histogram("shared.hist", {8.0, 64.0})
+            .observe(static_cast<double>(i % 100));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(metrics.counter_value("shared.counter"),
+            static_cast<std::uint64_t>(kThreads) * kOps);
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(metrics.counter_value("per-thread." + std::to_string(t)),
+              static_cast<std::uint64_t>(kOps));
+  EXPECT_DOUBLE_EQ(metrics.gauge_value("shared.gauge"),
+                   static_cast<double>(kThreads) * kOps);
+  const Histogram* hist = metrics.find_histogram("shared.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), static_cast<std::uint64_t>(kThreads) * kOps);
+}
+
+}  // namespace
+}  // namespace gr::obs

@@ -1,0 +1,131 @@
+// End-to-end checks of the --trace-out/--metrics-out path: the metrics
+// snapshot must agree with the RunReport, and attaching observability
+// must not perturb results or simulated timings.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/algorithms/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace gr {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+/// Extracts the number following `"name": ` (our own deterministic
+/// writer; plain string search is reliable).
+double metric(const std::string& json, const std::string& name) {
+  const std::string tag = "\"" + name + "\": ";
+  const std::size_t at = json.find(tag);
+  EXPECT_NE(at, std::string::npos) << name;
+  if (at == std::string::npos) return -1.0;
+  return std::stod(json.substr(at + tag.size()));
+}
+
+core::EngineOptions streaming_options() {
+  core::EngineOptions options;
+  options.device.global_memory_bytes = 192 * 1024;
+  return options;
+}
+
+TEST(Observability, MetricsCrossCheckAgainstRunReport) {
+  const graph::EdgeList edges = graph::rmat(9, 3000, 17);
+  core::EngineOptions options = streaming_options();
+  const std::string path = ::testing::TempDir() + "gr_obs_metrics.json";
+  options.metrics_out = path;
+  const auto result = algo::run_bfs(edges, 1, options);
+  const core::RunReport& report = result.report;
+  const std::string json = slurp(path);
+  ASSERT_FALSE(json.empty());
+
+  EXPECT_EQ(metric(json, "device.bytes_h2d"),
+            static_cast<double>(report.bytes_h2d));
+  EXPECT_EQ(metric(json, "device.bytes_d2h"),
+            static_cast<double>(report.bytes_d2h));
+  EXPECT_EQ(metric(json, "device.kernels_launched"),
+            static_cast<double>(report.kernels_launched));
+  EXPECT_EQ(metric(json, "engine.iterations"),
+            static_cast<double>(report.iterations));
+  EXPECT_EQ(metric(json, "engine.partitions"),
+            static_cast<double>(report.partitions));
+  EXPECT_NEAR(metric(json, "device.h2d_busy_seconds"),
+              report.h2d_busy_seconds, 1e-12);
+  EXPECT_NEAR(metric(json, "device.d2h_busy_seconds"),
+              report.d2h_busy_seconds, 1e-12);
+  EXPECT_NEAR(metric(json, "engine.total_seconds"), report.total_seconds,
+              1e-12);
+
+  std::uint64_t streamed = 0;
+  std::uint64_t culled = 0;
+  for (const core::IterationStats& it : report.history) {
+    streamed += it.shards_processed;
+    culled += it.shards_skipped;
+  }
+  EXPECT_EQ(metric(json, "engine.transfers_streamed"),
+            static_cast<double>(streamed));
+  EXPECT_EQ(metric(json, "engine.transfers_culled"),
+            static_cast<double>(culled));
+
+  // The headline derived gauges exist and are sane.
+  const double overlap = metric(json, "engine.overlap_ratio");
+  EXPECT_GE(overlap, 0.0);
+  EXPECT_LE(overlap, 1.0);
+  const double occupancy = metric(json, "engine.slot_occupancy_max");
+  EXPECT_GE(occupancy, 1.0);
+}
+
+TEST(Observability, MetricsByteIdenticalAcrossRuns) {
+  const graph::EdgeList edges = graph::rmat(9, 3000, 17);
+  core::EngineOptions options = streaming_options();
+  options.metrics_out = ::testing::TempDir() + "gr_obs_m_a.json";
+  algo::run_bfs(edges, 1, options);
+  const std::string first = slurp(options.metrics_out);
+  options.metrics_out = ::testing::TempDir() + "gr_obs_m_b.json";
+  options.threads = 3;
+  algo::run_bfs(edges, 1, options);
+  EXPECT_EQ(first, slurp(options.metrics_out));
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(Observability, AttachingObserversDoesNotPerturbTheRun) {
+  const graph::EdgeList edges = graph::rmat(9, 3000, 17);
+  const auto plain = algo::run_pagerank(edges, 20, streaming_options());
+
+  core::EngineOptions instrumented = streaming_options();
+  instrumented.trace_out = ::testing::TempDir() + "gr_obs_perturb.json";
+  instrumented.metrics_out = ::testing::TempDir() + "gr_obs_perturb_m.json";
+  const auto traced = algo::run_pagerank(edges, 20, instrumented);
+
+  // Bitwise-identical results and simulated timings: observability is
+  // host-side only.
+  ASSERT_EQ(plain.rank.size(), traced.rank.size());
+  for (std::size_t v = 0; v < plain.rank.size(); ++v)
+    ASSERT_EQ(plain.rank[v], traced.rank[v]) << "vertex " << v;
+  EXPECT_EQ(plain.report.total_seconds, traced.report.total_seconds);
+  EXPECT_EQ(plain.report.memcpy_seconds, traced.report.memcpy_seconds);
+  EXPECT_EQ(plain.report.kernel_seconds, traced.report.kernel_seconds);
+  EXPECT_EQ(plain.report.iterations, traced.report.iterations);
+  EXPECT_EQ(plain.report.bytes_h2d, traced.report.bytes_h2d);
+}
+
+TEST(Observability, RunReportCarriesCopyEngineSplit) {
+  const graph::EdgeList edges = graph::rmat(9, 3000, 17);
+  const auto result = algo::run_bfs(edges, 1, streaming_options());
+  const core::RunReport& report = result.report;
+  EXPECT_GT(report.h2d_busy_seconds, 0.0);
+  EXPECT_GT(report.d2h_busy_seconds, 0.0);
+  EXPECT_NEAR(report.h2d_busy_seconds + report.d2h_busy_seconds,
+              report.memcpy_seconds, 1e-9);
+}
+
+}  // namespace
+}  // namespace gr

@@ -1,0 +1,124 @@
+#include "obs/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/phase_plan.hpp"
+
+namespace gr::obs {
+namespace {
+
+using vgpu::DeviceOpRecord;
+
+core::Pass gather_pass() {
+  core::Pass pass;
+  pass.kernels = {core::PhaseKernel::kGatherMap,
+                  core::PhaseKernel::kGatherReduce};
+  return pass;
+}
+
+DeviceOpRecord op(DeviceOpRecord::Kind kind, std::uint64_t id, double start,
+                  double end, std::uint64_t bytes = 0) {
+  DeviceOpRecord record;
+  record.kind = kind;
+  record.op_id = id;
+  record.start = start;
+  record.end = end;
+  record.bytes = bytes;
+  return record;
+}
+
+// Feed a synthetic iteration through the observer seams: a copy on
+// [0, 10] and a kernel on [5, 15] overlap for 5 simulated seconds.
+TEST(ProfilingObserver, ComputesOverlapFromSyntheticRecords) {
+  ProfilingObserver profiler;
+  profiler.on_run_begin(2, 1, false);
+  profiler.on_iteration_begin(0, 100);
+  const core::Pass pass = gather_pass();
+  profiler.on_pass_begin(pass, 0);
+  profiler.on_shard_begin(pass, 0);
+  // Ops are tagged at enqueue time (driver side), complete later.
+  const auto copy = op(DeviceOpRecord::Kind::kH2D, 1, 0.0, 10.0, 4096);
+  const auto kernel = op(DeviceOpRecord::Kind::kKernel, 2, 5.0, 15.0);
+  profiler.on_op_enqueued(copy);
+  profiler.on_op_enqueued(kernel);
+  profiler.on_shard_enqueued(pass, 0, {});
+  profiler.on_op_completed(copy);
+  profiler.on_op_completed(kernel);
+  profiler.on_pass_end(pass, 0);
+  core::IterationStats stats;
+  stats.iteration = 0;
+  profiler.on_iteration_end(stats);
+  core::RunReport report;
+  profiler.on_run_end(report);
+
+  ASSERT_EQ(profiler.iterations().size(), 1u);
+  const IterationProfile& it = profiler.iterations()[0];
+  EXPECT_DOUBLE_EQ(it.copy_busy, 10.0);
+  EXPECT_DOUBLE_EQ(it.kernel_busy, 10.0);
+  EXPECT_DOUBLE_EQ(it.overlap_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(it.overlap_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(profiler.overlap_ratio(), 0.5);
+
+  // Phase attribution lands on the gather label, tagged at enqueue.
+  const auto& phases = profiler.phases();
+  ASSERT_TRUE(phases.count("gather"));
+  EXPECT_DOUBLE_EQ(phases.at("gather").copy_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(phases.at("gather").kernel_seconds, 10.0);
+  EXPECT_EQ(phases.at("gather").bytes_h2d, 4096u);
+  EXPECT_EQ(phases.at("gather").shard_visits, 1u);
+
+  // Shard attribution survives the visit closing before completion.
+  ASSERT_TRUE(profiler.shards().count(0));
+  EXPECT_EQ(profiler.shards().at(0).ops, 2u);
+  EXPECT_EQ(profiler.shards().at(0).bytes, 4096u);
+}
+
+// Union-of-intervals: two abutting copies and a disjoint third must not
+// double-count, and zero overlap yields ratio 0.
+TEST(ProfilingObserver, BusyTimeIsUnionOfIntervals) {
+  ProfilingObserver profiler;
+  profiler.on_run_begin(1, 1, false);
+  profiler.on_iteration_begin(0, 1);
+  const core::Pass pass = gather_pass();
+  profiler.on_pass_begin(pass, 0);
+  const auto a = op(DeviceOpRecord::Kind::kH2D, 1, 0.0, 4.0, 1);
+  const auto b = op(DeviceOpRecord::Kind::kD2H, 2, 2.0, 6.0, 1);
+  const auto c = op(DeviceOpRecord::Kind::kH2D, 3, 10.0, 12.0, 1);
+  const auto k = op(DeviceOpRecord::Kind::kKernel, 4, 20.0, 21.0);
+  for (const auto& record : {a, b, c, k}) profiler.on_op_enqueued(record);
+  for (const auto& record : {a, b, c, k}) profiler.on_op_completed(record);
+  profiler.on_pass_end(pass, 0);
+  core::IterationStats stats;
+  profiler.on_iteration_end(stats);
+  core::RunReport report;
+  profiler.on_run_end(report);
+
+  const IterationProfile& it = profiler.iterations()[0];
+  EXPECT_DOUBLE_EQ(it.copy_busy, 8.0);  // [0,6] u [10,12]
+  EXPECT_DOUBLE_EQ(it.kernel_busy, 1.0);
+  EXPECT_DOUBLE_EQ(it.overlap_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(it.overlap_ratio(), 0.0);
+}
+
+TEST(ProfilingObserver, SprayUtilizationCountsActiveStreams) {
+  ProfilingObserver profiler;
+  profiler.set_spray_streams({5, 6, 7, 8});
+  profiler.on_run_begin(1, 1, false);
+  profiler.on_iteration_begin(0, 1);
+  auto used = op(DeviceOpRecord::Kind::kH2D, 1, 0.0, 1.0, 1);
+  used.stream = 5;
+  auto also_used = op(DeviceOpRecord::Kind::kH2D, 2, 1.0, 2.0, 1);
+  also_used.stream = 6;
+  for (const auto& record : {used, also_used}) {
+    profiler.on_op_enqueued(record);
+    profiler.on_op_completed(record);
+  }
+  core::IterationStats stats;
+  profiler.on_iteration_end(stats);
+  core::RunReport report;
+  profiler.on_run_end(report);
+  EXPECT_DOUBLE_EQ(profiler.spray_utilization(), 0.5);  // 2 of 4
+}
+
+}  // namespace
+}  // namespace gr::obs

@@ -1,0 +1,277 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/algorithms/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace gr::obs {
+namespace {
+
+// --- minimal JSON validity checker ----------------------------------
+// Recursive-descent validator for the subset the exporter emits (the CI
+// job re-validates with Python's json module; this keeps the invariant
+// test-enforced too).
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// --- line-oriented event inspection ----------------------------------
+// The exporter writes one event object per line; pull fields by key with
+// plain string search (deterministic output makes this safe).
+
+struct EventLine {
+  char ph = '?';
+  int tid = -1;
+  double ts = -1.0;
+  std::string name;
+};
+
+std::string field(const std::string& line, const std::string& key) {
+  const std::string tag = "\"" + key + "\": ";
+  const std::size_t at = line.find(tag);
+  if (at == std::string::npos) return {};
+  std::size_t begin = at + tag.size();
+  std::size_t end = begin;
+  if (line[begin] == '"') {
+    ++begin;
+    end = line.find('"', begin);
+  } else {
+    end = line.find_first_of(",}", begin);
+  }
+  return line.substr(begin, end - begin);
+}
+
+std::vector<EventLine> parse_events(const std::string& json) {
+  std::vector<EventLine> out;
+  std::istringstream is(json);
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::string ph = field(line, "ph");
+    if (ph.empty()) continue;
+    EventLine ev;
+    ev.ph = ph[0];
+    ev.name = field(line, "name");
+    const std::string tid = field(line, "tid");
+    if (!tid.empty()) ev.tid = std::stoi(tid);
+    const std::string ts = field(line, "ts");
+    if (!ts.empty()) ev.ts = std::stod(ts);
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+std::string run_traced(core::EngineOptions options, const std::string& path) {
+  const graph::EdgeList edges = graph::rmat(9, 3000, 17);
+  options.device.global_memory_bytes = 192 * 1024;  // force streaming
+  options.trace_out = path;
+  algo::run_bfs(edges, 1, options);
+  std::ifstream is(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+TEST(TraceRecorder, EmitsValidJson) {
+  const std::string json =
+      run_traced({}, ::testing::TempDir() + "gr_trace_valid.json");
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(JsonChecker(json).valid());
+}
+
+TEST(TraceRecorder, HasExpectedTracksAndNestedSpans) {
+  const std::string json =
+      run_traced({}, ::testing::TempDir() + "gr_trace_tracks.json");
+
+  for (const char* track : {"engine driver", "copy engine H2D",
+                            "copy engine D2H", "SMX compute", "slot 0",
+                            "spray 0", "spray 7"})
+    EXPECT_NE(json.find(std::string("\"name\": \"") + track + "\""),
+              std::string::npos)
+        << track;
+
+  // B/E duration events nest correctly per track: every E closes the
+  // most recent same-name B, and nothing stays open at the end.
+  std::map<int, std::vector<std::string>> stacks;
+  bool saw_iteration_inside_run = false;
+  for (const EventLine& ev : parse_events(json)) {
+    if (ev.ph == 'B') {
+      auto& stack = stacks[ev.tid];
+      if (stack.size() >= 2 && stack[0] == "run" &&
+          stack[1].rfind("iteration", 0) == 0)
+        saw_iteration_inside_run = true;  // pass span nested two deep
+      stack.push_back(ev.name);
+    } else if (ev.ph == 'E') {
+      auto& stack = stacks[ev.tid];
+      ASSERT_FALSE(stack.empty()) << "E without B: " << ev.name;
+      EXPECT_EQ(stack.back(), ev.name);
+      stack.pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : stacks)
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  EXPECT_TRUE(saw_iteration_inside_run);
+}
+
+TEST(TraceRecorder, TimestampsMonotonicPerSynchronousTrack) {
+  const std::string json =
+      run_traced({}, ::testing::TempDir() + "gr_trace_mono.json");
+  // Driver B/E/i events and per-engine X events are serialized views of
+  // FIFO queues: array order must be non-decreasing in ts per track.
+  std::map<int, double> last_sync;  // tid -> last B/E/i ts
+  std::map<int, double> last_x;     // tid -> last X start ts
+  int checked = 0;
+  for (const EventLine& ev : parse_events(json)) {
+    if (ev.ph == 'B' || ev.ph == 'E' || ev.ph == 'i') {
+      auto [it, fresh] = last_sync.try_emplace(ev.tid, ev.ts);
+      if (!fresh) {
+        EXPECT_GE(ev.ts, it->second) << ev.name;
+      }
+      it->second = ev.ts;
+      ++checked;
+    } else if (ev.ph == 'X') {
+      auto [it, fresh] = last_x.try_emplace(ev.tid, ev.ts);
+      if (!fresh) {
+        EXPECT_GE(ev.ts, it->second) << ev.name;
+      }
+      it->second = ev.ts;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST(TraceRecorder, ByteIdenticalAcrossRunsAndThreadCounts) {
+  const std::string base =
+      run_traced({}, ::testing::TempDir() + "gr_trace_a.json");
+  const std::string repeat =
+      run_traced({}, ::testing::TempDir() + "gr_trace_b.json");
+  EXPECT_EQ(base, repeat);
+
+  core::EngineOptions serial;
+  serial.threads = 1;
+  core::EngineOptions wide;
+  wide.threads = 4;
+  EXPECT_EQ(run_traced(serial, ::testing::TempDir() + "gr_trace_t1.json"),
+            run_traced(wide, ::testing::TempDir() + "gr_trace_t4.json"));
+  EXPECT_EQ(base,
+            run_traced(serial, ::testing::TempDir() + "gr_trace_t1b.json"));
+}
+
+TEST(TraceRecorder, PassLabelUsesPaperNames) {
+  core::Pass gather;
+  gather.kernels = {core::PhaseKernel::kGatherMap,
+                    core::PhaseKernel::kGatherReduce};
+  EXPECT_EQ(TraceRecorder::pass_label(gather), "gather");
+  core::Pass fused;
+  fused.kernels = {core::PhaseKernel::kApply,
+                   core::PhaseKernel::kFrontierActivate};
+  EXPECT_EQ(TraceRecorder::pass_label(fused), "apply+activate");
+}
+
+}  // namespace
+}  // namespace gr::obs
