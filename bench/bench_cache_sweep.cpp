@@ -1,0 +1,201 @@
+// Residency shard-cache sweep — the device-memory curve between the
+// paper's two operating points (Table 3 streaming vs Table 4 resident).
+//
+// The pre-cache engine was binary: either the whole graph fit (resident)
+// or every shard re-streamed every visit. The residency cache spends
+// leftover device memory on extra shard lanes, so runtime and H2D
+// traffic now vary *continuously* with the memory budget. This bench
+// fixes the partitioning (so every point streams identical shards) and
+// sweeps the device capacity from "no leftover at all" to "everything
+// fits", reporting per point: cache lanes granted, hit rate, H2D bytes
+// (and bytes served from cache), and simulated seconds.
+//
+// The two extremes are located by probing, not hardcoded factors: the
+// streaming end is lowered until the planner grants zero cache lanes,
+// the resident end raised until the graph is fully resident — so the
+// bench's equivalence checks always compare the regimes they claim to.
+// At both extremes a --device-cache=0 companion run (the pre-refactor
+// engine: cache layer fully disabled) must match bitwise in results,
+// simulated time, and H2D bytes; at every point the result hash must be
+// identical — the cache changes *when* bytes move, never the answer.
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "graph/datasets.hpp"
+#include "support/harness.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Point {
+  double factor = 0.0;  // capacity / reserved graph footprint
+  gr::bench::GrRun run;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gr;
+  std::string csv;
+  std::string dataset = "kron_g500-logn20";
+  std::string algo_name = "pagerank";
+  double scale = 0.05;
+  std::uint32_t partitions = 24;
+  std::uint32_t threads = 0;
+  std::uint32_t midpoints = 5;
+  bench::ObsFlags obs;
+  util::Cli cli("bench_cache_sweep",
+                "residency cache: runtime/H2D vs device-memory budget");
+  cli.flag("csv", &csv, "CSV output path")
+      .flag("dataset", &dataset, "dataset analog to sweep")
+      .flag("algo", &algo_name, "bfs | sssp | pagerank | cc")
+      .flag("scale", &scale, "edge-count scale factor for the analog")
+      .flag("partitions", &partitions,
+            "fixed shard count (every point streams identical shards)")
+      .flag("midpoints", &midpoints,
+            "sweep points between the streaming and resident extremes")
+      .flag("threads", &threads,
+            "host threads for the functional backend (results and "
+            "simulated seconds are identical for any value)");
+  obs.register_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::Algo algo = bench::Algo::kPageRank;
+  if (algo_name == "bfs") algo = bench::Algo::kBfs;
+  else if (algo_name == "sssp") algo = bench::Algo::kSssp;
+  else if (algo_name == "cc") algo = bench::Algo::kCc;
+  else GR_CHECK_MSG(algo_name == "pagerank",
+                    "unknown --algo '" << algo_name << "'");
+
+  const auto data = bench::prepare_dataset(dataset, scale);
+  const std::uint64_t reserved = graph::footprint_bytes(
+      data.edges.num_vertices(), data.edges.num_edges());
+  GR_LOG_INFO(dataset << " analog: " << data.edges.num_vertices()
+                      << " vertices, " << data.edges.num_edges()
+                      << " edges, reserved footprint "
+                      << util::format_bytes(reserved));
+
+  const auto run_at = [&](double factor, double device_cache,
+                          const std::string& tag) {
+    core::EngineOptions options = bench::bench_engine_options();
+    options.partitions = partitions;
+    options.threads = threads;
+    options.device_cache = device_cache;
+    options.device.global_memory_bytes =
+        static_cast<std::uint64_t>(static_cast<double>(reserved) * factor);
+    obs.apply(options, tag);
+    const bench::GrRun run = bench::run_graphreduce_timed(algo, data, options);
+    GR_CHECK_MSG(run.report.partitions == partitions,
+                 "factor " << factor << " forced a repartition (P="
+                           << run.report.partitions
+                           << "); raise the streaming extreme");
+    return run;
+  };
+
+  // Locate the extremes. Streaming: lower until the planner grants zero
+  // cache lanes (leftover budget gone). Resident: raise until the whole
+  // graph is pinned.
+  double lo = 0.16;
+  bench::GrRun lo_run = run_at(lo, 1.0, "probe-lo");
+  for (int i = 0; i < 12 && lo_run.report.cache_slots > 0; ++i) {
+    lo *= 0.82;
+    lo_run = run_at(lo, 1.0, "probe-lo");
+  }
+  GR_CHECK_MSG(lo_run.report.cache_slots == 0 && !lo_run.report.resident_mode,
+               "could not find a pure-streaming extreme for " << dataset);
+  double hi = 1.1;
+  bench::GrRun hi_run = run_at(hi, 1.0, "probe-hi");
+  for (int i = 0; i < 12 && !hi_run.report.resident_mode; ++i) {
+    hi *= 1.2;
+    hi_run = run_at(hi, 1.0, "probe-hi");
+  }
+  GR_CHECK_MSG(hi_run.report.resident_mode,
+               "could not find a fully-resident extreme for " << dataset);
+
+  // The sweep: geometric ladder between the extremes.
+  std::vector<Point> points;
+  points.push_back({lo, lo_run});
+  for (std::uint32_t i = 1; i <= midpoints; ++i) {
+    const double t = static_cast<double>(i) /
+                     static_cast<double>(midpoints + 1);
+    const double factor = lo * std::pow(hi / lo, t);
+    points.push_back(
+        {factor, run_at(factor, 1.0, "mid-" + std::to_string(i))});
+  }
+  points.push_back({hi, hi_run});
+
+  util::Table table("Residency cache sweep — " + dataset + " " + algo_name +
+                    " (P=" + std::to_string(partitions) + " fixed)");
+  table.header({"Mem factor", "Capacity", "Lanes", "Cache", "Resident",
+                "Hit rate", "H2D bytes", "H2D saved", "Evictions",
+                "Sim seconds"});
+  for (const Point& point : points) {
+    const core::RunReport& r = point.run.report;
+    table.add_row(
+        {util::format_fixed(point.factor, 3),
+         util::format_bytes(static_cast<std::uint64_t>(
+             static_cast<double>(reserved) * point.factor)),
+         std::to_string(r.slots), std::to_string(r.cache_slots),
+         r.resident_mode ? "yes" : "no",
+         util::format_fixed(r.cache_hit_rate(), 3),
+         util::format_count(r.bytes_h2d),
+         util::format_count(r.bytes_h2d_saved),
+         util::format_count(r.cache_evictions),
+         util::format_fixed(r.total_seconds, 6)});
+  }
+
+  // --- invariants the refactor promises ---
+  // 1. The cache never changes the answer: every point computes the
+  //    bitwise-identical vertex values.
+  for (const Point& point : points)
+    GR_CHECK_MSG(point.run.value_hash == points.front().run.value_hash,
+                 "result hash diverged at factor " << point.factor);
+  // 2. More memory never costs H2D bytes: the curve is monotonically
+  //    non-increasing from streaming to resident.
+  for (std::size_t i = 1; i < points.size(); ++i)
+    GR_CHECK_MSG(points[i].run.report.bytes_h2d <=
+                     points[i - 1].run.report.bytes_h2d,
+                 "H2D bytes increased between factor "
+                     << points[i - 1].factor << " and "
+                     << points[i].factor);
+  // 3. Both extremes degenerate bitwise to the cache-disabled engine
+  //    (--device-cache 0 = the pre-refactor binary split).
+  for (const Point* extreme : {&points.front(), &points.back()}) {
+    const bench::GrRun plain =
+        run_at(extreme->factor, 0.0,
+               extreme == &points.front() ? "plain-lo" : "plain-hi");
+    GR_CHECK_MSG(plain.value_hash == extreme->run.value_hash &&
+                     plain.report.total_seconds ==
+                         extreme->run.report.total_seconds &&
+                     plain.report.bytes_h2d == extreme->run.report.bytes_h2d,
+                 "extreme at factor " << extreme->factor
+                     << " is not bitwise-identical to the cache-disabled "
+                        "engine");
+  }
+
+  bench::BenchMeta meta;
+  meta.bench_name = "cache_sweep";
+  {
+    core::EngineOptions resolved = bench::bench_engine_options();
+    resolved.partitions = partitions;
+    resolved.threads = threads;
+    meta.options = resolved;
+  }
+  meta.obs = &obs;
+  bench::emit_table(table, csv, meta);
+
+  const core::RunReport& stream = points.front().run.report;
+  const core::RunReport& resident = points.back().run.report;
+  std::cout << "\nStreaming extreme: " << util::format_count(stream.bytes_h2d)
+            << " H2D bytes, " << util::format_fixed(stream.total_seconds, 6)
+            << "s; resident extreme: "
+            << util::format_count(resident.bytes_h2d) << " H2D bytes, "
+            << util::format_fixed(resident.total_seconds, 6)
+            << "s; both verified bitwise against --device-cache 0.\n";
+  return 0;
+}

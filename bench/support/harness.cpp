@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "baselines/cusha/cusha.hpp"
 #include "baselines/graphchi/graphchi.hpp"
@@ -74,10 +75,52 @@ void ObsFlags::register_flags(util::Cli& cli) {
 }
 
 void ObsFlags::apply(core::EngineOptions& options,
-                     const std::string& run_tag) const {
+                     const std::string& run_tag) {
   options.trace_out = tag_path(trace_out, run_tag);
   options.metrics_out = tag_path(metrics_out, run_tag);
   options.profile_summary = profile;
+  if (options.metrics_out.empty()) return;
+  // Stamp the snapshot so a metrics file on disk can always be traced
+  // back to the exact configuration (and bench run) that wrote it.
+  const std::string digest = options_digest(options);
+  options.metrics_provenance = {{"bench_tag", run_tag},
+                                {"git_sha", build_git_sha()},
+                                {"options_digest", digest}};
+  // Re-applying the same tag (a bench probing several configurations
+  // onto one path) keeps only the latest writer: the file on disk must
+  // match whoever wrote it last.
+  for (auto& [path, stamp] : stamps_) {
+    if (path == options.metrics_out) {
+      stamp = digest;
+      return;
+    }
+  }
+  stamps_.emplace_back(options.metrics_out, digest);
+}
+
+void ObsFlags::verify_metrics_provenance() const {
+  for (const auto& [path, digest] : stamps_) {
+    std::ifstream is(path, std::ios::binary);
+    GR_CHECK_MSG(is.good(), "metrics provenance: cannot re-read " << path
+                                << " recorded by ObsFlags::apply");
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    const std::string json = buffer.str();
+    const std::string tag = "\"options_digest\": \"";
+    const std::size_t at = json.find(tag);
+    GR_CHECK_MSG(at != std::string::npos,
+                 "metrics provenance: " << path
+                     << " carries no options_digest stamp (expected "
+                     << digest << ")");
+    const std::size_t begin = at + tag.size();
+    const std::size_t end = json.find('"', begin);
+    const std::string found = json.substr(begin, end - begin);
+    GR_CHECK_MSG(found == digest,
+                 "metrics provenance mismatch: " << path << " was written "
+                     << "by configuration " << found
+                     << " but this bench recorded digest " << digest
+                     << " — the file does not belong to this run");
+  }
 }
 
 Cell run_graphreduce(Algo algo, const PreparedDataset& data,
@@ -335,6 +378,7 @@ void write_engine_options(std::ostream& os, const core::EngineOptions& o) {
      << ",\n"
      << "    \"slots\": " << o.slots << ",\n"
      << "    \"partitions\": " << o.partitions << ",\n"
+     << "    \"device_cache\": " << o.device_cache << ",\n"
      << "    \"max_iterations\": " << o.max_iterations << ",\n"
      << "    \"threads\": " << o.threads << ",\n"
      << "    \"host_bandwidth\": " << o.host_bandwidth << ",\n"
@@ -356,6 +400,21 @@ void write_row(std::ostream& os, const std::vector<std::string>& cells) {
 
 }  // namespace
 
+std::string options_digest(const core::EngineOptions& options) {
+  std::stringstream ss;
+  write_engine_options(ss, options);
+  const std::string serialized = ss.str();
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (const char c : serialized) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
 void emit_table(const util::Table& table, const std::string& csv_path,
                 const BenchMeta& meta) {
   emit_table(table, csv_path);
@@ -363,6 +422,10 @@ void emit_table(const util::Table& table, const std::string& csv_path,
     GR_LOG_WARN("BenchMeta.bench_name empty; skipping JSON stamp");
     return;
   }
+  // Cross-check every metrics file this bench wrote against the digest
+  // recorded when its run was configured, *before* stamping a result
+  // file that claims them.
+  if (meta.obs != nullptr) meta.obs->verify_metrics_provenance();
   const std::string json_path = "BENCH_" + meta.bench_name + ".json";
   std::ofstream os(json_path);
   if (!os.good()) {
@@ -380,6 +443,20 @@ void emit_table(const util::Table& table, const std::string& csv_path,
     os << "null";
   }
   os << ",\n";
+  if (meta.options)
+    os << "  \"options_digest\": \"" << options_digest(*meta.options)
+       << "\",\n";
+  if (meta.obs != nullptr && !meta.obs->stamps().empty()) {
+    os << "  \"metrics_files\": [\n";
+    const auto& stamps = meta.obs->stamps();
+    for (std::size_t i = 0; i < stamps.size(); ++i) {
+      os << "    {\"path\": ";
+      write_json_string(os, stamps[i].first);
+      os << ", \"options_digest\": \"" << stamps[i].second << "\"}"
+         << (i + 1 < stamps.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n";
+  }
   os << "  \"table\": {\n"
      << "    \"title\": \"" << json_escape(table.title()) << "\",\n"
      << "    \"header\": ";

@@ -83,11 +83,27 @@ Cell run_mapgraph(Algo algo, const PreparedDataset& data);
 /// Default GraphReduce options for benches (50 MB scaled K20c).
 core::EngineOptions bench_engine_options();
 
+/// FNV-1a (64-bit, hex) over the resolved engine configuration — the
+/// same serialized form BENCH_*.json embeds, so a digest recorded in a
+/// result stamp can be recomputed from the options that produced it.
+/// Output paths (trace_out/metrics_out) and provenance stamps are not
+/// part of the serialization, so the digest identifies the
+/// *configuration*, not where its artifacts landed.
+std::string options_digest(const core::EngineOptions& options);
+
 /// Standard observability flags for bench binaries. Benches run the
 /// engine many times (dataset x algorithm x configuration), so the
 /// --trace-out / --metrics-out values act as filename patterns:
 /// apply() inserts the per-run tag before the extension
 /// ("t.json" + tag "orkut-bfs" -> "t.orkut-bfs.json").
+///
+/// apply() also stamps the run's options_digest() (plus the run tag and
+/// build sha) into the metrics snapshot's provenance object and records
+/// the (path, digest) pair, so verify_metrics_provenance() — called
+/// automatically by emit_table() when BenchMeta::obs is set — can prove
+/// after the fact that every metrics file on disk was written by the
+/// configuration the bench claims (fails loudly via GR_CHECK on any
+/// missing file, missing stamp, or digest mismatch).
 struct ObsFlags {
   std::string trace_out;
   std::string metrics_out;
@@ -96,8 +112,21 @@ struct ObsFlags {
   /// Registers --trace-out/--metrics-out/--profile on `cli`.
   void register_flags(util::Cli& cli);
   /// Copies the flags into `options`, tagging output names with
-  /// `run_tag` (empty tag = paths used verbatim).
-  void apply(core::EngineOptions& options, const std::string& run_tag) const;
+  /// `run_tag` (empty tag = paths used verbatim), and stamps metrics
+  /// provenance as described above.
+  void apply(core::EngineOptions& options, const std::string& run_tag);
+
+  /// (metrics path, options digest) for every apply() with a metrics
+  /// pattern configured, in apply order.
+  const std::vector<std::pair<std::string, std::string>>& stamps() const {
+    return stamps_;
+  }
+  /// Re-reads every recorded metrics file and checks its provenance
+  /// stamp against the recorded digest. GR_CHECK-fails on mismatch.
+  void verify_metrics_provenance() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> stamps_;
 };
 
 /// Device-utilisation companion table (copy-engine busy split, kernel
@@ -122,7 +151,12 @@ struct BenchMeta {
   std::string bench_name;  // file becomes BENCH_<bench_name>.json
   /// Resolved engine options (including the DeviceConfig) the bench's
   /// GraphReduce runs used; omit for benches that don't run the engine.
+  /// When present, the stamp also records options_digest(*options).
   std::optional<core::EngineOptions> options;
+  /// When set, emit_table() lists the ObsFlags' per-run metrics files
+  /// (path + options digest) in the stamp and cross-checks each file's
+  /// provenance against its recorded digest before stamping.
+  const ObsFlags* obs = nullptr;
 };
 
 /// Build-stamp accessors (configure-time values; "unknown" if absent).

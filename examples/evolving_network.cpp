@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
                 "incremental SSSP over a growing road network");
   cli.flag("batches", &batches, "number of weekly road-opening batches");
   core::add_observability_flags(cli, options);
+  core::add_engine_flags(cli, options);
   if (!cli.parse(argc, argv)) return 0;
 
   graph::EdgeList roads = graph::road_network(120, 120, /*seed=*/8);

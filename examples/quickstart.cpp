@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   core::EngineOptions options;
   util::Cli cli("quickstart", "PageRank on a small RMAT web graph");
   core::add_observability_flags(cli, options);
+  core::add_engine_flags(cli, options);
   if (!cli.parse(argc, argv)) return 0;
 
   // A small scale-free web: 2^12 pages, 40k links.

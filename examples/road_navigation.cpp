@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   cli.flag("side", &side, "road lattice side length")
       .flag("source", &source, "depot vertex id");
   core::add_observability_flags(cli, options);
+  core::add_engine_flags(cli, options);
   if (!cli.parse(argc, argv)) return 0;
 
   graph::EdgeList roads = graph::road_network(

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
                 "community + influencer analysis on an orkut-like network");
   cli.flag("scale", &scale, "edge-count scale factor");
   core::add_observability_flags(cli, options);
+  core::add_engine_flags(cli, options);
   if (!cli.parse(argc, argv)) return 0;
 
   const graph::EdgeList network = graph::make_dataset("orkut", scale);

@@ -116,6 +116,7 @@ int main(int argc, char** argv) {
   util::Cli cli("timeline_profile",
                 "device-timeline Gantt + overlap profile of PageRank");
   core::add_observability_flags(cli, cli_options);
+  core::add_engine_flags(cli, cli_options);
   if (!cli.parse(argc, argv)) return 0;
 
   std::cout << "PageRank on a streamed RMAT graph: one iteration of the "

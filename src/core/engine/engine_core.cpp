@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -46,26 +47,81 @@ void EngineCore::plan_partitions(const graph::EdgeList& edges) {
 
   partitions_ = options_.partitions != 0 ? options_.partitions
                                          : choose_partition_count(plan);
-  slots_ = std::min<std::uint32_t>(plan.slots, partitions_);
+  requested_slots_ = plan.slots;
 
-  // Resident (in-memory) check against the same reservation: does the
-  // whole graph fit on the device at once (Table 1's classification)?
-  const double total_reserved =
+  // Whole-graph reservation and the post-headroom budget: inputs both
+  // for the resident-mode classification (Table 1) and for sizing the
+  // residency cache out of whatever the streaming ring leaves over.
+  planner_reserved_bytes_ =
       static_cast<double>(m) * kReservedBytesPerEdge +
       static_cast<double>(n) * kReservedBytesPerVertex;
-  const double budget =
+  planner_budget_bytes_ =
       static_cast<double>(plan.device_capacity) * (1.0 - plan.headroom) -
       static_cast<double>(plan.static_bytes);
-  resident_ = total_reserved <= budget;
-  if (resident_) slots_ = partitions_;
+  // An explicit partition count bypasses choose_partition_count's own
+  // capacity check, so a budget this small would otherwise surface only
+  // as an opaque allocation failure deep in the OOM-retry loop.
+  GR_CHECK_MSG(planner_budget_bytes_ > 0.0,
+               "memory budget rounds to zero usable slots: device capacity "
+                   << plan.device_capacity << "B leaves no room for any "
+                   "shard slot after headroom and " << plan.static_bytes
+                   << "B of static state; increase "
+                   "device.global_memory_bytes");
+  compute_residency_plan(std::numeric_limits<std::uint32_t>::max());
 
   // SSD-backed host (§8(2)): the host master copy of the graph may not
   // fit host memory; the overflow fraction faults in from disk.
   if (options_.host_memory_bytes != 0 &&
-      total_reserved > static_cast<double>(options_.host_memory_bytes)) {
+      planner_reserved_bytes_ >
+          static_cast<double>(options_.host_memory_bytes)) {
     host_spill_fraction_ =
         1.0 - static_cast<double>(options_.host_memory_bytes) /
-                  total_reserved;
+                  planner_reserved_bytes_;
+  }
+}
+
+void EngineCore::compute_residency_plan(std::uint32_t cache_cap) {
+  residency_ = {};
+  residency_.partitions = partitions_;
+  // Cacheable groups: topology is immutable on both sides, so it always
+  // survives between visits. Edge state is host-canonical; scatter
+  // programs rewrite the canonical array between passes (round trip),
+  // so their cached device copies could go stale — exclude the group,
+  // which also reproduces resident mode's per-pass state re-upload.
+  residency_.cacheable = kGroupInTopology | kGroupOutTopology;
+  if (footprint_.has_edge_state && !footprint_.has_scatter)
+    residency_.cacheable |= kGroupEdgeState;
+
+  // Resident (in-memory) check against the planner reservation: does
+  // the whole graph fit on the device at once (Table 1)? Then every
+  // shard pins to its own lane and nothing ever streams twice.
+  if (planner_reserved_bytes_ <= planner_budget_bytes_) {
+    residency_.fully_resident = true;
+    residency_.streaming_slots = 0;
+    residency_.cache_slots = partitions_;
+    return;
+  }
+
+  residency_.streaming_slots =
+      std::min<std::uint32_t>(requested_slots_, partitions_);
+  // Leftover budget after the streaming ring buys cache lanes. Cache
+  // lanes must fit ANY shard (admission is dynamic), so they are costed
+  // like the planner's max shard: mean reservation times the bounded
+  // imbalance choose_partition_count assumes.
+  if (options_.device_cache > 0.0 && cache_cap > 0) {
+    constexpr double kShardImbalance = 1.3;
+    const double per_lane = planner_reserved_bytes_ /
+                            static_cast<double>(partitions_) *
+                            kShardImbalance;
+    const double leftover =
+        planner_budget_bytes_ -
+        static_cast<double>(residency_.streaming_slots) * per_lane;
+    if (leftover > 0.0 && per_lane > 0.0) {
+      const double lanes = leftover * options_.device_cache / per_lane;
+      residency_.cache_slots = static_cast<std::uint32_t>(std::min(
+          {lanes, static_cast<double>(partitions_),
+           static_cast<double>(cache_cap)}));
+    }
   }
 }
 
@@ -73,28 +129,40 @@ void EngineCore::initialize(const graph::EdgeList& edges,
                             ProgramHooks& hooks) {
   GR_CHECK_MSG(!initialized_, "EngineCore::initialize called twice");
   // The planner assumes bounded shard imbalance; on very skewed graphs a
-  // max shard can exceed its slot budget, so grow P until buffers fit.
-  for (int attempt = 0;; ++attempt) {
+  // max shard can exceed its slot budget. Recovery is two-staged: cache
+  // lanes are pure optimization, so halve them away first (they don't
+  // consume the P-growth attempt budget); only a cacheless overflow
+  // grows P until buffers fit.
+  std::uint32_t cache_cap = std::numeric_limits<std::uint32_t>::max();
+  for (int attempt = 0;;) {
     graph_ = PartitionedGraph::build(edges, partitions_);
     try {
       hooks.allocate_device_state();
       break;
     } catch (const vgpu::DeviceOutOfMemory&) {
-      GR_CHECK_MSG(attempt < 16 && partitions_ < edges.num_vertices(),
-                   "cannot fit even single-vertex shards on the device");
       hooks.release_device_state();
       ring_.reset();
       d_frontier_[0] = {};
       d_frontier_[1] = {};
       d_changed_ = {};
+      if (!residency_.fully_resident && residency_.cache_slots > 0) {
+        cache_cap = residency_.cache_slots / 2;
+        compute_residency_plan(cache_cap);
+        GR_LOG_DEBUG("cache allocation overflowed; retrying with c="
+                     << residency_.cache_slots);
+        continue;
+      }
+      GR_CHECK_MSG(attempt < 16 && partitions_ < edges.num_vertices(),
+                   "cannot fit even single-vertex shards on the device");
+      ++attempt;
       partitions_ = std::min<std::uint32_t>(
           edges.num_vertices(), partitions_ + partitions_ / 2 + 1);
-      slots_ = std::min<std::uint32_t>(slots_, partitions_);
-      if (resident_) slots_ = partitions_;
+      compute_residency_plan(cache_cap);
       GR_LOG_DEBUG("slot allocation overflowed; retrying with P="
                    << partitions_);
     }
   }
+  cache_.configure(residency_);
   frontier_ = std::make_unique<FrontierManager>(graph_);
   initialized_ = true;
 }
@@ -122,17 +190,56 @@ void EngineCore::copy_to_slot(SlotLane& lane, void* device_dst,
                      options_.async_spray, spill_seconds);
 }
 
+std::uint64_t EngineCore::shard_group_bytes(std::uint32_t p,
+                                            ResidencyGroups groups) const {
+  const ShardTopology& shard = graph_.shard(p);
+  const std::uint64_t offsets_bytes =
+      (static_cast<std::uint64_t>(shard.interval.size()) + 1) *
+      sizeof(graph::EdgeId);
+  std::uint64_t bytes = 0;
+  if (groups & kGroupInTopology)
+    bytes += offsets_bytes + shard.in_edge_count() * sizeof(graph::VertexId);
+  if (groups & kGroupEdgeState)
+    bytes += shard.in_edge_count() * footprint_.edge_state_bytes;
+  if (groups & kGroupOutTopology) {
+    bytes += offsets_bytes + shard.out_edge_count() * sizeof(graph::VertexId);
+    // Scatter programs also stream the canonical routing positions.
+    if (footprint_.has_scatter)
+      bytes += shard.out_edge_count() * sizeof(graph::EdgeId);
+  }
+  return bytes;
+}
+
 void EngineCore::process_pass(ProgramHooks& hooks, const Pass& pass,
                               std::uint32_t iteration,
                               std::span<const std::uint32_t> active_shards) {
   vgpu::Device& dev = *device_;
+  // The buffer groups this pass moves (mirrors what upload_shard would
+  // have streamed; phase elimination already shaped the pass).
+  ResidencyGroups requested = 0;
+  if (pass.needs_in_edges && uses_in_edges_) requested |= kGroupInTopology;
+  if (footprint_.has_edge_state && pass.moves_edge_state)
+    requested |= kGroupEdgeState;
+  if (pass.needs_out_edges) requested |= kGroupOutTopology;
+
   for (std::uint32_t p : active_shards) {
-    SlotLane& lane = ring_.lane_for_shard(p);
+    ShardVisit visit = cache_.begin_visit(p, requested);
+    SlotLane& lane = ring_.lane(visit.lane);
     const ShardWork work = plan_shard_work(graph_, *frontier_,
                                            options_.frontier_management, p);
 
     for_observers([&](ExecutionObserver& o) { o.on_shard_begin(pass, p); });
-    hooks.upload_shard(pass, p, lane);  // self-guards in resident mode
+    if (visit.evicted() && visit.writeback != 0) {
+      // Flush the victim's device-mutated groups before this shard's
+      // uploads reuse the lane buffers; re-arming the free event keeps
+      // sprayed uploads ordered after the flush.
+      hooks.writeback_evicted(visit.evicted_shard, lane, visit.writeback);
+      ring_.finish_shard(dev, lane, options_.async_spray);
+    }
+    hooks.upload_shard(pass, p, lane, visit.load);
+    cache_.complete_visit(visit);
+    visit.hit_bytes = shard_group_bytes(p, visit.hit);
+    bytes_h2d_saved_ += visit.hit_bytes;
     hooks.before_kernels(pass, p, lane);
     hooks.enqueue_kernels(pass, p, lane, iteration, work);
     hooks.after_kernels(pass, p, lane);
@@ -141,8 +248,14 @@ void EngineCore::process_pass(ProgramHooks& hooks, const Pass& pass,
     ring_.finish_shard(dev, lane, options_.async_spray);
     for_observers(
         [&](ExecutionObserver& o) { o.on_shard_enqueued(pass, p, work); });
+    for_observers(
+        [&](ExecutionObserver& o) { o.on_shard_residency(pass, visit); });
   }
   dev.synchronize();  // BSP barrier between passes
+  // The scatter round trip rewrote the host-canonical edge state; any
+  // cached device copy of it is stale from here on (defensive — the
+  // group is not cacheable for scatter programs in the first place).
+  if (pass.scatter_round_trip) cache_.invalidate_all(kGroupEdgeState);
 }
 
 void EngineCore::run_iteration(ProgramHooks& hooks, std::uint32_t iteration,
@@ -168,12 +281,17 @@ void EngineCore::run_iteration(ProgramHooks& hooks, std::uint32_t iteration,
     dev.synchronize();
   }
 
-  // Shard schedule for this iteration (§5.2).
-  const TransferPlan transfer = build_transfer_plan(
+  // Shard schedule for this iteration (§5.2). The cache learns the
+  // activity bits up front: frontier-active shards are guaranteed to be
+  // revisited this iteration, so they are the last candidates to evict.
+  TransferPlan transfer = build_transfer_plan(
       partitions_, *frontier_, options_.frontier_management);
+  cache_.begin_iteration(transfer.active_shards);
   for_observers(
       [&](ExecutionObserver& o) { o.on_transfer_plan(iteration, transfer); });
 
+  const ShardCacheStats cache_before = cache_.stats();
+  const std::uint64_t saved_before = bytes_h2d_saved_;
   for (const Pass& pass : plan_.passes) {
     for_observers(
         [&](ExecutionObserver& o) { o.on_pass_begin(pass, iteration); });
@@ -181,6 +299,12 @@ void EngineCore::run_iteration(ProgramHooks& hooks, std::uint32_t iteration,
     for_observers(
         [&](ExecutionObserver& o) { o.on_pass_end(pass, iteration); });
   }
+  const ShardCacheStats& cache_after = cache_.stats();
+  transfer.cache_hits = cache_after.group_hits - cache_before.group_hits;
+  transfer.cache_misses =
+      cache_after.group_misses - cache_before.group_misses;
+  transfer.cache_evictions =
+      cache_after.evictions - cache_before.evictions;
 
   // Feedback to the Data Movement Engine: pull the next frontier bitmap.
   dev.memcpy_d2h(dev.default_stream(), frontier_->next_bits().data(),
@@ -193,6 +317,10 @@ void EngineCore::run_iteration(ProgramHooks& hooks, std::uint32_t iteration,
   stats.active_vertices = frontier_->active_vertices();
   stats.shards_processed = transfer.processed();
   stats.shards_skipped = transfer.skipped;
+  stats.cache_hits = transfer.cache_hits;
+  stats.cache_misses = transfer.cache_misses;
+  stats.cache_evictions = transfer.cache_evictions;
+  stats.bytes_h2d_saved = bytes_h2d_saved_ - saved_before;
   report.history.push_back(stats);
   for_observers([&](ExecutionObserver& o) { o.on_iteration_end(stats); });
 }
@@ -219,6 +347,8 @@ RunReport EngineCore::run(ProgramHooks& hooks, const InitialFrontier& seed,
     obs_config.summary = options_.profile_summary;
     if (obs_config.enabled()) {
       run_obs_ = std::make_unique<obs::RunObservability>(dev, obs_config);
+      if (!options_.metrics_provenance.empty())
+        run_obs_->metrics().set_provenance(options_.metrics_provenance);
       std::vector<int> slot_streams;
       slot_streams.reserve(ring_.size());
       for (std::size_t i = 0; i < ring_.size(); ++i)
@@ -246,12 +376,16 @@ RunReport EngineCore::run(ProgramHooks& hooks, const InitialFrontier& seed,
 
   RunReport report;
   report.partitions = partitions_;
-  report.slots = slots_;
-  report.resident_mode = resident_;
+  report.slots = residency_.total_lanes();
+  report.resident_mode = residency_.fully_resident;
+  report.cache_slots = residency_.cache_slots;
   report.host_spill_fraction = host_spill_fraction_;
   for_observers([&](ExecutionObserver& o) {
-    o.on_run_begin(partitions_, slots_, resident_);
+    o.on_run_begin(partitions_, residency_.total_lanes(),
+                   residency_.fully_resident);
   });
+  for_observers(
+      [&](ExecutionObserver& o) { o.on_residency_plan(residency_); });
 
   std::uint32_t iteration = 0;
   while (iteration < max_iterations && !frontier_->empty()) {
@@ -284,6 +418,12 @@ RunReport EngineCore::run(ProgramHooks& hooks, const InitialFrontier& seed,
   report.bytes_d2h = stats.bytes_d2h;
   report.kernels_launched = stats.kernels_launched;
   report.memcpy_ops = stats.h2d_ops + stats.d2h_ops;
+  const ShardCacheStats& cache_stats = cache_.stats();
+  report.cache_hits = cache_stats.group_hits;
+  report.cache_misses = cache_stats.group_misses;
+  report.cache_evictions = cache_stats.evictions;
+  report.cache_writebacks = cache_stats.writebacks;
+  report.bytes_h2d_saved = bytes_h2d_saved_;
   for_observers([&](ExecutionObserver& o) { o.on_run_end(report); });
   if (run_obs_) run_obs_->finalize(report);
   return report;

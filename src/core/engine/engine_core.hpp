@@ -4,8 +4,11 @@
 // compiled once, independent of the user program's data types:
 //
 //   * partition planning from device capacity (Eq. (1)/(2)) and the
-//     resident/streaming-mode decision (Table 4 vs Table 3);
-//   * the OOM-retry loop that grows P until the largest shard fits;
+//     ResidencyPlan that splits the budget between streaming lanes and
+//     the shard cache — degenerating to the paper's Table 4 (resident)
+//     and Table 3 (pure streaming) at the extremes;
+//   * the OOM-retry loop that first shrinks the cache, then grows P
+//     until the largest shard fits;
 //   * the slot ring + spray-stream pool (§5.1, core/engine/slot_ring.hpp);
 //   * frontier state on host and device, and the frontier-driven
 //     TransferPlan that culls inactive shards (§5.2);
@@ -27,6 +30,7 @@
 
 #include "core/engine/footprint.hpp"
 #include "core/engine/observer.hpp"
+#include "core/engine/shard_cache.hpp"
 #include "core/engine/slot_ring.hpp"
 #include "core/engine/transfer_plan.hpp"
 #include "core/frontier.hpp"
@@ -59,10 +63,17 @@ class ProgramHooks {
   /// follows with the frontier bitmap and the synchronize.
   virtual void upload_static_state(vgpu::Stream& stream) = 0;
 
-  /// Uploads the shard's streamed buffers the pass needs (self-guarding
-  /// in resident mode).
+  /// Uploads exactly the buffer groups in `load` into the lane's slot
+  /// buffers (the residency cache already subtracted device-resident
+  /// groups; the hook issues copies without guarding).
   virtual void upload_shard(const Pass& pass, std::uint32_t shard,
-                            SlotLane& lane) = 0;
+                            SlotLane& lane, ResidencyGroups load) = 0;
+  /// An eviction displaced `shard` from `lane` with device-mutated
+  /// groups `groups`: flush them D2H into the host masters before the
+  /// lane is reused. Default no-op (current programs mutate edge state
+  /// through the scatter round trip, which keeps the host canonical).
+  virtual void writeback_evicted(std::uint32_t /*shard*/, SlotLane& /*lane*/,
+                                 ResidencyGroups /*groups*/) {}
   /// Pre-kernel typed staging: unfused gather-temp upload and the
   /// scatter round-trip's host-side gather + upload.
   virtual void before_kernels(const Pass& pass, std::uint32_t shard,
@@ -121,8 +132,12 @@ class EngineCore : util::NonCopyable {
   SlotRing& ring() { return ring_; }
 
   std::uint32_t partitions() const { return partitions_; }
-  std::uint32_t slots() const { return slots_; }
-  bool resident_mode() const { return resident_; }
+  /// Total ring lanes: streaming slots plus cache slots.
+  std::uint32_t slots() const { return residency_.total_lanes(); }
+  bool resident_mode() const { return residency_.fully_resident; }
+  const ResidencyPlan& residency_plan() const { return residency_; }
+  ShardCache& shard_cache() { return cache_; }
+  const ShardCache& shard_cache() const { return cache_; }
   double host_spill_fraction() const { return host_spill_fraction_; }
   bool uses_in_edges() const { return uses_in_edges_; }
 
@@ -145,6 +160,14 @@ class EngineCore : util::NonCopyable {
 
  private:
   void plan_partitions(const graph::EdgeList& edges);
+  /// Splits the device budget into the ResidencyPlan: the streaming
+  /// ring plus at most `cache_cap` cache lanes (the OOM-retry loop
+  /// lowers the cap when cache lanes don't fit).
+  void compute_residency_plan(std::uint32_t cache_cap);
+  /// H2D bytes the pass-requested `groups` of shard `p` cost (exactly
+  /// what upload_shard would stream for them).
+  std::uint64_t shard_group_bytes(std::uint32_t p,
+                                  ResidencyGroups groups) const;
   void run_iteration(ProgramHooks& hooks, std::uint32_t iteration,
                      RunReport& report);
   void process_pass(ProgramHooks& hooks, const Pass& pass,
@@ -173,12 +196,17 @@ class EngineCore : util::NonCopyable {
   int frontier_flip_ = 0;
 
   SlotRing ring_;
+  ShardCache cache_;
   ExecutionObserver* observer_ = nullptr;
   std::unique_ptr<obs::RunObservability> run_obs_;
 
   std::uint32_t partitions_ = 0;
-  std::uint32_t slots_ = 0;
-  bool resident_ = false;
+  ResidencyPlan residency_;
+  // Planner inputs kept for residency replanning on OOM retries.
+  std::uint32_t requested_slots_ = 2;
+  double planner_budget_bytes_ = 0.0;    // capacity - headroom - static
+  double planner_reserved_bytes_ = 0.0;  // whole-graph reservation
+  std::uint64_t bytes_h2d_saved_ = 0;
   double host_spill_fraction_ = 0.0;
   bool initialized_ = false;
   bool ran_ = false;

@@ -27,7 +27,7 @@ void TypedProgramState<P>::enqueue_kernels(const Pass& pass, std::uint32_t p,
                                            std::uint32_t iteration,
                                            const ShardWork& work) {
   vgpu::Device& dev = core_.device();
-  SlotBuffers& slot = slot_for_shard(p);
+  SlotBuffers& slot = slots_[lane.index];
   const Interval iv = core_.graph().shard(p).interval;
   const std::uint8_t* d_cur = core_.frontier_cur_device();
   std::uint8_t* d_next = core_.frontier_next_device();

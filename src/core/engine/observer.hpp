@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <span>
 
+#include "core/engine/shard_cache.hpp"
 #include "core/engine/transfer_plan.hpp"
 #include "core/options.hpp"
 #include "core/phase_plan.hpp"
@@ -28,6 +29,9 @@ class ExecutionObserver {
   virtual void on_run_begin(std::uint32_t /*partitions*/,
                             std::uint32_t /*slots*/,
                             bool /*resident_mode*/) {}
+  /// How the device budget was split between streaming and cache lanes
+  /// (fires once, right after on_run_begin).
+  virtual void on_residency_plan(const ResidencyPlan& /*plan*/) {}
   virtual void on_iteration_begin(std::uint32_t /*iteration*/,
                                   std::uint64_t /*active_vertices*/) {}
   /// After the transfer plan for the iteration is fixed.
@@ -44,6 +48,10 @@ class ExecutionObserver {
   virtual void on_shard_enqueued(const Pass& /*pass*/,
                                  std::uint32_t /*shard*/,
                                  const ShardWork& /*work*/) {}
+  /// The residency decision for one shard visit (hit/miss/eviction),
+  /// fired right after the matching on_shard_enqueued.
+  virtual void on_shard_residency(const Pass& /*pass*/,
+                                  const ShardVisit& /*visit*/) {}
   virtual void on_pass_end(const Pass& /*pass*/,
                            std::uint32_t /*iteration*/) {}
   virtual void on_iteration_end(const IterationStats& /*stats*/) {}

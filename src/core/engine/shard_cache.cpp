@@ -1,0 +1,163 @@
+#include "core/engine/shard_cache.hpp"
+
+#include <algorithm>
+
+namespace gr::core {
+
+void ShardCache::configure(const ResidencyPlan& plan) {
+  plan_ = plan;
+  tick_ = 0;
+  stats_ = {};
+  entries_.assign(plan.cache_slots, Entry{});
+  shard_entry_.assign(plan.partitions, ShardVisit::kNone);
+  active_.assign(plan.partitions, 0);
+  if (plan.fully_resident) {
+    GR_CHECK_MSG(plan.cache_slots == plan.partitions,
+             "fully-resident plan must have one cache lane per shard");
+    for (std::uint32_t p = 0; p < plan.partitions; ++p) {
+      entries_[p].shard = p;
+      entries_[p].pinned = true;
+      shard_entry_[p] = p;
+    }
+  }
+}
+
+void ShardCache::begin_iteration(std::span<const std::uint32_t> active_shards) {
+  std::fill(active_.begin(), active_.end(), std::uint8_t{0});
+  for (std::uint32_t shard : active_shards) {
+    if (shard < active_.size()) active_[shard] = 1;
+  }
+}
+
+std::uint32_t ShardCache::pick_slot() {
+  // Free lanes first, lowest index (deterministic), then the
+  // least-recently-used lane among frontier-inactive occupants. Active
+  // occupants are never displaced: evicting a shard the frontier will
+  // revisit this iteration trades a guaranteed future hit for a
+  // speculative one.
+  std::uint32_t victim = ShardVisit::kNone;
+  std::uint64_t victim_tick = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (e.shard == ShardVisit::kNone) return i;
+    if (e.pinned || shard_active(e.shard)) continue;
+    if (e.last_used < victim_tick) {
+      victim_tick = e.last_used;
+      victim = i;
+    }
+  }
+  return victim;
+}
+
+ShardVisit ShardCache::begin_visit(std::uint32_t shard,
+                                   ResidencyGroups requested) {
+  GR_CHECK_MSG(shard < plan_.partitions, "shard out of range");
+  ShardVisit visit;
+  visit.shard = shard;
+  visit.requested = requested;
+  ++tick_;
+  ++stats_.shard_visits;
+
+  std::uint32_t entry_index = shard_entry_[shard];
+  if (entry_index == ShardVisit::kNone && plan_.cache_slots > 0 &&
+      !plan_.fully_resident) {
+    // Admission: only worthwhile if at least one requested group can
+    // persist for later visits.
+    if ((requested & plan_.cacheable) != 0) {
+      const std::uint32_t slot = pick_slot();
+      if (slot != ShardVisit::kNone) {
+        Entry& e = entries_[slot];
+        if (e.shard != ShardVisit::kNone) {
+          visit.evicted_shard = e.shard;
+          visit.writeback = e.dirty;
+          shard_entry_[e.shard] = ShardVisit::kNone;
+          ++stats_.evictions;
+          if (e.dirty != 0) ++stats_.writebacks;
+        }
+        e = Entry{};
+        e.shard = shard;
+        shard_entry_[shard] = slot;
+        entry_index = slot;
+      }
+    }
+  }
+
+  if (entry_index != ShardVisit::kNone) {
+    Entry& e = entries_[entry_index];
+    e.last_used = tick_;
+    visit.cached = true;
+    visit.lane = plan_.streaming_slots + entry_index;
+    visit.hit = requested & e.valid;
+    visit.load = requested & ~e.valid;
+  } else {
+    // Thrash guard / cacheless: classic modulo streaming ring. Always a
+    // full (re)load — byte-identical to the pre-cache engine.
+    GR_CHECK_MSG(plan_.streaming_slots > 0,
+             "no streaming lanes available for uncached shard");
+    visit.cached = false;
+    visit.lane = shard % plan_.streaming_slots;
+    visit.hit = 0;
+    visit.load = requested;
+  }
+
+  stats_.group_hits += residency_group_count(visit.hit);
+  stats_.group_misses += residency_group_count(visit.load);
+  if (visit.load == 0 && visit.requested != 0) ++stats_.shard_hits;
+  return visit;
+}
+
+void ShardCache::complete_visit(const ShardVisit& visit) {
+  if (!visit.cached) return;
+  const std::uint32_t entry_index = shard_entry_[visit.shard];
+  if (entry_index == ShardVisit::kNone) return;
+  // Only cacheable groups stay valid; the rest must re-stream next time
+  // (their host master may change between visits).
+  entries_[entry_index].valid |= visit.load & plan_.cacheable;
+}
+
+void ShardCache::mark_dirty(std::uint32_t shard, ResidencyGroups groups) {
+  if (shard >= shard_entry_.size()) return;
+  const std::uint32_t entry_index = shard_entry_[shard];
+  if (entry_index == ShardVisit::kNone) return;
+  entries_[entry_index].dirty |= groups & entries_[entry_index].valid;
+}
+
+void ShardCache::invalidate_all(ResidencyGroups groups) {
+  for (Entry& e : entries_) {
+    e.valid &= ~groups;
+    e.dirty &= ~groups;
+  }
+}
+
+void ShardCache::reset() {
+  entries_.clear();
+  shard_entry_.clear();
+  active_.clear();
+  tick_ = 0;
+  stats_ = {};
+}
+
+bool ShardCache::is_cached(std::uint32_t shard) const {
+  return shard < shard_entry_.size() &&
+         shard_entry_[shard] != ShardVisit::kNone;
+}
+
+ResidencyGroups ShardCache::valid_groups(std::uint32_t shard) const {
+  if (!is_cached(shard)) return 0;
+  return entries_[shard_entry_[shard]].valid;
+}
+
+ResidencyGroups ShardCache::dirty_groups(std::uint32_t shard) const {
+  if (!is_cached(shard)) return 0;
+  return entries_[shard_entry_[shard]].dirty;
+}
+
+std::uint32_t ShardCache::occupancy() const {
+  std::uint32_t n = 0;
+  for (const Entry& e : entries_) {
+    if (e.shard != ShardVisit::kNone) ++n;
+  }
+  return n;
+}
+
+}  // namespace gr::core

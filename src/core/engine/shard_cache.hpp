@@ -1,0 +1,195 @@
+// Residency-aware device shard cache (ROADMAP: scale further / make hot
+// paths faster; HyTGraph-style hybrid transfer management).
+//
+// The engine used to make one binary choice: either the whole graph fit
+// on the device (resident mode — every shard uploaded once) or nothing
+// was kept and every shard re-streamed on every pass. That is a
+// performance cliff exactly at the device-memory boundary the paper
+// studies in Tables 3/4. The ShardCache turns the cliff into a curve:
+// the ResidencyPlan grants the engine `streaming_slots` double-buffer
+// lanes (exactly the old slot ring) plus `cache_slots` extra lanes whose
+// contents PERSIST across passes and iterations. A shard visit is served
+// as
+//
+//   * hit    — the shard sits in a cache lane and the requested buffer
+//              groups are valid: the H2D upload is skipped entirely;
+//   * miss   — the shard is admitted into a free cache lane, or into one
+//              whose occupant was evicted, and streamed there;
+//   * stream — no cache lane is free and no occupant is evictable, so
+//              the visit flows through the classic modulo slot ring,
+//              byte-identical to the pre-cache engine;
+//   * pinned — in a fully-resident plan every shard owns its lane
+//              permanently (the old resident mode, bit for bit).
+//
+// Eviction is frontier-priority LRU: only shards with no active
+// vertices this iteration (the TransferPlan's activity bits) are
+// evictable, inactive victims ordered by least-recent use. Keeping
+// frontier-active shards pinned-while-hot is Gunrock's frontier-centric
+// scheduling applied to residency. Each entry carries per-group dirty
+// bits so an eviction writes back only buffer groups the device actually
+// mutated (clean topology simply gets dropped).
+//
+// Degenerate operating points are exact by construction: with zero
+// cache slots every visit streams through `shard % streaming_slots`
+// (the pre-cache streaming engine), and a fully-resident plan pins
+// shard p to lane p (the pre-cache resident engine). Everything in
+// between is new, continuously traded space-for-traffic ground.
+//
+// All decisions run on the driver thread from deterministic inputs
+// (visit order + frontier bits), so two identical runs make identical
+// hit/miss/evict choices and the simulated timeline stays reproducible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gr::core {
+
+/// Buffer groups a shard slot holds; residency/validity is tracked per
+/// group because passes request different subsets (phase elimination).
+enum : std::uint32_t {
+  kGroupInTopology = 1u << 0,   // CSC offsets + source ids
+  kGroupOutTopology = 1u << 1,  // CSR offsets + dst ids (+ canonical refs)
+  kGroupEdgeState = 1u << 2,    // canonical edge-state slice
+};
+using ResidencyGroups = std::uint32_t;
+
+inline int residency_group_count(ResidencyGroups groups) {
+  return __builtin_popcount(groups);
+}
+
+/// How the device budget is spent, replacing the old resident_ boolean:
+/// a pinned set (fully-resident plans pin every shard to its own lane)
+/// plus the streaming slot ring, plus dynamically managed cache lanes.
+struct ResidencyPlan {
+  std::uint32_t partitions = 0;
+  /// Classic double-buffer ring lanes [0, streaming_slots); zero in a
+  /// fully-resident plan (every shard is pinned instead).
+  std::uint32_t streaming_slots = 0;
+  /// Persistent lanes [streaming_slots, streaming_slots + cache_slots).
+  std::uint32_t cache_slots = 0;
+  /// Every shard pinned to its own lane: the old resident mode. Implies
+  /// streaming_slots == 0 and cache_slots == partitions.
+  bool fully_resident = false;
+  /// Groups the cache may keep across visits. Mutable-on-host groups
+  /// (edge state of scatter programs) are excluded so a cached shard
+  /// never serves a stale copy.
+  ResidencyGroups cacheable = 0;
+
+  std::uint32_t total_lanes() const { return streaming_slots + cache_slots; }
+  /// True when `lane` persists shard contents across visits.
+  bool is_cache_lane(std::uint32_t lane) const {
+    return lane >= streaming_slots;
+  }
+};
+
+/// One shard visit's residency decision, produced by
+/// ShardCache::begin_visit before any upload is issued.
+struct ShardVisit {
+  static constexpr std::uint32_t kNone =
+      std::numeric_limits<std::uint32_t>::max();
+
+  std::uint32_t shard = 0;
+  std::uint32_t lane = 0;          // slot-ring lane executing this visit
+  ResidencyGroups requested = 0;   // groups the pass needs
+  ResidencyGroups load = 0;        // subset that must be uploaded (miss)
+  ResidencyGroups hit = 0;         // subset already device-resident
+  bool cached = false;             // lane is a cache lane (persists)
+  std::uint32_t evicted_shard = kNone;  // victim displaced by this visit
+  ResidencyGroups writeback = 0;   // victim's dirty groups -> D2H first
+  /// H2D bytes the hit groups would have cost (filled by the engine,
+  /// which knows the shard topology byte sizes).
+  std::uint64_t hit_bytes = 0;
+
+  bool evicted() const { return evicted_shard != kNone; }
+};
+
+/// Lifetime totals (group granularity for hit/miss, entry granularity
+/// for evictions/writebacks).
+struct ShardCacheStats {
+  std::uint64_t group_hits = 0;
+  std::uint64_t group_misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t shard_visits = 0;
+  std::uint64_t shard_hits = 0;  // visits with every requested group valid
+
+  double hit_rate() const {
+    const std::uint64_t total = group_hits + group_misses;
+    return total > 0 ? static_cast<double>(group_hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+class ShardCache : util::NonCopyable {
+ public:
+  /// (Re)builds cache state for `plan`. Fully-resident plans pre-pin
+  /// shard p to lane p; otherwise all cache lanes start free.
+  void configure(const ResidencyPlan& plan);
+
+  /// Installs the iteration's frontier-activity bits (eviction
+  /// priority): shards NOT in `active_shards` are evictable first.
+  void begin_iteration(std::span<const std::uint32_t> active_shards);
+
+  /// Decides how one shard visit is served. Deterministic; must be
+  /// followed by complete_visit once the uploads were issued.
+  ShardVisit begin_visit(std::uint32_t shard, ResidencyGroups requested);
+
+  /// Marks the visit's loaded cacheable groups valid for future visits.
+  void complete_visit(const ShardVisit& visit);
+
+  /// Records that the device copy of `groups` is newer than the host
+  /// master; an eviction will then request a writeback of exactly these
+  /// groups. No-op for shards not currently cached.
+  void mark_dirty(std::uint32_t shard, ResidencyGroups groups);
+
+  /// Host master of `groups` changed (e.g. scatter rewrote canonical
+  /// edge state): every cached copy of those groups becomes invalid and
+  /// their dirty bits are dropped.
+  void invalidate_all(ResidencyGroups groups);
+
+  /// Drops all entries and statistics (device-state release path).
+  void reset();
+
+  const ResidencyPlan& plan() const { return plan_; }
+  const ShardCacheStats& stats() const { return stats_; }
+
+  // --- introspection (tests, observability) ---
+  bool is_cached(std::uint32_t shard) const;
+  /// Valid groups of a cached shard (0 when not cached).
+  ResidencyGroups valid_groups(std::uint32_t shard) const;
+  ResidencyGroups dirty_groups(std::uint32_t shard) const;
+  /// Occupied cache lanes.
+  std::uint32_t occupancy() const;
+
+ private:
+  struct Entry {
+    std::uint32_t shard = ShardVisit::kNone;
+    ResidencyGroups valid = 0;
+    ResidencyGroups dirty = 0;
+    std::uint64_t last_used = 0;  // LRU tick
+    bool pinned = false;          // fully-resident: never evicted
+  };
+
+  bool shard_active(std::uint32_t shard) const {
+    return shard < active_.size() && active_[shard] != 0;
+  }
+  /// Entry index to (re)use for an admission, or kNone when every lane
+  /// is occupied by a pinned or frontier-active shard (thrash guard:
+  /// the visit then streams through the modulo ring instead).
+  std::uint32_t pick_slot();
+
+  ResidencyPlan plan_;
+  std::vector<Entry> entries_;              // one per cache lane
+  std::vector<std::uint32_t> shard_entry_;  // shard -> entry index / kNone
+  std::vector<std::uint8_t> active_;        // per-shard frontier activity
+  std::uint64_t tick_ = 0;
+  ShardCacheStats stats_;
+};
+
+}  // namespace gr::core

@@ -47,6 +47,7 @@ void SlotRing::reset() {
 SlotLane& SlotRing::add_lane(vgpu::Device& device, bool async) {
   SlotLane lane;
   lane.stream = async ? &device.create_stream() : &device.default_stream();
+  lane.index = static_cast<std::uint32_t>(lanes_.size());
   lanes_.push_back(lane);
   return lanes_.back();
 }

@@ -1,11 +1,12 @@
 // The shard-slot ring and spray-stream pool (paper §5.1), extracted
 // from the engine template. A SlotLane is the type-independent half of
-// one device-resident shard slot: its CUDA-style stream, the event
-// chain that marks its buffers reusable (double buffering), and the
-// resident-mode upload flags. The ring owns lane rotation (shard p runs
-// on lane p % K), the dynamically created spray streams deep copies fan
-// out over, and the copy-issue protocol — including the SSD fault-in
-// serialization for spilled host data (§8(2)).
+// one device-resident shard slot: its CUDA-style stream and the event
+// chain that marks its buffers reusable (double buffering). Which shard
+// occupies a lane — and whether its buffers are already valid — is the
+// ShardCache's job (core/engine/shard_cache.hpp); the ring only owns
+// streams, events, the spray pool deep copies fan out over, and the
+// copy-issue protocol — including the SSD fault-in serialization for
+// spilled host data (§8(2)).
 //
 // Typed slot buffers stay in the templated shim; everything the paper's
 // Data Movement Engine does with streams and events lives here and is
@@ -27,10 +28,8 @@ struct SlotLane {
   vgpu::Stream* stream = nullptr;
   /// Buffers are reusable by the next shard after this event.
   vgpu::Event* free_event = nullptr;
-  // Resident mode: which buffer groups were already uploaded.
-  bool in_loaded = false;
-  bool out_loaded = false;
-  bool state_loaded = false;
+  /// Position in the ring; the typed layer keys its slot buffers by it.
+  std::uint32_t index = 0;
 };
 
 /// Largest shard extents a slot must accommodate (typed-buffer sizing).

@@ -22,10 +22,17 @@ struct ShardWork {
 };
 
 /// One iteration's shard schedule: which shards the Data Movement
-/// Engine will stream, and how many it culled entirely.
+/// Engine will stream, and how many it culled entirely. The residency
+/// cache fields are zero when the plan is built and are filled in as
+/// the iteration executes (visits are decided shard by shard).
 struct TransferPlan {
   std::vector<std::uint32_t> active_shards;
   std::uint32_t skipped = 0;
+  // Residency-cache outcome of executing this schedule (buffer-group
+  // granularity, matching ShardCacheStats).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
 
   std::uint32_t processed() const {
     return static_cast<std::uint32_t>(active_shards.size());

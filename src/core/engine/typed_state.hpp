@@ -116,36 +116,42 @@ class TypedProgramState final : public ProgramHooks {
     if constexpr (P::has_gather) d_gather_ = dev.alloc<GatherResult>(n);
     core_.allocate_frontier_state();
 
-    // Slot buffers sized for the largest shard each slot may host.
-    const std::uint32_t slots = core_.slots();
-    slots_.resize(slots);
-    for (std::uint32_t s = 0; s < slots; ++s) {
-      SlotBuffers& slot = slots_[s];
-      const SlotExtents ext = compute_slot_extents(core_.graph(), s, slots,
-                                                   core_.partitions());
-      if (core_.uses_in_edges()) {
-        slot.in_offsets = dev.alloc<graph::EdgeId>(ext.max_interval + 1);
-        slot.in_src = dev.alloc<graph::VertexId>(ext.max_in_edges);
-        if constexpr (P::has_gather)
-          slot.gather_temp = dev.alloc<GatherResult>(ext.max_in_edges);
-      }
-      // Edge values travel with the shard in every pass that moves it,
-      // independent of whether the in-edge topology is needed.
-      if constexpr (kHasEdgeState)
-        slot.in_state = dev.alloc<EdgeData>(ext.max_in_edges);
-      slot.out_offsets = dev.alloc<graph::EdgeId>(ext.max_interval + 1);
-      slot.out_dst = dev.alloc<graph::VertexId>(ext.max_out_edges);
-      if constexpr (P::has_scatter) {
-        // Canonical edge-state positions are only needed to route scatter
-        // updates; programs without scatter never allocate or move them
-        // (dynamic phase elimination, §5.3).
-        slot.out_pos = dev.alloc<graph::EdgeId>(ext.max_out_edges);
-        slot.scatter_state = dev.alloc<EdgeData>(ext.max_out_edges);
-        slot.scatter_touched = dev.alloc<std::uint8_t>(ext.max_out_edges);
-        slot.staging_state.resize(ext.max_out_edges);
-        slot.staging_touched.resize(ext.max_out_edges);
-      }
+    const ResidencyPlan& plan = core_.residency_plan();
+    slots_.resize(plan.total_lanes());
+
+    // Streaming ring lanes: sized for the largest shard rotating
+    // through each slot (shard p streams through lane p % K).
+    for (std::uint32_t s = 0; s < plan.streaming_slots; ++s) {
+      const SlotExtents ext = compute_slot_extents(
+          core_.graph(), s, plan.streaming_slots, core_.partitions());
+      allocate_slot(dev.allocator(), slots_[s], ext);
       core_.ring().add_lane(dev, options.async_spray);
+    }
+
+    if (plan.fully_resident) {
+      // One pinned lane per shard, each sized exactly for its shard
+      // (the in-memory mode of Table 4).
+      for (std::uint32_t p = 0; p < plan.cache_slots; ++p) {
+        const SlotExtents ext = compute_slot_extents(
+            core_.graph(), p, plan.cache_slots, core_.partitions());
+        allocate_slot(dev.allocator(), slots_[p], ext);
+        core_.ring().add_lane(dev, options.async_spray);
+      }
+    } else if (plan.cache_slots > 0) {
+      // Dynamic cache lanes admit any shard, so every buffer is sized
+      // to the global maxima. Storage comes from one arena reservation:
+      // the cache's share of the budget is a single accounted number,
+      // and shrinking it on OOM retry is one deallocation.
+      SlotExtents ext;
+      ext.max_interval = core_.graph().max_interval_size();
+      ext.max_in_edges = core_.graph().max_in_edges();
+      ext.max_out_edges = core_.graph().max_out_edges();
+      cache_arena_ = vgpu::MemoryArena(
+          dev.allocator(), plan.cache_slots * cache_lane_bytes(ext));
+      for (std::uint32_t c = 0; c < plan.cache_slots; ++c) {
+        allocate_slot(cache_arena_, slots_[plan.streaming_slots + c], ext);
+        core_.ring().add_lane(dev, options.async_spray);
+      }
     }
     core_.ring().create_spray_streams(dev, options.async_spray,
                                       options.device.max_concurrent_kernels);
@@ -153,6 +159,7 @@ class TypedProgramState final : public ProgramHooks {
 
   void release_device_state() override {
     slots_.clear();
+    cache_arena_.release();
     d_vertex_ = {};
     d_gather_ = {};
   }
@@ -162,38 +169,29 @@ class TypedProgramState final : public ProgramHooks {
                               h_vertex_.size() * sizeof(VertexData));
   }
 
-  void upload_shard(const Pass& pass, std::uint32_t p,
-                    SlotLane& lane) override {
-    SlotBuffers& slot = slot_for_shard(p);
+  void upload_shard(const Pass& /*pass*/, std::uint32_t p, SlotLane& lane,
+                    ResidencyGroups load) override {
+    // The residency cache already decided what must move: `load` is the
+    // pass's requested groups minus everything device-resident on this
+    // lane (which subsumes the old resident-mode upload flags).
+    SlotBuffers& slot = slots_[lane.index];
     const ShardTopology& shard = core_.graph().shard(p);
     const graph::VertexId iv = shard.interval.size();
-    const bool resident = core_.resident_mode();
-    // Resident mode: topology uploads happen once; mutable edge state is
-    // refreshed whenever scatter may have rewritten the canonical array.
-    const bool want_in = pass.needs_in_edges && core_.uses_in_edges() &&
-                         (!resident || !lane.in_loaded);
-    const bool want_state = kHasEdgeState && pass.moves_edge_state &&
-                            (!resident || !lane.state_loaded || P::has_scatter);
-    const bool want_out =
-        pass.needs_out_edges && (!resident || !lane.out_loaded);
-    if (want_in) {
+    if (load & kGroupInTopology) {
       core_.copy_to_slot(lane, slot.in_offsets.data(),
                          shard.in_offsets.data(),
                          (iv + 1) * sizeof(graph::EdgeId));
       core_.copy_to_slot(lane, slot.in_src.data(), shard.in_src.data(),
                          shard.in_edge_count() * sizeof(graph::VertexId));
-      if (resident) lane.in_loaded = true;
     }
     if constexpr (kHasEdgeState) {
-      if (want_state) {
+      if (load & kGroupEdgeState) {
         core_.copy_to_slot(lane, slot.in_state.data(),
                            h_edge_state_.data() + shard.canonical_base,
                            shard.in_edge_count() * sizeof(EdgeData));
-        if (resident) lane.state_loaded = true;
       }
     }
-    if (want_out) {
-      if (resident) lane.out_loaded = true;
+    if (load & kGroupOutTopology) {
       core_.copy_to_slot(lane, slot.out_offsets.data(),
                          shard.out_offsets.data(),
                          (iv + 1) * sizeof(graph::EdgeId));
@@ -207,6 +205,25 @@ class TypedProgramState final : public ProgramHooks {
     }
   }
 
+  void writeback_evicted(std::uint32_t p, SlotLane& lane,
+                         ResidencyGroups groups) override {
+    // Only mutable groups can be dirty; topology is immutable on the
+    // device, so edge state is the lone writeback candidate.
+    if constexpr (kHasEdgeState) {
+      if (groups & kGroupEdgeState) {
+        const ShardTopology& shard = core_.graph().shard(p);
+        core_.device().memcpy_d2h(
+            *lane.stream, h_edge_state_.data() + shard.canonical_base,
+            slots_[lane.index].in_state.data(),
+            shard.in_edge_count() * sizeof(EdgeData));
+      }
+    } else {
+      (void)p;
+      (void)lane;
+      (void)groups;
+    }
+  }
+
   void before_kernels(const Pass& pass, std::uint32_t p,
                       SlotLane& lane) override {
     // Unoptimized plans spill the gather temp between phases (the paper's
@@ -216,7 +233,7 @@ class TypedProgramState final : public ProgramHooks {
           pass.kernels.front() == PhaseKernel::kGatherReduce) {
         const ShardTopology& shard = core_.graph().shard(p);
         core_.device().memcpy_h2d(
-            *lane.stream, slot_for_shard(p).gather_temp.data(),
+            *lane.stream, slots_[lane.index].gather_temp.data(),
             h_gather_temp_.data() + shard.canonical_base,
             shard.in_edge_count() * sizeof(GatherResult));
       }
@@ -237,7 +254,7 @@ class TypedProgramState final : public ProgramHooks {
         const ShardTopology& shard = core_.graph().shard(p);
         core_.device().memcpy_d2h(
             *lane.stream, h_gather_temp_.data() + shard.canonical_base,
-            slot_for_shard(p).gather_temp.data(),
+            slots_[lane.index].gather_temp.data(),
             shard.in_edge_count() * sizeof(GatherResult));
       }
     }
@@ -267,14 +284,70 @@ class TypedProgramState final : public ProgramHooks {
     std::vector<std::uint8_t> staging_touched;
   };
 
-  SlotBuffers& slot_for_shard(std::uint32_t p) {
-    return slots_[p % slots_.size()];
+  /// Allocates one lane's typed buffers from `mem` (the device allocator
+  /// for streaming/pinned lanes, the cache arena for cache lanes), in a
+  /// fixed order shared by cache_lane_bytes.
+  template <typename MemorySource>
+  void allocate_slot(MemorySource& mem, SlotBuffers& slot,
+                     const SlotExtents& ext) {
+    if (core_.uses_in_edges()) {
+      slot.in_offsets =
+          vgpu::DeviceBuffer<graph::EdgeId>(mem, ext.max_interval + 1);
+      slot.in_src = vgpu::DeviceBuffer<graph::VertexId>(mem, ext.max_in_edges);
+      if constexpr (P::has_gather)
+        slot.gather_temp =
+            vgpu::DeviceBuffer<GatherResult>(mem, ext.max_in_edges);
+    }
+    // Edge values travel with the shard in every pass that moves it,
+    // independent of whether the in-edge topology is needed.
+    if constexpr (kHasEdgeState)
+      slot.in_state = vgpu::DeviceBuffer<EdgeData>(mem, ext.max_in_edges);
+    slot.out_offsets =
+        vgpu::DeviceBuffer<graph::EdgeId>(mem, ext.max_interval + 1);
+    slot.out_dst = vgpu::DeviceBuffer<graph::VertexId>(mem, ext.max_out_edges);
+    if constexpr (P::has_scatter) {
+      // Canonical edge-state positions are only needed to route scatter
+      // updates; programs without scatter never allocate or move them
+      // (dynamic phase elimination, §5.3).
+      slot.out_pos = vgpu::DeviceBuffer<graph::EdgeId>(mem, ext.max_out_edges);
+      slot.scatter_state =
+          vgpu::DeviceBuffer<EdgeData>(mem, ext.max_out_edges);
+      slot.scatter_touched =
+          vgpu::DeviceBuffer<std::uint8_t>(mem, ext.max_out_edges);
+      slot.staging_state.resize(ext.max_out_edges);
+      slot.staging_touched.resize(ext.max_out_edges);
+    }
+  }
+
+  /// Arena bytes one cache lane consumes: the allocate_slot buffers at
+  /// arena alignment granularity.
+  std::uint64_t cache_lane_bytes(const SlotExtents& ext) const {
+    const auto aligned = [](std::uint64_t count, std::uint64_t elem_bytes) {
+      return vgpu::MemoryArena::align_up(count * elem_bytes);
+    };
+    std::uint64_t bytes = 0;
+    if (core_.uses_in_edges()) {
+      bytes += aligned(ext.max_interval + 1, sizeof(graph::EdgeId));
+      bytes += aligned(ext.max_in_edges, sizeof(graph::VertexId));
+      if constexpr (P::has_gather)
+        bytes += aligned(ext.max_in_edges, sizeof(GatherResult));
+    }
+    if constexpr (kHasEdgeState)
+      bytes += aligned(ext.max_in_edges, sizeof(EdgeData));
+    bytes += aligned(ext.max_interval + 1, sizeof(graph::EdgeId));
+    bytes += aligned(ext.max_out_edges, sizeof(graph::VertexId));
+    if constexpr (P::has_scatter) {
+      bytes += aligned(ext.max_out_edges, sizeof(graph::EdgeId));
+      bytes += aligned(ext.max_out_edges, sizeof(EdgeData));
+      bytes += aligned(ext.max_out_edges, 1);
+    }
+    return bytes;
   }
 
   void scatter_round_trip_pre(std::uint32_t p, SlotLane& lane) {
     if constexpr (P::has_scatter) {
       vgpu::Device& dev = core_.device();
-      SlotBuffers& slot = slot_for_shard(p);
+      SlotBuffers& slot = slots_[lane.index];
       const ShardTopology& shard = core_.graph().shard(p);
       const graph::EdgeId out_m = shard.out_edge_count();
       // Host-side gather of current out-edge states from the canonical
@@ -308,7 +381,7 @@ class TypedProgramState final : public ProgramHooks {
   void scatter_round_trip_post(std::uint32_t p, SlotLane& lane) {
     if constexpr (P::has_scatter) {
       vgpu::Device& dev = core_.device();
-      SlotBuffers& slot = slot_for_shard(p);
+      SlotBuffers& slot = slots_[lane.index];
       const ShardTopology& shard = core_.graph().shard(p);
       const graph::EdgeId out_m = shard.out_edge_count();
       dev.memcpy_d2h(*lane.stream, slot.staging_state.data(),
@@ -350,7 +423,10 @@ class TypedProgramState final : public ProgramHooks {
   vgpu::DeviceBuffer<VertexData> d_vertex_;
   vgpu::DeviceBuffer<GatherResult> d_gather_;
 
+  // One SlotBuffers per ring lane: [0, K) streaming, then cache lanes.
+  // Cache-lane buffers live inside cache_arena_'s single reservation.
   std::vector<SlotBuffers> slots_;
+  vgpu::MemoryArena cache_arena_;
 };
 
 }  // namespace gr::core

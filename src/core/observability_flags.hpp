@@ -21,4 +21,12 @@ inline void add_observability_flags(util::Cli& cli, EngineOptions& options) {
            "print per-phase/per-iteration profiling tables after the run");
 }
 
+/// Engine-tuning flags shared by engine-running binaries.
+inline void add_engine_flags(util::Cli& cli, EngineOptions& options) {
+  cli.flag("device-cache", &options.device_cache,
+           "fraction of the leftover device budget (after static state "
+           "and the streaming slots) spent on the residency shard "
+           "cache; 1 = all (default), 0 = pure streaming");
+}
+
 }  // namespace gr::core

@@ -1,5 +1,7 @@
 #include "core/options.hpp"
 
+#include <cmath>
+
 #include "util/common.hpp"
 
 namespace gr::core {
@@ -23,6 +25,11 @@ void EngineOptions::validate() const {
                << host_bandwidth << ")");
   GR_CHECK_MSG(device.max_concurrent_kernels >= 1,
                "EngineOptions: device.max_concurrent_kernels must be >= 1");
+  GR_CHECK_MSG(!std::isnan(device_cache) && device_cache >= 0.0 &&
+                   device_cache <= 1.0,
+               "EngineOptions: device_cache must be a fraction in [0, 1] "
+               "of the leftover device budget (got "
+               << device_cache << ")");
 }
 
 }  // namespace gr::core

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "vgpu/config.hpp"
@@ -38,6 +39,14 @@ struct EngineOptions {
   /// Partition-count override; 0 = derive from device capacity (Eq. (1)).
   std::uint32_t partitions = 0;
 
+  /// Fraction of the leftover device budget (after static state and the
+  /// K streaming slots) granted to the residency shard cache, which
+  /// keeps recently streamed shards device-resident between visits and
+  /// serves repeat uploads as hits. 1 (default) = use all leftover
+  /// memory; 0 = disable caching (the classic pure-streaming engine).
+  /// Has no effect when the whole graph already fits (resident mode).
+  double device_cache = 1.0;
+
   /// Iteration cap; 0 = the algorithm's default.
   std::uint32_t max_iterations = 0;
 
@@ -65,6 +74,11 @@ struct EngineOptions {
   std::string trace_out;
   /// Metrics-registry snapshot JSON written after the run; empty = none.
   std::string metrics_out;
+  /// Key/value stamps copied into the metrics snapshot's "provenance"
+  /// object so downstream consumers (bench harness, CI) can verify a
+  /// metrics file really came from this configuration. Empty = the
+  /// snapshot layout is unchanged.
+  std::vector<std::pair<std::string, std::string>> metrics_provenance;
   /// Print the profiler's per-phase/per-iteration tables to stderr
   /// after the run.
   bool profile_summary = false;
@@ -91,6 +105,11 @@ struct IterationStats {
   std::uint64_t active_vertices = 0;
   std::uint32_t shards_processed = 0;
   std::uint32_t shards_skipped = 0;
+  // Residency-cache activity this iteration (buffer-group granularity).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t bytes_h2d_saved = 0;
 };
 
 /// Result of one engine run.
@@ -119,10 +138,27 @@ struct RunReport {
   /// EngineOptions::host_memory_bytes constrains the host).
   double host_spill_fraction = 0.0;
 
+  // Residency shard cache (core/engine/shard_cache.hpp): lanes beyond
+  // the streaming ring that kept shards device-resident between visits.
+  std::uint32_t cache_slots = 0;
+  std::uint64_t cache_hits = 0;    // buffer-group uploads served in place
+  std::uint64_t cache_misses = 0;  // buffer-group uploads streamed
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_writebacks = 0;  // evictions that flushed dirty state
+  /// H2D bytes the cache hits avoided (what the same schedule would have
+  /// streamed without the cache).
+  std::uint64_t bytes_h2d_saved = 0;
+
   std::vector<IterationStats> history;
 
   double memcpy_fraction() const {
     return total_seconds > 0 ? memcpy_seconds / total_seconds : 0.0;
+  }
+  double cache_hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total > 0
+               ? static_cast<double>(cache_hits) / static_cast<double>(total)
+               : 0.0;
   }
 };
 

@@ -75,6 +75,18 @@ const Histogram* Metrics::find_histogram(const std::string& name) const {
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
+void Metrics::set_provenance(
+    std::vector<std::pair<std::string, std::string>> stamps) {
+  std::lock_guard lock(mutex_);
+  for (auto& [key, value] : stamps) provenance_[key] = std::move(value);
+}
+
+std::vector<std::pair<std::string, std::string>> Metrics::provenance()
+    const {
+  std::lock_guard lock(mutex_);
+  return {provenance_.begin(), provenance_.end()};
+}
+
 std::vector<std::string> Metrics::names() const {
   std::lock_guard lock(mutex_);
   std::vector<std::string> out;
@@ -101,11 +113,40 @@ void write_double(std::ostream& os, double v) {
   os << buf;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 void Metrics::write_json(std::ostream& os) const {
   std::lock_guard lock(mutex_);
-  os << "{\n  \"counters\": {";
+  os << "{\n";
+  if (!provenance_.empty()) {
+    os << "  \"provenance\": {";
+    bool first_stamp = true;
+    for (const auto& [key, value] : provenance_) {
+      os << (first_stamp ? "\n" : ",\n") << "    \"" << json_escape(key)
+         << "\": \"" << json_escape(value) << '"';
+      first_stamp = false;
+    }
+    os << "\n  },\n";
+  }
+  os << "  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
     os << (first ? "\n" : ",\n") << "    \"" << name

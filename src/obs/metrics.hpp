@@ -105,8 +105,18 @@ class Metrics : util::NonCopyable {
   /// All instrument names, sorted, across the three kinds.
   std::vector<std::string> names() const;
 
-  /// Deterministic snapshot: {"counters":{...},"gauges":{...},
-  /// "histograms":{...}} with names sorted and fixed number formatting.
+  /// Provenance stamps (key/value strings) identifying the run that
+  /// produced this snapshot — e.g. the options digest a bench harness
+  /// uses to cross-check a metrics file against its BENCH_*.json
+  /// stamp. Keys are emitted sorted; when no stamps are set the
+  /// snapshot layout is unchanged (no "provenance" object).
+  void set_provenance(
+      std::vector<std::pair<std::string, std::string>> stamps);
+  std::vector<std::pair<std::string, std::string>> provenance() const;
+
+  /// Deterministic snapshot: {"provenance":{...} (only when stamped),
+  /// "counters":{...},"gauges":{...},"histograms":{...}} with names
+  /// sorted and fixed number formatting.
   void write_json(std::ostream& os) const;
   /// write_json to `path`; returns false (with a warning log) on I/O
   /// failure.
@@ -114,6 +124,7 @@ class Metrics : util::NonCopyable {
 
  private:
   mutable std::mutex mutex_;
+  std::map<std::string, std::string> provenance_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -20,6 +20,11 @@ RunObservability::RunObservability(vgpu::Device& device,
   iterations_ = &metrics_.counter("engine.iterations");
   shard_visits_ = &metrics_.counter("engine.shard_visits");
   host_spill_bytes_ = &metrics_.counter("engine.host_spill_bytes");
+  cache_hits_ = &metrics_.counter("engine.cache_hits");
+  cache_misses_ = &metrics_.counter("engine.cache_misses");
+  cache_evictions_ = &metrics_.counter("engine.cache_evictions");
+  cache_writebacks_ = &metrics_.counter("engine.cache_writebacks");
+  cache_bytes_saved_ = &metrics_.counter("engine.cache_bytes_saved");
   kernel_concurrency_ = &metrics_.histogram(
       "device.kernel_concurrency", {1, 2, 4, 8, 16, 32});
   copy_bytes_ = &metrics_.histogram(
@@ -104,6 +109,12 @@ void RunObservability::on_run_begin(std::uint32_t partitions,
   if (trace_) trace_->on_run_begin(partitions, slots, resident_mode);
 }
 
+void RunObservability::on_residency_plan(const core::ResidencyPlan& plan) {
+  metrics_.gauge("engine.cache_slots").set(plan.cache_slots);
+  profiler_.on_residency_plan(plan);
+  if (trace_) trace_->on_residency_plan(plan);
+}
+
 void RunObservability::on_iteration_begin(std::uint32_t iteration,
                                           std::uint64_t active_vertices) {
   profiler_.on_iteration_begin(iteration, active_vertices);
@@ -139,6 +150,17 @@ void RunObservability::on_shard_enqueued(const core::Pass& pass,
   open_visit_ = -1;
   profiler_.on_shard_enqueued(pass, shard, work);
   if (trace_) trace_->on_shard_enqueued(pass, shard, work);
+}
+
+void RunObservability::on_shard_residency(const core::Pass& pass,
+                                          const core::ShardVisit& visit) {
+  cache_hits_->add(core::residency_group_count(visit.hit));
+  cache_misses_->add(core::residency_group_count(visit.load));
+  if (visit.evicted()) cache_evictions_->add();
+  if (visit.evicted() && visit.writeback) cache_writebacks_->add();
+  cache_bytes_saved_->add(visit.hit_bytes);
+  profiler_.on_shard_residency(pass, visit);
+  if (trace_) trace_->on_shard_residency(pass, visit);
 }
 
 void RunObservability::on_pass_end(const core::Pass& pass,
@@ -198,6 +220,7 @@ void RunObservability::finalize(const core::RunReport& report) {
   }
   metrics_.gauge("engine.slot_occupancy_max").set(max_occ);
   metrics_.gauge("engine.slot_occupancy_mean").set(mean_occ);
+  metrics_.gauge("engine.cache_hit_rate").set(report.cache_hit_rate());
 
   if (!config_.trace_out.empty() && trace_)
     trace_->write_file(config_.trace_out);

@@ -10,10 +10,14 @@
 //              device.d2h_ops, device.kernels_launched,
 //              engine.transfers_streamed / engine.transfers_culled,
 //              engine.iterations, engine.shard_visits,
-//              engine.host_spill_bytes
+//              engine.host_spill_bytes, engine.cache_hits /
+//              engine.cache_misses (residency-group granularity),
+//              engine.cache_evictions, engine.cache_writebacks,
+//              engine.cache_bytes_saved (H2D bytes served from cache)
 //   gauges     engine.overlap_ratio, engine.slot_occupancy_max /
 //              engine.slot_occupancy_mean, engine.spray_utilization /
 //              engine.spray_streams, engine.partitions, engine.slots,
+//              engine.cache_slots, engine.cache_hit_rate,
 //              engine.total_seconds, device.h2d_busy_seconds /
 //              device.d2h_busy_seconds, device.kernel_busy_seconds
 //   histograms device.kernel_concurrency (resident kernels at launch),
@@ -77,6 +81,7 @@ class RunObservability : public core::ExecutionObserver,
   // --- ExecutionObserver ---
   void on_run_begin(std::uint32_t partitions, std::uint32_t slots,
                     bool resident_mode) override;
+  void on_residency_plan(const core::ResidencyPlan& plan) override;
   void on_iteration_begin(std::uint32_t iteration,
                           std::uint64_t active_vertices) override;
   void on_transfer_plan(std::uint32_t iteration,
@@ -85,6 +90,8 @@ class RunObservability : public core::ExecutionObserver,
   void on_shard_begin(const core::Pass& pass, std::uint32_t shard) override;
   void on_shard_enqueued(const core::Pass& pass, std::uint32_t shard,
                          const core::ShardWork& work) override;
+  void on_shard_residency(const core::Pass& pass,
+                          const core::ShardVisit& visit) override;
   void on_pass_end(const core::Pass& pass, std::uint32_t iteration) override;
   void on_iteration_end(const core::IterationStats& stats) override;
   void on_run_end(const core::RunReport& report) override;
@@ -130,6 +137,11 @@ class RunObservability : public core::ExecutionObserver,
   Counter* iterations_;
   Counter* shard_visits_;
   Counter* host_spill_bytes_;
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  Counter* cache_evictions_;
+  Counter* cache_writebacks_;
+  Counter* cache_bytes_saved_;
   Histogram* kernel_concurrency_;
   Histogram* copy_bytes_;
 };

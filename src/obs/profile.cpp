@@ -186,6 +186,14 @@ void ProfilingObserver::on_iteration_end(const core::IterationStats& stats) {
   ++iterations_run_;
 }
 
+void ProfilingObserver::on_shard_residency(const core::Pass& /*pass*/,
+                                           const core::ShardVisit& visit) {
+  cache_hits_ += core::residency_group_count(visit.hit);
+  cache_misses_ += core::residency_group_count(visit.load);
+  if (visit.evicted()) ++cache_evictions_;
+  cache_bytes_saved_ += visit.hit_bytes;
+}
+
 void ProfilingObserver::on_run_end(const core::RunReport& report) {
   finish_iteration();  // no-op if the last iteration already closed
   converged_ = report.converged;
@@ -274,6 +282,11 @@ void ProfilingObserver::print_summary(std::ostream& os) const {
   if (spray_configured_ > 0)
     os << "; spray utilization "
        << util::format_fixed(spray_utilization(), 2);
+  if (cache_hits_ + cache_misses_ > 0)
+    os << "; shard cache: " << cache_hits_ << " group hits, "
+       << cache_misses_ << " misses, " << cache_evictions_
+       << " evictions, " << util::format_bytes(cache_bytes_saved_)
+       << " H2D saved";
   os << "\n";
 }
 

@@ -92,6 +92,8 @@ class ProfilingObserver : public core::ExecutionObserver,
   void on_shard_begin(const core::Pass& pass, std::uint32_t shard) override;
   void on_shard_enqueued(const core::Pass& pass, std::uint32_t shard,
                          const core::ShardWork& work) override;
+  void on_shard_residency(const core::Pass& pass,
+                          const core::ShardVisit& visit) override;
   void on_pass_end(const core::Pass& pass, std::uint32_t iteration) override;
   void on_iteration_end(const core::IterationStats& stats) override;
   void on_run_end(const core::RunReport& report) override;
@@ -116,6 +118,10 @@ class ProfilingObserver : public core::ExecutionObserver,
   double spray_utilization() const;
   std::uint64_t transfers_streamed() const { return transfers_streamed_; }
   std::uint64_t transfers_culled() const { return transfers_culled_; }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t cache_misses() const { return cache_misses_; }
+  std::uint64_t cache_evictions() const { return cache_evictions_; }
+  std::uint64_t cache_bytes_saved() const { return cache_bytes_saved_; }
 
   util::Table phase_table() const;
   util::Table iteration_table() const;
@@ -163,6 +169,10 @@ class ProfilingObserver : public core::ExecutionObserver,
   std::size_t spray_configured_ = 0;
   std::uint64_t transfers_streamed_ = 0;
   std::uint64_t transfers_culled_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t cache_evictions_ = 0;
+  std::uint64_t cache_bytes_saved_ = 0;
   bool converged_ = false;
   std::uint32_t iterations_run_ = 0;
 };

@@ -165,6 +165,19 @@ void TraceRecorder::on_run_begin(std::uint32_t partitions,
   run_open_ = true;
 }
 
+void TraceRecorder::on_residency_plan(const core::ResidencyPlan& plan) {
+  // Only when the cache layer is actually in play: plain streaming
+  // traces stay byte-identical to the pre-cache engine.
+  if (plan.cache_slots == 0) return;
+  push({'i', kTidDriver, now_us(), 0.0, 0, "residency plan", "cache",
+        "{\"streaming_slots\": " + std::to_string(plan.streaming_slots) +
+            ", \"cache_slots\": " + std::to_string(plan.cache_slots) +
+            ", \"fully_resident\": " +
+            (plan.fully_resident ? "true" : "false") +
+            ", \"cacheable_groups\": " + std::to_string(plan.cacheable) +
+            "}"});
+}
+
 void TraceRecorder::on_iteration_begin(std::uint32_t iteration,
                                        std::uint64_t active_vertices) {
   iteration_ = iteration;
@@ -208,6 +221,29 @@ void TraceRecorder::on_shard_enqueued(const core::Pass& /*pass*/,
             std::to_string(work.active_in_edges) +
             ", \"active_out_edges\": " +
             std::to_string(work.active_out_edges) + "}"});
+}
+
+void TraceRecorder::on_shard_residency(const core::Pass& /*pass*/,
+                                       const core::ShardVisit& visit) {
+  // Streaming visits (the only kind a zero-cache plan produces) are
+  // already covered by the shard span; only cache activity is news.
+  if (visit.evicted()) {
+    push({'i', kTidDriver, now_us(), 0.0, 0, "cache evict", "cache",
+          "{\"evicted_shard\": " + std::to_string(visit.evicted_shard) +
+              ", \"for_shard\": " + std::to_string(visit.shard) +
+              ", \"lane\": " + std::to_string(visit.lane) +
+              ", \"writeback\": " + (visit.writeback ? "true" : "false") +
+              "}"});
+  }
+  if (visit.cached && visit.hit != 0) {
+    push({'i', kTidDriver, now_us(), 0.0, 0, "cache hit", "cache",
+          "{\"shard\": " + std::to_string(visit.shard) +
+              ", \"lane\": " + std::to_string(visit.lane) +
+              ", \"hit_groups\": " + std::to_string(visit.hit) +
+              ", \"loaded_groups\": " + std::to_string(visit.load) +
+              ", \"bytes_saved\": " + std::to_string(visit.hit_bytes) +
+              "}"});
+  }
 }
 
 void TraceRecorder::on_pass_end(const core::Pass& pass,

@@ -27,6 +27,14 @@
 // op starting to its last completing, and a "shards in flight" counter
 // tracks slot-ring occupancy over time.
 //
+// The residency layer contributes a "residency plan" instant at run
+// begin (streaming/cache lane split) plus, on the driver track under
+// category "cache", a "cache hit" instant for every visit served at
+// least partly from a cache lane and a "cache evict" instant whenever
+// an admission displaces another shard (with its writeback verdict).
+// Pure streaming runs (zero cache lanes) emit none of these, so their
+// traces are byte-identical to the pre-cache engine's.
+//
 // Everything is recorded on the driver thread in deterministic order
 // and serialized with fixed number formatting: two identical runs emit
 // byte-identical traces regardless of the functional backend's worker
@@ -65,6 +73,7 @@ class TraceRecorder : public vgpu::DeviceOpListener,
   // --- ExecutionObserver ---
   void on_run_begin(std::uint32_t partitions, std::uint32_t slots,
                     bool resident_mode) override;
+  void on_residency_plan(const core::ResidencyPlan& plan) override;
   void on_iteration_begin(std::uint32_t iteration,
                           std::uint64_t active_vertices) override;
   void on_transfer_plan(std::uint32_t iteration,
@@ -73,6 +82,8 @@ class TraceRecorder : public vgpu::DeviceOpListener,
   void on_shard_begin(const core::Pass& pass, std::uint32_t shard) override;
   void on_shard_enqueued(const core::Pass& pass, std::uint32_t shard,
                          const core::ShardWork& work) override;
+  void on_shard_residency(const core::Pass& pass,
+                          const core::ShardVisit& visit) override;
   void on_pass_end(const core::Pass& pass, std::uint32_t iteration) override;
   void on_iteration_end(const core::IterationStats& stats) override;
   void on_run_end(const core::RunReport& report) override;

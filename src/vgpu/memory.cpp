@@ -21,4 +21,44 @@ void DeviceAllocator::deallocate(void* ptr, std::uint64_t bytes) noexcept {
   used_ -= bytes;
 }
 
+MemoryArena::MemoryArena(DeviceAllocator& allocator, std::uint64_t capacity)
+    : allocator_(&allocator), capacity_(capacity) {
+  if (capacity_ > 0)
+    base_ = static_cast<std::byte*>(allocator_->allocate(capacity_));
+}
+
+MemoryArena& MemoryArena::operator=(MemoryArena&& other) noexcept {
+  if (this != &other) {
+    release();
+    allocator_ = other.allocator_;
+    base_ = other.base_;
+    capacity_ = other.capacity_;
+    used_ = other.used_;
+    other.allocator_ = nullptr;
+    other.base_ = nullptr;
+    other.capacity_ = 0;
+    other.used_ = 0;
+  }
+  return *this;
+}
+
+void* MemoryArena::allocate(std::uint64_t bytes) {
+  if (bytes == 0) return nullptr;
+  const std::uint64_t aligned = align_up(bytes);
+  if (used_ + aligned > capacity_)
+    throw DeviceOutOfMemory(aligned, used_, capacity_);
+  void* ptr = base_ + used_;
+  used_ += aligned;
+  return ptr;
+}
+
+void MemoryArena::release() noexcept {
+  if (base_ != nullptr && allocator_ != nullptr)
+    allocator_->deallocate(base_, capacity_);
+  base_ = nullptr;
+  capacity_ = 0;
+  used_ = 0;
+  allocator_ = nullptr;
+}
+
 }  // namespace gr::vgpu

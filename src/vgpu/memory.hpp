@@ -54,6 +54,51 @@ class DeviceAllocator : util::NonCopyable {
   std::uint64_t peak_used_ = 0;
 };
 
+/// One up-front device reservation carved into many buffers (the
+/// cudaMalloc-once / sub-allocate pattern real frameworks use for pool
+/// or cache storage). The residency cache reserves its lane storage
+/// through an arena so the engine can account "bytes dedicated to
+/// cached shards" as a single number against the device budget, and so
+/// releasing the cache is one deallocation instead of dozens.
+///
+/// Bump allocation only — individual sub-buffers are never returned;
+/// the whole reservation is released when the arena dies. Sub-
+/// allocations keep the device's 64-byte alignment.
+class MemoryArena : util::NonCopyable {
+ public:
+  static constexpr std::uint64_t kAlignment = 64;
+
+  MemoryArena() = default;
+  /// Reserves `capacity` bytes from `allocator` (throws
+  /// DeviceOutOfMemory like any other allocation).
+  MemoryArena(DeviceAllocator& allocator, std::uint64_t capacity);
+  MemoryArena(MemoryArena&& other) noexcept { *this = std::move(other); }
+  MemoryArena& operator=(MemoryArena&& other) noexcept;
+  ~MemoryArena() { release(); }
+
+  /// Carves `bytes` (rounded up to kAlignment) out of the reservation;
+  /// throws DeviceOutOfMemory against the arena capacity when full.
+  void* allocate(std::uint64_t bytes);
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t available() const { return capacity_ - used_; }
+  bool valid() const { return base_ != nullptr || capacity_ == 0; }
+
+  /// Releases the reservation back to the device allocator.
+  void release() noexcept;
+
+  static std::uint64_t align_up(std::uint64_t bytes) {
+    return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  }
+
+ private:
+  DeviceAllocator* allocator_ = nullptr;
+  std::byte* base_ = nullptr;
+  std::uint64_t capacity_ = 0;
+  std::uint64_t used_ = 0;
+};
+
 /// RAII typed device buffer (the cudaMalloc/cudaFree analog).
 template <typename T>
 class DeviceBuffer : util::NonCopyable {
@@ -63,6 +108,12 @@ class DeviceBuffer : util::NonCopyable {
       : allocator_(&allocator), count_(count) {
     if (count_ > 0)
       data_ = static_cast<T*>(allocator_->allocate(size_bytes()));
+  }
+  /// Arena-backed buffer: storage lives inside `arena`'s reservation
+  /// and is reclaimed only when the arena is released (allocator_ stays
+  /// null, so this buffer's destructor is a no-op).
+  DeviceBuffer(MemoryArena& arena, std::size_t count) : count_(count) {
+    if (count_ > 0) data_ = static_cast<T*>(arena.allocate(size_bytes()));
   }
   DeviceBuffer(DeviceBuffer&& other) noexcept { *this = std::move(other); }
   DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {

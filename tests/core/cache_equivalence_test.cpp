@@ -1,0 +1,184 @@
+// End-to-end contract of the residency shard cache (DESIGN.md
+// residency layer): the cache is a pure traffic optimization. At any
+// device-memory budget the computed values are bitwise identical; only
+// H2D traffic and simulated time may change, and H2D traffic shrinks
+// monotonically as the budget (and with it the cache) grows. Both
+// extremes degenerate exactly: a budget too small for any cache lane
+// behaves bit-for-bit like --device-cache=0 (the pre-cache streaming
+// engine), and a budget that fits the whole graph is the classic
+// resident mode.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/algorithms/algorithms.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+
+namespace gr::core {
+namespace {
+
+constexpr std::uint32_t kPartitions = 12;
+constexpr std::uint32_t kIterations = 10;
+
+struct SweepRun {
+  std::vector<float> rank;
+  RunReport report;
+};
+
+const graph::EdgeList& sweep_graph() {
+  static const graph::EdgeList edges = graph::rmat(9, 3000, 17);
+  return edges;
+}
+
+/// PageRank with a FIXED partition count so the only thing varying
+/// across the sweep is the device-memory budget: `factor` scales the
+/// graph's planner reservation (graph::footprint_bytes).
+SweepRun run_at(double factor, double device_cache,
+                std::uint32_t threads = 0) {
+  const graph::EdgeList& edges = sweep_graph();
+  const std::uint64_t reserved =
+      graph::footprint_bytes(edges.num_vertices(), edges.num_edges());
+  EngineOptions options;
+  options.partitions = kPartitions;
+  options.device.global_memory_bytes =
+      static_cast<std::uint64_t>(static_cast<double>(reserved) * factor);
+  options.device_cache = device_cache;
+  options.threads = threads;
+  auto result = algo::run_pagerank(edges, kIterations, options);
+  // The sweep's premise: the budget never forces repartitioning, so
+  // every point runs the identical shard schedule.
+  EXPECT_EQ(result.report.partitions, kPartitions);
+  return {std::move(result.rank), std::move(result.report)};
+}
+
+/// Smallest probed factor whose plan has neither cache lanes nor full
+/// residency: the pure-streaming extreme.
+double streaming_factor() {
+  double factor = 0.6;
+  for (int i = 0; i < 12; ++i, factor *= 0.75) {
+    const SweepRun run = run_at(factor, 1.0);
+    if (run.report.cache_slots == 0 && !run.report.resident_mode)
+      return factor;
+  }
+  ADD_FAILURE() << "no streaming factor found";
+  return factor;
+}
+
+/// Smallest probed factor that yields a fully-resident plan.
+double resident_factor() {
+  double factor = 1.05;
+  for (int i = 0; i < 12; ++i, factor *= 1.25) {
+    const SweepRun run = run_at(factor, 1.0);
+    if (run.report.resident_mode) return factor;
+  }
+  ADD_FAILURE() << "no resident factor found";
+  return factor;
+}
+
+/// A probed factor between the extremes with a live partial cache.
+double partial_factor(double lo, double hi) {
+  double factor = (lo + hi) / 2.0;
+  for (int i = 0; i < 12; ++i, factor = (factor + lo) / 2.0) {
+    const SweepRun run = run_at(factor, 1.0);
+    if (!run.report.resident_mode && run.report.cache_slots > 0 &&
+        run.report.cache_hits > 0)
+      return factor;
+  }
+  ADD_FAILURE() << "no partial-cache factor found";
+  return factor;
+}
+
+TEST(CacheEquivalence, ResultsBitwiseIdenticalAcrossCacheSizes) {
+  const double lo = streaming_factor();
+  const double hi = resident_factor();
+  const double mid = partial_factor(lo, hi);
+
+  const SweepRun streaming = run_at(lo, 1.0);
+  const SweepRun partial = run_at(mid, 1.0);
+  const SweepRun resident = run_at(hi, 1.0);
+
+  ASSERT_EQ(streaming.rank.size(), partial.rank.size());
+  ASSERT_EQ(streaming.rank.size(), resident.rank.size());
+  for (std::size_t v = 0; v < streaming.rank.size(); ++v) {
+    // Bitwise float equality: the cache changes WHERE uploads happen,
+    // never what the kernels compute.
+    ASSERT_EQ(streaming.rank[v], partial.rank[v]) << "vertex " << v;
+    ASSERT_EQ(streaming.rank[v], resident.rank[v]) << "vertex " << v;
+  }
+  EXPECT_EQ(streaming.report.iterations, partial.report.iterations);
+  EXPECT_EQ(streaming.report.iterations, resident.report.iterations);
+}
+
+TEST(CacheEquivalence, StreamingExtremeMatchesCacheOffBitwise) {
+  const double lo = streaming_factor();
+  const SweepRun with_cache = run_at(lo, 1.0);  // plan granted 0 lanes
+  const SweepRun cache_off = run_at(lo, 0.0);   // cache disabled outright
+  EXPECT_EQ(with_cache.report.cache_slots, 0u);
+  EXPECT_EQ(with_cache.report.total_seconds, cache_off.report.total_seconds);
+  EXPECT_EQ(with_cache.report.bytes_h2d, cache_off.report.bytes_h2d);
+  EXPECT_EQ(with_cache.report.bytes_d2h, cache_off.report.bytes_d2h);
+  EXPECT_EQ(with_cache.report.memcpy_ops, cache_off.report.memcpy_ops);
+  EXPECT_EQ(with_cache.rank, cache_off.rank);
+}
+
+TEST(CacheEquivalence, ResidentExtremeIgnoresCacheFraction) {
+  const double hi = resident_factor();
+  const SweepRun with_cache = run_at(hi, 1.0);
+  const SweepRun cache_off = run_at(hi, 0.0);
+  EXPECT_TRUE(with_cache.report.resident_mode);
+  EXPECT_TRUE(cache_off.report.resident_mode);
+  EXPECT_EQ(with_cache.report.total_seconds, cache_off.report.total_seconds);
+  EXPECT_EQ(with_cache.report.bytes_h2d, cache_off.report.bytes_h2d);
+  EXPECT_EQ(with_cache.rank, cache_off.rank);
+}
+
+TEST(CacheEquivalence, PartialCacheSavesExactlyTheHitTraffic) {
+  const double lo = streaming_factor();
+  const double hi = resident_factor();
+  const double mid = partial_factor(lo, hi);
+  const SweepRun streaming = run_at(lo, 1.0);
+  const SweepRun partial = run_at(mid, 1.0);
+
+  EXPECT_GT(partial.report.cache_slots, 0u);
+  EXPECT_GT(partial.report.cache_hits, 0u);
+  EXPECT_GT(partial.report.bytes_h2d_saved, 0u);
+  EXPECT_LT(partial.report.bytes_h2d, streaming.report.bytes_h2d);
+  // Every hit skips the upload the streaming run would have issued, and
+  // nothing else about the schedule moves: the saved bytes account for
+  // the entire traffic difference.
+  EXPECT_EQ(partial.report.bytes_h2d + partial.report.bytes_h2d_saved,
+            streaming.report.bytes_h2d);
+}
+
+TEST(CacheEquivalence, H2dTrafficIsMonotoneInMemoryBudget) {
+  const double lo = streaming_factor();
+  const double hi = resident_factor();
+  std::uint64_t previous = std::numeric_limits<std::uint64_t>::max();
+  for (double factor :
+       {lo, lo + (hi - lo) * 0.33, lo + (hi - lo) * 0.66, hi}) {
+    const SweepRun run = run_at(factor, 1.0);
+    EXPECT_LE(run.report.bytes_h2d, previous)
+        << "H2D traffic grew when the memory budget did (factor "
+        << factor << ")";
+    previous = run.report.bytes_h2d;
+  }
+}
+
+TEST(CacheEquivalence, ThreadCountDoesNotPerturbCacheDecisions) {
+  const double lo = streaming_factor();
+  const double hi = resident_factor();
+  const double mid = partial_factor(lo, hi);
+  const SweepRun serial = run_at(mid, 1.0, /*threads=*/1);
+  const SweepRun parallel = run_at(mid, 1.0, /*threads=*/3);
+  EXPECT_EQ(serial.report.total_seconds, parallel.report.total_seconds);
+  EXPECT_EQ(serial.report.bytes_h2d, parallel.report.bytes_h2d);
+  EXPECT_EQ(serial.report.cache_hits, parallel.report.cache_hits);
+  EXPECT_EQ(serial.report.cache_evictions, parallel.report.cache_evictions);
+  EXPECT_EQ(serial.rank, parallel.rank);
+}
+
+}  // namespace
+}  // namespace gr::core

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "core/algorithms/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "util/common.hpp"
@@ -57,6 +60,40 @@ TEST(EngineOptionsValidate, RejectsNonPositiveConcurrentKernels) {
   EngineOptions options;
   options.device.max_concurrent_kernels = 0;
   EXPECT_THROW(options.validate(), util::CheckError);
+}
+
+TEST(EngineOptionsValidate, RejectsDeviceCacheOutsideUnitInterval) {
+  EngineOptions options;
+  options.device_cache = -0.1;
+  EXPECT_THROW(options.validate(), util::CheckError);
+  options.device_cache = 1.5;
+  EXPECT_THROW(options.validate(), util::CheckError);
+  options.device_cache = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(options.validate(), util::CheckError);
+  for (double fraction : {0.0, 0.5, 1.0}) {
+    options.device_cache = fraction;
+    EXPECT_NO_THROW(options.validate()) << fraction;
+  }
+}
+
+TEST(EngineOptionsValidate, RejectsBudgetWithZeroUsableSlots) {
+  // An explicit partition count bypasses the planner's own capacity
+  // check, so engine construction must reject a device budget whose
+  // post-headroom remainder cannot hold a single shard slot — with a
+  // message naming the fix instead of an opaque allocation failure.
+  const auto edges = graph::path_graph(256);
+  EngineOptions options;
+  options.partitions = 4;
+  options.device.global_memory_bytes = 1024;
+  EXPECT_NO_THROW(options.validate());  // per-field checks still pass
+  try {
+    algo::run_bfs(edges, 0, options);
+    FAIL() << "expected zero-usable-slots rejection";
+  } catch (const util::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("zero usable slots"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(EngineOptionsValidate, EngineConstructionValidates) {

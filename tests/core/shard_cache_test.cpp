@@ -1,0 +1,264 @@
+#include "core/engine/shard_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gr::core {
+namespace {
+
+constexpr ResidencyGroups kTopology = kGroupInTopology | kGroupOutTopology;
+constexpr ResidencyGroups kAll = kTopology | kGroupEdgeState;
+
+ResidencyPlan make_plan(std::uint32_t partitions, std::uint32_t streaming,
+                        std::uint32_t cache, ResidencyGroups cacheable,
+                        bool fully_resident = false) {
+  ResidencyPlan plan;
+  plan.partitions = partitions;
+  plan.streaming_slots = streaming;
+  plan.cache_slots = cache;
+  plan.fully_resident = fully_resident;
+  plan.cacheable = cacheable;
+  return plan;
+}
+
+/// Visits a shard and immediately completes it, as the engine does for
+/// a visit whose uploads were issued.
+ShardVisit visit(ShardCache& cache, std::uint32_t shard,
+                 ResidencyGroups requested = kAll) {
+  ShardVisit v = cache.begin_visit(shard, requested);
+  cache.complete_visit(v);
+  return v;
+}
+
+TEST(ShardCache, StreamingOnlyPlanUsesModuloRing) {
+  ShardCache cache;
+  cache.configure(make_plan(6, 2, 0, kTopology));
+  for (std::uint32_t shard = 0; shard < 6; ++shard) {
+    const ShardVisit v = visit(cache, shard);
+    EXPECT_FALSE(v.cached);
+    EXPECT_EQ(v.lane, shard % 2u);
+    EXPECT_EQ(v.load, kAll);
+    EXPECT_EQ(v.hit, 0u);
+    EXPECT_FALSE(v.evicted());
+  }
+  EXPECT_EQ(cache.occupancy(), 0u);
+  EXPECT_EQ(cache.stats().group_hits, 0u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.0);
+}
+
+TEST(ShardCache, AdmissionFillsFreeLanesLowestIndexFirst) {
+  ShardCache cache;
+  cache.configure(make_plan(6, 2, 3, kTopology));
+  for (std::uint32_t shard = 0; shard < 3; ++shard) {
+    const ShardVisit v = visit(cache, shard);
+    EXPECT_TRUE(v.cached);
+    EXPECT_EQ(v.lane, 2u + shard);  // cache lanes sit after the ring
+    EXPECT_FALSE(v.evicted());
+  }
+  EXPECT_EQ(cache.occupancy(), 3u);
+}
+
+TEST(ShardCache, NoAdmissionWithoutCacheableGroups) {
+  // A pass requesting only non-cacheable groups gains nothing from a
+  // cache lane; the visit must stream through the ring instead.
+  ShardCache cache;
+  cache.configure(make_plan(6, 2, 3, kTopology));
+  const ShardVisit v = visit(cache, 4, kGroupEdgeState);
+  EXPECT_FALSE(v.cached);
+  EXPECT_EQ(v.lane, 4u % 2u);
+  EXPECT_EQ(cache.occupancy(), 0u);
+}
+
+TEST(ShardCache, RepeatVisitHitsCacheableGroupsOnly) {
+  ShardCache cache;
+  cache.configure(make_plan(6, 2, 3, kTopology));  // edge state volatile
+  const ShardVisit first = visit(cache, 1, kAll);
+  EXPECT_EQ(first.load, kAll);
+  EXPECT_EQ(first.hit, 0u);
+
+  const ShardVisit second = visit(cache, 1, kAll);
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(second.hit, kTopology);           // persisted between visits
+  EXPECT_EQ(second.load, kGroupEdgeState);    // must re-stream
+  EXPECT_EQ(cache.stats().group_hits, 2u);
+  EXPECT_EQ(cache.stats().group_misses, 4u);
+  EXPECT_EQ(cache.stats().shard_hits, 0u);  // never fully served in place
+
+  cache.invalidate_all(kGroupEdgeState);  // no-op: group was never valid
+  const ShardVisit third = visit(cache, 1, kTopology);
+  EXPECT_EQ(third.load, 0u);
+  EXPECT_EQ(third.hit, kTopology);
+  EXPECT_EQ(cache.stats().shard_hits, 1u);
+}
+
+TEST(ShardCache, EvictionOrderIsDeterministicLru) {
+  ShardCache cache;
+  cache.configure(make_plan(8, 2, 2, kTopology));
+  visit(cache, 0);  // tick 1 -> lane 2
+  visit(cache, 1);  // tick 2 -> lane 3
+
+  // Shard 0 is least recently used: it must be the first victim, and
+  // the replacement inherits its lane.
+  ShardVisit v = visit(cache, 2);
+  EXPECT_TRUE(v.cached);
+  EXPECT_EQ(v.evicted_shard, 0u);
+  EXPECT_EQ(v.lane, 2u);
+  EXPECT_FALSE(cache.is_cached(0));
+
+  // Now shard 1 (tick 2) is older than shard 2 (tick 3).
+  v = visit(cache, 3);
+  EXPECT_EQ(v.evicted_shard, 1u);
+  EXPECT_EQ(v.lane, 3u);
+
+  // Touching shard 2 refreshes it, so shard 3 becomes the next victim.
+  visit(cache, 2);
+  v = visit(cache, 4);
+  EXPECT_EQ(v.evicted_shard, 3u);
+  EXPECT_EQ(cache.stats().evictions, 3u);
+
+  // Replaying the same sequence on a fresh cache makes identical
+  // decisions (the engine's determinism contract).
+  ShardCache replay;
+  replay.configure(make_plan(8, 2, 2, kTopology));
+  const std::array<std::uint32_t, 6> order = {0, 1, 2, 3, 2, 4};
+  std::vector<std::uint32_t> victims;
+  for (std::uint32_t shard : order) {
+    const ShardVisit r = visit(replay, shard);
+    if (r.evicted()) victims.push_back(r.evicted_shard);
+  }
+  EXPECT_EQ(victims, (std::vector<std::uint32_t>{0, 1, 3}));
+}
+
+TEST(ShardCache, FrontierActiveOccupantsAreNotEvicted) {
+  ShardCache cache;
+  cache.configure(make_plan(8, 2, 2, kTopology));
+  visit(cache, 0);  // LRU-oldest...
+  visit(cache, 1);
+
+  const std::array<std::uint32_t, 1> active = {0};
+  cache.begin_iteration(active);  // ...but frontier-active: protected
+  const ShardVisit v = visit(cache, 2);
+  EXPECT_TRUE(v.cached);
+  EXPECT_EQ(v.evicted_shard, 1u);
+  EXPECT_TRUE(cache.is_cached(0));
+}
+
+TEST(ShardCache, ThrashGuardStreamsWhenEveryOccupantIsActive) {
+  ShardCache cache;
+  cache.configure(make_plan(8, 2, 2, kTopology));
+  visit(cache, 0);
+  visit(cache, 1);
+
+  const std::array<std::uint32_t, 2> active = {0, 1};
+  cache.begin_iteration(active);
+  const ShardVisit v = visit(cache, 5);
+  EXPECT_FALSE(v.cached);
+  EXPECT_EQ(v.lane, 5u % 2u);  // classic ring, full reload
+  EXPECT_EQ(v.load, kAll);
+  EXPECT_FALSE(v.evicted());
+  EXPECT_TRUE(cache.is_cached(0));
+  EXPECT_TRUE(cache.is_cached(1));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(ShardCache, DirtyWritebackOnlyWhenMutated) {
+  ShardCache cache;
+  cache.configure(make_plan(8, 2, 1, kAll));
+  visit(cache, 0, kAll);
+  cache.mark_dirty(0, kGroupEdgeState);
+  EXPECT_EQ(cache.dirty_groups(0), kGroupEdgeState);
+
+  // Evicting the mutated shard requests a writeback of exactly the
+  // dirty groups — clean topology is simply dropped.
+  ShardVisit v = visit(cache, 1, kAll);
+  EXPECT_EQ(v.evicted_shard, 0u);
+  EXPECT_EQ(v.writeback, kGroupEdgeState);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+
+  // Shard 1 was never mutated: its eviction writes nothing back.
+  v = visit(cache, 2, kAll);
+  EXPECT_EQ(v.evicted_shard, 1u);
+  EXPECT_EQ(v.writeback, 0u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(ShardCache, MarkDirtyIgnoresInvalidGroupsAndUncachedShards) {
+  ShardCache cache;
+  cache.configure(make_plan(8, 2, 1, kAll));
+  cache.mark_dirty(3, kAll);  // not cached: no-op
+  EXPECT_EQ(cache.dirty_groups(3), 0u);
+
+  visit(cache, 0, kTopology);  // edge state never loaded -> not valid
+  cache.mark_dirty(0, kGroupEdgeState);
+  EXPECT_EQ(cache.dirty_groups(0), 0u);
+  cache.mark_dirty(0, kGroupInTopology);
+  EXPECT_EQ(cache.dirty_groups(0), kGroupInTopology);
+}
+
+TEST(ShardCache, InvalidateAllDropsValidityAndDirtiness) {
+  ShardCache cache;
+  cache.configure(make_plan(8, 2, 2, kAll));
+  visit(cache, 0, kAll);
+  cache.mark_dirty(0, kGroupEdgeState);
+
+  // Host master of the edge state changed (scatter round trip): cached
+  // copies become invalid and their dirty bits must not survive either
+  // (writing back a stale copy would clobber the new master).
+  cache.invalidate_all(kGroupEdgeState);
+  EXPECT_EQ(cache.valid_groups(0), kTopology);
+  EXPECT_EQ(cache.dirty_groups(0), 0u);
+
+  const ShardVisit v = visit(cache, 0, kAll);
+  EXPECT_EQ(v.hit, kTopology);
+  EXPECT_EQ(v.load, kGroupEdgeState);
+}
+
+TEST(ShardCache, FullyResidentPlanPinsEveryShardToItsLane) {
+  ShardCache cache;
+  ResidencyPlan plan = make_plan(4, 0, 4, kAll, /*fully_resident=*/true);
+  cache.configure(plan);
+  EXPECT_EQ(cache.occupancy(), 4u);
+
+  for (std::uint32_t shard = 0; shard < 4; ++shard) {
+    const ShardVisit v = visit(cache, shard, kAll);
+    EXPECT_TRUE(v.cached);
+    EXPECT_EQ(v.lane, shard);  // lane p belongs to shard p, permanently
+    EXPECT_EQ(v.load, kAll);   // first visit still uploads everything
+    EXPECT_FALSE(v.evicted());
+  }
+  for (std::uint32_t shard = 0; shard < 4; ++shard) {
+    const ShardVisit v = visit(cache, shard, kAll);
+    EXPECT_EQ(v.hit, kAll);
+    EXPECT_EQ(v.load, 0u);
+  }
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().shard_hits, 4u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+}
+
+TEST(ShardCache, ResetDropsEntriesAndStats) {
+  ShardCache cache;
+  cache.configure(make_plan(8, 2, 2, kAll));
+  visit(cache, 0);
+  visit(cache, 1);
+  cache.reset();
+  EXPECT_EQ(cache.occupancy(), 0u);
+  EXPECT_EQ(cache.stats().shard_visits, 0u);
+  EXPECT_FALSE(cache.is_cached(0));
+}
+
+TEST(ShardCache, RejectsInconsistentFullyResidentPlan) {
+  ShardCache cache;
+  EXPECT_THROW(
+      cache.configure(make_plan(4, 0, 2, kAll, /*fully_resident=*/true)),
+      util::CheckError);
+}
+
+}  // namespace
+}  // namespace gr::core

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Diff two GraphReduce Chrome trace files by simulated time.
+
+The engine's TraceRecorder (src/obs/trace.cpp) writes deterministic
+Chrome trace-event JSON: every span lives on a named track ("engine
+driver", "copy engine H2D", "slot 0", ...) and two identical runs emit
+byte-identical files. That makes traces diffable: when a change (a new
+cache policy, a different memory budget) shifts simulated time around,
+aligning the two timelines by (track, event name) and ranking the
+duration deltas answers "where did the time go?" without opening a UI.
+
+Alignment model: within each (track, name) pair, the i-th occurrence in
+trace A is matched with the i-th occurrence in trace B — correct for
+the engine's deterministic driver ordering, where the n-th "pass
+gather" span is the same logical pass in both runs. Unmatched
+occurrences (one run streamed a shard the other served from cache)
+are accounted separately as added/removed time.
+
+Usage:
+  tools/trace_diff.py A.json B.json [--top N] [--track TRACK] [--csv OUT]
+
+Exit code is 0 even when the traces differ — this is a reporting tool,
+not a gate; pair it with --csv in CI to archive the comparison as an
+artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_events(path):
+    """Returns (track_names, spans, instants) from one trace file.
+
+    spans: list of (track, name, start_us, dur_us) from X events and
+    b/e async pairs (matched by (cat, id, name)).
+    instants: Counter-style dict (track, name) -> count from i events.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents", doc if isinstance(doc, list) else [])
+
+    tids = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            tids[ev.get("tid")] = ev.get("args", {}).get("name", "?")
+
+    def track(ev):
+        tid = ev.get("tid")
+        return tids.get(tid, f"tid {tid}")
+
+    spans = []
+    instants = defaultdict(int)
+    open_async = {}  # (tid, cat, id, name) -> start ts
+    open_sync = defaultdict(list)  # (tid, name) -> stack of B ts
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "X":
+            spans.append((track(ev), ev.get("name", "?"),
+                          float(ev.get("ts", 0.0)),
+                          float(ev.get("dur", 0.0))))
+        elif ph == "b":
+            key = (ev.get("tid"), ev.get("cat"), ev.get("id"),
+                   ev.get("name"))
+            open_async[key] = float(ev.get("ts", 0.0))
+        elif ph == "e":
+            key = (ev.get("tid"), ev.get("cat"), ev.get("id"),
+                   ev.get("name"))
+            start = open_async.pop(key, None)
+            if start is not None:
+                spans.append((track(ev), ev.get("name", "?"), start,
+                              float(ev.get("ts", 0.0)) - start))
+        elif ph == "B":
+            open_sync[(ev.get("tid"), ev.get("name"))].append(
+                float(ev.get("ts", 0.0)))
+        elif ph == "E":
+            stack = open_sync.get((ev.get("tid"), ev.get("name")))
+            if stack:
+                start = stack.pop()
+                spans.append((track(ev), ev.get("name", "?"), start,
+                              float(ev.get("ts", 0.0)) - start))
+        elif ph == "i":
+            instants[(track(ev), ev.get("name", "?"))] += 1
+    return tids, spans, instants
+
+
+def group_spans(spans):
+    """(track, name) -> list of durations, in record (simulated) order."""
+    groups = defaultdict(list)
+    for track, name, _ts, dur in spans:
+        groups[(track, name)].append(dur)
+    return groups
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="align two GraphReduce traces by track+name and "
+                    "rank the simulated-time deltas")
+    parser.add_argument("trace_a", help="baseline trace JSON")
+    parser.add_argument("trace_b", help="comparison trace JSON")
+    parser.add_argument("--top", type=int, default=15,
+                        help="show the N largest absolute deltas")
+    parser.add_argument("--track", default=None,
+                        help="restrict to one track (substring match)")
+    parser.add_argument("--csv", default=None,
+                        help="also write the full per-group table as CSV")
+    args = parser.parse_args(argv)
+
+    _, spans_a, instants_a = load_events(args.trace_a)
+    _, spans_b, instants_b = load_events(args.trace_b)
+    groups_a = group_spans(spans_a)
+    groups_b = group_spans(spans_b)
+
+    rows = []
+    for key in sorted(set(groups_a) | set(groups_b)):
+        track, name = key
+        if args.track and args.track not in track:
+            continue
+        durs_a = groups_a.get(key, [])
+        durs_b = groups_b.get(key, [])
+        paired = min(len(durs_a), len(durs_b))
+        matched_delta = sum(durs_b[:paired]) - sum(durs_a[:paired])
+        removed = sum(durs_a[paired:])  # only in A
+        added = sum(durs_b[paired:])  # only in B
+        rows.append({
+            "track": track,
+            "name": name,
+            "count_a": len(durs_a),
+            "count_b": len(durs_b),
+            "total_a_us": sum(durs_a),
+            "total_b_us": sum(durs_b),
+            "matched_delta_us": matched_delta,
+            "removed_us": removed,
+            "added_us": added,
+            "delta_us": matched_delta + added - removed,
+        })
+
+    total_a = sum(r["total_a_us"] for r in rows)
+    total_b = sum(r["total_b_us"] for r in rows)
+    print(f"A: {args.trace_a}  ({len(spans_a)} spans, "
+          f"{total_a:.1f} us on selected tracks)")
+    print(f"B: {args.trace_b}  ({len(spans_b)} spans, "
+          f"{total_b:.1f} us on selected tracks)")
+    print(f"net simulated-time delta (B - A): {total_b - total_a:+.1f} us")
+    print()
+
+    rows.sort(key=lambda r: abs(r["delta_us"]), reverse=True)
+    header = (f"{'delta us':>12}  {'A total':>12}  {'B total':>12}  "
+              f"{'A#':>5}  {'B#':>5}  track / name")
+    print(header)
+    print("-" * len(header))
+    for r in rows[:args.top]:
+        if r["delta_us"] == 0 and r["count_a"] == r["count_b"]:
+            continue
+        print(f"{r['delta_us']:>+12.1f}  {r['total_a_us']:>12.1f}  "
+              f"{r['total_b_us']:>12.1f}  {r['count_a']:>5}  "
+              f"{r['count_b']:>5}  {r['track']} / {r['name']}")
+
+    # Instant events (transfer-plan decisions, cache hits/evictions)
+    # diff by count: the cache layer shows up here first.
+    instant_keys = sorted(set(instants_a) | set(instants_b))
+    instant_rows = [(k, instants_a.get(k, 0), instants_b.get(k, 0))
+                    for k in instant_keys
+                    if instants_a.get(k, 0) != instants_b.get(k, 0)
+                    and (not args.track or args.track in k[0])]
+    if instant_rows:
+        print("\ninstant-event count changes:")
+        for (track, name), ca, cb in instant_rows:
+            print(f"{cb - ca:>+12d}  {ca:>12}  {cb:>12}  "
+                  f"{'':>5}  {'':>5}  {track} / {name}")
+
+    if args.csv:
+        import csv as csv_mod
+        with open(args.csv, "w", newline="", encoding="utf-8") as f:
+            writer = csv_mod.DictWriter(f, fieldnames=list(rows[0].keys())
+                                        if rows else ["track", "name"])
+            writer.writeheader()
+            for r in sorted(rows, key=lambda r: (r["track"], r["name"])):
+                writer.writerow(r)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into head(1)
+        sys.exit(0)
