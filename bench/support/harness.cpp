@@ -379,6 +379,8 @@ void write_engine_options(std::ostream& os, const core::EngineOptions& o) {
      << "    \"slots\": " << o.slots << ",\n"
      << "    \"partitions\": " << o.partitions << ",\n"
      << "    \"device_cache\": " << o.device_cache << ",\n"
+     << "    \"transfer_policy\": \"" << json_escape(o.transfer_policy)
+     << "\",\n"
      << "    \"max_iterations\": " << o.max_iterations << ",\n"
      << "    \"threads\": " << o.threads << ",\n"
      << "    \"host_bandwidth\": " << o.host_bandwidth << ",\n"

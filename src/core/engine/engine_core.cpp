@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 
+#include "graph/shard_codec.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
@@ -15,6 +16,7 @@ EngineCore::EngineCore(const graph::EdgeList& edges,
     : options_(options), footprint_(footprint) {
   GR_CHECK_MSG(edges.num_vertices() > 0, "empty graph");
   options_.validate();
+  transfer_policy_ = parse_transfer_policy(options_.transfer_policy);
   plan_ = make_phase_plan(footprint_.has_gather, footprint_.has_scatter,
                           footprint_.has_edge_state, options_.phase_fusion);
   uses_in_edges_ = plan_.uses_in_edges();
@@ -136,6 +138,11 @@ void EngineCore::initialize(const graph::EdgeList& edges,
   std::uint32_t cache_cap = std::numeric_limits<std::uint32_t>::max();
   for (int attempt = 0;;) {
     graph_ = PartitionedGraph::build(edges, partitions_);
+    // (Re)build the transfer chooser's byte tables and compressed blobs
+    // for this partitioning before any device allocation: the staging
+    // buffers allocate_frontier_state adds are sized from them.
+    xfer_.configure(transfer_policy_, graph_, footprint_, options_.device,
+                    residency_);
     try {
       hooks.allocate_device_state();
       break;
@@ -145,6 +152,7 @@ void EngineCore::initialize(const graph::EdgeList& edges,
       d_frontier_[0] = {};
       d_frontier_[1] = {};
       d_changed_ = {};
+      staging_.clear();
       if (!residency_.fully_resident && residency_.cache_slots > 0) {
         cache_cap = residency_.cache_slots / 2;
         compute_residency_plan(cache_cap);
@@ -172,10 +180,38 @@ void EngineCore::allocate_frontier_state() {
   d_frontier_[0] = device_->alloc<std::uint8_t>(n);
   d_frontier_[1] = device_->alloc<std::uint8_t>(n);
   d_changed_ = device_->alloc<std::uint8_t>(n);
+  // Compressed-shard staging: one device scratch region per ring lane,
+  // big enough for any shard's used blobs. Decode kernels read it after
+  // the blob copy lands; the lane free-event protocol serializes reuse
+  // across visits exactly like the slot buffers themselves.
+  staging_.clear();
+  const std::uint64_t staging_bytes = xfer_.staging_bytes_per_lane();
+  if (staging_bytes > 0) {
+    staging_.reserve(residency_.total_lanes());
+    for (std::uint32_t i = 0; i < residency_.total_lanes(); ++i)
+      staging_.push_back(device_->alloc<std::uint8_t>(staging_bytes));
+  }
 }
 
 void EngineCore::copy_to_slot(SlotLane& lane, void* device_dst,
-                              const void* host_src, std::uint64_t bytes) {
+                              const void* host_src, std::uint64_t bytes,
+                              ShardArrayKind kind) {
+  if (active_transfer_.active) {
+    if (active_transfer_.strategy == TransferStrategy::kPinned ||
+        active_transfer_.strategy == TransferStrategy::kManaged) {
+      copy_modeled(lane, device_dst, host_src, bytes);
+      return;
+    }
+    if (active_transfer_.strategy == TransferStrategy::kCompressed &&
+        kind != ShardArrayKind::kOpaque) {
+      const TransferPolicyEngine::ArrayCodec* codec =
+          xfer_.codec(active_transfer_.shard, kind);
+      if (codec != nullptr && codec->use) {
+        copy_compressed(lane, device_dst, bytes, kind, *codec);
+        return;
+      }
+    }
+  }
   // SSD-backed host (§8(2)): the spilled fraction of this upload is
   // first faulted in from disk before the copy can start.
   const double spill_seconds =
@@ -188,6 +224,93 @@ void EngineCore::copy_to_slot(SlotLane& lane, void* device_dst,
         static_cast<double>(bytes) * host_spill_fraction_));
   ring_.copy_to_lane(*device_, lane, device_dst, host_src, bytes,
                      options_.async_spray, spill_seconds);
+}
+
+void EngineCore::copy_modeled(SlotLane& lane, void* device_dst,
+                              const void* host_src, std::uint64_t bytes) {
+  // Apportion the visit's modeled link cost over its copies by raw-byte
+  // share; the running difference keeps the per-visit totals exact.
+  ActiveTransfer& t = active_transfer_;
+  t.raw_done += bytes;
+  SlotRing::ModeledCost cost;
+  if (t.raw_done >= t.raw_total) {
+    cost.link_bytes = t.link_bytes_total - t.link_bytes_done;
+    cost.seconds = t.link_seconds_total - t.link_seconds_done;
+  } else {
+    const double frac = static_cast<double>(t.raw_done) /
+                        static_cast<double>(t.raw_total);
+    cost.link_bytes =
+        static_cast<std::uint64_t>(
+            static_cast<double>(t.link_bytes_total) * frac) -
+        t.link_bytes_done;
+    cost.seconds = t.link_seconds_total * frac - t.link_seconds_done;
+  }
+  if (cost.seconds < 0.0) cost.seconds = 0.0;  // fp rounding guard
+  t.link_bytes_done += cost.link_bytes;
+  t.link_seconds_done += cost.seconds;
+  // Zero-copy reads touch only the charged link bytes on the host side,
+  // so the SSD fault-in covers that share rather than the raw buffer.
+  const double spill_seconds =
+      host_spill_fraction_ > 0.0
+          ? static_cast<double>(cost.link_bytes) * host_spill_fraction_ /
+                options_.disk_bandwidth
+          : 0.0;
+  if (run_obs_ && host_spill_fraction_ > 0.0)
+    run_obs_->add_host_spill_bytes(static_cast<std::uint64_t>(
+        static_cast<double>(cost.link_bytes) * host_spill_fraction_));
+  ring_.copy_to_lane(*device_, lane, device_dst, host_src, bytes,
+                     options_.async_spray, spill_seconds, &cost);
+}
+
+void EngineCore::copy_compressed(
+    SlotLane& lane, void* device_dst, std::uint64_t bytes,
+    ShardArrayKind kind, const TransferPolicyEngine::ArrayCodec& codec) {
+  GR_CHECK_MSG(bytes == codec.raw_bytes,
+               "compressed transfer size mismatch: copy of "
+                   << bytes << " B vs codec raw " << codec.raw_bytes);
+  GR_CHECK(lane.index < staging_.size());
+  const std::uint64_t blob_bytes = codec.blob.size();
+  ActiveTransfer& t = active_transfer_;
+  GR_CHECK(t.staging_cursor + blob_bytes <= staging_[lane.index].size());
+  std::uint8_t* staging = staging_[lane.index].data() + t.staging_cursor;
+  t.staging_cursor += blob_bytes;
+
+  // Ship the blob through the normal spray protocol (only blob-sized
+  // host bytes exist, so the SSD spill is charged on the blob too)...
+  const double spill_seconds =
+      host_spill_fraction_ > 0.0
+          ? static_cast<double>(blob_bytes) * host_spill_fraction_ /
+                options_.disk_bandwidth
+          : 0.0;
+  if (run_obs_ && host_spill_fraction_ > 0.0)
+    run_obs_->add_host_spill_bytes(static_cast<std::uint64_t>(
+        static_cast<double>(blob_bytes) * host_spill_fraction_));
+  ring_.copy_to_lane(*device_, lane, staging, codec.blob.data(), blob_bytes,
+                     options_.async_spray, spill_seconds);
+
+  // ...then decode on the lane stream: stream order puts the kernel
+  // after the blob copy (the sprayed copy's done-event gates the lane
+  // stream), so the functional decode reads settled staging bytes.
+  vgpu::KernelCost cost;
+  cost.threads = codec.elements;
+  cost.flops_per_thread = options_.device.varint_decode_flops_per_element;
+  cost.sequential_bytes = blob_bytes + bytes;
+  const std::uint64_t elements = codec.elements;
+  if (kind == ShardArrayKind::kInSrc || kind == ShardArrayKind::kOutDst) {
+    auto* out = static_cast<std::uint32_t*>(device_dst);
+    device_->launch(*lane.stream, cost,
+                    [staging, blob_bytes, out, elements] {
+                      graph::delta_varint_decode(staging, blob_bytes, out,
+                                                 elements);
+                    });
+  } else {
+    auto* out = static_cast<std::uint64_t*>(device_dst);
+    device_->launch(*lane.stream, cost,
+                    [staging, blob_bytes, out, elements] {
+                      graph::delta_varint_decode(staging, blob_bytes, out,
+                                                 elements);
+                    });
+  }
 }
 
 std::uint64_t EngineCore::shard_group_bytes(std::uint32_t p,
@@ -223,10 +346,23 @@ void EngineCore::process_pass(ProgramHooks& hooks, const Pass& pass,
   if (pass.needs_out_edges) requested |= kGroupOutTopology;
 
   for (std::uint32_t p : active_shards) {
-    ShardVisit visit = cache_.begin_visit(p, requested);
-    SlotLane& lane = ring_.lane(visit.lane);
     const ShardWork work = plan_shard_work(graph_, *frontier_,
                                            options_.frontier_management, p);
+    // Transfer-strategy decision before the visit commits: the chooser
+    // sees the load begin_visit will produce (requested minus the cached
+    // valid groups) plus the cache's admission answer, all pure host
+    // state — so choosing never perturbs the simulated timeline.
+    TransferDecision decision =
+        xfer_.decide(p, requested & ~cache_.valid_groups(p), work,
+                     cache_.is_cached(p), cache_.can_admit(p, requested));
+    const bool zero_copy =
+        decision.strategy == TransferStrategy::kPinned ||
+        decision.strategy == TransferStrategy::kManaged;
+    ShardVisit visit =
+        cache_.begin_visit(p, requested, /*allow_admission=*/!zero_copy);
+    GR_CHECK_MSG(visit.load == decision.load,
+                 "transfer decision/visit load mismatch on shard " << p);
+    SlotLane& lane = ring_.lane(visit.lane);
 
     for_observers([&](ExecutionObserver& o) { o.on_shard_begin(pass, p); });
     if (visit.evicted() && visit.writeback != 0) {
@@ -236,10 +372,22 @@ void EngineCore::process_pass(ProgramHooks& hooks, const Pass& pass,
       hooks.writeback_evicted(visit.evicted_shard, lane, visit.writeback);
       ring_.finish_shard(dev, lane, options_.async_spray);
     }
+    active_transfer_ = {};
+    active_transfer_.strategy = decision.strategy;
+    active_transfer_.shard = p;
+    active_transfer_.raw_total = decision.raw_bytes;
+    active_transfer_.link_bytes_total = decision.link_bytes;
+    active_transfer_.link_seconds_total = decision.est_seconds;
+    active_transfer_.active =
+        zero_copy || decision.strategy == TransferStrategy::kCompressed;
     hooks.upload_shard(pass, p, lane, visit.load);
+    active_transfer_.active = false;
     cache_.complete_visit(visit);
     visit.hit_bytes = shard_group_bytes(p, visit.hit);
     bytes_h2d_saved_ += visit.hit_bytes;
+    if (decision.strategy == TransferStrategy::kSkipped)
+      decision.raw_bytes = visit.hit_bytes;  // what the hit avoided
+    add_transfer_stats(decision, visit.hit_bytes);
     hooks.before_kernels(pass, p, lane);
     hooks.enqueue_kernels(pass, p, lane, iteration, work);
     hooks.after_kernels(pass, p, lane);
@@ -250,12 +398,41 @@ void EngineCore::process_pass(ProgramHooks& hooks, const Pass& pass,
         [&](ExecutionObserver& o) { o.on_shard_enqueued(pass, p, work); });
     for_observers(
         [&](ExecutionObserver& o) { o.on_shard_residency(pass, visit); });
+    for_observers(
+        [&](ExecutionObserver& o) { o.on_shard_transfer(pass, decision); });
   }
   dev.synchronize();  // BSP barrier between passes
   // The scatter round trip rewrote the host-canonical edge state; any
   // cached device copy of it is stale from here on (defensive — the
   // group is not cacheable for scatter programs in the first place).
   if (pass.scatter_round_trip) cache_.invalidate_all(kGroupEdgeState);
+}
+
+void EngineCore::add_transfer_stats(const TransferDecision& decision,
+                                    std::uint64_t hit_bytes) {
+  TransferStats& s = transfer_stats_;
+  switch (decision.strategy) {
+    case TransferStrategy::kSkipped:
+      ++s.skipped_shards;
+      s.skipped_bytes += hit_bytes;
+      break;
+    case TransferStrategy::kExplicit:
+      ++s.explicit_shards;
+      s.explicit_bytes += decision.link_bytes;
+      break;
+    case TransferStrategy::kCompressed:
+      ++s.compressed_shards;
+      s.compressed_bytes += decision.link_bytes;
+      break;
+    case TransferStrategy::kPinned:
+      ++s.pinned_shards;
+      s.pinned_bytes += decision.link_bytes;
+      break;
+    case TransferStrategy::kManaged:
+      ++s.managed_shards;
+      s.managed_bytes += decision.link_bytes;
+      break;
+  }
 }
 
 void EngineCore::run_iteration(ProgramHooks& hooks, std::uint32_t iteration,
@@ -424,6 +601,13 @@ RunReport EngineCore::run(ProgramHooks& hooks, const InitialFrontier& seed,
   report.cache_evictions = cache_stats.evictions;
   report.cache_writebacks = cache_stats.writebacks;
   report.bytes_h2d_saved = bytes_h2d_saved_;
+  // Every scheduled visit must land in exactly one strategy bucket.
+  GR_CHECK_MSG(transfer_stats_.total_shards() == cache_stats.shard_visits,
+               "per-strategy transfer counters ("
+                   << transfer_stats_.total_shards()
+                   << ") do not account for all "
+                   << cache_stats.shard_visits << " shard visits");
+  report.transfer = transfer_stats_;
   for_observers([&](ExecutionObserver& o) { o.on_run_end(report); });
   if (run_obs_) run_obs_->finalize(report);
   return report;

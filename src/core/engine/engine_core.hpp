@@ -33,6 +33,7 @@
 #include "core/engine/shard_cache.hpp"
 #include "core/engine/slot_ring.hpp"
 #include "core/engine/transfer_plan.hpp"
+#include "core/engine/transfer_policy.hpp"
 #include "core/frontier.hpp"
 #include "core/gas.hpp"
 #include "core/options.hpp"
@@ -138,6 +139,8 @@ class EngineCore : util::NonCopyable {
   const ResidencyPlan& residency_plan() const { return residency_; }
   ShardCache& shard_cache() { return cache_; }
   const ShardCache& shard_cache() const { return cache_; }
+  /// The hybrid transfer chooser (tests, introspection).
+  const TransferPolicyEngine& transfer_engine() const { return xfer_; }
   double host_spill_fraction() const { return host_spill_fraction_; }
   bool uses_in_edges() const { return uses_in_edges_; }
 
@@ -149,14 +152,23 @@ class EngineCore : util::NonCopyable {
   }
   std::uint8_t* changed_device() { return d_changed_.data(); }
 
-  /// Allocates the frontier bitmaps + changed flags (called from the
-  /// typed layer's allocate_device_state, preserving allocation order).
+  /// Allocates the frontier bitmaps + changed flags, plus the per-lane
+  /// compressed-shard staging buffers when the transfer policy built any
+  /// blobs (called from the typed layer's allocate_device_state,
+  /// preserving allocation order).
   void allocate_frontier_state();
 
   /// Issues one H2D copy into a lane buffer, paying the SSD fault-in
   /// for the spilled host fraction and spraying across the pool (§5.1).
+  /// `kind` names the shard array being delivered; during a compressed
+  /// visit the matching arrays ship as delta+varint blobs plus an SMX
+  /// decode kernel, and during a pinned/managed visit every copy's link
+  /// cost is replaced by its share of the visit's modeled zero-copy
+  /// cost. kOpaque (or an explicit visit) is the classic DMA path,
+  /// byte-identical to the pre-hybrid engine.
   void copy_to_slot(SlotLane& lane, void* device_dst, const void* host_src,
-                    std::uint64_t bytes);
+                    std::uint64_t bytes,
+                    ShardArrayKind kind = ShardArrayKind::kOpaque);
 
  private:
   void plan_partitions(const graph::EdgeList& edges);
@@ -173,6 +185,14 @@ class EngineCore : util::NonCopyable {
   void process_pass(ProgramHooks& hooks, const Pass& pass,
                     std::uint32_t iteration,
                     std::span<const std::uint32_t> active_shards);
+  /// copy_to_slot back-halves for non-explicit visits.
+  void copy_modeled(SlotLane& lane, void* device_dst, const void* host_src,
+                    std::uint64_t bytes);
+  void copy_compressed(SlotLane& lane, void* device_dst,
+                       std::uint64_t bytes, ShardArrayKind kind,
+                       const TransferPolicyEngine::ArrayCodec& codec);
+  void add_transfer_stats(const TransferDecision& decision,
+                          std::uint64_t hit_bytes);
 
   /// Applies `fn` to every attached engine observer (the run's
   /// observability bundle first, then the external observer).
@@ -197,6 +217,30 @@ class EngineCore : util::NonCopyable {
 
   SlotRing ring_;
   ShardCache cache_;
+  TransferPolicy transfer_policy_ = TransferPolicy::kExplicit;
+  TransferPolicyEngine xfer_;
+  TransferStats transfer_stats_;
+  /// Per-lane device staging for compressed blobs (empty unless the
+  /// configured policy built any); indexed by SlotLane::index.
+  std::vector<vgpu::DeviceBuffer<std::uint8_t>> staging_;
+  /// The in-flight visit's transfer state, consulted by copy_to_slot
+  /// between upload_shard entry and exit (driver thread only).
+  struct ActiveTransfer {
+    bool active = false;
+    TransferStrategy strategy = TransferStrategy::kExplicit;
+    std::uint32_t shard = 0;
+    // Pinned/managed: proportional apportionment of the visit's modeled
+    // link cost over its copies (exact totals by construction).
+    std::uint64_t raw_total = 0;
+    std::uint64_t raw_done = 0;
+    std::uint64_t link_bytes_total = 0;
+    std::uint64_t link_bytes_done = 0;
+    double link_seconds_total = 0.0;
+    double link_seconds_done = 0.0;
+    // Compressed: write offset into the lane's staging buffer.
+    std::uint64_t staging_cursor = 0;
+  };
+  ActiveTransfer active_transfer_;
   ExecutionObserver* observer_ = nullptr;
   std::unique_ptr<obs::RunObservability> run_obs_;
 

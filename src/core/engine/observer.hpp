@@ -17,6 +17,7 @@
 
 #include "core/engine/shard_cache.hpp"
 #include "core/engine/transfer_plan.hpp"
+#include "core/engine/transfer_policy.hpp"
 #include "core/options.hpp"
 #include "core/phase_plan.hpp"
 
@@ -52,6 +53,12 @@ class ExecutionObserver {
   /// fired right after the matching on_shard_enqueued.
   virtual void on_shard_residency(const Pass& /*pass*/,
                                   const ShardVisit& /*visit*/) {}
+  /// The transfer-strategy decision for the same visit
+  /// (explicit/compressed/pinned/managed/skipped), fired right after the
+  /// matching on_shard_residency. Every scheduled shard visit produces
+  /// exactly one of these under every transfer policy.
+  virtual void on_shard_transfer(const Pass& /*pass*/,
+                                 const TransferDecision& /*decision*/) {}
   virtual void on_pass_end(const Pass& /*pass*/,
                            std::uint32_t /*iteration*/) {}
   virtual void on_iteration_end(const IterationStats& /*stats*/) {}

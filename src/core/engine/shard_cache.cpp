@@ -29,7 +29,7 @@ void ShardCache::begin_iteration(std::span<const std::uint32_t> active_shards) {
   }
 }
 
-std::uint32_t ShardCache::pick_slot() {
+std::uint32_t ShardCache::pick_slot() const {
   // Free lanes first, lowest index (deterministic), then the
   // least-recently-used lane among frontier-inactive occupants. Active
   // occupants are never displaced: evicting a shard the frontier will
@@ -49,8 +49,18 @@ std::uint32_t ShardCache::pick_slot() {
   return victim;
 }
 
+bool ShardCache::can_admit(std::uint32_t shard,
+                           ResidencyGroups requested) const {
+  if (shard >= shard_entry_.size()) return false;
+  if (shard_entry_[shard] != ShardVisit::kNone) return false;  // cached
+  if (plan_.cache_slots == 0 || plan_.fully_resident) return false;
+  if ((requested & plan_.cacheable) == 0) return false;
+  return pick_slot() != ShardVisit::kNone;
+}
+
 ShardVisit ShardCache::begin_visit(std::uint32_t shard,
-                                   ResidencyGroups requested) {
+                                   ResidencyGroups requested,
+                                   bool allow_admission) {
   GR_CHECK_MSG(shard < plan_.partitions, "shard out of range");
   ShardVisit visit;
   visit.shard = shard;
@@ -59,8 +69,8 @@ ShardVisit ShardCache::begin_visit(std::uint32_t shard,
   ++stats_.shard_visits;
 
   std::uint32_t entry_index = shard_entry_[shard];
-  if (entry_index == ShardVisit::kNone && plan_.cache_slots > 0 &&
-      !plan_.fully_resident) {
+  if (entry_index == ShardVisit::kNone && allow_admission &&
+      plan_.cache_slots > 0 && !plan_.fully_resident) {
     // Admission: only worthwhile if at least one requested group can
     // persist for later visits.
     if ((requested & plan_.cacheable) != 0) {

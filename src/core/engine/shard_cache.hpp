@@ -138,7 +138,17 @@ class ShardCache : util::NonCopyable {
 
   /// Decides how one shard visit is served. Deterministic; must be
   /// followed by complete_visit once the uploads were issued.
-  ShardVisit begin_visit(std::uint32_t shard, ResidencyGroups requested);
+  /// `allow_admission = false` suppresses admitting an uncached shard
+  /// into a cache lane (zero-copy transfer strategies must not occupy
+  /// one); hits on already-cached shards are still served.
+  ShardVisit begin_visit(std::uint32_t shard, ResidencyGroups requested,
+                         bool allow_admission = true);
+
+  /// Would begin_visit admit this uncached shard into a cache lane?
+  /// (False for cached shards, cacheless/fully-resident plans, and when
+  /// every lane holds a pinned or frontier-active occupant.) Pure — the
+  /// transfer-policy chooser calls it before committing to a strategy.
+  bool can_admit(std::uint32_t shard, ResidencyGroups requested) const;
 
   /// Marks the visit's loaded cacheable groups valid for future visits.
   void complete_visit(const ShardVisit& visit);
@@ -182,7 +192,7 @@ class ShardCache : util::NonCopyable {
   /// Entry index to (re)use for an admission, or kNone when every lane
   /// is occupied by a pinned or frontier-active shard (thrash guard:
   /// the visit then streams through the modulo ring instead).
-  std::uint32_t pick_slot();
+  std::uint32_t pick_slot() const;
 
   ResidencyPlan plan_;
   std::vector<Entry> entries_;              // one per cache lane

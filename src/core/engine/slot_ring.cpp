@@ -63,8 +63,17 @@ void SlotRing::create_spray_streams(vgpu::Device& device, bool async,
 void SlotRing::copy_to_lane(vgpu::Device& device, SlotLane& lane,
                             void* device_dst, const void* host_src,
                             std::uint64_t bytes, bool spray,
-                            double spill_seconds) {
+                            double spill_seconds,
+                            const ModeledCost* modeled) {
   const bool can_spray = spray && !spray_streams_.empty();
+  const auto issue_copy = [&](vgpu::Stream& stream) {
+    if (modeled != nullptr) {
+      device.memcpy_h2d_modeled(stream, device_dst, host_src, bytes,
+                                modeled->link_bytes, modeled->seconds);
+    } else {
+      device.memcpy_h2d(stream, device_dst, host_src, bytes);
+    }
+  };
   if (spill_seconds > 0.0 && bytes > 0) {
     device.host_task(*lane.stream, spill_seconds, {});
     if (can_spray) {
@@ -74,7 +83,7 @@ void SlotRing::copy_to_lane(vgpu::Device& device, SlotLane& lane,
     }
   }
   if (!can_spray) {
-    device.memcpy_h2d(*lane.stream, device_dst, host_src, bytes);
+    issue_copy(*lane.stream);
     return;
   }
   // Spray: issue the deep copy on a dynamically selected stream, gated
@@ -83,7 +92,7 @@ void SlotRing::copy_to_lane(vgpu::Device& device, SlotLane& lane,
       *spray_streams_[spray_cursor_++ % spray_streams_.size()];
   if (lane.free_event != nullptr)
     device.wait_event(spray_stream, *lane.free_event);
-  device.memcpy_h2d(spray_stream, device_dst, host_src, bytes);
+  issue_copy(spray_stream);
   vgpu::Event& done = device.create_event();
   device.record_event(spray_stream, done);
   device.wait_event(*lane.stream, done);

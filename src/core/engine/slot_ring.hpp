@@ -90,16 +90,27 @@ class SlotRing : util::NonCopyable {
   /// Round-robin position of the next sprayed copy (testing/telemetry).
   std::size_t spray_cursor() const { return spray_cursor_; }
 
+  /// Externally modeled link cost of one copy (hybrid transfer
+  /// policies): the DMA engine is charged `seconds` and the stats/trace
+  /// record `link_bytes`, while the functional payload is still the full
+  /// buffer (vgpu::Device::memcpy_h2d_modeled).
+  struct ModeledCost {
+    std::uint64_t link_bytes = 0;
+    double seconds = 0.0;
+  };
+
   /// Issues one host-to-device copy into a lane's buffer.
   /// `spill_seconds` > 0 first serializes an SSD fault-in of that
   /// duration on the lane stream (the disk is one device, not one per
   /// spray stream) and gates the sprayed copy through the lane's
   /// free-event chain. With spraying the copy itself lands on the next
   /// spray stream, waits for the lane to be free, and the lane stream
-  /// waits for its completion.
+  /// waits for its completion. A non-null `modeled` overrides the copy's
+  /// link accounting (same stream/event protocol, modeled duration).
   void copy_to_lane(vgpu::Device& device, SlotLane& lane, void* device_dst,
                     const void* host_src, std::uint64_t bytes, bool spray,
-                    double spill_seconds);
+                    double spill_seconds,
+                    const ModeledCost* modeled = nullptr);
 
   /// Marks the lane's buffers free for the next shard in async mode
   /// (records the free event); drains the device otherwise.

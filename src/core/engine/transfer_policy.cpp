@@ -1,0 +1,343 @@
+#include "core/engine/transfer_policy.hpp"
+
+#include <cmath>
+
+#include "graph/shard_codec.hpp"
+#include "util/common.hpp"
+#include "vgpu/kernel.hpp"
+
+namespace gr::core {
+
+TransferPolicy parse_transfer_policy(const std::string& name) {
+  if (name == "auto") return TransferPolicy::kAuto;
+  if (name == "explicit") return TransferPolicy::kExplicit;
+  if (name == "pinned") return TransferPolicy::kPinned;
+  if (name == "managed") return TransferPolicy::kManaged;
+  GR_CHECK_MSG(false, "unknown transfer policy '"
+                          << name
+                          << "' (expected auto|explicit|pinned|managed)");
+  return TransferPolicy::kExplicit;
+}
+
+const char* transfer_policy_name(TransferPolicy policy) {
+  switch (policy) {
+    case TransferPolicy::kAuto: return "auto";
+    case TransferPolicy::kExplicit: return "explicit";
+    case TransferPolicy::kPinned: return "pinned";
+    case TransferPolicy::kManaged: return "managed";
+  }
+  return "?";
+}
+
+const char* transfer_strategy_name(TransferStrategy strategy) {
+  switch (strategy) {
+    case TransferStrategy::kSkipped: return "skipped";
+    case TransferStrategy::kExplicit: return "explicit";
+    case TransferStrategy::kCompressed: return "compressed";
+    case TransferStrategy::kPinned: return "pinned";
+    case TransferStrategy::kManaged: return "managed";
+  }
+  return "?";
+}
+
+double explicit_link_seconds(const vgpu::DeviceConfig& config,
+                             std::uint64_t bytes) {
+  return static_cast<double>(bytes) /
+         (config.pcie_bandwidth * config.dma_efficiency);
+}
+
+LinkCost pinned_link_cost(const vgpu::DeviceConfig& config,
+                          std::uint64_t accesses) {
+  LinkCost cost;
+  const double a = static_cast<double>(accesses);
+  cost.link_bytes = static_cast<std::uint64_t>(
+      a * config.pinned_random_txn_bytes);
+  // Round-trip latency amortized over the outstanding-transaction window,
+  // plus the transaction traffic itself on the link.
+  cost.seconds = a * config.pcie_round_trip / config.pinned_random_mlp +
+                 a * config.pinned_random_txn_bytes / config.pcie_bandwidth;
+  return cost;
+}
+
+LinkCost managed_link_cost(const vgpu::DeviceConfig& config,
+                           std::uint64_t buffer_bytes,
+                           std::uint64_t accesses) {
+  LinkCost cost;
+  if (buffer_bytes == 0 || accesses == 0) return cost;
+  const double pages = std::ceil(static_cast<double>(buffer_bytes) /
+                                 config.managed_page_bytes);
+  // Expected number of distinct pages hit by `accesses` uniform touches
+  // (coupon collector): pages * (1 - (1 - 1/pages)^accesses).
+  const double miss_prob = std::pow(1.0 - 1.0 / pages,
+                                    static_cast<double>(accesses));
+  const double distinct = pages * (1.0 - miss_prob);
+  cost.link_bytes =
+      static_cast<std::uint64_t>(distinct * config.managed_page_bytes);
+  cost.seconds = distinct * (config.managed_fault_latency +
+                             config.managed_page_bytes /
+                                 config.pcie_bandwidth);
+  return cost;
+}
+
+double varint_decode_seconds(const vgpu::DeviceConfig& config,
+                             std::uint64_t elements,
+                             std::uint64_t blob_bytes,
+                             std::uint64_t raw_bytes) {
+  vgpu::KernelCost cost;
+  cost.threads = elements;
+  cost.flops_per_thread = config.varint_decode_flops_per_element;
+  cost.sequential_bytes = blob_bytes + raw_bytes;  // read blob, write raw
+  return config.kernel_launch_latency +
+         cost.work_seconds(config) / cost.rate_cap(config);
+}
+
+namespace {
+
+// Mirrors EngineCore::shard_group_bytes / TypedEngineState::upload_shard:
+// the exact byte counts of the arrays each buffer group streams.
+std::uint64_t in_group_bytes(const ShardTopology& shard) {
+  return (static_cast<std::uint64_t>(shard.interval.size()) + 1) *
+             sizeof(graph::EdgeId) +
+         shard.in_edge_count() * sizeof(graph::VertexId);
+}
+
+std::uint64_t state_group_bytes(const ShardTopology& shard,
+                                const ProgramFootprint& footprint) {
+  return shard.in_edge_count() *
+         static_cast<std::uint64_t>(footprint.edge_state_bytes);
+}
+
+std::uint64_t out_group_bytes(const ShardTopology& shard,
+                              const ProgramFootprint& footprint) {
+  std::uint64_t bytes =
+      (static_cast<std::uint64_t>(shard.interval.size()) + 1) *
+          sizeof(graph::EdgeId) +
+      shard.out_edge_count() * sizeof(graph::VertexId);
+  if (footprint.has_scatter) {
+    bytes += shard.out_edge_count() * sizeof(graph::EdgeId);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+void TransferPolicyEngine::configure(TransferPolicy policy,
+                                     const PartitionedGraph& graph,
+                                     const ProgramFootprint& footprint,
+                                     const vgpu::DeviceConfig& config,
+                                     const ResidencyPlan& residency) {
+  policy_ = policy;
+  config_ = config;
+  has_scatter_ = footprint.has_scatter;
+  fully_resident_ = residency.fully_resident;
+  staging_bytes_ = 0;
+  shards_.assign(graph.num_shards(), ShardEntry{});
+
+  const bool compress =
+      policy == TransferPolicy::kAuto && !residency.fully_resident;
+  for (std::uint32_t p = 0; p < graph.num_shards(); ++p) {
+    const ShardTopology& shard = graph.shard(p);
+    ShardEntry& entry = shards_[p];
+    entry.in_bytes = in_group_bytes(shard);
+    entry.state_bytes = state_group_bytes(shard, footprint);
+    entry.out_bytes = out_group_bytes(shard, footprint);
+    if (!compress) continue;
+
+    const auto build = [&](ShardArrayKind kind, std::uint64_t elements,
+                           std::size_t elem_size, auto encode) {
+      ArrayCodec& codec = entry.codecs[static_cast<int>(kind) - 1];
+      codec.elements = elements;
+      codec.raw_bytes = elements * elem_size;
+      codec.blob = encode();
+      codec.decode_seconds = varint_decode_seconds(
+          config, elements, codec.blob.size(), codec.raw_bytes);
+      // Ship the blob only when it is strictly smaller AND the blob link
+      // time plus the decode kernel beats the raw link time — a static
+      // per-array decision, so tiny arrays never eat the 8 us launch.
+      codec.use =
+          codec.blob.size() < codec.raw_bytes &&
+          explicit_link_seconds(config, codec.blob.size()) +
+                  codec.decode_seconds <
+              explicit_link_seconds(config, codec.raw_bytes);
+      if (!codec.use) codec.blob = {};  // don't hold dead blobs
+    };
+
+    build(ShardArrayKind::kInOffsets, shard.in_offsets.size(),
+          sizeof(graph::EdgeId), [&] {
+            return graph::delta_varint_encode(shard.in_offsets.data(),
+                                              shard.in_offsets.size());
+          });
+    build(ShardArrayKind::kInSrc, shard.in_src.size(),
+          sizeof(graph::VertexId), [&] {
+            return graph::delta_varint_encode(shard.in_src.data(),
+                                              shard.in_src.size());
+          });
+    build(ShardArrayKind::kOutOffsets, shard.out_offsets.size(),
+          sizeof(graph::EdgeId), [&] {
+            return graph::delta_varint_encode(shard.out_offsets.data(),
+                                              shard.out_offsets.size());
+          });
+    build(ShardArrayKind::kOutDst, shard.out_dst.size(),
+          sizeof(graph::VertexId), [&] {
+            return graph::delta_varint_encode(shard.out_dst.data(),
+                                              shard.out_dst.size());
+          });
+    if (footprint.has_scatter) {
+      build(ShardArrayKind::kOutPos, shard.out_canonical_pos.size(),
+            sizeof(graph::EdgeId), [&] {
+              return graph::delta_varint_encode(
+                  shard.out_canonical_pos.data(),
+                  shard.out_canonical_pos.size());
+            });
+    }
+
+    std::uint64_t shard_staging = 0;
+    for (const ArrayCodec& codec : entry.codecs) {
+      if (codec.use) shard_staging += codec.blob.size();
+    }
+    if (shard_staging > staging_bytes_) staging_bytes_ = shard_staging;
+  }
+}
+
+std::uint64_t TransferPolicyEngine::group_bytes(
+    std::uint32_t shard, ResidencyGroups groups) const {
+  const ShardEntry& entry = shards_[shard];
+  std::uint64_t bytes = 0;
+  if (groups & kGroupInTopology) bytes += entry.in_bytes;
+  if (groups & kGroupEdgeState) bytes += entry.state_bytes;
+  if (groups & kGroupOutTopology) bytes += entry.out_bytes;
+  return bytes;
+}
+
+std::uint64_t TransferPolicyEngine::accesses_for(
+    ResidencyGroups load, const ShardWork& work) const {
+  // Touched elements per group under zero-copy delivery: each active
+  // in-/out-edge reads one topology element, each active vertex reads
+  // its offset pair.
+  std::uint64_t accesses = 0;
+  if (load & kGroupInTopology) {
+    accesses += work.active_in_edges + work.active_vertices + 1;
+  }
+  if (load & kGroupEdgeState) accesses += work.active_in_edges;
+  if (load & kGroupOutTopology) {
+    accesses += work.active_out_edges + work.active_vertices + 1;
+    if (has_scatter_) accesses += work.active_out_edges;
+  }
+  return accesses;
+}
+
+LinkCost TransferPolicyEngine::compressed_cost(const ShardEntry& entry,
+                                               ResidencyGroups load,
+                                               bool* any_compressed) const {
+  LinkCost cost;
+  *any_compressed = false;
+  const auto add_array = [&](ShardArrayKind kind) {
+    const ArrayCodec& codec = entry.codecs[static_cast<int>(kind) - 1];
+    if (codec.use) {
+      cost.link_bytes += codec.blob.size();
+      cost.seconds += explicit_link_seconds(config_, codec.blob.size()) +
+                      codec.decode_seconds;
+      *any_compressed = true;
+    } else {
+      cost.link_bytes += codec.raw_bytes;
+      cost.seconds += explicit_link_seconds(config_, codec.raw_bytes);
+    }
+  };
+  if (load & kGroupInTopology) {
+    add_array(ShardArrayKind::kInOffsets);
+    add_array(ShardArrayKind::kInSrc);
+  }
+  if (load & kGroupEdgeState) {
+    cost.link_bytes += entry.state_bytes;
+    cost.seconds += explicit_link_seconds(config_, entry.state_bytes);
+  }
+  if (load & kGroupOutTopology) {
+    add_array(ShardArrayKind::kOutOffsets);
+    add_array(ShardArrayKind::kOutDst);
+    if (has_scatter_) add_array(ShardArrayKind::kOutPos);
+  }
+  return cost;
+}
+
+TransferDecision TransferPolicyEngine::decide(std::uint32_t shard,
+                                              ResidencyGroups load,
+                                              const ShardWork& work,
+                                              bool is_cached,
+                                              bool can_admit) const {
+  GR_CHECK(shard < shards_.size());
+  const ShardEntry& entry = shards_[shard];
+
+  TransferDecision d;
+  d.shard = shard;
+  d.load = load;
+  d.raw_bytes = group_bytes(shard, load);
+  if (load == 0) {
+    d.strategy = TransferStrategy::kSkipped;
+    return d;
+  }
+  d.est_explicit_seconds = explicit_link_seconds(config_, d.raw_bytes);
+  d.strategy = TransferStrategy::kExplicit;
+  d.link_bytes = d.raw_bytes;
+  d.est_seconds = d.est_explicit_seconds;
+
+  // Fully-resident plans upload each shard once into its pinned lane —
+  // nothing to trade, regardless of the requested policy.
+  if (fully_resident_ || policy_ == TransferPolicy::kExplicit) return d;
+
+  if (policy_ == TransferPolicy::kPinned) {
+    const LinkCost cost = pinned_link_cost(config_, accesses_for(load, work));
+    d.strategy = TransferStrategy::kPinned;
+    d.link_bytes = cost.link_bytes;
+    d.est_seconds = cost.seconds;
+    return d;
+  }
+  if (policy_ == TransferPolicy::kManaged) {
+    const LinkCost cost = managed_link_cost(config_, d.raw_bytes,
+                                            accesses_for(load, work));
+    d.strategy = TransferStrategy::kManaged;
+    d.link_bytes = cost.link_bytes;
+    d.est_seconds = cost.seconds;
+    return d;
+  }
+
+  // kAuto: compression-aware explicit is always a candidate...
+  bool any_compressed = false;
+  const LinkCost comp = compressed_cost(entry, load, &any_compressed);
+  if (any_compressed && comp.seconds < d.est_seconds) {
+    d.strategy = TransferStrategy::kCompressed;
+    d.link_bytes = comp.link_bytes;
+    d.est_seconds = comp.seconds;
+  }
+
+  // ...while zero-copy competes only for visits the cache neither serves
+  // nor would admit: the cache's admission/eviction sequence — and with
+  // it every other visit's load — stays identical to an explicit run.
+  if (!is_cached && !can_admit) {
+    const std::uint64_t accesses = accesses_for(load, work);
+    const LinkCost pinned = pinned_link_cost(config_, accesses);
+    if (pinned.link_bytes <= d.raw_bytes && pinned.seconds < d.est_seconds) {
+      d.strategy = TransferStrategy::kPinned;
+      d.link_bytes = pinned.link_bytes;
+      d.est_seconds = pinned.seconds;
+    }
+    const LinkCost managed =
+        managed_link_cost(config_, d.raw_bytes, accesses);
+    if (managed.link_bytes <= d.raw_bytes &&
+        managed.seconds < d.est_seconds) {
+      d.strategy = TransferStrategy::kManaged;
+      d.link_bytes = managed.link_bytes;
+      d.est_seconds = managed.seconds;
+    }
+  }
+  return d;
+}
+
+const TransferPolicyEngine::ArrayCodec* TransferPolicyEngine::codec(
+    std::uint32_t shard, ShardArrayKind kind) const {
+  if (kind == ShardArrayKind::kOpaque || shard >= shards_.size()) {
+    return nullptr;
+  }
+  return &shards_[shard].codecs[static_cast<int>(kind) - 1];
+}
+
+}  // namespace gr::core

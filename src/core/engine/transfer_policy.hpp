@@ -1,0 +1,205 @@
+// Hybrid per-shard transfer management (DESIGN.md §3c).
+//
+// The engine used to move every scheduled shard the same way: explicit
+// DMA of the full (cache-adjusted) load. But the paper's own Figure 4
+// study — and HyTGraph's headline result — show the best link strategy
+// depends on access density: a shard whose frontier touches a handful
+// of edges is cheaper to read in place over PCIe (zero-copy pinned
+// transactions) than to bulk-transfer, while a dense shard benefits
+// from *compressing* the topology on the link and decoding on the SMXs.
+//
+// TransferPolicyEngine fuses the three analytic link models
+// (vgpu/mem_model.hpp), the frontier's per-shard active counts
+// (TransferPlan/ShardWork), and the residency cache's admission state
+// into one per-shard-per-iteration decision:
+//
+//   kSkipped    — every requested group is device-resident (cache hit);
+//   kExplicit   — classic DMA of the raw arrays (the old global mode);
+//   kCompressed — explicit DMA of delta+varint blobs (graph/shard_codec)
+//                 plus an SMX decode kernel; chosen per *array* when
+//                 blob-link + decode beats raw-link;
+//   kPinned     — zero-copy delivery charged per touched edge
+//                 (pcie_round_trip / pinned_random_mlp transactions);
+//   kManaged    — fault-driven page migration of the touched footprint.
+//
+// Every strategy delivers bit-identical data to the slot buffers — only
+// the simulated link occupancy differs — so algorithm results are
+// independent of the policy, and `transfer_policy = "explicit"`
+// degenerates to the pre-hybrid engine exactly (same ops, same bytes,
+// same timestamps).
+//
+// Zero-copy strategies are only considered for visits the cache would
+// NOT serve or admit (is_cached/can_admit false): a zero-copied shard
+// must not occupy a cache lane, and restricting the choice this way
+// keeps the cache's admission/eviction sequence identical to an
+// explicit run — which is what guarantees auto's total H2D bytes never
+// exceed explicit's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine/footprint.hpp"
+#include "core/engine/shard_cache.hpp"
+#include "core/engine/transfer_plan.hpp"
+#include "core/partition.hpp"
+#include "vgpu/config.hpp"
+
+namespace gr::core {
+
+/// The global policy knob (EngineOptions::transfer_policy).
+enum class TransferPolicy : std::uint8_t {
+  kAuto,      // per-shard cost-model choice (the tentpole)
+  kExplicit,  // always classic DMA — the pre-hybrid engine, bit-exact
+  kPinned,    // force zero-copy pinned delivery for every load
+  kManaged,   // force fault-driven page migration for every load
+};
+
+/// Parses "auto|explicit|pinned|managed"; GR_CHECK-fails otherwise.
+TransferPolicy parse_transfer_policy(const std::string& name);
+const char* transfer_policy_name(TransferPolicy policy);
+
+/// What actually happened to one shard visit.
+enum class TransferStrategy : std::uint8_t {
+  kSkipped,
+  kExplicit,
+  kCompressed,
+  kPinned,
+  kManaged,
+};
+const char* transfer_strategy_name(TransferStrategy strategy);
+
+/// One visit's transfer decision (also delivered to observers through
+/// ExecutionObserver::on_shard_transfer).
+struct TransferDecision {
+  std::uint32_t shard = 0;
+  TransferStrategy strategy = TransferStrategy::kExplicit;
+  /// Buffer groups this visit must deliver (0 = kSkipped).
+  ResidencyGroups load = 0;
+  /// H2D bytes an explicit transfer of `load` would stream (the engine
+  /// overwrites this with the avoided hit bytes for kSkipped visits).
+  std::uint64_t raw_bytes = 0;
+  /// Bytes charged on the PCIe link by the chosen strategy.
+  std::uint64_t link_bytes = 0;
+  /// Modeled link-delivery seconds of the chosen strategy.
+  double est_seconds = 0.0;
+  /// What plain explicit DMA would have cost (comparison baseline).
+  double est_explicit_seconds = 0.0;
+};
+
+/// Modeled link occupancy of one delivery technique.
+struct LinkCost {
+  std::uint64_t link_bytes = 0;
+  double seconds = 0.0;
+};
+
+// --- the analytic cost functions (unit-tested in isolation) ---
+
+/// Explicit DMA: bytes at dma-efficiency link bandwidth. Per-copy setup
+/// latencies cancel across strategies (every strategy issues the same
+/// copy ops), so the chooser compares pure durations.
+double explicit_link_seconds(const vgpu::DeviceConfig& config,
+                             std::uint64_t bytes);
+
+/// Zero-copy pinned delivery of `accesses` random touches: overlapped
+/// PCIe round trips plus transaction traffic. Monotone in `accesses`.
+LinkCost pinned_link_cost(const vgpu::DeviceConfig& config,
+                          std::uint64_t accesses);
+
+/// Managed paging: expected distinct pages touched by `accesses`
+/// uniform touches over `buffer_bytes` (coupon-collector), each paying
+/// a fault plus a page migration.
+LinkCost managed_link_cost(const vgpu::DeviceConfig& config,
+                           std::uint64_t buffer_bytes,
+                           std::uint64_t accesses);
+
+/// SMX decode-kernel duration for one delta+varint array (launch
+/// latency + rate-capped work), mirroring the device's kernel model.
+double varint_decode_seconds(const vgpu::DeviceConfig& config,
+                             std::uint64_t elements,
+                             std::uint64_t blob_bytes,
+                             std::uint64_t raw_bytes);
+
+/// Which shard array a copy_to_slot call is delivering — the seam the
+/// compressed path uses to substitute blob + decode for a raw copy.
+/// kOpaque (edge state, gather temps) is never compressed.
+enum class ShardArrayKind : std::uint8_t {
+  kOpaque,
+  kInOffsets,   // u64, monotone — compresses best
+  kInSrc,       // u32 neighbor ids
+  kOutOffsets,  // u64, monotone
+  kOutDst,      // u32 neighbor ids
+  kOutPos,      // u64 canonical routing positions (scatter only)
+};
+inline constexpr int kShardArrayKinds = 5;  // excluding kOpaque
+
+class TransferPolicyEngine {
+ public:
+  /// Per-array compressed form, decided statically per shard: `use` is
+  /// set when shipping the blob plus decoding beats the raw copy (and
+  /// the blob is strictly smaller).
+  struct ArrayCodec {
+    std::vector<std::uint8_t> blob;
+    std::uint64_t raw_bytes = 0;
+    std::uint64_t elements = 0;
+    double decode_seconds = 0.0;
+    bool use = false;
+  };
+
+  /// (Re)builds the per-shard byte/codec tables. Called whenever the
+  /// partitioning changes (engine initialize, OOM retries). Compressed
+  /// blobs are only built under kAuto on non-resident plans — every
+  /// other configuration never consults them.
+  void configure(TransferPolicy policy, const PartitionedGraph& graph,
+                 const ProgramFootprint& footprint,
+                 const vgpu::DeviceConfig& config,
+                 const ResidencyPlan& residency);
+
+  /// The per-visit decision. `load` is the cache-adjusted group mask
+  /// the visit must deliver; `work` the frontier's active counts;
+  /// `is_cached`/`can_admit` the residency cache's view of the shard.
+  TransferDecision decide(std::uint32_t shard, ResidencyGroups load,
+                          const ShardWork& work, bool is_cached,
+                          bool can_admit) const;
+
+  /// Codec of one shard array; nullptr when kind is kOpaque or nothing
+  /// was configured. The upload path substitutes the blob only when
+  /// codec->use is set.
+  const ArrayCodec* codec(std::uint32_t shard, ShardArrayKind kind) const;
+
+  /// Device staging bytes one lane needs for compressed blobs (the max
+  /// over shards of their used-blob total); 0 when compression is off.
+  std::uint64_t staging_bytes_per_lane() const { return staging_bytes_; }
+
+  TransferPolicy policy() const { return policy_; }
+
+  /// H2D bytes an explicit transfer of `groups` of `shard` streams
+  /// (same accounting as EngineCore::shard_group_bytes).
+  std::uint64_t group_bytes(std::uint32_t shard,
+                            ResidencyGroups groups) const;
+
+ private:
+  struct ShardEntry {
+    std::uint64_t in_bytes = 0;     // kGroupInTopology
+    std::uint64_t state_bytes = 0;  // kGroupEdgeState
+    std::uint64_t out_bytes = 0;    // kGroupOutTopology
+    ArrayCodec codecs[kShardArrayKinds];
+  };
+
+  std::uint64_t accesses_for(ResidencyGroups load,
+                             const ShardWork& work) const;
+  /// Link cost of the compression-aware explicit delivery of `load`;
+  /// `any_compressed` reports whether any array ships as a blob.
+  LinkCost compressed_cost(const ShardEntry& entry, ResidencyGroups load,
+                           bool* any_compressed) const;
+
+  TransferPolicy policy_ = TransferPolicy::kExplicit;
+  vgpu::DeviceConfig config_;
+  bool has_scatter_ = false;
+  bool fully_resident_ = false;
+  std::vector<ShardEntry> shards_;
+  std::uint64_t staging_bytes_ = 0;
+};
+
+}  // namespace gr::core

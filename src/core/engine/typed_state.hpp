@@ -180,9 +180,11 @@ class TypedProgramState final : public ProgramHooks {
     if (load & kGroupInTopology) {
       core_.copy_to_slot(lane, slot.in_offsets.data(),
                          shard.in_offsets.data(),
-                         (iv + 1) * sizeof(graph::EdgeId));
+                         (iv + 1) * sizeof(graph::EdgeId),
+                         ShardArrayKind::kInOffsets);
       core_.copy_to_slot(lane, slot.in_src.data(), shard.in_src.data(),
-                         shard.in_edge_count() * sizeof(graph::VertexId));
+                         shard.in_edge_count() * sizeof(graph::VertexId),
+                         ShardArrayKind::kInSrc);
     }
     if constexpr (kHasEdgeState) {
       if (load & kGroupEdgeState) {
@@ -194,13 +196,16 @@ class TypedProgramState final : public ProgramHooks {
     if (load & kGroupOutTopology) {
       core_.copy_to_slot(lane, slot.out_offsets.data(),
                          shard.out_offsets.data(),
-                         (iv + 1) * sizeof(graph::EdgeId));
+                         (iv + 1) * sizeof(graph::EdgeId),
+                         ShardArrayKind::kOutOffsets);
       core_.copy_to_slot(lane, slot.out_dst.data(), shard.out_dst.data(),
-                         shard.out_edge_count() * sizeof(graph::VertexId));
+                         shard.out_edge_count() * sizeof(graph::VertexId),
+                         ShardArrayKind::kOutDst);
       if constexpr (P::has_scatter) {
         core_.copy_to_slot(lane, slot.out_pos.data(),
                            shard.out_canonical_pos.data(),
-                           shard.out_edge_count() * sizeof(graph::EdgeId));
+                           shard.out_edge_count() * sizeof(graph::EdgeId),
+                           ShardArrayKind::kOutPos);
       }
     }
   }

@@ -27,6 +27,12 @@ inline void add_engine_flags(util::Cli& cli, EngineOptions& options) {
            "fraction of the leftover device budget (after static state "
            "and the streaming slots) spent on the residency shard "
            "cache; 1 = all (default), 0 = pure streaming");
+  cli.flag("transfer-policy", &options.transfer_policy,
+           "how shard loads reach the device: explicit (classic DMA, "
+           "default), auto (per-shard cost-model choice between "
+           "explicit, compressed, zero-copy pinned, and managed "
+           "paging), pinned, or managed; results are identical under "
+           "every policy, only simulated link traffic differs");
 }
 
 }  // namespace gr::core

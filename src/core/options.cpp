@@ -30,6 +30,12 @@ void EngineOptions::validate() const {
                "EngineOptions: device_cache must be a fraction in [0, 1] "
                "of the leftover device budget (got "
                << device_cache << ")");
+  GR_CHECK_MSG(transfer_policy == "auto" || transfer_policy == "explicit" ||
+                   transfer_policy == "pinned" ||
+                   transfer_policy == "managed",
+               "EngineOptions: transfer_policy must be one of "
+               "auto|explicit|pinned|managed (got '"
+               << transfer_policy << "')");
 }
 
 }  // namespace gr::core

@@ -47,6 +47,16 @@ struct EngineOptions {
   /// Has no effect when the whole graph already fits (resident mode).
   double device_cache = 1.0;
 
+  /// How shard loads reach the device (core/engine/transfer_policy.hpp):
+  /// "explicit" = classic full-shard DMA for every load (the historical
+  /// behavior, bit-exact); "auto" = per-shard per-iteration cost-model
+  /// choice between explicit DMA, compressed-shard DMA (+ SMX decode),
+  /// zero-copy pinned access, and managed paging; "pinned"/"managed" =
+  /// force that delivery for every load. Algorithm results are bitwise
+  /// identical under every policy — only the simulated transfer
+  /// schedule changes.
+  std::string transfer_policy = "explicit";
+
   /// Iteration cap; 0 = the algorithm's default.
   std::uint32_t max_iterations = 0;
 
@@ -99,6 +109,30 @@ struct EngineOptions {
   void validate() const;
 };
 
+/// Per-strategy shard-visit accounting of the hybrid transfer layer
+/// (core/engine/transfer_policy.hpp). `*_shards` counts visits served by
+/// each strategy; `*_bytes` the PCIe link bytes each was charged
+/// (skipped_bytes = the H2D bytes the cache hits avoided). Every
+/// scheduled visit lands in exactly one bucket, so total_shards()
+/// equals the cache's shard_visits counter.
+struct TransferStats {
+  std::uint64_t explicit_shards = 0;
+  std::uint64_t explicit_bytes = 0;
+  std::uint64_t compressed_shards = 0;
+  std::uint64_t compressed_bytes = 0;
+  std::uint64_t pinned_shards = 0;
+  std::uint64_t pinned_bytes = 0;
+  std::uint64_t managed_shards = 0;
+  std::uint64_t managed_bytes = 0;
+  std::uint64_t skipped_shards = 0;
+  std::uint64_t skipped_bytes = 0;
+
+  std::uint64_t total_shards() const {
+    return explicit_shards + compressed_shards + pinned_shards +
+           managed_shards + skipped_shards;
+  }
+};
+
 /// Per-iteration trace entry (drives the Fig. 3/16/17 frontier plots).
 struct IterationStats {
   std::uint32_t iteration = 0;
@@ -148,6 +182,9 @@ struct RunReport {
   /// H2D bytes the cache hits avoided (what the same schedule would have
   /// streamed without the cache).
   std::uint64_t bytes_h2d_saved = 0;
+
+  /// Per-strategy transfer accounting (EngineOptions::transfer_policy).
+  TransferStats transfer;
 
   std::vector<IterationStats> history;
 

@@ -1,0 +1,97 @@
+#include "graph/shard_codec.hpp"
+
+#include <type_traits>
+
+#include "util/common.hpp"
+
+namespace gr::graph {
+
+namespace {
+
+// Zigzag over wrap-around deltas: interpret v - prev (mod 2^64) as a
+// signed two's-complement value and fold the sign into the low bit, so
+// small backward steps stay small. Exact for every input because both
+// directions use the same mod-2^64 arithmetic.
+inline std::uint64_t zigzag(std::uint64_t delta) {
+  const std::int64_t s = static_cast<std::int64_t>(delta);
+  return (static_cast<std::uint64_t>(s) << 1) ^
+         static_cast<std::uint64_t>(s >> 63);
+}
+
+inline std::uint64_t unzigzag(std::uint64_t z) {
+  return (z >> 1) ^ (~(z & 1) + 1);
+}
+
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t z) {
+  while (z >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(z) | 0x80);
+    z >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(z));
+}
+
+template <typename T>
+std::vector<std::uint8_t> encode(const T* values, std::size_t count) {
+  std::vector<std::uint8_t> out;
+  out.reserve(count + count / 4);
+  T prev = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const T delta = static_cast<T>(values[i] - prev);  // wrap-around
+    // Sign-extend through the same width we decode at, so u32 and u64
+    // sequences share one varint wire format.
+    put_varint(out, zigzag(static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(
+                           static_cast<std::make_signed_t<T>>(delta)))));
+    prev = values[i];
+  }
+  return out;
+}
+
+template <typename T>
+void decode(const std::uint8_t* blob, std::size_t blob_size, T* out,
+            std::size_t count) {
+  std::size_t at = 0;
+  T prev = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t z = 0;
+    int shift = 0;
+    for (;;) {
+      GR_CHECK_MSG(at < blob_size && shift < 64,
+                   "shard codec: truncated varint at element " << i);
+      const std::uint8_t byte = blob[at++];
+      z |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    prev = static_cast<T>(prev + static_cast<T>(unzigzag(z)));
+    out[i] = prev;
+  }
+  GR_CHECK_MSG(at == blob_size,
+               "shard codec: " << (blob_size - at)
+                               << " trailing bytes after " << count
+                               << " elements");
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> delta_varint_encode(const std::uint32_t* values,
+                                              std::size_t count) {
+  return encode(values, count);
+}
+
+std::vector<std::uint8_t> delta_varint_encode(const std::uint64_t* values,
+                                              std::size_t count) {
+  return encode(values, count);
+}
+
+void delta_varint_decode(const std::uint8_t* blob, std::size_t blob_size,
+                         std::uint32_t* out, std::size_t count) {
+  decode(blob, blob_size, out, count);
+}
+
+void delta_varint_decode(const std::uint8_t* blob, std::size_t blob_size,
+                         std::uint64_t* out, std::size_t count) {
+  decode(blob, blob_size, out, count);
+}
+
+}  // namespace gr::graph

@@ -1,0 +1,41 @@
+// Degree-aware delta+varint codec for shard edge arrays (hybrid
+// transfer management, DESIGN.md §3c).
+//
+// Shard topology arrays are highly compressible: CSC/CSR offset arrays
+// are monotone (consecutive deltas are per-vertex degrees, usually tiny)
+// and neighbor-id arrays over a partition interval cluster around the
+// interval. Encoding each element as the zigzag of its delta from the
+// predecessor, LEB128-varint-packed, typically shrinks 8-byte offsets by
+// 4-8x and 4-byte vertex ids by 1.3-2x — which raises the *effective*
+// PCIe bandwidth of an explicit shard transfer: the engine ships the
+// compressed blob over the link and charges a decode kernel on the SMX
+// model (src/core/engine/transfer_policy.hpp decides when that trade
+// wins).
+//
+// Deltas are computed with wrap-around (mod 2^64 / 2^32) arithmetic, so
+// every sequence round-trips exactly — including adversarial ones
+// (decreasing runs, alternating 0 / max). Worst-case expansion is
+// bounded: 5 bytes per u32 element, 10 bytes per u64 element.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gr::graph {
+
+/// Encodes `count` elements as zigzag deltas, LEB128-packed.
+std::vector<std::uint8_t> delta_varint_encode(const std::uint32_t* values,
+                                              std::size_t count);
+std::vector<std::uint8_t> delta_varint_encode(const std::uint64_t* values,
+                                              std::size_t count);
+
+/// Decodes exactly `count` elements into `out`. GR_CHECK-fails unless
+/// the blob holds exactly `count` varints (full consumption) — a codec
+/// mismatch is a bug, never silent truncation.
+void delta_varint_decode(const std::uint8_t* blob, std::size_t blob_size,
+                         std::uint32_t* out, std::size_t count);
+void delta_varint_decode(const std::uint8_t* blob, std::size_t blob_size,
+                         std::uint64_t* out, std::size_t count);
+
+}  // namespace gr::graph

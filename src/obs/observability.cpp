@@ -25,6 +25,14 @@ RunObservability::RunObservability(vgpu::Device& device,
   cache_evictions_ = &metrics_.counter("engine.cache_evictions");
   cache_writebacks_ = &metrics_.counter("engine.cache_writebacks");
   cache_bytes_saved_ = &metrics_.counter("engine.cache_bytes_saved");
+  for (int s = 0; s < 5; ++s) {
+    const std::string name = core::transfer_strategy_name(
+        static_cast<core::TransferStrategy>(s));
+    transfer_shards_[s] =
+        &metrics_.counter("engine.transfer." + name + "_shards");
+    transfer_bytes_[s] =
+        &metrics_.counter("engine.transfer." + name + "_bytes");
+  }
   kernel_concurrency_ = &metrics_.histogram(
       "device.kernel_concurrency", {1, 2, 4, 8, 16, 32});
   copy_bytes_ = &metrics_.histogram(
@@ -161,6 +169,19 @@ void RunObservability::on_shard_residency(const core::Pass& pass,
   cache_bytes_saved_->add(visit.hit_bytes);
   profiler_.on_shard_residency(pass, visit);
   if (trace_) trace_->on_shard_residency(pass, visit);
+}
+
+void RunObservability::on_shard_transfer(
+    const core::Pass& pass, const core::TransferDecision& decision) {
+  const int s = static_cast<int>(decision.strategy);
+  transfer_shards_[s]->add();
+  // Skipped visits charge no link traffic; count the bytes they avoided.
+  transfer_bytes_[s]->add(
+      decision.strategy == core::TransferStrategy::kSkipped
+          ? decision.raw_bytes
+          : decision.link_bytes);
+  profiler_.on_shard_transfer(pass, decision);
+  if (trace_) trace_->on_shard_transfer(pass, decision);
 }
 
 void RunObservability::on_pass_end(const core::Pass& pass,

@@ -13,7 +13,10 @@
 //              engine.host_spill_bytes, engine.cache_hits /
 //              engine.cache_misses (residency-group granularity),
 //              engine.cache_evictions, engine.cache_writebacks,
-//              engine.cache_bytes_saved (H2D bytes served from cache)
+//              engine.cache_bytes_saved (H2D bytes served from cache),
+//              engine.transfer.{explicit,compressed,pinned,managed,
+//              skipped}_{shards,bytes} (per-strategy shard visits and
+//              PCIe link bytes of the hybrid transfer layer)
 //   gauges     engine.overlap_ratio, engine.slot_occupancy_max /
 //              engine.slot_occupancy_mean, engine.spray_utilization /
 //              engine.spray_streams, engine.partitions, engine.slots,
@@ -92,6 +95,8 @@ class RunObservability : public core::ExecutionObserver,
                          const core::ShardWork& work) override;
   void on_shard_residency(const core::Pass& pass,
                           const core::ShardVisit& visit) override;
+  void on_shard_transfer(const core::Pass& pass,
+                         const core::TransferDecision& decision) override;
   void on_pass_end(const core::Pass& pass, std::uint32_t iteration) override;
   void on_iteration_end(const core::IterationStats& stats) override;
   void on_run_end(const core::RunReport& report) override;
@@ -142,6 +147,9 @@ class RunObservability : public core::ExecutionObserver,
   Counter* cache_evictions_;
   Counter* cache_writebacks_;
   Counter* cache_bytes_saved_;
+  // Per-strategy transfer counters, indexed by core::TransferStrategy.
+  Counter* transfer_shards_[5];
+  Counter* transfer_bytes_[5];
   Histogram* kernel_concurrency_;
   Histogram* copy_bytes_;
 };

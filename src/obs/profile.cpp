@@ -13,6 +13,18 @@ double IterationProfile::overlap_ratio() const {
   return denom > 0.0 ? overlap_seconds / denom : 0.0;
 }
 
+std::string ShardProfile::strategy_mix() const {
+  std::string mix;
+  for (int s = 0; s < 5; ++s) {
+    if (strategy_visits[s] == 0) continue;
+    if (!mix.empty()) mix += ' ';
+    mix += core::transfer_strategy_name(
+        static_cast<core::TransferStrategy>(s));
+    mix += "×" + std::to_string(strategy_visits[s]);
+  }
+  return mix.empty() ? "-" : mix;
+}
+
 void ProfilingObserver::set_spray_streams(const std::vector<int>& ids) {
   spray_configured_ = ids.size();
   for (int id : ids) spray_ops_.emplace(id, 0);
@@ -194,6 +206,15 @@ void ProfilingObserver::on_shard_residency(const core::Pass& /*pass*/,
   cache_bytes_saved_ += visit.hit_bytes;
 }
 
+void ProfilingObserver::on_shard_transfer(
+    const core::Pass& /*pass*/, const core::TransferDecision& decision) {
+  ShardProfile& shard = shards_[decision.shard];
+  ++shard.strategy_visits[static_cast<int>(decision.strategy)];
+  shard.link_bytes += decision.strategy == core::TransferStrategy::kSkipped
+                          ? decision.raw_bytes
+                          : decision.link_bytes;
+}
+
 void ProfilingObserver::on_run_end(const core::RunReport& report) {
   finish_iteration();  // no-op if the last iteration already closed
   converged_ = report.converged;
@@ -256,20 +277,60 @@ util::Table ProfilingObserver::shard_table(std::size_t max_rows) const {
               return a.first < b.first;
             });
   util::Table table("Costliest shards");
-  table.header({"shard", "visits", "ops", "bytes", "busy"});
+  table.header({"shard", "visits", "ops", "bytes", "busy", "transfer mix"});
   for (std::size_t i = 0; i < sorted.size() && i < max_rows; ++i) {
     const auto& [shard, p] = sorted[i];
     table.add_row({std::to_string(shard), util::format_count(p.visits),
                    util::format_count(p.ops), util::format_bytes(p.bytes),
-                   util::format_seconds(p.busy_seconds)});
+                   util::format_seconds(p.busy_seconds), p.strategy_mix()});
   }
   return table;
+}
+
+void ProfilingObserver::print_shard_flame(std::ostream& os,
+                                          std::size_t max_rows) const {
+  // Only shards the hybrid transfer layer actually decided on carry a
+  // strategy mix; runs without the engine seam wired stay silent.
+  std::vector<std::pair<std::uint32_t, const ShardProfile*>> rows;
+  double max_busy = 0.0;
+  for (const auto& [shard, p] : shards_) {
+    std::uint64_t decided = 0;
+    for (const std::uint64_t v : p.strategy_visits) decided += v;
+    if (decided == 0) continue;
+    rows.emplace_back(shard, &p);
+    max_busy = std::max(max_busy, p.busy_seconds);
+  }
+  if (rows.empty()) return;
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second->busy_seconds != b.second->busy_seconds)
+      return a.second->busy_seconds > b.second->busy_seconds;
+    return a.first < b.first;
+  });
+  constexpr std::size_t kBarWidth = 32;
+  os << "Shard transfer flame (bar = simulated busy seconds)\n";
+  for (std::size_t i = 0; i < rows.size() && i < max_rows; ++i) {
+    const auto& [shard, p] = rows[i];
+    const std::size_t fill =
+        max_busy > 0.0
+            ? static_cast<std::size_t>(p->busy_seconds / max_busy *
+                                       static_cast<double>(kBarWidth))
+            : 0;
+    std::string bar(fill, '#');
+    bar.resize(kBarWidth, ' ');
+    os << "  shard " << shard << (shard < 10 ? "  |" : " |") << bar
+       << "| " << util::format_seconds(p->busy_seconds) << ", "
+       << util::format_bytes(p->link_bytes) << " link, "
+       << p->strategy_mix() << "\n";
+  }
+  if (rows.size() > max_rows)
+    os << "  (+" << rows.size() - max_rows << " more shards)\n";
 }
 
 void ProfilingObserver::print_summary(std::ostream& os) const {
   phase_table().print(os);
   iteration_table().print(os);
   shard_table().print(os);
+  print_shard_flame(os);
   os << "run: " << iterations_run_ << " iterations"
      << (converged_ ? " (converged)" : "") << ", copy busy "
      << util::format_seconds(run_copy_busy_) << ", kernel busy "

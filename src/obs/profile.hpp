@@ -62,6 +62,14 @@ struct ShardProfile {
   std::uint64_t ops = 0;
   std::uint64_t bytes = 0;
   double busy_seconds = 0.0;  // summed op durations (may overlap)
+  /// Visits per transfer strategy, indexed by core::TransferStrategy
+  /// (skipped / explicit / compressed / pinned / managed).
+  std::uint64_t strategy_visits[5] = {0, 0, 0, 0, 0};
+  /// PCIe link bytes the chosen strategies charged (hit bytes avoided
+  /// for skipped visits).
+  std::uint64_t link_bytes = 0;
+  /// Compact "explicit×12 pinned×3" mix label for tables/flame rows.
+  std::string strategy_mix() const;
 };
 
 class ProfilingObserver : public core::ExecutionObserver,
@@ -94,6 +102,8 @@ class ProfilingObserver : public core::ExecutionObserver,
                          const core::ShardWork& work) override;
   void on_shard_residency(const core::Pass& pass,
                           const core::ShardVisit& visit) override;
+  void on_shard_transfer(const core::Pass& pass,
+                         const core::TransferDecision& decision) override;
   void on_pass_end(const core::Pass& pass, std::uint32_t iteration) override;
   void on_iteration_end(const core::IterationStats& stats) override;
   void on_run_end(const core::RunReport& report) override;
@@ -126,8 +136,13 @@ class ProfilingObserver : public core::ExecutionObserver,
   util::Table phase_table() const;
   util::Table iteration_table() const;
   util::Table shard_table(std::size_t max_rows = 8) const;
-  /// Renders the phase, iteration, and top-shard tables plus a one-line
-  /// overlap verdict.
+  /// Flame-style per-shard breakdown: one bar per shard, proportional
+  /// to its summed busy seconds, annotated with the transfer-strategy
+  /// mix the hybrid layer chose for it. Empty output when no shard
+  /// recorded a transfer decision.
+  void print_shard_flame(std::ostream& os, std::size_t max_rows = 16) const;
+  /// Renders the phase, iteration, and top-shard tables plus the shard
+  /// flame view and a one-line overlap verdict.
   void print_summary(std::ostream& os) const;
 
  private:

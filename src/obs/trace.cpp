@@ -246,6 +246,28 @@ void TraceRecorder::on_shard_residency(const core::Pass& /*pass*/,
   }
 }
 
+void TraceRecorder::on_shard_transfer(
+    const core::Pass& /*pass*/, const core::TransferDecision& decision) {
+  using S = core::TransferStrategy;
+  // Skipped and explicit visits are exactly what the pre-hybrid engine
+  // did; gating the instant on the hybrid strategies keeps
+  // --transfer-policy=explicit traces byte-identical to it.
+  if (decision.strategy != S::kCompressed &&
+      decision.strategy != S::kPinned && decision.strategy != S::kManaged)
+    return;
+  push({'i', kTidDriver, now_us(), 0.0, 0,
+        std::string(core::transfer_strategy_name(decision.strategy)) +
+            " transfer",
+        "transfer",
+        "{\"shard\": " + std::to_string(decision.shard) +
+            ", \"load_groups\": " + std::to_string(decision.load) +
+            ", \"raw_bytes\": " + std::to_string(decision.raw_bytes) +
+            ", \"link_bytes\": " + std::to_string(decision.link_bytes) +
+            ", \"est_us\": " + format_ts(decision.est_seconds * 1e6) +
+            ", \"explicit_us\": " +
+            format_ts(decision.est_explicit_seconds * 1e6) + "}"});
+}
+
 void TraceRecorder::on_pass_end(const core::Pass& pass,
                                 std::uint32_t /*iteration*/) {
   push({'E', kTidDriver, now_us(), 0.0, 0, "pass " + pass_label(pass),

@@ -84,6 +84,8 @@ class TraceRecorder : public vgpu::DeviceOpListener,
                          const core::ShardWork& work) override;
   void on_shard_residency(const core::Pass& pass,
                           const core::ShardVisit& visit) override;
+  void on_shard_transfer(const core::Pass& pass,
+                         const core::TransferDecision& decision) override;
   void on_pass_end(const core::Pass& pass, std::uint32_t iteration) override;
   void on_iteration_end(const core::IterationStats& stats) override;
   void on_run_end(const core::RunReport& report) override;

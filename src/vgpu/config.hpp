@@ -70,6 +70,13 @@ struct DeviceConfig {
   /// GPU page-fault service time (fault + driver + map).
   double managed_fault_latency = 15e-6;
 
+  // --- compressed-shard transfer (hybrid transfer management) ---
+  /// Simple-op equivalents one SMX thread spends decoding one
+  /// delta+varint element (branchy byte-at-a-time work; calibrated so
+  /// decode throughput sits near measured GPU varint decoders at a few
+  /// G-elements/s on the K20c's 3.52 TFLOP model).
+  double varint_decode_flops_per_element = 512.0;
+
   /// The paper's evaluation card at native capacity.
   static constexpr DeviceConfig k20c() { return DeviceConfig{}; }
 

@@ -17,6 +17,9 @@ struct Stream::Op {
   double host_duration = 0.0;
   std::uint64_t id = 0;    // issue-order id (op-listener correlation)
   double enqueued = 0.0;   // host issue time (simulated seconds)
+  /// Copies only: externally modeled DMA duration (memcpy_h2d_modeled);
+  /// negative = derive the duration from bytes and link bandwidth.
+  double modeled_seconds = -1.0;
 };
 
 namespace {
@@ -123,6 +126,22 @@ void Device::memcpy_h2d(Stream& stream, void* device_dst,
   enqueue(stream, std::move(op));
 }
 
+void Device::memcpy_h2d_modeled(Stream& stream, void* device_dst,
+                                const void* host_src, std::uint64_t bytes,
+                                std::uint64_t link_bytes,
+                                double link_seconds) {
+  GR_CHECK_MSG(link_seconds >= 0.0,
+               "memcpy_h2d_modeled: negative link_seconds");
+  auto op = std::make_unique<Stream::Op>();
+  op->kind = Stream::Op::Kind::kCopyH2D;
+  op->bytes = link_bytes;  // stats/trace account the modeled traffic
+  op->modeled_seconds = link_seconds;
+  op->body = [device_dst, host_src, bytes] {
+    if (bytes > 0) std::memcpy(device_dst, host_src, bytes);
+  };
+  enqueue(stream, std::move(op));
+}
+
 void Device::memcpy_d2h(Stream& stream, void* host_dst,
                         const void* device_src, std::uint64_t bytes,
                         bool pinned) {
@@ -181,7 +200,10 @@ void Device::start_head(Stream& stream) {
       const double bandwidth =
           config_.pcie_bandwidth * config_.dma_efficiency *
           (op.pinned ? 1.0 : config_.pageable_penalty);
-      const double duration = static_cast<double>(op.bytes) / bandwidth;
+      const double duration =
+          op.modeled_seconds >= 0.0
+              ? op.modeled_seconds
+              : static_cast<double>(op.bytes) / bandwidth;
       const sim::SimTime ready = queue().now() + config_.memcpy_setup_latency;
       const auto window = engine.acquire(ready, duration);
       // Execute the actual copy when the DMA transfer begins.

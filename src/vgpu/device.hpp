@@ -169,6 +169,18 @@ class Device : util::NonCopyable {
   /// (staged through a bounce buffer at reduced bandwidth).
   void memcpy_h2d(Stream& stream, void* device_dst, const void* host_src,
                   std::uint64_t bytes, bool pinned = true);
+
+  /// H2D copy whose *link* accounting is decoupled from its functional
+  /// payload: `bytes` are really copied (at the DMA window start, like
+  /// every copy), but the DMA engine is occupied for `link_seconds` and
+  /// the stats/trace record `link_bytes`. This is the seam the hybrid
+  /// transfer policies use — a zero-copy (pinned/managed) delivery is a
+  /// real scheduled device op with its analytic cost, and a compressed
+  /// transfer ships blob-sized traffic. Setup latency and stream
+  /// ordering are identical to memcpy_h2d.
+  void memcpy_h2d_modeled(Stream& stream, void* device_dst,
+                          const void* host_src, std::uint64_t bytes,
+                          std::uint64_t link_bytes, double link_seconds);
   void memcpy_d2h(Stream& stream, void* host_dst, const void* device_src,
                   std::uint64_t bytes, bool pinned = true);
 

@@ -1,0 +1,137 @@
+// Round-trip contract of the delta+varint shard codec (hybrid transfer
+// management): every u32/u64 sequence — including adversarial degree
+// distributions — must decode bit-exactly, and a malformed blob must
+// GR_CHECK-fail rather than truncate silently.
+#include "graph/shard_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gr::graph {
+namespace {
+
+template <typename T>
+void expect_roundtrip(const std::vector<T>& values) {
+  const std::vector<std::uint8_t> blob =
+      delta_varint_encode(values.data(), values.size());
+  std::vector<T> decoded(values.size());
+  delta_varint_decode(blob.data(), blob.size(), decoded.data(),
+                      decoded.size());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(ShardCodec, EmptyAndSingle) {
+  expect_roundtrip(std::vector<std::uint32_t>{});
+  expect_roundtrip(std::vector<std::uint64_t>{});
+  expect_roundtrip(std::vector<std::uint32_t>{0});
+  expect_roundtrip(std::vector<std::uint32_t>{4000000000u});
+  expect_roundtrip(std::vector<std::uint64_t>{0});
+  expect_roundtrip(
+      std::vector<std::uint64_t>{std::numeric_limits<std::uint64_t>::max()});
+}
+
+TEST(ShardCodec, MonotoneOffsetsCompressWell) {
+  // A CSC offset array of a low-degree shard: tiny positive deltas.
+  std::vector<std::uint64_t> offsets;
+  std::uint64_t cursor = 0;
+  for (int v = 0; v < 4096; ++v) {
+    offsets.push_back(cursor);
+    cursor += static_cast<std::uint64_t>(v % 7);
+  }
+  offsets.push_back(cursor);
+  const std::vector<std::uint8_t> blob =
+      delta_varint_encode(offsets.data(), offsets.size());
+  // Monotone tiny-delta u64 data should shrink far below 8 B/element.
+  EXPECT_LT(blob.size(), offsets.size() * 2);
+  std::vector<std::uint64_t> decoded(offsets.size());
+  delta_varint_decode(blob.data(), blob.size(), decoded.data(),
+                      decoded.size());
+  EXPECT_EQ(decoded, offsets);
+}
+
+TEST(ShardCodec, RandomSequencesRoundTrip) {
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  std::vector<std::uint32_t> u32s;
+  std::vector<std::uint64_t> u64s;
+  for (int i = 0; i < 10000; ++i) {
+    u32s.push_back(static_cast<std::uint32_t>(next()));
+    u64s.push_back(next());
+  }
+  expect_roundtrip(u32s);
+  expect_roundtrip(u64s);
+}
+
+TEST(ShardCodec, AdversarialExtremesRoundTrip) {
+  // Alternating 0 / max forces the worst-case wrap-around deltas.
+  std::vector<std::uint32_t> alt32;
+  std::vector<std::uint64_t> alt64;
+  for (int i = 0; i < 1000; ++i) {
+    alt32.push_back(i % 2 ? std::numeric_limits<std::uint32_t>::max() : 0);
+    alt64.push_back(i % 2 ? std::numeric_limits<std::uint64_t>::max() : 0);
+  }
+  expect_roundtrip(alt32);
+  expect_roundtrip(alt64);
+
+  // Strictly decreasing sequences: every delta is "negative" (wraps).
+  std::vector<std::uint64_t> dec;
+  for (std::uint64_t i = 100000; i-- > 0;) dec.push_back(i * 37);
+  expect_roundtrip(dec);
+}
+
+TEST(ShardCodec, PowerLawDegreesRoundTrip) {
+  // RMAT-ish skew: a few huge deltas among many tiny ones.
+  std::vector<std::uint64_t> offsets;
+  std::uint64_t cursor = 0, lcg = 12345;
+  for (int v = 0; v < 20000; ++v) {
+    offsets.push_back(cursor);
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::uint64_t r = lcg >> 33;
+    // ~1/256 vertices are hubs with huge degree.
+    cursor += (r % 256 == 0) ? (r % 1000000) : (r % 4);
+  }
+  offsets.push_back(cursor);
+  expect_roundtrip(offsets);
+}
+
+TEST(ShardCodec, WorstCaseExpansionIsBounded) {
+  std::vector<std::uint32_t> alt32;
+  std::vector<std::uint64_t> alt64;
+  for (int i = 0; i < 257; ++i) {
+    alt32.push_back(i % 2 ? std::numeric_limits<std::uint32_t>::max() : 1);
+    alt64.push_back(i % 2 ? std::numeric_limits<std::uint64_t>::max() : 1);
+  }
+  EXPECT_LE(delta_varint_encode(alt32.data(), alt32.size()).size(),
+            alt32.size() * 5);
+  EXPECT_LE(delta_varint_encode(alt64.data(), alt64.size()).size(),
+            alt64.size() * 10);
+}
+
+TEST(ShardCodec, MalformedBlobIsRejected) {
+  const std::vector<std::uint32_t> values{1, 2, 3, 4};
+  std::vector<std::uint8_t> blob =
+      delta_varint_encode(values.data(), values.size());
+  std::vector<std::uint32_t> out(values.size());
+  // Truncated blob: fewer varints than elements.
+  EXPECT_THROW(delta_varint_decode(blob.data(), blob.size() - 1, out.data(),
+                                   out.size()),
+               util::CheckError);
+  // Trailing garbage: blob not fully consumed.
+  blob.push_back(0);
+  EXPECT_THROW(
+      delta_varint_decode(blob.data(), blob.size(), out.data(), out.size()),
+      util::CheckError);
+}
+
+}  // namespace
+}  // namespace gr::graph

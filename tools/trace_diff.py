@@ -17,11 +17,19 @@ occurrences (one run streamed a shard the other served from cache)
 are accounted separately as added/removed time.
 
 Usage:
-  tools/trace_diff.py A.json B.json [--top N] [--track TRACK] [--csv OUT]
+  tools/trace_diff.py A.json B.json [--top N] [--track TRACK ...]
+                      [--fail-above-us US] [--csv OUT]
 
-Exit code is 0 even when the traces differ — this is a reporting tool,
-not a gate; pair it with --csv in CI to archive the comparison as an
-artifact.
+--track is repeatable and accepts comma-separated substrings; a span
+counts when ANY of them matches its track name ("copy engine H2D,copy
+engine D2H" selects both copy engines).
+
+By default the exit code is 0 even when the traces differ — reporting
+mode; pair it with --csv in CI to archive the comparison as an
+artifact. With --fail-above-us the tool becomes a gate: it exits 1
+when the net simulated-time delta (B - A) over the selected tracks
+exceeds the threshold, so CI can assert e.g. "no H2D-track
+regressions" with --track "copy engine H2D" --fail-above-us 0.
 """
 
 from __future__ import annotations
@@ -103,11 +111,26 @@ def main(argv=None):
     parser.add_argument("trace_b", help="comparison trace JSON")
     parser.add_argument("--top", type=int, default=15,
                         help="show the N largest absolute deltas")
-    parser.add_argument("--track", default=None,
-                        help="restrict to one track (substring match)")
+    parser.add_argument("--track", action="append", default=None,
+                        help="restrict to matching tracks (substring "
+                             "match); repeatable, and each value may "
+                             "hold comma-separated alternatives")
+    parser.add_argument("--fail-above-us", type=float, default=None,
+                        metavar="US",
+                        help="exit 1 when the net simulated-time delta "
+                             "(B - A) over the selected tracks exceeds "
+                             "this many microseconds (gate mode)")
     parser.add_argument("--csv", default=None,
                         help="also write the full per-group table as CSV")
     args = parser.parse_args(argv)
+
+    track_filters = [part.strip()
+                     for raw in (args.track or [])
+                     for part in raw.split(",") if part.strip()]
+
+    def track_selected(track):
+        return (not track_filters
+                or any(sub in track for sub in track_filters))
 
     _, spans_a, instants_a = load_events(args.trace_a)
     _, spans_b, instants_b = load_events(args.trace_b)
@@ -117,7 +140,7 @@ def main(argv=None):
     rows = []
     for key in sorted(set(groups_a) | set(groups_b)):
         track, name = key
-        if args.track and args.track not in track:
+        if not track_selected(track):
             continue
         durs_a = groups_a.get(key, [])
         durs_b = groups_b.get(key, [])
@@ -165,7 +188,7 @@ def main(argv=None):
     instant_rows = [(k, instants_a.get(k, 0), instants_b.get(k, 0))
                     for k in instant_keys
                     if instants_a.get(k, 0) != instants_b.get(k, 0)
-                    and (not args.track or args.track in k[0])]
+                    and track_selected(k[0])]
     if instant_rows:
         print("\ninstant-event count changes:")
         for (track, name), ca, cb in instant_rows:
@@ -181,6 +204,18 @@ def main(argv=None):
             for r in sorted(rows, key=lambda r: (r["track"], r["name"])):
                 writer.writerow(r)
         print(f"\nwrote {args.csv}")
+
+    if args.fail_above_us is not None:
+        net = total_b - total_a
+        scope = (" on tracks matching " + ", ".join(repr(t) for t in
+                                                    track_filters)
+                 if track_filters else "")
+        if net > args.fail_above_us:
+            print(f"\nGATE FAIL: net delta {net:+.1f} us{scope} exceeds "
+                  f"--fail-above-us {args.fail_above_us:g}")
+            return 1
+        print(f"\ngate ok: net delta {net:+.1f} us{scope} within "
+              f"--fail-above-us {args.fail_above_us:g}")
     return 0
 
 
