@@ -1,0 +1,265 @@
+// Concurrent query serving — throughput/latency of the JobScheduler
+// runtime (DESIGN.md §3d) against the classic one-run-owns-the-device
+// engine, on an out-of-memory configuration.
+//
+// Four serving strategies answer the same K single-source queries at
+// the same device-memory budget:
+//
+//   sequential   one job at a time (the classic engine in a loop, on
+//                the shared scheduler clock),
+//   interleaved  up to --max-concurrent tenants alternate iterations,
+//                each planning against its memory slice,
+//   fused        submit_batch() packs the queries into registered
+//                multi-source variants, so the topology streams once
+//                per iteration for the whole pack.
+//
+// Reported per mode: simulated makespan, queries/sec, and p50/p99
+// per-query latency (submit -> finish on the simulated clock). Every
+// mode must produce bitwise-identical per-query value hashes, and the
+// fused mode must beat sequential on queries/sec — both are GR_CHECKed,
+// not eyeballed.
+//
+// A solo-run/solo-sched pair exercises the degeneracy claim end to end:
+// a lone scheduler submission must match the classic run() bit-exactly
+// (hash and simulated time; CI diffs the two trace files byte-for-byte
+// via tools/trace_diff.py --strip-track-prefix).
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/algorithms/registry.hpp"
+#include "core/engine/scheduler.hpp"
+#include "graph/datasets.hpp"
+#include "support/harness.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct ModeResult {
+  std::string mode;
+  double sim_seconds = 0.0;
+  double qps = 0.0;
+  std::vector<double> latencies;  // seconds, per query in submit order
+  std::vector<std::uint64_t> hashes;
+  std::uint64_t fused_jobs = 0;
+};
+
+double percentile_ms(std::vector<double> latencies, double p) {
+  GR_CHECK(!latencies.empty());
+  std::sort(latencies.begin(), latencies.end());
+  const auto n = static_cast<double>(latencies.size());
+  const std::size_t idx = static_cast<std::size_t>(
+      std::min(n - 1.0, std::max(0.0, std::ceil(p / 100.0 * n) - 1.0)));
+  return latencies[idx] * 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gr;
+  std::string csv;
+  std::string dataset = "kron_g500-logn20";
+  std::string algo = "bfs";
+  double scale = 0.05;
+  double memory_factor = 0.5;  // capacity / graph footprint: out of memory
+  std::uint32_t queries = 8;
+  std::uint32_t max_concurrent = 4;
+  std::string admission = "shared";
+  bool fusion = true;
+  std::uint32_t threads = 0;
+  bench::ObsFlags obs;
+  util::Cli cli("bench_serving",
+                "multi-tenant query serving: sequential vs interleaved vs "
+                "fused batches");
+  cli.flag("csv", &csv, "CSV output path")
+      .flag("dataset", &dataset, "dataset analog to serve queries against")
+      .flag("algo", &algo, "query program: bfs | sssp")
+      .flag("scale", &scale, "edge-count scale factor for the analog")
+      .flag("memory-factor", &memory_factor,
+            "device capacity as a fraction of the graph footprint "
+            "(< 1 keeps every mode out-of-memory)")
+      .flag("queries", &queries, "queries per serving mode")
+      .flag("max-concurrent", &max_concurrent,
+            "tenant slots for the interleaved and fused modes "
+            "(EngineOptions::sched_max_concurrent)")
+      .flag("sched-admission", &admission,
+            "admission policy: shared | cache-fair | stream-only")
+      .flag("sched-fusion", &fusion,
+            "fuse batched same-program queries in the fused mode")
+      .flag("threads", &threads,
+            "host threads for the functional backend (results and "
+            "simulated seconds are identical for any value)");
+  obs.register_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  GR_CHECK_MSG(algo == "bfs" || algo == "sssp",
+               "only source-based programs serve per-query; --algo must be "
+               "bfs or sssp (got '" << algo << "')");
+  GR_CHECK_MSG(queries >= 2, "--queries must be at least 2");
+  algo::register_builtin_programs();
+
+  const auto data = bench::prepare_dataset(dataset, scale);
+  const std::uint64_t reserved = graph::footprint_bytes(
+      data.edges.num_vertices(), data.edges.num_edges());
+  core::EngineOptions base = bench::bench_engine_options();
+  base.threads = threads;
+  base.sched_admission = admission;
+  base.device.global_memory_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(reserved) * memory_factor);
+  GR_LOG_INFO(dataset << " analog: " << data.edges.num_vertices()
+                      << " vertices, " << data.edges.num_edges()
+                      << " edges; device "
+                      << util::format_bytes(base.device.global_memory_bytes)
+                      << " (" << util::format_fixed(memory_factor, 2)
+                      << "x footprint)");
+
+  // K deterministic sources spread across the vertex range, anchored at
+  // the dataset's canonical high-degree source.
+  const graph::VertexId n = data.edges.num_vertices();
+  std::vector<graph::VertexId> sources(queries);
+  for (std::uint32_t i = 0; i < queries; ++i)
+    sources[i] = static_cast<graph::VertexId>(
+        (static_cast<std::uint64_t>(data.source) +
+         static_cast<std::uint64_t>(i) * (n / queries + 1)) % n);
+
+  const auto serve = [&](const std::string& mode,
+                         std::uint32_t concurrent, bool fuse) {
+    core::EngineOptions options = base;
+    options.sched_max_concurrent = concurrent;
+    options.sched_fusion = fuse;
+    core::JobScheduler sched(data.edges, options);
+    std::vector<core::JobRequest> requests(queries);
+    for (std::uint32_t i = 0; i < queries; ++i) {
+      requests[i].program = algo;
+      requests[i].spec.source = sources[i];
+      requests[i].label = mode + "-" + std::to_string(i);
+      // Per-job observability files (pattern tagged per query). A fused
+      // pack adopts its first query's files and writes nothing for the
+      // other lanes, so only the lead query gets instrumented there —
+      // otherwise provenance verification would demand files no engine
+      // run produces.
+      if (!fuse || i == 0) {
+        core::EngineOptions per_job = options;
+        obs.apply(per_job, mode + "-" + std::to_string(i));
+        requests[i].trace_out = per_job.trace_out;
+        requests[i].metrics_out = per_job.metrics_out;
+        requests[i].metrics_provenance = per_job.metrics_provenance;
+      }
+    }
+    std::vector<core::JobId> ids;
+    if (fuse) {
+      ids = sched.submit_batch(std::move(requests));
+    } else {
+      for (core::JobRequest& request : requests)
+        ids.push_back(sched.submit(std::move(request)));
+    }
+    sched.drain();
+    ModeResult result;
+    result.mode = mode;
+    result.sim_seconds = sched.device().now();
+    result.qps = static_cast<double>(queries) / result.sim_seconds;
+    for (core::JobId id : ids) {
+      result.latencies.push_back(sched.result(id).latency_seconds());
+      result.hashes.push_back(sched.result(id).run.value_hash);
+    }
+    result.fused_jobs = sched.stats().fused_jobs;
+    GR_LOG_INFO(mode << ": " << util::format_fixed(result.sim_seconds, 4)
+                     << "s simulated, "
+                     << util::format_fixed(result.qps, 2) << " queries/s");
+    return result;
+  };
+
+  const ModeResult sequential = serve("sequential", 1, false);
+  const ModeResult interleaved = serve("interleaved", max_concurrent, false);
+  const ModeResult fused = serve("fused", max_concurrent, fusion);
+
+  // --- invariants the scheduler promises ---
+  // 1. Serving strategy never changes an answer.
+  for (std::uint32_t i = 0; i < queries; ++i) {
+    GR_CHECK_MSG(interleaved.hashes[i] == sequential.hashes[i],
+                 "interleaved query " << i << " diverged from sequential");
+    GR_CHECK_MSG(fused.hashes[i] == sequential.hashes[i],
+                 "fused query " << i << " diverged from sequential");
+  }
+  // 2. Fusion actually pays: batched queries beat one-at-a-time serving
+  //    on throughput at the same memory budget. (Skipped under
+  //    --sched-fusion=0, where the "fused" mode is just batched solo
+  //    admission.)
+  if (fusion) {
+    GR_CHECK_MSG(fused.fused_jobs > 0, "fusion mode admitted no fused runs");
+    GR_CHECK_MSG(fused.qps > sequential.qps,
+                 "fused serving ("
+                     << fused.qps << " q/s) failed to beat sequential ("
+                     << sequential.qps << " q/s) at memory factor "
+                     << memory_factor);
+  }
+
+  // 3. A lone submission degenerates to the classic engine: same hash,
+  //    same simulated duration, and a trace that differs only by the
+  //    job's track prefix (CI byte-diffs the pair).
+  const core::ProgramHandle& handle = core::ProgramRegistry::global().at(algo);
+  core::ProgramSpec solo_spec;
+  solo_spec.source = sources[0];
+  core::EngineOptions solo_options = base;
+  obs.apply(solo_options, "solo-run");
+  const core::ProgramRunResult classic =
+      handle.run(data.edges, solo_spec, solo_options);
+  core::JobScheduler solo_sched(data.edges, base);
+  core::JobRequest solo_request;
+  solo_request.program = algo;
+  solo_request.spec = solo_spec;
+  solo_request.track_prefix = "job0/";
+  {
+    core::EngineOptions per_job = base;
+    obs.apply(per_job, "solo-sched");
+    solo_request.trace_out = per_job.trace_out;
+    solo_request.metrics_out = per_job.metrics_out;
+    solo_request.metrics_provenance = per_job.metrics_provenance;
+  }
+  const core::JobResult& served =
+      solo_sched.wait(solo_sched.submit(solo_request));
+  GR_CHECK_MSG(served.run.value_hash == classic.value_hash &&
+                   served.run.report.total_seconds ==
+                       classic.report.total_seconds,
+               "single-job scheduler run is not bit-exact with run()");
+
+  util::Table table("Query serving — " + dataset + " " + algo + " x" +
+                    std::to_string(queries) + " (memory factor " +
+                    util::format_fixed(memory_factor, 2) + ")");
+  table.header({"Mode", "Queries", "Fused runs", "Sim seconds",
+                "Queries/s", "p50 ms", "p99 ms"});
+  for (const ModeResult* mode : {&sequential, &interleaved, &fused})
+    table.add_row({mode->mode, std::to_string(queries),
+                   std::to_string(mode->fused_jobs),
+                   util::format_fixed(mode->sim_seconds, 6),
+                   util::format_fixed(mode->qps, 3),
+                   util::format_fixed(percentile_ms(mode->latencies, 50), 3),
+                   util::format_fixed(percentile_ms(mode->latencies, 99),
+                                      3)});
+  table.add_row({"solo-run (classic)", "1", "0",
+                 util::format_fixed(classic.report.total_seconds, 6), "-",
+                 "-", "-"});
+  table.add_row({"solo-sched", "1", "0",
+                 util::format_fixed(served.run.report.total_seconds, 6), "-",
+                 "-", "-"});
+
+  bench::BenchMeta meta;
+  meta.bench_name = "serving";
+  meta.options = base;
+  meta.obs = &obs;
+  bench::emit_table(table, csv, meta);
+
+  std::cout << "\nFused serving: "
+            << util::format_fixed(fused.qps / sequential.qps, 2)
+            << "x sequential throughput ("
+            << util::format_fixed(fused.qps, 2) << " vs "
+            << util::format_fixed(sequential.qps, 2)
+            << " queries/s); all " << queries
+            << " query results bitwise-identical across modes.\n";
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Fused multi-query GAS programs: K same-program queries in one run.
+//
+// The serving scheduler batches same-program queries (K BFS roots, K
+// SSSP roots) into one engine run by widening the vertex state to one
+// lane per query (VertexData = std::array<T, W>) and running the union
+// frontier. The graph topology streams H2D once per iteration instead
+// of K times — the whole point of fusing — while each lane computes its
+// own query.
+//
+// Lane exactness: both fused programs are monotone min-fixpoint
+// computations (hop distance, shortest distance). The fused run's union
+// frontier relaxes a superset of the edges each solo run relaxes, but
+// extra relaxations cannot move a lane below its least fixpoint, and
+// convergence (no lane changed anywhere) is exactly each lane's own
+// fixpoint condition — so every lane's final values are bit-identical
+// to the corresponding independent run (integers are exact; float
+// min-plus path sums round identically edge-by-edge in either run).
+//
+// FusedBfs gathers hop candidates over in-edges rather than copying the
+// base program's apply-only "depth = iteration" trick: a lane cannot
+// tell from the iteration number alone *which* source reached it, but
+// min-plus over in-neighbours computes the same directed hop distance
+// the apply-only program assigns.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "core/gas.hpp"
+
+namespace gr::algo {
+
+/// W-source BFS: lane i holds the hop distance from source i.
+template <std::size_t W>
+struct FusedBfs {
+  using VertexData = std::array<std::uint32_t, W>;
+  using EdgeData = core::Empty;
+  using GatherResult = std::array<std::uint32_t, W>;
+  static constexpr bool has_gather = true;
+  static constexpr bool has_scatter = false;
+  static constexpr std::uint32_t kUnreached =
+      std::numeric_limits<std::uint32_t>::max();
+
+  static GatherResult gather_identity() {
+    GatherResult r;
+    r.fill(kUnreached);
+    return r;
+  }
+  static GatherResult gather_map(const VertexData& src, const VertexData&,
+                                 const EdgeData&) {
+    GatherResult r;
+    for (std::size_t i = 0; i < W; ++i)
+      // Saturating +1: an unreached lane must not wrap to distance 0.
+      r[i] = src[i] == kUnreached ? kUnreached : src[i] + 1;
+    return r;
+  }
+  static GatherResult gather_reduce(const GatherResult& a,
+                                    const GatherResult& b) {
+    GatherResult r;
+    for (std::size_t i = 0; i < W; ++i) r[i] = a[i] < b[i] ? a[i] : b[i];
+    return r;
+  }
+  static bool apply(VertexData& depth, const GatherResult& candidate,
+                    const core::IterationContext&) {
+    bool changed = false;
+    for (std::size_t i = 0; i < W; ++i) {
+      if (candidate[i] < depth[i]) {
+        depth[i] = candidate[i];
+        changed = true;
+      }
+    }
+    return changed;
+  }
+};
+
+/// W-source SSSP: lane i holds the weighted distance from source i.
+template <std::size_t W>
+struct FusedSssp {
+  using VertexData = std::array<float, W>;
+  struct Weight {
+    float w;
+  };
+  using EdgeData = Weight;  // one weight per edge, shared by all lanes
+  using GatherResult = std::array<float, W>;
+  static constexpr bool has_gather = true;
+  static constexpr bool has_scatter = false;
+
+  static GatherResult gather_identity() {
+    GatherResult r;
+    r.fill(std::numeric_limits<float>::infinity());
+    return r;
+  }
+  static GatherResult gather_map(const VertexData& src, const VertexData&,
+                                 const EdgeData& edge) {
+    GatherResult r;
+    // inf + w = inf, so unreached lanes stay inert without a guard; a
+    // reached lane rounds src[i] + w exactly as the solo program does.
+    for (std::size_t i = 0; i < W; ++i) r[i] = src[i] + edge.w;
+    return r;
+  }
+  static GatherResult gather_reduce(const GatherResult& a,
+                                    const GatherResult& b) {
+    GatherResult r;
+    for (std::size_t i = 0; i < W; ++i) r[i] = a[i] < b[i] ? a[i] : b[i];
+    return r;
+  }
+  static bool apply(VertexData& dist, const GatherResult& candidate,
+                    const core::IterationContext&) {
+    bool changed = false;
+    for (std::size_t i = 0; i < W; ++i) {
+      if (candidate[i] < dist[i]) {
+        dist[i] = candidate[i];
+        changed = true;
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace gr::algo

@@ -1,8 +1,11 @@
 #include "core/algorithms/registry.hpp"
 
+#include <cstring>
 #include <limits>
+#include <vector>
 
 #include "core/algorithms/algorithms.hpp"
+#include "core/algorithms/fused.hpp"
 #include "core/engine/register_gas.hpp"
 
 namespace gr::algo {
@@ -98,6 +101,93 @@ core::GasRegistration<ConnectedComponents> cc_registration() {
   return reg;
 }
 
+// Fused multi-source variants (core/algorithms/fused.hpp): one run
+// answers up to W same-program queries through per-lane vertex lanes.
+// Padded lanes (fewer specs than W) start all-unreached with no seeded
+// source, so they stay inert for the whole run.
+
+template <std::size_t W>
+core::FusedGasRegistration<FusedBfs<W>> fused_bfs_registration() {
+  core::FusedGasRegistration<FusedBfs<W>> reg;
+  reg.program = "bfs";
+  reg.width = W;
+  reg.description =
+      "fused " + std::to_string(W) + "-source BFS (one lane per query)";
+  reg.make_instance = [](const graph::EdgeList& edges,
+                         std::span<const core::ProgramSpec> specs) {
+    std::vector<graph::VertexId> sources;
+    sources.reserve(specs.size());
+    for (const core::ProgramSpec& spec : specs)
+      sources.push_back(spec.source);
+    core::ProgramInstance<FusedBfs<W>> instance;
+    instance.init_vertex = [sources](graph::VertexId v) {
+      typename FusedBfs<W>::VertexData lanes;
+      lanes.fill(FusedBfs<W>::kUnreached);
+      for (std::size_t i = 0; i < sources.size(); ++i)
+        if (sources[i] == v) lanes[i] = 0;
+      return lanes;
+    };
+    instance.frontier = core::InitialFrontier::from_set(sources);
+    instance.default_max_iterations = edges.num_vertices() + 1;
+    return instance;
+  };
+  reg.project_lane = [](const typename FusedBfs<W>::VertexData& lanes,
+                        std::uint32_t lane) {
+    return static_cast<double>(lanes[lane]);
+  };
+  reg.extract_lane_bytes = [](const typename FusedBfs<W>::VertexData& lanes,
+                              std::uint32_t lane,
+                              std::vector<std::uint8_t>& out) {
+    const std::uint32_t value = lanes[lane];
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+    out.insert(out.end(), p, p + sizeof(value));
+  };
+  return reg;
+}
+
+template <std::size_t W>
+core::FusedGasRegistration<FusedSssp<W>> fused_sssp_registration() {
+  core::FusedGasRegistration<FusedSssp<W>> reg;
+  reg.program = "sssp";
+  reg.width = W;
+  reg.description =
+      "fused " + std::to_string(W) + "-source SSSP (one lane per query)";
+  reg.make_instance = [](const graph::EdgeList& edges,
+                         std::span<const core::ProgramSpec> specs) {
+    GR_CHECK_MSG(edges.has_weights(), "SSSP needs edge weights");
+    std::vector<graph::VertexId> sources;
+    sources.reserve(specs.size());
+    for (const core::ProgramSpec& spec : specs)
+      sources.push_back(spec.source);
+    core::ProgramInstance<FusedSssp<W>> instance;
+    instance.init_vertex = [sources](graph::VertexId v) {
+      typename FusedSssp<W>::VertexData lanes;
+      lanes.fill(std::numeric_limits<float>::infinity());
+      for (std::size_t i = 0; i < sources.size(); ++i)
+        if (sources[i] == v) lanes[i] = 0.0f;
+      return lanes;
+    };
+    instance.init_edge = [](float w) {
+      return typename FusedSssp<W>::Weight{w};
+    };
+    instance.frontier = core::InitialFrontier::from_set(sources);
+    instance.default_max_iterations = edges.num_vertices() + 1;
+    return instance;
+  };
+  reg.project_lane = [](const typename FusedSssp<W>::VertexData& lanes,
+                        std::uint32_t lane) {
+    return static_cast<double>(lanes[lane]);
+  };
+  reg.extract_lane_bytes = [](const typename FusedSssp<W>::VertexData& lanes,
+                              std::uint32_t lane,
+                              std::vector<std::uint8_t>& out) {
+    const float value = lanes[lane];
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+    out.insert(out.end(), p, p + sizeof(value));
+  };
+  return reg;
+}
+
 }  // namespace
 
 void register_builtin_programs() {
@@ -105,6 +195,10 @@ void register_builtin_programs() {
   core::register_gas_program(sssp_registration());
   core::register_gas_program(pagerank_registration());
   core::register_gas_program(cc_registration());
+  core::register_fused_gas_program(fused_bfs_registration<4>());
+  core::register_fused_gas_program(fused_bfs_registration<16>());
+  core::register_fused_gas_program(fused_sssp_registration<4>());
+  core::register_fused_gas_program(fused_sssp_registration<16>());
 }
 
 }  // namespace gr::algo

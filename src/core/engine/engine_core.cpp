@@ -13,7 +13,14 @@ namespace gr::core {
 EngineCore::EngineCore(const graph::EdgeList& edges,
                        const ProgramFootprint& footprint,
                        EngineOptions options)
-    : options_(options), footprint_(footprint) {
+    : EngineCore(edges, footprint, std::move(options), EngineEnv{}) {}
+
+EngineCore::EngineCore(const graph::EdgeList& edges,
+                       const ProgramFootprint& footprint,
+                       EngineOptions options, EngineEnv env)
+    : options_(std::move(options)),
+      env_(std::move(env)),
+      footprint_(footprint) {
   GR_CHECK_MSG(edges.num_vertices() > 0, "empty graph");
   options_.validate();
   transfer_policy_ = parse_transfer_policy(options_.transfer_policy);
@@ -25,7 +32,15 @@ EngineCore::EngineCore(const graph::EdgeList& edges,
   // simulated timings are identical for any thread count.
   if (options_.threads != 0)
     util::ThreadPool::set_shared_workers(options_.threads - 1);
-  device_ = std::make_unique<vgpu::Device>(options_.device);
+  if (env_.shared_device != nullptr) {
+    // Multi-tenant: borrow the scheduler's device. options_.device then
+    // only feeds the partition planner (the tenant's memory-factor
+    // slice); the simulated hardware is the shared one.
+    device_ = env_.shared_device;
+  } else {
+    owned_device_ = std::make_unique<vgpu::Device>(options_.device);
+    device_ = owned_device_.get();
+  }
 
   plan_partitions(edges);
 }
@@ -69,7 +84,7 @@ void EngineCore::plan_partitions(const graph::EdgeList& edges) {
                    "shard slot after headroom and " << plan.static_bytes
                    << "B of static state; increase "
                    "device.global_memory_bytes");
-  compute_residency_plan(std::numeric_limits<std::uint32_t>::max());
+  compute_residency_plan(env_.cache_lane_cap);
 
   // SSD-backed host (§8(2)): the host master copy of the graph may not
   // fit host memory; the overflow fraction faults in from disk.
@@ -135,13 +150,19 @@ void EngineCore::initialize(const graph::EdgeList& edges,
   // lanes are pure optimization, so halve them away first (they don't
   // consume the P-growth attempt budget); only a cacheless overflow
   // grows P until buffers fit.
-  std::uint32_t cache_cap = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t cache_cap = env_.cache_lane_cap;
   for (int attempt = 0;;) {
-    graph_ = PartitionedGraph::build(edges, partitions_);
+    graph_ = env_.partition_provider
+                 ? env_.partition_provider(edges, partitions_)
+                 : std::make_shared<const PartitionedGraph>(
+                       PartitionedGraph::build(edges, partitions_));
+    GR_CHECK_MSG(graph_ != nullptr,
+                 "EngineEnv::partition_provider returned null for P="
+                     << partitions_);
     // (Re)build the transfer chooser's byte tables and compressed blobs
     // for this partitioning before any device allocation: the staging
     // buffers allocate_frontier_state adds are sized from them.
-    xfer_.configure(transfer_policy_, graph_, footprint_, options_.device,
+    xfer_.configure(transfer_policy_, *graph_, footprint_, options_.device,
                     residency_);
     try {
       hooks.allocate_device_state();
@@ -171,12 +192,12 @@ void EngineCore::initialize(const graph::EdgeList& edges,
     }
   }
   cache_.configure(residency_);
-  frontier_ = std::make_unique<FrontierManager>(graph_);
+  frontier_ = std::make_unique<FrontierManager>(*graph_);
   initialized_ = true;
 }
 
 void EngineCore::allocate_frontier_state() {
-  const graph::VertexId n = graph_.num_vertices();
+  const graph::VertexId n = graph_->num_vertices();
   d_frontier_[0] = device_->alloc<std::uint8_t>(n);
   d_frontier_[1] = device_->alloc<std::uint8_t>(n);
   d_changed_ = device_->alloc<std::uint8_t>(n);
@@ -315,7 +336,7 @@ void EngineCore::copy_compressed(
 
 std::uint64_t EngineCore::shard_group_bytes(std::uint32_t p,
                                             ResidencyGroups groups) const {
-  const ShardTopology& shard = graph_.shard(p);
+  const ShardTopology& shard = graph_->shard(p);
   const std::uint64_t offsets_bytes =
       (static_cast<std::uint64_t>(shard.interval.size()) + 1) *
       sizeof(graph::EdgeId);
@@ -346,7 +367,7 @@ void EngineCore::process_pass(ProgramHooks& hooks, const Pass& pass,
   if (pass.needs_out_edges) requested |= kGroupOutTopology;
 
   for (std::uint32_t p : active_shards) {
-    const ShardWork work = plan_shard_work(graph_, *frontier_,
+    const ShardWork work = plan_shard_work(*graph_, *frontier_,
                                            options_.frontier_management, p);
     // Transfer-strategy decision before the visit commits: the chooser
     // sees the load begin_visit will produce (requested minus the cached
@@ -438,7 +459,7 @@ void EngineCore::add_transfer_stats(const TransferDecision& decision,
 void EngineCore::run_iteration(ProgramHooks& hooks, std::uint32_t iteration,
                                RunReport& report) {
   vgpu::Device& dev = *device_;
-  const graph::VertexId n = graph_.num_vertices();
+  const graph::VertexId n = graph_->num_vertices();
 
   // Clear the changed flags and next-frontier bitmap on device.
   {
@@ -502,16 +523,19 @@ void EngineCore::run_iteration(ProgramHooks& hooks, std::uint32_t iteration,
   for_observers([&](ExecutionObserver& o) { o.on_iteration_end(stats); });
 }
 
-RunReport EngineCore::run(ProgramHooks& hooks, const InitialFrontier& seed,
-                          std::uint32_t default_max_iterations) {
+void EngineCore::begin_run(ProgramHooks& hooks, const InitialFrontier& seed,
+                           std::uint32_t default_max_iterations) {
   GR_CHECK_MSG(initialized_, "EngineCore::run before initialize");
   GR_CHECK_MSG(!ran_, "Engine::run() may only be called once");
   ran_ = true;
-  GR_LOG_SCOPE("engine run");
   vgpu::Device& dev = *device_;
-  const std::uint32_t max_iterations = options_.max_iterations != 0
-                                           ? options_.max_iterations
-                                           : default_max_iterations;
+  max_iterations_ = options_.max_iterations != 0 ? options_.max_iterations
+                                                 : default_max_iterations;
+  // Baseline for per-run accounting on a shared device: the clock and
+  // the cumulative stats as of admission. A private device is at zero
+  // here, so the deltas finish_run reports equal the classic absolutes.
+  t_begin_ = dev.now();
+  stats_begin_ = dev.stats();
 
   // Run-scoped observability (src/obs): attach before the first device
   // op so the static upload lands in the trace. Attaching never changes
@@ -522,10 +546,14 @@ RunReport EngineCore::run(ProgramHooks& hooks, const InitialFrontier& seed,
     obs_config.trace_out = options_.trace_out;
     obs_config.metrics_out = options_.metrics_out;
     obs_config.summary = options_.profile_summary;
+    obs_config.track_prefix = env_.track_prefix;
     if (obs_config.enabled()) {
       run_obs_ = std::make_unique<obs::RunObservability>(dev, obs_config);
       if (!options_.metrics_provenance.empty())
         run_obs_->metrics().set_provenance(options_.metrics_provenance);
+      if (options_.metrics_snapshot_interval > 0.0)
+        run_obs_->metrics().snapshot_every(
+            options_.metrics_snapshot_interval, options_.metrics_out);
       std::vector<int> slot_streams;
       slot_streams.reserve(ring_.size());
       for (std::size_t i = 0; i < ring_.size(); ++i)
@@ -546,71 +574,103 @@ RunReport EngineCore::run(ProgramHooks& hooks, const InitialFrontier& seed,
     vgpu::Stream& s = dev.default_stream();
     hooks.upload_static_state(s);
     dev.memcpy_h2d(s, d_frontier_[0].data(),
-                   frontier_->current_bits().data(), graph_.num_vertices());
+                   frontier_->current_bits().data(), graph_->num_vertices());
     // next/changed cleared by the per-iteration clear kernel.
     dev.synchronize();
   }
 
-  RunReport report;
-  report.partitions = partitions_;
-  report.slots = residency_.total_lanes();
-  report.resident_mode = residency_.fully_resident;
-  report.cache_slots = residency_.cache_slots;
-  report.host_spill_fraction = host_spill_fraction_;
+  report_ = {};
+  report_.partitions = partitions_;
+  report_.slots = residency_.total_lanes();
+  report_.resident_mode = residency_.fully_resident;
+  report_.cache_slots = residency_.cache_slots;
+  report_.host_spill_fraction = host_spill_fraction_;
   for_observers([&](ExecutionObserver& o) {
     o.on_run_begin(partitions_, residency_.total_lanes(),
                    residency_.fully_resident);
   });
   for_observers(
       [&](ExecutionObserver& o) { o.on_residency_plan(residency_); });
+}
 
-  std::uint32_t iteration = 0;
-  while (iteration < max_iterations && !frontier_->empty()) {
-    GR_LOG_SCOPE("iteration " + std::to_string(iteration));
-    for_observers([&](ExecutionObserver& o) {
-      o.on_iteration_begin(iteration, frontier_->active_vertices());
-    });
-    run_iteration(hooks, iteration, report);
-    // Per-iteration host scheduling overhead (frontier scan + shard
-    // schedule construction on the driver thread).
-    dev.advance_host_time(5e-6 +
-                          static_cast<double>(graph_.num_vertices()) * 1e-10);
-    frontier_->advance();
-    ++iteration;
-  }
-  report.iterations = iteration;
-  report.converged = frontier_->empty();
+bool EngineCore::step(ProgramHooks& hooks) {
+  GR_CHECK_MSG(ran_ && !run_finished_,
+               "EngineCore::step outside begin_run..finish_run");
+  if (iteration_ >= max_iterations_ || frontier_->empty()) return false;
+  vgpu::Device& dev = *device_;
+  GR_LOG_SCOPE("iteration " + std::to_string(iteration_));
+  for_observers([&](ExecutionObserver& o) {
+    o.on_iteration_begin(iteration_, frontier_->active_vertices());
+  });
+  run_iteration(hooks, iteration_, report_);
+  // Per-iteration host scheduling overhead (frontier scan + shard
+  // schedule construction on the driver thread).
+  dev.advance_host_time(5e-6 +
+                        static_cast<double>(graph_->num_vertices()) * 1e-10);
+  frontier_->advance();
+  ++iteration_;
+  // Periodic metrics snapshots ride the simulated clock (satellite a):
+  // checked only at iteration boundaries, so files never interleave
+  // with a half-issued pass.
+  if (run_obs_) run_obs_->metrics().maybe_snapshot(dev.now());
+  return true;
+}
+
+RunReport EngineCore::finish_run(ProgramHooks& hooks) {
+  GR_CHECK_MSG(ran_ && !run_finished_,
+               "EngineCore::finish_run outside begin_run..finish_run");
+  run_finished_ = true;
+  vgpu::Device& dev = *device_;
+  report_.iterations = iteration_;
+  report_.converged = frontier_->empty();
 
   // Pull final vertex values (edge state is already host-canonical).
   hooks.download_results(dev.default_stream());
   dev.synchronize();
 
+  // Deltas against the begin_run baseline: this run's own traffic, not
+  // the shared device's lifetime totals.
   const vgpu::DeviceStats& stats = dev.stats();
-  report.total_seconds = dev.now();
-  report.memcpy_seconds = stats.memcpy_busy_seconds();
-  report.kernel_seconds = stats.kernel_busy_seconds;
-  report.h2d_busy_seconds = stats.h2d_busy_seconds;
-  report.d2h_busy_seconds = stats.d2h_busy_seconds;
-  report.bytes_h2d = stats.bytes_h2d;
-  report.bytes_d2h = stats.bytes_d2h;
-  report.kernels_launched = stats.kernels_launched;
-  report.memcpy_ops = stats.h2d_ops + stats.d2h_ops;
+  report_.total_seconds = dev.now() - t_begin_;
+  report_.memcpy_seconds =
+      stats.memcpy_busy_seconds() - stats_begin_.memcpy_busy_seconds();
+  report_.kernel_seconds =
+      stats.kernel_busy_seconds - stats_begin_.kernel_busy_seconds;
+  report_.h2d_busy_seconds =
+      stats.h2d_busy_seconds - stats_begin_.h2d_busy_seconds;
+  report_.d2h_busy_seconds =
+      stats.d2h_busy_seconds - stats_begin_.d2h_busy_seconds;
+  report_.bytes_h2d = stats.bytes_h2d - stats_begin_.bytes_h2d;
+  report_.bytes_d2h = stats.bytes_d2h - stats_begin_.bytes_d2h;
+  report_.kernels_launched =
+      stats.kernels_launched - stats_begin_.kernels_launched;
+  report_.memcpy_ops = (stats.h2d_ops - stats_begin_.h2d_ops) +
+                       (stats.d2h_ops - stats_begin_.d2h_ops);
   const ShardCacheStats& cache_stats = cache_.stats();
-  report.cache_hits = cache_stats.group_hits;
-  report.cache_misses = cache_stats.group_misses;
-  report.cache_evictions = cache_stats.evictions;
-  report.cache_writebacks = cache_stats.writebacks;
-  report.bytes_h2d_saved = bytes_h2d_saved_;
+  report_.cache_hits = cache_stats.group_hits;
+  report_.cache_misses = cache_stats.group_misses;
+  report_.cache_evictions = cache_stats.evictions;
+  report_.cache_writebacks = cache_stats.writebacks;
+  report_.bytes_h2d_saved = bytes_h2d_saved_;
   // Every scheduled visit must land in exactly one strategy bucket.
   GR_CHECK_MSG(transfer_stats_.total_shards() == cache_stats.shard_visits,
                "per-strategy transfer counters ("
                    << transfer_stats_.total_shards()
                    << ") do not account for all "
                    << cache_stats.shard_visits << " shard visits");
-  report.transfer = transfer_stats_;
-  for_observers([&](ExecutionObserver& o) { o.on_run_end(report); });
-  if (run_obs_) run_obs_->finalize(report);
-  return report;
+  report_.transfer = transfer_stats_;
+  for_observers([&](ExecutionObserver& o) { o.on_run_end(report_); });
+  if (run_obs_) run_obs_->finalize(report_);
+  return report_;
+}
+
+RunReport EngineCore::run(ProgramHooks& hooks, const InitialFrontier& seed,
+                          std::uint32_t default_max_iterations) {
+  GR_LOG_SCOPE("engine run");
+  begin_run(hooks, seed, default_max_iterations);
+  while (step(hooks)) {
+  }
+  return finish_run(hooks);
 }
 
 }  // namespace gr::core

@@ -29,6 +29,7 @@
 #include <span>
 
 #include "core/engine/footprint.hpp"
+#include "core/engine/job.hpp"
 #include "core/engine/observer.hpp"
 #include "core/engine/shard_cache.hpp"
 #include "core/engine/slot_ring.hpp"
@@ -99,15 +100,45 @@ class EngineCore : util::NonCopyable {
   EngineCore(const graph::EdgeList& edges, const ProgramFootprint& footprint,
              EngineOptions options);
 
+  /// Multi-tenant construction: `env` injects the shared services a
+  /// scheduled job borrows (device, partition provider, cache-lane cap,
+  /// trace track prefix). A default-constructed env makes this ctor
+  /// identical to the classic one.
+  EngineCore(const graph::EdgeList& edges, const ProgramFootprint& footprint,
+             EngineOptions options, EngineEnv env);
+
   /// Builds the partitioned graph and allocates device state through
   /// `hooks`, growing P until the largest shard's buffers fit (skewed
   /// graphs can exceed the planner's bounded-imbalance assumption).
   void initialize(const graph::EdgeList& edges, ProgramHooks& hooks);
 
   /// Executes iterations to convergence (empty frontier) or the cap;
-  /// callable once.
+  /// callable once. Exactly begin_run + while (step) + finish_run.
   RunReport run(ProgramHooks& hooks, const InitialFrontier& seed,
                 std::uint32_t default_max_iterations);
+
+  // --- staged run API (the JobScheduler's interleaving seam) ---
+  //
+  // A run is begin_run() once, step() until it returns false, then
+  // finish_run() once. The decomposition is exact: the op-issue
+  // sequence of the three stages concatenated is identical to run()'s,
+  // so a single staged job produces bitwise-identical results, traces,
+  // and timings. Between stages the driver may run other tenants'
+  // stages against the same shared device — every stage ends on a BSP
+  // synchronize, so no in-flight op crosses a stage boundary.
+
+  /// Seeds the frontier, builds run-scoped observability, uploads the
+  /// static state, and snapshots the shared device's clock and
+  /// cumulative stats so finish_run can report this run's own deltas.
+  void begin_run(ProgramHooks& hooks, const InitialFrontier& seed,
+                 std::uint32_t default_max_iterations);
+  /// Runs one BSP iteration; false (without running one) when the
+  /// frontier is empty or the iteration cap is reached.
+  bool step(ProgramHooks& hooks);
+  /// Downloads results and fills the report from the device-stat deltas
+  /// since begin_run (a private device started from zero, so deltas
+  /// equal the classic absolute values).
+  RunReport finish_run(ProgramHooks& hooks);
 
   /// Observability seam: callbacks fire on the driver thread at every
   /// run/iteration/pass/shard boundary. Pass nullptr to detach. The
@@ -121,12 +152,29 @@ class EngineCore : util::NonCopyable {
   const obs::RunObservability* observability() const {
     return run_obs_.get();
   }
+  /// Mutable access for the scheduler: per-job `engine.sched.*` metrics
+  /// are injected here just before finish_run writes the files.
+  obs::RunObservability* mutable_observability() { return run_obs_.get(); }
+
+  /// Scopes this run's device-op listener to its own stages. The
+  /// JobScheduler suspends a job's observability while other tenants
+  /// drive the shared device and resumes it around the job's own
+  /// begin/step/finish — exact because stages end on a BSP synchronize,
+  /// so no op of this job completes outside its own stages. No-ops
+  /// without an observability bundle; harmless on a private device.
+  void suspend_observability() {
+    if (run_obs_) run_obs_->detach_device_listener();
+  }
+  void resume_observability() {
+    if (run_obs_) run_obs_->attach_device_listener();
+  }
 
   // --- state shared with the typed layer ---
 
   vgpu::Device& device() { return *device_; }
   const vgpu::Device& device() const { return *device_; }
-  const PartitionedGraph& graph() const { return graph_; }
+  /// Valid after initialize (shared plans are provided lazily).
+  const PartitionedGraph& graph() const { return *graph_; }
   FrontierManager& frontier() { return *frontier_; }
   const PhasePlan& phase_plan() const { return plan_; }
   const EngineOptions& options() const { return options_; }
@@ -203,12 +251,18 @@ class EngineCore : util::NonCopyable {
   }
 
   EngineOptions options_;
+  EngineEnv env_;
   ProgramFootprint footprint_;
   PhasePlan plan_;
   bool uses_in_edges_ = false;
 
-  std::unique_ptr<vgpu::Device> device_;
-  PartitionedGraph graph_;
+  /// Non-null only when this core owns its device (default EngineEnv);
+  /// device_ below is the working pointer either way.
+  std::unique_ptr<vgpu::Device> owned_device_;
+  vgpu::Device* device_ = nullptr;
+  /// Shared (scheduler-memoized) or private partition plan; immutable
+  /// once built, so concurrent tenants can alias one plan.
+  std::shared_ptr<const PartitionedGraph> graph_;
   std::unique_ptr<FrontierManager> frontier_;
 
   vgpu::DeviceBuffer<std::uint8_t> d_frontier_[2];
@@ -254,6 +308,16 @@ class EngineCore : util::NonCopyable {
   double host_spill_fraction_ = 0.0;
   bool initialized_ = false;
   bool ran_ = false;
+
+  // Staged-run state (begin_run .. finish_run). The clock/stat
+  // snapshots taken at begin_run turn the shared device's cumulative
+  // counters into this run's own deltas.
+  std::uint32_t max_iterations_ = 0;
+  std::uint32_t iteration_ = 0;
+  RunReport report_;
+  double t_begin_ = 0.0;
+  vgpu::DeviceStats stats_begin_;
+  bool run_finished_ = false;
 };
 
 }  // namespace gr::core

@@ -1,0 +1,99 @@
+// The job abstraction of the multi-tenant scheduler runtime.
+//
+// Historically EngineCore owned the whole world for exactly one run: it
+// built the virtual device, partitioned the graph, and run() executed to
+// convergence. Serving many queries against one accelerator needs the
+// same machinery split along two seams:
+//
+//   * EngineEnv — the services a job *borrows* instead of owning: the
+//     shared simulated device (one clock, one allocator, one contention
+//     domain for every tenant), a memoized partition-plan provider, and
+//     the admission policy's residency-cache lane cap. A default
+//     EngineEnv makes EngineCore behave exactly as before (it builds
+//     and owns a private device and graph).
+//
+//   * EngineJob — one admitted query as a resumable state machine over
+//     EngineCore's staged run API (begin_run / step / finish_run). The
+//     JobScheduler interleaves many EngineJobs at iteration granularity
+//     on the shared device; a fused job carries several source lanes
+//     (multi-source BFS/SSSP) and answers one query per lane.
+//
+// EngineJob instances are produced type-erased by ProgramHandle::
+// make_job / FusionHandle::make (core/engine/program_registry.hpp), so
+// the scheduler never names program types.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "core/engine/program_registry.hpp"
+#include "core/options.hpp"
+#include "graph/edge_list.hpp"
+
+namespace gr::vgpu {
+class Device;
+}
+
+namespace gr::core {
+
+class EngineCore;
+class PartitionedGraph;
+
+/// Shared, job-agnostic services injected into an EngineCore. The
+/// default-constructed env reproduces the classic single-run engine: a
+/// private device, a private partition plan, an uncapped cache.
+struct EngineEnv {
+  /// Borrowed simulated device (the scheduler's shared clock, DMA
+  /// engines, and allocator). nullptr = the core builds and owns one.
+  vgpu::Device* shared_device = nullptr;
+
+  /// Shared partition-plan provider: returns the PartitionedGraph for
+  /// `partitions` shards, memoized across tenants so concurrent jobs
+  /// over the same graph reuse one plan. Empty = build privately. The
+  /// provider must be pure (same inputs, same plan) — the OOM-retry
+  /// loop calls it again with a grown partition count.
+  std::function<std::shared_ptr<const PartitionedGraph>(
+      const graph::EdgeList& edges, std::uint32_t partitions)>
+      partition_provider;
+
+  /// Admission policy's upper bound on this tenant's residency-cache
+  /// lanes (0 = stream-only tenant). Unlimited by default.
+  std::uint32_t cache_lane_cap = std::numeric_limits<std::uint32_t>::max();
+
+  /// Trace track prefix for this job's observability ("job0/"); empty =
+  /// the classic track names (byte-identical single-run traces).
+  std::string track_prefix;
+};
+
+/// One admitted job: a staged engine run the scheduler can interleave.
+/// Lifecycle: begin() once, step() until it returns false, finish()
+/// once; then result(lane) for each of width() query lanes.
+class EngineJob {
+ public:
+  virtual ~EngineJob() = default;
+
+  /// The job's engine core (observability scoping, introspection).
+  virtual EngineCore& core() = 0;
+
+  /// Seeds the frontier and uploads static state (the pre-loop half of
+  /// the classic run()).
+  virtual void begin() = 0;
+  /// Executes one BSP iteration; false when converged or capped (no
+  /// iteration was run).
+  virtual bool step() = 0;
+  /// Downloads results and closes the report (the post-loop half).
+  virtual const RunReport& finish() = 0;
+
+  /// Query lanes answered by this job (1 = plain run; a fused
+  /// multi-source job answers one query per lane).
+  virtual std::uint32_t width() const = 0;
+  /// Type-erased per-lane result; valid after finish(). Lane hashes and
+  /// projections of a fused job are bitwise-identical to the
+  /// corresponding independent runs.
+  virtual ProgramRunResult result(std::uint32_t lane) const = 0;
+};
+
+}  // namespace gr::core

@@ -44,6 +44,37 @@ const ProgramHandle& ProgramRegistry::at(const std::string& name) const {
   return *handle;
 }
 
+void ProgramRegistry::add_fusion(FusionHandle handle) {
+  GR_CHECK_MSG(!handle.program.empty(),
+               "fusion handle needs a base program name");
+  GR_CHECK_MSG(handle.width >= 2,
+               "fusion '" << handle.program << "' needs width >= 2, got "
+                          << handle.width);
+  GR_CHECK_MSG(static_cast<bool>(handle.make),
+               "fusion '" << handle.program << "' x" << handle.width
+                          << " has no make function");
+  for (FusionHandle& existing : fusions_) {
+    if (existing.program == handle.program &&
+        existing.width == handle.width) {
+      existing = std::move(handle);  // idempotent re-registration
+      return;
+    }
+  }
+  fusions_.push_back(std::move(handle));
+}
+
+std::vector<const FusionHandle*> ProgramRegistry::fusions(
+    const std::string& program) const {
+  std::vector<const FusionHandle*> out;
+  for (const FusionHandle& handle : fusions_)
+    if (handle.program == program) out.push_back(&handle);
+  std::sort(out.begin(), out.end(),
+            [](const FusionHandle* a, const FusionHandle* b) {
+              return a->width < b->width;
+            });
+  return out;
+}
+
 std::vector<std::string> ProgramRegistry::names() const {
   std::vector<std::string> out;
   out.reserve(handles_.size());

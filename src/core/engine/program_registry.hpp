@@ -18,6 +18,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,6 +27,9 @@
 #include "graph/edge_list.hpp"
 
 namespace gr::core {
+
+class EngineJob;   // core/engine/job.hpp
+struct EngineEnv;  // core/engine/job.hpp
 
 /// Type-erased run parameters: the traversal seed for source-based
 /// programs (BFS/SSSP ignore nothing, PageRank/CC ignore it) and an
@@ -52,6 +57,30 @@ struct ProgramHandle {
                                  const ProgramSpec& spec,
                                  const EngineOptions& options)>
       run;
+  /// Builds a staged, schedulable job for this program (the
+  /// JobScheduler's construction seam; see core/engine/job.hpp). Jobs
+  /// built with a default EngineEnv degenerate bit-exactly to run().
+  /// Registered automatically by register_gas_program; may be empty for
+  /// exotic hand-rolled handles, which the scheduler rejects.
+  std::function<std::unique_ptr<EngineJob>(const graph::EdgeList& edges,
+                                           const ProgramSpec& spec,
+                                           const EngineOptions& options,
+                                           const EngineEnv& env)>
+      make_job;
+};
+
+/// A fused multi-query variant of a registered program: one engine run
+/// answering up to `width` same-program queries (multi-source BFS/SSSP
+/// through per-lane vertex state and a shared union frontier). Lane
+/// results are bitwise-identical to the corresponding independent runs.
+struct FusionHandle {
+  std::string program;  // base program name ("bfs", "sssp")
+  std::uint32_t width = 0;
+  std::string description;
+  std::function<std::unique_ptr<EngineJob>(
+      const graph::EdgeList& edges, std::span<const ProgramSpec> specs,
+      const EngineOptions& options, const EngineEnv& env)>
+      make;
 };
 
 class ProgramRegistry {
@@ -74,8 +103,14 @@ class ProgramRegistry {
   std::vector<std::string> names() const;
   std::size_t size() const { return handles_.size(); }
 
+  /// Adds (or, for a repeated program+width, replaces) a fused variant.
+  void add_fusion(FusionHandle handle);
+  /// Fused variants of `program`, widths ascending; empty when none.
+  std::vector<const FusionHandle*> fusions(const std::string& program) const;
+
  private:
   std::vector<ProgramHandle> handles_;
+  std::vector<FusionHandle> fusions_;
 };
 
 /// FNV-1a over raw bytes (the registry's value-hash function, exposed

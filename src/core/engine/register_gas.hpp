@@ -8,10 +8,14 @@
 // wall-clock scaling bench checks).
 #pragma once
 
+#include <memory>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "core/engine/program_registry.hpp"
+#include "core/engine/typed_job.hpp"
 
 namespace gr::core {
 
@@ -34,13 +38,15 @@ template <GasProgram P>
 void register_gas_program(GasRegistration<P> registration) {
   GR_CHECK_MSG(static_cast<bool>(registration.make_instance),
                "program '" << registration.name << "' needs make_instance");
+  // The handle's run and make_job closures share one registration copy.
+  auto reg = std::make_shared<const GasRegistration<P>>(
+      std::move(registration));
   ProgramHandle handle;
-  handle.name = registration.name;
-  handle.description = registration.description;
-  handle.run = [registration = std::move(registration)](
-                   const graph::EdgeList& edges, const ProgramSpec& spec,
-                   const EngineOptions& options) {
-    ProgramInstance<P> instance = registration.make_instance(edges, spec);
+  handle.name = reg->name;
+  handle.description = reg->description;
+  handle.run = [reg](const graph::EdgeList& edges, const ProgramSpec& spec,
+                     const EngineOptions& options) {
+    ProgramInstance<P> instance = reg->make_instance(edges, spec);
     if (spec.max_iterations != 0)
       instance.default_max_iterations = spec.max_iterations;
     Engine<P> engine(edges, std::move(instance), options);
@@ -49,14 +55,117 @@ void register_gas_program(GasRegistration<P> registration) {
     const std::span<const typename P::VertexData> values =
         engine.vertex_values();
     result.value_hash = fnv1a_bytes(values.data(), values.size_bytes());
-    if (registration.project) {
+    if (reg->project) {
       result.values.reserve(values.size());
       for (const typename P::VertexData& v : values)
-        result.values.push_back(registration.project(v));
+        result.values.push_back(reg->project(v));
     }
     return result;
   };
+  handle.make_job = [reg](const graph::EdgeList& edges,
+                          const ProgramSpec& spec,
+                          const EngineOptions& options,
+                          const EngineEnv& env) -> std::unique_ptr<EngineJob> {
+    ProgramInstance<P> instance = reg->make_instance(edges, spec);
+    if (spec.max_iterations != 0)
+      instance.default_max_iterations = spec.max_iterations;
+    // Width-1 extraction mirrors run() above: hash the whole array.
+    typename GasJob<P>::ExtractFn extract =
+        [reg](std::span<const typename P::VertexData> values,
+              std::uint32_t /*lane*/, const RunReport& report) {
+          ProgramRunResult result;
+          result.report = report;
+          result.value_hash = fnv1a_bytes(values.data(), values.size_bytes());
+          if (reg->project) {
+            result.values.reserve(values.size());
+            for (const typename P::VertexData& v : values)
+              result.values.push_back(reg->project(v));
+          }
+          return result;
+        };
+    return std::make_unique<GasJob<P>>(edges, std::move(instance), options,
+                                       env, /*width=*/1, std::move(extract));
+  };
   ProgramRegistry::global().add(std::move(handle));
+}
+
+/// Registration of a fused multi-query variant: program F packs one
+/// vertex value per lane (VertexData = std::array<T, Width>), answering
+/// up to Width same-program queries in one engine run.
+template <GasProgram F>
+struct FusedGasRegistration {
+  std::string program;  // base program name this fusion serves
+  std::uint32_t width = 0;
+  std::string description;
+  /// Builds the fused instance for `specs` (specs.size() <= width;
+  /// trailing lanes are padded inert).
+  std::function<ProgramInstance<F>(const graph::EdgeList& edges,
+                                   std::span<const ProgramSpec> specs)>
+      make_instance;
+  /// Extracts lane `lane` of one fused vertex value (the scalar the
+  /// base program would have computed for that query).
+  std::function<double(const typename F::VertexData&, std::uint32_t lane)>
+      project_lane;
+  /// Copies lane `lane` into the base program's VertexData type for
+  /// hashing; the result must be bit-identical to the independent run's
+  /// final value.
+  std::function<void(const typename F::VertexData&, std::uint32_t lane,
+                     std::vector<std::uint8_t>& out)>
+      extract_lane_bytes;
+};
+
+template <GasProgram F>
+void register_fused_gas_program(FusedGasRegistration<F> registration) {
+  GR_CHECK_MSG(static_cast<bool>(registration.make_instance),
+               "fusion '" << registration.program << "' needs make_instance");
+  GR_CHECK_MSG(static_cast<bool>(registration.extract_lane_bytes),
+               "fusion '" << registration.program
+                          << "' needs extract_lane_bytes");
+  auto reg = std::make_shared<const FusedGasRegistration<F>>(
+      std::move(registration));
+  FusionHandle handle;
+  handle.program = reg->program;
+  handle.width = reg->width;
+  handle.description = reg->description;
+  handle.make = [reg](const graph::EdgeList& edges,
+                      std::span<const ProgramSpec> specs,
+                      const EngineOptions& options,
+                      const EngineEnv& env) -> std::unique_ptr<EngineJob> {
+    GR_CHECK_MSG(!specs.empty() && specs.size() <= reg->width,
+                 "fused '" << reg->program << "' x" << reg->width << " got "
+                           << specs.size() << " specs");
+    ProgramInstance<F> instance = reg->make_instance(edges, specs);
+    // The fused run iterates until every lane converges; a per-spec cap
+    // applies as the max over lanes (all specs share one program, and
+    // submit_batch only fuses equal caps).
+    std::uint32_t cap = 0;
+    for (const ProgramSpec& spec : specs)
+      cap = std::max(cap, spec.max_iterations);
+    if (cap != 0) instance.default_max_iterations = cap;
+    typename GasJob<F>::ExtractFn extract =
+        [reg](std::span<const typename F::VertexData> values,
+              std::uint32_t lane, const RunReport& report) {
+          ProgramRunResult result;
+          result.report = report;
+          // Lane bytes concatenated in vertex order hash exactly like
+          // the base program's contiguous vertex array.
+          std::vector<std::uint8_t> bytes;
+          for (const typename F::VertexData& v : values)
+            reg->extract_lane_bytes(v, lane, bytes);
+          result.value_hash = fnv1a_bytes(bytes.data(), bytes.size());
+          if (reg->project_lane) {
+            result.values.reserve(values.size());
+            for (const typename F::VertexData& v : values)
+              result.values.push_back(reg->project_lane(v, lane));
+          }
+          return result;
+        };
+    return std::make_unique<GasJob<F>>(
+        edges, std::move(instance), options, env,
+        /*width=*/static_cast<std::uint32_t>(specs.size()),
+        std::move(extract));
+  };
+  ProgramRegistry::global().add_fusion(std::move(handle));
 }
 
 }  // namespace gr::core

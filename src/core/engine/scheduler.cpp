@@ -1,0 +1,270 @@
+#include "core/engine/scheduler.hpp"
+
+#include <algorithm>
+
+#include "core/engine/engine_core.hpp"
+#include "core/partition.hpp"
+#include "obs/observability.hpp"
+#include "util/log.hpp"
+
+namespace gr::core {
+
+JobScheduler::JobScheduler(const graph::EdgeList& edges,
+                           EngineOptions options)
+    : edges_(&edges), options_(std::move(options)) {
+  GR_CHECK_MSG(edges.num_vertices() > 0, "empty graph");
+  options_.validate();
+  device_ = std::make_unique<vgpu::Device>(options_.device);
+}
+
+std::uint32_t JobScheduler::max_concurrent() const {
+  return options_.sched_max_concurrent != 0 ? options_.sched_max_concurrent
+                                            : 2;
+}
+
+JobId JobScheduler::submit(JobRequest request) {
+  GR_CHECK_MSG(!request.program.empty(), "JobRequest needs a program name");
+  const ProgramHandle& handle =
+      ProgramRegistry::global().at(request.program);
+  GR_CHECK_MSG(static_cast<bool>(handle.make_job),
+               "program '" << request.program
+                           << "' was registered without a job factory and "
+                              "cannot be scheduled");
+  if (request.label.empty()) request.label = request.program;
+  Pending pending;
+  pending.submit_seconds = device_->now();
+  pending.ids.push_back(next_id_++);
+  pending.requests.push_back(std::move(request));
+  ++stats_.submitted;
+  const JobId id = pending.ids.front();
+  queue_.push_back(std::move(pending));
+  return id;
+}
+
+std::vector<JobId> JobScheduler::submit_batch(
+    std::vector<JobRequest> requests) {
+  GR_CHECK_MSG(!requests.empty(), "submit_batch needs at least one request");
+  const std::string program = requests.front().program;
+  for (const JobRequest& request : requests)
+    GR_CHECK_MSG(request.program == program,
+                 "submit_batch fuses one program per batch, got '"
+                     << program << "' and '" << request.program
+                     << "'; group requests per program or submit() mixed "
+                        "programs individually");
+  const std::vector<const FusionHandle*> fusions =
+      options_.sched_fusion ? ProgramRegistry::global().fusions(program)
+                            : std::vector<const FusionHandle*>{};
+  std::vector<JobId> ids;
+  ids.reserve(requests.size());
+  std::size_t i = 0;
+  while (i < requests.size()) {
+    // An explicit iteration cap disables fusion for that query: a
+    // capped, unconverged fused lane could diverge bitwise from its
+    // solo run (the union frontier relaxes edges the solo run would
+    // only reach in later iterations).
+    if (fusions.empty() || requests[i].spec.max_iterations != 0) {
+      ids.push_back(submit(std::move(requests[i])));
+      ++i;
+      continue;
+    }
+    std::size_t end = i + 1;
+    while (end < requests.size() &&
+           requests[end].spec.max_iterations == 0)
+      ++end;
+    const std::size_t remaining = end - i;
+    if (remaining == 1) {
+      ids.push_back(submit(std::move(requests[i])));
+      ++i;
+      continue;
+    }
+    // Smallest registered width that covers the remaining run, else the
+    // largest (fusions() returns widths ascending).
+    const FusionHandle* chosen = fusions.back();
+    for (const FusionHandle* fusion : fusions) {
+      if (fusion->width >= remaining) {
+        chosen = fusion;
+        break;
+      }
+    }
+    const std::size_t take =
+        std::min<std::size_t>(chosen->width, remaining);
+    Pending pending;
+    pending.fusion = chosen;
+    pending.submit_seconds = device_->now();
+    pending.ids.reserve(take);
+    pending.requests.reserve(take);
+    for (std::size_t k = 0; k < take; ++k) {
+      JobRequest request = std::move(requests[i + k]);
+      if (request.label.empty()) request.label = request.program;
+      pending.ids.push_back(next_id_++);
+      pending.requests.push_back(std::move(request));
+    }
+    stats_.submitted += take;
+    ids.insert(ids.end(), pending.ids.begin(), pending.ids.end());
+    queue_.push_back(std::move(pending));
+    i += take;
+  }
+  return ids;
+}
+
+EngineOptions JobScheduler::job_options(const JobRequest& request,
+                                        std::uint32_t concurrency) const {
+  EngineOptions opts = options_;
+  // The tenant plans against its 1/W slice of the shared device; W == 1
+  // (a lone job) keeps the full capacity, so planning degenerates
+  // exactly to the single-run engine.
+  if (concurrency > 1)
+    opts.device.global_memory_bytes = std::max<std::uint64_t>(
+        1, options_.device.global_memory_bytes / concurrency);
+  // Observability outputs are per-job, never inherited from the
+  // scheduler's option template.
+  opts.trace_out = request.trace_out;
+  opts.metrics_out = request.metrics_out;
+  opts.metrics_provenance = request.metrics_provenance;
+  if (opts.metrics_out.empty()) opts.metrics_snapshot_interval = 0.0;
+  return opts;
+}
+
+EngineEnv JobScheduler::job_env(const JobRequest& request) const {
+  EngineEnv env;
+  env.shared_device = device_.get();
+  env.partition_provider = [this](const graph::EdgeList& edges,
+                                  std::uint32_t partitions) {
+    std::shared_ptr<const PartitionedGraph>& plan = plans_[partitions];
+    if (!plan)
+      plan = std::make_shared<const PartitionedGraph>(
+          PartitionedGraph::build(edges, partitions));
+    return plan;
+  };
+  if (options_.sched_admission == "stream-only")
+    env.cache_lane_cap = 0;
+  else if (options_.sched_admission == "cache-fair")
+    env.cache_lane_cap = options_.slots != 0 ? options_.slots : 2;
+  env.track_prefix = request.track_prefix;
+  return env;
+}
+
+void JobScheduler::admit_available() {
+  while (running_.size() < max_concurrent() && !queue_.empty()) {
+    Pending pending = std::move(queue_.front());
+    queue_.pop_front();
+    // Width the memory slice for the load actually present: tenants in
+    // flight (including this one) plus entries still queued, capped at
+    // the concurrency limit.
+    const std::uint32_t concurrency =
+        static_cast<std::uint32_t>(std::min<std::size_t>(
+            max_concurrent(), running_.size() + 1 + queue_.size()));
+    const JobRequest& lead = pending.requests.front();
+    auto tenant = std::make_unique<Tenant>();
+    tenant->submit_seconds = pending.submit_seconds;
+    tenant->admit_seconds = device_->now();
+    tenant->ids = pending.ids;
+    const EngineOptions opts = job_options(lead, concurrency);
+    const EngineEnv env = job_env(lead);
+    if (pending.fusion != nullptr) {
+      std::vector<ProgramSpec> specs;
+      specs.reserve(pending.requests.size());
+      for (const JobRequest& request : pending.requests)
+        specs.push_back(request.spec);
+      tenant->job = pending.fusion->make(*edges_, specs, opts, env);
+      ++stats_.fused_jobs;
+      stats_.fused_lanes += pending.requests.size();
+      GR_LOG_DEBUG("admitted fused " << lead.program << " x"
+                                     << pending.requests.size());
+    } else {
+      const ProgramHandle& handle =
+          ProgramRegistry::global().at(lead.program);
+      tenant->job = handle.make_job(*edges_, lead.spec, opts, env);
+    }
+    tenant->requests = std::move(pending.requests);
+    // begin() runs under this job's own observability scope (begin_run
+    // builds and attaches the listener); suspend before other tenants
+    // touch the shared device.
+    tenant->job->begin();
+    tenant->job->core().suspend_observability();
+    ++stats_.admitted;
+    running_.push_back(std::move(tenant));
+    stats_.max_concurrent_seen = std::max(
+        stats_.max_concurrent_seen,
+        static_cast<std::uint32_t>(running_.size()));
+  }
+}
+
+void JobScheduler::finish_tenant(Tenant& tenant) {
+  EngineCore& core = tenant.job->core();
+  // Per-job scheduler accounting lands in the job's own metrics file,
+  // injected before finish() writes it. Comparisons against a classic
+  // run() stay valid "modulo engine.sched.*" by filtering these lines.
+  if (obs::RunObservability* obs = core.mutable_observability()) {
+    obs::Metrics& metrics = obs->metrics();
+    metrics.gauge("engine.sched.job")
+        .set(static_cast<double>(tenant.ids.front()));
+    metrics.gauge("engine.sched.width")
+        .set(static_cast<double>(tenant.job->width()));
+    metrics.gauge("engine.sched.submit_seconds").set(tenant.submit_seconds);
+    metrics.gauge("engine.sched.admit_seconds").set(tenant.admit_seconds);
+    metrics.gauge("engine.sched.queue_seconds")
+        .set(tenant.admit_seconds - tenant.submit_seconds);
+    metrics.gauge("engine.sched.concurrent")
+        .set(static_cast<double>(running_.size()));
+    metrics.counter("engine.sched.steps").add(tenant.steps);
+  }
+  tenant.job->finish();
+  const double finish_seconds = device_->now();
+  for (std::size_t lane = 0; lane < tenant.ids.size(); ++lane) {
+    JobResult result;
+    result.run = tenant.job->result(static_cast<std::uint32_t>(lane));
+    result.id = tenant.ids[lane];
+    result.fused_width = tenant.job->width();
+    result.lane = static_cast<std::uint32_t>(lane);
+    result.submit_seconds = tenant.submit_seconds;
+    result.admit_seconds = tenant.admit_seconds;
+    result.finish_seconds = finish_seconds;
+    results_.emplace(tenant.ids[lane], std::move(result));
+    ++stats_.finished;
+  }
+}
+
+bool JobScheduler::pump() {
+  admit_available();
+  if (running_.empty()) return false;
+  // One iteration per tenant per pump, in admission order: interleaving
+  // at the BSP barrier granularity every stage already ends on.
+  for (std::size_t i = 0; i < running_.size();) {
+    Tenant& tenant = *running_[i];
+    tenant.job->core().resume_observability();
+    if (tenant.job->step()) {
+      ++tenant.steps;
+      ++stats_.steps;
+      tenant.job->core().suspend_observability();
+      ++i;
+    } else {
+      finish_tenant(tenant);
+      running_.erase(running_.begin() + i);
+    }
+  }
+  return true;
+}
+
+const JobResult& JobScheduler::wait(JobId id) {
+  for (;;) {
+    const auto it = results_.find(id);
+    if (it != results_.end()) return it->second;
+    GR_CHECK_MSG(pump(), "JobScheduler::wait(" << id
+                                               << "): job is not queued, "
+                                                  "running, or finished");
+  }
+}
+
+void JobScheduler::drain() {
+  while (pump()) {
+  }
+}
+
+const JobResult& JobScheduler::result(JobId id) const {
+  const auto it = results_.find(id);
+  GR_CHECK_MSG(it != results_.end(), "no finished job " << id);
+  return it->second;
+}
+
+}  // namespace gr::core

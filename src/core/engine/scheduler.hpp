@@ -1,0 +1,179 @@
+// JobScheduler — multi-tenant serving runtime over one shared device.
+//
+// The classic stack runs one algorithm to convergence and exits; the
+// serving path admits many GAS jobs against one simulated accelerator
+// and interleaves them at iteration granularity (every EngineCore stage
+// ends on a BSP synchronize, so tenants alternate cleanly on the shared
+// timeline). The scheduler owns the only vgpu::Device; each admitted
+// job borrows it through EngineEnv together with a memoized partition
+// plan, so concurrent jobs over the same graph share one immutable
+// PartitionedGraph instead of re-partitioning per query.
+//
+// Admission divides the device between tenants: each admitted job plans
+// against a 1/W memory slice, where W = min(max_concurrent, jobs in
+// flight or queued). A lone job gets the whole device — submit() +
+// wait() degenerates bit-exactly (results, traces, timings) to
+// EngineCore::run().
+//
+// Admission policies (EngineOptions::sched_admission):
+//   * "shared"      — 1/W memory slice, residency-cache lanes uncapped
+//                     within the slice (default).
+//   * "cache-fair"  — 1/W slice, but a tenant may hold at most as many
+//                     cache lanes as it has streaming slots, so no
+//                     tenant turns its whole slice into cache while
+//                     others stream. Requires device_cache > 0
+//                     (validate() rejects the contradiction).
+//   * "stream-only" — 1/W slice, cache lanes capped to zero: the whole
+//                     slice goes to streaming slots.
+//
+// submit_batch() fuses same-program queries: consecutive queries are
+// packed into the registered fused variants (multi-source BFS/SSSP,
+// core/algorithms/fused.hpp) so the topology streams once per iteration
+// for the whole pack. Lane results are bitwise-identical to independent
+// runs; queries with an explicit iteration cap are never fused (a
+// capped, unconverged lane could diverge from its solo run) and fall
+// back to individual jobs.
+//
+// Per-job observability: each job carries its own trace/metrics files
+// and an optional trace track prefix ("job0/"); the scheduler scopes
+// each job's device-op listener to that job's own stages and injects
+// `engine.sched.*` metrics (queue/latency accounting) before the job's
+// metrics file is written.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/engine/job.hpp"
+#include "core/engine/program_registry.hpp"
+#include "core/options.hpp"
+#include "graph/edge_list.hpp"
+#include "util/common.hpp"
+#include "vgpu/device.hpp"
+
+namespace gr::core {
+
+using JobId = std::uint64_t;
+
+/// One query: a registered program, its spec, and optional per-job
+/// observability outputs.
+struct JobRequest {
+  std::string program;
+  ProgramSpec spec;
+  /// Display label for stats/errors; defaults to the program name.
+  std::string label;
+  /// Per-job observability files; empty = none. A fused pack adopts the
+  /// FIRST query's trace/metrics settings (one engine run, one file).
+  std::string trace_out;
+  std::string metrics_out;
+  std::vector<std::pair<std::string, std::string>> metrics_provenance;
+  /// Trace track prefix ("job0/"); empty = classic track names.
+  std::string track_prefix;
+};
+
+/// A finished query, with the scheduler's latency accounting in
+/// simulated seconds on the shared clock.
+struct JobResult {
+  ProgramRunResult run;
+  JobId id = 0;
+  /// Lanes in the engine run that served this query (1 = solo job).
+  std::uint32_t fused_width = 1;
+  /// This query's lane within its (possibly fused) run.
+  std::uint32_t lane = 0;
+  double submit_seconds = 0.0;
+  double admit_seconds = 0.0;
+  double finish_seconds = 0.0;
+  double latency_seconds() const { return finish_seconds - submit_seconds; }
+  double queue_seconds() const { return admit_seconds - submit_seconds; }
+};
+
+struct SchedulerStats {
+  std::uint64_t submitted = 0;  // queries accepted
+  std::uint64_t admitted = 0;   // engine runs started
+  std::uint64_t finished = 0;   // queries completed
+  std::uint64_t fused_jobs = 0;   // runs serving > 1 query
+  std::uint64_t fused_lanes = 0;  // queries served by fused runs
+  std::uint64_t steps = 0;        // iterations executed across tenants
+  std::uint32_t max_concurrent_seen = 0;
+};
+
+class JobScheduler : util::NonCopyable {
+ public:
+  /// Builds the shared device from `options.device`. `edges` must
+  /// outlive the scheduler (jobs partition and read it lazily).
+  /// `options` is the per-job template: each admitted job runs with a
+  /// copy whose memory is sliced by the concurrency width and whose
+  /// trace/metrics paths come from its JobRequest.
+  JobScheduler(const graph::EdgeList& edges, EngineOptions options);
+
+  /// Enqueues one query; returns immediately.
+  JobId submit(JobRequest request);
+  /// Enqueues a batch of same-program queries, fusing them into
+  /// registered multi-source variants when EngineOptions::sched_fusion
+  /// is on. Mixed-program batches are rejected with an actionable
+  /// error; submit them individually or group per program.
+  std::vector<JobId> submit_batch(std::vector<JobRequest> requests);
+
+  /// Pumps the scheduler until `id` finishes; also advances every other
+  /// tenant (iteration-interleaved on the shared clock).
+  const JobResult& wait(JobId id);
+  /// Runs every queued and in-flight job to completion.
+  void drain();
+  bool idle() const { return queue_.empty() && running_.empty(); }
+
+  /// The finished result for `id`; GR_CHECKs that it exists.
+  const JobResult& result(JobId id) const;
+
+  vgpu::Device& device() { return *device_; }
+  const SchedulerStats& stats() const { return stats_; }
+  std::uint32_t max_concurrent() const;
+
+ private:
+  /// One queue entry: a solo query or a fused pack.
+  struct Pending {
+    std::vector<JobRequest> requests;
+    std::vector<JobId> ids;
+    const FusionHandle* fusion = nullptr;  // null = solo
+    double submit_seconds = 0.0;
+  };
+  /// One admitted engine run.
+  struct Tenant {
+    std::unique_ptr<EngineJob> job;
+    std::vector<JobRequest> requests;
+    std::vector<JobId> ids;
+    double submit_seconds = 0.0;
+    double admit_seconds = 0.0;
+    std::uint64_t steps = 0;
+  };
+
+  /// Admits queue entries while concurrency slots are free; one
+  /// round-robin iteration step per running tenant. False when there is
+  /// nothing left to do.
+  bool pump();
+  void admit_available();
+  void finish_tenant(Tenant& tenant);
+  EngineOptions job_options(const JobRequest& request,
+                            std::uint32_t width) const;
+  EngineEnv job_env(const JobRequest& request) const;
+
+  const graph::EdgeList* edges_;
+  EngineOptions options_;
+  std::unique_ptr<vgpu::Device> device_;
+  /// Memoized partition plans, shared across tenants by partition count.
+  mutable std::map<std::uint32_t, std::shared_ptr<const PartitionedGraph>>
+      plans_;
+
+  std::deque<Pending> queue_;
+  std::vector<std::unique_ptr<Tenant>> running_;
+  std::unordered_map<JobId, JobResult> results_;
+  JobId next_id_ = 0;
+  SchedulerStats stats_;
+};
+
+}  // namespace gr::core

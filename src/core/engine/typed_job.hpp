@@ -1,0 +1,86 @@
+// GasJob<P> — the typed EngineJob: Engine<P>'s construction wired to
+// the staged run API so the JobScheduler can interleave it.
+//
+// A GasJob owns a full EngineCore + TypedProgramState<P> pair (its own
+// partition plan view, slot ring, residency cache, frontier) but built
+// against the EngineEnv's shared services: the scheduler's device and
+// memoized partition plans. begin/step/finish delegate to EngineCore's
+// begin_run/step/finish_run, so a GasJob driven to completion without
+// interleaving is bit-identical to Engine<P>::run().
+//
+// The per-lane result extraction is type-erased at construction: a
+// plain job (width 1) hashes the whole vertex array exactly like
+// ProgramHandle::run; a fused multi-source job (width W) extracts one
+// lane of each std::array<T, W> vertex value into a contiguous vector
+// first, so lane hashes match the corresponding independent runs
+// bitwise.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "core/engine/engine_core.hpp"
+#include "core/engine/job.hpp"
+#include "core/engine/kernels.hpp"
+#include "core/engine/typed_state.hpp"
+#include "core/gas.hpp"
+#include "util/common.hpp"
+
+namespace gr::core {
+
+template <GasProgram P>
+class GasJob final : public EngineJob, util::NonCopyable {
+ public:
+  using VertexData = typename P::VertexData;
+  /// Reduces the final vertex values to one query lane's type-erased
+  /// result (hash + projection), given the closed run report.
+  using ExtractFn = std::function<ProgramRunResult(
+      std::span<const VertexData> values, std::uint32_t lane,
+      const RunReport& report)>;
+
+  GasJob(const graph::EdgeList& edges, ProgramInstance<P> instance,
+         const EngineOptions& options, const EngineEnv& env,
+         std::uint32_t width, ExtractFn extract)
+      : core_(edges, TypedProgramState<P>::footprint(), options, env),
+        state_(core_, std::move(instance)),
+        width_(width),
+        extract_(std::move(extract)) {
+    GR_CHECK_MSG(width_ >= 1, "GasJob needs at least one query lane");
+    GR_CHECK_MSG(static_cast<bool>(extract_), "GasJob needs an extract fn");
+    core_.initialize(edges, state_);
+    state_.init_host_masters(edges);
+  }
+
+  EngineCore& core() override { return core_; }
+
+  void begin() override {
+    core_.begin_run(state_, state_.instance().frontier,
+                    state_.instance().default_max_iterations);
+  }
+  bool step() override { return core_.step(state_); }
+  const RunReport& finish() override {
+    report_ = core_.finish_run(state_);
+    finished_ = true;
+    return report_;
+  }
+
+  std::uint32_t width() const override { return width_; }
+  ProgramRunResult result(std::uint32_t lane) const override {
+    GR_CHECK_MSG(finished_, "GasJob::result before finish");
+    GR_CHECK_MSG(lane < width_, "lane " << lane << " out of range (width "
+                                        << width_ << ")");
+    return extract_(state_.vertex_values(), lane, report_);
+  }
+
+ private:
+  EngineCore core_;
+  TypedProgramState<P> state_;
+  std::uint32_t width_;
+  ExtractFn extract_;
+  RunReport report_;
+  bool finished_ = false;
+};
+
+}  // namespace gr::core

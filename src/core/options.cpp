@@ -36,6 +36,29 @@ void EngineOptions::validate() const {
                "EngineOptions: transfer_policy must be one of "
                "auto|explicit|pinned|managed (got '"
                << transfer_policy << "')");
+  GR_CHECK_MSG(sched_admission == "shared" ||
+                   sched_admission == "cache-fair" ||
+                   sched_admission == "stream-only",
+               "EngineOptions: sched_admission must be one of "
+               "shared|cache-fair|stream-only (got '"
+               << sched_admission << "')");
+  // The cache-lane admission policy hands every tenant a residency-cache
+  // allocation; with the cache disabled there are no lanes to hand out.
+  GR_CHECK_MSG(sched_admission != "cache-fair" || device_cache > 0.0,
+               "EngineOptions: sched_admission='cache-fair' arbitrates "
+               "residency-cache lanes between tenants, but device_cache="
+               << device_cache << " disables the cache entirely; raise "
+               "device_cache above 0 or use sched_admission='shared' / "
+               "'stream-only'");
+  GR_CHECK_MSG(!std::isnan(metrics_snapshot_interval) &&
+                   metrics_snapshot_interval >= 0.0,
+               "EngineOptions: metrics_snapshot_interval must be >= 0 "
+               "simulated seconds (got " << metrics_snapshot_interval
+               << ")");
+  GR_CHECK_MSG(metrics_snapshot_interval == 0.0 || !metrics_out.empty(),
+               "EngineOptions: metrics_snapshot_interval needs "
+               "metrics_out set — snapshot files are numbered variants "
+               "of that path (\"m.json\" -> \"m.0.json\", ...)");
 }
 
 }  // namespace gr::core

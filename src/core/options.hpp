@@ -60,6 +60,26 @@ struct EngineOptions {
   /// Iteration cap; 0 = the algorithm's default.
   std::uint32_t max_iterations = 0;
 
+  // --- job scheduler (core/engine/scheduler.hpp) ---
+  /// How the JobScheduler arbitrates the device budget between
+  /// concurrently admitted jobs:
+  ///   "shared"      each tenant plans against an equal slice of device
+  ///                 memory and may buy residency-cache lanes out of its
+  ///                 own slice's leftover (the default);
+  ///   "cache-fair"  like "shared", but the configuration guarantees
+  ///                 every tenant a cache allocation — contradictory
+  ///                 with device_cache == 0, which validate() rejects;
+  ///   "stream-only" multi-tenant runs get zero cache lanes (pure
+  ///                 streaming slices; the most predictable interleave).
+  /// Single-job submissions are identical under every policy.
+  std::string sched_admission = "shared";
+  /// Jobs interleaved at iteration granularity at once; queued jobs
+  /// wait for a slot. 0 = auto (2).
+  std::uint32_t sched_max_concurrent = 0;
+  /// Fuse batched same-program queries (multi-source BFS/SSSP) into one
+  /// run when a fused variant is registered for the program.
+  bool sched_fusion = true;
+
   /// Host threads for the parallel functional backend (wall-clock only —
   /// results and simulated timings are bitwise identical for any value).
   /// 0 = leave the shared pool at its default (hardware concurrency);
@@ -84,6 +104,12 @@ struct EngineOptions {
   std::string trace_out;
   /// Metrics-registry snapshot JSON written after the run; empty = none.
   std::string metrics_out;
+  /// Periodic in-run metrics snapshots every this many *simulated*
+  /// seconds: numbered files derived from metrics_out ("m.json" ->
+  /// "m.0.json", "m.1.json", ...), each stamped with its snapshot index
+  /// and simulated time in the provenance object. 0 (default) = only
+  /// the final metrics_out snapshot. Requires metrics_out to be set.
+  double metrics_snapshot_interval = 0.0;
   /// Key/value stamps copied into the metrics snapshot's "provenance"
   /// object so downstream consumers (bench harness, CI) can verify a
   /// metrics file really came from this configuration. Empty = the

@@ -183,6 +183,55 @@ void Metrics::write_json(std::ostream& os) const {
   os << (first ? "" : "\n  ") << "}\n}\n";
 }
 
+void Metrics::snapshot_every(double sim_interval,
+                             std::string path_pattern) {
+  if (sim_interval <= 0.0) {
+    snapshot_interval_ = 0.0;
+    return;
+  }
+  GR_CHECK_MSG(!path_pattern.empty(),
+               "Metrics::snapshot_every needs a path pattern");
+  snapshot_interval_ = sim_interval;
+  snapshot_next_due_ = sim_interval;
+  snapshot_pattern_ = std::move(path_pattern);
+}
+
+std::string Metrics::snapshot_path(const std::string& pattern,
+                                   std::uint64_t index) {
+  const std::size_t slash = pattern.find_last_of('/');
+  const std::size_t dot = pattern.find_last_of('.');
+  const std::string tag = "." + std::to_string(index);
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return pattern + tag;
+  return pattern.substr(0, dot) + tag + pattern.substr(dot);
+}
+
+void Metrics::maybe_snapshot(double sim_now) {
+  if (snapshot_interval_ <= 0.0) return;
+  // A long simulated stride can cross several due points at once; each
+  // gets its own numbered file stamped with its own due time, so the
+  // snapshot sequence is a function of simulated time alone.
+  while (sim_now >= snapshot_next_due_) {
+    const std::uint64_t index = snapshots_written_++;
+    char due[40];
+    std::snprintf(due, sizeof(due), "%.9f", snapshot_next_due_);
+    std::map<std::string, std::string> base;
+    {
+      std::lock_guard lock(mutex_);
+      base = provenance_;
+      provenance_["snapshot"] = std::to_string(index);
+      provenance_["snapshot_sim_seconds"] = due;
+    }
+    write_file(snapshot_path(snapshot_pattern_, index));
+    {
+      std::lock_guard lock(mutex_);
+      provenance_ = std::move(base);
+    }
+    snapshot_next_due_ += snapshot_interval_;
+  }
+}
+
 bool Metrics::write_file(const std::string& path) const {
   std::ofstream os(path, std::ios::binary);
   if (!os.good()) {

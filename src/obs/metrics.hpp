@@ -122,8 +122,32 @@ class Metrics : util::NonCopyable {
   /// failure.
   bool write_file(const std::string& path) const;
 
+  /// Arms periodic snapshots: each subsequent maybe_snapshot(sim_now)
+  /// writes one numbered snapshot file per elapsed `sim_interval` of
+  /// simulated time, named by inserting the snapshot index before
+  /// `path_pattern`'s extension ("m.json" -> "m.0.json", "m.1.json",
+  /// ...). Every snapshot carries the registry's provenance stamps plus
+  /// two per-snapshot keys: "snapshot" (the index) and
+  /// "snapshot_sim_seconds" (the simulated due time); the base stamps
+  /// are restored afterwards. Pass sim_interval <= 0 to disarm.
+  void snapshot_every(double sim_interval, std::string path_pattern);
+  /// Writes any snapshots due at simulated time `sim_now` (several when
+  /// more than one interval elapsed since the last call). No-op unless
+  /// snapshot_every armed. Driver-thread only, like write_file.
+  void maybe_snapshot(double sim_now);
+  std::uint64_t snapshots_written() const { return snapshots_written_; }
+  /// "m.json" + 3 -> "m.3.json" (no extension: "m" + 3 -> "m.3").
+  static std::string snapshot_path(const std::string& pattern,
+                                   std::uint64_t index);
+
  private:
   mutable std::mutex mutex_;
+  // Periodic-snapshot state; touched only from the driver thread (the
+  // caller of maybe_snapshot), never from instrument updates.
+  double snapshot_interval_ = 0.0;
+  double snapshot_next_due_ = 0.0;
+  std::uint64_t snapshots_written_ = 0;
+  std::string snapshot_pattern_;
   std::map<std::string, std::string> provenance_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

@@ -8,8 +8,11 @@ namespace gr::obs {
 RunObservability::RunObservability(vgpu::Device& device,
                                    ObservabilityConfig config)
     : device_(&device), config_(std::move(config)) {
-  if (!config_.trace_out.empty())
+  if (!config_.trace_out.empty()) {
     trace_ = std::make_unique<TraceRecorder>(device);
+    if (!config_.track_prefix.empty())
+      trace_->set_track_prefix(config_.track_prefix);
+  }
   bytes_h2d_ = &metrics_.counter("device.bytes_h2d");
   bytes_d2h_ = &metrics_.counter("device.bytes_d2h");
   h2d_ops_ = &metrics_.counter("device.h2d_ops");
@@ -38,11 +41,21 @@ RunObservability::RunObservability(vgpu::Device& device,
   copy_bytes_ = &metrics_.histogram(
       "device.copy_bytes",
       {4096, 65536, 1048576, 16777216, 67108864});
-  device_->add_op_listener(this);
+  attach_device_listener();
 }
 
-RunObservability::~RunObservability() {
+RunObservability::~RunObservability() { detach_device_listener(); }
+
+void RunObservability::attach_device_listener() {
+  if (listener_attached_) return;
+  device_->add_op_listener(this);
+  listener_attached_ = true;
+}
+
+void RunObservability::detach_device_listener() {
+  if (!listener_attached_) return;
   device_->remove_op_listener(this);
+  listener_attached_ = false;
 }
 
 void RunObservability::label_streams(

@@ -53,6 +53,9 @@ struct ObservabilityConfig {
   std::string trace_out;    // Chrome trace JSON path; empty = no trace
   std::string metrics_out;  // metrics snapshot path; empty = no file
   bool summary = false;     // print profiler tables to stderr at the end
+  /// Per-job track-name prefix for the trace ("job0/"); empty = the
+  /// classic track names (byte-identical serialization).
+  std::string track_prefix;
 
   bool enabled() const {
     return !trace_out.empty() || !metrics_out.empty() || summary;
@@ -76,6 +79,14 @@ class RunObservability : public core::ExecutionObserver,
 
   /// Host-side SSD spill charged to a shard upload (§8 future work 2).
   void add_host_spill_bytes(std::uint64_t bytes);
+
+  /// Detaches/re-attaches the device-op listener. The JobScheduler
+  /// scopes each job's observability to that job's own engine stages:
+  /// detached while other tenants drive the shared device, re-attached
+  /// around the owning job's begin/step/finish. Idempotent; the
+  /// destructor detaches regardless.
+  void detach_device_listener();
+  void attach_device_listener();
 
   // --- DeviceOpListener ---
   void on_op_enqueued(const vgpu::DeviceOpRecord& record) override;
@@ -116,6 +127,7 @@ class RunObservability : public core::ExecutionObserver,
  private:
   vgpu::Device* device_;
   ObservabilityConfig config_;
+  bool listener_attached_ = false;
   Metrics metrics_;
   ProfilingObserver profiler_;
   std::unique_ptr<TraceRecorder> trace_;

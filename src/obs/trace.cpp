@@ -351,12 +351,12 @@ void TraceRecorder::write_json(std::ostream& os) const {
   lines.push_back("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
                   std::to_string(kPid) +
                   ", \"args\": {\"name\": \"GraphReduce virtual GPU\"}}");
-  meta(kTidDriver, "engine driver", 0);
-  meta(kTidH2d, "copy engine H2D", 1);
-  meta(kTidD2h, "copy engine D2H", 2);
-  meta(kTidSmx, "SMX compute", 3);
+  meta(kTidDriver, track_prefix_ + "engine driver", 0);
+  meta(kTidH2d, track_prefix_ + "copy engine H2D", 1);
+  meta(kTidD2h, track_prefix_ + "copy engine D2H", 2);
+  meta(kTidSmx, track_prefix_ + "SMX compute", 3);
   for (const auto& [id, label] : stream_labels_)
-    meta(kTidStreamBase + id, label, kTidStreamBase + id);
+    meta(kTidStreamBase + id, track_prefix_ + label, kTidStreamBase + id);
 
   // Counter series (kernel concurrency on the SMX engine, slot-ring
   // occupancy from shard-visit windows).

@@ -66,6 +66,15 @@ class TraceRecorder : public vgpu::DeviceOpListener,
   /// Names the track of stream `id` (e.g. "slot 0", "spray 2").
   void label_stream(int id, std::string label);
 
+  /// Prefix prepended to every track name at serialization time
+  /// ("job0/" turns "engine driver" into "job0/engine driver") so
+  /// traces of concurrent scheduler jobs stay distinguishable when
+  /// compared or merged. Empty (default) leaves the classic names —
+  /// and the serialized bytes — unchanged.
+  void set_track_prefix(std::string prefix) {
+    track_prefix_ = std::move(prefix);
+  }
+
   // --- DeviceOpListener ---
   void on_op_enqueued(const vgpu::DeviceOpRecord& record) override;
   void on_op_completed(const vgpu::DeviceOpRecord& record) override;
@@ -126,6 +135,7 @@ class TraceRecorder : public vgpu::DeviceOpListener,
   const std::string& stream_name(int id) const;
 
   const vgpu::Device* device_;
+  std::string track_prefix_;
   std::vector<Event> events_;
   mutable std::map<int, std::string> stream_labels_;  // id -> track name
   std::vector<ShardVisit> visits_;

@@ -96,6 +96,62 @@ TEST(EngineOptionsValidate, RejectsBudgetWithZeroUsableSlots) {
   }
 }
 
+TEST(EngineOptionsValidate, RejectsUnknownAdmissionPolicy) {
+  EngineOptions options;
+  options.sched_admission = "fifo";
+  EXPECT_THROW(options.validate(), util::CheckError);
+  for (const char* policy : {"shared", "cache-fair", "stream-only"}) {
+    options.sched_admission = policy;
+    options.device_cache = 0.5;  // cache-fair needs a non-zero cache
+    EXPECT_NO_THROW(options.validate()) << policy;
+  }
+}
+
+TEST(EngineOptionsValidate, RejectsCacheFairAdmissionWithCacheDisabled) {
+  // cache-fair arbitrates residency-cache lanes between tenants; with
+  // device_cache=0 there are no lanes to arbitrate, so the combination
+  // is contradictory and the message must say which knob to change.
+  EngineOptions options;
+  options.sched_admission = "cache-fair";
+  options.device_cache = 0.0;
+  try {
+    options.validate();
+    FAIL() << "expected cache-fair/device_cache contradiction";
+  } catch (const util::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cache-fair"), std::string::npos) << what;
+    EXPECT_NE(what.find("device_cache"), std::string::npos) << what;
+  }
+  options.device_cache = 0.25;
+  EXPECT_NO_THROW(options.validate());
+  // stream-only is fine with the cache disabled — it never grants lanes.
+  options.sched_admission = "stream-only";
+  options.device_cache = 0.0;
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(EngineOptionsValidate, RejectsInvalidSnapshotInterval) {
+  EngineOptions options;
+  options.metrics_out = "metrics.json";
+  options.metrics_snapshot_interval = -1.0;
+  EXPECT_THROW(options.validate(), util::CheckError);
+  options.metrics_snapshot_interval =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(options.validate(), util::CheckError);
+  options.metrics_snapshot_interval = 0.5;
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(EngineOptionsValidate, RejectsSnapshotIntervalWithoutMetricsOut) {
+  // Snapshot files are numbered variants of metrics_out; without a base
+  // path there is nowhere to write them.
+  EngineOptions options;
+  options.metrics_snapshot_interval = 1.0;
+  EXPECT_THROW(options.validate(), util::CheckError);
+  options.metrics_out = "metrics.json";
+  EXPECT_NO_THROW(options.validate());
+}
+
 TEST(EngineOptionsValidate, EngineConstructionValidates) {
   const auto edges = graph::path_graph(16);
   EngineOptions options;

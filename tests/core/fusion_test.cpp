@@ -1,0 +1,143 @@
+// Fused multi-source programs (core/algorithms/fused.hpp): a fused
+// K-source job must produce, per lane, results bitwise-identical to the
+// K independent registry runs — at any thread count and cache size.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/algorithms/registry.hpp"
+#include "core/engine/engine_core.hpp"
+#include "core/engine/job.hpp"
+#include "core/engine/program_registry.hpp"
+#include "graph/generators.hpp"
+#include "util/common.hpp"
+
+namespace gr::core {
+namespace {
+
+EngineOptions fusion_options(std::uint32_t threads, double device_cache) {
+  EngineOptions options;
+  options.threads = threads;
+  options.device_cache = device_cache;
+  options.device.global_memory_bytes = 256 * 1024;  // forces sharding
+  return options;
+}
+
+/// Drives the widest-enough registered fusion of `program` over `specs`
+/// to completion and checks every lane against its independent run.
+void expect_fused_matches_solo(const graph::EdgeList& edges,
+                               const std::string& program,
+                               const std::vector<ProgramSpec>& specs,
+                               const EngineOptions& options) {
+  const auto fusions = ProgramRegistry::global().fusions(program);
+  ASSERT_FALSE(fusions.empty()) << program;
+  const FusionHandle* chosen = fusions.back();
+  for (const FusionHandle* fusion : fusions) {
+    if (fusion->width >= specs.size()) {
+      chosen = fusion;
+      break;
+    }
+  }
+  ASSERT_GE(chosen->width, specs.size());
+
+  std::unique_ptr<EngineJob> job =
+      chosen->make(edges, specs, options, EngineEnv{});
+  ASSERT_EQ(job->width(), specs.size());
+  job->begin();
+  while (job->step()) {
+  }
+  const RunReport& report = job->finish();
+  EXPECT_TRUE(report.converged);
+
+  const ProgramHandle& handle = ProgramRegistry::global().at(program);
+  for (std::size_t lane = 0; lane < specs.size(); ++lane) {
+    const ProgramRunResult solo = handle.run(edges, specs[lane], options);
+    const ProgramRunResult fused =
+        job->result(static_cast<std::uint32_t>(lane));
+    EXPECT_EQ(fused.value_hash, solo.value_hash)
+        << program << " lane " << lane << " (width " << chosen->width
+        << ", threads " << options.threads << ", cache "
+        << options.device_cache << ")";
+    ASSERT_EQ(fused.values.size(), solo.values.size());
+    for (std::size_t v = 0; v < solo.values.size(); ++v)
+      EXPECT_EQ(fused.values[v], solo.values[v]) << "vertex " << v;
+  }
+}
+
+std::vector<ProgramSpec> sources_to_specs(
+    std::initializer_list<graph::VertexId> sources) {
+  std::vector<ProgramSpec> specs;
+  for (graph::VertexId s : sources) {
+    ProgramSpec spec;
+    spec.source = s;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+class FusionSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, double>> {
+ protected:
+  EngineOptions options() const {
+    return fusion_options(std::get<0>(GetParam()), std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(FusionSweep, FusedBfsLanesMatchIndependentRuns) {
+  algo::register_builtin_programs();
+  const auto edges = graph::rmat(9, 3000, 17);
+  // Exactly the width-4 variant.
+  expect_fused_matches_solo(edges, "bfs",
+                            sources_to_specs({1, 5, 9, 13}), options());
+}
+
+TEST_P(FusionSweep, FusedBfsPaddedLanesStayInert) {
+  algo::register_builtin_programs();
+  const auto edges = graph::rmat(9, 3000, 17);
+  // 3 specs in the width-4 variant: the padded lane must not perturb
+  // the live ones.
+  expect_fused_matches_solo(edges, "bfs", sources_to_specs({2, 7, 11}),
+                            options());
+}
+
+TEST_P(FusionSweep, FusedSsspLanesMatchIndependentRuns) {
+  algo::register_builtin_programs();
+  auto edges = graph::rmat(9, 3000, 17);
+  edges.randomize_weights(1.0f, 9.0f, 6);
+  // 6 specs select the width-16 variant (10 padded lanes). 16 float
+  // lanes are 64 bytes/vertex, so this width needs a bigger device than
+  // the width-4 cases to fit its shards at all.
+  EngineOptions opts = options();
+  opts.device.global_memory_bytes = 1024 * 1024;
+  expect_fused_matches_solo(edges, "sssp",
+                            sources_to_specs({0, 2, 4, 6, 8, 10}), opts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsAndCache, FusionSweep,
+    ::testing::Combine(::testing::Values(1u, 3u),
+                       ::testing::Values(0.0, 1.0)));
+
+TEST(Fusion, RegisteredWidthsAscendPerProgram) {
+  algo::register_builtin_programs();
+  for (const char* program : {"bfs", "sssp"}) {
+    const auto fusions = ProgramRegistry::global().fusions(program);
+    ASSERT_EQ(fusions.size(), 2u) << program;
+    EXPECT_EQ(fusions[0]->width, 4u);
+    EXPECT_EQ(fusions[1]->width, 16u);
+  }
+  // No fused variants registered for the all-vertex programs.
+  EXPECT_TRUE(ProgramRegistry::global().fusions("pagerank").empty());
+}
+
+TEST(Fusion, DuplicateSourcesShareALaneValue) {
+  algo::register_builtin_programs();
+  const auto edges = graph::rmat(8, 1200, 3);
+  // Two lanes rooted at the same vertex must agree bitwise.
+  expect_fused_matches_solo(edges, "bfs", sources_to_specs({4, 4, 9, 9}),
+                            fusion_options(2, 0.5));
+}
+
+}  // namespace
+}  // namespace gr::core

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -57,6 +59,55 @@ TEST(Metrics, JsonSnapshotIsSortedAndDeterministic) {
   EXPECT_NE(json.find("\"a.first\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"m.middle\": 0.25"), std::string::npos);
   EXPECT_NE(json.find("\"le\": \"+Inf\""), std::string::npos);
+}
+
+TEST(Metrics, SnapshotPathInsertsIndexBeforeExtension) {
+  EXPECT_EQ(Metrics::snapshot_path("m.json", 2), "m.2.json");
+  EXPECT_EQ(Metrics::snapshot_path("out/run.metrics.json", 0),
+            "out/run.metrics.0.json");
+  // No extension: append. A dot in a directory name is not an
+  // extension.
+  EXPECT_EQ(Metrics::snapshot_path("m", 0), "m.0");
+  EXPECT_EQ(Metrics::snapshot_path("dir.d/m", 1), "dir.d/m.1");
+}
+
+TEST(Metrics, SnapshotEveryWritesNumberedStampedFiles) {
+  const std::string pattern = ::testing::TempDir() + "snap_unit.json";
+  Metrics metrics;
+  metrics.set_provenance({{"dataset", "unit"}});
+  metrics.counter("work").add(1);
+  metrics.snapshot_every(1.0, pattern);
+
+  metrics.maybe_snapshot(0.5);  // not due yet
+  EXPECT_EQ(metrics.snapshots_written(), 0u);
+  metrics.maybe_snapshot(1.0);  // due exactly at the interval
+  EXPECT_EQ(metrics.snapshots_written(), 1u);
+  metrics.maybe_snapshot(3.7);  // catch-up: due at 2.0 and 3.0
+  EXPECT_EQ(metrics.snapshots_written(), 3u);
+  metrics.maybe_snapshot(3.9);  // next due at 4.0
+  EXPECT_EQ(metrics.snapshots_written(), 3u);
+
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const std::string path = Metrics::snapshot_path(pattern, i);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::ostringstream content;
+    content << in.rdbuf();
+    const std::string json = content.str();
+    // Base stamps plus the per-snapshot index and simulated due time.
+    EXPECT_NE(json.find("\"dataset\": \"unit\""), std::string::npos);
+    EXPECT_NE(json.find("\"snapshot\": \"" + std::to_string(i) + "\""),
+              std::string::npos)
+        << path;
+    EXPECT_NE(json.find("\"snapshot_sim_seconds\""), std::string::npos);
+  }
+  // Snapshot-only stamps must not leak into the base provenance.
+  for (const auto& [key, value] : metrics.provenance())
+    EXPECT_EQ(key.rfind("snapshot", 0), std::string::npos) << key;
+
+  metrics.snapshot_every(0.0, "");  // disarm
+  metrics.maybe_snapshot(100.0);
+  EXPECT_EQ(metrics.snapshots_written(), 3u);
 }
 
 // Named so the CI TSan job's -R filter picks it up: many threads hammer

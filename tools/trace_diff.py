@@ -18,11 +18,20 @@ are accounted separately as added/removed time.
 
 Usage:
   tools/trace_diff.py A.json B.json [--top N] [--track TRACK ...]
+                      [--strip-track-prefix P ...]
                       [--fail-above-us US] [--csv OUT]
 
 --track is repeatable and accepts comma-separated substrings; a span
 counts when ANY of them matches its track name ("copy engine H2D,copy
 engine D2H" selects both copy engines).
+
+--strip-track-prefix removes a leading per-job prefix ("job0/") from
+track names in BOTH traces before filtering and alignment, so a
+scheduler-served run (whose tracks are namespaced per job) aligns with
+a classic run of the same program. It also doubles as a filter by job:
+with prefixes given, tracks carrying NONE of them keep their names
+untouched, so they simply fail to align with the other trace's stripped
+tracks unless identically named there.
 
 By default the exit code is 0 even when the traces differ — reporting
 mode; pair it with --csv in CI to archive the comparison as an
@@ -95,6 +104,25 @@ def load_events(path):
     return tids, spans, instants
 
 
+def strip_prefixes(spans, instants, prefixes):
+    """Removes the first matching per-job prefix from every track name."""
+    if not prefixes:
+        return spans, instants
+
+    def stripped(track):
+        for prefix in prefixes:
+            if track.startswith(prefix):
+                return track[len(prefix):]
+        return track
+
+    spans = [(stripped(track), name, ts, dur)
+             for track, name, ts, dur in spans]
+    out = defaultdict(int)
+    for (track, name), count in instants.items():
+        out[(stripped(track), name)] += count
+    return spans, out
+
+
 def group_spans(spans):
     """(track, name) -> list of durations, in record (simulated) order."""
     groups = defaultdict(list)
@@ -115,6 +143,11 @@ def main(argv=None):
                         help="restrict to matching tracks (substring "
                              "match); repeatable, and each value may "
                              "hold comma-separated alternatives")
+    parser.add_argument("--strip-track-prefix", action="append",
+                        default=None, metavar="PREFIX",
+                        help="strip this per-job track prefix (e.g. "
+                             "'job0/') from track names in both traces "
+                             "before filtering and alignment; repeatable")
     parser.add_argument("--fail-above-us", type=float, default=None,
                         metavar="US",
                         help="exit 1 when the net simulated-time delta "
@@ -134,6 +167,9 @@ def main(argv=None):
 
     _, spans_a, instants_a = load_events(args.trace_a)
     _, spans_b, instants_b = load_events(args.trace_b)
+    prefixes = args.strip_track_prefix or []
+    spans_a, instants_a = strip_prefixes(spans_a, instants_a, prefixes)
+    spans_b, instants_b = strip_prefixes(spans_b, instants_b, prefixes)
     groups_a = group_spans(spans_a)
     groups_b = group_spans(spans_b)
 
