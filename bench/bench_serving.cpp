@@ -23,8 +23,6 @@
 // a lone scheduler submission must match the classic run() bit-exactly
 // (hash and simulated time; CI diffs the two trace files byte-for-byte
 // via tools/trace_diff.py --strip-track-prefix).
-#include <algorithm>
-#include <cmath>
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -45,19 +43,14 @@ struct ModeResult {
   std::string mode;
   double sim_seconds = 0.0;
   double qps = 0.0;
-  std::vector<double> latencies;  // seconds, per query in submit order
+  // Latency quantiles read off the scheduler's own
+  // sched.job_latency_seconds histogram (the registry is the single
+  // source of truth; the bench does not re-sort latencies by hand).
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
   std::vector<std::uint64_t> hashes;
   std::uint64_t fused_jobs = 0;
 };
-
-double percentile_ms(std::vector<double> latencies, double p) {
-  GR_CHECK(!latencies.empty());
-  std::sort(latencies.begin(), latencies.end());
-  const auto n = static_cast<double>(latencies.size());
-  const std::size_t idx = static_cast<std::size_t>(
-      std::min(n - 1.0, std::max(0.0, std::ceil(p / 100.0 * n) - 1.0)));
-  return latencies[idx] * 1e3;
-}
 
 }  // namespace
 
@@ -73,6 +66,7 @@ int main(int argc, char** argv) {
   std::string admission = "shared";
   bool fusion = true;
   std::uint32_t threads = 0;
+  std::string telemetry_out;
   bench::ObsFlags obs;
   util::Cli cli("bench_serving",
                 "multi-tenant query serving: sequential vs interleaved vs "
@@ -94,7 +88,11 @@ int main(int argc, char** argv) {
             "fuse batched same-program queries in the fused mode")
       .flag("threads", &threads,
             "host threads for the functional backend (results and "
-            "simulated seconds are identical for any value)");
+            "simulated seconds are identical for any value)")
+      .flag("telemetry-out", &telemetry_out,
+            "NDJSON serving-telemetry pattern, tagged per mode "
+            "(\"t.ndjson\" -> \"t.sequential.ndjson\", ...); "
+            "byte-identical for any --threads value");
   obs.register_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   GR_CHECK_MSG(algo == "bfs" || algo == "sssp",
@@ -132,6 +130,7 @@ int main(int argc, char** argv) {
     core::EngineOptions options = base;
     options.sched_max_concurrent = concurrent;
     options.sched_fusion = fuse;
+    options.telemetry_out = bench::tag_path(telemetry_out, mode);
     core::JobScheduler sched(data.edges, options);
     std::vector<core::JobRequest> requests(queries);
     for (std::uint32_t i = 0; i < queries; ++i) {
@@ -159,14 +158,30 @@ int main(int argc, char** argv) {
         ids.push_back(sched.submit(std::move(request)));
     }
     sched.drain();
+    // drain() already GR_CHECKed the attribution invariant; re-assert
+    // the headline part here so the bench fails loudly on its own if
+    // the per-tenant rollups ever stop partitioning the device totals.
+    vgpu::DeviceStats attributed;
+    for (const obs::TenantUsage& usage : sched.tenant_usage())
+      attributed.accumulate(usage.device);
+    const vgpu::DeviceStats totals = sched.device_totals();
+    GR_CHECK_MSG(attributed.bytes_h2d == totals.bytes_h2d &&
+                     attributed.bytes_d2h == totals.bytes_d2h &&
+                     attributed.kernels_launched == totals.kernels_launched,
+                 mode << ": per-tenant attribution does not sum to the "
+                         "device-wide totals");
     ModeResult result;
     result.mode = mode;
     result.sim_seconds = sched.device().now();
     result.qps = static_cast<double>(queries) / result.sim_seconds;
-    for (core::JobId id : ids) {
-      result.latencies.push_back(sched.result(id).latency_seconds());
+    for (core::JobId id : ids)
       result.hashes.push_back(sched.result(id).run.value_hash);
-    }
+    const obs::Histogram* latency =
+        sched.metrics().find_histogram("sched.job_latency_seconds");
+    GR_CHECK_MSG(latency != nullptr && latency->count() == queries,
+                 mode << ": scheduler latency histogram missing queries");
+    result.p50_ms = latency->percentile(0.50) * 1e3;
+    result.p99_ms = latency->percentile(0.99) * 1e3;
     result.fused_jobs = sched.stats().fused_jobs;
     GR_LOG_INFO(mode << ": " << util::format_fixed(result.sim_seconds, 4)
                      << "s simulated, "
@@ -238,9 +253,8 @@ int main(int argc, char** argv) {
                    std::to_string(mode->fused_jobs),
                    util::format_fixed(mode->sim_seconds, 6),
                    util::format_fixed(mode->qps, 3),
-                   util::format_fixed(percentile_ms(mode->latencies, 50), 3),
-                   util::format_fixed(percentile_ms(mode->latencies, 99),
-                                      3)});
+                   util::format_fixed(mode->p50_ms, 3),
+                   util::format_fixed(mode->p99_ms, 3)});
   table.add_row({"solo-run (classic)", "1", "0",
                  util::format_fixed(classic.report.total_seconds, 6), "-",
                  "-", "-"});

@@ -60,11 +60,33 @@ int main(int argc, char** argv) {
     std::vector<std::string> row_f13 = {name};
     std::vector<std::string> row_f14 = {name};
     for (bench::Algo algo : bench::kAllAlgos) {
-      const auto gc = bench::run_graphchi(algo, data);
-      const auto xs = bench::run_xstream(algo, data);
+      const std::string run_tag = name + "-" + bench::algo_name(algo);
+      auto gc_obs = bench::make_baseline_observer(obs, "graphchi", run_tag);
+      auto xs_obs = bench::make_baseline_observer(obs, "xstream", run_tag);
+      const auto gc = bench::run_graphchi(algo, data, gc_obs.get());
+      const auto xs = bench::run_xstream(algo, data, xs_obs.get());
+      if (gc_obs) gc_obs->finalize();
+      if (xs_obs) xs_obs->finalize();
+      if (auto cs_obs = bench::make_baseline_observer(obs, "cusha", run_tag)) {
+        // The in-memory baselines cannot hold these graphs; the trace
+        // probe documents exactly how far each gets (the upload attempt
+        // before DeviceOutOfMemory) so every system has a comparable
+        // trace file for this table's workload.
+        const auto cs = bench::run_cusha(algo, data, cs_obs.get());
+        if (cs.out_of_memory)
+          GR_LOG_INFO(run_tag << ": cusha OOM (trace probe recorded)");
+        cs_obs->finalize();
+      }
+      if (auto mg_obs =
+              bench::make_baseline_observer(obs, "mapgraph", run_tag)) {
+        const auto mg = bench::run_mapgraph(algo, data, mg_obs.get());
+        if (mg.out_of_memory)
+          GR_LOG_INFO(run_tag << ": mapgraph OOM (trace probe recorded)");
+        mg_obs->finalize();
+      }
       auto gr_options = bench::bench_engine_options();
       gr_options.threads = threads;
-      obs.apply(gr_options, name + "-" + bench::algo_name(algo));
+      obs.apply(gr_options, run_tag);
       const auto gr = bench::run_graphreduce(algo, data, gr_options);
       gr_wall_total += gr.wall_seconds;
       bench::add_utilization_row(util_table, name, algo, gr);

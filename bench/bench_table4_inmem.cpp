@@ -38,12 +38,17 @@ int main(int argc, char** argv) {
     std::vector<std::string> row_cs = {name, "CuSha"};
     std::vector<std::string> row_gr = {name, "GR"};
     for (bench::Algo algo : bench::kAllAlgos) {
-      row_mg.push_back(
-          bench::format_cell_millis(bench::run_mapgraph(algo, data)));
-      row_cs.push_back(
-          bench::format_cell_millis(bench::run_cusha(algo, data)));
+      const std::string run_tag = name + "-" + bench::algo_name(algo);
+      auto mg_obs = bench::make_baseline_observer(obs, "mapgraph", run_tag);
+      auto cs_obs = bench::make_baseline_observer(obs, "cusha", run_tag);
+      row_mg.push_back(bench::format_cell_millis(
+          bench::run_mapgraph(algo, data, mg_obs.get())));
+      row_cs.push_back(bench::format_cell_millis(
+          bench::run_cusha(algo, data, cs_obs.get())));
+      if (mg_obs) mg_obs->finalize();
+      if (cs_obs) cs_obs->finalize();
       auto gr_options = bench::bench_engine_options();
-      obs.apply(gr_options, name + "-" + bench::algo_name(algo));
+      obs.apply(gr_options, run_tag);
       const auto gr = bench::run_graphreduce(algo, data, gr_options);
       row_gr.push_back(bench::format_cell_millis(gr));
       bench::add_utilization_row(util_table, name, algo, gr);

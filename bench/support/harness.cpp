@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <utility>
 
 #include "baselines/cusha/cusha.hpp"
 #include "baselines/graphchi/graphchi.hpp"
@@ -49,8 +51,6 @@ core::EngineOptions bench_engine_options() {
   return options;
 }
 
-namespace {
-
 // "dir/t.json" + "orkut-bfs" -> "dir/t.orkut-bfs.json"
 std::string tag_path(const std::string& path, const std::string& tag) {
   if (path.empty() || tag.empty()) return path;
@@ -61,8 +61,6 @@ std::string tag_path(const std::string& path, const std::string& tag) {
     return path + "." + tag;
   return path.substr(0, dot) + "." + tag + path.substr(dot);
 }
-
-}  // namespace
 
 void ObsFlags::register_flags(util::Cli& cli) {
   cli.flag("trace-out", &trace_out,
@@ -121,6 +119,21 @@ void ObsFlags::verify_metrics_provenance() const {
                      << " but this bench recorded digest " << digest
                      << " — the file does not belong to this run");
   }
+}
+
+std::unique_ptr<obs::BaselinePhaseObserver> make_baseline_observer(
+    const ObsFlags& flags, const std::string& system,
+    const std::string& run_tag) {
+  if (flags.trace_out.empty() && flags.metrics_out.empty()) return nullptr;
+  const std::string tag = run_tag + "-" + system;
+  obs::BaselinePhaseObserver::Config config;
+  config.trace_out = tag_path(flags.trace_out, tag);
+  config.metrics_out = tag_path(flags.metrics_out, tag);
+  config.track_prefix = system + "/";
+  config.provenance = {{"bench_tag", run_tag},
+                       {"system", system},
+                       {"git_sha", build_git_sha()}};
+  return std::make_unique<obs::BaselinePhaseObserver>(std::move(config));
 }
 
 Cell run_graphreduce(Algo algo, const PreparedDataset& data,
@@ -186,65 +199,80 @@ GrRun run_graphreduce_timed(Algo algo, const PreparedDataset& data,
   return out;
 }
 
-Cell run_graphchi(Algo algo, const PreparedDataset& data) {
+Cell run_graphchi(Algo algo, const PreparedDataset& data,
+                  baselines::PhaseObserver* obs) {
+  baselines::graphchi::Options options;
+  options.phase_observer = obs;
   baselines::BaselineReport report;
   switch (algo) {
     case Algo::kBfs:
-      report = baselines::graphchi::run_bfs(data.edges, data.source).report;
+      report = baselines::graphchi::run_bfs(data.edges, data.source, options)
+                   .report;
       break;
     case Algo::kSssp:
-      report = baselines::graphchi::run_sssp(data.edges, data.source).report;
+      report = baselines::graphchi::run_sssp(data.edges, data.source, options)
+                   .report;
       break;
     case Algo::kPageRank:
-      report =
-          baselines::graphchi::run_pagerank(data.edges, kPageRankIterations)
-              .report;
+      report = baselines::graphchi::run_pagerank(data.edges,
+                                                 kPageRankIterations, options)
+                   .report;
       break;
     case Algo::kCc:
-      report = baselines::graphchi::run_cc(data.edges).report;
+      report = baselines::graphchi::run_cc(data.edges, options).report;
       break;
   }
   return {report.seconds, report.iterations, false};
 }
 
-Cell run_xstream(Algo algo, const PreparedDataset& data) {
+Cell run_xstream(Algo algo, const PreparedDataset& data,
+                 baselines::PhaseObserver* obs) {
+  baselines::xstream::Options options;
+  options.phase_observer = obs;
   baselines::BaselineReport report;
   switch (algo) {
     case Algo::kBfs:
-      report = baselines::xstream::run_bfs(data.edges, data.source).report;
+      report = baselines::xstream::run_bfs(data.edges, data.source, options)
+                   .report;
       break;
     case Algo::kSssp:
-      report = baselines::xstream::run_sssp(data.edges, data.source).report;
+      report = baselines::xstream::run_sssp(data.edges, data.source, options)
+                   .report;
       break;
     case Algo::kPageRank:
-      report =
-          baselines::xstream::run_pagerank(data.edges, kPageRankIterations)
-              .report;
+      report = baselines::xstream::run_pagerank(data.edges,
+                                                kPageRankIterations, options)
+                   .report;
       break;
     case Algo::kCc:
-      report = baselines::xstream::run_cc(data.edges).report;
+      report = baselines::xstream::run_cc(data.edges, options).report;
       break;
   }
   return {report.seconds, report.iterations, false};
 }
 
-Cell run_cusha(Algo algo, const PreparedDataset& data) {
+Cell run_cusha(Algo algo, const PreparedDataset& data,
+               baselines::PhaseObserver* obs) {
+  baselines::cusha::Options options;
+  options.phase_observer = obs;
   try {
     baselines::BaselineReport report;
     switch (algo) {
       case Algo::kBfs:
-        report = baselines::cusha::run_bfs(data.edges, data.source).report;
+        report = baselines::cusha::run_bfs(data.edges, data.source, options)
+                     .report;
         break;
       case Algo::kSssp:
-        report = baselines::cusha::run_sssp(data.edges, data.source).report;
+        report = baselines::cusha::run_sssp(data.edges, data.source, options)
+                     .report;
         break;
       case Algo::kPageRank:
-        report =
-            baselines::cusha::run_pagerank(data.edges, kPageRankIterations)
-                .report;
+        report = baselines::cusha::run_pagerank(data.edges,
+                                                kPageRankIterations, options)
+                     .report;
         break;
       case Algo::kCc:
-        report = baselines::cusha::run_cc(data.edges).report;
+        report = baselines::cusha::run_cc(data.edges, options).report;
         break;
     }
     return {report.seconds, report.iterations, false};
@@ -253,24 +281,30 @@ Cell run_cusha(Algo algo, const PreparedDataset& data) {
   }
 }
 
-Cell run_mapgraph(Algo algo, const PreparedDataset& data) {
+Cell run_mapgraph(Algo algo, const PreparedDataset& data,
+                  baselines::PhaseObserver* obs) {
+  baselines::mapgraph::Options options;
+  options.phase_observer = obs;
   try {
     baselines::BaselineReport report;
     switch (algo) {
       case Algo::kBfs:
-        report = baselines::mapgraph::run_bfs(data.edges, data.source).report;
+        report = baselines::mapgraph::run_bfs(data.edges, data.source, options)
+                     .report;
         break;
       case Algo::kSssp:
         report =
-            baselines::mapgraph::run_sssp(data.edges, data.source).report;
-        break;
-      case Algo::kPageRank:
-        report =
-            baselines::mapgraph::run_pagerank(data.edges, kPageRankIterations)
+            baselines::mapgraph::run_sssp(data.edges, data.source, options)
                 .report;
         break;
+      case Algo::kPageRank:
+        report = baselines::mapgraph::run_pagerank(data.edges,
+                                                   kPageRankIterations,
+                                                   options)
+                     .report;
+        break;
       case Algo::kCc:
-        report = baselines::mapgraph::run_cc(data.edges).report;
+        report = baselines::mapgraph::run_cc(data.edges, options).report;
         break;
     }
     return {report.seconds, report.iterations, false};

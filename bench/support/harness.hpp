@@ -5,12 +5,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/options.hpp"
 #include "graph/edge_list.hpp"
+#include "obs/telemetry.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -75,10 +77,36 @@ struct GrRun {
 };
 GrRun run_graphreduce_timed(Algo algo, const PreparedDataset& data,
                             core::EngineOptions options);
-Cell run_graphchi(Algo algo, const PreparedDataset& data);
-Cell run_xstream(Algo algo, const PreparedDataset& data);
-Cell run_cusha(Algo algo, const PreparedDataset& data);
-Cell run_mapgraph(Algo algo, const PreparedDataset& data);
+/// Baseline dispatch. The optional PhaseObserver (baselines/common.hpp)
+/// receives phase spans / byte counters on the same simulated clock the
+/// reported seconds use; pass nullptr (the default) for the classic
+/// unobserved run — reported numbers are identical either way.
+Cell run_graphchi(Algo algo, const PreparedDataset& data,
+                  baselines::PhaseObserver* obs = nullptr);
+Cell run_xstream(Algo algo, const PreparedDataset& data,
+                 baselines::PhaseObserver* obs = nullptr);
+Cell run_cusha(Algo algo, const PreparedDataset& data,
+               baselines::PhaseObserver* obs = nullptr);
+Cell run_mapgraph(Algo algo, const PreparedDataset& data,
+                  baselines::PhaseObserver* obs = nullptr);
+
+/// Inserts `tag` before the extension ("t.json" + "orkut-bfs" ->
+/// "t.orkut-bfs.json"); empty tag or path returns `path` unchanged.
+/// The same rule ObsFlags::apply uses for per-run engine outputs, made
+/// public so benches can tag baseline trace / serving telemetry paths
+/// consistently.
+std::string tag_path(const std::string& path, const std::string& tag);
+
+struct ObsFlags;
+
+/// When `flags` carries a trace or metrics pattern, builds the phase
+/// observer for one baseline run: outputs land next to the engine's
+/// ("<stem>.<run_tag>-<system>.json") with track prefix "<system>/" so
+/// merged traces stay distinguishable. Null when neither pattern is
+/// set. Run the baseline with .get(), then call finalize().
+std::unique_ptr<obs::BaselinePhaseObserver> make_baseline_observer(
+    const ObsFlags& flags, const std::string& system,
+    const std::string& run_tag);
 
 /// Default GraphReduce options for benches (50 MB scaled K20c).
 core::EngineOptions bench_engine_options();

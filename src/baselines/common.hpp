@@ -32,6 +32,35 @@ struct Run {
   BaselineReport report;
 };
 
+/// Observer seam for baseline phase tracing — the baselines' analog of
+/// core::ExecutionObserver. Each baseline reports completed phase spans
+/// and counters on its own simulated clock (cpusim seconds for the CPU
+/// systems, the vgpu device clock for the GPU ones); attaching an
+/// observer never changes a report (every hook is pure notification,
+/// and the CPU baselines compute boundary clocks from copies of their
+/// work counters). Baselines must not depend on src/obs, so only this
+/// abstract interface lives here; the concrete trace/metrics renderer
+/// (obs::BaselinePhaseObserver) plugs in from above via Options.
+class PhaseObserver {
+ public:
+  virtual ~PhaseObserver() = default;
+  /// Run opened at `sim_seconds` on the baseline's clock (0 for the CPU
+  /// models; the current device clock for GPU baselines, whose
+  /// constructor-time graph upload precedes run()).
+  virtual void on_run_begin(const char* /*system*/, double /*sim_seconds*/) {}
+  /// One completed phase span (e.g. "update", "scatter", "kernel").
+  virtual void on_phase(const char* /*phase*/, std::uint32_t /*iteration*/,
+                        double /*begin_seconds*/, double /*end_seconds*/) {}
+  virtual void on_iteration_end(std::uint32_t /*iteration*/,
+                                double /*sim_seconds*/,
+                                std::uint64_t /*updates*/) {}
+  /// Bulk data movement charged on a named channel ("shard_load",
+  /// "h2d", "d2h", "stream", ...); accumulates into counters.
+  virtual void on_bytes(const char* /*channel*/, std::uint64_t /*bytes*/) {}
+  virtual void on_run_end(double /*sim_seconds*/,
+                          const BaselineReport& /*report*/) {}
+};
+
 /// Pull-style BFS as a gather program: frameworks that cannot eliminate
 /// the gather phase (CuSha/MapGraph process via in-edge pulls) run BFS
 /// as min(depth_src + 1).

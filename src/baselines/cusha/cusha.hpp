@@ -37,6 +37,10 @@ struct Options {
   std::uint32_t max_iterations = 0;  // 0 = n + 1
   /// G-Shard window count (granularity of the shard-per-block mapping).
   std::uint32_t windows = 26;
+  /// Phase tracing seam; nullptr = silent. Must be set at construction
+  /// time so the one-time graph upload is covered; every hook reads the
+  /// device clock and never enqueues work, so reports are unchanged.
+  PhaseObserver* phase_observer = nullptr;
 };
 
 template <core::GatherProgram P>
@@ -78,6 +82,9 @@ class Engine {
     }
 
     // One-time graph upload (the in-memory premise).
+    PhaseObserver* obs = options_.phase_observer;
+    const double t_upload = device_->now();
+    if (obs != nullptr) obs->on_run_begin("cusha", t_upload);
     vgpu::Stream& s = device_->default_stream();
     device_->memcpy_h2d(s, d_offsets_.data(), csc_.offsets().data(),
                         (n + 1) * sizeof(graph::EdgeId));
@@ -89,6 +96,13 @@ class Engine {
       device_->memcpy_h2d(s, d_edge_.data(), h_edge_.data(),
                           m * sizeof(EdgeData));
     device_->synchronize();
+    if (obs != nullptr) {
+      obs->on_phase("upload", 0, t_upload, device_->now());
+      obs->on_bytes(
+          "h2d", (n + 1) * sizeof(graph::EdgeId) +
+                     m * sizeof(graph::VertexId) + n * sizeof(VertexData) +
+                     (kHasEdgeState ? m * sizeof(EdgeData) : 0));
+    }
   }
 
   BaselineReport run() {
@@ -100,10 +114,12 @@ class Engine {
     BaselineReport report;
     vgpu::Stream& s = device_->default_stream();
     std::uint8_t h_changed = 1;
+    PhaseObserver* obs = options_.phase_observer;
 
     std::uint32_t iter = 0;
     while (iter < max_iters && h_changed != 0) {
       const core::IterationContext ctx{iter};
+      const double t_kernel = device_->now();
       // One fused shard kernel: gather + apply over ALL vertices/edges.
       // G-Shards layout => coalesced source-value reads (shards carry a
       // copy of the needed window), so random traffic is minimal.
@@ -142,15 +158,28 @@ class Engine {
       device_->synchronize();
       flip_ = 1 - flip_;
       report.edges_streamed += m;
+      if (obs != nullptr) {
+        const double t = device_->now();
+        obs->on_phase("kernel", iter, t_kernel, t);
+        obs->on_bytes("d2h", 1);  // the convergence flag
+        obs->on_iteration_end(iter, t, h_changed != 0 ? 1 : 0);
+      }
       ++iter;
     }
 
+    const double t_download = device_->now();
     device_->memcpy_d2h(s, h_state_.data(), d_state_[flip_].data(),
                         n * sizeof(VertexData));
     device_->synchronize();
     report.iterations = iter;
     report.converged = h_changed == 0;
     report.seconds = device_->now();
+    if (obs != nullptr) {
+      obs->on_phase("download", iter, t_download, report.seconds);
+      obs->on_bytes("d2h", static_cast<std::uint64_t>(n) *
+                               sizeof(VertexData));
+      obs->on_run_end(report.seconds, report);
+    }
     return report;
   }
 

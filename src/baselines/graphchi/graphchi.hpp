@@ -39,6 +39,9 @@ struct Options {
   /// Execution intervals (the paper's GraphChi used shards sized to
   /// memory; interval count is the knob that matters for skipping).
   std::uint32_t intervals = 16;
+  /// Phase tracing seam; nullptr = silent (identical reports either
+  /// way — the observer only reads boundary clocks, never the work).
+  PhaseObserver* phase_observer = nullptr;
 };
 
 template <core::GasProgram P>
@@ -83,12 +86,21 @@ class Engine {
                                         : instance_.default_max_iterations;
     BaselineReport report;
     cpusim::WorkCounters work;
+    // Phase-boundary clocks: the cost model is a pure monotone function
+    // of the accumulated counters, so the simulated time "so far" is
+    // just seconds_for(work) at any boundary — no accounting changes.
+    PhaseObserver* obs = options_.phase_observer;
+    const auto clock = [&] {
+      return cpusim::seconds_for(options_.cpu, work);
+    };
+    if (obs != nullptr) obs->on_run_begin("graphchi", 0.0);
 
     std::uint32_t iter = 0;
     std::uint64_t frontier_size = count(active);
     while (iter < max_iters && frontier_size > 0) {
       const core::IterationContext ctx{iter};
       std::uint64_t iteration_changed = 0;
+      const double t_update_begin = obs != nullptr ? clock() : 0.0;
 
       // Pass 1 over intervals: pull-gather + apply for active vertices
       // (selective scheduling: whole interval skipped when idle).
@@ -139,7 +151,15 @@ class Engine {
         work.parallel_regions += 1;
         report.edges_streamed +=
             shard.in_edge_count() + shard.out_edge_count();
+        if (obs != nullptr)
+          obs->on_bytes("shard_load",
+                        static_cast<std::uint64_t>(
+                            shard_edges *
+                            cpusim::kGraphChiShardBytesPerEdge));
       }
+      if (obs != nullptr)
+        obs->on_phase("update", iter, t_update_begin, clock());
+      const double t_activate_begin = obs != nullptr ? clock() : 0.0;
 
       // Pass 2: schedule out-neighbours of changed vertices (decodes the
       // out-adjacency of every changed vertex and writes scattered
@@ -163,6 +183,11 @@ class Engine {
                               cpusim::kGraphChiRandomPerEdge;
       work.parallel_regions += 1;
       report.updates += iteration_changed;
+      if (obs != nullptr) {
+        const double t = clock();
+        obs->on_phase("activate", iter, t_activate_begin, t);
+        obs->on_iteration_end(iter, t, iteration_changed);
+      }
 
       active.swap(next);
       std::fill(next.begin(), next.end(), std::uint8_t{0});
@@ -174,6 +199,7 @@ class Engine {
     report.iterations = iter;
     report.converged = frontier_size == 0;
     report.seconds = cpusim::seconds_for(options_.cpu, work);
+    if (obs != nullptr) obs->on_run_end(report.seconds, report);
     return report;
   }
 

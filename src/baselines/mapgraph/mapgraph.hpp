@@ -34,6 +34,10 @@ namespace gr::baselines::mapgraph {
 struct Options {
   vgpu::DeviceConfig device = vgpu::DeviceConfig::bench_default();
   std::uint32_t max_iterations = 0;  // 0 = n + 1
+  /// Phase tracing seam; nullptr = silent. Must be set at construction
+  /// time so the one-time graph upload is covered; every hook reads the
+  /// device clock and never enqueues work, so reports are unchanged.
+  PhaseObserver* phase_observer = nullptr;
 };
 
 template <core::GatherProgram P>
@@ -78,6 +82,9 @@ class Engine {
     if (!instance_.frontier.all_vertices)
       h_front_[instance_.frontier.source] = 1;
 
+    PhaseObserver* obs = options_.phase_observer;
+    const double t_upload = device_->now();
+    if (obs != nullptr) obs->on_run_begin("mapgraph", t_upload);
     vgpu::Stream& s = device_->default_stream();
     device_->memcpy_h2d(s, d_csc_offsets_.data(), csc_.offsets().data(),
                         (n + 1) * sizeof(graph::EdgeId));
@@ -94,6 +101,15 @@ class Engine {
                           m * sizeof(EdgeData));
     device_->memcpy_h2d(s, d_front_[0].data(), h_front_.data(), n);
     device_->synchronize();
+    if (obs != nullptr) {
+      obs->on_phase("upload", 0, t_upload, device_->now());
+      obs->on_bytes(
+          "h2d",
+          2 * (n + 1) * sizeof(graph::EdgeId) +
+              2 * static_cast<std::uint64_t>(m) * sizeof(graph::VertexId) +
+              n * sizeof(VertexData) +
+              (kHasEdgeState ? m * sizeof(EdgeData) : 0) + n);
+    }
   }
 
   BaselineReport run() {
@@ -103,6 +119,7 @@ class Engine {
                                         : instance_.default_max_iterations;
     BaselineReport report;
     vgpu::Stream& s = device_->default_stream();
+    PhaseObserver* obs = options_.phase_observer;
     int flip = 0;
 
     // Host mirror of the frontier for work estimation (MapGraph's
@@ -132,6 +149,7 @@ class Engine {
       // use dynamic per-CTA assignment (higher per-edge overhead).
       const bool big_frontier = frontier_size > n / 8;
       const double overhead = big_frontier ? 1.2 : 2.0;
+      const double t_kernel = device_->now();
 
       vgpu::KernelCost cost;
       cost.threads = std::max<std::uint64_t>(frontier_in_edges, 32);
@@ -177,16 +195,31 @@ class Engine {
       report.edges_streamed += frontier_in_edges;
       report.updates += frontier_size;
       flip = 1 - flip;
+      const std::uint64_t scattered = frontier_size;
       measure();
+      if (obs != nullptr) {
+        const double t = device_->now();
+        obs->on_phase(big_frontier ? "kernel(scan)" : "kernel(dyn)",
+                      iter, t_kernel, t);
+        obs->on_bytes("d2h", n);  // next-frontier bitmap pull
+        obs->on_iteration_end(iter, t, scattered);
+      }
       ++iter;
     }
 
+    const double t_download = device_->now();
     device_->memcpy_d2h(s, h_state_.data(), d_state_[state_flip_].data(),
                         n * sizeof(VertexData));
     device_->synchronize();
     report.iterations = iter;
     report.converged = frontier_size == 0;
     report.seconds = device_->now();
+    if (obs != nullptr) {
+      obs->on_phase("download", iter, t_download, report.seconds);
+      obs->on_bytes("d2h", static_cast<std::uint64_t>(n) *
+                               sizeof(VertexData));
+      obs->on_run_end(report.seconds, report);
+    }
     return report;
   }
 

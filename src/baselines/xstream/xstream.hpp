@@ -46,6 +46,10 @@ struct Options {
   /// Dense mode: every vertex scatters each iteration (PageRank-style
   /// algorithms whose gather must be complete).
   bool dense = false;
+  /// Phase tracing seam; nullptr = silent. Boundary clocks are computed
+  /// from copies of the work counters, so the report is identical
+  /// either way.
+  PhaseObserver* phase_observer = nullptr;
 };
 
 template <core::GasProgram P>
@@ -101,6 +105,8 @@ class Engine {
                                         : instance_.default_max_iterations;
     BaselineReport report;
     cpusim::WorkCounters work;
+    PhaseObserver* obs = options_.phase_observer;
+    if (obs != nullptr) obs->on_run_begin("xstream", 0.0);
 
     std::uint32_t iter = 0;
     bool any_active = true;
@@ -162,6 +168,25 @@ class Engine {
       const std::uint64_t changed =
           changed_total.load(std::memory_order_relaxed);
 
+      // Phase-boundary clocks are taken from COPIES of `work` (the cost
+      // model is a pure function of the counters): the scatter phase
+      // covers the full edge stream plus the update-file writes, the
+      // gather phase the rest. The real accounting block below is
+      // untouched, so report.seconds stays bit-identical with or
+      // without an observer.
+      double t_scatter_begin = 0.0, t_scatter_end = 0.0;
+      if (obs != nullptr) {
+        t_scatter_begin = cpusim::seconds_for(options_.cpu, work);
+        cpusim::WorkCounters mid = work;
+        mid.simple_ops +=
+            static_cast<double>(m) * cpusim::kXStreamOpsPerEdge;
+        mid.sequential_bytes +=
+            static_cast<double>(m) * cpusim::kXStreamBytesPerEdge +
+            static_cast<double>(updates) * sizeof(GatherResult);
+        mid.parallel_regions += options_.partitions;
+        t_scatter_end = cpusim::seconds_for(options_.cpu, mid);
+      }
+
       // Cost accounting (see file comment): full edge stream + updates.
       // The gather phase runs at the pace of its most loaded partition.
       const std::uint64_t max_part = *std::max_element(
@@ -182,6 +207,18 @@ class Engine {
 
       report.edges_streamed += m;
       report.updates += updates;
+      if (obs != nullptr) {
+        const double t = cpusim::seconds_for(options_.cpu, work);
+        obs->on_phase("scatter", iter, t_scatter_begin, t_scatter_end);
+        obs->on_phase("gather", iter, t_scatter_end, t);
+        obs->on_iteration_end(iter, t, updates);
+        obs->on_bytes(
+            "stream",
+            static_cast<std::uint64_t>(
+                static_cast<double>(m) * cpusim::kXStreamBytesPerEdge +
+                static_cast<double>(updates) * 2.0 *
+                    sizeof(GatherResult)));
+      }
       ++iter;
 
       if (options_.dense) {
@@ -197,6 +234,7 @@ class Engine {
     report.iterations = iter;
     report.converged = !any_active;
     report.seconds = cpusim::seconds_for(options_.cpu, work);
+    if (obs != nullptr) obs->on_run_end(report.seconds, report);
     return report;
   }
 

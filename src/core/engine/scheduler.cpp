@@ -1,6 +1,8 @@
 #include "core/engine/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <iostream>
 
 #include "core/engine/engine_core.hpp"
 #include "core/partition.hpp"
@@ -15,6 +17,27 @@ JobScheduler::JobScheduler(const graph::EdgeList& edges,
   GR_CHECK_MSG(edges.num_vertices() > 0, "empty graph");
   options_.validate();
   device_ = std::make_unique<vgpu::Device>(options_.device);
+  attrib_base_ = device_->stats();
+  // Simulated job latencies live in the low-millisecond-to-seconds
+  // range on the bench device; the bounds cover that with one decade of
+  // headroom each way.
+  const std::vector<double> bounds = {1e-4, 3e-4, 1e-3, 3e-3, 1e-2,
+                                      3e-2, 1e-1, 3e-1, 1.0,  3.0,
+                                      10.0, 30.0};
+  latency_hist_ =
+      &sched_metrics_.histogram("sched.job_latency_seconds", bounds);
+  queue_hist_ =
+      &sched_metrics_.histogram("sched.job_queue_seconds", bounds);
+  if (!options_.telemetry_out.empty()) {
+    std::string f;
+    obs::TelemetrySink::field(f, "admission", options_.sched_admission);
+    obs::TelemetrySink::field_u64(f, "max_concurrent", max_concurrent());
+    obs::TelemetrySink::field(f, "transfer_policy",
+                              options_.transfer_policy);
+    obs::TelemetrySink::field_u64(f, "device_memory_bytes",
+                                  options_.device.global_memory_bytes);
+    telemetry_.open(options_.telemetry_out, f);
+  }
 }
 
 std::uint32_t JobScheduler::max_concurrent() const {
@@ -37,6 +60,14 @@ JobId JobScheduler::submit(JobRequest request) {
   pending.requests.push_back(std::move(request));
   ++stats_.submitted;
   const JobId id = pending.ids.front();
+  if (telemetry_.enabled()) {
+    std::string f;
+    obs::TelemetrySink::field_u64(f, "job", id);
+    obs::TelemetrySink::field(f, "program",
+                              pending.requests.front().program);
+    obs::TelemetrySink::field(f, "label", pending.requests.front().label);
+    telemetry_.event("job_submit", pending.submit_seconds, f);
+  }
   queue_.push_back(std::move(pending));
   return id;
 }
@@ -101,6 +132,17 @@ std::vector<JobId> JobScheduler::submit_batch(
     }
     stats_.submitted += take;
     ids.insert(ids.end(), pending.ids.begin(), pending.ids.end());
+    if (telemetry_.enabled()) {
+      for (std::size_t k = 0; k < take; ++k) {
+        std::string f;
+        obs::TelemetrySink::field_u64(f, "job", pending.ids[k]);
+        obs::TelemetrySink::field(f, "program",
+                                  pending.requests[k].program);
+        obs::TelemetrySink::field(f, "label", pending.requests[k].label);
+        obs::TelemetrySink::field_u64(f, "fused_with", pending.ids[0]);
+        telemetry_.event("job_submit", pending.submit_seconds, f);
+      }
+    }
     queue_.push_back(std::move(pending));
     i += take;
   }
@@ -177,11 +219,75 @@ void JobScheduler::admit_available() {
       tenant->job = handle.make_job(*edges_, lead.spec, opts, env);
     }
     tenant->requests = std::move(pending.requests);
+    tenant->usage.job = tenant->ids.front();
+    tenant->usage.label = lead.label;
+    tenant->usage.submit_seconds = tenant->submit_seconds;
+    tenant->usage.admit_seconds = tenant->admit_seconds;
+    // The external-observer slot is free on the scheduler path; the
+    // adapter tags engine events with the owning job and closes the
+    // tenant's attribution from inside finish_run (after the final
+    // download, before the metrics file is written).
+    tenant->telemetry = std::make_unique<obs::TenantTelemetry>(
+        telemetry_.enabled() ? &telemetry_ : nullptr, *device_,
+        tenant->ids.front(), lead.label);
+    Tenant* t = tenant.get();
+    tenant->telemetry->set_run_end_hook([this, t](const RunReport& report) {
+      t->usage.device.accumulate(
+          device_->stats().delta_since(t->stage_base));
+      t->usage.cache_slots = report.cache_slots;
+      if (obs::RunObservability* o =
+              t->job->core().mutable_observability()) {
+        obs::Metrics& m = o->metrics();
+        const vgpu::DeviceStats& d = t->usage.device;
+        m.gauge("engine.sched.attrib.bytes_h2d")
+            .set(static_cast<double>(d.bytes_h2d));
+        m.gauge("engine.sched.attrib.bytes_d2h")
+            .set(static_cast<double>(d.bytes_d2h));
+        m.gauge("engine.sched.attrib.h2d_ops")
+            .set(static_cast<double>(d.h2d_ops));
+        m.gauge("engine.sched.attrib.d2h_ops")
+            .set(static_cast<double>(d.d2h_ops));
+        m.gauge("engine.sched.attrib.kernels_launched")
+            .set(static_cast<double>(d.kernels_launched));
+        m.gauge("engine.sched.attrib.h2d_busy_seconds")
+            .set(d.h2d_busy_seconds);
+        m.gauge("engine.sched.attrib.d2h_busy_seconds")
+            .set(d.d2h_busy_seconds);
+        m.gauge("engine.sched.attrib.kernel_busy_seconds")
+            .set(d.kernel_busy_seconds);
+        m.gauge("engine.sched.attrib.cache_slots")
+            .set(static_cast<double>(report.cache_slots));
+      }
+    });
+    tenant->job->core().set_observer(tenant->telemetry.get());
+    if (telemetry_.enabled()) {
+      std::string f;
+      obs::TelemetrySink::field_u64(f, "job", tenant->ids.front());
+      obs::TelemetrySink::field(f, "label", lead.label);
+      obs::TelemetrySink::field_u64(f, "width",
+                                    tenant->ids.size());
+      obs::TelemetrySink::field_u64(f, "concurrency", concurrency);
+      obs::TelemetrySink::field_u64(f, "queued", queue_.size());
+      obs::TelemetrySink::field_u64(f, "slice_bytes",
+                                    opts.device.global_memory_bytes);
+      obs::TelemetrySink::field_t(f, "queue_seconds",
+                                  tenant->admit_seconds -
+                                      tenant->submit_seconds);
+      telemetry_.event("job_admit", tenant->admit_seconds, f);
+    }
     // begin() runs under this job's own observability scope (begin_run
     // builds and attaches the listener); suspend before other tenants
     // touch the shared device.
+    tenant->stage_base = device_->stats();
     tenant->job->begin();
+    tenant->usage.device.accumulate(
+        device_->stats().delta_since(tenant->stage_base));
     tenant->job->core().suspend_observability();
+    if (telemetry_.enabled()) {
+      std::string f;
+      obs::TelemetrySink::field_u64(f, "job", tenant->ids.front());
+      telemetry_.event("job_start", device_->now(), f);
+    }
     ++stats_.admitted;
     running_.push_back(std::move(tenant));
     stats_.max_concurrent_seen = std::max(
@@ -209,8 +315,18 @@ void JobScheduler::finish_tenant(Tenant& tenant) {
         .set(static_cast<double>(running_.size()));
     metrics.counter("engine.sched.steps").add(tenant.steps);
   }
+  // The run-end hook (TenantTelemetry) accumulates this stage's delta
+  // from inside finish_run, after the final download synchronized —
+  // which is why the attrib gauges it injects there cover the run.
+  tenant.stage_base = device_->stats();
   tenant.job->finish();
   const double finish_seconds = device_->now();
+  tenant.usage.width = tenant.job->width();
+  tenant.usage.steps = tenant.steps;
+  tenant.usage.finish_seconds = finish_seconds;
+  tenant.usage.cache_lane_seconds =
+      static_cast<double>(tenant.usage.cache_slots) *
+      (finish_seconds - tenant.admit_seconds);
   for (std::size_t lane = 0; lane < tenant.ids.size(); ++lane) {
     JobResult result;
     result.run = tenant.job->result(static_cast<std::uint32_t>(lane));
@@ -220,9 +336,42 @@ void JobScheduler::finish_tenant(Tenant& tenant) {
     result.submit_seconds = tenant.submit_seconds;
     result.admit_seconds = tenant.admit_seconds;
     result.finish_seconds = finish_seconds;
+    latency_hist_->observe(result.latency_seconds());
+    queue_hist_->observe(result.queue_seconds());
     results_.emplace(tenant.ids[lane], std::move(result));
     ++stats_.finished;
   }
+  if (telemetry_.enabled()) {
+    std::string f;
+    obs::TelemetrySink::field_u64(f, "job", tenant.ids.front());
+    obs::TelemetrySink::field(f, "label", tenant.usage.label);
+    obs::TelemetrySink::field_u64(f, "width", tenant.usage.width);
+    obs::TelemetrySink::field_u64(f, "steps", tenant.steps);
+    obs::TelemetrySink::field_t(f, "latency_seconds",
+                                finish_seconds - tenant.submit_seconds);
+    obs::TelemetrySink::field_t(f, "queue_seconds",
+                                tenant.admit_seconds -
+                                    tenant.submit_seconds);
+    const vgpu::DeviceStats& d = tenant.usage.device;
+    obs::TelemetrySink::field_u64(f, "bytes_h2d", d.bytes_h2d);
+    obs::TelemetrySink::field_u64(f, "bytes_d2h", d.bytes_d2h);
+    obs::TelemetrySink::field_u64(f, "h2d_ops", d.h2d_ops);
+    obs::TelemetrySink::field_u64(f, "d2h_ops", d.d2h_ops);
+    obs::TelemetrySink::field_u64(f, "kernels_launched",
+                                  d.kernels_launched);
+    obs::TelemetrySink::field_f(f, "h2d_busy_seconds",
+                                d.h2d_busy_seconds);
+    obs::TelemetrySink::field_f(f, "d2h_busy_seconds",
+                                d.d2h_busy_seconds);
+    obs::TelemetrySink::field_f(f, "kernel_busy_seconds",
+                                d.kernel_busy_seconds);
+    obs::TelemetrySink::field_u64(f, "cache_slots",
+                                  tenant.usage.cache_slots);
+    obs::TelemetrySink::field_f(f, "cache_lane_seconds",
+                                tenant.usage.cache_lane_seconds);
+    telemetry_.event("job_finish", finish_seconds, f);
+  }
+  usage_.push_back(tenant.usage);
 }
 
 bool JobScheduler::pump() {
@@ -233,7 +382,11 @@ bool JobScheduler::pump() {
   for (std::size_t i = 0; i < running_.size();) {
     Tenant& tenant = *running_[i];
     tenant.job->core().resume_observability();
-    if (tenant.job->step()) {
+    tenant.stage_base = device_->stats();
+    const bool stepped = tenant.job->step();
+    tenant.usage.device.accumulate(
+        device_->stats().delta_since(tenant.stage_base));
+    if (stepped) {
       ++tenant.steps;
       ++stats_.steps;
       tenant.job->core().suspend_observability();
@@ -256,8 +409,83 @@ const JobResult& JobScheduler::wait(JobId id) {
   }
 }
 
+void JobScheduler::verify_attribution() const {
+  GR_CHECK_MSG(running_.empty(),
+               "verify_attribution with tenants still in flight");
+  vgpu::DeviceStats sum;
+  for (const obs::TenantUsage& t : usage_) sum.accumulate(t.device);
+  const vgpu::DeviceStats total = device_totals();
+  // Integer activity partitions exactly: every device op happens inside
+  // exactly one tenant stage bracket.
+  GR_CHECK_MSG(sum.bytes_h2d == total.bytes_h2d &&
+                   sum.bytes_d2h == total.bytes_d2h &&
+                   sum.h2d_ops == total.h2d_ops &&
+                   sum.d2h_ops == total.d2h_ops &&
+                   sum.kernels_launched == total.kernels_launched,
+               "per-tenant attribution does not partition device totals"
+                   << " (h2d " << sum.bytes_h2d << "/" << total.bytes_h2d
+                   << ", d2h " << sum.bytes_d2h << "/" << total.bytes_d2h
+                   << ", kernels " << sum.kernels_launched << "/"
+                   << total.kernels_launched << ")");
+  // Busy-seconds deltas telescope; only rounding may differ.
+  const auto close = [](double a, double b) {
+    return std::abs(a - b) <= 1e-9 * std::max(1.0, std::max(std::abs(a),
+                                                            std::abs(b)));
+  };
+  GR_CHECK_MSG(close(sum.h2d_busy_seconds, total.h2d_busy_seconds) &&
+                   close(sum.d2h_busy_seconds, total.d2h_busy_seconds) &&
+                   close(sum.kernel_busy_seconds,
+                         total.kernel_busy_seconds),
+               "attributed busy-seconds diverge from device totals ("
+                   << sum.kernel_busy_seconds << " vs "
+                   << total.kernel_busy_seconds << " kernel)");
+}
+
 void JobScheduler::drain() {
   while (pump()) {
+  }
+  verify_attribution();
+  if (telemetry_.enabled()) {
+    const vgpu::DeviceStats total = device_totals();
+    vgpu::DeviceStats sum;
+    double lane_seconds = 0.0;
+    for (const obs::TenantUsage& t : usage_) {
+      sum.accumulate(t.device);
+      lane_seconds += t.cache_lane_seconds;
+    }
+    std::string f;
+    obs::TelemetrySink::field_u64(f, "jobs", stats_.finished);
+    obs::TelemetrySink::field_u64(f, "tenants", usage_.size());
+    obs::TelemetrySink::field_u64(f, "steps", stats_.steps);
+    obs::TelemetrySink::field_u64(f, "device_bytes_h2d", total.bytes_h2d);
+    obs::TelemetrySink::field_u64(f, "device_bytes_d2h", total.bytes_d2h);
+    obs::TelemetrySink::field_u64(f, "device_h2d_ops", total.h2d_ops);
+    obs::TelemetrySink::field_u64(f, "device_d2h_ops", total.d2h_ops);
+    obs::TelemetrySink::field_u64(f, "device_kernels_launched",
+                                  total.kernels_launched);
+    obs::TelemetrySink::field_f(f, "device_h2d_busy_seconds",
+                                total.h2d_busy_seconds);
+    obs::TelemetrySink::field_f(f, "device_d2h_busy_seconds",
+                                total.d2h_busy_seconds);
+    obs::TelemetrySink::field_f(f, "device_kernel_busy_seconds",
+                                total.kernel_busy_seconds);
+    obs::TelemetrySink::field_u64(f, "attrib_bytes_h2d", sum.bytes_h2d);
+    obs::TelemetrySink::field_u64(f, "attrib_bytes_d2h", sum.bytes_d2h);
+    obs::TelemetrySink::field_u64(f, "attrib_h2d_ops", sum.h2d_ops);
+    obs::TelemetrySink::field_u64(f, "attrib_d2h_ops", sum.d2h_ops);
+    obs::TelemetrySink::field_u64(f, "attrib_kernels_launched",
+                                  sum.kernels_launched);
+    obs::TelemetrySink::field_f(f, "attrib_h2d_busy_seconds",
+                                sum.h2d_busy_seconds);
+    obs::TelemetrySink::field_f(f, "attrib_d2h_busy_seconds",
+                                sum.d2h_busy_seconds);
+    obs::TelemetrySink::field_f(f, "attrib_kernel_busy_seconds",
+                                sum.kernel_busy_seconds);
+    obs::TelemetrySink::field_f(f, "attrib_cache_lane_seconds",
+                                lane_seconds);
+    telemetry_.event("drain", device_->now(), f);
+    telemetry_.close();
+    obs::print_tenant_report(std::cerr, usage_, total);
   }
 }
 

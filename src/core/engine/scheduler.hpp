@@ -54,6 +54,7 @@
 #include "core/engine/program_registry.hpp"
 #include "core/options.hpp"
 #include "graph/edge_list.hpp"
+#include "obs/telemetry.hpp"
 #include "util/common.hpp"
 #include "vgpu/device.hpp"
 
@@ -134,6 +135,27 @@ class JobScheduler : util::NonCopyable {
   const SchedulerStats& stats() const { return stats_; }
   std::uint32_t max_concurrent() const;
 
+  /// Scheduler-level metrics registry: job latency / queue-time
+  /// histograms observed as tenants finish (bench_serving reads its
+  /// quantiles from here instead of re-sorting latencies by hand).
+  obs::Metrics& metrics() { return sched_metrics_; }
+  const obs::Metrics& metrics() const { return sched_metrics_; }
+
+  /// Attribution records of every finished tenant, admission order.
+  const std::vector<obs::TenantUsage>& tenant_usage() const {
+    return usage_;
+  }
+  /// Device-wide activity since construction (what the tenant records
+  /// must sum to).
+  vgpu::DeviceStats device_totals() const {
+    return device_->stats().delta_since(attrib_base_);
+  }
+  /// GR_CHECKs that per-tenant attribution partitions the device-wide
+  /// totals: integer fields exactly, busy-seconds within floating-point
+  /// rounding. Called by drain(); callable any time the scheduler is
+  /// idle.
+  void verify_attribution() const;
+
  private:
   /// One queue entry: a solo query or a fused pack.
   struct Pending {
@@ -150,6 +172,14 @@ class JobScheduler : util::NonCopyable {
     double submit_seconds = 0.0;
     double admit_seconds = 0.0;
     std::uint64_t steps = 0;
+    /// Per-job telemetry/attribution adapter, attached to the engine's
+    /// external observer slot before begin().
+    std::unique_ptr<obs::TenantTelemetry> telemetry;
+    /// Attribution accumulator plus the device-stats snapshot taken at
+    /// the start of the current stage (begin/step/finish); every stage
+    /// ends on a device synchronize, so the deltas partition exactly.
+    obs::TenantUsage usage;
+    vgpu::DeviceStats stage_base;
   };
 
   /// Admits queue entries while concurrency slots are free; one
@@ -174,6 +204,17 @@ class JobScheduler : util::NonCopyable {
   std::unordered_map<JobId, JobResult> results_;
   JobId next_id_ = 0;
   SchedulerStats stats_;
+
+  /// NDJSON event stream (EngineOptions::telemetry_out); disabled when
+  /// the path is empty.
+  obs::TelemetrySink telemetry_;
+  obs::Metrics sched_metrics_;
+  obs::Histogram* latency_hist_ = nullptr;
+  obs::Histogram* queue_hist_ = nullptr;
+  /// Device stats at construction — the baseline the per-tenant
+  /// attribution must sum back to.
+  vgpu::DeviceStats attrib_base_;
+  std::vector<obs::TenantUsage> usage_;
 };
 
 }  // namespace gr::core

@@ -118,6 +118,12 @@ struct EngineOptions {
   /// Print the profiler's per-phase/per-iteration tables to stderr
   /// after the run.
   bool profile_summary = false;
+  /// NDJSON serving-telemetry stream written by the JobScheduler
+  /// (obs/telemetry.hpp): header record, per-job lifecycle/cache/
+  /// transfer events, closing drain record. Empty = no stream. Ignored
+  /// by the single-run paths; like the other observability outputs it
+  /// is excluded from bench option digests.
+  std::string telemetry_out;
 
   /// Convenience: the unoptimized configuration of Figure 15.
   EngineOptions without_optimizations() const {

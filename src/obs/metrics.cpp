@@ -35,6 +35,33 @@ std::vector<std::uint64_t> Histogram::counts() const {
   return out;
 }
 
+double Histogram::percentile(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::vector<std::uint64_t> buckets = counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : buckets) total += c;
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets[i]);
+    if (next >= rank) {
+      // Overflow bucket: no finite upper edge, clamp to the last bound.
+      if (i >= bounds_.size())
+        return bounds_.empty() ? 0.0 : bounds_.back();
+      const double lower = i > 0 ? bounds_[i - 1] : 0.0;
+      const double upper = bounds_[i];
+      const double frac =
+          (rank - cumulative) / static_cast<double>(buckets[i]);
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, frac));
+    }
+    cumulative = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 Counter& Metrics::counter(const std::string& name) {
   std::lock_guard lock(mutex_);
   auto& slot = counters_[name];
@@ -166,6 +193,12 @@ void Metrics::write_json(std::ostream& os) const {
     os << (first ? "\n" : ",\n") << "    \"" << name
        << "\": {\"count\": " << h->count() << ", \"sum\": ";
     write_double(os, h->sum());
+    os << ", \"p50\": ";
+    write_double(os, h->percentile(0.50));
+    os << ", \"p90\": ";
+    write_double(os, h->percentile(0.90));
+    os << ", \"p99\": ";
+    write_double(os, h->percentile(0.99));
     os << ", \"buckets\": [";
     const auto counts = h->counts();
     for (std::size_t i = 0; i < counts.size(); ++i) {
@@ -229,6 +262,32 @@ void Metrics::maybe_snapshot(double sim_now) {
       provenance_ = std::move(base);
     }
     snapshot_next_due_ += snapshot_interval_;
+  }
+}
+
+void Metrics::flush_final_snapshot(double sim_now) {
+  if (snapshot_interval_ <= 0.0) return;
+  maybe_snapshot(sim_now);  // any whole intervals still owed
+  // A final partial interval exists when simulated time ran past the
+  // last written boundary (snapshot_next_due_ - interval; 0 before the
+  // first snapshot). Stamp it with the actual end-of-run clock so the
+  // snapshot sequence remains a pure function of simulated time.
+  if (sim_now <= snapshot_next_due_ - snapshot_interval_) return;
+  const std::uint64_t index = snapshots_written_++;
+  char at[40];
+  std::snprintf(at, sizeof(at), "%.9f", sim_now);
+  std::map<std::string, std::string> base;
+  {
+    std::lock_guard lock(mutex_);
+    base = provenance_;
+    provenance_["snapshot"] = std::to_string(index);
+    provenance_["snapshot_sim_seconds"] = at;
+    provenance_["snapshot_final"] = "true";
+  }
+  write_file(snapshot_path(snapshot_pattern_, index));
+  {
+    std::lock_guard lock(mutex_);
+    provenance_ = std::move(base);
   }
 }
 

@@ -73,6 +73,13 @@ class Histogram : util::NonCopyable {
   const std::vector<double>& bounds() const { return bounds_; }
   std::vector<std::uint64_t> counts() const;
 
+  /// Quantile estimate from the bucket counts, `q` in [0, 1]: linear
+  /// interpolation inside the bucket holding the q-th observation
+  /// (lower edge 0 for the first bucket — observations are assumed
+  /// non-negative, as every recorded quantity here is). Observations
+  /// past the last bound clamp to it, Prometheus-style. 0 when empty.
+  double percentile(double q) const;
+
  private:
   friend class Metrics;
   explicit Histogram(std::vector<double> bounds);
@@ -135,6 +142,13 @@ class Metrics : util::NonCopyable {
   /// more than one interval elapsed since the last call). No-op unless
   /// snapshot_every armed. Driver-thread only, like write_file.
   void maybe_snapshot(double sim_now);
+  /// End-of-run flush: catches up any due snapshots, then writes one
+  /// more numbered snapshot covering the last *partial* interval (if
+  /// any simulated time elapsed past the last boundary), stamped with
+  /// the actual `sim_now` instead of a due time — so an armed
+  /// snapshot_every never silently drops the tail of a run. No-op
+  /// unless armed.
+  void flush_final_snapshot(double sim_now);
   std::uint64_t snapshots_written() const { return snapshots_written_; }
   /// "m.json" + 3 -> "m.3.json" (no extension: "m" + 3 -> "m.3").
   static std::string snapshot_path(const std::string& pattern,

@@ -258,6 +258,9 @@ void RunObservability::finalize(const core::RunReport& report) {
 
   if (!config_.trace_out.empty() && trace_)
     trace_->write_file(config_.trace_out);
+  // An armed snapshot_every owes the run's last partial interval before
+  // the final one-shot file lands (satellite: no silently dropped tail).
+  metrics_.flush_final_snapshot(device_->now());
   if (!config_.metrics_out.empty())
     metrics_.write_file(config_.metrics_out);
   if (config_.summary) profiler_.print_summary(std::cerr);

@@ -1,0 +1,298 @@
+#include "obs/telemetry.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+#include "util/format.hpp"
+#include "util/log.hpp"
+
+namespace gr::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- TelemetrySink ---
+
+TelemetrySink::TelemetrySink() = default;
+
+TelemetrySink::~TelemetrySink() { close(); }
+
+bool TelemetrySink::open(const std::string& path,
+                         const std::string& fields) {
+  close();
+  auto out = std::make_unique<std::ofstream>(path);
+  if (!*out) {
+    GR_LOG_WARN("TelemetrySink: cannot open '" << path << "'");
+    return false;
+  }
+  out_ = std::move(out);
+  *out_ << "{\"event\":\"header\",\"schema\":1,"
+           "\"clock\":\"simulated-seconds\""
+        << fields << "}\n";
+  out_->flush();
+  ++records_;
+  return true;
+}
+
+void TelemetrySink::event(const char* type, double sim_seconds,
+                          const std::string& fields) {
+  if (!out_) return;
+  char ts[40];
+  std::snprintf(ts, sizeof(ts), "%.9f", sim_seconds);
+  *out_ << "{\"event\":\"" << type << "\",\"t\":" << ts << fields
+        << "}\n";
+  ++records_;
+}
+
+void TelemetrySink::close() {
+  if (!out_) return;
+  out_->flush();
+  out_.reset();
+}
+
+void TelemetrySink::field(std::string& out, const char* key,
+                          const char* value) {
+  field(out, key, std::string(value));
+}
+
+void TelemetrySink::field(std::string& out, const char* key,
+                          const std::string& value) {
+  out += ",\"";
+  out += key;
+  out += "\":\"";
+  out += json_escape(value);
+  out += '"';
+}
+
+void TelemetrySink::field_u64(std::string& out, const char* key,
+                              std::uint64_t value) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+void TelemetrySink::field_f(std::string& out, const char* key,
+                            double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += buf;
+}
+
+void TelemetrySink::field_t(std::string& out, const char* key,
+                            double seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9f", seconds);
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += buf;
+}
+
+// --- tenant report ---
+
+void print_tenant_report(std::ostream& os,
+                         const std::vector<TenantUsage>& tenants,
+                         const vgpu::DeviceStats& totals) {
+  os << "Tenant resource attribution (simulated)\n";
+  os << "  job  width  steps  latency      h2d        d2h      "
+        "kernel-s   busy-s     cache-lane-s  label\n";
+  const auto row = [&os](const std::string& job, std::uint32_t width,
+                         std::uint64_t steps, const std::string& latency,
+                         const vgpu::DeviceStats& d,
+                         const std::string& lane_seconds,
+                         const std::string& label) {
+    os << "  " << std::left << std::setw(4) << job << std::right << "  "
+       << std::setw(5) << width << "  " << std::setw(5) << steps << "  "
+       << std::setw(9) << latency << "  " << std::setw(9)
+       << util::format_bytes(d.bytes_h2d) << "  " << std::setw(9)
+       << util::format_bytes(d.bytes_d2h) << "  " << std::setw(9)
+       << util::format_seconds(d.kernel_busy_seconds) << "  "
+       << std::setw(9) << util::format_seconds(d.memcpy_busy_seconds())
+       << "  " << std::setw(12) << lane_seconds << "  " << label
+       << "\n";
+  };
+  vgpu::DeviceStats sum;
+  double lane_sum = 0.0;
+  std::uint64_t steps_sum = 0;
+  for (const TenantUsage& t : tenants) {
+    row(std::to_string(t.job), t.width, t.steps,
+        util::format_seconds(t.finish_seconds - t.submit_seconds),
+        t.device, util::format_seconds(t.cache_lane_seconds), t.label);
+    sum.accumulate(t.device);
+    lane_sum += t.cache_lane_seconds;
+    steps_sum += t.steps;
+  }
+  row("sum", static_cast<std::uint32_t>(tenants.size()), steps_sum, "-",
+      sum, util::format_seconds(lane_sum), "(all tenants)");
+  row("dev", 0, 0, "-", totals, "-", "(device-wide totals)");
+}
+
+// --- TenantTelemetry ---
+
+void TenantTelemetry::tag(std::string& fields) const {
+  TelemetrySink::field_u64(fields, "job", job_);
+}
+
+void TenantTelemetry::on_residency_plan(const core::ResidencyPlan& plan) {
+  if (sink_ == nullptr || !sink_->enabled()) return;
+  std::string f;
+  tag(f);
+  TelemetrySink::field_u64(f, "partitions", plan.partitions);
+  TelemetrySink::field_u64(f, "streaming_slots", plan.streaming_slots);
+  TelemetrySink::field_u64(f, "cache_slots", plan.cache_slots);
+  TelemetrySink::field_u64(f, "fully_resident",
+                           plan.fully_resident ? 1 : 0);
+  sink_->event("memory_grant", device_->now(), f);
+}
+
+void TenantTelemetry::on_shard_residency(const core::Pass& /*pass*/,
+                                         const core::ShardVisit& visit) {
+  if (sink_ == nullptr || !sink_->enabled()) return;
+  if (visit.hit != 0) {
+    std::string f;
+    tag(f);
+    TelemetrySink::field_u64(f, "shard", visit.shard);
+    TelemetrySink::field_u64(f, "groups", visit.hit);
+    TelemetrySink::field_u64(f, "bytes_saved", visit.hit_bytes);
+    sink_->event("cache_hit", device_->now(), f);
+  }
+  if (visit.evicted()) {
+    std::string f;
+    tag(f);
+    TelemetrySink::field_u64(f, "shard", visit.shard);
+    TelemetrySink::field_u64(f, "victim", visit.evicted_shard);
+    TelemetrySink::field_u64(f, "writeback_groups", visit.writeback);
+    sink_->event("cache_evict", device_->now(), f);
+  }
+}
+
+void TenantTelemetry::on_shard_transfer(
+    const core::Pass& /*pass*/, const core::TransferDecision& decision) {
+  if (sink_ == nullptr || !sink_->enabled()) return;
+  std::string f;
+  tag(f);
+  TelemetrySink::field_u64(f, "shard", decision.shard);
+  TelemetrySink::field(f, "strategy",
+                       core::transfer_strategy_name(decision.strategy));
+  TelemetrySink::field_u64(f, "raw_bytes", decision.raw_bytes);
+  TelemetrySink::field_u64(f, "link_bytes", decision.link_bytes);
+  sink_->event("transfer", device_->now(), f);
+}
+
+void TenantTelemetry::on_iteration_end(const core::IterationStats& stats) {
+  if (sink_ == nullptr || !sink_->enabled()) return;
+  std::string f;
+  tag(f);
+  TelemetrySink::field_u64(f, "iteration", stats.iteration);
+  TelemetrySink::field_u64(f, "active_vertices", stats.active_vertices);
+  TelemetrySink::field_u64(f, "shards_processed", stats.shards_processed);
+  TelemetrySink::field_u64(f, "shards_skipped", stats.shards_skipped);
+  TelemetrySink::field_u64(f, "cache_hits", stats.cache_hits);
+  TelemetrySink::field_u64(f, "cache_misses", stats.cache_misses);
+  sink_->event("iteration_end", device_->now(), f);
+}
+
+void TenantTelemetry::on_run_end(const core::RunReport& report) {
+  // Fires inside EngineCore::finish_run: the final download has
+  // synchronized, the metrics file is not yet written. The scheduler's
+  // hook closes this tenant's attribution here so the injected
+  // engine.sched.attrib.* gauges cover the whole run.
+  if (run_end_hook_) run_end_hook_(report);
+}
+
+// --- BaselinePhaseObserver ---
+
+BaselinePhaseObserver::BaselinePhaseObserver(Config config)
+    : config_(std::move(config)) {
+  if (!config_.track_prefix.empty())
+    trace_.set_track_prefix(config_.track_prefix);
+  if (!config_.provenance.empty())
+    metrics_.set_provenance(config_.provenance);
+}
+
+void BaselinePhaseObserver::on_run_begin(const char* system,
+                                         double sim_seconds) {
+  system_ = system;
+  trace_.begin_span(system_ + " run", sim_seconds);
+}
+
+void BaselinePhaseObserver::on_phase(const char* phase,
+                                     std::uint32_t iteration,
+                                     double begin_seconds,
+                                     double end_seconds) {
+  trace_.begin_span(phase, begin_seconds,
+                    "{\"iteration\": " + std::to_string(iteration) + "}");
+  trace_.end_span(phase, end_seconds);
+  metrics_.counter(std::string("baseline.phase.") + phase + "_spans")
+      .add();
+  metrics_.gauge(std::string("baseline.phase.") + phase + "_seconds")
+      .add(end_seconds - begin_seconds);
+}
+
+void BaselinePhaseObserver::on_iteration_end(std::uint32_t iteration,
+                                             double sim_seconds,
+                                             std::uint64_t updates) {
+  trace_.instant("iteration " + std::to_string(iteration) + " end",
+                 sim_seconds, "iteration",
+                 "{\"updates\": " + std::to_string(updates) + "}");
+  metrics_.counter("baseline.iterations").add();
+  metrics_.counter("baseline.updates").add(updates);
+}
+
+void BaselinePhaseObserver::on_bytes(const char* channel,
+                                     std::uint64_t bytes) {
+  metrics_.counter(std::string("baseline.bytes_") + channel).add(bytes);
+}
+
+void BaselinePhaseObserver::on_run_end(
+    double sim_seconds, const baselines::BaselineReport& report) {
+  trace_.end_span(system_ + " run", sim_seconds);
+  metrics_.gauge("baseline.total_seconds").set(report.seconds);
+  metrics_.gauge("baseline.converged").set(report.converged ? 1.0 : 0.0);
+  metrics_.counter("baseline.edges_streamed").add(report.edges_streamed);
+}
+
+void BaselinePhaseObserver::finalize() {
+  if (!config_.trace_out.empty()) trace_.write_file(config_.trace_out);
+  if (!config_.metrics_out.empty())
+    metrics_.write_file(config_.metrics_out);
+}
+
+}  // namespace gr::obs

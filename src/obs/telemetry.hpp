@@ -1,0 +1,204 @@
+// Streaming serving telemetry (ROADMAP: observability for the serving
+// runtime).
+//
+// Three pieces, all clocked by simulated time and recorded on the
+// driver thread so output is byte-identical at any functional worker
+// count:
+//
+//  * TelemetrySink — an NDJSON event stream for the JobScheduler: one
+//    JSON object per line, starting with a provenance header record,
+//    then job_submit / job_admit / job_start / iteration_end /
+//    cache_hit / cache_evict / transfer / memory_grant / job_finish
+//    events and a closing drain record. Timestamps are simulated
+//    seconds with fixed "%.9f" formatting; consumers are `tail -f`,
+//    tools/telemetry_report.py, and the CI schema check.
+//
+//  * TenantTelemetry — a per-job core::ExecutionObserver adapter the
+//    scheduler attaches to each admitted engine run (the external
+//    set_observer slot, unused on the scheduler path). It tags every
+//    engine event with the owning job id and forwards it to the sink;
+//    its run-end hook fires inside EngineCore::finish_run after the
+//    final download has drained but before the metrics file is
+//    written — exactly where the scheduler closes a tenant's resource
+//    attribution so the injected engine.sched.attrib.* gauges cover
+//    the whole run.
+//
+//  * BaselinePhaseObserver — the concrete renderer behind the
+//    baselines::PhaseObserver seam: phase spans land in a standalone
+//    TraceRecorder (same Chrome trace format the engine emits, so
+//    tools/trace_diff.py works across systems) and counters in a
+//    Metrics registry.
+//
+// TenantUsage is the attribution record itself: per-tenant DeviceStats
+// deltas accumulated over the tenant's begin/step/finish stages. Every
+// EngineCore stage ends on Device::synchronize(), so bracketing stages
+// with stats() snapshots partitions device activity exactly — integer
+// fields sum to the device-wide totals bit-for-bit, busy-seconds
+// telescope to them within floating-point rounding.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/common.hpp"
+#include "core/engine/observer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/common.hpp"
+#include "vgpu/device.hpp"
+
+namespace gr::obs {
+
+/// Deterministic NDJSON event stream. Records are appended as they are
+/// emitted (the file is live-tailable mid-run); all values come off the
+/// simulated clock with fixed formatting.
+class TelemetrySink : util::NonCopyable {
+ public:
+  TelemetrySink();  // out-of-line: out_ holds a forward-declared ofstream
+  ~TelemetrySink();
+
+  /// Opens `path` and writes the header record
+  ///   {"event":"header","schema":1,"clock":"simulated-seconds"<fields>}
+  /// `fields` is a pre-rendered field list built with the append
+  /// helpers below (each contributes `,"key":value`). Returns false
+  /// (with a warning log) when the file cannot be opened; the sink then
+  /// stays disabled and every event() is a no-op.
+  bool open(const std::string& path, const std::string& fields = {});
+  bool enabled() const { return out_ != nullptr; }
+
+  /// Appends {"event":"<type>","t":<sim_seconds %.9f><fields>}.
+  void event(const char* type, double sim_seconds,
+             const std::string& fields = {});
+  /// Flushes and closes; further events are dropped. Idempotent.
+  void close();
+
+  std::uint64_t records() const { return records_; }
+
+  // --- field-list builders (each appends `,"key":...`) ---
+  static void field(std::string& out, const char* key, const char* value);
+  static void field(std::string& out, const char* key,
+                    const std::string& value);
+  static void field_u64(std::string& out, const char* key,
+                        std::uint64_t value);
+  static void field_f(std::string& out, const char* key,
+                      double value);  // "%.12g"
+  static void field_t(std::string& out, const char* key,
+                      double seconds);  // "%.9f"
+
+ private:
+  std::unique_ptr<std::ofstream> out_;
+  std::uint64_t records_ = 0;
+};
+
+/// One tenant's attributed share of the shared device, plus the
+/// scheduler's latency accounting. Produced by the JobScheduler for
+/// every finished tenant (fused packs count once, under the lead id).
+struct TenantUsage {
+  std::uint64_t job = 0;
+  std::string label;
+  std::uint32_t width = 1;
+  std::uint64_t steps = 0;
+  double submit_seconds = 0.0;
+  double admit_seconds = 0.0;
+  double finish_seconds = 0.0;
+  /// Residency-cache lanes the tenant's plan held, and their occupancy
+  /// integral: cache_slots x (finish - admit) lane-seconds.
+  std::uint32_t cache_slots = 0;
+  double cache_lane_seconds = 0.0;
+  /// Device activity attributed to this tenant's stages.
+  vgpu::DeviceStats device;
+};
+
+/// Drain-time tenant report: one row per tenant plus a totals row that
+/// the caller has verified equals the device-wide stats.
+void print_tenant_report(std::ostream& os,
+                         const std::vector<TenantUsage>& tenants,
+                         const vgpu::DeviceStats& totals);
+
+/// Per-job ExecutionObserver adapter: forwards engine events to the
+/// sink tagged with the owning job, and exposes the run-end hook the
+/// scheduler uses to close attribution inside finish_run. A null sink
+/// is valid (events drop, the hook still fires) so attribution works
+/// without a telemetry file.
+class TenantTelemetry : public core::ExecutionObserver,
+                        util::NonCopyable {
+ public:
+  TenantTelemetry(TelemetrySink* sink, const vgpu::Device& device,
+                  std::uint64_t job, std::string label)
+      : sink_(sink),
+        device_(&device),
+        job_(job),
+        label_(std::move(label)) {}
+
+  /// Fires from on_run_end, i.e. inside EngineCore::finish_run after
+  /// the final result download has synchronized but before the job's
+  /// metrics file is written.
+  void set_run_end_hook(std::function<void(const core::RunReport&)> hook) {
+    run_end_hook_ = std::move(hook);
+  }
+
+  void on_residency_plan(const core::ResidencyPlan& plan) override;
+  void on_shard_residency(const core::Pass& pass,
+                          const core::ShardVisit& visit) override;
+  void on_shard_transfer(const core::Pass& pass,
+                         const core::TransferDecision& decision) override;
+  void on_iteration_end(const core::IterationStats& stats) override;
+  void on_run_end(const core::RunReport& report) override;
+
+ private:
+  void tag(std::string& fields) const;
+
+  TelemetrySink* sink_ = nullptr;
+  const vgpu::Device* device_ = nullptr;
+  std::uint64_t job_ = 0;
+  std::string label_;
+  std::function<void(const core::RunReport&)> run_end_hook_;
+};
+
+/// Concrete baselines::PhaseObserver: completed phase spans become B/E
+/// pairs on a standalone TraceRecorder driver track (viewable with the
+/// same Perfetto/trace_diff tooling as engine traces) and counters land
+/// in a Metrics registry. finalize() writes the configured files.
+class BaselinePhaseObserver : public baselines::PhaseObserver,
+                              util::NonCopyable {
+ public:
+  struct Config {
+    std::string trace_out;    // Chrome trace JSON; empty = no file
+    std::string metrics_out;  // metrics snapshot JSON; empty = no file
+    /// Track prefix ("graphchi/") so merged/compared traces stay
+    /// distinguishable across systems.
+    std::string track_prefix;
+    std::vector<std::pair<std::string, std::string>> provenance;
+  };
+
+  explicit BaselinePhaseObserver(Config config);
+
+  void on_run_begin(const char* system, double sim_seconds) override;
+  void on_phase(const char* phase, std::uint32_t iteration,
+                double begin_seconds, double end_seconds) override;
+  void on_iteration_end(std::uint32_t iteration, double sim_seconds,
+                        std::uint64_t updates) override;
+  void on_bytes(const char* channel, std::uint64_t bytes) override;
+  void on_run_end(double sim_seconds,
+                  const baselines::BaselineReport& report) override;
+
+  /// Writes trace_out / metrics_out (when set). Call once per run,
+  /// after the baseline returned.
+  void finalize();
+
+  TraceRecorder& trace() { return trace_; }
+  Metrics& metrics() { return metrics_; }
+
+ private:
+  Config config_;
+  TraceRecorder trace_;  // standalone mode (explicit timestamps)
+  Metrics metrics_;
+  std::string system_;
+};
+
+}  // namespace gr::obs

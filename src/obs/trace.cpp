@@ -85,6 +85,22 @@ std::string TraceRecorder::pass_label(const core::Pass& pass) {
 
 double TraceRecorder::now_us() const { return device_->now() * 1e6; }
 
+void TraceRecorder::begin_span(const std::string& name, double sim_seconds,
+                               std::string args) {
+  push({'B', kTidDriver, sim_seconds * 1e6, 0.0, 0, name, nullptr,
+        std::move(args)});
+}
+
+void TraceRecorder::end_span(const std::string& name, double sim_seconds) {
+  push({'E', kTidDriver, sim_seconds * 1e6, 0.0, 0, name, nullptr, {}});
+}
+
+void TraceRecorder::instant(const std::string& name, double sim_seconds,
+                            const char* cat, std::string args) {
+  push({'i', kTidDriver, sim_seconds * 1e6, 0.0, 0, name, cat,
+        std::move(args)});
+}
+
 void TraceRecorder::label_stream(int id, std::string label) {
   stream_labels_[id] = std::move(label);
 }

@@ -63,6 +63,25 @@ class TraceRecorder : public vgpu::DeviceOpListener,
   /// EngineCore::set_observer or RunObservability for the engine seam).
   explicit TraceRecorder(const vgpu::Device& device) : device_(&device) {}
 
+  /// Standalone recorder for systems without a vgpu::Device clock (the
+  /// baseline phase observers): callers supply simulated timestamps
+  /// explicitly through begin_span / end_span / instant below. The
+  /// observer-seam callbacks must not be used in this mode.
+  TraceRecorder() = default;
+
+  // --- explicit-timestamp API (driver track) ---
+  /// B/E duration span on the driver track at `sim_seconds` on whatever
+  /// simulated clock the caller runs; `args` is a pre-rendered JSON
+  /// object (may be empty). Serialization is identical to the engine
+  /// path: fixed `%.4f`-microsecond timestamps, record order preserved.
+  void begin_span(const std::string& name, double sim_seconds,
+                  std::string args = {});
+  void end_span(const std::string& name, double sim_seconds);
+  /// Instant event on the driver track (category `cat` must outlive the
+  /// recorder; pass a string literal).
+  void instant(const std::string& name, double sim_seconds,
+               const char* cat, std::string args = {});
+
   /// Names the track of stream `id` (e.g. "slot 0", "spray 2").
   void label_stream(int id, std::string label);
 
@@ -134,7 +153,7 @@ class TraceRecorder : public vgpu::DeviceOpListener,
   void push(Event event) { events_.push_back(std::move(event)); }
   const std::string& stream_name(int id) const;
 
-  const vgpu::Device* device_;
+  const vgpu::Device* device_ = nullptr;
   std::string track_prefix_;
   std::vector<Event> events_;
   mutable std::map<int, std::string> stream_labels_;  // id -> track name

@@ -129,6 +129,34 @@ struct DeviceStats {
   double memcpy_busy_seconds() const {
     return h2d_busy_seconds + d2h_busy_seconds;
   }
+
+  /// Activity between two snapshots of the same device's stats().
+  /// Integer fields subtract exactly; busy-seconds deltas inherit the
+  /// accumulators' floating-point representation, so telescoping sums
+  /// of consecutive deltas reproduce the device-wide totals to rounding.
+  DeviceStats delta_since(const DeviceStats& base) const {
+    DeviceStats d;
+    d.h2d_busy_seconds = h2d_busy_seconds - base.h2d_busy_seconds;
+    d.d2h_busy_seconds = d2h_busy_seconds - base.d2h_busy_seconds;
+    d.kernel_busy_seconds = kernel_busy_seconds - base.kernel_busy_seconds;
+    d.bytes_h2d = bytes_h2d - base.bytes_h2d;
+    d.bytes_d2h = bytes_d2h - base.bytes_d2h;
+    d.h2d_ops = h2d_ops - base.h2d_ops;
+    d.d2h_ops = d2h_ops - base.d2h_ops;
+    d.kernels_launched = kernels_launched - base.kernels_launched;
+    return d;
+  }
+
+  void accumulate(const DeviceStats& d) {
+    h2d_busy_seconds += d.h2d_busy_seconds;
+    d2h_busy_seconds += d.d2h_busy_seconds;
+    kernel_busy_seconds += d.kernel_busy_seconds;
+    bytes_h2d += d.bytes_h2d;
+    bytes_d2h += d.bytes_d2h;
+    h2d_ops += d.h2d_ops;
+    d2h_ops += d.d2h_ops;
+    kernels_launched += d.kernels_launched;
+  }
 };
 
 class Device : util::NonCopyable {

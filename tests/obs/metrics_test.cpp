@@ -40,6 +40,35 @@ TEST(Metrics, HistogramBucketsCountBelowBounds) {
   EXPECT_DOUBLE_EQ(h.sum(), 556.5);
 }
 
+TEST(Metrics, HistogramPercentileInterpolatesWithinBuckets) {
+  Metrics metrics;
+  Histogram& h = metrics.histogram("h", {1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);  // empty histogram
+  // 4 observations in [0,1], 4 in (1,2]: the median sits exactly on
+  // the first bucket's upper edge, p75 halfway into the second.
+  for (int i = 0; i < 4; ++i) h.observe(0.5);
+  for (int i = 0; i < 4; ++i) h.observe(1.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.75), 1.5);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 2.0);
+  // An overflow observation clamps the top quantiles to the last bound,
+  // Prometheus-style.
+  h.observe(100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 4.0);
+}
+
+TEST(Metrics, JsonSnapshotCarriesHistogramPercentiles) {
+  Metrics metrics;
+  Histogram& h = metrics.histogram("lat", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 10; ++i) h.observe(0.5);
+  std::ostringstream os;
+  metrics.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
 TEST(Metrics, JsonSnapshotIsSortedAndDeterministic) {
   Metrics metrics;
   // Insert out of lexicographic order; the snapshot must sort.
@@ -108,6 +137,45 @@ TEST(Metrics, SnapshotEveryWritesNumberedStampedFiles) {
   metrics.snapshot_every(0.0, "");  // disarm
   metrics.maybe_snapshot(100.0);
   EXPECT_EQ(metrics.snapshots_written(), 3u);
+}
+
+TEST(Metrics, FlushFinalSnapshotCoversThePartialTail) {
+  const std::string pattern = ::testing::TempDir() + "snap_final.json";
+  Metrics metrics;
+  metrics.counter("work").add(1);
+  metrics.snapshot_every(1.0, pattern);
+
+  metrics.maybe_snapshot(1.0);  // boundary snapshot 0
+  EXPECT_EQ(metrics.snapshots_written(), 1u);
+  // The run ends at t=1.6: 0.6s of simulated time past the last
+  // boundary would be silently dropped without the final flush.
+  metrics.flush_final_snapshot(1.6);
+  EXPECT_EQ(metrics.snapshots_written(), 2u);
+
+  std::ifstream in(Metrics::snapshot_path(pattern, 1));
+  ASSERT_TRUE(in.good());
+  std::ostringstream content;
+  content << in.rdbuf();
+  const std::string json = content.str();
+  // Stamped with the actual end-of-run clock and marked final.
+  EXPECT_NE(json.find("\"snapshot\": \"1\""), std::string::npos);
+  EXPECT_NE(json.find("\"snapshot_final\": \"true\""), std::string::npos);
+  EXPECT_NE(json.find("1.600000000"), std::string::npos);
+  // The final-only stamps must not leak into the base provenance.
+  EXPECT_TRUE(metrics.provenance().empty());
+
+  // Ending exactly on a boundary owes nothing extra.
+  Metrics aligned;
+  aligned.snapshot_every(1.0, pattern);
+  aligned.maybe_snapshot(2.0);
+  EXPECT_EQ(aligned.snapshots_written(), 2u);
+  aligned.flush_final_snapshot(2.0);
+  EXPECT_EQ(aligned.snapshots_written(), 2u);
+
+  // Unarmed registries ignore the flush entirely.
+  Metrics unarmed;
+  unarmed.flush_final_snapshot(5.0);
+  EXPECT_EQ(unarmed.snapshots_written(), 0u);
 }
 
 // Named so the CI TSan job's -R filter picks it up: many threads hammer

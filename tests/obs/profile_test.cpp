@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "core/engine/transfer_policy.hpp"
 #include "core/phase_plan.hpp"
 
 namespace gr::obs {
@@ -98,6 +101,112 @@ TEST(ProfilingObserver, BusyTimeIsUnionOfIntervals) {
   EXPECT_DOUBLE_EQ(it.kernel_busy, 1.0);
   EXPECT_DOUBLE_EQ(it.overlap_seconds, 0.0);
   EXPECT_DOUBLE_EQ(it.overlap_ratio(), 0.0);
+}
+
+// Golden output for the flame view: bars scale against the busiest
+// shard, rows sort busy-descending, the strategy-mix labels carry the
+// hybrid transfer layer's per-strategy visit counts, and max_rows
+// truncation names what it dropped.
+TEST(ProfilingObserver, ShardFlameGoldenOutput) {
+  ProfilingObserver profiler;
+  profiler.on_run_begin(3, 1, false);
+  profiler.on_iteration_begin(0, 10);
+  const core::Pass pass = gather_pass();
+  profiler.on_pass_begin(pass, 0);
+
+  const auto decision = [](std::uint32_t shard,
+                           core::TransferStrategy strategy,
+                           std::uint64_t raw, std::uint64_t link) {
+    core::TransferDecision d;
+    d.shard = shard;
+    d.strategy = strategy;
+    d.raw_bytes = raw;
+    d.link_bytes = link;
+    return d;
+  };
+
+  // Shard 0: 2.0 busy seconds, 2 explicit + 1 pinned, 1.5 KB on the link.
+  profiler.on_shard_begin(pass, 0);
+  const auto k0 = op(DeviceOpRecord::Kind::kKernel, 1, 0.0, 2.0);
+  profiler.on_op_enqueued(k0);
+  profiler.on_shard_transfer(
+      pass, decision(0, core::TransferStrategy::kExplicit, 600, 600));
+  profiler.on_shard_transfer(
+      pass, decision(0, core::TransferStrategy::kExplicit, 600, 600));
+  profiler.on_shard_transfer(
+      pass, decision(0, core::TransferStrategy::kPinned, 300, 300));
+  // Shard 1: 1.0 busy seconds, one cache-served visit (skipped visits
+  // charge their avoided raw bytes).
+  profiler.on_shard_begin(pass, 1);
+  const auto c1 = op(DeviceOpRecord::Kind::kH2D, 2, 2.0, 3.0, 64);
+  profiler.on_op_enqueued(c1);
+  profiler.on_shard_transfer(
+      pass, decision(1, core::TransferStrategy::kSkipped, 500, 0));
+  // Shard 12 (two digits exercises the column alignment): 0.5 busy
+  // seconds, compressed delivery.
+  profiler.on_shard_begin(pass, 12);
+  const auto k12 = op(DeviceOpRecord::Kind::kKernel, 3, 3.0, 3.5);
+  profiler.on_op_enqueued(k12);
+  profiler.on_shard_transfer(
+      pass,
+      decision(12, core::TransferStrategy::kCompressed, 900000, 700000));
+  profiler.on_shard_transfer(
+      pass,
+      decision(12, core::TransferStrategy::kCompressed, 900000, 650000));
+  profiler.on_shard_transfer(
+      pass,
+      decision(12, core::TransferStrategy::kCompressed, 900000, 650000));
+
+  for (const auto& record : {k0, c1, k12}) profiler.on_op_completed(record);
+  profiler.on_pass_end(pass, 0);
+  core::IterationStats stats;
+  profiler.on_iteration_end(stats);
+  core::RunReport report;
+  profiler.on_run_end(report);
+
+  std::ostringstream full;
+  profiler.print_shard_flame(full);
+  EXPECT_EQ(full.str(),
+            "Shard transfer flame (bar = simulated busy seconds)\n"
+            "  shard 0  |################################| 2.00s, "
+            "1.50KB link, explicit×2 pinned×1\n"
+            "  shard 1  |################                | 1.00s, "
+            "500B link, skipped×1\n"
+            "  shard 12 |########                        | 500.00ms, "
+            "2.00MB link, compressed×3\n");
+
+  std::ostringstream truncated;
+  profiler.print_shard_flame(truncated, 2);
+  EXPECT_EQ(truncated.str(),
+            "Shard transfer flame (bar = simulated busy seconds)\n"
+            "  shard 0  |################################| 2.00s, "
+            "1.50KB link, explicit×2 pinned×1\n"
+            "  shard 1  |################                | 1.00s, "
+            "500B link, skipped×1\n"
+            "  (+1 more shards)\n");
+}
+
+// Shards without a transfer decision stay out of the flame entirely
+// (classic fully-resident runs print nothing).
+TEST(ProfilingObserver, ShardFlameSilentWithoutTransferDecisions) {
+  ProfilingObserver profiler;
+  profiler.on_run_begin(1, 1, false);
+  profiler.on_iteration_begin(0, 1);
+  const core::Pass pass = gather_pass();
+  profiler.on_pass_begin(pass, 0);
+  profiler.on_shard_begin(pass, 0);
+  const auto k = op(DeviceOpRecord::Kind::kKernel, 1, 0.0, 1.0);
+  profiler.on_op_enqueued(k);
+  profiler.on_op_completed(k);
+  profiler.on_pass_end(pass, 0);
+  core::IterationStats stats;
+  profiler.on_iteration_end(stats);
+  core::RunReport report;
+  profiler.on_run_end(report);
+
+  std::ostringstream os;
+  profiler.print_shard_flame(os);
+  EXPECT_EQ(os.str(), "");
 }
 
 TEST(ProfilingObserver, SprayUtilizationCountsActiveStreams) {

@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""Render a GraphReduce serving-telemetry NDJSON stream as text.
+
+The JobScheduler (src/core/engine/scheduler.cpp) streams one JSON
+object per line through obs::TelemetrySink: a provenance header, then
+job_submit / job_admit / job_start / memory_grant / transfer /
+cache_hit / cache_evict / iteration_end / job_finish events, and a
+closing drain record. All timestamps are simulated seconds; the stream
+is byte-identical for any --threads value, so it diffs and archives
+cleanly.
+
+This tool turns one stream into:
+
+  * a per-tenant summary table (from job_finish events): width, steps,
+    queue/latency, attributed H2D/D2H bytes and busy seconds — the
+    same attribution the scheduler prints at drain time;
+  * a per-shard transfer flame (from transfer/cache_hit events): a
+    text bar chart in the style of ProfilingObserver::print_shard_flame
+    (src/obs/profile.cpp), bar length proportional to PCIe link bytes,
+    annotated with the per-strategy visit mix and cache savings.
+
+With --check it also validates the stream: every line must parse as a
+JSON object with a known "event" type carrying the expected fields,
+and the per-tenant attribution in the job_finish records must sum to
+the drain record's device-wide totals (integer fields exactly,
+busy-seconds to 1e-9 relative tolerance). Non-zero exit on violation —
+this is the CI telemetry-smoke gate.
+
+Usage:
+  tools/telemetry_report.py STREAM.ndjson [--check] [--max-rows N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+# event -> fields that must be present (beyond "event"; "t" is checked
+# for everything but the header).
+SCHEMA = {
+    "header": {"schema", "clock"},
+    "job_submit": {"job", "program", "label"},
+    "job_admit": {"job", "label", "width", "concurrency", "queued",
+                  "slice_bytes", "queue_seconds"},
+    "job_start": {"job"},
+    "memory_grant": {"job", "partitions", "streaming_slots",
+                     "cache_slots", "fully_resident"},
+    "transfer": {"job", "shard", "strategy", "raw_bytes", "link_bytes"},
+    "cache_hit": {"job", "shard", "groups", "bytes_saved"},
+    "cache_evict": {"job", "shard", "victim", "writeback_groups"},
+    "iteration_end": {"job", "iteration", "active_vertices",
+                      "shards_processed", "shards_skipped", "cache_hits",
+                      "cache_misses"},
+    "job_finish": {"job", "label", "width", "steps", "latency_seconds",
+                   "queue_seconds", "bytes_h2d", "bytes_d2h", "h2d_ops",
+                   "d2h_ops", "kernels_launched", "h2d_busy_seconds",
+                   "d2h_busy_seconds", "kernel_busy_seconds",
+                   "cache_slots", "cache_lane_seconds"},
+    "drain": {"jobs", "tenants", "steps"},
+}
+
+ATTRIB_INT = ["bytes_h2d", "bytes_d2h", "h2d_ops", "d2h_ops",
+              "kernels_launched"]
+ATTRIB_BUSY = ["h2d_busy_seconds", "d2h_busy_seconds",
+               "kernel_busy_seconds"]
+
+
+def load(path, check):
+    records = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise SystemExit(f"{path}:{lineno}: not JSON: {err}")
+            if not isinstance(rec, dict) or "event" not in rec:
+                raise SystemExit(f"{path}:{lineno}: no \"event\" field")
+            if check:
+                kind = rec["event"]
+                if kind not in SCHEMA:
+                    raise SystemExit(
+                        f"{path}:{lineno}: unknown event {kind!r}")
+                missing = SCHEMA[kind] - set(rec)
+                if missing:
+                    raise SystemExit(
+                        f"{path}:{lineno}: {kind} missing fields "
+                        f"{sorted(missing)}")
+                if kind != "header" and "t" not in rec:
+                    raise SystemExit(
+                        f"{path}:{lineno}: {kind} carries no timestamp")
+            records.append(rec)
+    if not records or records[0]["event"] != "header":
+        raise SystemExit(f"{path}: stream does not start with a header")
+    return records
+
+
+def fmt_bytes(n):
+    n = float(n)
+    for unit in ("B", "KB", "MB", "GB"):
+        if n < 1024.0 or unit == "GB":
+            return (f"{n:.0f}{unit}" if unit == "B"
+                    else f"{n / 1.0:.2f}{unit}")
+        n /= 1024.0
+    return f"{n:.2f}GB"
+
+
+def fmt_seconds(s):
+    if s >= 1.0:
+        return f"{s:.3f}s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.2f}ms"
+    return f"{s * 1e6:.1f}us"
+
+
+def tenant_table(finishes):
+    if not finishes:
+        print("no job_finish records (did the run drain?)")
+        return
+    header = (f"{'job':>4}  {'label':<16}  {'width':>5}  {'steps':>5}  "
+              f"{'queue':>8}  {'latency':>8}  {'h2d':>9}  {'d2h':>9}  "
+              f"{'kernel-s':>9}  {'busy-s':>9}  {'cache-lane-s':>12}")
+    print("Per-tenant attribution (simulated)")
+    print(header)
+    print("-" * len(header))
+    for rec in finishes:
+        busy = rec["h2d_busy_seconds"] + rec["d2h_busy_seconds"]
+        print(f"{rec['job']:>4}  {rec['label']:<16.16}  "
+              f"{rec['width']:>5}  {rec['steps']:>5}  "
+              f"{fmt_seconds(rec['queue_seconds']):>8}  "
+              f"{fmt_seconds(rec['latency_seconds']):>8}  "
+              f"{fmt_bytes(rec['bytes_h2d']):>9}  "
+              f"{fmt_bytes(rec['bytes_d2h']):>9}  "
+              f"{fmt_seconds(rec['kernel_busy_seconds']):>9}  "
+              f"{fmt_seconds(busy):>9}  "
+              f"{fmt_seconds(rec['cache_lane_seconds']):>12}")
+
+
+def shard_flame(records, max_rows):
+    """Text flame over transfer events, print_shard_flame-style: one bar
+    per shard, length proportional to its total PCIe link bytes."""
+    link = defaultdict(int)
+    mix = defaultdict(lambda: defaultdict(int))
+    saved = defaultdict(int)
+    for rec in records:
+        if rec["event"] == "transfer":
+            link[rec["shard"]] += rec["link_bytes"]
+            mix[rec["shard"]][rec["strategy"]] += 1
+        elif rec["event"] == "cache_hit":
+            saved[rec["shard"]] += rec["bytes_saved"]
+    if not link:
+        return
+    rows = sorted(link.items(), key=lambda kv: (-kv[1], kv[0]))
+    peak = rows[0][1]
+    bar_width = 32
+    print("\nShard transfer flame (bar = PCIe link bytes)")
+    for shard, total in rows[:max_rows]:
+        fill = int(total / peak * bar_width) if peak else 0
+        bar = ("#" * fill).ljust(bar_width)
+        strategies = ", ".join(
+            f"{count}x {name}"
+            for name, count in sorted(mix[shard].items()))
+        extra = (f", {fmt_bytes(saved[shard])} saved by cache"
+                 if saved.get(shard) else "")
+        print(f"  shard {shard:<3} |{bar}| {fmt_bytes(total)} link, "
+              f"{strategies}{extra}")
+    if len(rows) > max_rows:
+        print(f"  (+{len(rows) - max_rows} more shards)")
+
+
+def check_attribution(finishes, drain):
+    if drain is None:
+        raise SystemExit("--check: stream carries no drain record")
+    for field in ATTRIB_INT:
+        total = sum(rec[field] for rec in finishes)
+        device = drain.get(f"device_{field}")
+        attrib = drain.get(f"attrib_{field}")
+        if total != device or total != attrib:
+            raise SystemExit(
+                f"--check: {field} attribution mismatch: job_finish sum "
+                f"{total}, drain attrib {attrib}, device {device}")
+    for field in ATTRIB_BUSY:
+        total = sum(rec[field] for rec in finishes)
+        device = drain.get(f"device_{field}")
+        tol = 1e-9 * max(1.0, abs(total), abs(device))
+        if abs(total - device) > tol:
+            raise SystemExit(
+                f"--check: {field} attribution drift: job_finish sum "
+                f"{total!r} vs device {device!r}")
+    print(f"\ncheck ok: {len(finishes)} tenants partition the device "
+          f"totals exactly")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="per-tenant summary + shard flame from a serving "
+                    "telemetry NDJSON stream")
+    parser.add_argument("stream", help="telemetry NDJSON file")
+    parser.add_argument("--check", action="store_true",
+                        help="validate the schema of every record and "
+                             "the attribution invariant; non-zero exit "
+                             "on violation")
+    parser.add_argument("--max-rows", type=int, default=16,
+                        help="shard-flame row cap (default 16)")
+    args = parser.parse_args(argv)
+
+    records = load(args.stream, args.check)
+    header = records[0]
+    drain = next((r for r in records if r["event"] == "drain"), None)
+    finishes = [r for r in records if r["event"] == "job_finish"]
+
+    meta = ", ".join(f"{k}={v}" for k, v in sorted(header.items())
+                     if k not in ("event", "schema", "clock"))
+    print(f"{args.stream}: {len(records)} records, schema "
+          f"{header.get('schema')}" + (f" ({meta})" if meta else ""))
+    if drain is not None:
+        print(f"drained at t={drain['t']:.9f}s: {drain['jobs']} jobs, "
+              f"{drain['tenants']} tenants, {drain['steps']} steps\n")
+    tenant_table(finishes)
+    shard_flame(records, args.max_rows)
+    if args.check:
+        check_attribution(finishes, drain)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

@@ -249,6 +249,14 @@ def main(argv=None):
         if net > args.fail_above_us:
             print(f"\nGATE FAIL: net delta {net:+.1f} us{scope} exceeds "
                   f"--fail-above-us {args.fail_above_us:g}")
+            # Name the culprits right at the failure point so a CI log
+            # tail is actionable without scrolling to the full table.
+            offenders = [r for r in rows if r["delta_us"] > 0]
+            offenders.sort(key=lambda r: r["delta_us"], reverse=True)
+            for r in offenders[:5]:
+                print(f"  offender: {r['track']} / {r['name']}  "
+                      f"{r['delta_us']:+.1f} us "
+                      f"({r['count_a']} -> {r['count_b']} spans)")
             return 1
         print(f"\ngate ok: net delta {net:+.1f} us{scope} within "
               f"--fail-above-us {args.fail_above_us:g}")
