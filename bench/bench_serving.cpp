@@ -2,27 +2,37 @@
 // runtime (DESIGN.md §3d) against the classic one-run-owns-the-device
 // engine, on an out-of-memory configuration.
 //
-// Four serving strategies answer the same K single-source queries at
-// the same device-memory budget:
+// Serving strategies answer the same K single-source queries at the
+// same device-memory budget:
 //
 //   sequential   one job at a time (the classic engine in a loop, on
 //                the shared scheduler clock),
-//   interleaved  up to --max-concurrent tenants alternate iterations,
-//                each planning against its memory slice,
+//   private      up to --max-concurrent tenants alternate iterations
+//                with per-tenant caches only (sched_shared_cache off —
+//                the pre-shared-cache scheduler),
+//   interleaved  the same interleave with the cross-tenant shard cache
+//                on: same-graph tenants serve each other's cached
+//                topology device-to-device,
 //   fused        submit_batch() packs the queries into registered
 //                multi-source variants, so the topology streams once
-//                per iteration for the whole pack.
+//                per iteration for the whole pack,
+//   poisson      (--arrival poisson) open-loop arrivals from a seeded
+//                exponential inter-arrival clock; tenants drain and
+//                re-widen their stale admission slices between bursts.
 //
-// Reported per mode: simulated makespan, queries/sec, and p50/p99
-// per-query latency (submit -> finish on the simulated clock). Every
-// mode must produce bitwise-identical per-query value hashes, and the
-// fused mode must beat sequential on queries/sec — both are GR_CHECKed,
-// not eyeballed.
+// Reported per mode: simulated makespan, queries/sec, p50/p99
+// per-query latency (submit -> finish on the simulated clock), slice
+// re-widenings, and cross-tenant shard-cache hits. Every mode must
+// produce bitwise-identical per-query value hashes, the fused mode
+// must beat sequential on queries/sec, and the shared-cache interleave
+// must beat the private-cache interleave — all GR_CHECKed, not
+// eyeballed.
 //
 // A solo-run/solo-sched pair exercises the degeneracy claim end to end:
 // a lone scheduler submission must match the classic run() bit-exactly
 // (hash and simulated time; CI diffs the two trace files byte-for-byte
 // via tools/trace_diff.py --strip-track-prefix).
+#include <cmath>
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -50,7 +60,36 @@ struct ModeResult {
   double p99_ms = 0.0;
   std::vector<std::uint64_t> hashes;
   std::uint64_t fused_jobs = 0;
+  std::uint64_t rewidens = 0;
+  std::uint64_t shared_hits = 0;
 };
+
+/// splitmix64: tiny, stable PRNG for the arrival clock — deterministic
+/// across standard libraries, unlike std::exponential_distribution.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Seeded Poisson arrival times: exponential inter-arrival gaps at
+/// `rate` queries per simulated second.
+std::vector<double> poisson_arrivals(std::uint32_t queries, double rate,
+                                     std::uint64_t seed) {
+  std::vector<double> arrivals(queries);
+  std::uint64_t state = seed;
+  double t = 0.0;
+  for (std::uint32_t i = 0; i < queries; ++i) {
+    // Uniform in (0, 1]: never 0, so -log stays finite.
+    const double u =
+        (static_cast<double>(splitmix64(state) >> 11) + 1.0) / 9007199254740993.0;
+    t += -std::log(u) / rate;
+    arrivals[i] = t;
+  }
+  return arrivals;
+}
 
 }  // namespace
 
@@ -63,10 +102,14 @@ int main(int argc, char** argv) {
   double memory_factor = 0.5;  // capacity / graph footprint: out of memory
   std::uint32_t queries = 8;
   std::uint32_t max_concurrent = 4;
+  std::uint32_t partitions = 0;
   std::string admission = "shared";
   bool fusion = true;
   std::uint32_t threads = 0;
   std::string telemetry_out;
+  std::string arrival = "closed";
+  double arrival_rate = 0.0;
+  std::int64_t arrival_seed = 1;
   bench::ObsFlags obs;
   util::Cli cli("bench_serving",
                 "multi-tenant query serving: sequential vs interleaved vs "
@@ -82,10 +125,26 @@ int main(int argc, char** argv) {
       .flag("max-concurrent", &max_concurrent,
             "tenant slots for the interleaved and fused modes "
             "(EngineOptions::sched_max_concurrent)")
+      .flag("partitions", &partitions,
+            "shard count (0 = auto: sized so a 1/max-concurrent memory "
+            "slice still affords residency-cache lanes; the planner's "
+            "own minimum-P choice spends the whole slice on the "
+            "streaming ring, which would starve the shared shard cache)")
       .flag("sched-admission", &admission,
-            "admission policy: shared | cache-fair | stream-only")
+            "admission policy: shared | cache-fair | stream-only | edf")
       .flag("sched-fusion", &fusion,
             "fuse batched same-program queries in the fused mode")
+      .flag("arrival", &arrival,
+            "query arrival process: closed (all queries queued up "
+            "front) | poisson (open-loop seeded exponential "
+            "inter-arrivals on the simulated clock, adds a poisson "
+            "serving mode)")
+      .flag("arrival-rate", &arrival_rate,
+            "poisson arrival rate in queries per simulated second "
+            "(0 = auto: 2x the sequential mode's throughput)")
+      .flag("arrival-seed", &arrival_seed,
+            "seed for the poisson arrival clock (deterministic: same "
+            "seed, same arrivals, same telemetry bytes)")
       .flag("threads", &threads,
             "host threads for the functional backend (results and "
             "simulated seconds are identical for any value)")
@@ -99,6 +158,9 @@ int main(int argc, char** argv) {
                "only source-based programs serve per-query; --algo must be "
                "bfs or sssp (got '" << algo << "')");
   GR_CHECK_MSG(queries >= 2, "--queries must be at least 2");
+  GR_CHECK_MSG(arrival == "closed" || arrival == "poisson",
+               "--arrival must be closed or poisson (got '" << arrival
+                                                            << "')");
   algo::register_builtin_programs();
 
   const auto data = bench::prepare_dataset(dataset, scale);
@@ -109,6 +171,22 @@ int main(int argc, char** argv) {
   base.sched_admission = admission;
   base.device.global_memory_bytes = static_cast<std::uint64_t>(
       static_cast<double>(reserved) * memory_factor);
+  // choose_partition_count picks the minimal P whose streaming ring fits
+  // the budget, so the leftover that buys residency-cache lanes is by
+  // construction under one lane: sliced tenants would never cache, and
+  // the shared shard cache would have nothing to serve. Size P for the
+  // narrowest slice (1/max-concurrent of the device) instead: streaming
+  // slots plus two cache lanes per tenant, with the 1.3x shard-imbalance
+  // margin the planner itself assumes.
+  // P >= imbalance * (streaming slots + cache lanes) * W / (0.95 * mf);
+  // two lanes of margin absorb the static vertex state the planner also
+  // carves out of the slice.
+  base.partitions =
+      partitions != 0
+          ? partitions
+          : static_cast<std::uint32_t>(std::ceil(
+                1.3 * (2.0 + 2.0) * static_cast<double>(max_concurrent) /
+                (0.95 * memory_factor)));
   GR_LOG_INFO(dataset << " analog: " << data.edges.num_vertices()
                       << " vertices, " << data.edges.num_edges()
                       << " edges; device "
@@ -125,11 +203,14 @@ int main(int argc, char** argv) {
         (static_cast<std::uint64_t>(data.source) +
          static_cast<std::uint64_t>(i) * (n / queries + 1)) % n);
 
-  const auto serve = [&](const std::string& mode,
-                         std::uint32_t concurrent, bool fuse) {
+  const auto serve = [&](const std::string& mode, std::uint32_t concurrent,
+                         bool fuse, bool shared_cache = true,
+                         const std::vector<double>* arrivals = nullptr,
+                         const std::vector<double>* deadlines = nullptr) {
     core::EngineOptions options = base;
     options.sched_max_concurrent = concurrent;
     options.sched_fusion = fuse;
+    options.sched_shared_cache = shared_cache;
     options.telemetry_out = bench::tag_path(telemetry_out, mode);
     core::JobScheduler sched(data.edges, options);
     std::vector<core::JobRequest> requests(queries);
@@ -137,6 +218,9 @@ int main(int argc, char** argv) {
       requests[i].program = algo;
       requests[i].spec.source = sources[i];
       requests[i].label = mode + "-" + std::to_string(i);
+      if (arrivals != nullptr) requests[i].arrival_seconds = (*arrivals)[i];
+      if (deadlines != nullptr)
+        requests[i].deadline_seconds = (*deadlines)[i];
       // Per-job observability files (pattern tagged per query). A fused
       // pack adopts its first query's files and writes nothing for the
       // other lanes, so only the lead query gets instrumented there —
@@ -183,6 +267,9 @@ int main(int argc, char** argv) {
     result.p50_ms = latency->percentile(0.50) * 1e3;
     result.p99_ms = latency->percentile(0.99) * 1e3;
     result.fused_jobs = sched.stats().fused_jobs;
+    result.rewidens = sched.stats().rewidens;
+    for (core::JobId id : ids)
+      result.shared_hits += sched.result(id).run.report.cache_shared_hits;
     GR_LOG_INFO(mode << ": " << util::format_fixed(result.sim_seconds, 4)
                      << "s simulated, "
                      << util::format_fixed(result.qps, 2) << " queries/s");
@@ -190,17 +277,61 @@ int main(int argc, char** argv) {
   };
 
   const ModeResult sequential = serve("sequential", 1, false);
+  const ModeResult privately =
+      serve("private", max_concurrent, false, /*shared_cache=*/false);
   const ModeResult interleaved = serve("interleaved", max_concurrent, false);
   const ModeResult fused = serve("fused", max_concurrent, fusion);
+
+  // Open-loop mode: seeded Poisson arrivals at --arrival-rate (auto =
+  // 2x the sequential throughput: bursts overlap, gaps drain). Bursty
+  // admission leaves stale 1/W slices behind, so the run must observe
+  // re-widening.
+  ModeResult poisson;
+  if (arrival == "poisson") {
+    const double rate =
+        arrival_rate > 0.0 ? arrival_rate : 2.0 * sequential.qps;
+    const std::vector<double> arrivals = poisson_arrivals(
+        queries, rate, static_cast<std::uint64_t>(arrival_seed));
+    // Deadlines for the "edf" policy: arrival plus a deterministic
+    // 2..6 mean-gap slack, so deadline order differs from arrival
+    // order and EDF actually reorders the queue.
+    std::vector<double> deadlines(queries);
+    for (std::uint32_t i = 0; i < queries; ++i)
+      deadlines[i] =
+          arrivals[i] + static_cast<double>((i * 2654435761u) % 5 + 2) / rate;
+    poisson = serve("poisson", max_concurrent, false, true, &arrivals,
+                    &deadlines);
+    for (std::uint32_t i = 0; i < queries; ++i)
+      GR_CHECK_MSG(poisson.hashes[i] == sequential.hashes[i],
+                   "poisson query " << i << " diverged from sequential");
+    GR_CHECK_MSG(poisson.rewidens > 0,
+                 "open-loop arrivals never re-widened a stale admission "
+                 "slice (rate " << rate << " q/s)");
+  }
 
   // --- invariants the scheduler promises ---
   // 1. Serving strategy never changes an answer.
   for (std::uint32_t i = 0; i < queries; ++i) {
+    GR_CHECK_MSG(privately.hashes[i] == sequential.hashes[i],
+                 "private-cache query " << i << " diverged from sequential");
     GR_CHECK_MSG(interleaved.hashes[i] == sequential.hashes[i],
                  "interleaved query " << i << " diverged from sequential");
     GR_CHECK_MSG(fused.hashes[i] == sequential.hashes[i],
                  "fused query " << i << " diverged from sequential");
   }
+  // 1b. The cross-tenant shard cache pays on same-graph batches: the
+  //     shared interleave records hits and strictly beats the
+  //     private-cache interleave at the same memory factor.
+  GR_CHECK_MSG(interleaved.shared_hits > 0,
+               "shared-cache interleave recorded no cross-tenant hits");
+  GR_CHECK_MSG(privately.shared_hits == 0,
+               "private-cache interleave touched the shared registry");
+  GR_CHECK_MSG(interleaved.qps > privately.qps,
+               "shared-cache interleave ("
+                   << interleaved.qps
+                   << " q/s) failed to beat the private-cache interleave ("
+                   << privately.qps << " q/s) at memory factor "
+                   << memory_factor);
   // 2. Fusion actually pays: batched queries beat one-at-a-time serving
   //    on throughput at the same memory budget. (Skipped under
   //    --sched-fusion=0, where the "fused" mode is just batched solo
@@ -247,20 +378,26 @@ int main(int argc, char** argv) {
                     std::to_string(queries) + " (memory factor " +
                     util::format_fixed(memory_factor, 2) + ")");
   table.header({"Mode", "Queries", "Fused runs", "Sim seconds",
-                "Queries/s", "p50 ms", "p99 ms"});
-  for (const ModeResult* mode : {&sequential, &interleaved, &fused})
+                "Queries/s", "p50 ms", "p99 ms", "Rewidens",
+                "Shared hits"});
+  std::vector<const ModeResult*> modes = {&sequential, &privately,
+                                          &interleaved, &fused};
+  if (arrival == "poisson") modes.push_back(&poisson);
+  for (const ModeResult* mode : modes)
     table.add_row({mode->mode, std::to_string(queries),
                    std::to_string(mode->fused_jobs),
                    util::format_fixed(mode->sim_seconds, 6),
                    util::format_fixed(mode->qps, 3),
                    util::format_fixed(mode->p50_ms, 3),
-                   util::format_fixed(mode->p99_ms, 3)});
+                   util::format_fixed(mode->p99_ms, 3),
+                   std::to_string(mode->rewidens),
+                   std::to_string(mode->shared_hits)});
   table.add_row({"solo-run (classic)", "1", "0",
                  util::format_fixed(classic.report.total_seconds, 6), "-",
-                 "-", "-"});
+                 "-", "-", "-", "-"});
   table.add_row({"solo-sched", "1", "0",
                  util::format_fixed(served.run.report.total_seconds, 6), "-",
-                 "-", "-"});
+                 "-", "-", "-", "-"});
 
   bench::BenchMeta meta;
   meta.bench_name = "serving";
@@ -273,7 +410,11 @@ int main(int argc, char** argv) {
             << "x sequential throughput ("
             << util::format_fixed(fused.qps, 2) << " vs "
             << util::format_fixed(sequential.qps, 2)
-            << " queries/s); all " << queries
+            << " queries/s); shared shard cache: "
+            << util::format_fixed(interleaved.qps / privately.qps, 2)
+            << "x the private-cache interleave ("
+            << interleaved.shared_hits << " cross-tenant hits); all "
+            << queries
             << " query results bitwise-identical across modes.\n";
   return 0;
 }

@@ -4,11 +4,33 @@
 #include <cstring>
 #include <limits>
 
+#include "core/engine/shared_cache.hpp"
 #include "graph/shard_codec.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gr::core {
+
+namespace {
+
+/// The residency group a shard array belongs to (kOpaque arrays — edge
+/// state, gather temps — belong to none and are never shared).
+ResidencyGroups array_group(ShardArrayKind kind) {
+  switch (kind) {
+    case ShardArrayKind::kInOffsets:
+    case ShardArrayKind::kInSrc:
+      return kGroupInTopology;
+    case ShardArrayKind::kOutOffsets:
+    case ShardArrayKind::kOutDst:
+    case ShardArrayKind::kOutPos:
+      return kGroupOutTopology;
+    case ShardArrayKind::kOpaque:
+      break;
+  }
+  return 0;
+}
+
+}  // namespace
 
 EngineCore::EngineCore(const graph::EdgeList& edges,
                        const ProgramFootprint& footprint,
@@ -45,6 +67,11 @@ EngineCore::EngineCore(const graph::EdgeList& edges,
   plan_partitions(edges);
 }
 
+EngineCore::~EngineCore() {
+  if (env_.shared_cache != nullptr)
+    env_.shared_cache->unregister_tenant(env_.shared_tenant);
+}
+
 void EngineCore::plan_partitions(const graph::EdgeList& edges) {
   const graph::VertexId n = edges.num_vertices();
   const graph::EdgeId m = edges.num_edges();
@@ -53,7 +80,7 @@ void EngineCore::plan_partitions(const graph::EdgeList& edges) {
   plan.num_vertices = n;
   plan.num_edges = m;
   plan.device_capacity = options_.device.global_memory_bytes;
-  plan.slots = options_.slots != 0 ? options_.slots : 2;
+  plan.slots = options_.effective_slots();
   plan.static_bytes =
       static_cast<std::uint64_t>(n) *
       (footprint_.vertex_bytes +
@@ -75,6 +102,8 @@ void EngineCore::plan_partitions(const graph::EdgeList& edges) {
   planner_budget_bytes_ =
       static_cast<double>(plan.device_capacity) * (1.0 - plan.headroom) -
       static_cast<double>(plan.static_bytes);
+  planner_static_bytes_ = plan.static_bytes;
+  planner_headroom_ = plan.headroom;
   // An explicit partition count bypasses choose_partition_count's own
   // capacity check, so a budget this small would otherwise surface only
   // as an opaque allocation failure deep in the OOM-retry loop.
@@ -121,25 +150,28 @@ void EngineCore::compute_residency_plan(std::uint32_t cache_cap) {
 
   residency_.streaming_slots =
       std::min<std::uint32_t>(requested_slots_, partitions_);
+  residency_.cache_slots = planned_cache_slots(cache_cap);
+}
+
+std::uint32_t EngineCore::planned_cache_slots(
+    std::uint32_t cache_cap) const {
   // Leftover budget after the streaming ring buys cache lanes. Cache
   // lanes must fit ANY shard (admission is dynamic), so they are costed
   // like the planner's max shard: mean reservation times the bounded
   // imbalance choose_partition_count assumes.
-  if (options_.device_cache > 0.0 && cache_cap > 0) {
-    constexpr double kShardImbalance = 1.3;
-    const double per_lane = planner_reserved_bytes_ /
-                            static_cast<double>(partitions_) *
-                            kShardImbalance;
-    const double leftover =
-        planner_budget_bytes_ -
-        static_cast<double>(residency_.streaming_slots) * per_lane;
-    if (leftover > 0.0 && per_lane > 0.0) {
-      const double lanes = leftover * options_.device_cache / per_lane;
-      residency_.cache_slots = static_cast<std::uint32_t>(std::min(
-          {lanes, static_cast<double>(partitions_),
-           static_cast<double>(cache_cap)}));
-    }
-  }
+  if (options_.device_cache <= 0.0 || cache_cap == 0) return 0;
+  constexpr double kShardImbalance = 1.3;
+  const double per_lane = planner_reserved_bytes_ /
+                          static_cast<double>(partitions_) *
+                          kShardImbalance;
+  const double leftover =
+      planner_budget_bytes_ -
+      static_cast<double>(residency_.streaming_slots) * per_lane;
+  if (leftover <= 0.0 || per_lane <= 0.0) return 0;
+  const double lanes = leftover * options_.device_cache / per_lane;
+  return static_cast<std::uint32_t>(
+      std::min({lanes, static_cast<double>(partitions_),
+                static_cast<double>(cache_cap)}));
 }
 
 void EngineCore::initialize(const graph::EdgeList& edges,
@@ -196,6 +228,64 @@ void EngineCore::initialize(const graph::EdgeList& edges,
   initialized_ = true;
 }
 
+std::uint32_t EngineCore::rewiden(ProgramHooks& hooks,
+                                  std::uint64_t slice_bytes) {
+  if (!initialized_ || !ran_ || run_finished_) return 0;
+  // Grow-only: a fully-resident tenant already holds everything, and a
+  // slice no larger than the planned one changes nothing (shrinking is
+  // the OOM-recovery path, never re-widening).
+  if (residency_.fully_resident) return 0;
+  if (slice_bytes <= options_.device.global_memory_bytes) return 0;
+  options_.device.global_memory_bytes = slice_bytes;
+  planner_budget_bytes_ =
+      static_cast<double>(slice_bytes) * (1.0 - planner_headroom_) -
+      static_cast<double>(planner_static_bytes_);
+  const std::uint32_t target = planned_cache_slots(env_.cache_lane_cap);
+  if (target <= residency_.cache_slots) return 0;
+  const std::uint32_t added = target - residency_.cache_slots;
+
+  // Staging scratch for the new lanes first (compressed transfer
+  // policy): allocated before the typed buffers so a failure leaves the
+  // ring untouched.
+  std::vector<vgpu::DeviceBuffer<std::uint8_t>> staging;
+  const std::uint64_t staging_bytes = xfer_.staging_bytes_per_lane();
+  if (staging_bytes > 0) {
+    try {
+      staging.reserve(added);
+      for (std::uint32_t i = 0; i < added; ++i)
+        staging.push_back(device_->alloc<std::uint8_t>(staging_bytes));
+    } catch (const vgpu::DeviceOutOfMemory&) {
+      return 0;  // keep the current plan; retry at a later barrier
+    }
+  }
+  if (!hooks.grow_cache_lanes(added)) return 0;
+
+  for (auto& buffer : staging) staging_.push_back(std::move(buffer));
+  ResidencyPlan grown = residency_;
+  grown.cache_slots = target;
+  cache_.grow(grown);
+  residency_ = grown;
+  report_.slots = residency_.total_lanes();
+  report_.cache_slots = residency_.cache_slots;
+  if (run_obs_) {
+    // New lane streams need trace-track labels; re-labelling the
+    // existing ones is idempotent.
+    std::vector<int> slot_streams;
+    slot_streams.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+      slot_streams.push_back(ring_.lane(i).stream->id());
+    run_obs_->label_streams(slot_streams, ring_.spray_stream_ids());
+  }
+  // A second residency-plan callback announces the grown grant
+  // (telemetry memory_grant event, engine.cache_slots gauge).
+  for_observers(
+      [&](ExecutionObserver& o) { o.on_residency_plan(residency_); });
+  GR_LOG_DEBUG("re-widened to " << slice_bytes << "B slice: +" << added
+                                << " cache lanes (now "
+                                << residency_.cache_slots << ")");
+  return added;
+}
+
 void EngineCore::allocate_frontier_state() {
   const graph::VertexId n = graph_->num_vertices();
   d_frontier_[0] = device_->alloc<std::uint8_t>(n);
@@ -217,6 +307,14 @@ void EngineCore::allocate_frontier_state() {
 void EngineCore::copy_to_slot(SlotLane& lane, void* device_dst,
                               const void* host_src, std::uint64_t bytes,
                               ShardArrayKind kind) {
+  // Cross-tenant hit: the array's group already sits in another
+  // tenant's cache lane, so deliver it device-to-device (never set for
+  // zero-copy visits or solo runs).
+  if (active_transfer_.shared_groups != 0 &&
+      (array_group(kind) & active_transfer_.shared_groups) != 0) {
+    copy_shared(lane, device_dst, host_src, bytes);
+    return;
+  }
   if (active_transfer_.active) {
     if (active_transfer_.strategy == TransferStrategy::kPinned ||
         active_transfer_.strategy == TransferStrategy::kManaged) {
@@ -334,6 +432,25 @@ void EngineCore::copy_compressed(
   }
 }
 
+void EngineCore::copy_shared(SlotLane& lane, void* device_dst,
+                             const void* host_src, std::uint64_t bytes) {
+  // The owner's upload already put these bytes on the device, so the
+  // delivery is a device-to-device copy: the DMA engine moves the bytes
+  // at device-memory bandwidth (read + write) with zero PCIe link
+  // traffic and no SSD fault-in (the host master is never touched on
+  // the simulated timeline). Routing it through the ring keeps the
+  // spray/free-event protocol intact and keeps the delivery off the
+  // compute engine, which the tenants' actual GAS kernels contend for.
+  // The functional body materializes the identical bytes from the host
+  // master — topology is immutable, so owner lane and master agree.
+  SlotRing::ModeledCost cost;
+  cost.link_bytes = 0;
+  cost.seconds =
+      2.0 * static_cast<double>(bytes) / options_.device.mem_bandwidth;
+  ring_.copy_to_lane(*device_, lane, device_dst, host_src, bytes,
+                     options_.async_spray, /*spill_seconds=*/0.0, &cost);
+}
+
 std::uint64_t EngineCore::shard_group_bytes(std::uint32_t p,
                                             ResidencyGroups groups) const {
   const ShardTopology& shard = graph_->shard(p);
@@ -384,6 +501,20 @@ void EngineCore::process_pass(ProgramHooks& hooks, const Pass& pass,
     GR_CHECK_MSG(visit.load == decision.load,
                  "transfer decision/visit load mismatch on shard " << p);
     SlotLane& lane = ring_.lane(visit.lane);
+    SharedShardCache* shared_cache = env_.shared_cache;
+    if (shared_cache != nullptr && visit.evicted())
+      shared_cache->retract(env_.shared_tenant, graph_.get(),
+                            visit.evicted_shard);
+    if (shared_cache != nullptr && !zero_copy && visit.load != 0) {
+      // Another same-plan tenant may hold part of this load resident;
+      // those groups ship device-to-device instead of over the link.
+      // Zero-copy visits are excluded: their modeled access pattern
+      // never materializes the arrays in a lane. Lookups exclude this
+      // tenant's own claims, so a solo tenant always misses here.
+      visit.shared = shared_cache->lookup(env_.shared_tenant, graph_.get(),
+                                          p, visit.load);
+      visit.shared_bytes = shard_group_bytes(p, visit.shared);
+    }
 
     for_observers([&](ExecutionObserver& o) { o.on_shard_begin(pass, p); });
     if (visit.evicted() && visit.writeback != 0) {
@@ -401,11 +532,18 @@ void EngineCore::process_pass(ProgramHooks& hooks, const Pass& pass,
     active_transfer_.link_seconds_total = decision.est_seconds;
     active_transfer_.active =
         zero_copy || decision.strategy == TransferStrategy::kCompressed;
+    active_transfer_.shared_groups = visit.shared;
     hooks.upload_shard(pass, p, lane, visit.load);
     active_transfer_.active = false;
+    active_transfer_.shared_groups = 0;
     cache_.complete_visit(visit);
+    if (shared_cache != nullptr && visit.cached)
+      shared_cache->publish(env_.shared_tenant, graph_.get(), p,
+                            cache_.valid_groups(p));
     visit.hit_bytes = shard_group_bytes(p, visit.hit);
     bytes_h2d_saved_ += visit.hit_bytes;
+    cache_shared_hits_ += residency_group_count(visit.shared);
+    cache_shared_bytes_ += visit.shared_bytes;
     if (decision.strategy == TransferStrategy::kSkipped)
       decision.raw_bytes = visit.hit_bytes;  // what the hit avoided
     add_transfer_stats(decision, visit.hit_bytes);
@@ -652,6 +790,8 @@ RunReport EngineCore::finish_run(ProgramHooks& hooks) {
   report_.cache_evictions = cache_stats.evictions;
   report_.cache_writebacks = cache_stats.writebacks;
   report_.bytes_h2d_saved = bytes_h2d_saved_;
+  report_.cache_shared_hits = cache_shared_hits_;
+  report_.cache_shared_bytes = cache_shared_bytes_;
   // Every scheduled visit must land in exactly one strategy bucket.
   GR_CHECK_MSG(transfer_stats_.total_shards() == cache_stats.shard_visits,
                "per-strategy transfer counters ("

@@ -76,6 +76,12 @@ class ProgramHooks {
   /// through the scatter round trip, which keeps the host canonical).
   virtual void writeback_evicted(std::uint32_t /*shard*/, SlotLane& /*lane*/,
                                  ResidencyGroups /*groups*/) {}
+  /// Appends `added` persistent cache lanes to the ring mid-run
+  /// (admission slice re-widening at a BSP barrier). Returns false when
+  /// the typed layer cannot honor the request — unsupported, or the
+  /// lane buffers do not fit device memory — in which case it must
+  /// leave all state untouched; the engine then keeps the current plan.
+  virtual bool grow_cache_lanes(std::uint32_t /*added*/) { return false; }
   /// Pre-kernel typed staging: unfused gather-temp upload and the
   /// scatter round-trip's host-side gather + upload.
   virtual void before_kernels(const Pass& pass, std::uint32_t shard,
@@ -106,6 +112,10 @@ class EngineCore : util::NonCopyable {
   /// identical to the classic one.
   EngineCore(const graph::EdgeList& edges, const ProgramFootprint& footprint,
              EngineOptions options, EngineEnv env);
+
+  /// Unregisters this tenant from the scheduler's SharedShardCache (if
+  /// one was injected) so no cross-tenant claim outlives its lanes.
+  ~EngineCore();
 
   /// Builds the partitioned graph and allocates device state through
   /// `hooks`, growing P until the largest shard's buffers fit (skewed
@@ -139,6 +149,16 @@ class EngineCore : util::NonCopyable {
   /// since begin_run (a private device started from zero, so deltas
   /// equal the classic absolute values).
   RunReport finish_run(ProgramHooks& hooks);
+
+  /// Admission slice re-widening: the scheduler's effective concurrency
+  /// dropped, so this tenant's memory slice grew to `slice_bytes`.
+  /// Recomputes the residency plan under the new budget and grows cache
+  /// lanes only (never streaming slots, never shrink — shrink is the
+  /// OOM-recovery path), through hooks.grow_cache_lanes. Called between
+  /// step()s, i.e. at a BSP barrier with the device synchronized.
+  /// Returns the number of cache lanes added (0 = no change). A solo
+  /// run never reaches here, so drain-to-solo stays bit-exact.
+  std::uint32_t rewiden(ProgramHooks& hooks, std::uint64_t slice_bytes);
 
   /// Observability seam: callbacks fire on the driver thread at every
   /// run/iteration/pass/shard boundary. Pass nullptr to detach. The
@@ -224,6 +244,10 @@ class EngineCore : util::NonCopyable {
   /// ring plus at most `cache_cap` cache lanes (the OOM-retry loop
   /// lowers the cap when cache lanes don't fit).
   void compute_residency_plan(std::uint32_t cache_cap);
+  /// Cache lanes the current planner budget affords next to the
+  /// streaming ring (the cache half of compute_residency_plan, reused
+  /// by rewiden under a grown budget).
+  std::uint32_t planned_cache_slots(std::uint32_t cache_cap) const;
   /// H2D bytes the pass-requested `groups` of shard `p` cost (exactly
   /// what upload_shard would stream for them).
   std::uint64_t shard_group_bytes(std::uint32_t p,
@@ -239,6 +263,11 @@ class EngineCore : util::NonCopyable {
   void copy_compressed(SlotLane& lane, void* device_dst,
                        std::uint64_t bytes, ShardArrayKind kind,
                        const TransferPolicyEngine::ArrayCodec& codec);
+  /// Cross-tenant service: the bytes already sit in another tenant's
+  /// cache lane, so the delivery is a device-to-device copy charged to
+  /// this tenant's compute engine — the PCIe link is never touched.
+  void copy_shared(SlotLane& lane, void* device_dst, const void* host_src,
+                   std::uint64_t bytes);
   void add_transfer_stats(const TransferDecision& decision,
                           std::uint64_t hit_bytes);
 
@@ -293,6 +322,10 @@ class EngineCore : util::NonCopyable {
     double link_seconds_done = 0.0;
     // Compressed: write offset into the lane's staging buffer.
     std::uint64_t staging_cursor = 0;
+    // Groups of this visit's load served device-to-device from another
+    // tenant's cache lane (SharedShardCache hit): copy_to_slot routes
+    // their arrays through copy_shared instead of the link.
+    ResidencyGroups shared_groups = 0;
   };
   ActiveTransfer active_transfer_;
   ExecutionObserver* observer_ = nullptr;
@@ -300,11 +333,17 @@ class EngineCore : util::NonCopyable {
 
   std::uint32_t partitions_ = 0;
   ResidencyPlan residency_;
-  // Planner inputs kept for residency replanning on OOM retries.
+  // Planner inputs kept for residency replanning on OOM retries and
+  // for re-widening under a grown admission slice.
   std::uint32_t requested_slots_ = 2;
   double planner_budget_bytes_ = 0.0;    // capacity - headroom - static
   double planner_reserved_bytes_ = 0.0;  // whole-graph reservation
+  std::uint64_t planner_static_bytes_ = 0;
+  double planner_headroom_ = 0.0;
   std::uint64_t bytes_h2d_saved_ = 0;
+  // Cross-tenant shared-cache service totals (groups / raw bytes).
+  std::uint64_t cache_shared_hits_ = 0;
+  std::uint64_t cache_shared_bytes_ = 0;
   double host_spill_fraction_ = 0.0;
   bool initialized_ = false;
   bool ran_ = false;

@@ -41,6 +41,7 @@ namespace gr::core {
 
 class EngineCore;
 class PartitionedGraph;
+class SharedShardCache;  // core/engine/shared_cache.hpp
 
 /// Shared, job-agnostic services injected into an EngineCore. The
 /// default-constructed env reproduces the classic single-run engine: a
@@ -62,6 +63,15 @@ struct EngineEnv {
   /// Admission policy's upper bound on this tenant's residency-cache
   /// lanes (0 = stream-only tenant). Unlimited by default.
   std::uint32_t cache_lane_cap = std::numeric_limits<std::uint32_t>::max();
+
+  /// Scheduler-owned cross-tenant shard registry (core/engine/
+  /// shared_cache.hpp): same-plan tenants serve each other's cached
+  /// topology device-to-device. nullptr (default) = private caching
+  /// only, the classic solo behavior. The registry must outlive the
+  /// engine core (its destructor unregisters the tenant).
+  SharedShardCache* shared_cache = nullptr;
+  /// This tenant's identity in `shared_cache` (register_tenant).
+  std::uint64_t shared_tenant = 0;
 
   /// Trace track prefix for this job's observability ("job0/"); empty =
   /// the classic track names (byte-identical single-run traces).
@@ -86,6 +96,13 @@ class EngineJob {
   virtual bool step() = 0;
   /// Downloads results and closes the report (the post-loop half).
   virtual const RunReport& finish() = 0;
+
+  /// The scheduler's memory slice for this tenant grew to `slice_bytes`
+  /// (other tenants drained): re-plan residency at the current BSP
+  /// barrier, growing cache lanes only. Returns the number of lanes
+  /// added (0 = nothing to grow or the typed layer declined). Default
+  /// declines, so exotic job types are unaffected.
+  virtual std::uint32_t rewiden(std::uint64_t /*slice_bytes*/) { return 0; }
 
   /// Query lanes answered by this job (1 = plain run; a fused
   /// multi-source job answers one query per lane).

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <iostream>
+#include <limits>
 
 #include "core/engine/engine_core.hpp"
 #include "core/partition.hpp"
@@ -55,7 +57,12 @@ JobId JobScheduler::submit(JobRequest request) {
                               "cannot be scheduled");
   if (request.label.empty()) request.label = request.program;
   Pending pending;
-  pending.submit_seconds = device_->now();
+  pending.arrival_seconds = request.arrival_seconds;
+  pending.deadline_seconds = request.deadline_seconds;
+  // An open-loop query exists from its arrival instant: queue time is
+  // measured from there, not from the host call that enqueued it early.
+  pending.submit_seconds =
+      std::max(device_->now(), request.arrival_seconds);
   pending.ids.push_back(next_id_++);
   pending.requests.push_back(std::move(request));
   ++stats_.submitted;
@@ -121,15 +128,26 @@ std::vector<JobId> JobScheduler::submit_batch(
         std::min<std::size_t>(chosen->width, remaining);
     Pending pending;
     pending.fusion = chosen;
-    pending.submit_seconds = device_->now();
     pending.ids.reserve(take);
     pending.requests.reserve(take);
     for (std::size_t k = 0; k < take; ++k) {
       JobRequest request = std::move(requests[i + k]);
       if (request.label.empty()) request.label = request.program;
+      // A fused pack is admissible once its LAST lane has arrived and
+      // races for the EARLIEST deadline any lane carries.
+      pending.arrival_seconds =
+          std::max(pending.arrival_seconds, request.arrival_seconds);
+      if (request.deadline_seconds > 0.0)
+        pending.deadline_seconds =
+            pending.deadline_seconds > 0.0
+                ? std::min(pending.deadline_seconds,
+                           request.deadline_seconds)
+                : request.deadline_seconds;
       pending.ids.push_back(next_id_++);
       pending.requests.push_back(std::move(request));
     }
+    pending.submit_seconds =
+        std::max(device_->now(), pending.arrival_seconds);
     stats_.submitted += take;
     ids.insert(ids.end(), pending.ids.begin(), pending.ids.end());
     if (telemetry_.enabled()) {
@@ -149,25 +167,40 @@ std::vector<JobId> JobScheduler::submit_batch(
   return ids;
 }
 
-EngineOptions JobScheduler::job_options(const JobRequest& request,
-                                        std::uint32_t concurrency) const {
-  EngineOptions opts = options_;
+std::uint64_t JobScheduler::slice_bytes(std::uint32_t width) const {
   // The tenant plans against its 1/W slice of the shared device; W == 1
   // (a lone job) keeps the full capacity, so planning degenerates
   // exactly to the single-run engine.
-  if (concurrency > 1)
-    opts.device.global_memory_bytes = std::max<std::uint64_t>(
-        1, options_.device.global_memory_bytes / concurrency);
+  if (width <= 1) return options_.device.global_memory_bytes;
+  return std::max<std::uint64_t>(
+      1, options_.device.global_memory_bytes / width);
+}
+
+std::size_t JobScheduler::arrived_queued(double now) const {
+  std::size_t arrived = 0;
+  for (const Pending& pending : queue_)
+    if (pending.arrival_seconds <= now) ++arrived;
+  return arrived;
+}
+
+EngineOptions JobScheduler::job_options(const JobRequest& request,
+                                        std::uint32_t concurrency) const {
+  EngineOptions opts = options_;
+  opts.device.global_memory_bytes = slice_bytes(concurrency);
   // Observability outputs are per-job, never inherited from the
-  // scheduler's option template.
+  // scheduler's option template: the request supplies the trace and
+  // metrics paths, and the scheduler owns the telemetry stream
+  // exclusively (a tenant inheriting telemetry_out would shadow the
+  // NDJSON file the scheduler already holds open).
   opts.trace_out = request.trace_out;
   opts.metrics_out = request.metrics_out;
   opts.metrics_provenance = request.metrics_provenance;
+  opts.telemetry_out.clear();
   if (opts.metrics_out.empty()) opts.metrics_snapshot_interval = 0.0;
   return opts;
 }
 
-EngineEnv JobScheduler::job_env(const JobRequest& request) const {
+EngineEnv JobScheduler::job_env(const JobRequest& request) {
   EngineEnv env;
   env.shared_device = device_.get();
   env.partition_provider = [this](const graph::EdgeList& edges,
@@ -181,25 +214,60 @@ EngineEnv JobScheduler::job_env(const JobRequest& request) const {
   if (options_.sched_admission == "stream-only")
     env.cache_lane_cap = 0;
   else if (options_.sched_admission == "cache-fair")
-    env.cache_lane_cap = options_.slots != 0 ? options_.slots : 2;
+    env.cache_lane_cap = options_.effective_slots();
+  if (options_.sched_shared_cache) {
+    env.shared_cache = &shared_cache_;
+    env.shared_tenant = shared_cache_.register_tenant();
+  }
   env.track_prefix = request.track_prefix;
   return env;
 }
 
 void JobScheduler::admit_available() {
   while (running_.size() < max_concurrent() && !queue_.empty()) {
-    Pending pending = std::move(queue_.front());
-    queue_.pop_front();
+    const double now = device_->now();
+    // Next entry among those that have ARRIVED: FIFO by default,
+    // earliest-deadline-first under "edf" (no deadline sorts last, FIFO
+    // breaks ties). Future arrivals stay queued until the clock —
+    // advanced by running tenants or pump()'s idle skip — reaches them.
+    std::size_t pick = queue_.size();
+    if (options_.sched_admission == "edf") {
+      double best = 0.0;
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        if (queue_[i].arrival_seconds > now) continue;
+        const double d = queue_[i].deadline_seconds > 0.0
+                             ? queue_[i].deadline_seconds
+                             : std::numeric_limits<double>::infinity();
+        if (pick == queue_.size() || d < best) {
+          pick = i;
+          best = d;
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        if (queue_[i].arrival_seconds <= now) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    if (pick == queue_.size()) return;  // only future arrivals queued
+    Pending pending = std::move(queue_[pick]);
+    queue_.erase(queue_.begin() +
+                 static_cast<std::ptrdiff_t>(pick));
     // Width the memory slice for the load actually present: tenants in
-    // flight (including this one) plus entries still queued, capped at
-    // the concurrency limit.
+    // flight (including this one) plus entries already arrived, capped
+    // at the concurrency limit. Entries that have not arrived yet are
+    // invisible — counting them would shrink slices for load that may
+    // land long after this tenant finishes.
     const std::uint32_t concurrency =
         static_cast<std::uint32_t>(std::min<std::size_t>(
-            max_concurrent(), running_.size() + 1 + queue_.size()));
+            max_concurrent(), running_.size() + 1 + arrived_queued(now)));
     const JobRequest& lead = pending.requests.front();
     auto tenant = std::make_unique<Tenant>();
     tenant->submit_seconds = pending.submit_seconds;
     tenant->admit_seconds = device_->now();
+    tenant->planned_width = concurrency;
     tenant->ids = pending.ids;
     const EngineOptions opts = job_options(lead, concurrency);
     const EngineEnv env = job_env(lead);
@@ -296,6 +364,55 @@ void JobScheduler::admit_available() {
   }
 }
 
+void JobScheduler::rewiden_running() {
+  // Admission-time slices go stale as tenants finish or the queue
+  // drains: recompute the live width and let any survivor still
+  // planning against a narrower slice re-plan at this BSP barrier.
+  // Growth-only by design — shrinking mid-run is the OOM-recovery
+  // path's job — so a tenant that drains to solo recovers the whole
+  // device and finishes bit-identical to a lone run.
+  const double now = device_->now();
+  const std::uint32_t live =
+      static_cast<std::uint32_t>(std::max<std::size_t>(
+          1, std::min<std::size_t>(
+                 max_concurrent(),
+                 running_.size() + arrived_queued(now))));
+  for (std::unique_ptr<Tenant>& entry : running_) {
+    Tenant& tenant = *entry;
+    if (tenant.planned_width <= live) continue;
+    const std::uint32_t width_before = tenant.planned_width;
+    const std::uint64_t bytes = slice_bytes(live);
+    // The re-plan (lane allocation, stream labeling, the second
+    // memory_grant event) runs under the tenant's own observability
+    // scope and stage bracket, like any other stage.
+    tenant.job->core().resume_observability();
+    tenant.stage_base = device_->stats();
+    const std::uint32_t added = tenant.job->rewiden(bytes);
+    tenant.usage.device.accumulate(
+        device_->stats().delta_since(tenant.stage_base));
+    tenant.job->core().suspend_observability();
+    // Even when nothing grew (fully resident, cache cap, OOM-declined)
+    // the slice itself HAS widened; recording that avoids re-asking
+    // every pump.
+    tenant.planned_width = live;
+    if (added == 0) continue;
+    ++tenant.rewidens;
+    ++stats_.rewidens;
+    if (telemetry_.enabled()) {
+      std::string f;
+      obs::TelemetrySink::field_u64(f, "job", tenant.ids.front());
+      obs::TelemetrySink::field_u64(f, "width_before", width_before);
+      obs::TelemetrySink::field_u64(f, "width_after", live);
+      obs::TelemetrySink::field_u64(f, "slice_bytes", bytes);
+      obs::TelemetrySink::field_u64(f, "lanes_added", added);
+      obs::TelemetrySink::field_u64(
+          f, "cache_slots",
+          tenant.job->core().residency_plan().cache_slots);
+      telemetry_.event("rewiden", device_->now(), f);
+    }
+  }
+}
+
 void JobScheduler::finish_tenant(Tenant& tenant) {
   EngineCore& core = tenant.job->core();
   // Per-job scheduler accounting lands in the job's own metrics file,
@@ -314,12 +431,14 @@ void JobScheduler::finish_tenant(Tenant& tenant) {
     metrics.gauge("engine.sched.concurrent")
         .set(static_cast<double>(running_.size()));
     metrics.counter("engine.sched.steps").add(tenant.steps);
+    metrics.counter("engine.sched.rewiden").add(
+        static_cast<double>(tenant.rewidens));
   }
   // The run-end hook (TenantTelemetry) accumulates this stage's delta
   // from inside finish_run, after the final download synchronized —
   // which is why the attrib gauges it injects there cover the run.
   tenant.stage_base = device_->stats();
-  tenant.job->finish();
+  [[maybe_unused]] const RunReport& report = tenant.job->finish();
   const double finish_seconds = device_->now();
   tenant.usage.width = tenant.job->width();
   tenant.usage.steps = tenant.steps;
@@ -369,6 +488,11 @@ void JobScheduler::finish_tenant(Tenant& tenant) {
                                   tenant.usage.cache_slots);
     obs::TelemetrySink::field_f(f, "cache_lane_seconds",
                                 tenant.usage.cache_lane_seconds);
+    obs::TelemetrySink::field_u64(f, "rewidens", tenant.rewidens);
+    obs::TelemetrySink::field_u64(f, "shared_hits",
+                                  report.cache_shared_hits);
+    obs::TelemetrySink::field_u64(f, "shared_bytes",
+                                  report.cache_shared_bytes);
     telemetry_.event("job_finish", finish_seconds, f);
   }
   usage_.push_back(tenant.usage);
@@ -376,7 +500,19 @@ void JobScheduler::finish_tenant(Tenant& tenant) {
 
 bool JobScheduler::pump() {
   admit_available();
-  if (running_.empty()) return false;
+  if (running_.empty()) {
+    if (queue_.empty()) return false;
+    // Every tenant finished but future arrivals remain (open loop):
+    // idle the device forward to the earliest one and admit it.
+    double earliest = std::numeric_limits<double>::infinity();
+    for (const Pending& pending : queue_)
+      earliest = std::min(earliest, pending.arrival_seconds);
+    const double now = device_->now();
+    if (earliest > now) device_->advance_host_time(earliest - now);
+    admit_available();
+    if (running_.empty()) return false;
+  }
+  rewiden_running();
   // One iteration per tenant per pump, in admission order: interleaving
   // at the BSP barrier granularity every stage already ends on.
   for (std::size_t i = 0; i < running_.size();) {
@@ -483,6 +619,11 @@ void JobScheduler::drain() {
                                 sum.kernel_busy_seconds);
     obs::TelemetrySink::field_f(f, "attrib_cache_lane_seconds",
                                 lane_seconds);
+    obs::TelemetrySink::field_u64(f, "rewidens", stats_.rewidens);
+    obs::TelemetrySink::field_u64(f, "shared_cache_hits",
+                                  shared_cache_.stats().hits);
+    obs::TelemetrySink::field_u64(f, "shared_cache_publishes",
+                                  shared_cache_.stats().publishes);
     telemetry_.event("drain", device_->now(), f);
     telemetry_.close();
     obs::print_tenant_report(std::cerr, usage_, total);

@@ -25,6 +25,35 @@
 //                     (validate() rejects the contradiction).
 //   * "stream-only" — 1/W slice, cache lanes capped to zero: the whole
 //                     slice goes to streaming slots.
+//   * "edf"         — 1/W slice with earliest-deadline-first dispatch:
+//                     among the queue entries that have arrived, the one
+//                     with the earliest JobRequest::deadline_seconds is
+//                     admitted next (no deadline sorts last; FIFO breaks
+//                     ties). Memory slicing matches "shared".
+//
+// Admission-time slices go stale as the load drains: a tenant admitted
+// at W=4 keeps planning against a quarter of the device even after the
+// other three finish. pump() therefore re-widens between iterations —
+// whenever the live width (tenants in flight plus arrived queue
+// entries, capped at max_concurrent) drops below a tenant's planned
+// width, the tenant re-plans its residency at the current BSP barrier,
+// growing cache lanes only (shrinking is the OOM-recovery path's job).
+// A tenant that drains to W=1 recovers the whole device, so the tail of
+// its run is bitwise-identical to a solo run.
+//
+// Open-loop arrivals: JobRequest::arrival_seconds schedules a query's
+// availability on the simulated clock (0 = available immediately, the
+// closed-loop default). The scheduler admits only arrived entries and,
+// when every tenant has finished but future arrivals remain, idles the
+// device forward to the earliest one.
+//
+// Cross-tenant shard cache (EngineOptions::sched_shared_cache, on by
+// default): the scheduler owns a SharedShardCache registry; same-graph
+// tenants serve each other's cached immutable topology device-to-device
+// instead of re-uploading over PCIe. The d2d service is charged to the
+// touching tenant's attribution bracket and the original upload to the
+// admitting tenant's, so verify_attribution()'s exact-partition
+// invariant is untouched. Solo runs never consult the registry.
 //
 // submit_batch() fuses same-program queries: consecutive queries are
 // packed into the registered fused variants (multi-source BFS/SSSP,
@@ -52,6 +81,7 @@
 
 #include "core/engine/job.hpp"
 #include "core/engine/program_registry.hpp"
+#include "core/engine/shared_cache.hpp"
 #include "core/options.hpp"
 #include "graph/edge_list.hpp"
 #include "obs/telemetry.hpp"
@@ -76,6 +106,12 @@ struct JobRequest {
   std::vector<std::pair<std::string, std::string>> metrics_provenance;
   /// Trace track prefix ("job0/"); empty = classic track names.
   std::string track_prefix;
+  /// Simulated instant the query becomes available for admission
+  /// (open-loop arrivals). 0 = available immediately (closed loop).
+  double arrival_seconds = 0.0;
+  /// Completion deadline on the simulated clock, consulted by the "edf"
+  /// admission policy. 0 = no deadline (sorts after every deadline).
+  double deadline_seconds = 0.0;
 };
 
 /// A finished query, with the scheduler's latency accounting in
@@ -101,6 +137,7 @@ struct SchedulerStats {
   std::uint64_t fused_jobs = 0;   // runs serving > 1 query
   std::uint64_t fused_lanes = 0;  // queries served by fused runs
   std::uint64_t steps = 0;        // iterations executed across tenants
+  std::uint64_t rewidens = 0;     // slice re-plans that grew cache lanes
   std::uint32_t max_concurrent_seen = 0;
 };
 
@@ -135,6 +172,11 @@ class JobScheduler : util::NonCopyable {
   const SchedulerStats& stats() const { return stats_; }
   std::uint32_t max_concurrent() const;
 
+  /// Cross-tenant shard registry counters (tests, reporting).
+  const SharedShardCacheStats& shared_cache_stats() const {
+    return shared_cache_.stats();
+  }
+
   /// Scheduler-level metrics registry: job latency / queue-time
   /// histograms observed as tenants finish (bench_serving reads its
   /// quantiles from here instead of re-sorting latencies by hand).
@@ -163,6 +205,11 @@ class JobScheduler : util::NonCopyable {
     std::vector<JobId> ids;
     const FusionHandle* fusion = nullptr;  // null = solo
     double submit_seconds = 0.0;
+    /// Latest arrival across the pack (a fused pack is admissible only
+    /// once every lane has arrived); 0 = closed-loop.
+    double arrival_seconds = 0.0;
+    /// Earliest nonzero deadline across the pack; 0 = none.
+    double deadline_seconds = 0.0;
   };
   /// One admitted engine run.
   struct Tenant {
@@ -171,6 +218,10 @@ class JobScheduler : util::NonCopyable {
     std::vector<JobId> ids;
     double submit_seconds = 0.0;
     double admit_seconds = 0.0;
+    /// Concurrency width the tenant's current residency plan assumes;
+    /// pump() re-widens when the live width drops below it.
+    std::uint32_t planned_width = 1;
+    std::uint64_t rewidens = 0;
     std::uint64_t steps = 0;
     /// Per-job telemetry/attribution adapter, attached to the engine's
     /// external observer slot before begin().
@@ -187,10 +238,19 @@ class JobScheduler : util::NonCopyable {
   /// nothing left to do.
   bool pump();
   void admit_available();
+  /// Grows the slice of every tenant whose planned width exceeds the
+  /// live width (a finished tenant or a drained queue left it stale).
+  void rewiden_running();
   void finish_tenant(Tenant& tenant);
   EngineOptions job_options(const JobRequest& request,
                             std::uint32_t width) const;
-  EngineEnv job_env(const JobRequest& request) const;
+  EngineEnv job_env(const JobRequest& request);
+  /// The memory slice a tenant plans against at concurrency `width`
+  /// (width <= 1 keeps the whole device — a lone job degenerates to the
+  /// single-run engine).
+  std::uint64_t slice_bytes(std::uint32_t width) const;
+  /// Queue entries whose arrival time has passed.
+  std::size_t arrived_queued(double now) const;
 
   const graph::EdgeList* edges_;
   EngineOptions options_;
@@ -198,6 +258,11 @@ class JobScheduler : util::NonCopyable {
   /// Memoized partition plans, shared across tenants by partition count.
   mutable std::map<std::uint32_t, std::shared_ptr<const PartitionedGraph>>
       plans_;
+
+  /// Cross-tenant shard registry (EngineOptions::sched_shared_cache).
+  /// Declared before running_: tenants unregister from their EngineCore
+  /// destructors, so the registry must outlive every Tenant.
+  SharedShardCache shared_cache_;
 
   std::deque<Pending> queue_;
   std::vector<std::unique_ptr<Tenant>> running_;

@@ -22,6 +22,20 @@ void ShardCache::configure(const ResidencyPlan& plan) {
   }
 }
 
+void ShardCache::grow(const ResidencyPlan& plan) {
+  GR_CHECK_MSG(plan.partitions == plan_.partitions &&
+                   plan.streaming_slots == plan_.streaming_slots &&
+                   !plan.fully_resident && !plan_.fully_resident,
+               "ShardCache::grow only widens the cache-lane set of a "
+               "streaming plan");
+  GR_CHECK_MSG(plan.cache_slots >= entries_.size(),
+               "ShardCache::grow cannot shrink (have "
+               << entries_.size() << " lanes, plan grants "
+               << plan.cache_slots << ")");
+  plan_ = plan;
+  entries_.resize(plan.cache_slots);  // new lanes default to free
+}
+
 void ShardCache::begin_iteration(std::span<const std::uint32_t> active_shards) {
   std::fill(active_.begin(), active_.end(), std::uint8_t{0});
   for (std::uint32_t shard : active_shards) {

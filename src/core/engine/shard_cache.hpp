@@ -104,6 +104,11 @@ struct ShardVisit {
   /// H2D bytes the hit groups would have cost (filled by the engine,
   /// which knows the shard topology byte sizes).
   std::uint64_t hit_bytes = 0;
+  /// Subset of `load` served device-to-device from another tenant's
+  /// cache lane through the scheduler's SharedShardCache (filled by the
+  /// engine; always 0 in solo runs).
+  ResidencyGroups shared = 0;
+  std::uint64_t shared_bytes = 0;
 
   bool evicted() const { return evicted_shard != kNone; }
 };
@@ -131,6 +136,12 @@ class ShardCache : util::NonCopyable {
   /// (Re)builds cache state for `plan`. Fully-resident plans pre-pin
   /// shard p to lane p; otherwise all cache lanes start free.
   void configure(const ResidencyPlan& plan);
+
+  /// Adopts a plan with MORE cache lanes mid-run (admission slice
+  /// re-widening), preserving every entry, the LRU clock, and the
+  /// statistics — the new lanes simply start free. The plan must match
+  /// the current one except for a grown cache_slots.
+  void grow(const ResidencyPlan& plan);
 
   /// Installs the iteration's frontier-activity bits (eviction
   /// priority): shards NOT in `active_shards` are evictable first.

@@ -1,0 +1,76 @@
+#include "core/engine/shared_cache.hpp"
+
+#include <algorithm>
+
+namespace gr::core {
+
+void SharedShardCache::unregister_tenant(TenantId tenant) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    auto& claims = it->second;
+    claims.erase(std::remove_if(claims.begin(), claims.end(),
+                                [tenant](const Claim& c) {
+                                  return c.tenant == tenant;
+                                }),
+                 claims.end());
+    it = claims.empty() ? entries_.erase(it) : std::next(it);
+  }
+}
+
+void SharedShardCache::publish(TenantId tenant, const void* plan,
+                               std::uint32_t shard, ResidencyGroups groups) {
+  groups &= kShareable;
+  if (groups == 0) {
+    retract(tenant, plan, shard);
+    return;
+  }
+  auto& claims = entries_[Key{plan, shard}];
+  for (Claim& c : claims) {
+    if (c.tenant == tenant) {
+      if (c.groups != groups) {
+        c.groups = groups;
+        ++stats_.publishes;
+      }
+      return;
+    }
+  }
+  claims.push_back(Claim{tenant, groups});
+  ++stats_.publishes;
+}
+
+void SharedShardCache::retract(TenantId tenant, const void* plan,
+                               std::uint32_t shard) {
+  const auto it = entries_.find(Key{plan, shard});
+  if (it == entries_.end()) return;
+  auto& claims = it->second;
+  const auto pos = std::find_if(
+      claims.begin(), claims.end(),
+      [tenant](const Claim& c) { return c.tenant == tenant; });
+  if (pos == claims.end()) return;
+  claims.erase(pos);
+  ++stats_.retracts;
+  if (claims.empty()) entries_.erase(it);
+}
+
+ResidencyGroups SharedShardCache::lookup(TenantId self, const void* plan,
+                                         std::uint32_t shard,
+                                         ResidencyGroups wanted) {
+  wanted &= kShareable;
+  if (wanted == 0) return 0;
+  const auto it = entries_.find(Key{plan, shard});
+  if (it == entries_.end()) return 0;
+  ResidencyGroups available = 0;
+  for (const Claim& c : it->second) {
+    if (c.tenant != self) available |= c.groups;
+  }
+  const ResidencyGroups served = available & wanted;
+  if (served != 0) ++stats_.hits;
+  return served;
+}
+
+std::size_t SharedShardCache::entry_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, claims] : entries_) n += claims.size();
+  return n;
+}
+
+}  // namespace gr::core

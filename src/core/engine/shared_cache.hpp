@@ -1,0 +1,99 @@
+// Cross-tenant shard-residency registry (ROADMAP: serving runtime).
+//
+// Per-tenant EngineCores keep their cache lanes private, so two tenants
+// running over the *same* memoized PartitionedGraph re-upload identical
+// topology shards over the one simulated PCIe link. The scheduler owns
+// one SharedShardCache and injects it through EngineEnv: whenever a
+// tenant's cache lane holds valid topology groups of a shard, the
+// tenant publishes (partition-plan, shard) -> groups here; another
+// tenant about to stream the same groups looks them up first and, on a
+// hit, copies them device-to-device from the owner's lane instead of
+// touching the link.
+//
+// Correctness hinges on three properties:
+//
+//   * Only immutable topology groups (kGroupInTopology/kGroupOutTopology)
+//     are ever published — edge state is host-canonical and mutable, so
+//     it always streams. Topology bytes are a pure function of the
+//     partition plan, so any tenant's resident copy equals what the
+//     toucher would have uploaded.
+//   * Lookups exclude the asking tenant's own entries, so a solo run
+//     (or a drained-to-solo tenant) issues exactly the op sequence of a
+//     private-cache run — the CI trace gate's bit-exactness survives.
+//   * Entries are retracted on eviction and dropped wholesale when a
+//     tenant's engine is destroyed, so a claim never outlives the lane
+//     that backs it. All calls happen on the driver thread between BSP
+//     stages (each stage ends on a device synchronize), so a published
+//     group is always settled on-device before anyone copies from it.
+//
+// The registry stores no bytes — it is bookkeeping over lanes the
+// tenants already own. The toucher is charged the d2d copy on its own
+// compute engine (EngineCore::copy_shared), keeping the scheduler's
+// per-tenant DeviceStats attribution an exact partition.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/engine/shard_cache.hpp"
+#include "util/common.hpp"
+
+namespace gr::core {
+
+/// Lifetime counters (tests, drain-time reporting).
+struct SharedShardCacheStats {
+  std::uint64_t publishes = 0;
+  std::uint64_t retracts = 0;
+  /// Lookups that found at least one requested group in another
+  /// tenant's lane.
+  std::uint64_t hits = 0;
+};
+
+class SharedShardCache : util::NonCopyable {
+ public:
+  using TenantId = std::uint64_t;
+
+  /// Issues a fresh tenant identity; entries are owned per tenant.
+  TenantId register_tenant() { return next_tenant_++; }
+  /// Drops every entry the tenant still owns (engine teardown).
+  void unregister_tenant(TenantId tenant);
+
+  /// Records that `tenant` holds `groups` of `shard` valid in one of
+  /// its device cache lanes. `plan` keys the partition layout (the
+  /// memoized PartitionedGraph pointer): only tenants sharing a plan
+  /// byte-match. Non-topology bits are masked off. Replaces the
+  /// tenant's previous claim for the shard.
+  void publish(TenantId tenant, const void* plan, std::uint32_t shard,
+               ResidencyGroups groups);
+
+  /// The tenant's lane no longer holds the shard (eviction).
+  void retract(TenantId tenant, const void* plan, std::uint32_t shard);
+
+  /// Groups of `wanted` some OTHER tenant holds resident for
+  /// (plan, shard); 0 when nobody does. Pure except for hit counting.
+  ResidencyGroups lookup(TenantId self, const void* plan,
+                         std::uint32_t shard, ResidencyGroups wanted);
+
+  const SharedShardCacheStats& stats() const { return stats_; }
+  /// Live (tenant, shard) claims across all plans (tests).
+  std::size_t entry_count() const;
+
+  /// Groups the registry will ever carry: immutable shard topology.
+  static constexpr ResidencyGroups kShareable =
+      kGroupInTopology | kGroupOutTopology;
+
+ private:
+  struct Claim {
+    TenantId tenant = 0;
+    ResidencyGroups groups = 0;
+  };
+  using Key = std::pair<const void*, std::uint32_t>;  // (plan, shard)
+
+  std::map<Key, std::vector<Claim>> entries_;
+  TenantId next_tenant_ = 1;
+  SharedShardCacheStats stats_;
+};
+
+}  // namespace gr::core

@@ -60,6 +60,9 @@ class GasJob final : public EngineJob, util::NonCopyable {
                     state_.instance().default_max_iterations);
   }
   bool step() override { return core_.step(state_); }
+  std::uint32_t rewiden(std::uint64_t slice_bytes) override {
+    return core_.rewiden(state_, slice_bytes);
+  }
   const RunReport& finish() override {
     report_ = core_.finish_run(state_);
     finished_ = true;

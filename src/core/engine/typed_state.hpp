@@ -160,8 +160,38 @@ class TypedProgramState final : public ProgramHooks {
   void release_device_state() override {
     slots_.clear();
     cache_arena_.release();
+    grow_arenas_.clear();
     d_vertex_ = {};
     d_gather_ = {};
+  }
+
+  bool grow_cache_lanes(std::uint32_t added) override {
+    // Admission slice re-widening: append `added` cache lanes mid-run.
+    // Streaming lanes and the original cache arena are untouched; the
+    // new lanes live in their own arena reservation so a failed grow
+    // leaves no trace. Buffers use the same global-maxima extents as
+    // allocate_device_state's cache lanes (any shard can be admitted).
+    if (added == 0) return false;
+    vgpu::Device& dev = core_.device();
+    SlotExtents ext;
+    ext.max_interval = core_.graph().max_interval_size();
+    ext.max_in_edges = core_.graph().max_in_edges();
+    ext.max_out_edges = core_.graph().max_out_edges();
+    vgpu::MemoryArena arena;
+    try {
+      arena = vgpu::MemoryArena(dev.allocator(),
+                                added * cache_lane_bytes(ext));
+    } catch (const vgpu::DeviceOutOfMemory&) {
+      return false;  // the engine keeps its current plan
+    }
+    grow_arenas_.push_back(std::move(arena));
+    vgpu::MemoryArena& owned = grow_arenas_.back();
+    for (std::uint32_t c = 0; c < added; ++c) {
+      slots_.emplace_back();
+      allocate_slot(owned, slots_.back(), ext);
+      core_.ring().add_lane(dev, core_.options().async_spray);
+    }
+    return true;
   }
 
   void upload_static_state(vgpu::Stream& stream) override {
@@ -429,9 +459,12 @@ class TypedProgramState final : public ProgramHooks {
   vgpu::DeviceBuffer<GatherResult> d_gather_;
 
   // One SlotBuffers per ring lane: [0, K) streaming, then cache lanes.
-  // Cache-lane buffers live inside cache_arena_'s single reservation.
+  // Cache-lane buffers live inside cache_arena_'s single reservation;
+  // lanes added by mid-run re-widening each batch into an arena of
+  // their own in grow_arenas_.
   std::vector<SlotBuffers> slots_;
   vgpu::MemoryArena cache_arena_;
+  std::vector<vgpu::MemoryArena> grow_arenas_;
 };
 
 }  // namespace gr::core

@@ -38,9 +38,10 @@ void EngineOptions::validate() const {
                << transfer_policy << "')");
   GR_CHECK_MSG(sched_admission == "shared" ||
                    sched_admission == "cache-fair" ||
-                   sched_admission == "stream-only",
+                   sched_admission == "stream-only" ||
+                   sched_admission == "edf",
                "EngineOptions: sched_admission must be one of "
-               "shared|cache-fair|stream-only (got '"
+               "shared|cache-fair|stream-only|edf (got '"
                << sched_admission << "')");
   // The cache-lane admission policy hands every tenant a residency-cache
   // allocation; with the cache disabled there are no lanes to hand out.

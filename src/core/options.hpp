@@ -79,6 +79,16 @@ struct EngineOptions {
   /// Fuse batched same-program queries (multi-source BFS/SSSP) into one
   /// run when a fused variant is registered for the program.
   bool sched_fusion = true;
+  /// Share cached shard groups between concurrently admitted tenants of
+  /// the same partition plan: a tenant whose upload would duplicate a
+  /// shard group already device-resident in another tenant's cache lane
+  /// copies it device-to-device instead of re-streaming over PCIe. The
+  /// copy is charged to the toucher's compute engine (the uploader
+  /// already paid the link), so per-tenant attribution still partitions
+  /// device totals exactly. Solo runs never consult the shared cache
+  /// (a tenant is excluded from its own lookups), keeping the
+  /// drain-to-solo path bit-exact with run().
+  bool sched_shared_cache = true;
 
   /// Host threads for the parallel functional backend (wall-clock only —
   /// results and simulated timings are bitwise identical for any value).
@@ -133,6 +143,11 @@ struct EngineOptions {
     o.phase_fusion = false;
     return o;
   }
+
+  /// The streaming-slot count the engine actually plans with: `slots`,
+  /// defaulting to the paper's K = 2 when unset. The scheduler's
+  /// cache-fair lane cap uses the same accessor so the two can't drift.
+  std::uint32_t effective_slots() const { return slots != 0 ? slots : 2; }
 
   /// Rejects configurations the runtime cannot honor (util::CheckError
   /// with a message naming the offending field). Engine construction
@@ -214,6 +229,12 @@ struct RunReport {
   /// H2D bytes the cache hits avoided (what the same schedule would have
   /// streamed without the cache).
   std::uint64_t bytes_h2d_saved = 0;
+  /// Cross-tenant shared-cache activity (core/engine/shared_cache.hpp):
+  /// buffer groups copied device-to-device from another tenant's cache
+  /// lane instead of re-streamed over PCIe, and the raw bytes those
+  /// copies kept off the link.
+  std::uint64_t cache_shared_hits = 0;
+  std::uint64_t cache_shared_bytes = 0;
 
   /// Per-strategy transfer accounting (EngineOptions::transfer_policy).
   TransferStats transfer;

@@ -26,6 +26,10 @@ void Histogram::observe(double v) {
   while (!sum_.compare_exchange_weak(cur, cur + v,
                                      std::memory_order_relaxed)) {
   }
+  double top = max_.load(std::memory_order_relaxed);
+  while (v > top && !max_.compare_exchange_weak(
+                        top, v, std::memory_order_relaxed)) {
+  }
 }
 
 std::vector<std::uint64_t> Histogram::counts() const {
@@ -48,9 +52,10 @@ double Histogram::percentile(double q) const {
     if (buckets[i] == 0) continue;
     const double next = cumulative + static_cast<double>(buckets[i]);
     if (next >= rank) {
-      // Overflow bucket: no finite upper edge, clamp to the last bound.
-      if (i >= bounds_.size())
-        return bounds_.empty() ? 0.0 : bounds_.back();
+      // Overflow bucket: no finite upper edge, report the tracked max —
+      // clamping to the last bound would silently under-report tail
+      // latency whenever samples land past the configured bounds.
+      if (i >= bounds_.size()) return max();
       const double lower = i > 0 ? bounds_[i - 1] : 0.0;
       const double upper = bounds_[i];
       const double frac =
@@ -59,7 +64,7 @@ double Histogram::percentile(double q) const {
     }
     cumulative = next;
   }
-  return bounds_.empty() ? 0.0 : bounds_.back();
+  return max();
 }
 
 Counter& Metrics::counter(const std::string& name) {

@@ -69,6 +69,8 @@ class Histogram : util::NonCopyable {
     return count_.load(std::memory_order_relaxed);
   }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Largest observation so far (0 when empty).
+  double max() const { return max_.load(std::memory_order_relaxed); }
   /// Upper bounds; counts() has one extra trailing overflow entry.
   const std::vector<double>& bounds() const { return bounds_; }
   std::vector<std::uint64_t> counts() const;
@@ -76,8 +78,10 @@ class Histogram : util::NonCopyable {
   /// Quantile estimate from the bucket counts, `q` in [0, 1]: linear
   /// interpolation inside the bucket holding the q-th observation
   /// (lower edge 0 for the first bucket — observations are assumed
-  /// non-negative, as every recorded quantity here is). Observations
-  /// past the last bound clamp to it, Prometheus-style. 0 when empty.
+  /// non-negative, as every recorded quantity here is). Ranks landing
+  /// in the overflow bucket return the tracked max observation instead
+  /// of clamping to the last bound, so tail quantiles stay honest even
+  /// when every sample exceeds the configured bounds. 0 when empty.
   double percentile(double q) const;
 
  private:
@@ -88,6 +92,7 @@ class Histogram : util::NonCopyable {
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds+1
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
 };
 
 /// Thread-safe named-instrument registry with deterministic JSON

@@ -283,5 +283,117 @@ TEST(JobScheduler, PeriodicSnapshotsWrittenDuringRun) {
   EXPECT_NE(json.find("snapshot_sim_seconds"), std::string::npos);
 }
 
+TEST(JobScheduler, SurvivorRewidensWhenLoadDrains) {
+  algo::register_builtin_programs();
+  const auto edges = graph::rmat(9, 4000, 5);
+  EngineOptions options = sharded_options();
+  options.sched_max_concurrent = 2;
+  options.sched_fusion = false;
+  JobScheduler sched(edges, options);
+  // The capped query drains after two iterations; the survivor was
+  // admitted against a half-device slice and must re-plan against the
+  // whole device at the next barrier.
+  JobRequest quick;
+  quick.program = "bfs";
+  quick.spec.source = 2;
+  quick.spec.max_iterations = 2;
+  JobRequest survivor;
+  survivor.program = "bfs";
+  survivor.spec.source = 11;
+  sched.submit(quick);
+  const JobId long_id = sched.submit(survivor);
+  sched.drain();
+  EXPECT_GE(sched.stats().rewidens, 1u);
+  // Growth-only re-planning cannot change results.
+  ProgramSpec spec;
+  spec.source = 11;
+  const ProgramHandle& bfs = ProgramRegistry::global().at("bfs");
+  EXPECT_EQ(sched.result(long_id).run.value_hash,
+            bfs.run(edges, spec, EngineOptions{}).value_hash);
+}
+
+TEST(JobScheduler, RewidenScheduleIsThreadCountInvariant) {
+  algo::register_builtin_programs();
+  const auto edges = graph::rmat(9, 4000, 5);
+  const std::string dir = ::testing::TempDir();
+  // Staggered finish order at different host thread counts must leave a
+  // byte-identical telemetry stream: every re-widening decision runs on
+  // the driver thread against the simulated clock.
+  const auto run_once = [&](std::uint32_t threads,
+                            const std::string& tag) {
+    EngineOptions options = sharded_options();
+    options.sched_max_concurrent = 2;
+    options.sched_fusion = false;
+    options.threads = threads;
+    options.telemetry_out = dir + "sched_rewiden_" + tag + ".ndjson";
+    JobScheduler sched(edges, options);
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      JobRequest request;
+      request.program = "bfs";
+      request.spec.source = 2 + 9 * i;
+      if (i == 0) request.spec.max_iterations = 2;  // staggers finishes
+      sched.submit(request);
+    }
+    sched.drain();
+    EXPECT_GE(sched.stats().rewidens, 1u);
+    return slurp(options.telemetry_out);
+  };
+  const std::string serial = run_once(1, "t1");
+  const std::string pooled = run_once(4, "t4");
+  EXPECT_EQ(serial, pooled);
+  EXPECT_NE(serial.find("rewiden"), std::string::npos);
+}
+
+TEST(JobScheduler, SameGraphTenantsShareCachedShards) {
+  algo::register_builtin_programs();
+  const auto edges = graph::rmat(9, 4000, 5);
+  struct Outcome {
+    std::uint64_t device_h2d = 0;
+    std::uint64_t shared_hits = 0;
+    std::uint64_t registry_hits = 0;
+    std::vector<std::uint64_t> hashes;
+  };
+  const auto run_pair = [&](bool shared) {
+    EngineOptions options = sharded_options();
+    // Large enough that each half-device tenant still buys cache lanes
+    // out of its slice's leftover (192KB slices leave none), small
+    // enough that the graph still shards and streams.
+    options.device.global_memory_bytes = 512 * 1024;
+    options.sched_max_concurrent = 2;
+    options.sched_fusion = false;
+    options.sched_shared_cache = shared;
+    JobScheduler sched(edges, options);
+    std::vector<JobId> ids;
+    for (graph::VertexId source : {2u, 11u}) {
+      JobRequest request;
+      request.program = "bfs";
+      request.spec.source = source;
+      ids.push_back(sched.submit(request));
+    }
+    sched.drain();
+    Outcome out;
+    out.device_h2d = sched.device_totals().bytes_h2d;
+    out.registry_hits = sched.shared_cache_stats().hits;
+    for (JobId id : ids) {
+      out.shared_hits += sched.result(id).run.report.cache_shared_hits;
+      out.hashes.push_back(sched.result(id).run.value_hash);
+    }
+    return out;
+  };
+  const Outcome private_cache = run_pair(false);
+  const Outcome shared_cache = run_pair(true);
+  // Same-graph tenants hit each other's uploads: shards are served
+  // device-to-device, so the link moves strictly fewer bytes...
+  EXPECT_GT(shared_cache.shared_hits, 0u);
+  EXPECT_GT(shared_cache.registry_hits, 0u);
+  EXPECT_LT(shared_cache.device_h2d, private_cache.device_h2d);
+  // ...and the registry stays out of the private-cache run entirely.
+  EXPECT_EQ(private_cache.shared_hits, 0u);
+  EXPECT_EQ(private_cache.registry_hits, 0u);
+  // Topology served from a peer's lane is byte-identical to an upload,
+  // so results cannot move.
+  EXPECT_EQ(shared_cache.hashes, private_cache.hashes);
+}
+
 }  // namespace
 }  // namespace gr::core

@@ -51,10 +51,31 @@ TEST(Metrics, HistogramPercentileInterpolatesWithinBuckets) {
   EXPECT_DOUBLE_EQ(h.percentile(0.5), 1.0);
   EXPECT_DOUBLE_EQ(h.percentile(0.75), 1.5);
   EXPECT_DOUBLE_EQ(h.percentile(1.0), 2.0);
-  // An overflow observation clamps the top quantiles to the last bound,
-  // Prometheus-style.
+  // Quantile ranks that land in the overflow bucket report the tracked
+  // maximum — clamping to the last bound would silently under-report
+  // the tail.
   h.observe(100.0);
-  EXPECT_DOUBLE_EQ(h.percentile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+}
+
+TEST(Metrics, HistogramPercentileReportsMaxPastLastBound) {
+  Metrics metrics;
+  Histogram& h = metrics.histogram("h", {1.0, 2.0, 4.0});
+  // Every observation overflows the last bound: with the whole mass in
+  // the overflow bucket, any quantile must surface the real maximum
+  // instead of the 4.0 bound (which no sample is even close to).
+  h.observe(10.0);
+  h.observe(250.0);
+  h.observe(40.0);
+  EXPECT_DOUBLE_EQ(h.max(), 250.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 250.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 250.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 250.0);
+  // A later in-bounds majority pulls low quantiles back to
+  // interpolation while the tail keeps reporting the max.
+  for (int i = 0; i < 7; ++i) h.observe(1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.7), 1.0);  // rank 7 of 7 in bucket 0
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 250.0);
 }
 
 TEST(Metrics, JsonSnapshotCarriesHistogramPercentiles) {

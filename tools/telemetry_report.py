@@ -3,8 +3,8 @@
 
 The JobScheduler (src/core/engine/scheduler.cpp) streams one JSON
 object per line through obs::TelemetrySink: a provenance header, then
-job_submit / job_admit / job_start / memory_grant / transfer /
-cache_hit / cache_evict / iteration_end / job_finish events, and a
+job_submit / job_admit / job_start / memory_grant / rewiden / transfer
+/ cache_hit / cache_evict / iteration_end / job_finish events, and a
 closing drain record. All timestamps are simulated seconds; the stream
 is byte-identical for any --threads value, so it diffs and archives
 cleanly.
@@ -12,8 +12,9 @@ cleanly.
 This tool turns one stream into:
 
   * a per-tenant summary table (from job_finish events): width, steps,
-    queue/latency, attributed H2D/D2H bytes and busy seconds — the
-    same attribution the scheduler prints at drain time;
+    queue/latency, attributed H2D/D2H bytes and busy seconds, slice
+    re-widenings, and cross-tenant shard-cache hits — the same
+    attribution the scheduler prints at drain time;
   * a per-shard transfer flame (from transfer/cache_hit events): a
     text bar chart in the style of ProfilingObserver::print_shard_flame
     (src/obs/profile.cpp), bar length proportional to PCIe link bytes,
@@ -47,6 +48,8 @@ SCHEMA = {
     "job_start": {"job"},
     "memory_grant": {"job", "partitions", "streaming_slots",
                      "cache_slots", "fully_resident"},
+    "rewiden": {"job", "width_before", "width_after", "slice_bytes",
+                "lanes_added", "cache_slots"},
     "transfer": {"job", "shard", "strategy", "raw_bytes", "link_bytes"},
     "cache_hit": {"job", "shard", "groups", "bytes_saved"},
     "cache_evict": {"job", "shard", "victim", "writeback_groups"},
@@ -57,7 +60,8 @@ SCHEMA = {
                    "queue_seconds", "bytes_h2d", "bytes_d2h", "h2d_ops",
                    "d2h_ops", "kernels_launched", "h2d_busy_seconds",
                    "d2h_busy_seconds", "kernel_busy_seconds",
-                   "cache_slots", "cache_lane_seconds"},
+                   "cache_slots", "cache_lane_seconds", "rewidens",
+                   "shared_hits", "shared_bytes"},
     "drain": {"jobs", "tenants", "steps"},
 }
 
@@ -123,12 +127,16 @@ def tenant_table(finishes):
         return
     header = (f"{'job':>4}  {'label':<16}  {'width':>5}  {'steps':>5}  "
               f"{'queue':>8}  {'latency':>8}  {'h2d':>9}  {'d2h':>9}  "
-              f"{'kernel-s':>9}  {'busy-s':>9}  {'cache-lane-s':>12}")
+              f"{'kernel-s':>9}  {'busy-s':>9}  {'cache-lane-s':>12}  "
+              f"{'rewiden':>7}  {'shared':>9}")
     print("Per-tenant attribution (simulated)")
     print(header)
     print("-" * len(header))
     for rec in finishes:
         busy = rec["h2d_busy_seconds"] + rec["d2h_busy_seconds"]
+        # Older streams predate re-widening / the shared shard cache.
+        rewidens = rec.get("rewidens", 0)
+        shared = rec.get("shared_bytes", 0)
         print(f"{rec['job']:>4}  {rec['label']:<16.16}  "
               f"{rec['width']:>5}  {rec['steps']:>5}  "
               f"{fmt_seconds(rec['queue_seconds']):>8}  "
@@ -137,7 +145,9 @@ def tenant_table(finishes):
               f"{fmt_bytes(rec['bytes_d2h']):>9}  "
               f"{fmt_seconds(rec['kernel_busy_seconds']):>9}  "
               f"{fmt_seconds(busy):>9}  "
-              f"{fmt_seconds(rec['cache_lane_seconds']):>12}")
+              f"{fmt_seconds(rec['cache_lane_seconds']):>12}  "
+              f"{rewidens:>7}  "
+              f"{fmt_bytes(shared):>9}")
 
 
 def shard_flame(records, max_rows):
@@ -218,8 +228,15 @@ def main(argv=None):
     print(f"{args.stream}: {len(records)} records, schema "
           f"{header.get('schema')}" + (f" ({meta})" if meta else ""))
     if drain is not None:
+        extras = ""
+        if drain.get("rewidens"):
+            extras += f", {drain['rewidens']} re-widenings"
+        if drain.get("shared_cache_hits"):
+            extras += (f", {drain['shared_cache_hits']} shared-cache "
+                       f"hits")
         print(f"drained at t={drain['t']:.9f}s: {drain['jobs']} jobs, "
-              f"{drain['tenants']} tenants, {drain['steps']} steps\n")
+              f"{drain['tenants']} tenants, {drain['steps']} steps"
+              f"{extras}\n")
     tenant_table(finishes)
     shard_flame(records, args.max_rows)
     if args.check:
