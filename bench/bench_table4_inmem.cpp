@@ -8,12 +8,27 @@
 // wins every cell (the paper's observation motivating pluggable
 // partition logic).
 #include <iostream>
+#include <sstream>
 
+#include "core/algorithms/registry.hpp"
+#include "core/engine/program_registry.hpp"
 #include "graph/datasets.hpp"
 #include "support/harness.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+std::string millis(double seconds) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << seconds * 1e3;
+  return os.str();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace gr;
@@ -59,5 +74,37 @@ int main(int argc, char** argv) {
                     bench::BenchMeta{"table4_inmem",
                                      bench::bench_engine_options()});
   util_table.print(std::cout);
+
+  // Companion table: direction-optimizing BFS. Same datasets, GR only —
+  // always-push against the Beamer auto switch; low-diameter families
+  // should show auto going pull on the dense middle iterations and
+  // beating push on simulated time.
+  algo::register_builtin_programs();
+  const auto& dobfs = core::ProgramRegistry::global().at("dobfs");
+  util::Table dir_table(
+      "Direction-optimizing BFS — push vs Beamer auto (simulated ms)");
+  dir_table.header(
+      {"Graph", "Push", "Auto", "Speedup", "Pull iters"});
+  for (const auto& name : graph::in_memory_names()) {
+    const auto data = bench::prepare_dataset(name, scale);
+    core::ProgramSpec spec;
+    spec.source = data.source;
+    auto push_options = bench::bench_engine_options();
+    push_options.direction = "push";
+    auto auto_options = bench::bench_engine_options();
+    auto_options.direction = "auto";
+    const auto push = dobfs.run(data.edges, spec, push_options);
+    const auto aut = dobfs.run(data.edges, spec, auto_options);
+    std::uint32_t pull_iters = 0;
+    for (const auto& it : aut.report.history) pull_iters += it.pull ? 1 : 0;
+    std::ostringstream speedup;
+    speedup.setf(std::ios::fixed);
+    speedup.precision(2);
+    speedup << push.report.total_seconds / aut.report.total_seconds << "x";
+    dir_table.add_row({name, millis(push.report.total_seconds),
+                       millis(aut.report.total_seconds), speedup.str(),
+                       std::to_string(pull_iters)});
+  }
+  dir_table.print(std::cout);
   return 0;
 }

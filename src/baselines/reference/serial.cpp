@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 #include <queue>
+#include <span>
+#include <utility>
 
 #include "core/parallel.hpp"
 #include "graph/csr.hpp"
@@ -186,6 +188,208 @@ std::vector<float> heat(const EdgeList& edges,
     temp.swap(next);
   }
   return temp;
+}
+
+namespace {
+
+/// Deduplicated undirected adjacency (sorted unique neighbours, no
+/// self-loops) — the neighbourhood semantics shared with the operator
+/// programs in core/algorithms/advanced.hpp.
+struct UndirectedAdj {
+  std::vector<EdgeId> offsets;
+  std::vector<VertexId> adj;
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {adj.data() + offsets[v], adj.data() + offsets[v + 1]};
+  }
+  std::uint32_t degree(VertexId v) const {
+    return static_cast<std::uint32_t>(offsets[v + 1] - offsets[v]);
+  }
+};
+
+UndirectedAdj undirected_adjacency(const EdgeList& edges) {
+  const VertexId n = edges.num_vertices();
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  pairs.reserve(2 * edges.num_edges());
+  for (const graph::Edge& e : edges.edges()) {
+    if (e.src == e.dst) continue;
+    pairs.emplace_back(e.src, e.dst);
+    pairs.emplace_back(e.dst, e.src);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  UndirectedAdj out;
+  out.offsets.assign(n + 1, 0);
+  out.adj.reserve(pairs.size());
+  for (const auto& [v, u] : pairs) {
+    ++out.offsets[v + 1];
+    out.adj.push_back(u);
+  }
+  for (VertexId v = 0; v < n; ++v) out.offsets[v + 1] += out.offsets[v];
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> triangle_counts(const EdgeList& edges) {
+  const UndirectedAdj g = undirected_adjacency(edges);
+  const VertexId n = edges.num_vertices();
+  std::vector<std::uint64_t> counts(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nv = g.neighbors(v);
+    // Forward neighbours only: each triangle lands at its smallest vertex.
+    const auto* fv = std::upper_bound(nv.data(), nv.data() + nv.size(), v);
+    const auto* fv_end = nv.data() + nv.size();
+    for (const auto* u = fv; u != fv_end; ++u) {
+      const auto nu = g.neighbors(*u);
+      const auto* b = std::upper_bound(nu.data(), nu.data() + nu.size(), *u);
+      const auto* b_end = nu.data() + nu.size();
+      const auto* a = fv;
+      while (a != fv_end && b != b_end) {
+        if (*a < *b) {
+          ++a;
+        } else if (*b < *a) {
+          ++b;
+        } else {
+          ++counts[v];
+          ++a;
+          ++b;
+        }
+      }
+    }
+  }
+  return counts;
+}
+
+std::vector<std::uint32_t> coreness(const EdgeList& edges) {
+  // Batagelj–Zaveršnik peeling: process vertices in ascending current
+  // degree; a vertex's degree at removal time is its coreness.
+  const UndirectedAdj g = undirected_adjacency(edges);
+  const VertexId n = edges.num_vertices();
+  std::vector<std::uint32_t> deg(n);
+  std::uint32_t max_deg = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  // Bin sort by degree.
+  std::vector<VertexId> bin(max_deg + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bin[deg[v] + 1];
+  for (std::uint32_t d = 0; d <= max_deg; ++d) bin[d + 1] += bin[d];
+  std::vector<VertexId> vert(n), pos(n);
+  {
+    std::vector<VertexId> cursor(bin.begin(), bin.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      pos[v] = cursor[deg[v]];
+      vert[pos[v]] = v;
+      ++cursor[deg[v]];
+    }
+  }
+  for (VertexId i = 0; i < n; ++i) {
+    const VertexId v = vert[i];
+    for (VertexId u : g.neighbors(v)) {
+      if (deg[u] <= deg[v]) continue;
+      // Swap u to the front of its degree bucket, then shrink it.
+      const VertexId du = deg[u];
+      const VertexId pu = pos[u];
+      const VertexId pw = bin[du];
+      const VertexId w = vert[pw];
+      if (u != w) {
+        pos[u] = pw;
+        vert[pu] = w;
+        pos[w] = pu;
+        vert[pw] = u;
+      }
+      ++bin[du];
+      --deg[u];
+    }
+  }
+  return deg;
+}
+
+std::vector<std::uint32_t> label_propagation(const EdgeList& edges,
+                                             std::uint32_t rounds) {
+  const UndirectedAdj g = undirected_adjacency(edges);
+  const VertexId n = edges.num_vertices();
+  std::vector<std::uint32_t> label(n), next(n);
+  for (VertexId v = 0; v < n; ++v) label[v] = v;
+  std::vector<std::uint32_t> scratch;
+  for (std::uint32_t it = 0; it < rounds; ++it) {
+    for (VertexId v = 0; v < n; ++v) {
+      const auto nb = g.neighbors(v);
+      if (nb.empty()) {
+        next[v] = label[v];
+        continue;
+      }
+      scratch.clear();
+      for (VertexId u : nb) scratch.push_back(label[u]);
+      std::sort(scratch.begin(), scratch.end());
+      // Most frequent label, ties toward the smallest (first run of any
+      // maximal length in the sorted order, kept by strict >).
+      std::uint32_t best = scratch[0], best_count = 0;
+      std::size_t i = 0;
+      while (i < scratch.size()) {
+        std::size_t j = i;
+        while (j < scratch.size() && scratch[j] == scratch[i]) ++j;
+        if (j - i > best_count) {
+          best_count = static_cast<std::uint32_t>(j - i);
+          best = scratch[i];
+        }
+        i = j;
+      }
+      next[v] = best;
+    }
+    label.swap(next);
+  }
+  return label;
+}
+
+std::vector<float> betweenness(const EdgeList& edges, VertexId source) {
+  const VertexId n = edges.num_vertices();
+  constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+  const std::vector<std::uint32_t> depth = bfs_depths(edges, source);
+  std::uint32_t max_depth = 0;
+  for (VertexId v = 0; v < n; ++v)
+    if (depth[v] != kUnreached) max_depth = std::max(max_depth, depth[v]);
+  std::vector<std::vector<VertexId>> levels(max_depth + 1);
+  for (VertexId v = 0; v < n; ++v)
+    if (depth[v] != kUnreached) levels[depth[v]].push_back(v);
+
+  // Forward: shortest-path counts, level-synchronous. Both Compressed
+  // orientations are stable counting sorts, so per-vertex slots appear
+  // in original edge order and the float sums below replicate the GAS
+  // engine's gather/accumulate order bitwise (including the identity
+  // 0.0f terms for not-yet-reached predecessors).
+  const Compressed csc = Compressed::by_destination(edges);
+  std::vector<float> sigma(n, 0.0f);
+  sigma[source] = 1.0f;
+  for (std::uint32_t d = 1; d <= max_depth; ++d) {
+    for (VertexId v : levels[d]) {
+      float acc = 0.0f;
+      const auto offs = csc.offsets();
+      for (EdgeId slot = offs[v]; slot < offs[v + 1]; ++slot) {
+        const VertexId u = csc.adjacency()[slot];
+        acc += depth[u] == d - 1 ? sigma[u] : 0.0f;
+      }
+      sigma[v] = acc;
+    }
+  }
+
+  // Backward: dependency accumulation, top level down.
+  const Compressed csr = Compressed::by_source(edges);
+  std::vector<float> delta(n, 0.0f);
+  for (std::uint32_t level = max_depth + 1; level-- > 0;) {
+    for (VertexId v : levels[level]) {
+      float acc = 0.0f;
+      const auto offs = csr.offsets();
+      for (EdgeId slot = offs[v]; slot < offs[v + 1]; ++slot) {
+        const VertexId w = csr.adjacency()[slot];
+        if (depth[w] == level + 1) acc += sigma[v] / sigma[w] * (1.0f + delta[w]);
+      }
+      delta[v] = acc;
+    }
+  }
+  return delta;
 }
 
 std::vector<bool> kcore_membership(const EdgeList& edges, std::uint32_t k) {

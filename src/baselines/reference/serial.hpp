@@ -53,4 +53,28 @@ std::vector<float> heat(const graph::EdgeList& edges,
 std::vector<bool> kcore_membership(const graph::EdgeList& edges,
                                    std::uint32_t k);
 
+/// Per-vertex triangle counts over the deduplicated undirected
+/// interpretation of the edges (self-loops dropped): counts[v] is the
+/// number of triangles whose smallest vertex is v, so the graph's
+/// triangle total is the plain sum. Matches gr::algo::Triangles.
+std::vector<std::uint64_t> triangle_counts(const graph::EdgeList& edges);
+
+/// Coreness (k-core number) per vertex via exact peeling over the same
+/// deduplicated undirected adjacency as triangle_counts.
+std::vector<std::uint32_t> coreness(const graph::EdgeList& edges);
+
+/// Synchronous (full-Jacobi) label propagation over the deduplicated
+/// undirected adjacency: `rounds` rounds of "take the most frequent
+/// neighbour label, ties toward the smallest", starting from label = id.
+/// Matches gr::algo::LabelProp round for round.
+std::vector<std::uint32_t> label_propagation(const graph::EdgeList& edges,
+                                             std::uint32_t rounds = 20);
+
+/// Brandes dependency scores from a single source (level-synchronous
+/// BFS variant): delta[v] = sum over shortest paths from `source`
+/// through v. Float accumulation visits edge slots in original
+/// edge-list order, matching gr::algo::run_bc bitwise.
+std::vector<float> betweenness(const graph::EdgeList& edges,
+                               graph::VertexId source);
+
 }  // namespace gr::baselines::reference

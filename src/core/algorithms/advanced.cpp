@@ -1,0 +1,148 @@
+#include "core/algorithms/advanced.hpp"
+
+#include <utility>
+
+#include "core/engine/phased_job.hpp"
+#include "util/common.hpp"
+
+namespace gr::algo {
+
+std::shared_ptr<const NeighborhoodOracle> build_neighborhood_oracle(
+    const graph::EdgeList& edges) {
+  const graph::VertexId n = edges.num_vertices();
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> pairs;
+  pairs.reserve(2 * edges.num_edges());
+  for (const graph::Edge& e : edges.edges()) {
+    if (e.src == e.dst) continue;  // self-loops never form neighborhoods
+    pairs.emplace_back(e.src, e.dst);
+    pairs.emplace_back(e.dst, e.src);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  auto oracle = std::make_shared<NeighborhoodOracle>();
+  oracle->offsets.assign(n + 1, 0);
+  oracle->adj.reserve(pairs.size());
+  for (const auto& [v, u] : pairs) {
+    ++oracle->offsets[v + 1];
+    oracle->adj.push_back(u);
+  }
+  for (graph::VertexId v = 0; v < n; ++v)
+    oracle->offsets[v + 1] += oracle->offsets[v];
+  return oracle;
+}
+
+std::shared_ptr<BcOracle> build_bc_oracle(const graph::EdgeList& edges) {
+  // Per-source CSR slots in original edge-list order (stable counting
+  // sort), matching the serial reference's accumulation order exactly.
+  const graph::VertexId n = edges.num_vertices();
+  auto oracle = std::make_shared<BcOracle>();
+  oracle->offsets.assign(n + 1, 0);
+  for (const graph::Edge& e : edges.edges()) ++oracle->offsets[e.src + 1];
+  for (graph::VertexId v = 0; v < n; ++v)
+    oracle->offsets[v + 1] += oracle->offsets[v];
+  oracle->adj.resize(edges.num_edges());
+  std::vector<graph::EdgeId> cursor(oracle->offsets.begin(),
+                                    oracle->offsets.end() - 1);
+  for (const graph::Edge& e : edges.edges())
+    oracle->adj[cursor[e.src]++] = e.dst;
+  return oracle;
+}
+
+DobfsResult run_dobfs(const graph::EdgeList& edges, graph::VertexId source,
+                      core::EngineOptions options) {
+  core::ProgramInstance<Dobfs> instance;
+  instance.init_vertex = [source](graph::VertexId v) {
+    return v == source ? 0u : Dobfs::kUnreached;
+  };
+  instance.frontier = core::InitialFrontier::single(source);
+  instance.default_max_iterations = edges.num_vertices() + 1;
+  core::Engine<Dobfs> engine(edges, std::move(instance), options);
+  DobfsResult result;
+  result.report = engine.run();
+  result.depth.assign(engine.vertex_values().begin(),
+                      engine.vertex_values().end());
+  return result;
+}
+
+TrianglesResult run_triangles(const graph::EdgeList& edges,
+                              core::EngineOptions options) {
+  core::ProgramInstance<Triangles> instance;
+  instance.init_vertex = [](graph::VertexId) { return std::uint64_t{0}; };
+  instance.frontier = core::InitialFrontier::all();
+  // The recompute is idempotent: iteration 0 computes every count (and
+  // is forced changed), iteration 1 verifies, the frontier empties.
+  instance.default_max_iterations = 4;
+  instance.user_context = build_neighborhood_oracle(edges);
+  core::Engine<Triangles> engine(edges, std::move(instance), options);
+  TrianglesResult result;
+  result.report = engine.run();
+  result.counts.assign(engine.vertex_values().begin(),
+                       engine.vertex_values().end());
+  return result;
+}
+
+CorenessResult run_coreness(const graph::EdgeList& edges,
+                            core::EngineOptions options) {
+  auto oracle = build_neighborhood_oracle(edges);
+  core::ProgramInstance<Coreness> instance;
+  instance.init_vertex = [oracle](graph::VertexId v) {
+    const std::uint32_t deg = oracle->degree(v);
+    return Coreness::Vertex{{deg, deg}};
+  };
+  instance.frontier = core::InitialFrontier::all();
+  // The h-index iteration strictly decreases some estimate until the
+  // fixpoint; estimates start <= n, so n + 2 rounds always suffice.
+  instance.default_max_iterations = edges.num_vertices() + 2;
+  instance.user_context = oracle;
+  core::Engine<Coreness> engine(edges, std::move(instance), options);
+  CorenessResult result;
+  result.report = engine.run();
+  result.coreness.reserve(edges.num_vertices());
+  // Converged vertices hold equal parity slots (the freeze invariant).
+  for (const Coreness::Vertex& v : engine.vertex_values())
+    result.coreness.push_back(v.est[0]);
+  return result;
+}
+
+LabelPropResult run_labelprop(const graph::EdgeList& edges,
+                              std::uint32_t rounds,
+                              core::EngineOptions options) {
+  GR_CHECK_MSG(rounds >= 1, "label propagation needs at least one round");
+  core::ProgramInstance<LabelProp> instance;
+  instance.init_vertex = [](graph::VertexId v) {
+    return LabelProp::Vertex{{v, v}};
+  };
+  instance.frontier = core::InitialFrontier::all();
+  instance.default_max_iterations = rounds;
+  instance.user_context = build_neighborhood_oracle(edges);
+  core::Engine<LabelProp> engine(edges, std::move(instance), options);
+  LabelPropResult result;
+  result.report = engine.run();
+  result.label.reserve(edges.num_vertices());
+  // A capped run's last writers used slot rounds % 2; early convergence
+  // leaves both slots equal, so the same projection covers both cases.
+  const std::uint32_t slot = rounds % 2;
+  for (const LabelProp::Vertex& v : engine.vertex_values())
+    result.label.push_back(v.lab[slot]);
+  return result;
+}
+
+BcResult run_bc(const graph::EdgeList& edges, graph::VertexId source,
+                core::EngineOptions options) {
+  // One code path: the standalone wrapper drives the same phased job the
+  // scheduler would.
+  core::EngineEnv env;
+  core::BcJob job(edges, source, options, env);
+  job.begin();
+  while (job.step()) {
+  }
+  BcResult result;
+  result.report = job.finish();
+  const core::ProgramRunResult run = job.result(0);
+  result.delta.reserve(run.values.size());
+  for (double d : run.values) result.delta.push_back(static_cast<float>(d));
+  return result;
+}
+
+}  // namespace gr::algo

@@ -1,0 +1,405 @@
+// Algorithms unlocked by the frontier-operator vocabulary (ROADMAP:
+// workload coverage beyond the paper's four): direction-optimizing BFS,
+// triangle counting, k-core decomposition (coreness), label propagation,
+// and betweenness centrality.
+//
+// Three structural patterns appear here that the classic four never
+// needed:
+//
+//   * pull operators — Dobfs adds `has_pull` + `pull_unvisited`, letting
+//     the engine substitute a pull iteration (scan unvisited vertices'
+//     in-edges against the frontier bitmap) for the push plan when the
+//     frontier is dense (Beamer's direction-optimizing switch);
+//
+//   * compute-operator programs with an adjacency oracle — triangles,
+//     coreness, and label propagation consume whole *neighborhoods*
+//     (intersection, h-index, mode), which GAS gather monoids cannot
+//     express. They read a precomputed NeighborhoodOracle through
+//     IterationContext::user and other vertices' values through
+//     IterationContext::vertices under a double-buffered (Jacobi)
+//     parity discipline, so results stay bitwise deterministic;
+//
+//   * phased programs — betweenness centrality is two chained runs
+//     (Brandes: a forward sigma/depth sweep, then a level-synchronous
+//     backward dependency accumulation) stitched together by BcJob
+//     (core/engine/phased_job.hpp).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/gas.hpp"
+#include "graph/edge_list.hpp"
+
+namespace gr::algo {
+
+using core::Empty;
+using core::IterationContext;
+
+// ---------------------------------------------------------------------
+// Adjacency oracles (ProgramInstance::user_context payloads).
+// ---------------------------------------------------------------------
+
+/// Deduplicated undirected neighborhoods: for every vertex, the sorted
+/// unique set of vertices sharing an edge with it in either direction,
+/// self-loops excluded. The shared substrate of the neighborhood
+/// algorithms (triangles / coreness / label propagation) *and* of their
+/// serial references, so "same neighborhood semantics" holds by
+/// construction.
+struct NeighborhoodOracle {
+  std::vector<graph::EdgeId> offsets;   // n + 1
+  std::vector<graph::VertexId> adj;     // sorted unique, no self-loops
+
+  std::span<const graph::VertexId> neighbors(graph::VertexId v) const {
+    return {adj.data() + offsets[v],
+            adj.data() + offsets[v + 1]};
+  }
+  std::uint32_t degree(graph::VertexId v) const {
+    return static_cast<std::uint32_t>(offsets[v + 1] - offsets[v]);
+  }
+};
+
+std::shared_ptr<const NeighborhoodOracle> build_neighborhood_oracle(
+    const graph::EdgeList& edges);
+
+/// Out-edge CSR for the betweenness backward sweep: per-source slots in
+/// original edge-list order (stable sort), so the backward float
+/// accumulation visits successors in exactly the order the serial
+/// reference does. `depth_levels` is stamped by BcJob after the forward
+/// phase (number of BFS levels, i.e. max finite depth + 1).
+struct BcOracle {
+  std::vector<graph::EdgeId> offsets;  // n + 1
+  std::vector<graph::VertexId> adj;    // one slot per edge (multigraph)
+  std::uint32_t depth_levels = 0;
+};
+
+std::shared_ptr<BcOracle> build_bc_oracle(const graph::EdgeList& edges);
+
+// ---------------------------------------------------------------------
+// Direction-optimizing BFS — the classic BFS program plus the pull
+// operator. Results are bitwise identical to plain "bfs" in every
+// direction mode; only the simulated schedule changes.
+// ---------------------------------------------------------------------
+
+struct Dobfs {
+  using VertexData = std::uint32_t;  // depth; ~0u = unreached
+  using EdgeData = Empty;
+  using GatherResult = Empty;
+  static constexpr bool has_gather = false;
+  static constexpr bool has_scatter = false;
+  static constexpr bool has_pull = true;
+  static constexpr VertexData kUnreached =
+      std::numeric_limits<VertexData>::max();
+
+  static bool apply(VertexData& depth, const GatherResult&,
+                    const IterationContext& ctx) {
+    if (depth != kUnreached) return false;
+    depth = ctx.iteration;
+    return true;
+  }
+  /// Pull iterations try to claim exactly the not-yet-reached vertices.
+  static bool pull_unvisited(const VertexData& depth) {
+    return depth == kUnreached;
+  }
+};
+
+struct DobfsResult {
+  std::vector<std::uint32_t> depth;
+  core::RunReport report;
+};
+
+DobfsResult run_dobfs(const graph::EdgeList& edges, graph::VertexId source,
+                      core::EngineOptions options = {});
+
+// ---------------------------------------------------------------------
+// Triangle counting — per-vertex forward-intersection counts over the
+// deduped undirected neighborhoods. count[v] sums, over each neighbor
+// u > v, the size of {w > u : w adjacent to both}, so every triangle
+// lands exactly once (at its smallest vertex, via its middle vertex).
+// A pure compute-operator program: apply is an idempotent recompute, so
+// the run converges in two iterations (the forced iteration-0 change
+// plus one verification round).
+// ---------------------------------------------------------------------
+
+struct Triangles {
+  using VertexData = std::uint64_t;  // triangles rooted at this vertex
+  using EdgeData = Empty;
+  using GatherResult = Empty;
+  static constexpr bool has_gather = false;
+  static constexpr bool has_scatter = false;
+
+  static bool apply(VertexData& count, const GatherResult&,
+                    const IterationContext& ctx) {
+    const auto* oracle = static_cast<const NeighborhoodOracle*>(ctx.user);
+    const auto* base = static_cast<const VertexData*>(ctx.vertices);
+    const auto v = static_cast<graph::VertexId>(&count - base);
+    const std::span<const graph::VertexId> nv = oracle->neighbors(v);
+    // Forward slice: neighbors strictly greater than v (sorted input).
+    const auto* fv = std::upper_bound(nv.data(), nv.data() + nv.size(), v);
+    const auto* fv_end = nv.data() + nv.size();
+    std::uint64_t total = 0;
+    for (const auto* u = fv; u != fv_end; ++u) {
+      const std::span<const graph::VertexId> nu = oracle->neighbors(*u);
+      const auto* fu =
+          std::upper_bound(nu.data(), nu.data() + nu.size(), *u);
+      const auto* fu_end = nu.data() + nu.size();
+      // Sorted-merge intersection of the two forward slices.
+      const auto* a = fv;
+      const auto* b = fu;
+      while (a != fv_end && b != fu_end) {
+        if (*a < *b) {
+          ++a;
+        } else if (*b < *a) {
+          ++b;
+        } else {
+          ++total;
+          ++a;
+          ++b;
+        }
+      }
+    }
+    const bool changed = total != count;
+    count = total;
+    return changed;
+  }
+};
+
+struct TrianglesResult {
+  /// counts[v] = triangles whose smallest vertex is v; total() sums them.
+  std::vector<std::uint64_t> counts;
+  core::RunReport report;
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : counts) sum += c;
+    return sum;
+  }
+};
+
+TrianglesResult run_triangles(const graph::EdgeList& edges,
+                              core::EngineOptions options = {});
+
+// ---------------------------------------------------------------------
+// k-core decomposition (coreness) — iterated h-index over the deduped
+// neighborhoods (Lü et al.): starting from est = degree, repeatedly
+// replace every vertex's estimate with the H-operator of its neighbors'
+// estimates; the fixpoint is exactly the coreness. Double-buffered
+// parity (est[iter % 2] read, est[(iter + 1) % 2] written) keeps the
+// cross-vertex reads Jacobi-deterministic; a changed vertex re-wakes
+// itself and both edge directions of its neighborhood.
+// ---------------------------------------------------------------------
+
+struct Coreness {
+  struct Vertex {
+    std::uint32_t est[2];  // Jacobi parity slots; equal once frozen
+  };
+  using VertexData = Vertex;
+  using EdgeData = Empty;
+  using GatherResult = Empty;
+  static constexpr bool has_gather = false;
+  static constexpr bool has_scatter = false;
+  static constexpr bool activates_self = true;
+  static constexpr bool activates_in_neighbors = true;
+
+  static bool apply(VertexData& v, const GatherResult&,
+                    const IterationContext& ctx) {
+    const auto* oracle = static_cast<const NeighborhoodOracle*>(ctx.user);
+    const auto* base = static_cast<const Vertex*>(ctx.vertices);
+    const auto id = static_cast<graph::VertexId>(&v - base);
+    const std::uint32_t r = ctx.iteration % 2;
+    const std::uint32_t w = (ctx.iteration + 1) % 2;
+    const std::uint32_t prev = v.est[r];
+    // H-operator: the largest h with at least h neighbors whose estimate
+    // is >= h. Monotone non-increasing from est = degree, so h <= prev.
+    std::uint32_t h = 0;
+    if (prev > 0) {
+      std::vector<std::uint32_t> at_least(prev + 1, 0);
+      for (graph::VertexId u : oracle->neighbors(id))
+        ++at_least[std::min(base[u].est[r], prev)];
+      std::uint32_t have = 0;
+      for (h = prev; h > 0; --h) {
+        have += at_least[h];
+        if (have >= h) break;
+      }
+    }
+    v.est[w] = h;
+    return h != prev;
+  }
+};
+
+struct CorenessResult {
+  std::vector<std::uint32_t> coreness;
+  core::RunReport report;
+};
+
+CorenessResult run_coreness(const graph::EdgeList& edges,
+                            core::EngineOptions options = {});
+
+// ---------------------------------------------------------------------
+// Label propagation (community detection flavor) — synchronous mode
+// relabeling over the deduped neighborhoods for a fixed number of
+// rounds: every vertex takes the most frequent label among its
+// neighbors, ties broken toward the smallest label. Oscillates on
+// bipartite structures, so the run is capped (default 20 rounds, even,
+// keeping the final value in parity slot 0) rather than run to a
+// fixpoint that may not exist.
+// ---------------------------------------------------------------------
+
+struct LabelProp {
+  struct Vertex {
+    std::uint32_t lab[2];  // Jacobi parity slots; equal once frozen
+  };
+  using VertexData = Vertex;
+  using EdgeData = Empty;
+  using GatherResult = Empty;
+  static constexpr bool has_gather = false;
+  static constexpr bool has_scatter = false;
+  static constexpr bool activates_self = true;
+  static constexpr bool activates_in_neighbors = true;
+  static constexpr std::uint32_t kDefaultRounds = 20;  // even (see above)
+
+  static bool apply(VertexData& v, const GatherResult&,
+                    const IterationContext& ctx) {
+    const auto* oracle = static_cast<const NeighborhoodOracle*>(ctx.user);
+    const auto* base = static_cast<const Vertex*>(ctx.vertices);
+    const auto id = static_cast<graph::VertexId>(&v - base);
+    const std::uint32_t r = ctx.iteration % 2;
+    const std::uint32_t w = (ctx.iteration + 1) % 2;
+    const std::span<const graph::VertexId> nb = oracle->neighbors(id);
+    std::uint32_t next = v.lab[r];
+    if (!nb.empty()) {
+      std::vector<std::uint32_t> labels;
+      labels.reserve(nb.size());
+      for (graph::VertexId u : nb) labels.push_back(base[u].lab[r]);
+      std::sort(labels.begin(), labels.end());
+      // Longest run wins; the scan over sorted labels reaches the
+      // smallest label of any tied frequency first and strict > keeps it.
+      std::uint32_t best = labels[0], best_count = 0;
+      std::size_t i = 0;
+      while (i < labels.size()) {
+        std::size_t j = i;
+        while (j < labels.size() && labels[j] == labels[i]) ++j;
+        if (j - i > best_count) {
+          best_count = static_cast<std::uint32_t>(j - i);
+          best = labels[i];
+        }
+        i = j;
+      }
+      next = best;
+    }
+    const bool changed = next != v.lab[r];
+    v.lab[w] = next;
+    return changed;
+  }
+};
+
+struct LabelPropResult {
+  std::vector<std::uint32_t> label;
+  core::RunReport report;
+};
+
+LabelPropResult run_labelprop(const graph::EdgeList& edges,
+                              std::uint32_t rounds = LabelProp::kDefaultRounds,
+                              core::EngineOptions options = {});
+
+// ---------------------------------------------------------------------
+// Betweenness centrality (Brandes, single source) — two chained phases.
+//
+// Forward: a pure GAS gather program. An unreached vertex claimed at
+// iteration d sums sigma over its in-edges; every reached in-neighbor
+// at that moment is provably at depth d - 1 (any shallower one would
+// have claimed it earlier), so the sum is exactly the Brandes
+// shortest-path count. Gather passes complete over all shards before
+// any apply runs, so the accumulation reads a clean previous-iteration
+// snapshot.
+//
+// Backward: a level-synchronous compute sweep. With D = depth_levels,
+// iteration j processes level D - 1 - j: each vertex at that level
+// accumulates sigma_v / sigma_w * (1 + delta_w) over its out-edges to
+// depth-(level + 1) successors. Level-L vertices only read deltas
+// written at the previous iteration (level L + 1), so the cross-vertex
+// reads need no parity buffering.
+// ---------------------------------------------------------------------
+
+struct BcForward {
+  struct Vertex {
+    std::uint32_t depth;  // ~0u = unreached
+    float sigma;          // shortest-path count; final once depth is set
+  };
+  using VertexData = Vertex;
+  using EdgeData = Empty;
+  using GatherResult = float;
+  static constexpr bool has_gather = true;
+  static constexpr bool has_scatter = false;
+  static constexpr std::uint32_t kUnreached =
+      std::numeric_limits<std::uint32_t>::max();
+
+  static GatherResult gather_identity() { return 0.0f; }
+  static GatherResult gather_map(const VertexData& src, const VertexData&,
+                                 const EdgeData&) {
+    return src.depth != kUnreached ? src.sigma : 0.0f;
+  }
+  static GatherResult gather_reduce(const GatherResult& a,
+                                    const GatherResult& b) {
+    return a + b;
+  }
+  static bool apply(VertexData& v, const GatherResult& sum,
+                    const IterationContext& ctx) {
+    if (v.depth != kUnreached || sum <= 0.0f) return false;
+    v.depth = ctx.iteration;
+    v.sigma = sum;
+    return true;
+  }
+};
+
+struct BcBackward {
+  struct Vertex {
+    std::uint32_t depth;  // copied from the forward phase
+    float sigma;
+    float delta;          // Brandes dependency, written once per vertex
+  };
+  using VertexData = Vertex;
+  using EdgeData = Empty;
+  using GatherResult = Empty;
+  static constexpr bool has_gather = false;
+  static constexpr bool has_scatter = false;
+  static constexpr bool activates_self = true;
+
+  static bool apply(VertexData& v, const GatherResult&,
+                    const IterationContext& ctx) {
+    const auto* oracle = static_cast<const BcOracle*>(ctx.user);
+    if (ctx.iteration >= oracle->depth_levels) return false;
+    const auto* base = static_cast<const Vertex*>(ctx.vertices);
+    const auto id = static_cast<graph::VertexId>(&v - base);
+    const std::uint32_t level = oracle->depth_levels - 1 - ctx.iteration;
+    if (v.depth == level) {
+      float acc = 0.0f;
+      for (graph::EdgeId slot = oracle->offsets[id];
+           slot < oracle->offsets[id + 1]; ++slot) {
+        const Vertex& succ = base[oracle->adj[slot]];
+        if (succ.depth == v.depth + 1)
+          acc += v.sigma / succ.sigma * (1.0f + succ.delta);
+      }
+      v.delta = acc;
+    }
+    return true;  // the whole graph marches down one level per iteration
+  }
+};
+
+struct BcResult {
+  /// delta[v] = the Brandes dependency recurrence's value at v
+  /// (unreached vertices hold 0; the source's slot is computed by the
+  /// same recurrence, as Brandes does before discarding it).
+  std::vector<float> delta;
+  core::RunReport report;
+};
+
+BcResult run_bc(const graph::EdgeList& edges, graph::VertexId source,
+                core::EngineOptions options = {});
+
+}  // namespace gr::algo

@@ -4,8 +4,10 @@
 #include <limits>
 #include <vector>
 
+#include "core/algorithms/advanced.hpp"
 #include "core/algorithms/algorithms.hpp"
 #include "core/algorithms/fused.hpp"
+#include "core/engine/phased_job.hpp"
 #include "core/engine/register_gas.hpp"
 
 namespace gr::algo {
@@ -99,6 +101,133 @@ core::GasRegistration<ConnectedComponents> cc_registration() {
     return static_cast<double>(label);
   };
   return reg;
+}
+
+core::GasRegistration<Dobfs> dobfs_registration() {
+  core::GasRegistration<Dobfs> reg;
+  reg.name = "dobfs";
+  reg.description =
+      "direction-optimizing BFS from spec.source (honors "
+      "EngineOptions::direction: push, pull, or the Beamer auto switch); "
+      "values are bitwise identical to 'bfs' in every mode";
+  reg.make_instance = [](const graph::EdgeList& edges,
+                         const core::ProgramSpec& spec) {
+    core::ProgramInstance<Dobfs> instance;
+    const graph::VertexId source = spec.source;
+    instance.init_vertex = [source](graph::VertexId v) {
+      return v == source ? 0u : Dobfs::kUnreached;
+    };
+    instance.frontier = core::InitialFrontier::single(source);
+    instance.default_max_iterations = edges.num_vertices() + 1;
+    return instance;
+  };
+  reg.project = [](const Dobfs::VertexData& depth) {
+    return static_cast<double>(depth);
+  };
+  return reg;
+}
+
+core::GasRegistration<Triangles> triangles_registration() {
+  core::GasRegistration<Triangles> reg;
+  reg.name = "triangles";
+  reg.description =
+      "per-vertex triangle counts (forward intersection over deduplicated "
+      "undirected neighborhoods; sum the values for the graph total)";
+  reg.make_instance = [](const graph::EdgeList& edges,
+                         const core::ProgramSpec&) {
+    core::ProgramInstance<Triangles> instance;
+    instance.init_vertex = [](graph::VertexId) { return std::uint64_t{0}; };
+    instance.frontier = core::InitialFrontier::all();
+    instance.default_max_iterations = 4;
+    instance.user_context = build_neighborhood_oracle(edges);
+    return instance;
+  };
+  reg.project = [](const Triangles::VertexData& count) {
+    return static_cast<double>(count);
+  };
+  return reg;
+}
+
+core::GasRegistration<Coreness> coreness_registration() {
+  core::GasRegistration<Coreness> reg;
+  reg.name = "coreness";
+  reg.description =
+      "k-core numbers by iterated h-index over deduplicated undirected "
+      "neighborhoods";
+  reg.make_instance = [](const graph::EdgeList& edges,
+                         const core::ProgramSpec&) {
+    auto oracle = build_neighborhood_oracle(edges);
+    core::ProgramInstance<Coreness> instance;
+    instance.init_vertex = [oracle](graph::VertexId v) {
+      const std::uint32_t deg = oracle->degree(v);
+      return Coreness::Vertex{{deg, deg}};
+    };
+    instance.frontier = core::InitialFrontier::all();
+    instance.default_max_iterations = edges.num_vertices() + 2;
+    instance.user_context = oracle;
+    return instance;
+  };
+  reg.project = [](const Coreness::VertexData& v) {
+    return static_cast<double>(v.est[0]);
+  };
+  return reg;
+}
+
+core::GasRegistration<LabelProp> labelprop_registration() {
+  core::GasRegistration<LabelProp> reg;
+  reg.name = "labelprop";
+  reg.description =
+      "synchronous label propagation (most frequent neighbor label, ties "
+      "toward the smallest; 20 rounds by default, override via "
+      "spec.max_iterations)";
+  reg.make_instance = [](const graph::EdgeList& edges,
+                         const core::ProgramSpec&) {
+    core::ProgramInstance<LabelProp> instance;
+    instance.init_vertex = [](graph::VertexId v) {
+      return LabelProp::Vertex{{v, v}};
+    };
+    instance.frontier = core::InitialFrontier::all();
+    instance.default_max_iterations = LabelProp::kDefaultRounds;
+    instance.user_context = build_neighborhood_oracle(edges);
+    return instance;
+  };
+  // The capped run's last writers used slot (rounds % 2); converged
+  // vertices hold equal slots. The registry projection assumes an even
+  // round count (the default; see run_labelprop for arbitrary counts).
+  reg.project = [](const LabelProp::VertexData& v) {
+    return static_cast<double>(v.lab[0]);
+  };
+  return reg;
+}
+
+// Betweenness centrality is a phased job (forward sigma run + backward
+// dependency run), so its handle is hand-rolled around BcJob rather
+// than going through register_gas_program: run() drives the same job
+// the scheduler would, keeping one code path.
+core::ProgramHandle bc_handle() {
+  core::ProgramHandle handle;
+  handle.name = "bc";
+  handle.description =
+      "single-source betweenness dependencies (Brandes): forward "
+      "sigma/depth phase chained into a level-synchronous backward sweep";
+  handle.run = [](const graph::EdgeList& edges, const core::ProgramSpec& spec,
+                  const core::EngineOptions& options) {
+    core::EngineEnv env;
+    core::BcJob job(edges, spec.source, options, env);
+    job.begin();
+    while (job.step()) {
+    }
+    job.finish();
+    return job.result(0);
+  };
+  handle.make_job = [](const graph::EdgeList& edges,
+                       const core::ProgramSpec& spec,
+                       const core::EngineOptions& options,
+                       const core::EngineEnv& env)
+      -> std::unique_ptr<core::EngineJob> {
+    return std::make_unique<core::BcJob>(edges, spec.source, options, env);
+  };
+  return handle;
 }
 
 // Fused multi-source variants (core/algorithms/fused.hpp): one run
@@ -195,10 +324,17 @@ void register_builtin_programs() {
   core::register_gas_program(sssp_registration());
   core::register_gas_program(pagerank_registration());
   core::register_gas_program(cc_registration());
+  core::register_gas_program(dobfs_registration());
+  core::register_gas_program(triangles_registration());
+  core::register_gas_program(coreness_registration());
+  core::register_gas_program(labelprop_registration());
+  core::ProgramRegistry::global().add(bc_handle());
   core::register_fused_gas_program(fused_bfs_registration<4>());
   core::register_fused_gas_program(fused_bfs_registration<16>());
+  core::register_fused_gas_program(fused_bfs_registration<64>());
   core::register_fused_gas_program(fused_sssp_registration<4>());
   core::register_fused_gas_program(fused_sssp_registration<16>());
+  core::register_fused_gas_program(fused_sssp_registration<64>());
 }
 
 }  // namespace gr::algo

@@ -47,8 +47,19 @@ EngineCore::EngineCore(const graph::EdgeList& edges,
   options_.validate();
   transfer_policy_ = parse_transfer_policy(options_.transfer_policy);
   plan_ = make_phase_plan(footprint_.has_gather, footprint_.has_scatter,
-                          footprint_.has_edge_state, options_.phase_fusion);
-  uses_in_edges_ = plan_.uses_in_edges();
+                          footprint_.has_edge_state, options_.phase_fusion,
+                          footprint_.activates_in_neighbors);
+  // Pull-capable programs stream in-topology even when the push plan
+  // alone would not (direction == "auto" may pull on any iteration).
+  // Asking a push-only program to pull is a configuration error, not a
+  // silent no-op.
+  GR_CHECK_MSG(footprint_.has_pull || options_.direction == "push",
+               "EngineOptions: direction '" << options_.direction
+               << "' requires a pull operator, which this program "
+                  "does not define");
+  pull_capable_ = footprint_.has_pull && options_.direction != "push";
+  pull_pass_ = make_pull_pass();
+  uses_in_edges_ = plan_.uses_in_edges() || pull_capable_;
   // Size the shared functional-execution pool before any parallel work
   // (partitioning below already uses it). Wall-clock only: results and
   // simulated timings are identical for any thread count.
@@ -225,6 +236,7 @@ void EngineCore::initialize(const graph::EdgeList& edges,
   }
   cache_.configure(residency_);
   frontier_ = std::make_unique<FrontierManager>(*graph_);
+  if (pull_capable_) frontier_->enable_visited_tracking();
   initialized_ = true;
 }
 
@@ -473,7 +485,8 @@ std::uint64_t EngineCore::shard_group_bytes(std::uint32_t p,
 
 void EngineCore::process_pass(ProgramHooks& hooks, const Pass& pass,
                               std::uint32_t iteration,
-                              std::span<const std::uint32_t> active_shards) {
+                              std::span<const std::uint32_t> active_shards,
+                              bool pull) {
   vgpu::Device& dev = *device_;
   // The buffer groups this pass moves (mirrors what upload_shard would
   // have streamed; phase elimination already shaped the pass).
@@ -484,8 +497,11 @@ void EngineCore::process_pass(ProgramHooks& hooks, const Pass& pass,
   if (pass.needs_out_edges) requested |= kGroupOutTopology;
 
   for (std::uint32_t p : active_shards) {
-    const ShardWork work = plan_shard_work(*graph_, *frontier_,
-                                           options_.frontier_management, p);
+    const ShardWork work =
+        pull ? plan_pull_shard_work(*graph_, *frontier_,
+                                    options_.frontier_management, p)
+             : plan_shard_work(*graph_, *frontier_,
+                               options_.frontier_management, p);
     // Transfer-strategy decision before the visit commits: the chooser
     // sees the load begin_visit will produce (requested minus the cached
     // valid groups) plus the cache's admission answer, all pure host
@@ -620,20 +636,38 @@ void EngineCore::run_iteration(ProgramHooks& hooks, std::uint32_t iteration,
   // Shard schedule for this iteration (§5.2). The cache learns the
   // activity bits up front: frontier-active shards are guaranteed to be
   // revisited this iteration, so they are the last candidates to evict.
-  TransferPlan transfer = build_transfer_plan(
-      partitions_, *frontier_, options_.frontier_management);
+  // Pull iterations cull by pull work instead: a fully-visited shard
+  // with no frontier vertices could neither stamp nor claim anything.
+  TransferPlan transfer =
+      pull_iter_ ? build_pull_transfer_plan(partitions_, *frontier_,
+                                            options_.frontier_management)
+                 : build_transfer_plan(partitions_, *frontier_,
+                                       options_.frontier_management);
   cache_.begin_iteration(transfer.active_shards);
   for_observers(
       [&](ExecutionObserver& o) { o.on_transfer_plan(iteration, transfer); });
 
   const ShardCacheStats cache_before = cache_.stats();
   const std::uint64_t saved_before = bytes_h2d_saved_;
-  for (const Pass& pass : plan_.passes) {
+  if (pull_iter_) {
+    // Direction-optimizing pull: one in-edge pass replaces the whole
+    // push plan (apply stamps the frontier, pullAdvance claims the
+    // unvisited complement). Out-topology never moves.
     for_observers(
-        [&](ExecutionObserver& o) { o.on_pass_begin(pass, iteration); });
-    process_pass(hooks, pass, iteration, transfer.active_shards);
+        [&](ExecutionObserver& o) { o.on_pass_begin(pull_pass_, iteration); });
+    process_pass(hooks, pull_pass_, iteration, transfer.active_shards,
+                 /*pull=*/true);
     for_observers(
-        [&](ExecutionObserver& o) { o.on_pass_end(pass, iteration); });
+        [&](ExecutionObserver& o) { o.on_pass_end(pull_pass_, iteration); });
+  } else {
+    for (const Pass& pass : plan_.passes) {
+      for_observers(
+          [&](ExecutionObserver& o) { o.on_pass_begin(pass, iteration); });
+      process_pass(hooks, pass, iteration, transfer.active_shards,
+                   /*pull=*/false);
+      for_observers(
+          [&](ExecutionObserver& o) { o.on_pass_end(pass, iteration); });
+    }
   }
   const ShardCacheStats& cache_after = cache_.stats();
   transfer.cache_hits = cache_after.group_hits - cache_before.group_hits;
@@ -643,14 +677,29 @@ void EngineCore::run_iteration(ProgramHooks& hooks, std::uint32_t iteration,
       cache_after.evictions - cache_before.evictions;
 
   // Feedback to the Data Movement Engine: pull the next frontier bitmap.
-  dev.memcpy_d2h(dev.default_stream(), frontier_->next_bits().data(),
-                 frontier_next_device(), n);
+  // Pull iterations ship only the scheduled shards' interval slices —
+  // a culled shard has no frontier activity, so the D2H feedback stops
+  // paying for its bytes (the TransferPlan culling threaded through the
+  // downlink). The host bitmap is pre-cleared so culled slices read 0.
+  if (pull_iter_) {
+    std::span<std::uint8_t> next = frontier_->next_bits();
+    std::fill(next.begin(), next.end(), 0);
+    for (std::uint32_t p : transfer.active_shards) {
+      const Interval iv = graph_->shard(p).interval;
+      dev.memcpy_d2h(dev.default_stream(), next.data() + iv.begin,
+                     frontier_next_device() + iv.begin, iv.size());
+    }
+  } else {
+    dev.memcpy_d2h(dev.default_stream(), frontier_->next_bits().data(),
+                   frontier_next_device(), n);
+  }
   dev.synchronize();
   frontier_flip_ = 1 - frontier_flip_;
 
   IterationStats stats;
   stats.iteration = iteration;
   stats.active_vertices = frontier_->active_vertices();
+  stats.pull = pull_iter_;
   stats.shards_processed = transfer.processed();
   stats.shards_skipped = transfer.skipped;
   stats.cache_hits = transfer.cache_hits;
@@ -659,6 +708,28 @@ void EngineCore::run_iteration(ProgramHooks& hooks, std::uint32_t iteration,
   stats.bytes_h2d_saved = bytes_h2d_saved_ - saved_before;
   report.history.push_back(stats);
   for_observers([&](ExecutionObserver& o) { o.on_iteration_end(stats); });
+}
+
+bool EngineCore::decide_pull() {
+  if (!pull_capable_) return false;
+  if (options_.direction == "pull") return true;
+  // Beamer direction-optimizing hysteresis: switch to pull when the
+  // frontier's out-edge expansion exceeds the unvisited in-edge scan by
+  // the alpha margin; back to push when the frontier has shrunk below
+  // n / beta. Pure host arithmetic over frontier aggregates — deciding
+  // never touches the simulated timeline.
+  constexpr double kAlpha = 14.0;
+  constexpr double kBeta = 24.0;
+  if (pulling_) {
+    if (static_cast<double>(frontier_->active_vertices()) <
+        static_cast<double>(graph_->num_vertices()) / kBeta)
+      pulling_ = false;
+  } else {
+    if (static_cast<double>(frontier_->active_out_edges()) >
+        static_cast<double>(frontier_->unvisited_in_edges()) / kAlpha)
+      pulling_ = true;
+  }
+  return pulling_;
 }
 
 void EngineCore::begin_run(ProgramHooks& hooks, const InitialFrontier& seed,
@@ -683,6 +754,7 @@ void EngineCore::begin_run(ProgramHooks& hooks, const InitialFrontier& seed,
     obs::ObservabilityConfig obs_config;
     obs_config.trace_out = options_.trace_out;
     obs_config.metrics_out = options_.metrics_out;
+    obs_config.metrics_stream_out = options_.metrics_stream_out;
     obs_config.summary = options_.profile_summary;
     obs_config.track_prefix = env_.track_prefix;
     if (obs_config.enabled()) {
@@ -740,6 +812,7 @@ bool EngineCore::step(ProgramHooks& hooks) {
   for_observers([&](ExecutionObserver& o) {
     o.on_iteration_begin(iteration_, frontier_->active_vertices());
   });
+  pull_iter_ = decide_pull();
   run_iteration(hooks, iteration_, report_);
   // Per-iteration host scheduling overhead (frontier scan + shard
   // schedule construction on the driver thread).

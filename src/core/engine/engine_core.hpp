@@ -164,6 +164,9 @@ class EngineCore : util::NonCopyable {
   /// run/iteration/pass/shard boundary. Pass nullptr to detach. The
   /// observer must outlive the run.
   void set_observer(ExecutionObserver* observer) { observer_ = observer; }
+  /// The currently attached external observer (nullptr when detached).
+  /// Multi-phase jobs hand the observer from one core to the next.
+  ExecutionObserver* observer() const { return observer_; }
 
   /// The run's observability bundle (trace/metrics/profiler), built by
   /// run() when EngineOptions::trace_out / metrics_out /
@@ -256,7 +259,12 @@ class EngineCore : util::NonCopyable {
                      RunReport& report);
   void process_pass(ProgramHooks& hooks, const Pass& pass,
                     std::uint32_t iteration,
-                    std::span<const std::uint32_t> active_shards);
+                    std::span<const std::uint32_t> active_shards,
+                    bool pull);
+  /// Per-iteration direction decision (direction-optimizing traversal):
+  /// false for push-only programs or direction == "push"; the Beamer
+  /// alpha/beta hysteresis under "auto". Driver thread, host state only.
+  bool decide_pull();
   /// copy_to_slot back-halves for non-explicit visits.
   void copy_modeled(SlotLane& lane, void* device_dst, const void* host_src,
                     std::uint64_t bytes);
@@ -284,6 +292,14 @@ class EngineCore : util::NonCopyable {
   ProgramFootprint footprint_;
   PhasePlan plan_;
   bool uses_in_edges_ = false;
+  /// Direction-optimizing traversal state: the pull pass substituted for
+  /// the push plan on pull iterations, whether this program/options pair
+  /// can pull at all, this iteration's decision, and the hysteresis bit
+  /// of the Beamer auto switch.
+  Pass pull_pass_;
+  bool pull_capable_ = false;
+  bool pull_iter_ = false;
+  bool pulling_ = false;
 
   /// Non-null only when this core owns its device (default EngineEnv);
   /// device_ below is the working pointer either way.

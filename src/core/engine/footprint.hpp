@@ -25,6 +25,14 @@ struct ProgramFootprint {
   bool has_gather = false;
   bool has_scatter = false;
   bool has_edge_state = false;
+  /// Direction-optimizing program: the engine may substitute pull
+  /// iterations (apply + pullAdvance over in-edges) and must keep the
+  /// in-topology slot buffers allocated even when the push plan never
+  /// requests them.
+  bool has_pull = false;
+  /// Changed vertices re-activate their in-neighbors too (undirected
+  /// Jacobi fixpoints); the update pass then needs in-topology.
+  bool activates_in_neighbors = false;
 };
 
 }  // namespace gr::core

@@ -1,9 +1,15 @@
 // The Compute Engine's kernel bodies — the only place user device
-// functions (gather_map / gather_reduce / apply / scatter) are invoked.
+// functions (gather_map / gather_reduce / apply / scatter / pull) are
+// invoked.
 //
-// The hybrid programming model (§3.1) is visible in the kernel shapes:
-// gatherMap / scatter / frontierActivate are edge-centric (one logical
-// thread per edge), gatherReduce / apply are vertex-centric.
+// Every kernel is an instance of the FrontierOperators vocabulary
+// (core/frontier_ops.hpp): gatherMap / gatherReduce / scatter /
+// frontierActivate / pullAdvance are *advance* operators (their SMX cost
+// is charged in load-balanced edge chunks, their execution splits blocks
+// by the degree prefix sum), and apply is a fused *filter+compute*
+// (vertex-parallel over the frontier survivors). The per-shard vertex
+// loops of the original engine are gone: a high-degree frontier vertex
+// costs ceil(degree / chunk) chunk launches, not one serialized thread.
 //
 // Kernels execute functionally against device-resident buffers — the
 // data a kernel reads really did travel through the simulated PCIe
@@ -13,6 +19,7 @@
 #include <atomic>
 
 #include "core/engine/typed_state.hpp"
+#include "core/frontier_ops.hpp"
 
 namespace gr::core {
 
@@ -36,14 +43,13 @@ void TypedProgramState<P>::enqueue_kernels(const Pass& pass, std::uint32_t p,
     switch (kernel) {
       case PhaseKernel::kGatherMap: {
         if constexpr (GatherProgram<P>) {
-          vgpu::KernelCost cost;
-          cost.threads = work.active_in_edges;
-          cost.flops_per_thread = detail::kUserFlops;
-          cost.sequential_bytes =
-              work.active_in_edges *
-              (sizeof(graph::VertexId) + sizeof(GatherResult) +
-               (kHasEdgeState ? sizeof(EdgeData) : 0));
-          cost.random_accesses = work.active_in_edges;  // src vertex reads
+          // advance over the frontier's in-edges: one gather_map per edge
+          // plus a random source-vertex read.
+          const vgpu::KernelCost cost = ops::advance_cost(
+              work.active_vertices, work.active_in_edges, detail::kUserFlops,
+              sizeof(graph::VertexId) + sizeof(GatherResult) +
+                  (kHasEdgeState ? sizeof(EdgeData) : 0),
+              /*random_per_edge=*/1.0);
           dev.launch(*lane.stream, cost, [this, &slot, iv, d_cur] {
             const graph::EdgeId* off = slot.in_offsets.data();
             const graph::VertexId* src = slot.in_src.data();
@@ -51,21 +57,17 @@ void TypedProgramState<P>::enqueue_kernels(const Pass& pass, std::uint32_t p,
             GatherResult* temp = slot.gather_temp.data();
             const VertexData* vv = d_vertex_.data();
             static constexpr EdgeData kNoState{};
-            // Edge-centric: each vertex owns its temp[e] slots, so blocks
-            // split by edge weight write disjoint ranges.
-            parallel_for_weighted(
-                off, iv.size(), kEdgeGrain,
-                [&](std::size_t lo, std::size_t hi) {
-                  for (std::size_t lv = lo; lv < hi; ++lv) {
-                    const graph::VertexId gv =
-                        iv.begin + static_cast<graph::VertexId>(lv);
-                    if (!d_cur[gv]) continue;
-                    for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e) {
-                      temp[e] = P::gather_map(
-                          vv[src[e]], vv[gv],
-                          kHasEdgeState ? estate[e] : kNoState);
-                    }
-                  }
+            // Each vertex owns its temp[e] slots, so the weighted blocks
+            // write disjoint ranges.
+            ops::advance_edges(
+                off, iv.size(),
+                [&](std::size_t lv) { return d_cur[iv.begin + lv] != 0; },
+                [&](std::size_t lv, graph::EdgeId e) {
+                  const graph::VertexId gv =
+                      iv.begin + static_cast<graph::VertexId>(lv);
+                  temp[e] = P::gather_map(vv[src[e]], vv[gv],
+                                          kHasEdgeState ? estate[e]
+                                                        : kNoState);
                 });
           });
         }
@@ -73,105 +75,98 @@ void TypedProgramState<P>::enqueue_kernels(const Pass& pass, std::uint32_t p,
       }
       case PhaseKernel::kGatherReduce: {
         if constexpr (GatherProgram<P>) {
-          vgpu::KernelCost cost;
-          cost.threads = work.active_vertices;
-          cost.flops_per_thread = detail::kUserFlops;
-          cost.sequential_bytes =
-              work.active_in_edges * sizeof(GatherResult) +
+          // Segmented advance: each surviving vertex reduces its own temp
+          // slots in ascending edge order regardless of blocking, so
+          // floating-point reductions are bitwise identical at any worker
+          // count.
+          vgpu::KernelCost cost = ops::advance_cost(
+              work.active_vertices, work.active_in_edges, detail::kUserFlops,
+              sizeof(GatherResult));
+          cost.sequential_bytes +=
               work.active_vertices * sizeof(GatherResult);
           dev.launch(*lane.stream, cost, [this, &slot, iv, d_cur] {
             const graph::EdgeId* off = slot.in_offsets.data();
             const GatherResult* temp = slot.gather_temp.data();
             GatherResult* out = d_gather_.data();
-            // Each vertex reduces its own temp slots in ascending edge
-            // order regardless of blocking, so floating-point reductions
-            // are bitwise identical at any worker count.
-            parallel_for_weighted(
-                off, iv.size(), kEdgeGrain,
-                [&](std::size_t lo, std::size_t hi) {
-                  for (std::size_t lv = lo; lv < hi; ++lv) {
-                    const graph::VertexId gv =
-                        iv.begin + static_cast<graph::VertexId>(lv);
-                    if (!d_cur[gv]) continue;
-                    GatherResult acc = P::gather_identity();
-                    for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e)
-                      acc = P::gather_reduce(acc, temp[e]);
-                    out[gv] = acc;
-                  }
+            ops::advance_segments(
+                off, iv.size(),
+                [&](std::size_t lv) { return d_cur[iv.begin + lv] != 0; },
+                [&](std::size_t lv, graph::EdgeId begin, graph::EdgeId end) {
+                  const graph::VertexId gv =
+                      iv.begin + static_cast<graph::VertexId>(lv);
+                  GatherResult acc = P::gather_identity();
+                  for (graph::EdgeId e = begin; e < end; ++e)
+                    acc = P::gather_reduce(acc, temp[e]);
+                  out[gv] = acc;
                 });
           });
         }
         break;
       }
       case PhaseKernel::kApply: {
-        vgpu::KernelCost cost;
-        cost.threads = work.active_vertices;
-        cost.flops_per_thread = detail::kUserFlops;
-        cost.sequential_bytes =
-            work.active_vertices *
-            (sizeof(VertexData) * 2 + sizeof(GatherResult) + 2);
+        // filter (frontier bit) + compute (user apply), vertex-parallel.
+        const vgpu::KernelCost cost = ops::compute_cost(
+            work.active_vertices, detail::kUserFlops,
+            sizeof(VertexData) * 2 + sizeof(GatherResult) + 2);
         std::uint8_t* changed = core_.changed_device();
         dev.launch(*lane.stream, cost, [this, iv, d_cur, changed, iteration] {
           VertexData* vv = d_vertex_.data();
-          const IterationContext ctx{iteration};
-          // Vertex-centric with only per-vertex writes: uniform blocks.
-          util::parallel_for_blocks(
-              0, iv.size(), kVertexGrain,
-              [&](std::size_t lo, std::size_t hi) {
-                for (std::size_t lv = lo; lv < hi; ++lv) {
-                  const graph::VertexId gv =
-                      iv.begin + static_cast<graph::VertexId>(lv);
-                  if (!d_cur[gv]) continue;
-                  GatherResult r{};
-                  if constexpr (P::has_gather) r = d_gather_[gv];
-                  bool ch = P::apply(vv[gv], r, ctx);
-                  // The seed frontier always propagates (iteration 0).
-                  if (iteration == 0) ch = true;
-                  changed[gv] = ch ? 1 : 0;
-                }
+          const IterationContext ctx{iteration, instance_.user_context.get(),
+                                     d_vertex_.data()};
+          ops::compute_vertices(
+              iv.size(),
+              [&](std::size_t lv) { return d_cur[iv.begin + lv] != 0; },
+              [&](std::size_t lv) {
+                const graph::VertexId gv =
+                    iv.begin + static_cast<graph::VertexId>(lv);
+                GatherResult r{};
+                if constexpr (P::has_gather) r = d_gather_[gv];
+                bool ch = P::apply(vv[gv], r, ctx);
+                // The seed frontier always propagates (iteration 0).
+                if (iteration == 0) ch = true;
+                changed[gv] = ch ? 1 : 0;
               });
         });
         break;
       }
       case PhaseKernel::kScatter: {
         if constexpr (ScatterProgram<P>) {
-          vgpu::KernelCost cost;
-          cost.threads = work.active_out_edges;
-          cost.flops_per_thread = detail::kUserFlops;
-          cost.sequential_bytes =
-              work.active_out_edges * (2 * sizeof(EdgeData) + 1);
+          // advance over the changed set's out-edges.
+          const vgpu::KernelCost cost = ops::advance_cost(
+              work.active_vertices, work.active_out_edges, detail::kUserFlops,
+              2 * sizeof(EdgeData) + 1);
           const std::uint8_t* changed = core_.changed_device();
           dev.launch(*lane.stream, cost, [this, &slot, iv, changed] {
             const graph::EdgeId* off = slot.out_offsets.data();
             EdgeData* state = slot.scatter_state.data();
             std::uint8_t* touched = slot.scatter_touched.data();
             const VertexData* vv = d_vertex_.data();
-            // Each vertex owns its out-edge state/touched slots: blocks
-            // split by out-edge weight write disjoint ranges.
-            parallel_for_weighted(
-                off, iv.size(), kEdgeGrain,
-                [&](std::size_t lo, std::size_t hi) {
-                  for (std::size_t lv = lo; lv < hi; ++lv) {
-                    const graph::VertexId gv =
-                        iv.begin + static_cast<graph::VertexId>(lv);
-                    if (!changed[gv]) continue;
-                    for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e) {
-                      P::scatter(vv[gv], state[e]);
-                      touched[e] = 1;
-                    }
-                  }
+            // Each vertex owns its out-edge state/touched slots: the
+            // weighted blocks write disjoint ranges.
+            ops::advance_edges(
+                off, iv.size(),
+                [&](std::size_t lv) { return changed[iv.begin + lv] != 0; },
+                [&](std::size_t lv, graph::EdgeId e) {
+                  const graph::VertexId gv =
+                      iv.begin + static_cast<graph::VertexId>(lv);
+                  P::scatter(vv[gv], state[e]);
+                  touched[e] = 1;
                 });
           });
         }
         break;
       }
       case PhaseKernel::kFrontierActivate: {
-        vgpu::KernelCost cost;
-        cost.threads = work.active_out_edges;
-        cost.flops_per_thread = 2.0;
-        cost.sequential_bytes =
-            work.active_out_edges * (sizeof(graph::VertexId) + 1);
-        cost.random_accesses = work.active_out_edges;  // frontier bit sets
+        // advance over the changed set's out-edges (plus its in-edges for
+        // undirected fixpoints): one frontier-bit store per edge.
+        constexpr bool kWakeSelf = activates_self_v<P>();
+        constexpr bool kWakeIn = activates_in_neighbors_v<P>();
+        const std::uint64_t edges =
+            work.active_out_edges + (kWakeIn ? work.active_in_edges : 0);
+        const vgpu::KernelCost cost =
+            ops::advance_cost(work.active_vertices, edges, 2.0,
+                              sizeof(graph::VertexId) + 1,
+                              /*random_per_edge=*/1.0);
         const std::uint8_t* changed = core_.changed_device();
         dev.launch(*lane.stream, cost, [&slot, iv, d_next, changed] {
           const graph::EdgeId* off = slot.out_offsets.data();
@@ -180,20 +175,68 @@ void TypedProgramState<P>::enqueue_kernels(const Pass& pass, std::uint32_t p,
           // idempotent (always 1) but must be a relaxed atomic so
           // concurrent activations of one vertex are race-free. The
           // final bitmap is identical at any worker count.
-          parallel_for_weighted(
-              off, iv.size(), kEdgeGrain,
-              [&](std::size_t lo, std::size_t hi) {
-                for (std::size_t lv = lo; lv < hi; ++lv) {
-                  const graph::VertexId gv =
-                      iv.begin + static_cast<graph::VertexId>(lv);
-                  if (!changed[gv]) continue;
-                  for (graph::EdgeId e = off[lv]; e < off[lv + 1]; ++e)
-                    std::atomic_ref<std::uint8_t>(d_next[dst[e]])
-                        .store(1, std::memory_order_relaxed);
+          const auto wake = [d_next](graph::VertexId v) {
+            std::atomic_ref<std::uint8_t>(d_next[v]).store(
+                1, std::memory_order_relaxed);
+          };
+          ops::advance_segments(
+              off, iv.size(),
+              [&](std::size_t lv) { return changed[iv.begin + lv] != 0; },
+              [&](std::size_t lv, graph::EdgeId begin, graph::EdgeId end) {
+                [[maybe_unused]] const graph::VertexId gv =
+                    iv.begin + static_cast<graph::VertexId>(lv);
+                // Jacobi programs keep their own double-buffer parity
+                // fresh by re-activating themselves while still dirty.
+                if constexpr (kWakeSelf) wake(gv);
+                for (graph::EdgeId e = begin; e < end; ++e) wake(dst[e]);
+                if constexpr (kWakeIn) {
+                  const graph::EdgeId* ioff = slot.in_offsets.data();
+                  const graph::VertexId* isrc = slot.in_src.data();
+                  for (graph::EdgeId e = ioff[lv]; e < ioff[lv + 1]; ++e)
+                    wake(isrc[e]);
                 }
               });
         });
       } break;
+      case PhaseKernel::kPullAdvance: {
+        if constexpr (PullProgram<P>) {
+          // Direction-optimizing pull (filter + in-edge advance): scan
+          // every unvisited vertex's in-edges against the current
+          // frontier bitmap and claim it into next on the first hit.
+          // apply already stamped the same shard's frontier on this
+          // stream, so the unvisited test sees the post-apply state.
+          vgpu::KernelCost cost = ops::advance_cost(
+              work.pull_candidates, work.pull_in_edges, 2.0,
+              sizeof(graph::VertexId), /*random_per_edge=*/1.0);
+          const vgpu::KernelCost filter =
+              ops::filter_cost(iv.size(), sizeof(VertexData) + 1);
+          cost.threads += filter.threads;
+          cost.sequential_bytes += filter.sequential_bytes;
+          dev.launch(*lane.stream, cost, [this, &slot, iv, d_cur, d_next] {
+            const graph::EdgeId* off = slot.in_offsets.data();
+            const graph::VertexId* src = slot.in_src.data();
+            const VertexData* vv = d_vertex_.data();
+            ops::advance_segments(
+                off, iv.size(),
+                [&](std::size_t lv) {
+                  return P::pull_unvisited(vv[iv.begin + lv]);
+                },
+                [&](std::size_t lv, graph::EdgeId begin, graph::EdgeId end) {
+                  const graph::VertexId gv =
+                      iv.begin + static_cast<graph::VertexId>(lv);
+                  for (graph::EdgeId e = begin; e < end; ++e) {
+                    if (d_cur[src[e]]) {
+                      // Own-interval write, one block per vertex: no
+                      // atomics needed.
+                      d_next[gv] = 1;
+                      break;
+                    }
+                  }
+                });
+          });
+        }
+        break;
+      }
     }
   }
 }

@@ -1,0 +1,223 @@
+// BcJob — a phased EngineJob: Brandes betweenness centrality as two
+// chained engine runs behind the ordinary staged-job interface.
+//
+// Phase 1 (BcForward) runs a gather program computing per-vertex BFS
+// depth and shortest-path counts (sigma). When it converges, the job
+// transitions *inside step()*: the forward report is closed, the number
+// of BFS levels is measured from the forward values, and a second
+// EngineCore is built for the backward dependency sweep (BcBackward),
+// seeded from the forward values plus an out-edge CSR oracle. The
+// scheduler never notices — it sees one job whose step() keeps
+// returning true a little longer.
+//
+// Observability plumbing across the seam: an externally attached
+// ExecutionObserver (the scheduler's telemetry) is detached from the
+// finished phase-1 core and re-attached to the phase-2 core, so
+// per-tenant attribution spans both phases without double counting.
+// File-based observability is per-core; phase 1 tags its output paths
+// with ".fwd" so phase 2 cannot truncate them.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "core/algorithms/advanced.hpp"
+#include "core/engine/engine_core.hpp"
+#include "core/engine/job.hpp"
+#include "core/engine/kernels.hpp"
+#include "core/engine/typed_state.hpp"
+#include "util/common.hpp"
+
+namespace gr::core {
+
+class BcJob final : public EngineJob, util::NonCopyable {
+ public:
+  BcJob(const graph::EdgeList& edges, graph::VertexId source,
+        const EngineOptions& options, const EngineEnv& env)
+      : edges_(edges), options_(options), env_(env) {
+    ProgramInstance<algo::BcForward> instance;
+    instance.init_vertex = [source](graph::VertexId v) {
+      return v == source
+                 ? algo::BcForward::Vertex{0u, 1.0f}
+                 : algo::BcForward::Vertex{algo::BcForward::kUnreached, 0.0f};
+    };
+    instance.frontier = InitialFrontier::single(source);
+    instance.default_max_iterations = edges.num_vertices() + 1;
+    core1_ = std::make_unique<EngineCore>(
+        edges, TypedProgramState<algo::BcForward>::footprint(),
+        forward_options(options), env);
+    state1_ = std::make_unique<TypedProgramState<algo::BcForward>>(
+        *core1_, std::move(instance));
+    core1_->initialize(edges, *state1_);
+    state1_->init_host_masters(edges);
+  }
+
+  EngineCore& core() override { return core2_ ? *core2_ : *core1_; }
+
+  void begin() override {
+    core1_->begin_run(*state1_, state1_->instance().frontier,
+                      state1_->instance().default_max_iterations);
+  }
+
+  bool step() override {
+    if (!core2_) {
+      if (core1_->step(*state1_)) return true;
+      transition();
+    }
+    return core2_->step(*state2_);
+  }
+
+  std::uint32_t rewiden(std::uint64_t slice_bytes) override {
+    return core2_ ? core2_->rewiden(*state2_, slice_bytes)
+                  : core1_->rewiden(*state1_, slice_bytes);
+  }
+
+  const RunReport& finish() override {
+    // Defensive: a caller abandoning the job mid-phase still gets a
+    // coherent merged report.
+    if (!core2_) {
+      while (core1_->step(*state1_)) {
+      }
+      transition();
+    }
+    while (core2_->step(*state2_)) {
+    }
+    const RunReport report2 = core2_->finish_run(*state2_);
+    report_ = merge_reports(report1_, report2);
+    finished_ = true;
+    return report_;
+  }
+
+  std::uint32_t width() const override { return 1; }
+
+  ProgramRunResult result(std::uint32_t lane) const override {
+    GR_CHECK_MSG(finished_, "BcJob::result before finish");
+    GR_CHECK_MSG(lane == 0, "BcJob has a single lane");
+    const auto values = state2_->vertex_values();
+    ProgramRunResult out;
+    out.report = report_;
+    out.value_hash =
+        fnv1a_bytes(values.data(), values.size_bytes());
+    out.values.reserve(values.size());
+    for (const algo::BcBackward::Vertex& v : values)
+      out.values.push_back(static_cast<double>(v.delta));
+    return out;
+  }
+
+ private:
+  /// Phase 1 writes its observability files next to phase 2's, never to
+  /// the same path (".fwd" suffix), so the final files are backward-phase.
+  static EngineOptions forward_options(EngineOptions o) {
+    const auto tag = [](std::string& path) {
+      if (!path.empty()) path += ".fwd";
+    };
+    tag(o.trace_out);
+    tag(o.metrics_out);
+    tag(o.metrics_stream_out);
+    tag(o.telemetry_out);
+    return o;
+  }
+
+  void transition() {
+    // Move any externally attached observer across the seam before
+    // closing phase 1, so finish_run's teardown events stay unattributed
+    // exactly like a single-phase job's would be after detach.
+    ExecutionObserver* observer = core1_->observer();
+    core1_->set_observer(nullptr);
+    report1_ = core1_->finish_run(*state1_);
+    // The finished core stays alive (it owns the forward values) but
+    // must stop feeding the shared device's listener chain.
+    core1_->suspend_observability();
+
+    const auto fwd = state1_->vertex_values();
+    std::uint32_t depth_levels = 1;  // the source is always at level 0
+    for (const algo::BcForward::Vertex& v : fwd)
+      if (v.depth != algo::BcForward::kUnreached)
+        depth_levels = std::max(depth_levels, v.depth + 1);
+
+    auto oracle = algo::build_bc_oracle(edges_);
+    oracle->depth_levels = depth_levels;
+
+    ProgramInstance<algo::BcBackward> instance;
+    instance.init_vertex = [fwd](graph::VertexId v) {
+      return algo::BcBackward::Vertex{fwd[v].depth, fwd[v].sigma, 0.0f};
+    };
+    instance.frontier = InitialFrontier::all();
+    instance.default_max_iterations = depth_levels + 2;
+    instance.user_context = std::move(oracle);
+
+    core2_ = std::make_unique<EngineCore>(
+        edges_, TypedProgramState<algo::BcBackward>::footprint(), options_,
+        env_);
+    state2_ = std::make_unique<TypedProgramState<algo::BcBackward>>(
+        *core2_, std::move(instance));
+    core2_->initialize(edges_, *state2_);
+    state2_->init_host_masters(edges_);
+    core2_->set_observer(observer);
+    core2_->begin_run(*state2_, state2_->instance().frontier,
+                      state2_->instance().default_max_iterations);
+  }
+
+  /// One report spanning both phases: time, traffic, and history
+  /// accumulate; topology/residency facts come from the final core.
+  static RunReport merge_reports(const RunReport& a, const RunReport& b) {
+    RunReport m = b;
+    m.iterations = a.iterations + b.iterations;
+    m.converged = a.converged && b.converged;
+    m.total_seconds = a.total_seconds + b.total_seconds;
+    m.memcpy_seconds = a.memcpy_seconds + b.memcpy_seconds;
+    m.kernel_seconds = a.kernel_seconds + b.kernel_seconds;
+    m.h2d_busy_seconds = a.h2d_busy_seconds + b.h2d_busy_seconds;
+    m.d2h_busy_seconds = a.d2h_busy_seconds + b.d2h_busy_seconds;
+    m.bytes_h2d = a.bytes_h2d + b.bytes_h2d;
+    m.bytes_d2h = a.bytes_d2h + b.bytes_d2h;
+    m.kernels_launched = a.kernels_launched + b.kernels_launched;
+    m.memcpy_ops = a.memcpy_ops + b.memcpy_ops;
+    m.cache_hits = a.cache_hits + b.cache_hits;
+    m.cache_misses = a.cache_misses + b.cache_misses;
+    m.cache_evictions = a.cache_evictions + b.cache_evictions;
+    m.cache_writebacks = a.cache_writebacks + b.cache_writebacks;
+    m.bytes_h2d_saved = a.bytes_h2d_saved + b.bytes_h2d_saved;
+    m.cache_shared_hits = a.cache_shared_hits + b.cache_shared_hits;
+    m.cache_shared_bytes = a.cache_shared_bytes + b.cache_shared_bytes;
+    m.transfer.explicit_shards =
+        a.transfer.explicit_shards + b.transfer.explicit_shards;
+    m.transfer.explicit_bytes =
+        a.transfer.explicit_bytes + b.transfer.explicit_bytes;
+    m.transfer.compressed_shards =
+        a.transfer.compressed_shards + b.transfer.compressed_shards;
+    m.transfer.compressed_bytes =
+        a.transfer.compressed_bytes + b.transfer.compressed_bytes;
+    m.transfer.pinned_shards =
+        a.transfer.pinned_shards + b.transfer.pinned_shards;
+    m.transfer.pinned_bytes = a.transfer.pinned_bytes + b.transfer.pinned_bytes;
+    m.transfer.managed_shards =
+        a.transfer.managed_shards + b.transfer.managed_shards;
+    m.transfer.managed_bytes =
+        a.transfer.managed_bytes + b.transfer.managed_bytes;
+    m.transfer.skipped_shards =
+        a.transfer.skipped_shards + b.transfer.skipped_shards;
+    m.transfer.skipped_bytes =
+        a.transfer.skipped_bytes + b.transfer.skipped_bytes;
+    m.history = a.history;
+    m.history.insert(m.history.end(), b.history.begin(), b.history.end());
+    return m;
+  }
+
+  const graph::EdgeList& edges_;
+  EngineOptions options_;
+  EngineEnv env_;
+
+  std::unique_ptr<EngineCore> core1_;
+  std::unique_ptr<TypedProgramState<algo::BcForward>> state1_;
+  RunReport report1_;
+
+  std::unique_ptr<EngineCore> core2_;
+  std::unique_ptr<TypedProgramState<algo::BcBackward>> state2_;
+
+  RunReport report_;
+  bool finished_ = false;
+};
+
+}  // namespace gr::core

@@ -16,6 +16,20 @@ TransferPlan build_transfer_plan(std::uint32_t partitions,
   return plan;
 }
 
+TransferPlan build_pull_transfer_plan(std::uint32_t partitions,
+                                      const FrontierManager& frontier,
+                                      bool frontier_management) {
+  TransferPlan plan;
+  plan.active_shards.reserve(partitions);
+  for (std::uint32_t p = 0; p < partitions; ++p) {
+    if (!frontier_management || frontier.shard_has_pull_work(p))
+      plan.active_shards.push_back(p);
+    else
+      ++plan.skipped;
+  }
+  return plan;
+}
+
 ShardWork plan_shard_work(const PartitionedGraph& graph,
                           const FrontierManager& frontier,
                           bool frontier_management, std::uint32_t shard) {
@@ -29,6 +43,24 @@ ShardWork plan_shard_work(const PartitionedGraph& graph,
     work.active_vertices = topo.interval.size();
     work.active_in_edges = topo.in_edge_count();
     work.active_out_edges = topo.out_edge_count();
+  }
+  return work;
+}
+
+ShardWork plan_pull_shard_work(const PartitionedGraph& graph,
+                               const FrontierManager& frontier,
+                               bool frontier_management,
+                               std::uint32_t shard) {
+  ShardWork work =
+      plan_shard_work(graph, frontier, frontier_management, shard);
+  if (frontier_management) {
+    work.pull_candidates = frontier.shard_unvisited(shard);
+    work.pull_in_edges = frontier.shard_unvisited_in_edges(shard);
+  } else {
+    // Unmanaged pull scans the whole interval's in-topology.
+    const ShardTopology& topo = graph.shard(shard);
+    work.pull_candidates = topo.interval.size();
+    work.pull_in_edges = topo.in_edge_count();
   }
   return work;
 }

@@ -19,6 +19,11 @@ struct ShardWork {
   std::uint64_t active_vertices = 0;
   std::uint64_t active_in_edges = 0;
   std::uint64_t active_out_edges = 0;
+  /// Pull-iteration sizing (direction-optimizing traversal): vertices no
+  /// frontier has consumed yet and the in-edges their pull scan walks.
+  /// Zero on push iterations.
+  std::uint64_t pull_candidates = 0;
+  std::uint64_t pull_in_edges = 0;
 };
 
 /// One iteration's shard schedule: which shards the Data Movement
@@ -47,10 +52,25 @@ TransferPlan build_transfer_plan(std::uint32_t partitions,
                                  const FrontierManager& frontier,
                                  bool frontier_management);
 
+/// Pull-iteration schedule: a shard participates when it holds frontier
+/// vertices to stamp or unvisited vertices to claim; fully-visited
+/// frontier-free shards are culled (their pull pass could neither stamp
+/// nor discover anything). Requires visited tracking on the frontier.
+TransferPlan build_pull_transfer_plan(std::uint32_t partitions,
+                                      const FrontierManager& frontier,
+                                      bool frontier_management);
+
 /// Per-shard kernel sizing: active counts from the frontier when
 /// management is on, the shard's full topology extent otherwise.
 ShardWork plan_shard_work(const PartitionedGraph& graph,
                           const FrontierManager& frontier,
                           bool frontier_management, std::uint32_t shard);
+
+/// Pull-iteration sizing: active counts plus the unvisited complement
+/// the pullAdvance operator scans.
+ShardWork plan_pull_shard_work(const PartitionedGraph& graph,
+                               const FrontierManager& frontier,
+                               bool frontier_management,
+                               std::uint32_t shard);
 
 }  // namespace gr::core

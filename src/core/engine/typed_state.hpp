@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/engine/engine_core.hpp"
@@ -30,6 +31,11 @@ struct ProgramInstance {
   std::function<typename P::EdgeData(float)> init_edge;
   InitialFrontier frontier = InitialFrontier::all();
   std::uint32_t default_max_iterations = 1000;
+  /// Opaque read-only context threaded to every device function via
+  /// IterationContext::user (e.g. a precomputed adjacency oracle for
+  /// intersection-style programs). Shared so fused/multi-phase runs can
+  /// alias one oracle; null for programs that don't need one.
+  std::shared_ptr<const void> user_context;
 };
 
 template <GasProgram P>
@@ -49,6 +55,8 @@ class TypedProgramState final : public ProgramHooks {
     f.has_gather = P::has_gather;
     f.has_scatter = P::has_scatter;
     f.has_edge_state = kHasEdgeState;
+    f.has_pull = has_pull_v<P>();
+    f.activates_in_neighbors = activates_in_neighbors_v<P>();
     return f;
   }
 

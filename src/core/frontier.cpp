@@ -11,6 +11,7 @@ FrontierManager::FrontierManager(const PartitionedGraph& graph)
     : graph_(graph),
       current_(graph.num_vertices(), 0),
       next_(graph.num_vertices(), 0),
+      words_((graph.num_vertices() + 63) / 64, 0),
       shard_active_(graph.num_shards(), 0),
       shard_in_edges_(graph.num_shards(), 0),
       shard_out_edges_(graph.num_shards(), 0) {}
@@ -37,6 +38,15 @@ void FrontierManager::activate_set(
   refresh();
 }
 
+void FrontierManager::enable_visited_tracking() {
+  if (track_visited_) return;
+  track_visited_ = true;
+  visited_.assign(current_.size(), 0);
+  shard_unvisited_.assign(graph_.num_shards(), 0);
+  shard_unvisited_in_.assign(graph_.num_shards(), 0);
+  refresh();
+}
+
 void FrontierManager::refresh() {
   const auto in_deg = graph_.in_degrees();
   const auto out_deg = graph_.out_degrees();
@@ -48,22 +58,60 @@ void FrontierManager::refresh() {
     std::uint64_t active = 0;
     std::uint64_t in_edges = 0;
     std::uint64_t out_edges = 0;
+    std::uint64_t unvisited = 0;
+    std::uint64_t unvisited_in = 0;
     for (graph::VertexId v = iv.begin; v < iv.end; ++v) {
-      if (!current_[v]) continue;
-      ++active;
-      in_edges += in_deg[v];
-      out_edges += out_deg[v];
+      if (current_[v]) {
+        ++active;
+        in_edges += in_deg[v];
+        out_edges += out_deg[v];
+      } else if (track_visited_ && !visited_[v]) {
+        // Pull candidates: never consumed by a frontier and not about to
+        // be stamped this iteration.
+        ++unvisited;
+        unvisited_in += in_deg[v];
+      }
     }
     shard_active_[p] = active;
     shard_in_edges_[p] = in_edges;
     shard_out_edges_[p] = out_edges;
+    if (track_visited_) {
+      shard_unvisited_[p] = unvisited;
+      shard_unvisited_in_[p] = unvisited_in;
+    }
   });
   total_active_ = 0;
-  for (std::uint32_t p = 0; p < graph_.num_shards(); ++p)
+  total_active_out_ = 0;
+  total_unvisited_ = 0;
+  total_unvisited_in_ = 0;
+  for (std::uint32_t p = 0; p < graph_.num_shards(); ++p) {
     total_active_ += shard_active_[p];
+    total_active_out_ += shard_out_edges_[p];
+    if (track_visited_) {
+      total_unvisited_ += shard_unvisited_[p];
+      total_unvisited_in_ += shard_unvisited_in_[p];
+    }
+  }
+  // Packed W=64 view: each word covers 64 consecutive vertices, trailing
+  // bits of the last word stay zero. Words are disjoint across blocks.
+  const std::size_t n = current_.size();
+  util::parallel_for(0, words_.size(), 256, [&](std::size_t w) {
+    std::uint64_t bits = 0;
+    const std::size_t base = w * 64;
+    const std::size_t end = std::min(base + 64, n);
+    for (std::size_t v = base; v < end; ++v)
+      if (current_[v]) bits |= std::uint64_t{1} << (v - base);
+    words_[w] = bits;
+  });
 }
 
 std::uint64_t FrontierManager::advance() {
+  if (track_visited_) {
+    // The consumed frontier was stamped by this iteration's apply pass;
+    // fold it into the visited set before promoting next.
+    for (std::size_t v = 0; v < current_.size(); ++v)
+      if (current_[v]) visited_[v] = 1;
+  }
   current_.swap(next_);
   std::fill(next_.begin(), next_.end(), std::uint8_t{0});
   refresh();

@@ -4,6 +4,12 @@
 // bits for the current and next iteration plus the per-shard aggregates
 // the Data Movement Engine uses to skip shards with no active vertices —
 // the paper's key lever for cutting memcpy traffic (Fig. 15/16/17).
+//
+// Direction-optimizing traversal adds a second book: with visited
+// tracking enabled, the manager remembers every vertex a frontier has
+// consumed and aggregates the *unvisited* complement per shard (counts
+// and in-edge sums), feeding the Beamer push/pull switch and the pull
+// pass's candidate-shard culling.
 #pragma once
 
 #include <cstdint>
@@ -36,8 +42,15 @@ class FrontierManager {
   std::span<const std::uint8_t> current_bits() const { return current_; }
   std::span<std::uint8_t> next_bits() { return next_; }
 
+  /// W=64 bitset view of the current frontier: bit (v & 63) of word
+  /// [v >> 6] mirrors current_bits()[v]. Rebuilt by refresh(), so it is
+  /// valid whenever the per-shard aggregates are. Wide fused variants
+  /// (W=64 multi-source packs) consume frontiers word-at-a-time.
+  std::span<const std::uint64_t> current_words() const { return words_; }
+
   /// Promotes next -> current, clears next, and recomputes aggregates.
-  /// Returns the new active vertex count.
+  /// Returns the new active vertex count. With visited tracking enabled,
+  /// the consumed frontier is folded into the visited set first.
   std::uint64_t advance();
 
   /// Recomputes aggregates for the current frontier (after seeding).
@@ -62,14 +75,54 @@ class FrontierManager {
   }
   bool shard_has_work(std::uint32_t p) const { return shard_active_[p] > 0; }
 
+  // --- direction-optimizing support (visited tracking) ---
+
+  /// Enables the visited/unvisited books (pull-capable programs only;
+  /// push-only runs skip the extra refresh work entirely).
+  void enable_visited_tracking();
+  bool visited_tracking() const { return track_visited_; }
+  bool is_visited(graph::VertexId v) const { return visited_[v] != 0; }
+
+  /// Total out-edges incident to the current frontier (push cost: the
+  /// edges a push iteration expands).
+  std::uint64_t active_out_edges() const { return total_active_out_; }
+  /// Vertices no frontier has consumed yet, excluding the current one.
+  std::uint64_t unvisited_vertices() const { return total_unvisited_; }
+  /// Total in-edges of unvisited vertices (pull cost: the edges a pull
+  /// iteration scans in the worst case).
+  std::uint64_t unvisited_in_edges() const { return total_unvisited_in_; }
+
+  /// Per-shard pull-candidate aggregates (valid after refresh with
+  /// tracking enabled).
+  std::uint64_t shard_unvisited(std::uint32_t p) const {
+    return shard_unvisited_[p];
+  }
+  std::uint64_t shard_unvisited_in_edges(std::uint32_t p) const {
+    return shard_unvisited_in_[p];
+  }
+  /// A pull iteration must visit shards that hold frontier vertices to
+  /// stamp (apply) or unvisited vertices to claim (pullAdvance).
+  bool shard_has_pull_work(std::uint32_t p) const {
+    return shard_active_[p] > 0 || shard_unvisited_[p] > 0;
+  }
+
  private:
   const PartitionedGraph& graph_;
   std::vector<std::uint8_t> current_;
   std::vector<std::uint8_t> next_;
+  std::vector<std::uint64_t> words_;
   std::vector<std::uint64_t> shard_active_;
   std::vector<std::uint64_t> shard_in_edges_;
   std::vector<std::uint64_t> shard_out_edges_;
   std::uint64_t total_active_ = 0;
+  std::uint64_t total_active_out_ = 0;
+
+  bool track_visited_ = false;
+  std::vector<std::uint8_t> visited_;
+  std::vector<std::uint64_t> shard_unvisited_;
+  std::vector<std::uint64_t> shard_unvisited_in_;
+  std::uint64_t total_unvisited_ = 0;
+  std::uint64_t total_unvisited_in_ = 0;
 };
 
 }  // namespace gr::core

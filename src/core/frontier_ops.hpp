@@ -1,0 +1,126 @@
+// FrontierOperators — the data-centric operator vocabulary the Compute
+// Engine's kernels are built from (Gunrock's advance / filter / compute,
+// PAPERS.md).
+//
+// Each operator pairs a *cost shape* for the SMX cost model with a
+// deterministic *execution shape* for the functional backend:
+//
+//   * advance  — expand a frontier along its incident edges. Work is
+//     charged in load-balanced edge chunks (vgpu::lbs_advance_cost):
+//     the model launches ceil((V + E) / chunk) full chunks plus a
+//     merge-path binary search per thread, instead of one logical
+//     thread per shard vertex serializing whole edge lists. Execution
+//     splits blocks by the degree prefix sum (parallel_for_weighted),
+//     so per-vertex edge ranges stay in ascending order and results are
+//     bitwise identical at any worker count.
+//   * filter   — evaluate a predicate across an interval, producing the
+//     surviving subset (frontier bits, changed flags, compacted
+//     candidate lists). Vertex-parallel, sequential traffic only.
+//   * compute  — apply a vertex-parallel functor to the surviving set.
+//
+// The kernel shim (engine/kernels.hpp) expresses gatherMap / gatherReduce
+// / scatter / frontierActivate / pullAdvance as advance instances and
+// apply as filter+compute; the direction-optimizing pull path composes
+// filter (unvisited scan) with an in-edge advance.
+#pragma once
+
+#include <cstdint>
+
+#include "core/parallel.hpp"
+#include "graph/types.hpp"
+#include "util/thread_pool.hpp"
+#include "vgpu/kernel.hpp"
+
+namespace gr::core::ops {
+
+// --- cost shapes (SMX cost model) ---
+
+/// Load-balanced advance over `vertices` frontier sources with `edges`
+/// incident edges, touching `seq_bytes_per_edge` coalesced bytes and
+/// `random_per_edge` uncoalesced accesses per edge.
+inline vgpu::KernelCost advance_cost(std::uint64_t vertices,
+                                     std::uint64_t edges,
+                                     double flops_per_edge,
+                                     std::uint64_t seq_bytes_per_edge,
+                                     double random_per_edge = 0.0) {
+  vgpu::KernelCost cost =
+      vgpu::lbs_advance_cost(vertices, edges, flops_per_edge);
+  cost.sequential_bytes = edges * seq_bytes_per_edge;
+  cost.random_accesses =
+      static_cast<std::uint64_t>(static_cast<double>(edges) *
+                                 random_per_edge);
+  return cost;
+}
+
+/// Predicate scan over an interval of `vertices`, reading
+/// `bytes_per_vertex` each and writing the surviving subset.
+inline vgpu::KernelCost filter_cost(std::uint64_t vertices,
+                                    std::uint64_t bytes_per_vertex) {
+  vgpu::KernelCost cost;
+  cost.threads = vertices;
+  cost.flops_per_thread = 2.0;  // predicate + compaction flag
+  cost.sequential_bytes = vertices * bytes_per_vertex;
+  return cost;
+}
+
+/// Vertex-parallel functor over `vertices` survivors.
+inline vgpu::KernelCost compute_cost(std::uint64_t vertices,
+                                     double flops_per_vertex,
+                                     std::uint64_t bytes_per_vertex) {
+  vgpu::KernelCost cost;
+  cost.threads = vertices;
+  cost.flops_per_thread = flops_per_vertex;
+  cost.sequential_bytes = vertices * bytes_per_vertex;
+  return cost;
+}
+
+// --- execution shapes (deterministic at any worker count) ---
+
+/// advance, edge form: `fn(lv, e)` for every local vertex `lv` passing
+/// `pred(lv)` and every incident edge slot `e` in `[off[lv], off[lv+1])`,
+/// ascending within each vertex. Blocks split by the degree prefix sum;
+/// each vertex's edge slots belong to exactly one block, so per-edge
+/// writes to vertex-owned ranges need no atomics.
+template <typename Pred, typename EdgeFn>
+void advance_edges(const graph::EdgeId* off, std::size_t n, Pred&& pred,
+                   EdgeFn&& fn) {
+  parallel_for_weighted(off, n, kEdgeGrain,
+                        [&](std::size_t lo, std::size_t hi) {
+                          for (std::size_t lv = lo; lv < hi; ++lv) {
+                            if (!pred(lv)) continue;
+                            for (graph::EdgeId e = off[lv]; e < off[lv + 1];
+                                 ++e)
+                              fn(lv, e);
+                          }
+                        });
+}
+
+/// advance, segment form: `fn(lv, begin, end)` hands each surviving
+/// vertex its whole edge range (segmented reductions, intersections,
+/// early-exit pull scans). Same weighted blocking as advance_edges.
+template <typename Pred, typename SegFn>
+void advance_segments(const graph::EdgeId* off, std::size_t n, Pred&& pred,
+                      SegFn&& fn) {
+  parallel_for_weighted(off, n, kEdgeGrain,
+                        [&](std::size_t lo, std::size_t hi) {
+                          for (std::size_t lv = lo; lv < hi; ++lv) {
+                            if (!pred(lv)) continue;
+                            fn(lv, off[lv], off[lv + 1]);
+                          }
+                        });
+}
+
+/// filter + compute fused: `fn(lv)` for every local vertex passing
+/// `pred(lv)`. Uniform blocks — only per-vertex writes allowed.
+template <typename Pred, typename VertexFn>
+void compute_vertices(std::size_t n, Pred&& pred, VertexFn&& fn) {
+  util::parallel_for_blocks(0, n, kVertexGrain,
+                            [&](std::size_t lo, std::size_t hi) {
+                              for (std::size_t lv = lo; lv < hi; ++lv) {
+                                if (!pred(lv)) continue;
+                                fn(lv);
+                              }
+                            });
+}
+
+}  // namespace gr::core::ops

@@ -44,6 +44,15 @@ struct Empty {
 /// Per-iteration information available to apply().
 struct IterationContext {
   std::uint32_t iteration = 0;
+  /// Opaque per-run context installed via ProgramInstance::user_context
+  /// (adjacency oracles for compute-operator programs); null otherwise.
+  const void* user = nullptr;
+  /// Base of the device-resident VertexData array. Compute-operator
+  /// programs derive their own VertexId as (&v - base) and may *read*
+  /// other vertices' values through it; cross-vertex reads are only
+  /// deterministic under a double-buffered (Jacobi) update discipline —
+  /// read the previous iteration's slot, write the next one.
+  const void* vertices = nullptr;
 };
 
 /// Hints the engine uses to seed the first computation frontier.
@@ -97,6 +106,54 @@ concept ScatterProgram =
                               typename P::EdgeData& e) {
       { P::scatter(src, e) };
     };
+
+// --- optional program traits (absent flag == false) ---
+
+/// Direction-optimizing programs additionally provide a pull test: the
+/// engine may run an iteration in pull mode, scanning each *unvisited*
+/// vertex's in-neighbors against the current frontier bitmap instead of
+/// expanding the frontier's out-edges. `pull_unvisited(v)` must return
+/// true exactly for vertices a pull iteration should still try to claim.
+template <typename P>
+concept PullProgram =
+    GasProgram<P> && requires(const typename P::VertexData& v) {
+      { P::has_pull } -> std::convertible_to<bool>;
+      { P::pull_unvisited(v) } -> std::convertible_to<bool>;
+    };
+
+template <typename P>
+constexpr bool has_pull_v() {
+  if constexpr (PullProgram<P>)
+    return P::has_pull;
+  else
+    return false;
+}
+
+/// When true, a changed vertex re-activates *itself* for the next
+/// iteration (in addition to its out-neighbors). Jacobi fixpoint
+/// programs that read neighbor state through IterationContext::vertices
+/// need this to keep their double-buffer parity fresh.
+template <typename P>
+constexpr bool activates_self_v() {
+  if constexpr (requires { { P::activates_self } -> std::convertible_to<bool>; })
+    return P::activates_self;
+  else
+    return false;
+}
+
+/// When true, a changed vertex also re-activates its *in*-neighbors —
+/// required when the update rule consumes undirected neighborhoods, so a
+/// change must wake consumers on both edge directions.
+template <typename P>
+constexpr bool activates_in_neighbors_v() {
+  if constexpr (requires {
+                  { P::activates_in_neighbors } -> std::convertible_to<bool>;
+                }) {
+    return P::activates_in_neighbors;
+  } else {
+    return false;
+  }
+}
 
 /// Bytes of streamed edge state per in-edge (0 for Empty).
 template <typename P>

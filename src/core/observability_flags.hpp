@@ -19,6 +19,10 @@ inline void add_observability_flags(util::Cli& cli, EngineOptions& options) {
            "write a metrics-registry JSON snapshot after the run");
   cli.flag("profile", &options.profile_summary,
            "print per-phase/per-iteration profiling tables after the run");
+  cli.flag("metrics-stream-out", &options.metrics_stream_out,
+           "append one NDJSON metrics record per iteration (plus a "
+           "closing record) stamped with the simulated clock — tail it "
+           "while the run is in flight");
 }
 
 /// Engine-tuning flags shared by engine-running binaries.
@@ -33,6 +37,11 @@ inline void add_engine_flags(util::Cli& cli, EngineOptions& options) {
            "explicit, compressed, zero-copy pinned, and managed "
            "paging), pinned, or managed; results are identical under "
            "every policy, only simulated link traffic differs");
+  cli.flag("direction", &options.direction,
+           "traversal direction for pull-capable programs (dobfs): "
+           "push (default), pull, or auto (the Beamer "
+           "direction-optimizing switch); final values are identical "
+           "in every mode, only the simulated schedule differs");
 }
 
 }  // namespace gr::core

@@ -36,6 +36,10 @@ void EngineOptions::validate() const {
                "EngineOptions: transfer_policy must be one of "
                "auto|explicit|pinned|managed (got '"
                << transfer_policy << "')");
+  GR_CHECK_MSG(direction == "push" || direction == "pull" ||
+                   direction == "auto",
+               "EngineOptions: direction must be one of push|pull|auto "
+               "(got '" << direction << "')");
   GR_CHECK_MSG(sched_admission == "shared" ||
                    sched_admission == "cache-fair" ||
                    sched_admission == "stream-only" ||

@@ -60,6 +60,21 @@ struct EngineOptions {
   /// Iteration cap; 0 = the algorithm's default.
   std::uint32_t max_iterations = 0;
 
+  /// Traversal direction for pull-capable programs ("dobfs"):
+  ///   "push" — classic frontier expansion over out-edges every
+  ///            iteration (the only mode for programs without a pull
+  ///            operator; forcing it on a pull-capable program disables
+  ///            direction switching);
+  ///   "pull" — every iteration scans unvisited vertices' in-edges
+  ///            against the frontier bitmap;
+  ///   "auto" — Beamer direction-optimizing switch: push -> pull when
+  ///            the frontier's out-edges exceed the unvisited in-edges
+  ///            / alpha, pull -> push when the frontier shrinks below
+  ///            n / beta. Results are bitwise identical in all three
+  ///            modes; only the simulated schedule changes.
+  /// Ignored (must be "push") for programs without a pull operator.
+  std::string direction = "push";
+
   // --- job scheduler (core/engine/scheduler.hpp) ---
   /// How the JobScheduler arbitrates the device budget between
   /// concurrently admitted jobs:
@@ -125,6 +140,12 @@ struct EngineOptions {
   /// metrics file really came from this configuration. Empty = the
   /// snapshot layout is unchanged.
   std::vector<std::pair<std::string, std::string>> metrics_provenance;
+  /// Streaming metrics sink: line-delimited JSON appended to this path,
+  /// one compact record per iteration boundary on the simulated clock
+  /// (obs::Metrics::stream_to). Unlike the numbered snapshot files this
+  /// never rewrites — long-lived serving processes tail it. Empty = no
+  /// stream.
+  std::string metrics_stream_out;
   /// Print the profiler's per-phase/per-iteration tables to stderr
   /// after the run.
   bool profile_summary = false;
@@ -186,6 +207,8 @@ struct IterationStats {
   std::uint64_t active_vertices = 0;
   std::uint32_t shards_processed = 0;
   std::uint32_t shards_skipped = 0;
+  /// True when this iteration ran in pull (direction-optimizing) mode.
+  bool pull = false;
   // Residency-cache activity this iteration (buffer-group granularity).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;

@@ -28,6 +28,10 @@ enum class PhaseKernel : std::uint8_t {
   kApply,
   kScatter,
   kFrontierActivate,
+  /// Direction-optimizing pull: scan each unvisited vertex's in-edges
+  /// against the current frontier bitmap and claim it into next
+  /// (filter + in-edge advance in the operator vocabulary).
+  kPullAdvance,
 };
 
 /// One upload -> kernels -> download round over every active shard.
@@ -50,7 +54,8 @@ struct PhasePlan {
 };
 
 inline PhasePlan make_phase_plan(bool has_gather, bool has_scatter,
-                                 bool has_edge_state, bool fusion_enabled) {
+                                 bool has_edge_state, bool fusion_enabled,
+                                 bool activate_in_neighbors = false) {
   PhasePlan plan;
   if (fusion_enabled) {
     if (has_gather) {
@@ -71,6 +76,9 @@ inline PhasePlan make_phase_plan(bool has_gather, bool has_scatter,
     // (paper §5.3). Edge-valued programs carry the shard's edge values
     // with it — Fig. 7 stores values inline with the edge records.
     update.needs_out_edges = true;
+    // Undirected fixpoints wake consumers on both edge directions, so
+    // the activate kernel also walks the shard's in-topology.
+    update.needs_in_edges = activate_in_neighbors;
     update.moves_edge_state = has_edge_state;
     plan.passes.push_back(std::move(update));
     return plan;
@@ -95,6 +103,18 @@ inline PhasePlan make_phase_plan(bool has_gather, bool has_scatter,
     plan.passes.push_back(whole_shard_pass(PhaseKernel::kScatter));
   plan.passes.push_back(whole_shard_pass(PhaseKernel::kFrontierActivate));
   return plan;
+}
+
+/// The pass a pull iteration substitutes for the push plan: apply stamps
+/// the current frontier first (so pullAdvance's unvisited test sees the
+/// post-apply state), then pullAdvance claims unvisited vertices by
+/// scanning their in-edges. Out-topology stays home — pull iterations
+/// stop shipping the frontier's out-edge expansion entirely.
+inline Pass make_pull_pass() {
+  Pass pull;
+  pull.kernels = {PhaseKernel::kApply, PhaseKernel::kPullAdvance};
+  pull.needs_in_edges = true;
+  return pull;
 }
 
 }  // namespace gr::core

@@ -296,6 +296,53 @@ void Metrics::flush_final_snapshot(double sim_now) {
   }
 }
 
+void Metrics::stream_to(std::string path) {
+  stream_path_ = std::move(path);
+  stream_records_ = 0;
+}
+
+void Metrics::stream_record(double sim_now) {
+  if (stream_path_.empty()) return;
+  // First record truncates (a fresh run owns the file); later records
+  // append only, so a tailing reader never sees the file rewritten.
+  const auto mode = stream_records_ == 0
+                        ? std::ios::binary | std::ios::trunc
+                        : std::ios::binary | std::ios::app;
+  std::ofstream os(stream_path_, mode);
+  if (!os.good()) {
+    GR_LOG_WARN("cannot stream metrics to " << stream_path_);
+    return;
+  }
+  std::lock_guard lock(mutex_);
+  os << "{\"seq\":" << stream_records_ << ",\"sim_seconds\":";
+  write_double(os, sim_now);
+  os << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << '"' << json_escape(name)
+       << "\":" << c->value();
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << '"' << json_escape(name) << "\":";
+    write_double(os, g->value());
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << '"' << json_escape(name)
+       << "\":{\"count\":" << h->count() << ",\"sum\":";
+    write_double(os, h->sum());
+    os << '}';
+    first = false;
+  }
+  os << "}}\n";
+  ++stream_records_;
+}
+
 bool Metrics::write_file(const std::string& path) const {
   std::ofstream os(path, std::ios::binary);
   if (!os.good()) {

@@ -159,6 +159,21 @@ class Metrics : util::NonCopyable {
   static std::string snapshot_path(const std::string& pattern,
                                    std::uint64_t index);
 
+  /// Arms line-delimited streaming: each subsequent stream_record(sim_now)
+  /// appends one compact single-line JSON record to `path` —
+  /// {"seq":N,"sim_seconds":T,"counters":{...},"gauges":{...},
+  /// "histograms":{name:{"count":C,"sum":S}}} with names sorted and the
+  /// same fixed number formatting as write_json. The file is truncated
+  /// by the first record and only ever appended afterwards, so a
+  /// long-lived serving process can tail it while runs are in flight.
+  /// Pass "" to disarm.
+  void stream_to(std::string path);
+  /// Appends one streamed record stamped with simulated time `sim_now`;
+  /// no-op unless stream_to armed. Driver-thread only, like
+  /// maybe_snapshot.
+  void stream_record(double sim_now);
+  std::uint64_t stream_records_written() const { return stream_records_; }
+
  private:
   mutable std::mutex mutex_;
   // Periodic-snapshot state; touched only from the driver thread (the
@@ -167,6 +182,9 @@ class Metrics : util::NonCopyable {
   double snapshot_next_due_ = 0.0;
   std::uint64_t snapshots_written_ = 0;
   std::string snapshot_pattern_;
+  // Streaming state; driver-thread only, like the snapshot state.
+  std::string stream_path_;
+  std::uint64_t stream_records_ = 0;
   std::map<std::string, std::string> provenance_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

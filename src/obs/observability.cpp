@@ -41,6 +41,8 @@ RunObservability::RunObservability(vgpu::Device& device,
   copy_bytes_ = &metrics_.histogram(
       "device.copy_bytes",
       {4096, 65536, 1048576, 16777216, 67108864});
+  if (!config_.metrics_stream_out.empty())
+    metrics_.stream_to(config_.metrics_stream_out);
   attach_device_listener();
 }
 
@@ -208,6 +210,11 @@ void RunObservability::on_iteration_end(const core::IterationStats& stats) {
   iterations_->add();
   profiler_.on_iteration_end(stats);
   if (trace_) trace_->on_iteration_end(stats);
+  // One streamed record per iteration boundary, stamped with the
+  // simulated clock — a tailing serving process sees counters advance
+  // while the run is still in flight.
+  if (!config_.metrics_stream_out.empty())
+    metrics_.stream_record(device_->now());
 }
 
 void RunObservability::on_run_end(const core::RunReport& report) {
@@ -261,6 +268,10 @@ void RunObservability::finalize(const core::RunReport& report) {
   // An armed snapshot_every owes the run's last partial interval before
   // the final one-shot file lands (satellite: no silently dropped tail).
   metrics_.flush_final_snapshot(device_->now());
+  // The stream gets one closing record carrying the derived gauges just
+  // computed above (iteration records predate them).
+  if (!config_.metrics_stream_out.empty())
+    metrics_.stream_record(device_->now());
   if (!config_.metrics_out.empty())
     metrics_.write_file(config_.metrics_out);
   if (config_.summary) profiler_.print_summary(std::cerr);

@@ -52,13 +52,18 @@ namespace gr::obs {
 struct ObservabilityConfig {
   std::string trace_out;    // Chrome trace JSON path; empty = no trace
   std::string metrics_out;  // metrics snapshot path; empty = no file
+  /// NDJSON append path: one compact metrics record per iteration
+  /// boundary on the simulated clock, plus a final end-of-run record
+  /// (Metrics::stream_to). Empty = no streaming.
+  std::string metrics_stream_out;
   bool summary = false;     // print profiler tables to stderr at the end
   /// Per-job track-name prefix for the trace ("job0/"); empty = the
   /// classic track names (byte-identical serialization).
   std::string track_prefix;
 
   bool enabled() const {
-    return !trace_out.empty() || !metrics_out.empty() || summary;
+    return !trace_out.empty() || !metrics_out.empty() ||
+           !metrics_stream_out.empty() || summary;
   }
 };
 

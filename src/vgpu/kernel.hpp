@@ -55,4 +55,33 @@ struct KernelCost {
   }
 };
 
+/// Load-balanced-search edge partitioning (Gunrock/moderngpu LBS).
+///
+/// A frontier-expansion kernel does not launch one thread per frontier
+/// *vertex* (a high-degree vertex would serialize its whole edge list on
+/// one thread); it merges the scaled vertex and edge ranks and assigns
+/// each CTA an equal-sized chunk of (vertices + edges) work items found
+/// by binary search over the degree prefix sum. The cost model charges:
+///   * threads rounded up to whole chunks — partial chunks still occupy
+///     an SMX slot;
+///   * `kLbsSearchFlops` extra arithmetic per thread for the merge-path
+///     binary search that locates the chunk's (vertex, edge) split.
+inline constexpr std::uint64_t kLbsChunkItems = 256;
+inline constexpr double kLbsSearchFlops = 2.0;
+
+/// Cost of a load-balanced advance over `frontier_vertices` sources with
+/// `frontier_edges` total incident edges. `flops_per_edge` is the user
+/// functor's arithmetic; sequential/random traffic stays the caller's
+/// business (it depends on what the functor touches).
+inline KernelCost lbs_advance_cost(std::uint64_t frontier_vertices,
+                                   std::uint64_t frontier_edges,
+                                   double flops_per_edge) {
+  KernelCost cost;
+  const std::uint64_t items = frontier_vertices + frontier_edges;
+  const std::uint64_t chunks = (items + kLbsChunkItems - 1) / kLbsChunkItems;
+  cost.threads = chunks * kLbsChunkItems;
+  cost.flops_per_thread = flops_per_edge + kLbsSearchFlops;
+  return cost;
+}
+
 }  // namespace gr::vgpu

@@ -92,6 +92,81 @@ TEST(Reference, HeatConservesUniformField) {
   for (float t : out) EXPECT_FLOAT_EQ(t, 42.0f);
 }
 
+TEST(Reference, TriangleCountsOnK4) {
+  // K4: each vertex roots the triangles among its larger neighbours.
+  EdgeList k4(4);
+  for (graph::VertexId a = 0; a < 4; ++a)
+    for (graph::VertexId b = a + 1; b < 4; ++b) k4.add_edge(a, b);
+  EXPECT_EQ(triangle_counts(k4),
+            (std::vector<std::uint64_t>{3, 1, 0, 0}));
+  // Cycles are triangle-free.
+  for (std::uint64_t c : triangle_counts(graph::cycle_graph(9)))
+    EXPECT_EQ(c, 0u);
+}
+
+TEST(Reference, CorenessOnPathAndK4) {
+  for (std::uint32_t c : coreness(graph::path_graph(8))) EXPECT_EQ(c, 1u);
+  EdgeList k4(4);
+  for (graph::VertexId a = 0; a < 4; ++a)
+    for (graph::VertexId b = a + 1; b < 4; ++b) k4.add_edge(a, b);
+  for (std::uint32_t c : coreness(k4)) EXPECT_EQ(c, 3u);
+}
+
+TEST(Reference, CorenessPeelsHairOffACycle) {
+  // A triangle with a pendant vertex: the pendant is 1-core, the
+  // triangle is 2-core.
+  EdgeList g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);  // pendant
+  const auto core = coreness(g);
+  EXPECT_EQ(core, (std::vector<std::uint32_t>{2, 2, 2, 1}));
+}
+
+TEST(Reference, LabelPropagationOscillatesOnAStar) {
+  // Synchronous updates trade labels between hub and leaves each round,
+  // so the round count is observable: after an even number of rounds
+  // everyone is back to the smallest neighbour of their start state.
+  const auto even = label_propagation(graph::star_graph(5), 2);
+  EXPECT_EQ(even[0], 0u);
+  for (int v = 1; v < 5; ++v) EXPECT_EQ(even[v], 1u);
+  const auto odd = label_propagation(graph::star_graph(5), 3);
+  EXPECT_EQ(odd[0], 1u);
+  for (int v = 1; v < 5; ++v) EXPECT_EQ(odd[v], 0u);
+}
+
+TEST(Reference, LabelPropagationIsolatedVertexKeepsItsLabel) {
+  EdgeList g(3);
+  g.add_edge(0, 1);
+  const auto label = label_propagation(g, 4);
+  EXPECT_EQ(label[2], 2u);
+}
+
+TEST(Reference, BetweennessOnDirectedPath) {
+  // 0->1->2->3: the dependency of each vertex is the number of
+  // downstream vertices on the unique shortest paths.
+  const auto delta = betweenness(graph::path_graph(4), 0);
+  EXPECT_EQ(delta,
+            (std::vector<float>{3.0f, 2.0f, 1.0f, 0.0f}));
+}
+
+TEST(Reference, BetweennessSplitsOverParallelShortestPaths) {
+  // Diamond 0->{1,2}->3: two shortest paths to 3, each middle vertex
+  // carries half a dependency; the source accumulates 2 (for reaching
+  // 1, 2) + 1 (for 3) = 3.
+  EdgeList g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const auto delta = betweenness(g, 0);
+  EXPECT_FLOAT_EQ(delta[0], 3.0f);
+  EXPECT_FLOAT_EQ(delta[1], 0.5f);
+  EXPECT_FLOAT_EQ(delta[2], 0.5f);
+  EXPECT_FLOAT_EQ(delta[3], 0.0f);
+}
+
 TEST(Reference, HeatDiffusesFromHotSpot) {
   const EdgeList g = graph::grid2d(5, 5);
   std::vector<float> initial(25, 0.0f);

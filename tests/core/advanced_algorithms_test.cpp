@@ -1,0 +1,207 @@
+// The four operator-vocabulary algorithms (triangles, coreness, label
+// propagation, betweenness centrality) against their serial references,
+// across generators and bundled datasets, plus the phased BC job under
+// the JobScheduler.
+#include "core/algorithms/advanced.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/reference/serial.hpp"
+#include "core/algorithms/registry.hpp"
+#include "core/engine/scheduler.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+
+namespace gr::algo {
+namespace {
+
+namespace ref = gr::baselines::reference;
+
+/// The small-graph sweep every algorithm is checked on: assorted
+/// generator shapes plus every bundled dataset at a test-sized scale.
+std::vector<graph::EdgeList> test_graphs() {
+  std::vector<graph::EdgeList> graphs;
+  graphs.push_back(graph::path_graph(17));
+  graphs.push_back(graph::cycle_graph(12));
+  graphs.push_back(graph::star_graph(9));
+  graphs.push_back(graph::grid2d(5, 4));
+  graphs.push_back(graph::two_cycles(7));
+  graphs.push_back(graph::rmat(7, 600, 3));
+  graphs.push_back(graph::rmat(8, 2200, 7));
+  for (const std::string& name : graph::in_memory_names())
+    graphs.push_back(graph::make_dataset(name, /*edge_scale=*/0.002));
+  return graphs;
+}
+
+TEST(AdvancedAlgorithms, TrianglesMatchSerialReferenceEverywhere) {
+  for (const auto& edges : test_graphs()) {
+    const auto expected = ref::triangle_counts(edges);
+    const TrianglesResult got = run_triangles(edges);
+    EXPECT_TRUE(got.report.converged);
+    ASSERT_EQ(got.counts, expected);
+  }
+}
+
+TEST(AdvancedAlgorithms, TrianglesCountKnownShapes) {
+  // K4: four triangles, all rooted at their smallest vertex.
+  graph::EdgeList k4(4);
+  for (graph::VertexId a = 0; a < 4; ++a)
+    for (graph::VertexId b = a + 1; b < 4; ++b) k4.add_edge(a, b);
+  EXPECT_EQ(run_triangles(k4).total(), 4u);
+  // A cycle has none.
+  EXPECT_EQ(run_triangles(graph::cycle_graph(8)).total(), 0u);
+}
+
+TEST(AdvancedAlgorithms, CorenessMatchesPeelingEverywhere) {
+  for (const auto& edges : test_graphs()) {
+    const auto expected = ref::coreness(edges);
+    const CorenessResult got = run_coreness(edges);
+    EXPECT_TRUE(got.report.converged);
+    ASSERT_EQ(got.coreness, expected);
+  }
+}
+
+TEST(AdvancedAlgorithms, CorenessKnownValues) {
+  // K4: every vertex has core number 3; a path: 1 everywhere.
+  graph::EdgeList k4(4);
+  for (graph::VertexId a = 0; a < 4; ++a)
+    for (graph::VertexId b = a + 1; b < 4; ++b) k4.add_edge(a, b);
+  for (std::uint32_t c : run_coreness(k4).coreness) EXPECT_EQ(c, 3u);
+  for (std::uint32_t c : run_coreness(graph::path_graph(10)).coreness)
+    EXPECT_EQ(c, 1u);
+}
+
+TEST(AdvancedAlgorithms, LabelPropMatchesSynchronousReference) {
+  for (const auto& edges : test_graphs()) {
+    const auto expected = ref::label_propagation(edges, 20);
+    const LabelPropResult got = run_labelprop(edges, 20);
+    ASSERT_EQ(got.label, expected);
+  }
+}
+
+TEST(AdvancedAlgorithms, LabelPropHonorsRoundCount) {
+  // The star oscillates: leaves and hub trade labels every round, so
+  // the round count is observable (even counts differ from odd + 1).
+  const auto edges = graph::star_graph(6);
+  EXPECT_EQ(run_labelprop(edges, 2).label, ref::label_propagation(edges, 2));
+  EXPECT_EQ(run_labelprop(edges, 4).label, ref::label_propagation(edges, 4));
+}
+
+TEST(AdvancedAlgorithms, BetweennessMatchesBrandesReferenceBitwise) {
+  for (const auto& edges : test_graphs()) {
+    if (edges.num_vertices() == 0) continue;
+    const graph::VertexId source = edges.num_vertices() / 3;
+    const auto expected = ref::betweenness(edges, source);
+    const BcResult got = run_bc(edges, source);
+    EXPECT_TRUE(got.report.converged);
+    ASSERT_EQ(got.delta.size(), expected.size());
+    for (std::size_t v = 0; v < expected.size(); ++v)
+      ASSERT_EQ(got.delta[v], expected[v]) << "vertex " << v;
+  }
+}
+
+TEST(AdvancedAlgorithms, BetweennessPathGraphHandChecked) {
+  // Directed path 0->1->2->3: delta counts the downstream vertices.
+  const BcResult got = run_bc(graph::path_graph(4), 0);
+  ASSERT_EQ(got.delta.size(), 4u);
+  EXPECT_EQ(got.delta[0], 3.0f);
+  EXPECT_EQ(got.delta[1], 2.0f);
+  EXPECT_EQ(got.delta[2], 1.0f);
+  EXPECT_EQ(got.delta[3], 0.0f);
+}
+
+TEST(AdvancedAlgorithms, BetweennessReportSpansBothPhases) {
+  const auto edges = graph::rmat(8, 2200, 7);
+  const BcResult got = run_bc(edges, 3);
+  // Forward BFS phase + backward level sweep: strictly more iterations
+  // than the forward phase alone, and both phases' device time counted.
+  const DobfsResult fwd = run_dobfs(edges, 3);
+  EXPECT_GT(got.report.iterations, fwd.report.iterations);
+  EXPECT_GT(got.report.total_seconds, fwd.report.total_seconds);
+  ASSERT_EQ(got.report.history.size(), got.report.iterations);
+}
+
+TEST(AdvancedAlgorithms, RegisteredProgramsMatchWrappers) {
+  algo::register_builtin_programs();
+  const auto edges = graph::rmat(7, 900, 5);
+  const auto& registry = core::ProgramRegistry::global();
+  core::ProgramSpec spec;
+  spec.source = 2;
+
+  const auto tri = registry.at("triangles").run(edges, spec, {});
+  const TrianglesResult tri_direct = run_triangles(edges);
+  ASSERT_EQ(tri.values.size(), tri_direct.counts.size());
+  for (std::size_t v = 0; v < tri.values.size(); ++v)
+    EXPECT_EQ(tri.values[v], static_cast<double>(tri_direct.counts[v]));
+
+  const auto cor = registry.at("coreness").run(edges, spec, {});
+  const CorenessResult cor_direct = run_coreness(edges);
+  for (std::size_t v = 0; v < cor.values.size(); ++v)
+    EXPECT_EQ(cor.values[v], static_cast<double>(cor_direct.coreness[v]));
+
+  const auto lab = registry.at("labelprop").run(edges, spec, {});
+  const LabelPropResult lab_direct = run_labelprop(edges);
+  for (std::size_t v = 0; v < lab.values.size(); ++v)
+    EXPECT_EQ(lab.values[v], static_cast<double>(lab_direct.label[v]));
+
+  const auto bc = registry.at("bc").run(edges, spec, {});
+  const BcResult bc_direct = run_bc(edges, spec.source);
+  for (std::size_t v = 0; v < bc.values.size(); ++v)
+    EXPECT_EQ(bc.values[v], static_cast<double>(bc_direct.delta[v]));
+}
+
+TEST(AdvancedAlgorithms, PhasedBcJobServedByScheduler) {
+  algo::register_builtin_programs();
+  const auto edges = graph::rmat(8, 2200, 7);
+  core::ProgramSpec spec;
+  spec.source = 5;
+  const auto solo = core::ProgramRegistry::global().at("bc").run(
+      edges, spec, {});
+
+  core::JobScheduler sched(edges, {});
+  core::JobRequest request;
+  request.program = "bc";
+  request.spec = spec;
+  const core::JobId id = sched.submit(request);
+  const core::JobResult& served = sched.wait(id);
+  EXPECT_EQ(served.run.value_hash, solo.value_hash);
+  EXPECT_EQ(served.run.values, solo.values);
+  EXPECT_EQ(served.run.report.iterations, solo.report.iterations);
+
+  // And interleaved with another tenant on the shared device, the
+  // answers are still the solo answers.
+  core::JobScheduler mixed(edges, {});
+  core::JobRequest bfs_request;
+  bfs_request.program = "bfs";
+  bfs_request.spec.source = 1;
+  const core::JobId a = mixed.submit(request);
+  const core::JobId b = mixed.submit(bfs_request);
+  EXPECT_EQ(mixed.wait(a).run.value_hash, solo.value_hash);
+  const auto bfs_solo = core::ProgramRegistry::global().at("bfs").run(
+      edges, bfs_request.spec, {});
+  EXPECT_EQ(mixed.wait(b).run.value_hash, bfs_solo.value_hash);
+}
+
+TEST(AdvancedAlgorithms, DeterministicAcrossThreadCounts) {
+  const auto edges = graph::rmat(8, 2200, 3);
+  for (const char* program : {"triangles", "coreness", "labelprop", "bc"}) {
+    algo::register_builtin_programs();
+    core::ProgramSpec spec;
+    spec.source = 4;
+    core::EngineOptions serial_opts;
+    serial_opts.threads = 1;
+    core::EngineOptions parallel_opts;
+    parallel_opts.threads = 4;
+    const auto& handle = core::ProgramRegistry::global().at(program);
+    const auto serial = handle.run(edges, spec, serial_opts);
+    const auto parallel = handle.run(edges, spec, parallel_opts);
+    EXPECT_EQ(serial.value_hash, parallel.value_hash) << program;
+    EXPECT_EQ(serial.report.total_seconds, parallel.report.total_seconds)
+        << program;
+  }
+}
+
+}  // namespace
+}  // namespace gr::algo

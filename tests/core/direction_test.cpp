@@ -1,0 +1,177 @@
+// Direction-optimizing traversal: push, pull, and the Beamer auto
+// switch must agree bitwise with plain BFS on the final values at any
+// thread count; auto must actually pay off on a low-diameter graph; and
+// streaming observability must stay byte-identical across thread
+// counts.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/algorithms/advanced.hpp"
+#include "core/algorithms/algorithms.hpp"
+#include "core/algorithms/registry.hpp"
+#include "core/engine/program_registry.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+
+namespace gr::algo {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+core::EngineOptions direction_options(const std::string& direction,
+                                      std::uint32_t threads = 0) {
+  core::EngineOptions options;
+  options.direction = direction;
+  options.threads = threads;
+  return options;
+}
+
+TEST(Direction, PushPullAutoBitwiseEqualAcrossThreadCounts) {
+  algo::register_builtin_programs();
+  const auto edges = graph::rmat(9, 6000, 11);
+  core::ProgramSpec spec;
+  spec.source = 3;
+  const auto& registry = core::ProgramRegistry::global();
+  const auto baseline = registry.at("bfs").run(edges, spec, {});
+
+  for (const char* direction : {"push", "pull", "auto"}) {
+    for (std::uint32_t threads : {1u, 4u}) {
+      const auto got = registry.at("dobfs").run(
+          edges, spec, direction_options(direction, threads));
+      EXPECT_EQ(got.value_hash, baseline.value_hash)
+          << direction << " threads=" << threads;
+      EXPECT_EQ(got.values, baseline.values)
+          << direction << " threads=" << threads;
+    }
+    // Simulated time is part of the determinism contract: the schedule
+    // for one direction mode is thread-count independent.
+    const auto t1 = registry.at("dobfs").run(edges, spec,
+                                             direction_options(direction, 1));
+    const auto t4 = registry.at("dobfs").run(edges, spec,
+                                             direction_options(direction, 4));
+    EXPECT_EQ(t1.report.total_seconds, t4.report.total_seconds) << direction;
+    EXPECT_EQ(t1.report.bytes_h2d, t4.report.bytes_h2d) << direction;
+  }
+}
+
+TEST(Direction, PullIterationsAreMarkedInHistory) {
+  const auto edges = graph::rmat(9, 6000, 11);
+  const DobfsResult pull = run_dobfs(edges, 3, direction_options("pull"));
+  const DobfsResult push = run_dobfs(edges, 3, direction_options("push"));
+  bool any_pull = false;
+  for (const auto& it : pull.report.history) any_pull |= it.pull;
+  EXPECT_TRUE(any_pull);
+  for (const auto& it : push.report.history) EXPECT_FALSE(it.pull);
+  // Same depths either way.
+  EXPECT_EQ(pull.depth, push.depth);
+}
+
+TEST(Direction, AutoSwitchesAndBeatsPushOnALowDiameterGraph) {
+  // Acceptance: on at least one bundled low-diameter (Table 4 style)
+  // graph the Beamer switch must win simulated time against always-push.
+  bool any_win = false;
+  for (const std::string& name : graph::in_memory_names()) {
+    const auto edges = graph::make_dataset(name, 0.01);
+    const DobfsResult push = run_dobfs(edges, 0, direction_options("push"));
+    const DobfsResult aut = run_dobfs(edges, 0, direction_options("auto"));
+    ASSERT_EQ(push.depth, aut.depth) << name;
+    if (aut.report.total_seconds < push.report.total_seconds) {
+      bool switched = false;
+      for (const auto& it : aut.report.history) switched |= it.pull;
+      EXPECT_TRUE(switched) << name;
+      any_win = true;
+    }
+  }
+  EXPECT_TRUE(any_win);
+}
+
+TEST(Direction, NonPullProgramsRejectPullButIgnoreNothingElse) {
+  // "pull"/"auto" on a program without a pull operator is a
+  // configuration error surfaced at engine construction.
+  const auto edges = graph::path_graph(8);
+  EXPECT_THROW(run_bfs(edges, 0, direction_options("pull")),
+               util::CheckError);
+  EXPECT_THROW(run_bfs(edges, 0, direction_options("auto")),
+               util::CheckError);
+  // Invalid spellings are rejected by validation.
+  EXPECT_THROW(run_dobfs(edges, 0, direction_options("sideways")),
+               util::CheckError);
+  // Plain push stays available to everyone.
+  EXPECT_EQ(run_bfs(edges, 0, direction_options("push")).depth,
+            run_dobfs(edges, 0, direction_options("push")).depth);
+}
+
+TEST(Direction, EmptyFrontierShortCircuits) {
+  // An isolated source activates nobody: the frontier empties after one
+  // iteration and the run short-circuits in every direction mode,
+  // without touching the unreachable remainder of the graph.
+  graph::EdgeList edges(8);
+  for (graph::VertexId v = 1; v + 1 < 8; ++v) edges.add_edge(v, v + 1);
+  for (const char* direction : {"push", "pull", "auto"}) {
+    const DobfsResult got = run_dobfs(edges, 0, direction_options(direction));
+    EXPECT_EQ(got.report.iterations, 1u) << direction;
+    EXPECT_TRUE(got.report.converged) << direction;
+    EXPECT_EQ(got.depth[0], 0u) << direction;
+    for (graph::VertexId v = 1; v < 8; ++v)
+      EXPECT_EQ(got.depth[v], Dobfs::kUnreached) << direction;
+  }
+}
+
+TEST(Direction, FullyDenseFrontierRunsEveryShardEveryDirection) {
+  // An all-vertices frontier is the degenerate case of the Beamer
+  // switch (alpha trips immediately): auto goes pull on iteration one
+  // and the dense pass still produces the push-identical fixpoint.
+  const auto edges = graph::cycle_graph(64);
+  for (const char* direction : {"push", "auto"}) {
+    core::ProgramInstance<Dobfs> instance;
+    instance.init_vertex = [](graph::VertexId v) {
+      return v == 0 ? 0u : Dobfs::kUnreached;
+    };
+    instance.frontier = core::InitialFrontier::all();
+    instance.default_max_iterations = 100;
+    core::Engine<Dobfs> engine(edges, std::move(instance),
+                               direction_options(direction));
+    engine.run();
+    // Every vertex was claimed at iteration 0 by the dense seed.
+    for (graph::VertexId v = 1; v < 64; ++v)
+      EXPECT_EQ(engine.vertex_values()[v], 0u) << direction;
+  }
+}
+
+TEST(Direction, StreamedMetricsByteIdenticalAcrossThreadCounts) {
+  algo::register_builtin_programs();
+  const auto edges = graph::rmat(9, 6000, 11);
+  const std::string dir = ::testing::TempDir();
+  core::ProgramSpec spec;
+  spec.source = 3;
+  std::string previous_stream, previous_trace;
+  for (std::uint32_t threads : {1u, 4u}) {
+    core::EngineOptions options = direction_options("auto", threads);
+    options.metrics_stream_out =
+        dir + "dobfs_stream_t" + std::to_string(threads) + ".ndjson";
+    options.trace_out =
+        dir + "dobfs_trace_t" + std::to_string(threads) + ".json";
+    core::ProgramRegistry::global().at("dobfs").run(edges, spec, options);
+    const std::string stream = slurp(options.metrics_stream_out);
+    const std::string trace = slurp(options.trace_out);
+    EXPECT_FALSE(stream.empty());
+    if (!previous_stream.empty()) {
+      EXPECT_EQ(stream, previous_stream);
+      EXPECT_EQ(trace, previous_trace);
+    }
+    previous_stream = stream;
+    previous_trace = trace;
+  }
+}
+
+}  // namespace
+}  // namespace gr::algo

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "graph/generators.hpp"
 
 namespace gr::core {
@@ -78,6 +80,97 @@ TEST(FrontierManager, OutOfRangeSourceThrows) {
   const auto pg = PartitionedGraph::build(edges, 1);
   FrontierManager fm(pg);
   EXPECT_THROW(fm.activate_single(99), util::CheckError);
+}
+
+TEST(FrontierManager, WordViewMirrorsByteBits) {
+  // 70 vertices spans two 64-bit words with a ragged tail.
+  const auto edges = graph::path_graph(70);
+  const auto pg = PartitionedGraph::build(edges, 3);
+  FrontierManager fm(pg);
+  fm.activate_set(std::vector<graph::VertexId>{0, 1, 63, 64, 69});
+  const auto words = fm.current_words();
+  ASSERT_EQ(words.size(), 2u);
+  for (graph::VertexId v = 0; v < 70; ++v) {
+    const bool word_bit = (words[v >> 6] >> (v & 63)) & 1u;
+    EXPECT_EQ(word_bit, fm.is_active(v)) << "vertex " << v;
+  }
+  EXPECT_EQ(words[0], (1ull << 0) | (1ull << 1) | (1ull << 63));
+  EXPECT_EQ(words[1], (1ull << 0) | (1ull << 5));
+  // advance() rebuilds the view along with the aggregates.
+  fm.mark_next(2);
+  fm.advance();
+  EXPECT_EQ(fm.current_words()[0], 1ull << 2);
+  EXPECT_EQ(fm.current_words()[1], 0ull);
+}
+
+TEST(FrontierManager, DenseWordViewSetsEveryBit) {
+  const auto edges = graph::path_graph(70);
+  const auto pg = PartitionedGraph::build(edges, 2);
+  FrontierManager fm(pg);
+  fm.activate_all();
+  const auto words = fm.current_words();
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0], ~0ull);
+  EXPECT_EQ(words[1], (1ull << (70 - 64)) - 1);  // tail bits only
+}
+
+TEST(FrontierManager, VisitedTrackingFoldsConsumedFrontiers) {
+  const auto edges = graph::path_graph(12);
+  const auto pg = PartitionedGraph::build(edges, 3);
+  FrontierManager fm(pg);
+  fm.enable_visited_tracking();
+  EXPECT_TRUE(fm.visited_tracking());
+  fm.activate_single(0);
+  // The current frontier is excluded from the pull candidates (it gets
+  // stamped this iteration) but only counts as visited once consumed.
+  EXPECT_FALSE(fm.is_visited(0));
+  EXPECT_EQ(fm.unvisited_vertices(), 11u);
+  fm.mark_next(1);
+  fm.advance();
+  // 0 was consumed; 1 is the new frontier (excluded but not yet
+  // consumed); 10 pull candidates remain.
+  EXPECT_TRUE(fm.is_visited(0));
+  EXPECT_FALSE(fm.is_visited(1));
+  EXPECT_EQ(fm.unvisited_vertices(), 10u);
+  // Per-shard unvisited counts sum to the total.
+  std::uint64_t total = 0;
+  for (std::uint32_t p = 0; p < 3; ++p) total += fm.shard_unvisited(p);
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(FrontierManager, UnvisitedInEdgesPriceThePullScan) {
+  // Star: hub 0 out-edges to every leaf, so each leaf has in-degree 1
+  // and the hub in-degree is n-1 (generator adds both directions).
+  const auto edges = graph::star_graph(8);
+  const auto pg = PartitionedGraph::build(edges, 2);
+  FrontierManager fm(pg);
+  fm.enable_visited_tracking();
+  fm.activate_single(0);
+  // Unvisited = 7 leaves, each with exactly one in-edge (from the hub).
+  EXPECT_EQ(fm.unvisited_vertices(), 7u);
+  EXPECT_EQ(fm.unvisited_in_edges(), 7u);
+  // Push cost of this frontier: the hub's 7 out-edges.
+  EXPECT_EQ(fm.active_out_edges(), 7u);
+}
+
+TEST(FrontierManager, PullWorkCoversFrontierAndUnvisitedShards) {
+  const auto edges = graph::path_graph(12);
+  const auto pg = PartitionedGraph::build(edges, 4);
+  FrontierManager fm(pg);
+  fm.enable_visited_tracking();
+  fm.activate_all();
+  // Everything visited, nothing unvisited: every shard still has pull
+  // work because it holds frontier vertices to stamp.
+  EXPECT_EQ(fm.unvisited_vertices(), 0u);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    EXPECT_TRUE(fm.shard_has_pull_work(p));
+    EXPECT_EQ(fm.shard_unvisited(p), 0u);
+  }
+  // Drain the frontier: no shard has pull work left.
+  fm.advance();
+  EXPECT_TRUE(fm.empty());
+  for (std::uint32_t p = 0; p < 4; ++p)
+    EXPECT_FALSE(fm.shard_has_pull_work(p));
 }
 
 }  // namespace

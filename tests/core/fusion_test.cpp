@@ -123,12 +123,30 @@ TEST(Fusion, RegisteredWidthsAscendPerProgram) {
   algo::register_builtin_programs();
   for (const char* program : {"bfs", "sssp"}) {
     const auto fusions = ProgramRegistry::global().fusions(program);
-    ASSERT_EQ(fusions.size(), 2u) << program;
+    ASSERT_EQ(fusions.size(), 3u) << program;
     EXPECT_EQ(fusions[0]->width, 4u);
     EXPECT_EQ(fusions[1]->width, 16u);
+    EXPECT_EQ(fusions[2]->width, 64u);
   }
   // No fused variants registered for the all-vertex programs.
   EXPECT_TRUE(ProgramRegistry::global().fusions("pagerank").empty());
+}
+
+TEST(Fusion, Width64PackMatchesIndependentRuns) {
+  algo::register_builtin_programs();
+  const auto edges = graph::rmat(9, 3000, 17);
+  // 17 specs overflow width 16 and select the W=64 bitset-frontier
+  // variant (47 padded lanes). 64 lanes are 256 bytes/vertex, so give
+  // the device room to hold the shards at all.
+  std::vector<ProgramSpec> specs;
+  for (graph::VertexId s = 0; s < 17; ++s) {
+    ProgramSpec spec;
+    spec.source = s * 7 % edges.num_vertices();
+    specs.push_back(spec);
+  }
+  EngineOptions opts = fusion_options(2, 0.5);
+  opts.device.global_memory_bytes = 4 * 1024 * 1024;
+  expect_fused_matches_solo(edges, "bfs", specs, opts);
 }
 
 TEST(Fusion, DuplicateSourcesShareALaneValue) {

@@ -199,6 +199,50 @@ TEST(Metrics, FlushFinalSnapshotCoversThePartialTail) {
   EXPECT_EQ(unarmed.snapshots_written(), 0u);
 }
 
+TEST(Metrics, StreamRecordsAppendNdjsonLines) {
+  const std::string path = ::testing::TempDir() + "stream_unit.ndjson";
+  Metrics metrics;
+  metrics.counter("work").add(3);
+  metrics.gauge("level").set(0.5);
+  metrics.histogram("lat", {1.0}).observe(2.0);
+
+  // Unarmed: records are silently dropped.
+  metrics.stream_record(1.0);
+  EXPECT_EQ(metrics.stream_records_written(), 0u);
+
+  metrics.stream_to(path);
+  metrics.stream_record(1.0);
+  metrics.counter("work").add(4);
+  metrics.stream_record(2.5);
+  EXPECT_EQ(metrics.stream_records_written(), 2u);
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  // Each record is one self-contained line: seq, simulated clock, and
+  // the instrument values at record time.
+  EXPECT_NE(lines[0].find("\"seq\":0"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"work\":3"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"level\":0.5"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"lat\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"seq\":1"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"work\":7"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"sim_seconds\":2.5"), std::string::npos);
+
+  // Re-arming truncates: a fresh run does not append to a stale file.
+  metrics.stream_to(path);
+  EXPECT_EQ(metrics.stream_records_written(), 0u);
+  metrics.stream_record(9.0);
+  std::ifstream again(path, std::ios::binary);
+  lines.clear();
+  for (std::string line; std::getline(again, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"seq\":0"), std::string::npos);
+}
+
 // Named so the CI TSan job's -R filter picks it up: many threads hammer
 // one registry; totals must be exact and the race detector quiet.
 TEST(MetricsThreadSafety, ConcurrentInstrumentsCountExactly) {
